@@ -1,0 +1,68 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSessionDBSaveOpenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shell.cdb")
+	out := runScript(t, []string{
+		"gen 120 small 4",
+		"index 3 t2",
+		"exist y >= 0.4x + 5",
+		"dbsave " + path,
+		"gen 3 small 9", // clobber the session
+		"dbopen " + path,
+		"exist y >= 0.4x + 5",
+		"stats",
+	})
+	if !strings.Contains(out, "database saved: 120 tuples") {
+		t.Errorf("dbsave missing:\n%s", out)
+	}
+	if !strings.Contains(out, "database opened: 120 tuples, k=3") {
+		t.Errorf("dbopen missing:\n%s", out)
+	}
+	// The query before saving and after reopening must return the same
+	// number of results: extract both result lines.
+	lines := strings.Split(out, "\n")
+	var results []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "EXIST(") {
+			results = append(results, l[:strings.Index(l, "  (")])
+		}
+	}
+	if len(results) != 2 || results[0] != results[1] {
+		t.Errorf("answers differ across dbsave/dbopen:\n%v", results)
+	}
+}
+
+func TestSessionDBSaveRequiresIndex(t *testing.T) {
+	var s session
+	_ = s
+	path := filepath.Join(t.TempDir(), "noidx.cdb")
+	out := captureErr(t, []string{"gen 10 small 1"}, "dbsave "+path)
+	if !strings.Contains(out, "build a dual index first") {
+		t.Errorf("error missing:\n%s", out)
+	}
+}
+
+// captureErr runs setup commands (which must succeed) and then one failing
+// command, returning its error text.
+func captureErr(t *testing.T, setup []string, failing string) string {
+	t.Helper()
+	_ = runScript(t, setup) // separate session is fine: gen is deterministic
+	var sb strings.Builder
+	s := newTestSession(&sb)
+	for _, line := range setup {
+		if err := s.exec(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	err := s.exec(failing)
+	if err == nil {
+		t.Fatalf("%q should fail", failing)
+	}
+	return err.Error()
+}

@@ -1,0 +1,281 @@
+// Package dualcdb is a linear constraint database engine with
+// dual-representation indexing, reproducing Bertino, Catania and
+// Chidlovskii, "Indexing Constraint Databases by Using a Dual
+// Representation" (ICDE 1999).
+//
+// A relation stores generalized tuples — conjunctions of linear
+// constraints over real variables, i.e. convex polyhedra that may be
+// unbounded. The index answers the two selection types of constraint
+// query languages against a query half-plane q:
+//
+//	ALL(q, r)   — tuples whose extension is contained in q
+//	EXIST(q, r) — tuples whose extension intersects q
+//
+// both in O(log_B n + t) page accesses when the query slope belongs to a
+// predefined set S, and by two approximation techniques (T1 and T2, the
+// paper's contribution) otherwise. An R⁺-tree baseline, the paper's
+// workload generators and an experiment harness that regenerates every
+// figure are included.
+//
+// Quick start:
+//
+//	rel := dualcdb.NewRelation(2)
+//	t, _ := dualcdb.ParseTuple("x >= 0 && y >= 0 && x + y <= 4", 2)
+//	idx, _ := dualcdb.NewIndex(rel, dualcdb.IndexOptions{
+//		Slopes: dualcdb.EquiangularSlopes(3),
+//	})
+//	idx.Insert(t)
+//	res, _ := idx.Query(dualcdb.Exist2(0.5, 1, dualcdb.GE)) // y ≥ 0.5x + 1 ?
+//	fmt.Println(res.IDs)
+package dualcdb
+
+import (
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/core"
+	"dualcdb/internal/geom"
+	"dualcdb/internal/harness"
+	"dualcdb/internal/pagestore"
+	"dualcdb/internal/rplustree"
+	"dualcdb/internal/workload"
+)
+
+// Core model types.
+type (
+	// Tuple is a generalized tuple: a conjunction of linear constraints.
+	Tuple = constraint.Tuple
+	// TupleID identifies a tuple within a relation.
+	TupleID = constraint.TupleID
+	// Relation is a set of generalized tuples over one variable space.
+	Relation = constraint.Relation
+	// Query is an ALL/EXIST half-plane selection.
+	Query = constraint.Query
+	// QueryKind is ALL or EXIST.
+	QueryKind = constraint.QueryKind
+	// HalfSpace is a single linear constraint a·x + c θ 0.
+	HalfSpace = geom.HalfSpace
+	// Op is a constraint operator (LE or GE).
+	Op = geom.Op
+	// Polyhedron is a tuple extension in vertex/ray representation.
+	Polyhedron = geom.Polyhedron
+	// Point is a point in E^d.
+	Point = geom.Point
+)
+
+// Re-exported constants.
+const (
+	// LE is the operator "≤ 0".
+	LE = geom.LE
+	// GE is the operator "≥ 0".
+	GE = geom.GE
+	// EXIST selections retrieve intersecting tuples.
+	EXIST = constraint.EXIST
+	// ALL selections retrieve contained tuples.
+	ALL = constraint.ALL
+)
+
+// NewRelation creates an empty relation over E^dim.
+func NewRelation(dim int) *Relation { return constraint.NewRelation(dim) }
+
+// NewTuple builds a generalized tuple from constraints.
+func NewTuple(dim int, cons []HalfSpace) (*Tuple, error) { return constraint.NewTuple(dim, cons) }
+
+// ParseTuple parses the textual constraint syntax, e.g.
+// "x >= 0 && y >= 0 && x + y <= 4".
+func ParseTuple(s string, dim int) (*Tuple, error) { return constraint.ParseTuple(s, dim) }
+
+// ParseConstraints parses a conjunction into individual constraints.
+func ParseConstraints(s string, dim int) ([]HalfSpace, error) {
+	return constraint.ParseConstraints(s, dim)
+}
+
+// NewQuery builds a d-dimensional half-plane selection
+// Q(x_d θ slope·x + intercept).
+func NewQuery(kind QueryKind, slope []float64, intercept float64, op Op) Query {
+	return constraint.NewQuery(kind, slope, intercept, op)
+}
+
+// Exist2 builds the 2-D selection EXIST(y op a·x + b).
+func Exist2(a, b float64, op Op) Query { return constraint.Query2(constraint.EXIST, a, b, op) }
+
+// All2 builds the 2-D selection ALL(y op a·x + b).
+func All2(a, b float64, op Op) Query { return constraint.Query2(constraint.ALL, a, b, op) }
+
+// The dual-representation index (the paper's contribution).
+type (
+	// Index is the 2-D dual-representation index.
+	Index = core.Index
+	// IndexOptions configures an Index.
+	IndexOptions = core.Options
+	// Technique selects T1, T2 or restricted-only processing.
+	Technique = core.Technique
+	// Result is a selection answer with execution statistics.
+	Result = core.Result
+	// QueryStats describes how a selection executed.
+	QueryStats = core.QueryStats
+)
+
+// Technique constants.
+const (
+	// T2 is the single-tree handicap technique (Section 4.2, default).
+	T2 = core.T2
+	// T1 is the two-app-query technique (Section 4.1).
+	T1 = core.T1
+	// RestrictedOnly supports only query slopes in S (Section 3).
+	RestrictedOnly = core.RestrictedOnly
+)
+
+// d-dimensional index (Section 4.4) and generalized-tuple selections.
+type (
+	// IndexD is the d-dimensional dual index (Section 4.4).
+	IndexD = core.IndexD
+	// IndexDOptions configures an IndexD.
+	IndexDOptions = core.OptionsD
+	// TupleResult is the answer of a generalized-tuple selection.
+	TupleResult = core.TupleResult
+	// QueryTupleStats describes a generalized-tuple execution.
+	QueryTupleStats = core.QueryTupleStats
+)
+
+// NewIndexD creates an empty d-dimensional dual index over rel.
+func NewIndexD(rel *Relation, opt IndexDOptions) (*IndexD, error) { return core.NewD(rel, opt) }
+
+// BuildIndexD bulk-loads a d-dimensional dual index.
+func BuildIndexD(rel *Relation, opt IndexDOptions) (*IndexD, error) { return core.BuildD(rel, opt) }
+
+// LatticeSites returns a regular grid of slope-space sites for IndexD.
+func LatticeSites(sdim, perAxis int, extent float64) []Point {
+	return core.LatticeSites(sdim, perAxis, extent)
+}
+
+// EvalTuple is the exhaustive ground truth for generalized-tuple
+// selections.
+func EvalTuple(kind QueryKind, qt *Tuple, rel *Relation) ([]TupleID, error) {
+	return core.EvalTuple(kind, qt, rel)
+}
+
+// NewIndex creates an empty dual index over rel.
+func NewIndex(rel *Relation, opt IndexOptions) (*Index, error) { return core.New(rel, opt) }
+
+// BuildIndex bulk-loads a dual index from the relation's current tuples.
+func BuildIndex(rel *Relation, opt IndexOptions) (*Index, error) { return core.Build(rel, opt) }
+
+// EquiangularSlopes returns k slopes at equally spaced angles — the
+// natural predefined set S for uniformly distributed query slopes.
+func EquiangularSlopes(k int) []float64 { return core.EquiangularSlopes(k) }
+
+// R⁺-tree baseline (Section 5's comparison structure).
+type (
+	// RPlusIndex is the relation-aware R⁺-tree baseline.
+	RPlusIndex = rplustree.Index
+	// RPlusOptions configures an RPlusIndex.
+	RPlusOptions = rplustree.Options
+)
+
+// BuildRPlusIndex bulk-loads an R⁺-tree over the relation's bounded tuples.
+func BuildRPlusIndex(rel *Relation, opt RPlusOptions) (*RPlusIndex, error) {
+	return rplustree.Build(rel, opt)
+}
+
+// Workload generation (Section 5's synthetic data).
+type (
+	// WorkloadConfig parameterizes relation generation.
+	WorkloadConfig = workload.Config
+	// QueryWorkloadConfig parameterizes calibrated query generation.
+	QueryWorkloadConfig = workload.QueryConfig
+	// SizeClass is the paper's small/medium object regime.
+	SizeClass = workload.SizeClass
+)
+
+// Size-regime constants.
+const (
+	// SmallObjects cover 1–5 % of the working window.
+	SmallObjects = workload.Small
+	// MediumObjects cover 5–50 % of the working window.
+	MediumObjects = workload.Medium
+)
+
+// GenerateRelation builds a deterministic random relation per the paper's
+// Section 5 parameters.
+func GenerateRelation(cfg WorkloadConfig) (*Relation, error) { return workload.GenerateRelation(cfg) }
+
+// GenerateQueries builds half-plane queries calibrated to a selectivity.
+func GenerateQueries(rel *Relation, qc QueryWorkloadConfig) ([]Query, error) {
+	return workload.GenerateQueries(rel, qc)
+}
+
+// WorkloadConfigD parameterizes d-dimensional relation generation.
+type WorkloadConfigD = workload.ConfigD
+
+// GenerateRelationD builds a deterministic random d-dimensional relation.
+func GenerateRelationD(cfg WorkloadConfigD) (*Relation, error) {
+	return workload.GenerateRelationD(cfg)
+}
+
+// GenerateQueriesD builds calibrated d-dimensional half-plane queries with
+// slope vectors uniform in [−slopeExtent, slopeExtent]^{d−1}.
+func GenerateQueriesD(rel *Relation, qc QueryWorkloadConfig, slopeExtent float64) ([]Query, error) {
+	return workload.GenerateQueriesD(rel, qc, slopeExtent)
+}
+
+// EvalLine is the exhaustive ground truth for line-stabbing selections
+// (Index.QueryLine).
+func EvalLine(a, b float64, rel *Relation) ([]TupleID, error) { return core.EvalLine(a, b, rel) }
+
+// EvalVertical is the exhaustive ground truth for vertical selections
+// Kind(x op c) (Index.QueryVertical; enable IndexOptions.IndexVertical for
+// the indexed path).
+func EvalVertical(kind QueryKind, op Op, c float64, rel *Relation) ([]TupleID, error) {
+	return core.EvalVertical(kind, op, c, rel)
+}
+
+// LineIndex is the interval-tree realization of restricted line-stabbing
+// queries (the paper's footnote 6 alternative).
+type LineIndex = core.LineIndex
+
+// BuildLineIndex constructs interval trees over the relation's dual
+// intervals at each slope in S.
+func BuildLineIndex(rel *Relation, slopes []float64) (*LineIndex, error) {
+	return core.BuildLineIndex(rel, slopes, nil)
+}
+
+// Experiment harness (regenerates the paper's figures).
+type (
+	// Figure is a regenerated experiment table.
+	Figure = harness.Figure
+	// FigureConfig parameterizes a figure run.
+	FigureConfig = harness.Config
+)
+
+// RunQueryFigure regenerates one of Figures 8(a/b)/9(a/b).
+func RunQueryFigure(id, title string, cfg FigureConfig) (Figure, error) {
+	return harness.RunQueryFigure(id, title, cfg)
+}
+
+// RunSpaceFigure regenerates Figure 10.
+func RunSpaceFigure(cfg FigureConfig) (Figure, error) { return harness.RunSpaceFigure(cfg) }
+
+// DefaultPageSize is the paper's 1024-byte page size.
+const DefaultPageSize = pagestore.DefaultPageSize
+
+// CreateDatabase builds a dual index over rel backed by a new database
+// file at path. Call (*Index).Save to persist the catalog and the relation
+// after loading or updating.
+func CreateDatabase(path string, rel *Relation, opt IndexOptions) (*Index, error) {
+	store, err := pagestore.OpenFileStore(path, opt.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	opt.Store = store
+	opt.Pool = nil
+	return core.Build(rel, opt)
+}
+
+// OpenDatabase reopens a database file written by CreateDatabase + Save,
+// returning the restored relation and index.
+func OpenDatabase(path string, pageSize int) (*Relation, *Index, error) {
+	store, err := pagestore.OpenExistingFileStore(path, pageSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.Open(pagestore.NewPool(store, 0))
+}

@@ -1,0 +1,119 @@
+package dualcdb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dualcdb"
+)
+
+// TestQuickstart exercises the documented public API end to end.
+func TestQuickstart(t *testing.T) {
+	rel := dualcdb.NewRelation(2)
+	idx, err := dualcdb.NewIndex(rel, dualcdb.IndexOptions{
+		Slopes: dualcdb.EquiangularSlopes(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	triangle, err := dualcdb.ParseTuple("x >= 0 && y >= 0 && x + y <= 4", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := idx.Insert(triangle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.Query(dualcdb.Exist2(0.5, 1, dualcdb.GE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 1 || res.IDs[0] != id {
+		t.Fatalf("EXIST(y ≥ 0.5x+1) = %v", res.IDs)
+	}
+	res, err = idx.Query(dualcdb.All2(0, -1, dualcdb.GE)) // triangle ⊆ {y ≥ −1}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 1 {
+		t.Fatalf("ALL(y ≥ −1) = %v", res.IDs)
+	}
+	res, err = idx.Query(dualcdb.All2(0, 1, dualcdb.GE)) // triangle ⊄ {y ≥ 1}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 0 {
+		t.Fatalf("ALL(y ≥ 1) = %v", res.IDs)
+	}
+}
+
+// TestFacadeWorkloadAndBaseline drives the generator, both index
+// structures and the ground-truth evaluator through the public API.
+func TestFacadeWorkloadAndBaseline(t *testing.T) {
+	rel, err := dualcdb.GenerateRelation(dualcdb.WorkloadConfig{
+		N: 400, Size: dualcdb.SmallObjects, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := dualcdb.BuildIndex(rel, dualcdb.IndexOptions{
+		Slopes: dualcdb.EquiangularSlopes(3), Technique: dualcdb.T2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rplus, err := dualcdb.BuildRPlusIndex(rel, dualcdb.RPlusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := dualcdb.GenerateQueries(rel, dualcdb.QueryWorkloadConfig{
+		Count: 8, Kind: dualcdb.ALL, SelectivityLo: 0.1, SelectivityHi: 0.15, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		want, err := q.Eval(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dres, err := dual.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rres, err := rplus.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dres.IDs) != len(want) || len(rres.IDs) != len(want) {
+			t.Fatalf("%v: dual %d, rplus %d, want %d", q, len(dres.IDs), len(rres.IDs), len(want))
+		}
+		for i := range want {
+			if dres.IDs[i] != want[i] || rres.IDs[i] != want[i] {
+				t.Fatalf("%v: mismatch at %d", q, i)
+			}
+		}
+	}
+}
+
+// Example demonstrates the README quick-start snippet.
+func Example() {
+	rel := dualcdb.NewRelation(2)
+	idx, _ := dualcdb.NewIndex(rel, dualcdb.IndexOptions{
+		Slopes: dualcdb.EquiangularSlopes(3),
+	})
+	t1, _ := dualcdb.ParseTuple("x >= 0 && y >= 0 && x + y <= 4", 2)
+	t2, _ := dualcdb.ParseTuple("y >= 8", 2) // an infinite object
+	id1, _ := idx.Insert(t1)
+	id2, _ := idx.Insert(t2)
+
+	exist, _ := idx.Query(dualcdb.Exist2(0, 6, dualcdb.GE)) // who meets y ≥ 6?
+	all, _ := idx.Query(dualcdb.All2(0, 6, dualcdb.GE))     // who lies inside y ≥ 6?
+	fmt.Println("ids:", id1, id2)
+	fmt.Println("EXIST(y>=6):", exist.IDs)
+	fmt.Println("ALL(y>=6):  ", all.IDs)
+	// Output:
+	// ids: 1 2
+	// EXIST(y>=6): [2]
+	// ALL(y>=6):   [2]
+}

@@ -1,0 +1,68 @@
+// Quickstart: create a constraint relation, index it with the
+// dual-representation index, and run ALL/EXIST half-plane selections.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dualcdb"
+)
+
+func main() {
+	// A relation over E²: each tuple is a conjunction of linear
+	// constraints — a convex region, possibly unbounded.
+	rel := dualcdb.NewRelation(2)
+
+	// The index keeps two B⁺-trees per slope in the predefined set S
+	// (here: three equiangular slopes) and answers arbitrary-slope queries
+	// with the paper's T2 approximation technique.
+	idx, err := dualcdb.NewIndex(rel, dualcdb.IndexOptions{
+		Slopes:    dualcdb.EquiangularSlopes(3),
+		Technique: dualcdb.T2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, src := range []string{
+		"x >= 0 && y >= 0 && x + y <= 4",       // a triangle
+		"x >= 5 && x <= 7 && y >= 1 && y <= 2", // a box
+		"y >= 2x + 10",                         // an infinite half-plane — fine for this index
+		"y >= 3 && y <= 4 && x >= -2",          // an infinite strip to the right
+	} {
+		t, err := dualcdb.ParseTuple(src, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		id, err := idx.Insert(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tuple %d: %s (bounded=%v)\n", id, src, t.IsBounded())
+	}
+
+	// EXIST: which tuples intersect the half-plane y ≥ 0.7·x + 2?
+	exist, err := idx.Query(dualcdb.Exist2(0.7, 2, dualcdb.GE))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nEXIST(y >= 0.7x + 2) -> %v\n", exist.IDs)
+	fmt.Printf("  executed via %q, %d candidates, %d false hits, %d page reads\n",
+		exist.Stats.Path, exist.Stats.Candidates, exist.Stats.FalseHits, exist.Stats.PagesRead)
+
+	// ALL: which tuples lie entirely inside y ≥ 0.7·x + 2?
+	all, err := idx.Query(dualcdb.All2(0.7, 2, dualcdb.GE))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ALL(y >= 0.7x + 2)   -> %v\n", all.IDs)
+
+	// Selections whose slope is in S run the optimal restricted structure.
+	restricted, err := idx.Query(dualcdb.All2(idx.Slopes()[1], 2.5, dualcdb.LE))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ALL(y <= %gx + 2.5)  -> %v  (path %q)\n",
+		idx.Slopes()[1], restricted.IDs, restricted.Stats.Path)
+}

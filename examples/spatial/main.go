@@ -1,0 +1,131 @@
+// Spatial-database scenario: a city's zoning map stored as a constraint
+// relation. Zones are convex polygons; planners ask half-plane questions
+// like "which zones are entirely north-east of the new railway line?"
+// (ALL) and "which zones does the flight corridor touch?" (EXIST).
+//
+// The example runs the same selections through the dual index with
+// technique T2, with technique T1, and through the R⁺-tree baseline, and
+// shows that the answers agree while the execution profiles differ —
+// duplicates for T1, extra false hits for the R⁺-tree ALL path.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dualcdb"
+)
+
+func main() {
+	rel := dualcdb.NewRelation(2)
+
+	// A few hand-made downtown zones...
+	zones := []struct {
+		name string
+		cons string
+	}{
+		{"old town", "x >= -4 && x <= 4 && y >= -3 && y <= 3"},
+		{"harbour", "x >= 6 && y >= -8 && x + y <= 4 && y <= -2"},
+		{"campus", "y >= 6 && y <= 12 && y >= x + 2 && y >= -x + 2"},
+		{"airport", "x >= -20 && x <= -12 && y >= 8 && y <= 14"},
+		{"park", "x + y >= 10 && x - y <= -2 && y <= 14 && x >= 1"},
+	}
+	names := map[dualcdb.TupleID]string{}
+	for _, z := range zones {
+		t, err := dualcdb.ParseTuple(z.cons, 2)
+		if err != nil {
+			log.Fatalf("%s: %v", z.name, err)
+		}
+		id, err := rel.Insert(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names[id] = z.name
+	}
+	// ...plus a synthetic suburb belt so the indexes have real work.
+	rng := rand.New(rand.NewSource(4))
+	suburb, err := dualcdb.GenerateRelation(dualcdb.WorkloadConfig{
+		N: 400, Size: dualcdb.SmallObjects, Seed: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	suburb.Scan(func(t *dualcdb.Tuple) bool {
+		fresh, err := dualcdb.NewTuple(2, t.Constraints())
+		if err != nil {
+			log.Fatal(err)
+		}
+		id, err := rel.Insert(fresh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names[id] = fmt.Sprintf("lot-%d", id)
+		return true
+	})
+	_ = rng
+
+	t2, err := dualcdb.BuildIndex(rel, dualcdb.IndexOptions{
+		Slopes: dualcdb.EquiangularSlopes(4), Technique: dualcdb.T2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1, err := dualcdb.BuildIndex(rel, dualcdb.IndexOptions{
+		Slopes: dualcdb.EquiangularSlopes(4), Technique: dualcdb.T1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rplus, err := dualcdb.BuildRPlusIndex(rel, dualcdb.RPlusOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The railway runs along y = 0.8·x − 6; the corridor is its upper side.
+	queries := []struct {
+		label string
+		q     dualcdb.Query
+	}{
+		{"zones entirely above the railway (ALL y >= 0.8x - 6)", dualcdb.All2(0.8, -6, dualcdb.GE)},
+		{"zones the corridor touches (EXIST y >= 0.8x - 6)", dualcdb.Exist2(0.8, -6, dualcdb.GE)},
+		{"zones fully below the flight path (ALL y <= -0.4x + 18)", dualcdb.All2(-0.4, 18, dualcdb.LE)},
+	}
+	for _, qc := range queries {
+		fmt.Printf("\n%s\n", qc.label)
+		r2, err := t2.Query(qc.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r1, err := t1.Query(qc.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rr, err := rplus.Query(qc.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(r1.IDs) != len(r2.IDs) || len(rr.IDs) != len(r2.IDs) {
+			log.Fatalf("structures disagree: T2=%d T1=%d R+=%d results",
+				len(r2.IDs), len(r1.IDs), len(rr.IDs))
+		}
+		fmt.Printf("  %d matching zones; named ones:", len(r2.IDs))
+		shown := 0
+		for _, id := range r2.IDs {
+			if n := names[id]; n != "" && id <= dualcdb.TupleID(len(zones)) {
+				fmt.Printf(" %s", n)
+				shown++
+			}
+		}
+		if shown == 0 {
+			fmt.Print(" (none)")
+		}
+		fmt.Println()
+		fmt.Printf("  T2:      path=%-14s candidates=%-4d falseHits=%-3d duplicates=%d\n",
+			r2.Stats.Path, r2.Stats.Candidates, r2.Stats.FalseHits, r2.Stats.Duplicates)
+		fmt.Printf("  T1:      path=%-14s candidates=%-4d falseHits=%-3d duplicates=%d\n",
+			r1.Stats.Path, r1.Stats.Candidates, r1.Stats.FalseHits, r1.Stats.Duplicates)
+		fmt.Printf("  R+-tree: path=%-14s candidates=%-4d falseHits=%-3d duplicates=%d\n",
+			rr.Stats.Path, rr.Stats.Candidates, rr.Stats.FalseHits, rr.Stats.Duplicates)
+	}
+}

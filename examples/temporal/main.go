@@ -1,0 +1,91 @@
+// Temporal scenario: constraint databases model time naturally because
+// validity intervals and ramps are linear constraints. Here a relation
+// stores service-level envelopes over (t, load): each service promises
+// that its load stays inside a convex region of the time×load plane —
+// possibly forever (unbounded in t).
+//
+// Capacity questions become half-plane selections:
+//
+//	ALL(load <= c·t + b)   — which services provably stay under a ramp?
+//	EXIST(load >= c·t + b) — which services may ever exceed it?
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"dualcdb"
+)
+
+func main() {
+	rel := dualcdb.NewRelation(2) // variables: x = t (hours), y = load (req/s)
+	idx, err := dualcdb.BuildIndex(rel, dualcdb.IndexOptions{
+		Slopes: dualcdb.EquiangularSlopes(5), Technique: dualcdb.T2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	services := []struct {
+		name string
+		cons string
+	}{
+		// Batch job: active 0–8 h, load between 10 and 20 req/s.
+		{"nightly-batch", "x >= 0 && x <= 8 && y >= 10 && y <= 20"},
+		// Web frontend: runs forever, load ramps at most 2 req/s per hour.
+		{"web-frontend", "x >= 0 && y >= 0 && y <= 2x + 15"},
+		// Analytics: starts at hour 4, load 5–30, shuts down by hour 40.
+		{"analytics", "x >= 4 && x <= 40 && y >= 5 && y <= 30"},
+		// Streaming: forever, load pinned between two slow ramps.
+		{"streaming", "x >= 0 && y >= 0.25x + 8 && y <= 0.25x + 12"},
+		// Burst cache warmer: short and hot.
+		{"cache-warmer", "x >= 1 && x <= 2 && y >= 60 && y <= 90"},
+	}
+	names := map[dualcdb.TupleID]string{}
+	for _, s := range services {
+		t, err := dualcdb.ParseTuple(s.cons, 2)
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		id, err := idx.Insert(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names[id] = s.name
+	}
+
+	show := func(label string, q dualcdb.Query) {
+		res, err := idx.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var got []string
+		for _, id := range res.IDs {
+			got = append(got, names[id])
+		}
+		sort.Strings(got)
+		fmt.Printf("%-58s %v\n", label, got)
+	}
+
+	fmt.Println("capacity ramp: load = 0.5·t + 25")
+	// Services that provably stay under the ramp at all times they exist.
+	show("  always under it (ALL load <= 0.5t + 25):", dualcdb.All2(0.5, 25, dualcdb.LE))
+	// Services that can ever exceed it.
+	show("  may exceed it (EXIST load >= 0.5t + 25):", dualcdb.Exist2(0.5, 25, dualcdb.GE))
+
+	fmt.Println("\nminimum heartbeat: load = 5 (flat line)")
+	show("  never drop below 5 (ALL load >= 5):", dualcdb.All2(0, 5, dualcdb.GE))
+	show("  can idle below 5 (EXIST load <= 5):", dualcdb.Exist2(0, 5, dualcdb.LE))
+
+	// What-if: retire the cache warmer and tighten the ramp.
+	for id, n := range names {
+		if n == "cache-warmer" {
+			if err := idx.Delete(id); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("\nafter retiring cache-warmer, ramp tightened to load = 0.3·t + 24")
+	show("  always under it (ALL load <= 0.3t + 24):", dualcdb.All2(0.3, 24, dualcdb.LE))
+}

@@ -1,0 +1,84 @@
+// Three-dimensional constraint database (Section 4.4): resource envelopes
+// over (cpu, memory, cost). Each deployment plan is a convex region of
+// feasible (cpu, mem, cost) triples; budget planes are 3-D half-space
+// selections cost θ b₁·cpu + b₂·mem + b₃.
+//
+// The d-dimensional index keeps one B^up/B^down tree pair per slope-space
+// site; the query routes to the nearest site of the proximity partition
+// and the cell handicaps bound the second sweep — queries never touch the
+// tuple geometry until refinement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"dualcdb"
+)
+
+func main() {
+	rel := dualcdb.NewRelation(3) // variables: x = cpu, y = mem, z = cost
+	idx, err := dualcdb.BuildIndexD(rel, dualcdb.IndexDOptions{
+		// A 3×3 lattice of slope-space sites over (b1, b2) ∈ [−1.5, 1.5]².
+		Sites: dualcdb.LatticeSites(2, 3, 1.5),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plans := []struct {
+		name string
+		cons string
+	}{
+		// cost grows with cpu and memory within each plan's envelope.
+		{"burst", "x >= 1 && x <= 8 && y >= 2 && y <= 4 && z >= 0.5x + 0.25y && z <= 0.5x + 0.25y + 3"},
+		{"steady", "x >= 2 && x <= 4 && y >= 1 && y <= 16 && z >= 0.2x + 0.5y && z <= 0.2x + 0.5y + 1"},
+		{"spot", "x >= 0 && x <= 16 && y >= 0 && y <= 16 && z >= 0.05x + 0.05y && z <= 0.05x + 0.05y + 0.5"},
+		// A reserved contract: unbounded cpu at flat cost band.
+		{"reserved", "x >= 4 && y >= 4 && y <= 32 && z >= 6 && z <= 7"},
+	}
+	names := map[dualcdb.TupleID]string{}
+	for _, p := range plans {
+		t, err := dualcdb.ParseTuple(p.cons, 3)
+		if err != nil {
+			log.Fatalf("%s: %v", p.name, err)
+		}
+		id, err := idx.Insert(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names[id] = p.name
+		fmt.Printf("%-9s bounded=%v  %s\n", p.name, t.IsBounded(), p.cons)
+	}
+
+	show := func(label string, q dualcdb.Query) {
+		res, err := idx.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var got []string
+		for _, id := range res.IDs {
+			got = append(got, names[id])
+		}
+		sort.Strings(got)
+		fmt.Printf("%-64s [%s]  path=%s\n", label, strings.Join(got, ", "), res.Stats.Path)
+	}
+
+	fmt.Println("\nbudget plane: cost = 0.3·cpu + 0.3·mem + 2")
+	budget := []float64{0.3, 0.3}
+	show("  plans always within budget (ALL z <= plane):",
+		dualcdb.NewQuery(dualcdb.ALL, budget, 2, dualcdb.LE))
+	show("  plans that can exceed it (EXIST z >= plane):",
+		dualcdb.NewQuery(dualcdb.EXIST, budget, 2, dualcdb.GE))
+
+	fmt.Println("\nminimum-spend plane: cost = 1 (flat)")
+	show("  plans that always cost at least 1 (ALL z >= 1):",
+		dualcdb.NewQuery(dualcdb.ALL, []float64{0, 0}, 1, dualcdb.GE))
+	show("  plans that can run under 1 (EXIST z <= 1):",
+		dualcdb.NewQuery(dualcdb.EXIST, []float64{0, 0}, 1, dualcdb.LE))
+
+	fmt.Printf("\nindex: %d sites, %d pages, %d tuples\n",
+		len(idx.Sites()), idx.Pages(), idx.Len())
+}

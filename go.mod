@@ -1,0 +1,3 @@
+module dualcdb
+
+go 1.22

@@ -1,0 +1,303 @@
+package btree
+
+import (
+	"fmt"
+	"math"
+
+	"dualcdb/internal/pagestore"
+)
+
+// LeafView is the read-only snapshot of one leaf handed to sweep callbacks:
+// its entries in key order and its handicap slot values.
+type LeafView struct {
+	Page      pagestore.PageID
+	Entries   []Entry
+	Handicaps []float64
+}
+
+// VisitLeavesAsc visits leaves in ascending key order starting at the leaf
+// that owns key `from` (with the smallest TID), continuing while visit
+// returns true. This is the paper's upward leaf sweep; each visited leaf
+// costs one page access.
+func (t *Tree) VisitLeavesAsc(from float64, visit func(LeafView) bool) error {
+	leaf, err := t.findLeaf(Entry{Key: from, TID: 0})
+	if err != nil {
+		return err
+	}
+	for {
+		lv := LeafView{Page: leaf.id(), Entries: leaf.entries(), Handicaps: leaf.handicaps()}
+		next := leaf.next()
+		leaf.release()
+		if !visit(lv) || next == pagestore.InvalidPage {
+			return nil
+		}
+		if leaf, err = t.get(next); err != nil {
+			return err
+		}
+	}
+}
+
+// VisitLeavesDesc visits leaves in descending key order starting at the
+// leaf that owns key `from` (with the largest TID) — the downward sweep.
+func (t *Tree) VisitLeavesDesc(from float64, visit func(LeafView) bool) error {
+	leaf, err := t.findLeaf(Entry{Key: from, TID: math.MaxUint32})
+	if err != nil {
+		return err
+	}
+	for {
+		lv := LeafView{Page: leaf.id(), Entries: leaf.entries(), Handicaps: leaf.handicaps()}
+		prev := leaf.prev()
+		leaf.release()
+		if !visit(lv) || prev == pagestore.InvalidPage {
+			return nil
+		}
+		if leaf, err = t.get(prev); err != nil {
+			return err
+		}
+	}
+}
+
+// AscendRange calls fn for every entry with from ≤ key ≤ to in ascending
+// order; fn returning false stops the scan.
+func (t *Tree) AscendRange(from, to float64, fn func(Entry) bool) error {
+	stop := false
+	err := t.VisitLeavesAsc(from, func(lv LeafView) bool {
+		for _, e := range lv.Entries {
+			if e.Key < from {
+				continue
+			}
+			if e.Key > to {
+				stop = true
+				return false
+			}
+			if !fn(e) {
+				stop = true
+				return false
+			}
+		}
+		return true
+	})
+	_ = stop
+	return err
+}
+
+// ScanAll returns every entry in key order (tests and rebuilds).
+func (t *Tree) ScanAll() ([]Entry, error) {
+	var out []Entry
+	err := t.VisitLeavesAsc(math.Inf(-1), func(lv LeafView) bool {
+		out = append(out, lv.Entries...)
+		return true
+	})
+	return out, err
+}
+
+// MergeHandicap folds value into handicap slot `slot` of the leaf that owns
+// routeKey — the leaf whose key interval the paper associates the value
+// with. The slot's kind decides the merge (min for low_j, max for high_j).
+func (t *Tree) MergeHandicap(routeKey float64, slot int, value float64) error {
+	leaf, err := t.findLeaf(Entry{Key: routeKey, TID: 0})
+	if err != nil {
+		return err
+	}
+	defer leaf.release()
+	kind := t.cfg.HandicapKinds[slot]
+	leaf.setHandicap(slot, kind.Combine(leaf.handicap(slot), value))
+	return nil
+}
+
+// ResetHandicaps restores every leaf's handicap slots to their identity
+// values, ahead of an exact rebuild.
+func (t *Tree) ResetHandicaps() error {
+	leaf, err := t.findLeaf(Entry{Key: math.Inf(-1), TID: 0})
+	if err != nil {
+		return err
+	}
+	for {
+		for s, k := range t.cfg.HandicapKinds {
+			leaf.setHandicap(s, k.Identity())
+		}
+		next := leaf.next()
+		leaf.release()
+		if next == pagestore.InvalidPage {
+			return nil
+		}
+		if leaf, err = t.get(next); err != nil {
+			return err
+		}
+	}
+}
+
+// BulkLoad builds the tree from entries that are already sorted in
+// composite order. The tree must be empty. Leaves are packed to the
+// configured fill factor, which is how the experiment trees are built.
+func (t *Tree) BulkLoad(entries []Entry) error {
+	if t.size != 0 {
+		return ErrNotEmpty
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	perLeaf := int(float64(t.leafCap) * t.cfg.FillFactor)
+	if perLeaf < 1 {
+		perLeaf = 1
+	}
+	// Reuse the existing empty root leaf as the first leaf.
+	first, err := t.get(t.root)
+	if err != nil {
+		return err
+	}
+	type levelEntry struct {
+		sep  Entry // smallest entry in the subtree (first leaf entry)
+		page pagestore.PageID
+	}
+	var leaves []levelEntry
+	cur := first
+	for i := 0; i < len(entries); {
+		n := perLeaf
+		if rem := len(entries) - i; rem < n {
+			n = rem
+		}
+		// Avoid a dangling underfull final leaf: balance the last two.
+		if rem := len(entries) - i; rem > n && rem-n < t.minLeaf() {
+			n = rem - t.minLeaf()
+		}
+		for j := 0; j < n; j++ {
+			cur.setEntry(j, entries[i+j])
+		}
+		cur.setCount(n)
+		leaves = append(leaves, levelEntry{sep: entries[i], page: cur.id()})
+		i += n
+		if i < len(entries) {
+			next, err := t.newLeaf()
+			if err != nil {
+				cur.release()
+				return err
+			}
+			cur.setNext(next.id())
+			next.setPrev(cur.id())
+			cur.release()
+			cur = next
+		}
+	}
+	cur.release()
+	t.size = len(entries)
+
+	// Build internal levels bottom-up.
+	level := leaves
+	t.hgt = 1
+	perInt := t.intCap // children per internal node ≤ intCap+1; use intCap separators
+	for len(level) > 1 {
+		var up []levelEntry
+		for i := 0; i < len(level); {
+			n := perInt + 1 // children in this node
+			if rem := len(level) - i; rem < n {
+				n = rem
+			}
+			if rem := len(level) - i; rem > n && rem-n < t.minInt()+1 {
+				n = rem - (t.minInt() + 1)
+			}
+			if n < 1 {
+				n = 1
+			}
+			in, err := t.newInternal()
+			if err != nil {
+				return err
+			}
+			in.setChild(0, level[i].page)
+			for j := 1; j < n; j++ {
+				in.insertSepAt(j-1, level[i+j].sep, level[i+j].page)
+			}
+			up = append(up, levelEntry{sep: level[i].sep, page: in.id()})
+			in.release()
+			i += n
+		}
+		level = up
+		t.hgt++
+	}
+	t.root = level[0].page
+	return nil
+}
+
+// CheckInvariants walks the whole tree verifying ordering, occupancy,
+// separator consistency and leaf chaining; it returns a descriptive error
+// on the first violation. Test-support API.
+func (t *Tree) CheckInvariants() error {
+	var prevLeaf pagestore.PageID
+	var lastEntry *Entry
+	count := 0
+	var walk func(id pagestore.PageID, height int, lo, hi *Entry) error
+	walk = func(id pagestore.PageID, height int, lo, hi *Entry) error {
+		n, err := t.get(id)
+		if err != nil {
+			return err
+		}
+		defer n.release()
+		if height == 1 {
+			if !n.isLeaf() {
+				return errf("page %d: expected leaf at height 1", id)
+			}
+			if id != t.root && n.count() < t.minLeaf() {
+				return errf("leaf %d underfull: %d < %d", id, n.count(), t.minLeaf())
+			}
+			if n.prev() != prevLeaf {
+				return errf("leaf %d: prev = %d, want %d", id, n.prev(), prevLeaf)
+			}
+			for i := 0; i < n.count(); i++ {
+				e := n.entry(i)
+				if lastEntry != nil && e.Less(*lastEntry) {
+					return errf("leaf %d: entry %v out of order after %v", id, e, *lastEntry)
+				}
+				if lo != nil && e.Less(*lo) {
+					return errf("leaf %d: entry %v below separator %v", id, e, *lo)
+				}
+				if hi != nil && !e.Less(*hi) {
+					return errf("leaf %d: entry %v not below separator %v", id, e, *hi)
+				}
+				ec := e
+				lastEntry = &ec
+				count++
+			}
+			prevLeaf = id
+			return nil
+		}
+		if n.isLeaf() {
+			return errf("page %d: unexpected leaf at height %d", id, height)
+		}
+		if id != t.root && n.count() < t.minInt() {
+			return errf("internal %d underfull: %d < %d", id, n.count(), t.minInt())
+		}
+		if id == t.root && n.count() < 1 {
+			return errf("internal root %d has no separators", id)
+		}
+		for i := 0; i <= n.count(); i++ {
+			var clo, chi *Entry
+			if i > 0 {
+				s := n.sep(i - 1)
+				clo = &s
+			} else {
+				clo = lo
+			}
+			if i < n.count() {
+				s := n.sep(i)
+				chi = &s
+			} else {
+				chi = hi
+			}
+			if err := walk(n.child(i), height-1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, t.hgt, nil, nil); err != nil {
+		return err
+	}
+	if count != t.size {
+		return errf("size mismatch: counted %d, recorded %d", count, t.size)
+	}
+	return nil
+}
+
+func errf(format string, args ...interface{}) error {
+	return fmt.Errorf("btree: invariant violation: "+format, args...)
+}

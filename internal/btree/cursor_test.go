@@ -1,0 +1,253 @@
+package btree
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestVisitLeavesAsc(t *testing.T) {
+	tr, _ := newTestTree(t, 256, nil)
+	for i := 0; i < 500; i++ {
+		_ = tr.Insert(float64(i), uint32(i+1))
+	}
+	// Sweep upward from 250: must see every key ≥ 250 (plus leading keys in
+	// the starting leaf) in order, and never a leaf entirely below 250.
+	var seen []float64
+	err := tr.VisitLeavesAsc(250, func(lv LeafView) bool {
+		for _, e := range lv.Entries {
+			seen = append(seen, e.Key)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 || seen[len(seen)-1] != 499 {
+		t.Fatalf("sweep end = %v", seen[len(seen)-1])
+	}
+	// All keys ≥ 250 present.
+	cnt := 0
+	for _, k := range seen {
+		if k >= 250 {
+			cnt++
+		}
+	}
+	if cnt != 250 {
+		t.Fatalf("saw %d keys ≥ 250, want 250", cnt)
+	}
+	if !sort.Float64sAreSorted(seen) {
+		t.Fatal("ascending sweep out of order")
+	}
+}
+
+func TestVisitLeavesDesc(t *testing.T) {
+	tr, _ := newTestTree(t, 256, nil)
+	for i := 0; i < 500; i++ {
+		_ = tr.Insert(float64(i), uint32(i+1))
+	}
+	var seen []float64
+	err := tr.VisitLeavesDesc(250, func(lv LeafView) bool {
+		for i := len(lv.Entries) - 1; i >= 0; i-- {
+			seen = append(seen, lv.Entries[i].Key)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen[len(seen)-1] != 0 {
+		t.Fatalf("descending sweep must reach the smallest key, got %v", seen[len(seen)-1])
+	}
+	cnt := 0
+	for _, k := range seen {
+		if k <= 250 {
+			cnt++
+		}
+	}
+	if cnt != 251 {
+		t.Fatalf("saw %d keys ≤ 250, want 251", cnt)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] > seen[i-1] {
+			t.Fatal("descending sweep out of order")
+		}
+	}
+}
+
+func TestSweepEarlyStop(t *testing.T) {
+	tr, _ := newTestTree(t, 256, nil)
+	for i := 0; i < 500; i++ {
+		_ = tr.Insert(float64(i), uint32(i+1))
+	}
+	leaves := 0
+	_ = tr.VisitLeavesAsc(0, func(lv LeafView) bool {
+		leaves++
+		return leaves < 3
+	})
+	if leaves != 3 {
+		t.Fatalf("visited %d leaves, want 3", leaves)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr, _ := newTestTree(t, 256, nil)
+	for i := 0; i < 1000; i++ {
+		_ = tr.Insert(float64(i)/10, uint32(i+1))
+	}
+	var keys []float64
+	err := tr.AscendRange(25, 50, func(e Entry) bool {
+		keys = append(keys, e.Key)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 || keys[0] != 25 || keys[len(keys)-1] != 50 {
+		t.Fatalf("range = [%v..%v] over %d keys", keys[0], keys[len(keys)-1], len(keys))
+	}
+	if len(keys) != 251 {
+		t.Fatalf("got %d keys, want 251", len(keys))
+	}
+}
+
+func TestHandicapIdentityAndMerge(t *testing.T) {
+	tr, _ := newTestTree(t, 256, []SlotKind{MinSlot, MaxSlot})
+	for i := 0; i < 100; i++ {
+		_ = tr.Insert(float64(i), uint32(i+1))
+	}
+	// Fresh slots must hold identities.
+	err := tr.VisitLeavesAsc(math.Inf(-1), func(lv LeafView) bool {
+		if !math.IsInf(lv.Handicaps[0], 1) || !math.IsInf(lv.Handicaps[1], -1) {
+			t.Fatalf("handicaps not identity: %v", lv.Handicaps)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merge a low value into the leaf owning key 50.
+	if err := tr.MergeHandicap(50, 0, 7.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MergeHandicap(50, 0, 9.0); err != nil { // min keeps 7.5
+		t.Fatal(err)
+	}
+	if err := tr.MergeHandicap(50, 1, 3.0); err != nil { // max slot
+		t.Fatal(err)
+	}
+	if err := tr.MergeHandicap(50, 1, 2.0); err != nil { // max keeps 3.0
+		t.Fatal(err)
+	}
+	found := false
+	_ = tr.VisitLeavesAsc(50, func(lv LeafView) bool {
+		for _, e := range lv.Entries {
+			if e.Key == 50 {
+				found = true
+				if lv.Handicaps[0] != 7.5 {
+					t.Fatalf("min slot = %v, want 7.5", lv.Handicaps[0])
+				}
+				if lv.Handicaps[1] != 3.0 {
+					t.Fatalf("max slot = %v, want 3.0", lv.Handicaps[1])
+				}
+			}
+		}
+		return false // only the first leaf
+	})
+	if !found {
+		t.Fatal("key 50 not in first swept leaf")
+	}
+}
+
+func TestHandicapSurvivesSplitsConservatively(t *testing.T) {
+	// After merging a handicap and then forcing splits, the leaf owning the
+	// original route key must still carry a slot value ≤ the merged one
+	// (MinSlot: conservative means "not larger than truth").
+	tr, _ := newTestTree(t, 256, []SlotKind{MinSlot})
+	for i := 0; i < 50; i++ {
+		_ = tr.Insert(float64(i), uint32(i+1))
+	}
+	if err := tr.MergeHandicap(25, 0, 1.25); err != nil {
+		t.Fatal(err)
+	}
+	// Insert plenty more to split the region repeatedly.
+	for i := 50; i < 2000; i++ {
+		_ = tr.Insert(float64(i%50)+0.5, uint32(i+1))
+	}
+	var got float64 = math.Inf(1)
+	_ = tr.VisitLeavesAsc(25, func(lv LeafView) bool {
+		got = lv.Handicaps[0]
+		return false
+	})
+	if got > 1.25 {
+		t.Fatalf("handicap after splits = %v, must be ≤ 1.25", got)
+	}
+}
+
+func TestHandicapMergeOnLeafMerge(t *testing.T) {
+	tr, _ := newTestTree(t, 256, []SlotKind{MinSlot})
+	for i := 0; i < 400; i++ {
+		_ = tr.Insert(float64(i), uint32(i+1))
+	}
+	_ = tr.MergeHandicap(10, 0, 5)
+	_ = tr.MergeHandicap(390, 0, 2)
+	// Delete almost everything to force merges all the way down.
+	for i := 0; i < 399; i++ {
+		if _, err := tr.Delete(float64(i), uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The surviving single leaf must hold the conservative min of all
+	// merged handicaps.
+	_ = tr.VisitLeavesAsc(math.Inf(-1), func(lv LeafView) bool {
+		if lv.Handicaps[0] > 2 {
+			t.Fatalf("merged handicap = %v, want ≤ 2", lv.Handicaps[0])
+		}
+		return false
+	})
+}
+
+func TestResetHandicaps(t *testing.T) {
+	tr, _ := newTestTree(t, 256, []SlotKind{MinSlot, MaxSlot})
+	for i := 0; i < 300; i++ {
+		_ = tr.Insert(float64(i), uint32(i+1))
+	}
+	_ = tr.MergeHandicap(0, 0, -100)
+	_ = tr.MergeHandicap(299, 1, 100)
+	if err := tr.ResetHandicaps(); err != nil {
+		t.Fatal(err)
+	}
+	_ = tr.VisitLeavesAsc(math.Inf(-1), func(lv LeafView) bool {
+		if !math.IsInf(lv.Handicaps[0], 1) || !math.IsInf(lv.Handicaps[1], -1) {
+			t.Fatalf("reset failed: %v", lv.Handicaps)
+		}
+		return true
+	})
+}
+
+func TestSweepIOCost(t *testing.T) {
+	// The defining property of the Section 3 structure: a query's leaf
+	// sweep costs one page access per visited leaf plus the root-to-leaf
+	// descent — O(log_B n + t).
+	tr, pool := newTestTree(t, 256, nil)
+	for i := 0; i < 5000; i++ {
+		_ = tr.Insert(float64(i), uint32(i+1))
+	}
+	if err := pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	pool.ResetStats()
+	leaves := 0
+	_ = tr.VisitLeavesAsc(4000, func(lv LeafView) bool {
+		leaves++
+		return lv.Entries[len(lv.Entries)-1].Key < 4999
+	})
+	st := pool.Stats()
+	maxIO := uint64(leaves + tr.Height())
+	if st.PhysicalReads > maxIO {
+		t.Fatalf("sweep cost %d reads for %d leaves, height %d", st.PhysicalReads, leaves, tr.Height())
+	}
+}

@@ -1,0 +1,95 @@
+package btree
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dualcdb/internal/pagestore"
+)
+
+// Fault-injection tests: the tree must surface pager errors and remain
+// structurally sound once the fault clears.
+
+func newFaultTree(t *testing.T) (*Tree, *pagestore.FaultStore, *pagestore.Pool) {
+	t.Helper()
+	fs := pagestore.NewFaultStore(pagestore.NewMemStore(256))
+	pool := pagestore.NewPool(fs, 64)
+	tr, err := New(pool, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, fs, pool
+}
+
+func TestInsertSurfacesAllocFault(t *testing.T) {
+	tr, fs, _ := newFaultTree(t)
+	// Fill one leaf so the next insert needs an allocation (split).
+	for i := 0; i < tr.LeafCapacity(); i++ {
+		if err := tr.Insert(float64(i), uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.FailAllocAfter(1)
+	err := tr.Insert(1e9, 99999)
+	if !errors.Is(err, pagestore.ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	fs.Disarm()
+	// The tree must still be consistent and usable.
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(1e9, 99999); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchSurfacesReadFault(t *testing.T) {
+	tr, fs, pool := newFaultTree(t)
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(float64(i), uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailReadAfter(2)
+	err := tr.VisitLeavesAsc(math.Inf(-1), func(LeafView) bool { return true })
+	if !errors.Is(err, pagestore.ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	fs.Disarm()
+	got, err := tr.ScanAll()
+	if err != nil || len(got) != 500 {
+		t.Fatalf("recovery scan: %d, %v", len(got), err)
+	}
+}
+
+func TestDeleteSurfacesReadFault(t *testing.T) {
+	tr, fs, pool := newFaultTree(t)
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(float64(i), uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailReadAfter(1)
+	if _, err := tr.Delete(250, 251); !errors.Is(err, pagestore.ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	fs.Disarm()
+	found, err := tr.Delete(250, 251)
+	if err != nil || !found {
+		t.Fatalf("recovery delete: %v %v", found, err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

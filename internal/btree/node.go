@@ -1,0 +1,278 @@
+// Package btree implements the disk-based B⁺-tree underlying the paper's
+// dual-representation index (Sections 3 and 4): float64 keys with duplicate
+// support via (key, tuple-id) composites, doubly linked leaves for upward
+// and downward sweeps, bulk loading, and a configurable number of per-leaf
+// auxiliary slots that hold the "handicap values" of technique T2
+// (Section 4.2).
+//
+// Pages are managed through pagestore.Pool, so every traversal is charged
+// to the shared I/O counters that the experiment harness reports.
+package btree
+
+import (
+	"encoding/binary"
+	"math"
+
+	"dualcdb/internal/pagestore"
+)
+
+// Entry is one indexed value: a surface value (TOP^P or BOT^P at some
+// slope) and the tuple it belongs to. Entries are ordered by (Key, TID);
+// the TID tiebreak makes duplicates well ordered.
+type Entry struct {
+	Key float64
+	TID uint32
+}
+
+// Less reports whether e precedes o in composite order.
+func (e Entry) Less(o Entry) bool {
+	if e.Key != o.Key {
+		return e.Key < o.Key
+	}
+	return e.TID < o.TID
+}
+
+// SlotKind declares how a handicap slot combines values, which also fixes
+// its identity element and its conservative merge direction:
+// MinSlot accumulates minima (identity +Inf, e.g. the paper's low_j values),
+// MaxSlot accumulates maxima (identity −Inf, e.g. high_j values).
+type SlotKind int
+
+const (
+	// MinSlot accumulates minima; smaller is more conservative.
+	MinSlot SlotKind = iota
+	// MaxSlot accumulates maxima; larger is more conservative.
+	MaxSlot
+)
+
+// Identity returns the slot's identity element.
+func (k SlotKind) Identity() float64 {
+	if k == MinSlot {
+		return math.Inf(1)
+	}
+	return math.Inf(-1)
+}
+
+// Combine merges two slot values according to the kind.
+func (k SlotKind) Combine(a, b float64) float64 {
+	if k == MinSlot {
+		return math.Min(a, b)
+	}
+	return math.Max(a, b)
+}
+
+// Page layout. Every node starts with a 16-byte header:
+//
+//	[0]     node type (1 = leaf, 2 = internal)
+//	[1:3]   count (uint16): entries in a leaf, separators in an internal node
+//	[3]     number of handicap slots (leaves only)
+//	[4:8]   next leaf page id (leaves only)
+//	[8:12]  prev leaf page id (leaves only)
+//	[12:16] reserved
+//
+// Leaf body:     H × 8-byte handicap floats, then count × 12-byte entries.
+// Internal body: child0 (4 bytes), then count × (sepKey 8, sepTID 4, child 4).
+const (
+	headerSize   = 16
+	entrySize    = 12
+	intRecSize   = 16
+	typeLeaf     = 1
+	typeInternal = 2
+)
+
+type node struct {
+	frame *pagestore.Frame
+	data  []byte
+}
+
+func wrap(f *pagestore.Frame) node { return node{frame: f, data: f.Data()} }
+
+func (n node) id() pagestore.PageID { return n.frame.ID() }
+func (n node) isLeaf() bool         { return n.data[0] == typeLeaf }
+func (n node) count() int           { return int(binary.LittleEndian.Uint16(n.data[1:3])) }
+func (n node) setCount(c int) {
+	binary.LittleEndian.PutUint16(n.data[1:3], uint16(c))
+	n.frame.MarkDirty()
+}
+func (n node) release() { n.frame.Release() }
+
+// --- Leaf accessors ---
+
+func (n node) initLeaf(numHandicaps int, kinds []SlotKind) {
+	n.data[0] = typeLeaf
+	n.data[3] = byte(numHandicaps)
+	n.setCount(0)
+	n.setNext(pagestore.InvalidPage)
+	n.setPrev(pagestore.InvalidPage)
+	for i := 0; i < numHandicaps; i++ {
+		n.setHandicap(i, kinds[i].Identity())
+	}
+	n.frame.MarkDirty()
+}
+
+func (n node) numHandicaps() int { return int(n.data[3]) }
+
+func (n node) next() pagestore.PageID {
+	return pagestore.PageID(binary.LittleEndian.Uint32(n.data[4:8]))
+}
+func (n node) setNext(p pagestore.PageID) {
+	binary.LittleEndian.PutUint32(n.data[4:8], uint32(p))
+	n.frame.MarkDirty()
+}
+func (n node) prev() pagestore.PageID {
+	return pagestore.PageID(binary.LittleEndian.Uint32(n.data[8:12]))
+}
+func (n node) setPrev(p pagestore.PageID) {
+	binary.LittleEndian.PutUint32(n.data[8:12], uint32(p))
+	n.frame.MarkDirty()
+}
+
+func (n node) handicap(i int) float64 {
+	off := headerSize + i*8
+	return math.Float64frombits(binary.LittleEndian.Uint64(n.data[off : off+8]))
+}
+func (n node) setHandicap(i int, v float64) {
+	off := headerSize + i*8
+	binary.LittleEndian.PutUint64(n.data[off:off+8], math.Float64bits(v))
+	n.frame.MarkDirty()
+}
+func (n node) handicaps() []float64 {
+	h := make([]float64, n.numHandicaps())
+	for i := range h {
+		h[i] = n.handicap(i)
+	}
+	return h
+}
+
+func (n node) entriesOff() int { return headerSize + n.numHandicaps()*8 }
+
+func (n node) entry(i int) Entry {
+	off := n.entriesOff() + i*entrySize
+	return Entry{
+		Key: math.Float64frombits(binary.LittleEndian.Uint64(n.data[off : off+8])),
+		TID: binary.LittleEndian.Uint32(n.data[off+8 : off+12]),
+	}
+}
+
+func (n node) setEntry(i int, e Entry) {
+	off := n.entriesOff() + i*entrySize
+	binary.LittleEndian.PutUint64(n.data[off:off+8], math.Float64bits(e.Key))
+	binary.LittleEndian.PutUint32(n.data[off+8:off+12], e.TID)
+	n.frame.MarkDirty()
+}
+
+// insertEntryAt shifts entries [i:count) right by one and writes e at i.
+func (n node) insertEntryAt(i int, e Entry) {
+	c := n.count()
+	off := n.entriesOff()
+	copy(n.data[off+(i+1)*entrySize:off+(c+1)*entrySize], n.data[off+i*entrySize:off+c*entrySize])
+	n.setEntry(i, e)
+	n.setCount(c + 1)
+}
+
+// removeEntryAt shifts entries left over position i.
+func (n node) removeEntryAt(i int) {
+	c := n.count()
+	off := n.entriesOff()
+	copy(n.data[off+i*entrySize:off+(c-1)*entrySize], n.data[off+(i+1)*entrySize:off+c*entrySize])
+	n.setCount(c - 1)
+}
+
+// entries returns a copy of all entries.
+func (n node) entries() []Entry {
+	c := n.count()
+	out := make([]Entry, c)
+	for i := 0; i < c; i++ {
+		out[i] = n.entry(i)
+	}
+	return out
+}
+
+// searchLeaf returns the first position whose entry is ≥ e.
+func (n node) searchLeaf(e Entry) int {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.entry(mid).Less(e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// --- Internal-node accessors ---
+
+func (n node) initInternal() {
+	n.data[0] = typeInternal
+	n.data[3] = 0
+	n.setCount(0)
+	n.frame.MarkDirty()
+}
+
+func (n node) child(i int) pagestore.PageID {
+	if i == 0 {
+		return pagestore.PageID(binary.LittleEndian.Uint32(n.data[headerSize : headerSize+4]))
+	}
+	off := headerSize + 4 + (i-1)*intRecSize + 12
+	return pagestore.PageID(binary.LittleEndian.Uint32(n.data[off : off+4]))
+}
+
+func (n node) setChild(i int, p pagestore.PageID) {
+	if i == 0 {
+		binary.LittleEndian.PutUint32(n.data[headerSize:headerSize+4], uint32(p))
+	} else {
+		off := headerSize + 4 + (i-1)*intRecSize + 12
+		binary.LittleEndian.PutUint32(n.data[off:off+4], uint32(p))
+	}
+	n.frame.MarkDirty()
+}
+
+func (n node) sep(i int) Entry {
+	off := headerSize + 4 + i*intRecSize
+	return Entry{
+		Key: math.Float64frombits(binary.LittleEndian.Uint64(n.data[off : off+8])),
+		TID: binary.LittleEndian.Uint32(n.data[off+8 : off+12]),
+	}
+}
+
+func (n node) setSep(i int, e Entry) {
+	off := headerSize + 4 + i*intRecSize
+	binary.LittleEndian.PutUint64(n.data[off:off+8], math.Float64bits(e.Key))
+	binary.LittleEndian.PutUint32(n.data[off+8:off+12], e.TID)
+	n.frame.MarkDirty()
+}
+
+// insertSepAt inserts separator e with right child rc at separator slot i.
+func (n node) insertSepAt(i int, e Entry, rc pagestore.PageID) {
+	c := n.count()
+	base := headerSize + 4
+	copy(n.data[base+(i+1)*intRecSize:base+(c+1)*intRecSize], n.data[base+i*intRecSize:base+c*intRecSize])
+	n.setSep(i, e)
+	n.setChild(i+1, rc)
+	n.setCount(c + 1)
+}
+
+// removeSepAt removes separator i together with its right child pointer.
+func (n node) removeSepAt(i int) {
+	c := n.count()
+	base := headerSize + 4
+	copy(n.data[base+i*intRecSize:base+(c-1)*intRecSize], n.data[base+(i+1)*intRecSize:base+c*intRecSize])
+	n.setCount(c - 1)
+}
+
+// childIndex returns the child to descend into for entry e: the first
+// separator strictly greater than e guards the child to its left.
+func (n node) childIndex(e Entry) int {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.Less(n.sep(mid)) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,532 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"dualcdb/internal/pagestore"
+)
+
+// Config parameterizes a tree.
+type Config struct {
+	// HandicapKinds declares the per-leaf auxiliary slots: one entry per
+	// slot, fixing how values merge (MinSlot or MaxSlot). May be empty for
+	// a plain B⁺-tree. At most 8 slots.
+	HandicapKinds []SlotKind
+	// FillFactor is the target leaf occupancy for bulk loading, in (0, 1];
+	// the default is 0.9.
+	FillFactor float64
+}
+
+// Tree is a disk-based B⁺-tree over (float64, uint32) composite keys.
+type Tree struct {
+	pool  *pagestore.Pool
+	cfg   Config
+	root  pagestore.PageID
+	hgt   int // 1 = root is a leaf
+	size  int
+	pages int // pages owned by this tree
+
+	// pendingFree holds pages emptied by merges; they are still pinned when
+	// the merge runs, so Delete frees them after the recursion unwinds.
+	pendingFree []pagestore.PageID
+
+	leafCap int
+	intCap  int
+}
+
+// ErrDuplicate is returned when inserting an entry that already exists.
+var ErrDuplicate = errors.New("btree: duplicate entry")
+
+// ErrNotEmpty is returned when bulk loading a non-empty tree.
+var ErrNotEmpty = errors.New("btree: tree not empty")
+
+// New creates an empty tree whose pages are allocated from pool.
+func New(pool *pagestore.Pool, cfg Config) (*Tree, error) {
+	if len(cfg.HandicapKinds) > 8 {
+		return nil, fmt.Errorf("btree: too many handicap slots (%d)", len(cfg.HandicapKinds))
+	}
+	if cfg.FillFactor <= 0 || cfg.FillFactor > 1 {
+		cfg.FillFactor = 0.9
+	}
+	t := &Tree{pool: pool, cfg: cfg}
+	ps := pool.PageSize()
+	t.leafCap = (ps - headerSize - 8*len(cfg.HandicapKinds)) / entrySize
+	t.intCap = (ps - headerSize - 4) / intRecSize
+	if t.leafCap < 3 || t.intCap < 3 {
+		return nil, fmt.Errorf("btree: page size %d too small", ps)
+	}
+	f, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	n := wrap(f)
+	n.initLeaf(len(cfg.HandicapKinds), cfg.HandicapKinds)
+	t.root = n.id()
+	t.hgt = 1
+	t.pages = 1
+	n.release()
+	return t, nil
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 = a single leaf).
+func (t *Tree) Height() int { return t.hgt }
+
+// Pages returns the number of pages the tree occupies.
+func (t *Tree) Pages() int { return t.pages }
+
+// LeafCapacity returns the per-leaf entry capacity (for tests and sizing).
+func (t *Tree) LeafCapacity() int { return t.leafCap }
+
+// Meta is the tree's persistent root metadata: everything needed to
+// reattach to its pages after a restart.
+type Meta struct {
+	Root   pagestore.PageID
+	Height int
+	Size   int
+	Pages  int
+}
+
+// Meta snapshots the tree's root metadata.
+func (t *Tree) Meta() Meta {
+	return Meta{Root: t.root, Height: t.hgt, Size: t.size, Pages: t.pages}
+}
+
+// Restore reattaches a tree to existing pages described by m. The Config
+// must match the one the tree was created with (same handicap slots and
+// page size); this is checked against the root page where possible.
+func Restore(pool *pagestore.Pool, cfg Config, m Meta) (*Tree, error) {
+	if len(cfg.HandicapKinds) > 8 {
+		return nil, fmt.Errorf("btree: too many handicap slots (%d)", len(cfg.HandicapKinds))
+	}
+	if cfg.FillFactor <= 0 || cfg.FillFactor > 1 {
+		cfg.FillFactor = 0.9
+	}
+	if m.Root == pagestore.InvalidPage || m.Height < 1 {
+		return nil, fmt.Errorf("btree: invalid metadata %+v", m)
+	}
+	t := &Tree{pool: pool, cfg: cfg, root: m.Root, hgt: m.Height, size: m.Size, pages: m.Pages}
+	ps := pool.PageSize()
+	t.leafCap = (ps - headerSize - 8*len(cfg.HandicapKinds)) / entrySize
+	t.intCap = (ps - headerSize - 4) / intRecSize
+	if t.leafCap < 3 || t.intCap < 3 {
+		return nil, fmt.Errorf("btree: page size %d too small", ps)
+	}
+	// Sanity: the root page must exist and carry a plausible node type.
+	f, err := pool.Get(m.Root)
+	if err != nil {
+		return nil, fmt.Errorf("btree: restore root: %w", err)
+	}
+	n := wrap(f)
+	defer n.release()
+	if typ := n.data[0]; typ != typeLeaf && typ != typeInternal {
+		return nil, fmt.Errorf("btree: page %d is not a node (type %d)", m.Root, typ)
+	}
+	if n.isLeaf() != (m.Height == 1) {
+		return nil, fmt.Errorf("btree: root type inconsistent with height %d", m.Height)
+	}
+	if n.isLeaf() && n.numHandicaps() != len(cfg.HandicapKinds) {
+		return nil, fmt.Errorf("btree: handicap slot mismatch: stored %d, config %d",
+			n.numHandicaps(), len(cfg.HandicapKinds))
+	}
+	return t, nil
+}
+
+// NumHandicaps returns the number of per-leaf handicap slots.
+func (t *Tree) NumHandicaps() int { return len(t.cfg.HandicapKinds) }
+
+func (t *Tree) get(id pagestore.PageID) (node, error) {
+	f, err := t.pool.Get(id)
+	if err != nil {
+		return node{}, err
+	}
+	return wrap(f), nil
+}
+
+func (t *Tree) newLeaf() (node, error) {
+	f, err := t.pool.NewPage()
+	if err != nil {
+		return node{}, err
+	}
+	n := wrap(f)
+	n.initLeaf(len(t.cfg.HandicapKinds), t.cfg.HandicapKinds)
+	t.pages++
+	return n, nil
+}
+
+func (t *Tree) newInternal() (node, error) {
+	f, err := t.pool.NewPage()
+	if err != nil {
+		return node{}, err
+	}
+	n := wrap(f)
+	n.initInternal()
+	t.pages++
+	return n, nil
+}
+
+// findLeaf descends to the leaf that owns entry e, returning it pinned.
+func (t *Tree) findLeaf(e Entry) (node, error) {
+	n, err := t.get(t.root)
+	if err != nil {
+		return node{}, err
+	}
+	for !n.isLeaf() {
+		child := n.child(n.childIndex(e))
+		n.release()
+		if n, err = t.get(child); err != nil {
+			return node{}, err
+		}
+	}
+	return n, nil
+}
+
+// Contains reports whether the exact entry (key, tid) is present.
+func (t *Tree) Contains(key float64, tid uint32) (bool, error) {
+	e := Entry{Key: key, TID: tid}
+	leaf, err := t.findLeaf(e)
+	if err != nil {
+		return false, err
+	}
+	defer leaf.release()
+	i := leaf.searchLeaf(e)
+	return i < leaf.count() && leaf.entry(i) == e, nil
+}
+
+// Insert adds (key, tid). ErrDuplicate if the exact pair is present.
+func (t *Tree) Insert(key float64, tid uint32) error {
+	e := Entry{Key: key, TID: tid}
+	sep, right, err := t.insertInto(t.root, t.hgt, e)
+	if err != nil {
+		return err
+	}
+	if right != pagestore.InvalidPage {
+		// Root split: grow the tree.
+		nr, err := t.newInternal()
+		if err != nil {
+			return err
+		}
+		nr.setChild(0, t.root)
+		nr.insertSepAt(0, sep, right)
+		t.root = nr.id()
+		t.hgt++
+		nr.release()
+	}
+	t.size++
+	return nil
+}
+
+// insertInto inserts e under the subtree rooted at id (at the given height)
+// and reports a split as (separator, newRightPage).
+func (t *Tree) insertInto(id pagestore.PageID, height int, e Entry) (Entry, pagestore.PageID, error) {
+	n, err := t.get(id)
+	if err != nil {
+		return Entry{}, pagestore.InvalidPage, err
+	}
+	defer n.release()
+
+	if height == 1 {
+		i := n.searchLeaf(e)
+		if i < n.count() && n.entry(i) == e {
+			return Entry{}, pagestore.InvalidPage, fmt.Errorf("%w: (%g, %d)", ErrDuplicate, e.Key, e.TID)
+		}
+		if n.count() < t.leafCap {
+			n.insertEntryAt(i, e)
+			return Entry{}, pagestore.InvalidPage, nil
+		}
+		// Split the leaf: right half moves to a new page. Handicap slots
+		// are copied to both halves — conservative and always sound
+		// (see DESIGN.md §4.4 "Handicap maintenance").
+		right, err := t.newLeaf()
+		if err != nil {
+			return Entry{}, pagestore.InvalidPage, err
+		}
+		defer right.release()
+		mid := n.count() / 2
+		for j := mid; j < n.count(); j++ {
+			right.setEntry(j-mid, n.entry(j))
+		}
+		right.setCount(n.count() - mid)
+		n.setCount(mid)
+		for s := 0; s < n.numHandicaps(); s++ {
+			right.setHandicap(s, n.handicap(s))
+		}
+		// Chain: n <-> right <-> oldNext.
+		oldNext := n.next()
+		right.setNext(oldNext)
+		right.setPrev(n.id())
+		n.setNext(right.id())
+		if oldNext != pagestore.InvalidPage {
+			nn, err := t.get(oldNext)
+			if err != nil {
+				return Entry{}, pagestore.InvalidPage, err
+			}
+			nn.setPrev(right.id())
+			nn.release()
+		}
+		sep := right.entry(0)
+		if e.Less(sep) {
+			n.insertEntryAt(n.searchLeaf(e), e)
+		} else {
+			right.insertEntryAt(right.searchLeaf(e), e)
+		}
+		return sep, right.id(), nil
+	}
+
+	ci := n.childIndex(e)
+	sep, newChild, err := t.insertInto(n.child(ci), height-1, e)
+	if err != nil || newChild == pagestore.InvalidPage {
+		return Entry{}, pagestore.InvalidPage, err
+	}
+	if n.count() < t.intCap {
+		n.insertSepAt(ci, sep, newChild)
+		return Entry{}, pagestore.InvalidPage, nil
+	}
+	// Split the internal node around its median separator.
+	right, err := t.newInternal()
+	if err != nil {
+		return Entry{}, pagestore.InvalidPage, err
+	}
+	defer right.release()
+	c := n.count()
+	mid := c / 2
+	up := n.sep(mid)
+	right.setChild(0, n.child(mid+1))
+	for j := mid + 1; j < c; j++ {
+		right.insertSepAt(j-mid-1, n.sep(j), n.child(j+1))
+	}
+	n.setCount(mid)
+	// Route the pending separator into the correct half.
+	if sep.Less(up) {
+		n.insertSepAt(n.childIndex(sep), sep, newChild)
+	} else {
+		right.insertSepAt(right.childIndex(sep), sep, newChild)
+	}
+	return up, right.id(), nil
+}
+
+// Delete removes (key, tid), reporting whether it was present.
+func (t *Tree) Delete(key float64, tid uint32) (bool, error) {
+	e := Entry{Key: key, TID: tid}
+	found, _, err := t.deleteFrom(t.root, t.hgt, e)
+	// Free pages emptied by merges now that every frame is released.
+	for _, id := range t.pendingFree {
+		if ferr := t.pool.FreePage(id); ferr != nil && err == nil {
+			err = ferr
+		}
+		t.pages--
+	}
+	t.pendingFree = t.pendingFree[:0]
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		return false, nil
+	}
+	t.size--
+	// Collapse the root if it became a pass-through internal node.
+	for t.hgt > 1 {
+		r, err := t.get(t.root)
+		if err != nil {
+			return true, err
+		}
+		if r.isLeaf() || r.count() > 0 {
+			r.release()
+			break
+		}
+		child := r.child(0)
+		old := r.id()
+		r.release()
+		if err := t.pool.FreePage(old); err != nil {
+			return true, err
+		}
+		t.pages--
+		t.root = child
+		t.hgt--
+	}
+	return true, nil
+}
+
+// Minimum occupancy. A split of a full leaf (leafCap entries plus the
+// pending one) leaves at least ⌊leafCap/2⌋ entries on each side; a split
+// of a full internal node (intCap separators, one of which moves up)
+// leaves at least ⌊(intCap−1)/2⌋ separators on each side.
+func (t *Tree) minLeaf() int { return t.leafCap / 2 }
+func (t *Tree) minInt() int  { return (t.intCap - 1) / 2 }
+
+// deleteFrom removes e under the subtree at id; underflow tells the parent
+// the node fell below minimum occupancy.
+func (t *Tree) deleteFrom(id pagestore.PageID, height int, e Entry) (found, underflow bool, err error) {
+	n, err := t.get(id)
+	if err != nil {
+		return false, false, err
+	}
+	defer n.release()
+
+	if height == 1 {
+		i := n.searchLeaf(e)
+		if i >= n.count() || n.entry(i) != e {
+			return false, false, nil
+		}
+		n.removeEntryAt(i)
+		return true, n.count() < t.minLeaf(), nil
+	}
+
+	ci := n.childIndex(e)
+	found, under, err := t.deleteFrom(n.child(ci), height-1, e)
+	if err != nil || !found || !under {
+		return found, false, err
+	}
+	if err := t.rebalanceChild(n, ci, height-1); err != nil {
+		return true, false, err
+	}
+	return true, n.count() < t.minInt(), nil
+}
+
+// rebalanceChild restores minimum occupancy of n's ci-th child by borrowing
+// from a sibling or merging with one.
+func (t *Tree) rebalanceChild(n node, ci, childHeight int) error {
+	child, err := t.get(n.child(ci))
+	if err != nil {
+		return err
+	}
+	defer child.release()
+
+	// Try borrowing from the left sibling, then the right.
+	if ci > 0 {
+		left, err := t.get(n.child(ci - 1))
+		if err != nil {
+			return err
+		}
+		canBorrow := (childHeight == 1 && left.count() > t.minLeaf()) ||
+			(childHeight > 1 && left.count() > t.minInt())
+		if canBorrow {
+			if childHeight == 1 {
+				e := left.entry(left.count() - 1)
+				left.setCount(left.count() - 1)
+				child.insertEntryAt(0, e)
+				n.setSep(ci-1, e)
+			} else {
+				// Rotate through the parent separator: the left sibling's
+				// last child moves over, guarded by the old parent
+				// separator; the sibling's last separator moves up.
+				e := left.sep(left.count() - 1)
+				lc := left.child(left.count())
+				left.setCount(left.count() - 1)
+				t.prependToInternal(child, n.sep(ci-1), lc)
+				n.setSep(ci-1, e)
+			}
+			left.release()
+			return nil
+		}
+		left.release()
+	}
+	if ci < n.count() {
+		right, err := t.get(n.child(ci + 1))
+		if err != nil {
+			return err
+		}
+		canBorrow := (childHeight == 1 && right.count() > t.minLeaf()) ||
+			(childHeight > 1 && right.count() > t.minInt())
+		if canBorrow {
+			if childHeight == 1 {
+				e := right.entry(0)
+				right.removeEntryAt(0)
+				child.insertEntryAt(child.count(), e)
+				n.setSep(ci, right.entry(0))
+			} else {
+				oldSep := n.sep(ci)
+				rc := right.child(0)
+				up := right.sep(0)
+				right.setChild(0, right.child(1))
+				right.removeSepAt(0)
+				child.insertSepAt(child.count(), oldSep, rc)
+				n.setSep(ci, up)
+			}
+			right.release()
+			return nil
+		}
+		right.release()
+	}
+
+	// Merge with a sibling. Prefer merging child into its left sibling.
+	if ci > 0 {
+		left, err := t.get(n.child(ci - 1))
+		if err != nil {
+			return err
+		}
+		err = t.mergeNodes(n, ci-1, left, child, childHeight)
+		left.release()
+		return err
+	}
+	right, err := t.get(n.child(ci + 1))
+	if err != nil {
+		return err
+	}
+	err = t.mergeNodes(n, ci, child, right, childHeight)
+	right.release()
+	return err
+}
+
+// prependToInternal rebuilds an internal node with (sep, leftmostChild)
+// prepended. Counts are small (≤ intCap), so copying is fine.
+func (t *Tree) prependToInternal(n node, sep Entry, newChild0 pagestore.PageID) {
+	c := n.count()
+	seps := make([]Entry, c)
+	children := make([]pagestore.PageID, c+1)
+	for i := 0; i < c; i++ {
+		seps[i] = n.sep(i)
+	}
+	for i := 0; i <= c; i++ {
+		children[i] = n.child(i)
+	}
+	n.setCount(0)
+	n.setChild(0, newChild0)
+	n.insertSepAt(0, sep, children[0])
+	for i := 0; i < c; i++ {
+		n.insertSepAt(i+1, seps[i], children[i+1])
+	}
+}
+
+// mergeNodes folds right into left (children ci and ci+1 of n) and removes
+// the separating key from n. For leaves the handicap slots combine in the
+// conservative direction of their kind.
+func (t *Tree) mergeNodes(n node, sepIdx int, left, right node, childHeight int) error {
+	if childHeight == 1 {
+		base := left.count()
+		for j := 0; j < right.count(); j++ {
+			left.setEntry(base+j, right.entry(j))
+		}
+		left.setCount(base + right.count())
+		for s := 0; s < left.numHandicaps(); s++ {
+			left.setHandicap(s, t.cfg.HandicapKinds[s].Combine(left.handicap(s), right.handicap(s)))
+		}
+		// Unlink right from the leaf chain.
+		rn := right.next()
+		left.setNext(rn)
+		if rn != pagestore.InvalidPage {
+			nn, err := t.get(rn)
+			if err != nil {
+				return err
+			}
+			nn.setPrev(left.id())
+			nn.release()
+		}
+	} else {
+		down := n.sep(sepIdx)
+		base := left.count()
+		left.insertSepAt(base, down, right.child(0))
+		for j := 0; j < right.count(); j++ {
+			left.insertSepAt(base+1+j, right.sep(j), right.child(j+1))
+		}
+	}
+	rid := right.id()
+	n.removeSepAt(sepIdx)
+	// right is released by the caller; freeing a pinned page is an error,
+	// so defer the free until after release by remembering it.
+	t.pendingFree = append(t.pendingFree, rid)
+	return nil
+}

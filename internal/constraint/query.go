@@ -1,0 +1,239 @@
+package constraint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dualcdb/internal/geom"
+)
+
+// QueryKind distinguishes the two selection types of the paper.
+type QueryKind int
+
+const (
+	// EXIST retrieves tuples whose extension intersects the query extension.
+	EXIST QueryKind = iota
+	// ALL retrieves tuples whose extension is contained in the query extension.
+	ALL
+)
+
+// String renders the kind.
+func (k QueryKind) String() string {
+	if k == ALL {
+		return "ALL"
+	}
+	return "EXIST"
+}
+
+// Query is a half-plane selection Q(x_d θ b1·x1 + … + b_{d−1}·x_{d−1} + b_d)
+// with Q ∈ {ALL, EXIST} — the query class the paper's index supports.
+type Query struct {
+	Kind      QueryKind
+	Slope     []float64 // b1..b_{d−1}
+	Intercept float64   // b_d
+	Op        geom.Op   // θ
+}
+
+// NewQuery builds a query, copying the slope slice.
+func NewQuery(kind QueryKind, slope []float64, intercept float64, op geom.Op) Query {
+	return Query{Kind: kind, Slope: append([]float64(nil), slope...), Intercept: intercept, Op: op}
+}
+
+// Query2 builds the 2-D query Q(y θ a·x + b).
+func Query2(kind QueryKind, a, b float64, op geom.Op) Query {
+	return Query{Kind: kind, Slope: []float64{a}, Intercept: b, Op: op}
+}
+
+// Dim returns the dimension of the query's variable space.
+func (q Query) Dim() int { return len(q.Slope) + 1 }
+
+// HalfSpace returns the query half-plane as a geometric half-space.
+func (q Query) HalfSpace() geom.HalfSpace {
+	return geom.FromSlopeForm(q.Slope, q.Intercept, q.Op)
+}
+
+// String renders the query, e.g. "EXIST(y >= 2x + 1)".
+func (q Query) String() string {
+	if q.Dim() == 2 {
+		return fmt.Sprintf("%s(y %s %gx + %g)", q.Kind, q.Op, q.Slope[0], q.Intercept)
+	}
+	return fmt.Sprintf("%s(x%d %s %v·x + %g)", q.Kind, q.Dim(), q.Op, q.Slope, q.Intercept)
+}
+
+// Matches reports whether tuple t satisfies the selection, implementing
+// Proposition 2.2 exactly:
+//
+//	ALL(q(≥), t)   ⇔ b_d ≤ BOT^P(slope)
+//	ALL(q(≤), t)   ⇔ b_d ≥ TOP^P(slope)
+//	EXIST(q(≥), t) ⇔ b_d ≤ TOP^P(slope)
+//	EXIST(q(≤), t) ⇔ b_d ≥ BOT^P(slope)
+//
+// Empty tuples match nothing (their TOP is −Inf and BOT is +Inf, which
+// makes the ALL comparisons vacuously true; we exclude them explicitly —
+// an unsatisfiable tuple denotes no points and is not "contained" in any
+// useful sense for retrieval).
+func (q Query) Matches(t *Tuple) (bool, error) {
+	if t.Dim() != q.Dim() {
+		return false, fmt.Errorf("constraint: query dimension %d != tuple dimension %d", q.Dim(), t.Dim())
+	}
+	ext, err := t.Extension()
+	if err != nil {
+		return false, err
+	}
+	if ext.IsEmpty() {
+		return false, nil
+	}
+	switch {
+	case q.Kind == ALL && q.Op == geom.GE:
+		return q.Intercept <= ext.Bot(q.Slope)+geom.Eps, nil
+	case q.Kind == ALL && q.Op == geom.LE:
+		return q.Intercept >= ext.Top(q.Slope)-geom.Eps, nil
+	case q.Kind == EXIST && q.Op == geom.GE:
+		return q.Intercept <= ext.Top(q.Slope)+geom.Eps, nil
+	default: // EXIST, LE
+		return q.Intercept >= ext.Bot(q.Slope)-geom.Eps, nil
+	}
+}
+
+// Eval runs the selection over a whole relation by exhaustive scan,
+// returning matching tuple ids in ascending order. This is the ground
+// truth the indexes are validated against, and the "no index" baseline.
+func (q Query) Eval(r *Relation) ([]TupleID, error) {
+	var out []TupleID
+	var scanErr error
+	r.Scan(func(t *Tuple) bool {
+		ok, err := q.Matches(t)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			out = append(out, t.ID())
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// TupleALL reports whether ext(t) ⊆ ext(q) for two generalized tuples:
+// containment holds iff every constraint of q contains ext(t), which the
+// support function decides exactly. Empty t is reported as not contained
+// (consistent with Query.Matches).
+func TupleALL(q, t *Tuple) (bool, error) {
+	text, err := t.Extension()
+	if err != nil {
+		return false, err
+	}
+	if text.IsEmpty() {
+		return false, nil
+	}
+	for _, h := range q.Constraints() {
+		// ext(t) ⊆ {x: a·x + c ≤ 0} ⇔ sup_{x∈t}(a·x) ≤ −c.
+		a := geom.Point(h.A)
+		if h.Op == geom.LE {
+			if text.Support(a) > -h.C+geom.Eps {
+				return false, nil
+			}
+		} else {
+			if -text.Support(a.Scale(-1)) < -h.C-geom.Eps {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// TupleEXIST reports whether ext(t) ∩ ext(q) is non-empty, by testing the
+// satisfiability of the combined constraint conjunction. Two fast paths
+// short-circuit the vertex enumeration: disjoint bounding boxes prove
+// emptiness, and a generator point of one polyhedron inside the other
+// proves non-emptiness.
+func TupleEXIST(q, t *Tuple) (bool, error) {
+	if q.Dim() != t.Dim() {
+		return false, fmt.Errorf("constraint: dimension mismatch %d vs %d", q.Dim(), t.Dim())
+	}
+	qext, err := q.Extension()
+	if err != nil {
+		return false, err
+	}
+	text, err := t.Extension()
+	if err != nil {
+		return false, err
+	}
+	if qext.IsEmpty() || text.IsEmpty() {
+		return false, nil
+	}
+	qlo, qhi, err1 := qext.MBR()
+	tlo, thi, err2 := text.MBR()
+	if err1 == nil && err2 == nil {
+		for i := range qlo {
+			if qhi[i] < tlo[i]-geom.Eps || thi[i] < qlo[i]-geom.Eps {
+				return false, nil
+			}
+		}
+	}
+	for _, v := range text.Verts {
+		if ok, err := qext.Contains(v); err == nil && ok {
+			return true, nil
+		}
+	}
+	for _, v := range qext.Verts {
+		if ok, err := text.Contains(v); err == nil && ok {
+			return true, nil
+		}
+	}
+	combined := append(append([]geom.HalfSpace(nil), q.Constraints()...), t.Constraints()...)
+	p, err := geom.FromHalfSpaces(combined, t.Dim())
+	if err != nil {
+		return false, err
+	}
+	return !p.IsEmpty(), nil
+}
+
+// Selectivity returns |result| / |relation| for the query, used by the
+// workload generator to calibrate query intercepts.
+func (q Query) Selectivity(r *Relation) (float64, error) {
+	if r.Len() == 0 {
+		return 0, nil
+	}
+	ids, err := q.Eval(r)
+	if err != nil {
+		return 0, err
+	}
+	return float64(len(ids)) / float64(r.Len()), nil
+}
+
+// SurfaceValue returns the tuple surface value the query compares against:
+// TOP^P(slope) for EXIST(≥)/ALL(≤) queries and BOT^P(slope) for the other
+// two — i.e. the key under which the tuple appears in the B⁺-tree that
+// serves this query (Section 3 of the paper).
+func (q Query) SurfaceValue(t *Tuple) (float64, error) {
+	ext, err := t.Extension()
+	if err != nil {
+		return 0, err
+	}
+	if ext.IsEmpty() {
+		return math.NaN(), nil
+	}
+	if q.UsesTop() {
+		return ext.Top(q.Slope), nil
+	}
+	return ext.Bot(q.Slope), nil
+}
+
+// UsesTop reports whether the query is answered from TOP^P values (the
+// B^up tree): EXIST(≥) and ALL(≤).
+func (q Query) UsesTop() bool {
+	return (q.Kind == EXIST) == (q.Op == geom.GE)
+}
+
+// SweepsUp reports whether the answer set consists of values following b_d
+// in increasing key order (an upward leaf sweep): ALL(≥) and EXIST(≥).
+func (q Query) SweepsUp() bool {
+	return q.Op == geom.GE
+}

@@ -1,0 +1,256 @@
+// Package constraint implements the linear-constraint database model of
+// Section 2 of the paper: generalized tuples (conjunctions of linear
+// constraints over d real variables), generalized relations, a textual
+// constraint syntax, and the exact ALL/EXIST selection predicates of
+// Proposition 2.2 that serve both as ground truth for tests and as the
+// refinement step of the approximate index techniques.
+package constraint
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"dualcdb/internal/geom"
+)
+
+// TupleID identifies a generalized tuple within a relation.
+type TupleID uint32
+
+// Tuple is a generalized tuple: the conjunction of its linear constraints.
+// Its extension — the set of solution points — is a convex polyhedron,
+// possibly unbounded or empty.
+//
+// A Tuple caches its extension and (in E²) its TOP/BOT dual envelopes; it
+// is immutable after creation and safe for concurrent use.
+type Tuple struct {
+	id   TupleID
+	dim  int
+	cons []geom.HalfSpace
+
+	once sync.Once
+	ext  geom.Polyhedron
+	err  error
+
+	envOnce sync.Once
+	topEnv  geom.Envelope
+	botEnv  geom.Envelope
+}
+
+// NewTuple builds a generalized tuple in E^dim from the given constraints.
+// The constraint slice is copied. Equality constraints should already be
+// normalized into inequality pairs (the parser does this).
+func NewTuple(dim int, cons []geom.HalfSpace) (*Tuple, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("constraint: invalid dimension %d", dim)
+	}
+	for _, h := range cons {
+		if h.Dim() != dim {
+			return nil, fmt.Errorf("constraint: constraint %v has dimension %d, want %d", h, h.Dim(), dim)
+		}
+	}
+	return &Tuple{dim: dim, cons: append([]geom.HalfSpace(nil), cons...)}, nil
+}
+
+// FromPolyhedron wraps an existing polyhedron as a tuple. The polyhedron
+// should carry an H-representation if exact predicates are needed.
+func FromPolyhedron(p geom.Polyhedron) *Tuple {
+	t := &Tuple{dim: p.Dim(), cons: append([]geom.HalfSpace(nil), p.HS...)}
+	t.once.Do(func() {}) // mark resolved
+	t.ext = p
+	return t
+}
+
+// ID returns the tuple's identifier within its relation (0 before insertion).
+func (t *Tuple) ID() TupleID { return t.id }
+
+// Dim returns the dimension of the tuple's variable space.
+func (t *Tuple) Dim() int { return t.dim }
+
+// Constraints returns the defining constraints (not to be modified).
+func (t *Tuple) Constraints() []geom.HalfSpace { return t.cons }
+
+// Extension returns the tuple's extension as a polyhedron in V- and
+// H-representation. The computation runs once and is cached.
+func (t *Tuple) Extension() (geom.Polyhedron, error) {
+	t.once.Do(func() {
+		t.ext, t.err = geom.FromHalfSpaces(t.cons, t.dim)
+	})
+	return t.ext, t.err
+}
+
+// IsSatisfiable reports whether the tuple's extension is non-empty.
+func (t *Tuple) IsSatisfiable() bool {
+	ext, err := t.Extension()
+	return err == nil && !ext.IsEmpty()
+}
+
+// IsBounded reports whether the tuple's extension is bounded (a finite
+// object in the paper's terminology).
+func (t *Tuple) IsBounded() bool {
+	ext, err := t.Extension()
+	return err == nil && ext.IsBounded()
+}
+
+// Top evaluates TOP^P at the query slope vector (length dim−1).
+func (t *Tuple) Top(slope []float64) (float64, error) {
+	ext, err := t.Extension()
+	if err != nil {
+		return 0, err
+	}
+	return ext.Top(slope), nil
+}
+
+// Bot evaluates BOT^P at the query slope vector (length dim−1).
+func (t *Tuple) Bot(slope []float64) (float64, error) {
+	ext, err := t.Extension()
+	if err != nil {
+		return 0, err
+	}
+	return ext.Bot(slope), nil
+}
+
+// TopEnv returns the exact TOP^P envelope of a 2-D tuple as a function of
+// the query slope. It panics for dim ≠ 2.
+func (t *Tuple) TopEnv() geom.Envelope {
+	t.ensureEnvelopes()
+	return t.topEnv
+}
+
+// BotEnv returns the exact BOT^P envelope of a 2-D tuple.
+func (t *Tuple) BotEnv() geom.Envelope {
+	t.ensureEnvelopes()
+	return t.botEnv
+}
+
+func (t *Tuple) ensureEnvelopes() {
+	if t.dim != 2 {
+		panic("constraint: TOP/BOT envelopes are defined for 2-D tuples only")
+	}
+	t.envOnce.Do(func() {
+		ext, err := t.Extension()
+		if err != nil {
+			ext = geom.EmptyPolyhedron(2)
+		}
+		t.topEnv = geom.TopEnvelope2(ext)
+		t.botEnv = geom.BotEnvelope2(ext)
+	})
+}
+
+// String renders the tuple in the textual constraint syntax.
+func (t *Tuple) String() string {
+	if len(t.cons) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(t.cons))
+	for i, h := range t.cons {
+		parts[i] = formatConstraint(h)
+	}
+	return strings.Join(parts, " && ")
+}
+
+// ErrNotFound is returned when a tuple id is absent from a relation.
+var ErrNotFound = errors.New("constraint: tuple not found")
+
+// Relation is a generalized relation: a mutable set of generalized tuples
+// sharing one variable space. Tuple IDs are assigned on insertion and never
+// reused.
+type Relation struct {
+	dim    int
+	nextID TupleID
+	tuples map[TupleID]*Tuple
+	order  []TupleID // insertion order, for deterministic scans
+}
+
+// NewRelation creates an empty relation over E^dim.
+func NewRelation(dim int) *Relation {
+	return &Relation{dim: dim, nextID: 1, tuples: make(map[TupleID]*Tuple)}
+}
+
+// Dim returns the dimension of the relation's variable space.
+func (r *Relation) Dim() int { return r.dim }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds a tuple and assigns it a fresh ID, which is also returned.
+func (r *Relation) Insert(t *Tuple) (TupleID, error) {
+	if t.dim != r.dim {
+		return 0, fmt.Errorf("constraint: tuple dimension %d != relation dimension %d", t.dim, r.dim)
+	}
+	if t.id != 0 {
+		return 0, fmt.Errorf("constraint: tuple %d already belongs to a relation", t.id)
+	}
+	t.id = r.nextID
+	r.nextID++
+	r.tuples[t.id] = t
+	r.order = append(r.order, t.id)
+	return t.id, nil
+}
+
+// InsertWithID adds a tuple under a specific id — used when restoring a
+// persisted relation, so references from saved indexes stay valid. The id
+// must be unused; the internal id counter advances past it.
+func (r *Relation) InsertWithID(t *Tuple, id TupleID) error {
+	if t.dim != r.dim {
+		return fmt.Errorf("constraint: tuple dimension %d != relation dimension %d", t.dim, r.dim)
+	}
+	if t.id != 0 {
+		return fmt.Errorf("constraint: tuple %d already belongs to a relation", t.id)
+	}
+	if id == 0 {
+		return fmt.Errorf("constraint: id 0 is reserved")
+	}
+	if _, ok := r.tuples[id]; ok {
+		return fmt.Errorf("constraint: id %d already in use", id)
+	}
+	t.id = id
+	r.tuples[id] = t
+	r.order = append(r.order, id)
+	if id >= r.nextID {
+		r.nextID = id + 1
+	}
+	return nil
+}
+
+// Delete removes the tuple with the given id.
+func (r *Relation) Delete(id TupleID) error {
+	if _, ok := r.tuples[id]; !ok {
+		return ErrNotFound
+	}
+	delete(r.tuples, id)
+	for i, x := range r.order {
+		if x == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Get returns the tuple with the given id.
+func (r *Relation) Get(id TupleID) (*Tuple, error) {
+	t, ok := r.tuples[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return t, nil
+}
+
+// Scan calls fn for every tuple in insertion order; a false return stops
+// the scan early.
+func (r *Relation) Scan(fn func(*Tuple) bool) {
+	for _, id := range r.order {
+		if t, ok := r.tuples[id]; ok {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// IDs returns all tuple ids in insertion order.
+func (r *Relation) IDs() []TupleID {
+	return append([]TupleID(nil), r.order...)
+}

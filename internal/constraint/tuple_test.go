@@ -1,0 +1,165 @@
+package constraint
+
+import (
+	"math"
+	"testing"
+
+	"dualcdb/internal/geom"
+)
+
+func mustTuple(t *testing.T, s string) *Tuple {
+	t.Helper()
+	tp, err := ParseTuple(s, 2)
+	if err != nil {
+		t.Fatalf("ParseTuple(%q): %v", s, err)
+	}
+	return tp
+}
+
+func TestTupleExtensionTriangle(t *testing.T) {
+	tp := mustTuple(t, "x >= 0 && y >= 0 && x + y <= 4")
+	ext, err := tp.Extension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.IsSatisfiable() || !tp.IsBounded() {
+		t.Fatal("triangle must be satisfiable and bounded")
+	}
+	if len(ext.Verts) != 3 {
+		t.Fatalf("verts = %v", ext.Verts)
+	}
+}
+
+func TestTupleUnsatisfiable(t *testing.T) {
+	tp := mustTuple(t, "x >= 1 && x <= 0")
+	if tp.IsSatisfiable() {
+		t.Fatal("x ≥ 1 ∧ x ≤ 0 must be unsatisfiable")
+	}
+}
+
+func TestTupleUnbounded(t *testing.T) {
+	tp := mustTuple(t, "x >= 2 && y >= 3")
+	if !tp.IsSatisfiable() || tp.IsBounded() {
+		t.Fatal("quadrant corner must be satisfiable and unbounded")
+	}
+	// The example from the paper's introduction: x ≤ 2 ∧ y ≥ 3 is infinite.
+	tp2 := mustTuple(t, "x <= 2 && y >= 3")
+	if tp2.IsBounded() {
+		t.Fatal("x ≤ 2 ∧ y ≥ 3 must be infinite")
+	}
+}
+
+func TestTupleTopBot(t *testing.T) {
+	tp := mustTuple(t, "x >= 0 && y >= 0 && x + y <= 4")
+	top, err := tp.Top([]float64{0})
+	if err != nil || math.Abs(top-4) > 1e-9 {
+		t.Fatalf("Top(0) = %v, %v; want 4", top, err)
+	}
+	bot, err := tp.Bot([]float64{0})
+	if err != nil || math.Abs(bot) > 1e-9 {
+		t.Fatalf("Bot(0) = %v, %v; want 0", bot, err)
+	}
+}
+
+func TestTupleEnvelopesMatchDirect(t *testing.T) {
+	tp := mustTuple(t, "x >= 1 && y >= -1 && x + y <= 5 && y <= 3")
+	topEnv, botEnv := tp.TopEnv(), tp.BotEnv()
+	for _, a := range []float64{-2, -0.5, 0, 0.7, 3} {
+		dt, _ := tp.Top([]float64{a})
+		db, _ := tp.Bot([]float64{a})
+		if math.Abs(topEnv.Eval(a)-dt) > 1e-9 {
+			t.Errorf("TopEnv(%v) = %v, want %v", a, topEnv.Eval(a), dt)
+		}
+		if math.Abs(botEnv.Eval(a)-db) > 1e-9 {
+			t.Errorf("BotEnv(%v) = %v, want %v", a, botEnv.Eval(a), db)
+		}
+	}
+}
+
+func TestRelationCRUD(t *testing.T) {
+	r := NewRelation(2)
+	t1 := mustTuple(t, "x >= 0 && x <= 1 && y >= 0 && y <= 1")
+	t2 := mustTuple(t, "x >= 2 && x <= 3 && y >= 2 && y <= 3")
+	id1, err := r.Insert(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := r.Insert(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("ids must be distinct")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	got, err := r.Get(id1)
+	if err != nil || got != t1 {
+		t.Fatalf("Get(%d) = %v, %v", id1, got, err)
+	}
+	if err := r.Delete(id1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(id1); err != ErrNotFound {
+		t.Fatalf("Get after delete: %v", err)
+	}
+	if err := r.Delete(id1); err != ErrNotFound {
+		t.Fatalf("double delete: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len after delete = %d", r.Len())
+	}
+	// Reinserting an owned tuple must fail.
+	if _, err := r.Insert(t2); err == nil {
+		t.Fatal("reinserting an owned tuple must fail")
+	}
+}
+
+func TestRelationDimensionMismatch(t *testing.T) {
+	r := NewRelation(3)
+	t1 := mustTuple(t, "x >= 0")
+	if _, err := r.Insert(t1); err == nil {
+		t.Fatal("dimension mismatch must be rejected")
+	}
+}
+
+func TestRelationScanOrder(t *testing.T) {
+	r := NewRelation(2)
+	var want []TupleID
+	for i := 0; i < 5; i++ {
+		id, _ := r.Insert(mustTuple(t, "x >= 0"))
+		want = append(want, id)
+	}
+	var got []TupleID
+	r.Scan(func(tp *Tuple) bool {
+		got = append(got, tp.ID())
+		return true
+	})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan order %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	r.Scan(func(*Tuple) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestFromPolyhedron(t *testing.T) {
+	p, err := geom.FromVertices([]geom.Point{{0, 0}, {1, 0}, {0, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := FromPolyhedron(p)
+	if !tp.IsSatisfiable() || !tp.IsBounded() {
+		t.Fatal("triangle from polyhedron")
+	}
+	ok, err := Query2(EXIST, 0, 0.5, geom.GE).Matches(tp)
+	if err != nil || !ok {
+		t.Fatalf("EXIST(y ≥ 0.5) should match: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dualcdb/internal/constraint"
+)
+
+var errMismatch = errors.New("concurrent query returned a wrong answer")
+
+// TestConcurrentQueries: the index supports concurrent readers — queries
+// only pin pages (mutex-protected pool), evaluate cached envelopes
+// (sync.Once) and read immutable index state. Run under -race to verify
+// (`go test -race ./internal/core -run Concurrent`).
+func TestConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	rel, ix := buildRandomIndex(t, rng, 200, Options{
+		Slopes: EquiangularSlopes(3), Technique: T2, PoolPages: 256,
+	}, true)
+
+	type queryCase struct {
+		q    constraint.Query
+		want []constraint.TupleID
+	}
+	qs := make([]queryCase, 32)
+	for i := range qs {
+		qs[i].q = randQuery(rng)
+		want, err := qs[i].q.Eval(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i].want = want
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := qs[(w*50+i)%len(qs)]
+				got, err := ix.Query(c.q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !sameIDs(got.IDs, c.want) {
+					errs <- errMismatch
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dualcdb/internal/btree"
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/geom"
+	"dualcdb/internal/pagestore"
+)
+
+// Index is the 2-D dual-representation index over a generalized relation:
+// 2·k B⁺-trees (one TOP tree and one BOT tree per slope in S) plus the
+// handicap metadata of technique T2.
+//
+// The index holds a reference to the relation it indexes; the relation
+// supplies tuple geometry for handicap computation and for the refinement
+// step. Mutate the relation only through the index (Insert/Delete) once it
+// is built.
+type Index struct {
+	rel    *constraint.Relation
+	opt    Options
+	slopes []float64
+	pool   *pagestore.Pool
+	up     []*btree.Tree // per slope: TOP^P(a_i) values
+	down   []*btree.Tree // per slope: BOT^P(a_i) values
+	// Optional vertical pair (footnote 4 / Options.IndexVertical): supX
+	// and infX values for x θ c selections.
+	vup, vdown *btree.Tree
+
+	deletesSinceRebuild int
+	indexed             map[constraint.TupleID]bool
+
+	// Persistence bookkeeping (see persist.go). catalog is the catalog
+	// page (InvalidPage when the index shares a pool and cannot persist);
+	// tupleChain heads the serialized-relation page chain after a Save.
+	catalog    pagestore.PageID
+	tupleChain pagestore.PageID
+	dataPages  int
+}
+
+// New creates an empty dual index over rel with the given options.
+func New(rel *constraint.Relation, opt Options) (*Index, error) {
+	if rel.Dim() != 2 {
+		return nil, fmt.Errorf("core: Index is 2-dimensional; use NewD for dimension %d", rel.Dim())
+	}
+	slopes, err := opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	pool := opt.Pool
+	owned := pool == nil
+	if owned {
+		store := opt.Store
+		if store == nil {
+			store = pagestore.NewMemStore(opt.PageSize)
+		}
+		pool = pagestore.NewPool(store, opt.PoolPages)
+	}
+	ix := &Index{
+		rel:     rel,
+		opt:     opt,
+		slopes:  slopes,
+		pool:    pool,
+		indexed: make(map[constraint.TupleID]bool),
+	}
+	if owned {
+		// Reserve the catalog page (page 1 of the dedicated store) so the
+		// database can be persisted with Save (see persist.go).
+		f, err := pool.NewPage()
+		if err != nil {
+			return nil, err
+		}
+		ix.catalog = f.ID()
+		f.Release()
+	}
+	kinds := []btree.SlotKind{btree.MinSlot, btree.MinSlot, btree.MaxSlot, btree.MaxSlot}
+	cfg := btree.Config{HandicapKinds: kinds, FillFactor: opt.FillFactor}
+	for range slopes {
+		u, err := btree.New(pool, cfg)
+		if err != nil {
+			return nil, err
+		}
+		d, err := btree.New(pool, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ix.up = append(ix.up, u)
+		ix.down = append(ix.down, d)
+	}
+	if opt.IndexVertical {
+		if err := ix.ensureVerticalTrees(); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Build bulk-loads the index from every satisfiable tuple currently in the
+// relation. The index must be empty.
+func Build(rel *constraint.Relation, opt Options) (*Index, error) {
+	ix, err := New(rel, opt)
+	if err != nil {
+		return nil, err
+	}
+	type tupleSurface struct {
+		id  constraint.TupleID
+		top geom.Envelope
+		bot geom.Envelope
+	}
+	var ts []tupleSurface
+	var buildErr error
+	rel.Scan(func(t *constraint.Tuple) bool {
+		if _, err := t.Extension(); err != nil {
+			buildErr = err
+			return false
+		}
+		if !t.IsSatisfiable() {
+			return true // empty extensions match nothing and are not indexed
+		}
+		ts = append(ts, tupleSurface{id: t.ID(), top: t.TopEnv(), bot: t.BotEnv()})
+		return true
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	for i, a := range ix.slopes {
+		upEntries := make([]btree.Entry, 0, len(ts))
+		downEntries := make([]btree.Entry, 0, len(ts))
+		for _, t := range ts {
+			upEntries = append(upEntries, btree.Entry{Key: t.top.Eval(a), TID: uint32(t.id)})
+			downEntries = append(downEntries, btree.Entry{Key: t.bot.Eval(a), TID: uint32(t.id)})
+		}
+		sort.Slice(upEntries, func(x, y int) bool { return upEntries[x].Less(upEntries[y]) })
+		sort.Slice(downEntries, func(x, y int) bool { return downEntries[x].Less(downEntries[y]) })
+		if err := ix.up[i].BulkLoad(upEntries); err != nil {
+			return nil, err
+		}
+		if err := ix.down[i].BulkLoad(downEntries); err != nil {
+			return nil, err
+		}
+	}
+	if ix.vup != nil {
+		vupEntries := make([]btree.Entry, 0, len(ts))
+		vdownEntries := make([]btree.Entry, 0, len(ts))
+		for _, t := range ts {
+			tup, err := rel.Get(t.id)
+			if err != nil {
+				return nil, err
+			}
+			ext, err := tup.Extension()
+			if err != nil {
+				return nil, err
+			}
+			vupEntries = append(vupEntries, btree.Entry{Key: supX(ext), TID: uint32(t.id)})
+			vdownEntries = append(vdownEntries, btree.Entry{Key: infX(ext), TID: uint32(t.id)})
+		}
+		sort.Slice(vupEntries, func(x, y int) bool { return vupEntries[x].Less(vupEntries[y]) })
+		sort.Slice(vdownEntries, func(x, y int) bool { return vdownEntries[x].Less(vdownEntries[y]) })
+		if err := ix.vup.BulkLoad(vupEntries); err != nil {
+			return nil, err
+		}
+		if err := ix.vdown.BulkLoad(vdownEntries); err != nil {
+			return nil, err
+		}
+	}
+	// Handicap pass: now that the leaves exist, fold every tuple's strip
+	// extrema into the slots (the paper's preprocessing step).
+	for _, t := range ts {
+		if err := ix.mergeHandicaps(t.top, t.bot); err != nil {
+			return nil, err
+		}
+		ix.indexed[t.id] = true
+	}
+	return ix, nil
+}
+
+// stripBounds returns the left and right strip limits of slope i:
+// [leftLo, a_i] toward the previous slope and [a_i, rightHi] toward the
+// next one. The outermost strips extend by OuterHalfWidth.
+func (ix *Index) stripBounds(i int) (leftLo, rightHi float64) {
+	a := ix.slopes[i]
+	if i > 0 {
+		leftLo = (ix.slopes[i-1] + a) / 2
+	} else {
+		leftLo = a - ix.opt.OuterHalfWidth
+	}
+	if i < len(ix.slopes)-1 {
+		rightHi = (a + ix.slopes[i+1]) / 2
+	} else {
+		rightHi = a + ix.opt.OuterHalfWidth
+	}
+	return leftLo, rightHi
+}
+
+// mergeHandicaps folds one tuple's contribution into every tree's handicap
+// slots. topV/botV are the tree keys; the routing keys are the exact strip
+// extrema of the tuple's TOP/BOT envelopes (DESIGN.md §4.3).
+func (ix *Index) mergeHandicaps(top, bot geom.Envelope) error {
+	for i, a := range ix.slopes {
+		leftLo, rightHi := ix.stripBounds(i)
+		topV, botV := top.Eval(a), bot.Eval(a)
+
+		// B_i^up: low slots route by strip max of TOP (convex ⇒ exact at
+		// strip endpoints), high slots by strip min.
+		u := ix.up[i]
+		if err := u.MergeHandicap(top.MaxOn(leftLo, a), slotLowPrev, topV); err != nil {
+			return err
+		}
+		if err := u.MergeHandicap(top.MaxOn(a, rightHi), slotLowNext, topV); err != nil {
+			return err
+		}
+		if err := u.MergeHandicap(top.MinOn(leftLo, a), slotHighPrev, topV); err != nil {
+			return err
+		}
+		if err := u.MergeHandicap(top.MinOn(a, rightHi), slotHighNext, topV); err != nil {
+			return err
+		}
+
+		// B_i^down: the same four slots over the BOT surface.
+		d := ix.down[i]
+		if err := d.MergeHandicap(bot.MaxOn(leftLo, a), slotLowPrev, botV); err != nil {
+			return err
+		}
+		if err := d.MergeHandicap(bot.MaxOn(a, rightHi), slotLowNext, botV); err != nil {
+			return err
+		}
+		if err := d.MergeHandicap(bot.MinOn(leftLo, a), slotHighPrev, botV); err != nil {
+			return err
+		}
+		if err := d.MergeHandicap(bot.MinOn(a, rightHi), slotHighNext, botV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert adds a tuple to the relation and the index. Unsatisfiable tuples
+// are stored in the relation but not indexed (they match no query).
+func (ix *Index) Insert(t *constraint.Tuple) (constraint.TupleID, error) {
+	id, err := ix.rel.Insert(t)
+	if err != nil {
+		return 0, err
+	}
+	if !t.IsSatisfiable() {
+		return id, nil
+	}
+	top, bot := t.TopEnv(), t.BotEnv()
+	for i, a := range ix.slopes {
+		if err := ix.up[i].Insert(top.Eval(a), uint32(id)); err != nil {
+			return id, err
+		}
+		if err := ix.down[i].Insert(bot.Eval(a), uint32(id)); err != nil {
+			return id, err
+		}
+	}
+	if ix.vup != nil {
+		ext, err := t.Extension()
+		if err != nil {
+			return id, err
+		}
+		if err := ix.insertVertical(ext, id); err != nil {
+			return id, err
+		}
+	}
+	if err := ix.mergeHandicaps(top, bot); err != nil {
+		return id, err
+	}
+	ix.indexed[id] = true
+	return id, nil
+}
+
+// Delete removes a tuple from the index and the relation. Handicap slots
+// are left conservatively stale (sound; costs only I/O) and recomputed
+// exactly every RebuildHandicapsEvery deletions.
+func (ix *Index) Delete(id constraint.TupleID) error {
+	t, err := ix.rel.Get(id)
+	if err != nil {
+		return err
+	}
+	if ix.indexed[id] {
+		top, bot := t.TopEnv(), t.BotEnv()
+		for i, a := range ix.slopes {
+			if _, err := ix.up[i].Delete(top.Eval(a), uint32(id)); err != nil {
+				return err
+			}
+			if _, err := ix.down[i].Delete(bot.Eval(a), uint32(id)); err != nil {
+				return err
+			}
+		}
+		if ix.vup != nil {
+			ext, err := t.Extension()
+			if err != nil {
+				return err
+			}
+			if err := ix.deleteVertical(ext, id); err != nil {
+				return err
+			}
+		}
+		delete(ix.indexed, id)
+		ix.deletesSinceRebuild++
+	}
+	if err := ix.rel.Delete(id); err != nil {
+		return err
+	}
+	if n := ix.opt.RebuildHandicapsEvery; n > 0 && ix.deletesSinceRebuild >= n {
+		return ix.RebuildHandicaps()
+	}
+	return nil
+}
+
+// RebuildHandicaps recomputes every handicap slot exactly from the current
+// relation contents.
+func (ix *Index) RebuildHandicaps() error {
+	for i := range ix.slopes {
+		if err := ix.up[i].ResetHandicaps(); err != nil {
+			return err
+		}
+		if err := ix.down[i].ResetHandicaps(); err != nil {
+			return err
+		}
+	}
+	var err error
+	ix.rel.Scan(func(t *constraint.Tuple) bool {
+		if !ix.indexed[t.ID()] {
+			return true
+		}
+		if e := ix.mergeHandicaps(t.TopEnv(), t.BotEnv()); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	ix.deletesSinceRebuild = 0
+	return err
+}
+
+// Pages returns the total number of pages occupied by all 2·k trees — the
+// space metric of Figure 10.
+func (ix *Index) Pages() int {
+	n := 0
+	for i := range ix.slopes {
+		n += ix.up[i].Pages() + ix.down[i].Pages()
+	}
+	if ix.vup != nil {
+		n += ix.vup.Pages() + ix.vdown.Pages()
+	}
+	return n
+}
+
+// Pool exposes the buffer pool (for I/O accounting in experiments).
+func (ix *Index) Pool() *pagestore.Pool { return ix.pool }
+
+// Slopes returns the sorted slope set S.
+func (ix *Index) Slopes() []float64 { return append([]float64(nil), ix.slopes...) }
+
+// Len returns the number of indexed (satisfiable) tuples.
+func (ix *Index) Len() int { return len(ix.indexed) }
+
+// nearestSlope returns the index of the S-member closest to a (ties break
+// toward the lower slope) and whether a coincides with it within Eps.
+func (ix *Index) nearestSlope(a float64) (int, bool) {
+	i := sort.SearchFloat64s(ix.slopes, a)
+	best := -1
+	bestDist := math.Inf(1)
+	for _, j := range []int{i - 1, i} {
+		if j < 0 || j >= len(ix.slopes) {
+			continue
+		}
+		if d := math.Abs(ix.slopes[j] - a); d < bestDist {
+			best, bestDist = j, d
+		}
+	}
+	return best, bestDist <= geom.Eps
+}

@@ -1,0 +1,719 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dualcdb/internal/btree"
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/geom"
+	"dualcdb/internal/pagestore"
+)
+
+// This file implements Section 4.4: the extension of the dual index to an
+// arbitrary d-dimensional space. The predefined set S becomes a set of
+// *sites* in slope space E^{d−1}; every site carries a B^up/B^down tree
+// pair over TOP^P/BOT^P values, a query routes to its nearest site (the
+// proximity partition the paper obtains from the Voronoi diagram of S),
+// and the T2 handicap machinery bounds the second sweep.
+//
+// Design note (documented in DESIGN.md §4.9): instead of one handicap
+// per Voronoi edge (4d per leaf), each leaf carries one low/high pair per
+// tree computed over the site's whole (clamped) Voronoi cell. That is the
+// edge-wise scheme's conservative envelope: strictly sound, marginally
+// more second-sweep I/O, and it keeps the leaf layout independent of the
+// cell's edge count. Cells are clamped to a configurable slope-space box;
+// query slopes outside every cell fall back to an exhaustive scan (the
+// structure has no covering app-query construction in E^d without the
+// paper's "d searches" machinery, whose covering sets are only sketched).
+type IndexD struct {
+	rel   *constraint.Relation
+	opt   OptionsD
+	dim   int          // ambient dimension d
+	sites []geom.Point // S ⊂ E^{d−1}
+	cells []geom.Polyhedron
+	pool  *pagestore.Pool
+	up    []*btree.Tree
+	down  []*btree.Tree
+
+	deletesSinceRebuild int
+	indexed             map[constraint.TupleID]bool
+}
+
+// OptionsD configures a d-dimensional dual index.
+type OptionsD struct {
+	// Sites is the predefined set S of slope points in E^{d−1}.
+	Sites []geom.Point
+	// SlopeBoxLo/SlopeBoxHi clamp the Voronoi cells (and hence the region
+	// where T2 approximation applies). Defaults to the sites' bounding box
+	// expanded by the largest inter-site distance.
+	SlopeBoxLo, SlopeBoxHi []float64
+	// PageSize / PoolPages / Pool / FillFactor as in Options.
+	PageSize   int
+	PoolPages  int
+	Pool       *pagestore.Pool
+	FillFactor float64
+	// RebuildHandicapsEvery as in Options.
+	RebuildHandicapsEvery int
+}
+
+// Handicap slots of the d-dimensional trees.
+const (
+	slotDLow  = 0 // MinSlot: min surface value at the site over tuples routed by the cell max
+	slotDHigh = 1 // MaxSlot: max surface value at the site over tuples routed by the cell min
+)
+
+// NewD creates an empty d-dimensional dual index (d ≥ 2 works, but the
+// specialized 2-D Index is preferable there).
+func NewD(rel *constraint.Relation, opt OptionsD) (*IndexD, error) {
+	d := rel.Dim()
+	if d < 2 {
+		return nil, fmt.Errorf("core: dimension %d < 2", d)
+	}
+	if len(opt.Sites) == 0 {
+		return nil, fmt.Errorf("core: empty site set S")
+	}
+	for _, s := range opt.Sites {
+		if s.Dim() != d-1 {
+			return nil, fmt.Errorf("core: site %v has dimension %d, want %d", s, s.Dim(), d-1)
+		}
+	}
+	for i := range opt.Sites {
+		for j := i + 1; j < len(opt.Sites); j++ {
+			if opt.Sites[i].Eq(opt.Sites[j]) {
+				return nil, fmt.Errorf("core: duplicate site %v", opt.Sites[i])
+			}
+		}
+	}
+	if opt.PageSize <= 0 {
+		opt.PageSize = pagestore.DefaultPageSize
+	}
+	if opt.PoolPages <= 0 {
+		opt.PoolPages = 512
+	}
+	if opt.FillFactor <= 0 || opt.FillFactor > 1 {
+		opt.FillFactor = 0.9
+	}
+	lo, hi, err := slopeBox(opt, d-1)
+	if err != nil {
+		return nil, err
+	}
+	opt.SlopeBoxLo, opt.SlopeBoxHi = lo, hi
+
+	pool := opt.Pool
+	if pool == nil {
+		pool = pagestore.NewPool(pagestore.NewMemStore(opt.PageSize), opt.PoolPages)
+	}
+	ix := &IndexD{
+		rel:     rel,
+		opt:     opt,
+		dim:     d,
+		sites:   append([]geom.Point(nil), opt.Sites...),
+		pool:    pool,
+		indexed: make(map[constraint.TupleID]bool),
+	}
+	if err := ix.buildCells(); err != nil {
+		return nil, err
+	}
+	kinds := []btree.SlotKind{btree.MinSlot, btree.MaxSlot}
+	cfg := btree.Config{HandicapKinds: kinds, FillFactor: opt.FillFactor}
+	for range ix.sites {
+		u, err := btree.New(pool, cfg)
+		if err != nil {
+			return nil, err
+		}
+		dn, err := btree.New(pool, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ix.up = append(ix.up, u)
+		ix.down = append(ix.down, dn)
+	}
+	return ix, nil
+}
+
+// slopeBox fills the default clamping box.
+func slopeBox(opt OptionsD, sdim int) (lo, hi []float64, err error) {
+	if opt.SlopeBoxLo != nil || opt.SlopeBoxHi != nil {
+		if len(opt.SlopeBoxLo) != sdim || len(opt.SlopeBoxHi) != sdim {
+			return nil, nil, fmt.Errorf("core: slope box dimension mismatch")
+		}
+		for i := range opt.SlopeBoxLo {
+			if opt.SlopeBoxLo[i] >= opt.SlopeBoxHi[i] {
+				return nil, nil, fmt.Errorf("core: empty slope box on axis %d", i)
+			}
+		}
+		return opt.SlopeBoxLo, opt.SlopeBoxHi, nil
+	}
+	lo = make([]float64, sdim)
+	hi = make([]float64, sdim)
+	for i := range lo {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	maxDist := 0.0
+	for i, s := range opt.Sites {
+		for k, c := range s {
+			lo[k] = math.Min(lo[k], c)
+			hi[k] = math.Max(hi[k], c)
+		}
+		for j := i + 1; j < len(opt.Sites); j++ {
+			if d := s.Dist(opt.Sites[j]); d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	if maxDist == 0 {
+		maxDist = 1 // single site
+	}
+	for i := range lo {
+		lo[i] -= maxDist
+		hi[i] += maxDist
+	}
+	return lo, hi, nil
+}
+
+// buildCells computes the clamped Voronoi cell of each site: the points of
+// the slope box nearer to it than to any other site.
+func (ix *IndexD) buildCells() error {
+	sdim := ix.dim - 1
+	for i, s := range ix.sites {
+		var hs []geom.HalfSpace
+		for j, t := range ix.sites {
+			if i == j {
+				continue
+			}
+			// |x−s|² ≤ |x−t|²  ⇔  2(t−s)·x ≤ |t|² − |s|².
+			a := make([]float64, sdim)
+			for k := 0; k < sdim; k++ {
+				a[k] = 2 * (t[k] - s[k])
+			}
+			c := s.Dot(s) - t.Dot(t)
+			hs = append(hs, geom.HalfSpace{A: a, C: c, Op: geom.LE})
+		}
+		for k := 0; k < sdim; k++ {
+			axis := make([]float64, sdim)
+			axis[k] = 1
+			hs = append(hs,
+				geom.HalfSpace{A: append([]float64(nil), axis...), C: -ix.opt.SlopeBoxHi[k], Op: geom.LE},
+				geom.HalfSpace{A: axis, C: -ix.opt.SlopeBoxLo[k], Op: geom.GE},
+			)
+		}
+		cell, err := geom.FromHalfSpaces(hs, sdim)
+		if err != nil {
+			return fmt.Errorf("core: cell of site %v: %w", s, err)
+		}
+		if cell.IsEmpty() || len(cell.Verts) == 0 {
+			return fmt.Errorf("core: empty Voronoi cell for site %v (outside the slope box?)", s)
+		}
+		ix.cells = append(ix.cells, cell)
+	}
+	return nil
+}
+
+// BuildD bulk-loads a d-dimensional dual index from the relation.
+func BuildD(rel *constraint.Relation, opt OptionsD) (*IndexD, error) {
+	ix, err := NewD(rel, opt)
+	if err != nil {
+		return nil, err
+	}
+	type surf struct {
+		id  constraint.TupleID
+		ext geom.Polyhedron
+	}
+	var ts []surf
+	var buildErr error
+	rel.Scan(func(t *constraint.Tuple) bool {
+		ext, err := t.Extension()
+		if err != nil {
+			buildErr = err
+			return false
+		}
+		if ext.IsEmpty() {
+			return true
+		}
+		ts = append(ts, surf{id: t.ID(), ext: ext})
+		return true
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	for i, s := range ix.sites {
+		upEntries := make([]btree.Entry, 0, len(ts))
+		downEntries := make([]btree.Entry, 0, len(ts))
+		for _, t := range ts {
+			upEntries = append(upEntries, btree.Entry{Key: t.ext.Top(s), TID: uint32(t.id)})
+			downEntries = append(downEntries, btree.Entry{Key: t.ext.Bot(s), TID: uint32(t.id)})
+		}
+		sort.Slice(upEntries, func(x, y int) bool { return upEntries[x].Less(upEntries[y]) })
+		sort.Slice(downEntries, func(x, y int) bool { return downEntries[x].Less(downEntries[y]) })
+		if err := ix.up[i].BulkLoad(upEntries); err != nil {
+			return nil, err
+		}
+		if err := ix.down[i].BulkLoad(downEntries); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range ts {
+		if err := ix.mergeHandicapsD(t.ext); err != nil {
+			return nil, err
+		}
+		ix.indexed[t.id] = true
+	}
+	return ix, nil
+}
+
+// cellTopExtrema returns the exact maximum and a sound lower bound of the
+// minimum of TOP^P over the cell. TOP is convex over slope space, so its
+// max over the cell is attained at a cell vertex. For the min, TOP(b) =
+// max_v g_v(b) ≥ g_v(b) for every tuple vertex v, so
+// max_v (min over cell vertices of g_v) is a valid lower bound (rays only
+// raise TOP, keeping the bound valid).
+func cellTopExtrema(ext geom.Polyhedron, cell geom.Polyhedron) (maxTop, minTopLB float64) {
+	maxTop = math.Inf(-1)
+	for _, b := range cell.Verts {
+		if v := ext.Top(b); v > maxTop {
+			maxTop = v
+		}
+	}
+	minTopLB = math.Inf(-1)
+	for _, v := range ext.Verts {
+		minG := math.Inf(1)
+		for _, b := range cell.Verts {
+			if g := geom.FDual(v, b); g < minG {
+				minG = g
+			}
+		}
+		if minG > minTopLB {
+			minTopLB = minG
+		}
+	}
+	return maxTop, minTopLB
+}
+
+// cellBotExtrema returns the exact minimum and a sound upper bound of the
+// maximum of BOT^P over the cell (the concave mirror of cellTopExtrema).
+func cellBotExtrema(ext geom.Polyhedron, cell geom.Polyhedron) (minBot, maxBotUB float64) {
+	minBot = math.Inf(1)
+	for _, b := range cell.Verts {
+		if v := ext.Bot(b); v < minBot {
+			minBot = v
+		}
+	}
+	maxBotUB = math.Inf(1)
+	for _, v := range ext.Verts {
+		maxG := math.Inf(-1)
+		for _, b := range cell.Verts {
+			if g := geom.FDual(v, b); g > maxG {
+				maxG = g
+			}
+		}
+		if maxG < maxBotUB {
+			maxBotUB = maxG
+		}
+	}
+	return minBot, maxBotUB
+}
+
+// mergeHandicapsD folds one tuple into every site's handicap slots.
+func (ix *IndexD) mergeHandicapsD(ext geom.Polyhedron) error {
+	for i, s := range ix.sites {
+		topV, botV := ext.Top(s), ext.Bot(s)
+		cell := ix.cells[i]
+
+		maxTop, minTopLB := cellTopExtrema(ext, cell)
+		// EXIST(≥) second-sweep bound: route by the cell max of TOP.
+		if err := ix.up[i].MergeHandicap(maxTop, slotDLow, topV); err != nil {
+			return err
+		}
+		// ALL(≤) second-sweep bound: route by (a lower bound of) the cell
+		// min of TOP. A lower bound routes to an earlier leaf, which the
+		// first (downward) sweep still visits — sound.
+		if err := ix.up[i].MergeHandicap(minTopLB, slotDHigh, topV); err != nil {
+			return err
+		}
+
+		minBot, maxBotUB := cellBotExtrema(ext, cell)
+		// ALL(≥): route by (an upper bound of) the cell max of BOT.
+		if err := ix.down[i].MergeHandicap(maxBotUB, slotDLow, botV); err != nil {
+			return err
+		}
+		// EXIST(≤): route by the cell min of BOT.
+		if err := ix.down[i].MergeHandicap(minBot, slotDHigh, botV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert adds a tuple to the relation and the index.
+func (ix *IndexD) Insert(t *constraint.Tuple) (constraint.TupleID, error) {
+	if t.Dim() != ix.dim {
+		return 0, fmt.Errorf("core: tuple dimension %d, index dimension %d", t.Dim(), ix.dim)
+	}
+	id, err := ix.rel.Insert(t)
+	if err != nil {
+		return 0, err
+	}
+	ext, err := t.Extension()
+	if err != nil {
+		return id, err
+	}
+	if ext.IsEmpty() {
+		return id, nil
+	}
+	for i, s := range ix.sites {
+		if err := ix.up[i].Insert(ext.Top(s), uint32(id)); err != nil {
+			return id, err
+		}
+		if err := ix.down[i].Insert(ext.Bot(s), uint32(id)); err != nil {
+			return id, err
+		}
+	}
+	if err := ix.mergeHandicapsD(ext); err != nil {
+		return id, err
+	}
+	ix.indexed[id] = true
+	return id, nil
+}
+
+// Delete removes a tuple; handicaps stay conservatively stale and are
+// rebuilt exactly every RebuildHandicapsEvery deletions.
+func (ix *IndexD) Delete(id constraint.TupleID) error {
+	t, err := ix.rel.Get(id)
+	if err != nil {
+		return err
+	}
+	if ix.indexed[id] {
+		ext, err := t.Extension()
+		if err != nil {
+			return err
+		}
+		for i, s := range ix.sites {
+			if _, err := ix.up[i].Delete(ext.Top(s), uint32(id)); err != nil {
+				return err
+			}
+			if _, err := ix.down[i].Delete(ext.Bot(s), uint32(id)); err != nil {
+				return err
+			}
+		}
+		delete(ix.indexed, id)
+		ix.deletesSinceRebuild++
+	}
+	if err := ix.rel.Delete(id); err != nil {
+		return err
+	}
+	if n := ix.opt.RebuildHandicapsEvery; n > 0 && ix.deletesSinceRebuild >= n {
+		return ix.RebuildHandicaps()
+	}
+	return nil
+}
+
+// RebuildHandicaps recomputes all handicap slots exactly.
+func (ix *IndexD) RebuildHandicaps() error {
+	for i := range ix.sites {
+		if err := ix.up[i].ResetHandicaps(); err != nil {
+			return err
+		}
+		if err := ix.down[i].ResetHandicaps(); err != nil {
+			return err
+		}
+	}
+	var err error
+	ix.rel.Scan(func(t *constraint.Tuple) bool {
+		if !ix.indexed[t.ID()] {
+			return true
+		}
+		ext, e := t.Extension()
+		if e != nil {
+			err = e
+			return false
+		}
+		if e := ix.mergeHandicapsD(ext); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	ix.deletesSinceRebuild = 0
+	return err
+}
+
+// Pages returns the total page count of all trees.
+func (ix *IndexD) Pages() int {
+	n := 0
+	for i := range ix.sites {
+		n += ix.up[i].Pages() + ix.down[i].Pages()
+	}
+	return n
+}
+
+// Pool exposes the buffer pool.
+func (ix *IndexD) Pool() *pagestore.Pool { return ix.pool }
+
+// Len returns the number of indexed tuples.
+func (ix *IndexD) Len() int { return len(ix.indexed) }
+
+// Sites returns a copy of the site set.
+func (ix *IndexD) Sites() []geom.Point {
+	out := make([]geom.Point, len(ix.sites))
+	for i, s := range ix.sites {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// nearestSite returns the closest site index and whether the point
+// coincides with it (the proximity partition's answer).
+func (ix *IndexD) nearestSite(p geom.Point) (int, bool) {
+	best, bestDist := -1, math.Inf(1)
+	for i, s := range ix.sites {
+		if d := s.Dist(p); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best, bestDist <= geom.Eps
+}
+
+// Query executes a d-dimensional ALL/EXIST half-plane selection.
+func (ix *IndexD) Query(q constraint.Query) (Result, error) {
+	if q.Dim() != ix.dim {
+		return Result{}, fmt.Errorf("core: query dimension %d, index dimension %d", q.Dim(), ix.dim)
+	}
+	for _, b := range q.Slope {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return Result{}, fmt.Errorf("core: invalid query slope %v", q.Slope)
+		}
+	}
+	before := ix.pool.Stats().PhysicalReads
+	p := geom.Point(q.Slope)
+	i, exact := ix.nearestSite(p)
+
+	var res Result
+	var err error
+	switch {
+	case exact:
+		res, err = ix.runRestrictedD(i, q)
+	default:
+		in, cerr := ix.cells[i].Contains(p)
+		if cerr != nil {
+			return Result{}, cerr
+		}
+		if in {
+			res, err = ix.runT2D(i, q)
+		} else {
+			res, err = ix.runScan(q)
+		}
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Stats.PagesRead = ix.pool.Stats().PhysicalReads - before
+	return res, nil
+}
+
+func (ix *IndexD) treeD(i int, q constraint.Query) *btree.Tree {
+	if q.UsesTop() {
+		return ix.up[i]
+	}
+	return ix.down[i]
+}
+
+// runRestrictedD answers a query whose slope point is in S.
+func (ix *IndexD) runRestrictedD(i int, q constraint.Query) (Result, error) {
+	st := QueryStats{Path: "restricted"}
+	tr := ix.treeD(i, q)
+	b := q.Intercept
+	var cands []uint32
+	var err error
+	if q.SweepsUp() {
+		err = tr.VisitLeavesAsc(b, func(lv btree.LeafView) bool {
+			st.LeavesSwept++
+			for _, e := range lv.Entries {
+				if e.Key >= b-geom.Eps {
+					cands = append(cands, e.TID)
+				}
+			}
+			return true
+		})
+	} else {
+		err = tr.VisitLeavesDesc(b, func(lv btree.LeafView) bool {
+			st.LeavesSwept++
+			for _, e := range lv.Entries {
+				if e.Key <= b+geom.Eps {
+					cands = append(cands, e.TID)
+				}
+			}
+			return true
+		})
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return ix.refineD(q, cands, st)
+}
+
+// runT2D is the cell-handicap analogue of the 2-D T2 execution.
+func (ix *IndexD) runT2D(i int, q constraint.Query) (Result, error) {
+	st := QueryStats{Path: "t2"}
+	tr := ix.treeD(i, q)
+	b := q.Intercept
+	var cands []uint32
+	if q.SweepsUp() {
+		low := math.Inf(1)
+		err := tr.VisitLeavesAsc(b, func(lv btree.LeafView) bool {
+			st.LeavesSwept++
+			if h := lv.Handicaps[slotDLow]; h < low {
+				low = h
+			}
+			for _, e := range lv.Entries {
+				if e.Key >= b {
+					cands = append(cands, e.TID)
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if low < b {
+			err = tr.VisitLeavesDesc(b, func(lv btree.LeafView) bool {
+				st.LeavesSwept++
+				done := false
+				for _, e := range lv.Entries {
+					if e.Key >= b {
+						continue
+					}
+					if e.Key < low {
+						done = true
+						continue
+					}
+					cands = append(cands, e.TID)
+				}
+				return !done
+			})
+			if err != nil {
+				return Result{}, err
+			}
+		}
+	} else {
+		high := math.Inf(-1)
+		err := tr.VisitLeavesDesc(b, func(lv btree.LeafView) bool {
+			st.LeavesSwept++
+			if h := lv.Handicaps[slotDHigh]; h > high {
+				high = h
+			}
+			for _, e := range lv.Entries {
+				if e.Key <= b {
+					cands = append(cands, e.TID)
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if high > b {
+			err = tr.VisitLeavesAsc(b, func(lv btree.LeafView) bool {
+				st.LeavesSwept++
+				done := false
+				for _, e := range lv.Entries {
+					if e.Key <= b {
+						continue
+					}
+					if e.Key > high {
+						done = true
+						continue
+					}
+					cands = append(cands, e.TID)
+				}
+				return !done
+			})
+			if err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	return ix.refineD(q, cands, st)
+}
+
+// runScan answers a query whose slope lies outside every clamped cell by
+// exhaustive evaluation (counted as its own path in the stats).
+func (ix *IndexD) runScan(q constraint.Query) (Result, error) {
+	st := QueryStats{Path: "scan"}
+	ids, err := q.Eval(ix.rel)
+	if err != nil {
+		return Result{}, err
+	}
+	st.Candidates = ix.rel.Len()
+	st.Results = len(ids)
+	st.FalseHits = st.Candidates - st.Results
+	return Result{IDs: ids, Stats: st}, nil
+}
+
+// refineD filters candidates through the exact predicate.
+func (ix *IndexD) refineD(q constraint.Query, cands []uint32, st QueryStats) (Result, error) {
+	st.Candidates = len(cands)
+	ids := make([]constraint.TupleID, 0, len(cands))
+	for _, tid := range cands {
+		t, err := ix.rel.Get(constraint.TupleID(tid))
+		if err != nil {
+			return Result{}, fmt.Errorf("core: candidate %d not in relation: %w", tid, err)
+		}
+		ok, err := q.Matches(t)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			ids = append(ids, constraint.TupleID(tid))
+		} else {
+			st.FalseHits++
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	st.Results = len(ids)
+	return Result{IDs: ids, Stats: st}, nil
+}
+
+// LatticeSites returns a regular grid of k^sdim sites in [−extent, extent]^sdim,
+// a natural S for uniformly distributed query slopes in E^{d−1}.
+func LatticeSites(sdim, perAxis int, extent float64) []geom.Point {
+	if perAxis < 1 || sdim < 1 {
+		return nil
+	}
+	coords := make([]float64, perAxis)
+	for i := range coords {
+		if perAxis == 1 {
+			coords[i] = 0
+		} else {
+			coords[i] = -extent + 2*extent*float64(i)/float64(perAxis-1)
+		}
+	}
+	total := 1
+	for i := 0; i < sdim; i++ {
+		total *= perAxis
+	}
+	out := make([]geom.Point, 0, total)
+	idx := make([]int, sdim)
+	for {
+		p := make(geom.Point, sdim)
+		for i, j := range idx {
+			p[i] = coords[j]
+		}
+		out = append(out, p)
+		k := 0
+		for k < sdim {
+			idx[k]++
+			if idx[k] < perAxis {
+				break
+			}
+			idx[k] = 0
+			k++
+		}
+		if k == sdim {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+// Package core implements the paper's contribution: dual-representation
+// indexing of linear constraint databases for ALL/EXIST half-plane
+// selections.
+//
+// For every slope a_i in a predefined set S, two B⁺-trees index the tuples:
+// B_i^up over TOP^P(a_i) and B_i^down over BOT^P(a_i) (Section 3). Queries
+// whose slope lies in S are answered exactly with one tree search and a
+// one-directional leaf sweep. Queries with other slopes are approximated:
+//
+//   - Technique T1 (Section 4.1) rewrites the query into two app-queries
+//     with slopes from S (Table 1 fixes their operators; an ALL query
+//     becomes one ALL plus one EXIST app-query), executes both, and
+//     refines away false hits. Results can contain duplicates.
+//   - Technique T2 (Section 4.2–4.3) searches a single tree — the one for
+//     the S-slope nearest the query slope — using per-leaf handicap values
+//     to bound a second, disjoint sweep in the same tree. No duplicates;
+//     false hits are removed by the same refinement step.
+//
+// Both techniques store tuples exactly (no geometry is approximated — only
+// the query is), handle unbounded tuples via ±Inf surface values, and
+// process ALL and EXIST selections uniformly.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dualcdb/internal/pagestore"
+)
+
+// Technique selects how out-of-set query slopes are processed.
+type Technique int
+
+const (
+	// T2 is the single-tree handicap technique of Section 4.2 (default).
+	T2 Technique = iota
+	// T1 is the two-app-query technique of Section 4.1.
+	T1
+	// RestrictedOnly rejects query slopes outside S (Section 3 only).
+	RestrictedOnly
+)
+
+// String renders the technique name.
+func (t Technique) String() string {
+	switch t {
+	case T1:
+		return "T1"
+	case RestrictedOnly:
+		return "restricted"
+	default:
+		return "T2"
+	}
+}
+
+// Options configures a 2-D dual index.
+type Options struct {
+	// Slopes is the predefined set S of angular coefficients. At least one;
+	// at least two for T1/T2 approximation. Sorted internally.
+	Slopes []float64
+	// Technique picks the approximation technique for slopes outside S.
+	Technique Technique
+	// PageSize is the page size of the backing store in bytes (default
+	// 1024, the paper's setting). Ignored when Pool is set.
+	PageSize int
+	// PoolPages is the buffer-pool capacity in frames (default 512).
+	// Ignored when Pool is set.
+	PoolPages int
+	// Pool optionally supplies a shared buffer pool (so several structures
+	// can be compared on one store); when nil a MemStore-backed pool is
+	// created from PageSize/PoolPages. Indexes on shared pools cannot be
+	// persisted (no catalog page).
+	Pool *pagestore.Pool
+	// Store optionally supplies a dedicated page device (e.g. a
+	// pagestore.FileStore for an on-disk database); ignored when Pool is
+	// set. The store must be fresh — its page 1 becomes the catalog.
+	Store pagestore.Store
+	// FillFactor is the bulk-load leaf occupancy in (0,1]; default 0.9.
+	FillFactor float64
+	// PivotX is the x-coordinate of the point P shared by the two T1
+	// app-query lines (Section 4.1 leaves the choice open; the center of
+	// the data window is a good default).
+	PivotX float64
+	// OuterHalfWidth is the half-width of the two outer handicap strips
+	// beyond min(S) and max(S). Query slopes farther out fall back to T1.
+	// Default: half the largest gap between consecutive slopes (or 1.0
+	// when S has a single element).
+	OuterHalfWidth float64
+	// IndexVertical adds a V^up/V^down tree pair over the tuples'
+	// horizontal support values so that vertical selections Kind(x θ c) —
+	// outside the dual transform, footnote 4 — run an exact tree sweep
+	// instead of a scan. Costs two extra trees of space.
+	IndexVertical bool
+	// RebuildHandicapsEvery triggers an exact handicap recomputation after
+	// this many deletions (conservative drift otherwise only costs I/O,
+	// never correctness). 0 disables automatic rebuilds.
+	RebuildHandicapsEvery int
+}
+
+// normalize validates the options and fills defaults, returning the sorted
+// slope set.
+func (o *Options) normalize() ([]float64, error) {
+	if len(o.Slopes) == 0 {
+		return nil, fmt.Errorf("core: empty slope set S")
+	}
+	s := append([]float64(nil), o.Slopes...)
+	sort.Float64s(s)
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			return nil, fmt.Errorf("core: duplicate slope %g in S", s[i])
+		}
+	}
+	for _, a := range s {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return nil, fmt.Errorf("core: invalid slope %v in S", a)
+		}
+	}
+	if o.Technique != RestrictedOnly && len(s) < 2 {
+		return nil, fmt.Errorf("core: techniques T1/T2 need at least two slopes, got %d", len(s))
+	}
+	if o.PageSize <= 0 {
+		o.PageSize = pagestore.DefaultPageSize
+	}
+	if o.PoolPages <= 0 {
+		o.PoolPages = 512
+	}
+	if o.FillFactor <= 0 || o.FillFactor > 1 {
+		o.FillFactor = 0.9
+	}
+	if o.OuterHalfWidth <= 0 {
+		if len(s) >= 2 {
+			maxGap := 0.0
+			for i := 1; i < len(s); i++ {
+				if g := s[i] - s[i-1]; g > maxGap {
+					maxGap = g
+				}
+			}
+			o.OuterHalfWidth = maxGap / 2
+		} else {
+			o.OuterHalfWidth = 1.0
+		}
+	}
+	return s, nil
+}
+
+// EquiangularSlopes returns k slopes spread as the tangents of k equally
+// spaced angles in (−π/2, π/2) — a natural choice of S when query slopes
+// are uniform in angle, as in the paper's workloads (k = 2..5 there).
+func EquiangularSlopes(k int) []float64 {
+	if k < 1 {
+		return nil
+	}
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		ang := -math.Pi/2 + math.Pi*float64(i+1)/float64(k+1)
+		out[i] = math.Tan(ang)
+	}
+	return out
+}
+
+// Handicap slot indices. Each tree carries four slots (Section 4.3: "each
+// leaf node in B_i^up and B_i^down is extended with four handicap values").
+//
+// For B^up (keys TOP^P(a_i)):
+//
+//	slotLowPrev/slotLowNext  bound the downward second sweep of
+//	                         EXIST(q(≥)) queries approximated from the
+//	                         left/right neighbour strip (min of TOP(a_i)
+//	                         over tuples routed by the strip max of TOP);
+//	slotHighPrev/slotHighNext bound the upward second sweep of ALL(q(≤))
+//	                         queries (max of TOP(a_i) over tuples routed
+//	                         by the strip min of TOP).
+//
+// For B^down (keys BOT^P(a_i)) the same four slots serve ALL(q(≥)) (low
+// slots, routed by strip max of BOT) and EXIST(q(≤)) (high slots, routed
+// by strip min of BOT).
+const (
+	slotLowPrev = iota
+	slotLowNext
+	slotHighPrev
+	slotHighNext
+	numSlots
+)

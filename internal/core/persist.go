@@ -1,0 +1,376 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dualcdb/internal/btree"
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/geom"
+	"dualcdb/internal/pagestore"
+)
+
+// Persistence: a 2-D dual index together with its relation can be saved
+// into its own page store and reopened later — the store is then a
+// self-contained constraint database file (use pagestore.OpenFileStore for
+// an on-disk one).
+//
+// Layout: the index's first allocated page (page 1 on a dedicated store)
+// is the catalog. It records the options, the slope set, the root metadata
+// of every B⁺-tree and the head of a chained-page stream holding the
+// serialized relation tuples. Save rewrites the catalog and the tuple
+// stream; Open restores the relation (with original tuple ids) and
+// reattaches the trees.
+
+const (
+	catalogMagic   = "DCDB0001"
+	catalogPage    = pagestore.PageID(1)
+	maxPersistK    = 23 // catalog page capacity bound at 1 KiB pages (incl. vertical pair)
+	chainHeaderLen = 4  // next-page pointer
+)
+
+// Save writes the catalog and the relation into the index's store. The
+// index must own its store (created via New/Build without a shared Pool),
+// so that the catalog sits at page 1.
+func (ix *Index) Save() error {
+	if ix.catalog == pagestore.InvalidPage {
+		return fmt.Errorf("core: index has no catalog page (built on a shared pool?)")
+	}
+	if len(ix.slopes) > maxPersistK {
+		return fmt.Errorf("core: cannot persist k=%d > %d slope sets", len(ix.slopes), maxPersistK)
+	}
+	// Serialize the relation.
+	data, count, err := encodeRelation(ix.rel)
+	if err != nil {
+		return err
+	}
+	head, pages, err := writeChain(ix.pool, data)
+	if err != nil {
+		return err
+	}
+	// Free the previous tuple chain, if any.
+	if ix.tupleChain != pagestore.InvalidPage {
+		if err := freeChain(ix.pool, ix.tupleChain); err != nil {
+			return err
+		}
+		ix.dataPages = 0
+	}
+	ix.tupleChain = head
+	ix.dataPages = pages
+
+	f, err := ix.pool.Get(ix.catalog)
+	if err != nil {
+		return err
+	}
+	defer f.Release()
+	d := f.Data()
+	for i := range d {
+		d[i] = 0
+	}
+	copy(d[0:8], catalogMagic)
+	d[8] = byte(ix.opt.Technique)
+	if ix.vup != nil {
+		d[9] = 1 // flags: bit 0 = vertical pair present
+	}
+	binary.LittleEndian.PutUint16(d[10:12], uint16(len(ix.slopes)))
+	binary.LittleEndian.PutUint32(d[12:16], uint32(ix.opt.RebuildHandicapsEvery))
+	binary.LittleEndian.PutUint64(d[16:24], math.Float64bits(ix.opt.PivotX))
+	binary.LittleEndian.PutUint64(d[24:32], math.Float64bits(ix.opt.OuterHalfWidth))
+	binary.LittleEndian.PutUint64(d[32:40], math.Float64bits(ix.opt.FillFactor))
+	binary.LittleEndian.PutUint32(d[40:44], uint32(head))
+	binary.LittleEndian.PutUint32(d[44:48], uint32(count))
+	binary.LittleEndian.PutUint32(d[48:52], uint32(ix.rel.Dim()))
+	off := 52
+	for _, s := range ix.slopes {
+		binary.LittleEndian.PutUint64(d[off:off+8], math.Float64bits(s))
+		off += 8
+	}
+	writeMeta := func(m btree.Meta) {
+		binary.LittleEndian.PutUint32(d[off:off+4], uint32(m.Root))
+		binary.LittleEndian.PutUint32(d[off+4:off+8], uint32(m.Height))
+		binary.LittleEndian.PutUint32(d[off+8:off+12], uint32(m.Size))
+		binary.LittleEndian.PutUint32(d[off+12:off+16], uint32(m.Pages))
+		off += 16
+	}
+	for i := range ix.slopes {
+		writeMeta(ix.up[i].Meta())
+		writeMeta(ix.down[i].Meta())
+	}
+	if ix.vup != nil {
+		writeMeta(ix.vup.Meta())
+		writeMeta(ix.vdown.Meta())
+	}
+	f.MarkDirty()
+	return ix.pool.Flush()
+}
+
+// Open reopens a saved database from its store: it rebuilds the relation
+// (original tuple ids preserved) and reattaches the index trees.
+func Open(pool *pagestore.Pool) (*constraint.Relation, *Index, error) {
+	f, err := pool.Get(catalogPage)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: read catalog: %w", err)
+	}
+	d := f.Data()
+	if string(d[0:8]) != catalogMagic {
+		f.Release()
+		return nil, nil, fmt.Errorf("core: bad catalog magic %q", d[0:8])
+	}
+	hasVertical := d[9]&1 != 0
+	opt := Options{
+		Technique:             Technique(d[8]),
+		IndexVertical:         hasVertical,
+		RebuildHandicapsEvery: int(binary.LittleEndian.Uint32(d[12:16])),
+		PivotX:                math.Float64frombits(binary.LittleEndian.Uint64(d[16:24])),
+		OuterHalfWidth:        math.Float64frombits(binary.LittleEndian.Uint64(d[24:32])),
+		FillFactor:            math.Float64frombits(binary.LittleEndian.Uint64(d[32:40])),
+		PageSize:              pool.PageSize(),
+	}
+	k := int(binary.LittleEndian.Uint16(d[10:12]))
+	head := pagestore.PageID(binary.LittleEndian.Uint32(d[40:44]))
+	count := int(binary.LittleEndian.Uint32(d[44:48]))
+	dim := int(binary.LittleEndian.Uint32(d[48:52]))
+	if dim != 2 {
+		f.Release()
+		return nil, nil, fmt.Errorf("core: persisted dimension %d (the 2-D Open only)", dim)
+	}
+	off := 52
+	slopes := make([]float64, k)
+	for i := range slopes {
+		slopes[i] = math.Float64frombits(binary.LittleEndian.Uint64(d[off : off+8]))
+		off += 8
+	}
+	opt.Slopes = slopes
+	nMetas := 2 * k
+	if hasVertical {
+		nMetas += 2
+	}
+	metas := make([]btree.Meta, nMetas)
+	for i := range metas {
+		metas[i] = btree.Meta{
+			Root:   pagestore.PageID(binary.LittleEndian.Uint32(d[off : off+4])),
+			Height: int(binary.LittleEndian.Uint32(d[off+4 : off+8])),
+			Size:   int(binary.LittleEndian.Uint32(d[off+8 : off+12])),
+			Pages:  int(binary.LittleEndian.Uint32(d[off+12 : off+16])),
+		}
+		off += 16
+	}
+	f.Release()
+
+	// Rebuild the relation from the tuple chain.
+	data, chainPages, err := readChain(pool, head)
+	if err != nil {
+		return nil, nil, err
+	}
+	rel, err := decodeRelation(data, count, dim)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Reattach the trees.
+	ix := &Index{
+		rel:        rel,
+		opt:        opt,
+		slopes:     slopes,
+		pool:       pool,
+		indexed:    make(map[constraint.TupleID]bool),
+		catalog:    catalogPage,
+		tupleChain: head,
+	}
+	ix.dataPages = chainPages
+	kinds := []btree.SlotKind{btree.MinSlot, btree.MinSlot, btree.MaxSlot, btree.MaxSlot}
+	cfg := btree.Config{HandicapKinds: kinds, FillFactor: opt.FillFactor}
+	for i := 0; i < k; i++ {
+		u, err := btree.Restore(pool, cfg, metas[2*i])
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: restore B_%d^up: %w", i, err)
+		}
+		dn, err := btree.Restore(pool, cfg, metas[2*i+1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: restore B_%d^down: %w", i, err)
+		}
+		ix.up = append(ix.up, u)
+		ix.down = append(ix.down, dn)
+	}
+	if hasVertical {
+		vcfg := btree.Config{FillFactor: opt.FillFactor}
+		if ix.vup, err = btree.Restore(pool, vcfg, metas[2*k]); err != nil {
+			return nil, nil, fmt.Errorf("core: restore V^up: %w", err)
+		}
+		if ix.vdown, err = btree.Restore(pool, vcfg, metas[2*k+1]); err != nil {
+			return nil, nil, fmt.Errorf("core: restore V^down: %w", err)
+		}
+	}
+	// Indexed set: exactly the satisfiable tuples (Insert's invariant).
+	rel.Scan(func(t *constraint.Tuple) bool {
+		if t.IsSatisfiable() {
+			ix.indexed[t.ID()] = true
+		}
+		return true
+	})
+	return rel, ix, nil
+}
+
+// encodeRelation serializes every tuple: id, constraint count, then per
+// constraint op, constant and coefficients.
+func encodeRelation(rel *constraint.Relation) ([]byte, int, error) {
+	var buf []byte
+	put32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	put64 := func(v float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		buf = append(buf, b[:]...)
+	}
+	count := 0
+	dim := rel.Dim()
+	rel.Scan(func(t *constraint.Tuple) bool {
+		put32(uint32(t.ID()))
+		cons := t.Constraints()
+		put32(uint32(len(cons)))
+		for _, h := range cons {
+			if h.Op == geom.LE {
+				buf = append(buf, 0)
+			} else {
+				buf = append(buf, 1)
+			}
+			put64(h.C)
+			for i := 0; i < dim; i++ {
+				put64(h.A[i])
+			}
+		}
+		count++
+		return true
+	})
+	return buf, count, nil
+}
+
+// decodeRelation reverses encodeRelation.
+func decodeRelation(data []byte, count, dim int) (*constraint.Relation, error) {
+	rel := constraint.NewRelation(dim)
+	off := 0
+	need := func(n int) error {
+		if off+n > len(data) {
+			return fmt.Errorf("core: truncated tuple stream at byte %d", off)
+		}
+		return nil
+	}
+	for i := 0; i < count; i++ {
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		id := constraint.TupleID(binary.LittleEndian.Uint32(data[off : off+4]))
+		m := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+		off += 8
+		if m < 0 || m > 1<<16 {
+			return nil, fmt.Errorf("core: implausible constraint count %d", m)
+		}
+		cons := make([]geom.HalfSpace, 0, m)
+		for j := 0; j < m; j++ {
+			if err := need(1 + 8 + 8*dim); err != nil {
+				return nil, err
+			}
+			op := geom.LE
+			if data[off] == 1 {
+				op = geom.GE
+			}
+			off++
+			c := math.Float64frombits(binary.LittleEndian.Uint64(data[off : off+8]))
+			off += 8
+			a := make([]float64, dim)
+			for x := 0; x < dim; x++ {
+				a[x] = math.Float64frombits(binary.LittleEndian.Uint64(data[off : off+8]))
+				off += 8
+			}
+			cons = append(cons, geom.HalfSpace{A: a, C: c, Op: op})
+		}
+		t, err := constraint.NewTuple(dim, cons)
+		if err != nil {
+			return nil, err
+		}
+		if err := rel.InsertWithID(t, id); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// writeChain stores data in a linked chain of pages: each page holds a
+// 4-byte next pointer followed by payload bytes.
+func writeChain(pool *pagestore.Pool, data []byte) (pagestore.PageID, int, error) {
+	payload := pool.PageSize() - chainHeaderLen
+	var head, prevID pagestore.PageID
+	var prev *pagestore.Frame
+	pages := 0
+	for off := 0; off == 0 || off < len(data); off += payload {
+		f, err := pool.NewPage()
+		if err != nil {
+			return pagestore.InvalidPage, 0, err
+		}
+		pages++
+		if head == pagestore.InvalidPage {
+			head = f.ID()
+		}
+		if prev != nil {
+			binary.LittleEndian.PutUint32(prev.Data()[0:4], uint32(f.ID()))
+			prev.MarkDirty()
+			prev.Release()
+		}
+		end := off + payload
+		if end > len(data) {
+			end = len(data)
+		}
+		if off <= end {
+			copy(f.Data()[chainHeaderLen:], data[off:end])
+		}
+		f.MarkDirty()
+		prev, prevID = f, f.ID()
+	}
+	_ = prevID
+	if prev != nil {
+		binary.LittleEndian.PutUint32(prev.Data()[0:4], 0)
+		prev.MarkDirty()
+		prev.Release()
+	}
+	return head, pages, nil
+}
+
+// readChain concatenates a page chain's payload, returning the data and
+// the number of chain pages.
+func readChain(pool *pagestore.Pool, head pagestore.PageID) ([]byte, int, error) {
+	var out []byte
+	pages := 0
+	for id := head; id != pagestore.InvalidPage; {
+		f, err := pool.Get(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		next := pagestore.PageID(binary.LittleEndian.Uint32(f.Data()[0:4]))
+		out = append(out, f.Data()[chainHeaderLen:]...)
+		f.Release()
+		id = next
+		pages++
+	}
+	return out, pages, nil
+}
+
+// freeChain releases a page chain.
+func freeChain(pool *pagestore.Pool, head pagestore.PageID) error {
+	for id := head; id != pagestore.InvalidPage; {
+		f, err := pool.Get(id)
+		if err != nil {
+			return err
+		}
+		next := pagestore.PageID(binary.LittleEndian.Uint32(f.Data()[0:4]))
+		f.Release()
+		if err := pool.FreePage(id); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}

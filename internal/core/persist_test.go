@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/pagestore"
+)
+
+// TestSaveOpenRoundTripMem: save into a memory store, reopen through a new
+// pool, and verify identical query answers across all paths.
+func TestSaveOpenRoundTripMem(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	store := pagestore.NewMemStore(1024)
+	rel := constraint.NewRelation(2)
+	for i := 0; i < 200; i++ {
+		if _, err := rel.Insert(randTuple(rng, true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := Build(rel, Options{
+		Slopes: EquiangularSlopes(3), Technique: T2, Store: store, PivotX: 2.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	rel2, ix2, err := Open(pagestore.NewPool(store, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Len() != rel.Len() {
+		t.Fatalf("reopened relation has %d tuples, want %d", rel2.Len(), rel.Len())
+	}
+	if ix2.Len() != ix.Len() {
+		t.Fatalf("reopened index has %d tuples, want %d", ix2.Len(), ix.Len())
+	}
+	if len(ix2.Slopes()) != 3 || ix2.opt.PivotX != 2.5 {
+		t.Fatalf("options not restored: slopes=%v pivot=%v", ix2.Slopes(), ix2.opt.PivotX)
+	}
+	for qi := 0; qi < 60; qi++ {
+		q := randQuery(rng)
+		want, err := ix.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix2.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got.IDs, want.IDs) {
+			t.Fatalf("%v: reopened %v, original %v", q, got.IDs, want.IDs)
+		}
+		truth, err := q.Eval(rel2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got.IDs, truth) {
+			t.Fatalf("%v: reopened %v, ground truth %v", q, got.IDs, truth)
+		}
+	}
+}
+
+// TestSaveOpenRoundTripFile: the full on-disk lifecycle, including closing
+// and reopening the file.
+func TestSaveOpenRoundTripFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cdb.pages")
+	rng := rand.New(rand.NewSource(602))
+
+	store, err := pagestore.OpenFileStore(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := constraint.NewRelation(2)
+	for i := 0; i < 150; i++ {
+		if _, err := rel.Insert(randTuple(rng, true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := Build(rel, Options{Slopes: EquiangularSlopes(2), Technique: T1, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// Capture expected answers before closing.
+	queries := make([]constraint.Query, 20)
+	wants := make([][]constraint.TupleID, 20)
+	for i := range queries {
+		queries[i] = randQuery(rng)
+		res, err := ix.Query(queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = res.IDs
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := pagestore.OpenExistingFileStore(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	rel2, ix2, err := Open(pagestore.NewPool(store2, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Len() != 150 {
+		t.Fatalf("reopened relation: %d tuples", rel2.Len())
+	}
+	if ix2.opt.Technique != T1 {
+		t.Fatalf("technique not restored: %v", ix2.opt.Technique)
+	}
+	for i, q := range queries {
+		got, err := ix2.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got.IDs, wants[i]) {
+			t.Fatalf("%v: reopened %v, want %v", q, got.IDs, wants[i])
+		}
+	}
+	// The reopened database must accept further updates.
+	id, err := ix2.Insert(randTuple(rng, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix2.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix2.Save(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveTwiceReclaimsChain: repeated saves must not leak tuple-chain
+// pages.
+func TestSaveTwiceReclaimsChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	store := pagestore.NewMemStore(1024)
+	rel := constraint.NewRelation(2)
+	for i := 0; i < 100; i++ {
+		_, _ = rel.Insert(randTuple(rng, false))
+	}
+	ix, err := Build(rel, Options{Slopes: EquiangularSlopes(2), Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+	after1 := store.NumAllocated()
+	for i := 0; i < 5; i++ {
+		if err := ix.Save(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := store.NumAllocated(); got != after1 {
+		t.Fatalf("page leak across saves: %d vs %d", got, after1)
+	}
+}
+
+// TestSaveRequiresOwnedStore: an index on a shared pool cannot persist.
+func TestSaveRequiresOwnedStore(t *testing.T) {
+	pool := pagestore.NewPool(pagestore.NewMemStore(1024), 64)
+	rel := constraint.NewRelation(2)
+	ix, err := Build(rel, Options{Slopes: EquiangularSlopes(2), Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(); err == nil {
+		t.Fatal("Save on a shared pool must fail")
+	}
+}
+
+// TestOpenRejectsGarbage: opening a store without a catalog fails cleanly.
+func TestOpenRejectsGarbage(t *testing.T) {
+	store := pagestore.NewMemStore(1024)
+	if _, err := store.Alloc(); err != nil { // page 1 exists but is zeroed
+		t.Fatal(err)
+	}
+	if _, _, err := Open(pagestore.NewPool(store, 64)); err == nil {
+		t.Fatal("Open must reject a store without a catalog")
+	}
+	// Entirely empty store: page 1 absent.
+	if _, _, err := Open(pagestore.NewPool(pagestore.NewMemStore(1024), 64)); err == nil {
+		t.Fatal("Open must reject an empty store")
+	}
+}
+
+// TestInsertWithID covers the relation restore primitive.
+func TestInsertWithID(t *testing.T) {
+	rel := constraint.NewRelation(2)
+	t1, _ := constraint.ParseTuple("x >= 0", 2)
+	if err := rel.InsertWithID(t1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if t1.ID() != 7 {
+		t.Fatalf("id = %d", t1.ID())
+	}
+	t2, _ := constraint.ParseTuple("y >= 0", 2)
+	if err := rel.InsertWithID(t2, 7); err == nil {
+		t.Fatal("duplicate id must be rejected")
+	}
+	if err := rel.InsertWithID(t2, 0); err == nil {
+		t.Fatal("id 0 must be rejected")
+	}
+	// The counter advances past restored ids.
+	id, err := rel.Insert(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 7 {
+		t.Fatalf("next id %d must exceed restored id 7", id)
+	}
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dualcdb/internal/btree"
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/geom"
+)
+
+// QueryStats describes how one selection was executed.
+type QueryStats struct {
+	// Path is the execution route: "restricted", "t1", "t2", or
+	// "t1(fallback)" when a T2 query slope fell outside every handicap
+	// strip.
+	Path string
+	// Candidates is the number of tuple references retrieved from the
+	// trees before refinement (T1 counts duplicates once each).
+	Candidates int
+	// Results is the number of tuples in the final answer.
+	Results int
+	// FalseHits is the number of candidates discarded by refinement.
+	FalseHits int
+	// Duplicates is the number of tuple references retrieved more than
+	// once (only T1 can produce them; T2 is duplicate-free by design).
+	Duplicates int
+	// LeavesSwept is the number of leaf pages visited across all sweeps.
+	LeavesSwept int
+	// PagesRead is the number of physical page reads during the query
+	// (equals distinct pages touched when the pool starts cold).
+	PagesRead uint64
+}
+
+// Result is a selection answer: matching tuple ids in ascending order plus
+// execution statistics.
+type Result struct {
+	IDs   []constraint.TupleID
+	Stats QueryStats
+}
+
+// AppQuery is one of the approximation queries T1 rewrites a selection
+// into: its slope belongs to S, so it runs on the restricted structure.
+type AppQuery struct {
+	Query constraint.Query
+	// SlopeIndex is the position of the app-query slope in sorted S.
+	SlopeIndex int
+}
+
+// Query executes an ALL or EXIST half-plane selection.
+func (ix *Index) Query(q constraint.Query) (Result, error) {
+	if q.Dim() != 2 {
+		return Result{}, fmt.Errorf("core: query dimension %d on a 2-D index", q.Dim())
+	}
+	before := ix.pool.Stats().PhysicalReads
+	a := q.Slope[0]
+	if math.IsNaN(a) || math.IsInf(a, 0) {
+		return Result{}, fmt.Errorf("core: invalid query slope %v", a)
+	}
+	i, exact := ix.nearestSlope(a)
+
+	var res Result
+	var err error
+	switch {
+	case exact:
+		res, err = ix.runRestricted(i, q)
+	case ix.opt.Technique == RestrictedOnly:
+		return Result{}, fmt.Errorf("core: slope %g not in S and technique is restricted-only", a)
+	case ix.opt.Technique == T1:
+		res, err = ix.runT1(q, "t1")
+	default: // T2
+		leftLo, rightHi := ix.stripBounds(i)
+		if a >= leftLo && a <= rightHi {
+			res, err = ix.runT2(i, q)
+		} else {
+			res, err = ix.runT1(q, "t1(fallback)")
+		}
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Stats.PagesRead = ix.pool.Stats().PhysicalReads - before
+	return res, nil
+}
+
+// tree returns the B⁺-tree serving queries of q's shape at slope index i:
+// B^up for EXIST(≥)/ALL(≤), B^down for ALL(≥)/EXIST(≤) (Section 3).
+func (ix *Index) tree(i int, q constraint.Query) *btree.Tree {
+	if q.UsesTop() {
+		return ix.up[i]
+	}
+	return ix.down[i]
+}
+
+// collectRestricted gathers the candidate tuple ids for a query whose
+// slope is exactly S[i]: one search plus a one-directional leaf sweep.
+func (ix *Index) collectRestricted(i int, q constraint.Query, st *QueryStats) ([]uint32, error) {
+	tr := ix.tree(i, q)
+	b := q.Intercept
+	var cands []uint32
+	var err error
+	if q.SweepsUp() {
+		err = tr.VisitLeavesAsc(b, func(lv btree.LeafView) bool {
+			st.LeavesSwept++
+			for _, e := range lv.Entries {
+				if e.Key >= b-geom.Eps {
+					cands = append(cands, e.TID)
+				}
+			}
+			return true
+		})
+	} else {
+		err = tr.VisitLeavesDesc(b, func(lv btree.LeafView) bool {
+			st.LeavesSwept++
+			for _, e := range lv.Entries {
+				if e.Key <= b+geom.Eps {
+					cands = append(cands, e.TID)
+				}
+			}
+			return true
+		})
+	}
+	return cands, err
+}
+
+// runRestricted answers a query whose slope is in S (Section 3).
+func (ix *Index) runRestricted(i int, q constraint.Query) (Result, error) {
+	st := QueryStats{Path: "restricted"}
+	cands, err := ix.collectRestricted(i, q, &st)
+	if err != nil {
+		return Result{}, err
+	}
+	return ix.refine(q, cands, st)
+}
+
+// PlanT1 rewrites a query with slope a ∉ S into the two app-queries of
+// Section 4.1. The slopes are the S-members nearest to a; the operators
+// follow Table 1; both lines pass through the pivot point
+// P = (pivotX, a·pivotX + b); an original ALL query becomes one ALL app-
+// query (on the θ-preserving line) plus one EXIST app-query.
+func PlanT1(q constraint.Query, slopes []float64, pivotX float64) ([2]AppQuery, error) {
+	if len(slopes) < 2 {
+		return [2]AppQuery{}, fmt.Errorf("core: T1 needs |S| ≥ 2")
+	}
+	a, b := q.Slope[0], q.Intercept
+	j := sort.SearchFloat64s(slopes, a)
+	var i1, i2 int // slope indices for q1, q2
+	var op1, op2 geom.Op
+	switch {
+	case j == 0:
+		// a < every slope (Table 1 row "a < a1, a < a2"): θ on the nearest
+		// (smallest) slope, ¬θ on the second smallest.
+		i1, i2 = 0, 1
+		op1, op2 = q.Op, q.Op.Negate()
+	case j == len(slopes):
+		// a > every slope (row "a1 < a, a2 < a"): θ on the nearest
+		// (largest) slope, ¬θ on the second largest.
+		i1, i2 = len(slopes)-1, len(slopes)-2
+		op1, op2 = q.Op, q.Op.Negate()
+	default:
+		// a1 < a < a2: both app-queries keep θ.
+		i1, i2 = j-1, j
+		op1, op2 = q.Op, q.Op
+	}
+	// Both lines pass through P on the query line.
+	py := a*pivotX + b
+	b1 := py - slopes[i1]*pivotX
+	b2 := py - slopes[i2]*pivotX
+	k1, k2 := q.Kind, q.Kind
+	if q.Kind == constraint.ALL {
+		// Two ALL app-queries can miss results (Figure 4): keep ALL on the
+		// θ-preserving nearest line, relax the other to EXIST.
+		k2 = constraint.EXIST
+	}
+	return [2]AppQuery{
+		{Query: constraint.Query2(k1, slopes[i1], b1, op1), SlopeIndex: i1},
+		{Query: constraint.Query2(k2, slopes[i2], b2, op2), SlopeIndex: i2},
+	}, nil
+}
+
+// runT1 executes the two-app-query technique and refines against the
+// original query.
+func (ix *Index) runT1(q constraint.Query, path string) (Result, error) {
+	plan, err := PlanT1(q, ix.slopes, ix.opt.PivotX)
+	if err != nil {
+		return Result{}, err
+	}
+	st := QueryStats{Path: path}
+	var all []uint32
+	seen := make(map[uint32]int)
+	for _, app := range plan {
+		cands, err := ix.collectRestricted(app.SlopeIndex, app.Query, &st)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, tid := range cands {
+			seen[tid]++
+			all = append(all, tid)
+		}
+	}
+	for _, n := range seen {
+		if n > 1 {
+			st.Duplicates += n - 1
+		}
+	}
+	// Deduplicate before refinement; Candidates still counts every
+	// retrieved reference (the paper's T1/T2 comparison is about exactly
+	// this redundancy).
+	st.Candidates = len(all)
+	uniq := make([]uint32, 0, len(seen))
+	for tid := range seen {
+		uniq = append(uniq, tid)
+	}
+	res, err := ix.refineKeepCandidates(q, uniq, st)
+	return res, err
+}
+
+// runT2 executes the single-tree handicap technique of Section 4.2/4.3.
+func (ix *Index) runT2(i int, q constraint.Query) (Result, error) {
+	st := QueryStats{Path: "t2"}
+	tr := ix.tree(i, q)
+	a, b := q.Slope[0], q.Intercept
+	right := a >= ix.slopes[i]
+
+	var cands []uint32
+	if q.SweepsUp() {
+		slot := slotLowPrev
+		if right {
+			slot = slotLowNext
+		}
+		// First sweep: upward from the query intercept, collecting every
+		// key ≥ b and tracking the lowest handicap of the visited leaves.
+		low := math.Inf(1)
+		err := tr.VisitLeavesAsc(b, func(lv btree.LeafView) bool {
+			st.LeavesSwept++
+			if h := lv.Handicaps[slot]; h < low {
+				low = h
+			}
+			for _, e := range lv.Entries {
+				if e.Key >= b {
+					cands = append(cands, e.TID)
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		// Second sweep: downward from b to low(q); keys in [low, b) — a
+		// set disjoint from the first sweep, so no duplicates arise.
+		if low < b {
+			err = tr.VisitLeavesDesc(b, func(lv btree.LeafView) bool {
+				st.LeavesSwept++
+				done := false
+				for _, e := range lv.Entries {
+					if e.Key >= b {
+						continue
+					}
+					if e.Key < low {
+						done = true
+						continue
+					}
+					cands = append(cands, e.TID)
+				}
+				return !done
+			})
+			if err != nil {
+				return Result{}, err
+			}
+		}
+	} else {
+		slot := slotHighPrev
+		if right {
+			slot = slotHighNext
+		}
+		high := math.Inf(-1)
+		err := tr.VisitLeavesDesc(b, func(lv btree.LeafView) bool {
+			st.LeavesSwept++
+			if h := lv.Handicaps[slot]; h > high {
+				high = h
+			}
+			for _, e := range lv.Entries {
+				if e.Key <= b {
+					cands = append(cands, e.TID)
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if high > b {
+			err = tr.VisitLeavesAsc(b, func(lv btree.LeafView) bool {
+				st.LeavesSwept++
+				done := false
+				for _, e := range lv.Entries {
+					if e.Key <= b {
+						continue
+					}
+					if e.Key > high {
+						done = true
+						continue
+					}
+					cands = append(cands, e.TID)
+				}
+				return !done
+			})
+			if err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	return ix.refine(q, cands, st)
+}
+
+// refine filters candidates through the exact Proposition 2.2 predicate.
+func (ix *Index) refine(q constraint.Query, cands []uint32, st QueryStats) (Result, error) {
+	st.Candidates = len(cands)
+	return ix.refineKeepCandidates(q, cands, st)
+}
+
+// refineKeepCandidates is refine with st.Candidates already set by the
+// caller (T1 counts duplicated references before deduplication).
+func (ix *Index) refineKeepCandidates(q constraint.Query, cands []uint32, st QueryStats) (Result, error) {
+	ids := make([]constraint.TupleID, 0, len(cands))
+	for _, tid := range cands {
+		t, err := ix.rel.Get(constraint.TupleID(tid))
+		if err != nil {
+			return Result{}, fmt.Errorf("core: candidate %d not in relation: %w", tid, err)
+		}
+		ok, err := q.Matches(t)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			ids = append(ids, constraint.TupleID(tid))
+		} else {
+			st.FalseHits++
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	st.Results = len(ids)
+	return Result{IDs: ids, Stats: st}, nil
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/geom"
+)
+
+// TestTable1Covering verifies the covering property behind Table 1: the
+// union of the two T1 app-query half-planes contains the original query
+// half-plane, for all three slope configurations and both operators.
+// This regenerates the paper's Table 1 as a checked property (experiment
+// id "table1" in DESIGN.md).
+func TestTable1Covering(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	slopes := []float64{-2, -0.5, 0.75, 3}
+	for trial := 0; trial < 3000; trial++ {
+		q := randQuery(rng)
+		if _, exact := nearestOf(slopes, q.Slope[0]); exact {
+			continue
+		}
+		plan, err := PlanT1(q, slopes, rng.Float64()*20-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qh := q.HalfSpace()
+		h1 := plan[0].Query.HalfSpace()
+		h2 := plan[1].Query.HalfSpace()
+		// Sample points of the original half-plane; each must be in q1 ∪ q2.
+		for s := 0; s < 40; s++ {
+			p := geom.Pt2(rng.Float64()*400-200, rng.Float64()*400-200)
+			if !qh.ContainsStrict(p) {
+				continue
+			}
+			if !h1.Contains(p) && !h2.Contains(p) {
+				t.Fatalf("covering violated: %v not in %v ∪ %v (q=%v, plan=%v/%v)",
+					p, h1, h2, q, plan[0].Query, plan[1].Query)
+			}
+		}
+		// Table 1 operator pattern.
+		a := q.Slope[0]
+		a1, a2 := plan[0].Query.Slope[0], plan[1].Query.Slope[0]
+		switch {
+		case a1 < a && a < a2:
+			if plan[0].Query.Op != q.Op || plan[1].Query.Op != q.Op {
+				t.Fatalf("main case must keep θ on both: %v", plan)
+			}
+		case a1 < a && a2 < a, a < a1 && a < a2:
+			if plan[0].Query.Op != q.Op || plan[1].Query.Op != q.Op.Negate() {
+				t.Fatalf("boundary case operator pattern wrong: %v for a=%v", plan, a)
+			}
+		default:
+			t.Fatalf("unexpected slope configuration a=%v a1=%v a2=%v", a, a1, a2)
+		}
+		// ALL queries become one ALL + one EXIST app-query (Figure 4).
+		if q.Kind == constraint.ALL {
+			if plan[0].Query.Kind != constraint.ALL || plan[1].Query.Kind != constraint.EXIST {
+				t.Fatalf("ALL must split into ALL+EXIST: %v", plan)
+			}
+		} else if plan[0].Query.Kind != constraint.EXIST || plan[1].Query.Kind != constraint.EXIST {
+			t.Fatalf("EXIST must split into EXIST+EXIST: %v", plan)
+		}
+	}
+}
+
+func nearestOf(slopes []float64, a float64) (int, bool) {
+	best, bd := -1, math.Inf(1)
+	for i, s := range slopes {
+		if d := math.Abs(s - a); d < bd {
+			best, bd = i, d
+		}
+	}
+	return best, bd <= geom.Eps
+}
+
+// TestAppQueryLinesShareAPoint: both T1 app-query boundary lines pass
+// through a common point on the original query line (Section 4.1).
+func TestAppQueryLinesShareAPoint(t *testing.T) {
+	q := constraint.Query2(constraint.EXIST, 0.3, 2, geom.GE)
+	pivotX := 5.0
+	plan, err := PlanT1(q, []float64{-1, 0, 1}, pivotX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	py := 0.3*pivotX + 2
+	for _, app := range plan {
+		got := app.Query.Slope[0]*pivotX + app.Query.Intercept
+		if math.Abs(got-py) > 1e-9 {
+			t.Fatalf("app line misses pivot: %v at x=%v gives %v, want %v", app.Query, pivotX, got, py)
+		}
+	}
+}
+
+// TestT2FallbackPath: query slopes beyond the outer strips must fall back
+// to T1 and still be exact.
+func TestT2FallbackPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	opt := Options{Slopes: []float64{-0.5, 0, 0.5}, Technique: T2, OuterHalfWidth: 0.25}
+	rel, ix := buildRandomIndex(t, rng, 150, opt, false)
+	q := constraint.Query2(constraint.EXIST, 5.0, 0, geom.GE) // far outside S
+	got, err := ix.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Path != "t1(fallback)" {
+		t.Fatalf("path = %q, want t1(fallback)", got.Stats.Path)
+	}
+	want, _ := q.Eval(rel)
+	if !sameIDs(got.IDs, want) {
+		t.Fatalf("fallback wrong: %v vs %v", got.IDs, want)
+	}
+}
+
+// TestT2UsesSingleTree: a T2 query must read strictly fewer distinct pages
+// than the tree total, and its path must be "t2" for in-strip slopes.
+func TestT2PathForInStripSlopes(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	opt := Options{Slopes: []float64{-1, 0, 1}, Technique: T2}
+	_, ix := buildRandomIndex(t, rng, 200, opt, false)
+	for _, a := range []float64{-0.7, -0.2, 0.3, 0.9, 1.4} {
+		q := constraint.Query2(constraint.EXIST, a, 0, geom.GE)
+		got, err := ix.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stats.Path != "t2" {
+			t.Fatalf("slope %v: path %q", a, got.Stats.Path)
+		}
+	}
+}
+
+// TestRestrictedIOCost checks Theorem 3.1's shape: the restricted query
+// cost is bounded by height + leaves holding the answer (plus one).
+func TestRestrictedIOCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	opt := Options{Slopes: []float64{0}, Technique: RestrictedOnly, PoolPages: 2048}
+	rel, ix := buildRandomIndex(t, rng, 2000, opt, false)
+	_ = rel
+	if err := ix.Pool().EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	// A very selective query: few results, so few leaves.
+	q := constraint.Query2(constraint.EXIST, 0, 49.5, geom.GE)
+	got, err := ix.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLeaf := 70 // conservative lower bound on leaf fan-out at 1 KiB pages
+	maxLeaves := got.Stats.Results/perLeaf + 2
+	if got.Stats.LeavesSwept > maxLeaves+4 {
+		t.Fatalf("swept %d leaves for %d results", got.Stats.LeavesSwept, got.Stats.Results)
+	}
+	if got.Stats.PagesRead > uint64(maxLeaves+8) {
+		t.Fatalf("read %d pages for %d results", got.Stats.PagesRead, got.Stats.Results)
+	}
+}
+
+// TestFigure1WindowClippingUnsound reproduces the paper's Figure 1
+// motivation: clipping unbounded objects at a window is incorrect — the
+// dual index answers the EXIST query correctly where a window-clipped
+// approximation would not.
+func TestFigure1WindowClippingUnsound(t *testing.T) {
+	rel := constraint.NewRelation(2)
+	ix, err := New(rel, Options{Slopes: EquiangularSlopes(3), Technique: T2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbounded tuple t2: a narrow upward wedge far right of the window.
+	t2, err := constraint.ParseTuple("y >= x - 100 && y <= x - 99", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ix.Insert(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query q: y ≥ −x + 100. Inside the window [−50,50]² the strip and the
+	// query half-plane are disjoint; they intersect only far outside it
+	// (x ≈ 100). The exact index must report the intersection.
+	q := constraint.Query2(constraint.EXIST, -1, 100, geom.GE)
+	got, err := ix.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.IDs) != 1 || got.IDs[0] != id {
+		t.Fatalf("unbounded intersection missed: %v", got.IDs)
+	}
+	// Window-clipped version of the same tuple (what a bounding-box
+	// structure would store) does NOT intersect the query.
+	clipped, err := constraint.ParseTuple(
+		"y >= x - 100 && y <= x - 99 && x >= -50 && x <= 50 && y >= -50 && y <= 50", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clipped.IsSatisfiable() {
+		ok, err := q.Matches(clipped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatal("clipped tuple should not intersect the query inside the window")
+		}
+	}
+}
+
+// TestQueryStatsConsistency: stats must satisfy their defining identities
+// on arbitrary queries.
+func TestQueryStatsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	_, ix := buildRandomIndex(t, rng, 250, Options{Slopes: EquiangularSlopes(4), Technique: T2}, true)
+	for qi := 0; qi < 60; qi++ {
+		q := randQuery(rng)
+		got, err := ix.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := got.Stats
+		if st.Results != len(got.IDs) {
+			t.Fatalf("Results %d != len(IDs) %d", st.Results, len(got.IDs))
+		}
+		if st.Candidates < st.Results {
+			t.Fatalf("candidates %d < results %d", st.Candidates, st.Results)
+		}
+		if st.Candidates != st.Results+st.FalseHits+st.Duplicates {
+			t.Fatalf("accounting: %+v", st)
+		}
+	}
+}
+
+// TestQueryRejectsBadInput exercises input validation.
+func TestQueryRejectsBadInput(t *testing.T) {
+	rel := constraint.NewRelation(2)
+	ix, err := New(rel, Options{Slopes: EquiangularSlopes(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Query(constraint.Query2(constraint.EXIST, math.NaN(), 0, geom.GE)); err == nil {
+		t.Error("NaN slope must be rejected")
+	}
+	if _, err := ix.Query(constraint.Query2(constraint.EXIST, math.Inf(1), 0, geom.GE)); err == nil {
+		t.Error("infinite slope must be rejected")
+	}
+	if _, err := ix.Query(constraint.NewQuery(constraint.EXIST, []float64{0, 0}, 0, geom.GE)); err == nil {
+		t.Error("3-D query must be rejected by a 2-D index")
+	}
+}
+
+// TestEmptyIndexQueries: queries on an empty index return empty results.
+func TestEmptyIndexQueries(t *testing.T) {
+	rel := constraint.NewRelation(2)
+	ix, err := New(rel, Options{Slopes: EquiangularSlopes(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(206))
+	for i := 0; i < 20; i++ {
+		got, err := ix.Query(randQuery(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.IDs) != 0 {
+			t.Fatalf("empty index returned %v", got.IDs)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/geom"
+)
+
+// QueryLine retrieves the tuples whose extension intersects the *line*
+// y = a·x + b — the stabbing selection of the 1-dimensional interval view
+// the paper's footnote 6 mentions: in the dual, tuple t_P intersects the
+// line iff b lies in the interval [BOT^P(a), TOP^P(a)], so the answer is
+// EXIST(y ≥ a·x + b) ∩ EXIST(y ≤ a·x + b). Both selections run on the
+// index (sharing its technique and statistics) and the refined
+// intersection is exact.
+func (ix *Index) QueryLine(a, b float64) (Result, error) {
+	before := ix.pool.Stats().PhysicalReads
+	upper, err := ix.Query(constraint.Query2(constraint.EXIST, a, b, geom.GE))
+	if err != nil {
+		return Result{}, err
+	}
+	lower, err := ix.Query(constraint.Query2(constraint.EXIST, a, b, geom.LE))
+	if err != nil {
+		return Result{}, err
+	}
+	inUpper := make(map[constraint.TupleID]bool, len(upper.IDs))
+	for _, id := range upper.IDs {
+		inUpper[id] = true
+	}
+	var ids []constraint.TupleID
+	for _, id := range lower.IDs {
+		if inUpper[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	st := QueryStats{
+		Path:        fmt.Sprintf("line(%s∩%s)", upper.Stats.Path, lower.Stats.Path),
+		Candidates:  upper.Stats.Candidates + lower.Stats.Candidates,
+		Results:     len(ids),
+		FalseHits:   upper.Stats.FalseHits + lower.Stats.FalseHits,
+		Duplicates:  upper.Stats.Duplicates + lower.Stats.Duplicates,
+		LeavesSwept: upper.Stats.LeavesSwept + lower.Stats.LeavesSwept,
+		PagesRead:   ix.pool.Stats().PhysicalReads - before,
+	}
+	return Result{IDs: ids, Stats: st}, nil
+}
+
+// EvalLine is the exhaustive ground truth for line-stabbing selections.
+func EvalLine(a, b float64, rel *constraint.Relation) ([]constraint.TupleID, error) {
+	var out []constraint.TupleID
+	var scanErr error
+	rel.Scan(func(t *constraint.Tuple) bool {
+		ext, err := t.Extension()
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ext.IsEmpty() {
+			return true
+		}
+		slope := []float64{a}
+		if ext.Bot(slope) <= b+geom.Eps && b <= ext.Top(slope)+geom.Eps {
+			out = append(out, t.ID())
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dualcdb/internal/constraint"
+)
+
+// TestQueryLineMatchesGroundTruth: line-stabbing selections against the
+// exhaustive interval test b ∈ [BOT(a), TOP(a)].
+func TestQueryLineMatchesGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 4; trial++ {
+		rel, ix := buildRandomIndex(t, rng, 150, Options{
+			Slopes: EquiangularSlopes(3), Technique: T2,
+		}, true)
+		for qi := 0; qi < 50; qi++ {
+			a := math.Tan((rng.Float64() - 0.5) * (math.Pi - 0.2))
+			b := rng.Float64()*160 - 80
+			want, err := EvalLine(a, b, rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ix.QueryLine(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(got.IDs, want) {
+				t.Fatalf("line y=%vx+%v: got %v, want %v", a, b, got.IDs, want)
+			}
+		}
+	}
+}
+
+// TestQueryLineGeometry: a hand-checked configuration.
+func TestQueryLineGeometry(t *testing.T) {
+	rel := constraint.NewRelation(2)
+	ix, err := New(rel, Options{Slopes: EquiangularSlopes(3), Technique: T2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	below, _ := constraint.ParseTuple("x >= 0 && x <= 1 && y >= -5 && y <= -4", 2)
+	crossed, _ := constraint.ParseTuple("x >= 0 && x <= 1 && y >= -1 && y <= 1", 2)
+	above, _ := constraint.ParseTuple("x >= 0 && x <= 1 && y >= 4 && y <= 5", 2)
+	if _, err := ix.Insert(below); err != nil {
+		t.Fatal(err)
+	}
+	idC, _ := ix.Insert(crossed)
+	if _, err := ix.Insert(above); err != nil {
+		t.Fatal(err)
+	}
+	// The x-axis (y = 0) crosses only the middle box.
+	got, err := ix.QueryLine(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.IDs) != 1 || got.IDs[0] != idC {
+		t.Fatalf("line y=0 crosses %v", got.IDs)
+	}
+	// A line through all three (steep): x = ... use slope 40: y = 40x − 20
+	// passes y∈[−20,20] over x∈[0,1], crossing the middle box and, at the
+	// edges, none of the others? At x=0.4, y=−4: crosses 'below' too.
+	got, err = ix.QueryLine(40, -20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.IDs) != 3 {
+		t.Fatalf("steep line should cross all boxes, got %v", got.IDs)
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dualcdb/internal/constraint"
+)
+
+// This file extends the index beyond single half-plane selections to
+// *generalized query tuples* — conjunctions of linear constraints, the
+// query objects of constraint query languages (Section 1: "each inequality
+// constraint, expressed by using the linear polynomial constraint theory,
+// represents a half-plane"). The decompositions:
+//
+//	ALL(Q, t)  with Q = q₁ ∧ … ∧ q_m:   t ⊆ ∩ᵢ ext(qᵢ) ⇔ ∀i ALL(qᵢ, t),
+//	  so the answer is the exact intersection of the per-constraint ALL
+//	  selections — every constraint runs on the index.
+//	EXIST(Q, t): not decomposable (t can meet every qᵢ without meeting
+//	  their intersection), so the per-constraint EXIST selections act as
+//	  filters — their intersection is a candidate superset — and an exact
+//	  polyhedral intersection test refines the survivors.
+//
+// Vertical constraints (no slope form) cannot run on the dual trees; they
+// are applied during refinement only. A query tuple with no usable
+// constraint degenerates to a relation scan.
+
+// QueryTupleStats extends QueryStats with the decomposition's shape.
+type QueryTupleStats struct {
+	QueryStats
+	// ConstraintsIndexed is how many of the query tuple's constraints ran
+	// on the dual trees; ConstraintsSkipped counts vertical/trivial ones
+	// that only the refinement saw.
+	ConstraintsIndexed int
+	ConstraintsSkipped int
+}
+
+// TupleResult is the answer of a generalized-tuple selection.
+type TupleResult struct {
+	IDs   []constraint.TupleID
+	Stats QueryTupleStats
+}
+
+// QueryTuple executes ALL(qt, r) or EXIST(qt, r) for a generalized query
+// tuple over the 2-D index.
+func (ix *Index) QueryTuple(kind constraint.QueryKind, qt *constraint.Tuple) (TupleResult, error) {
+	if qt.Dim() != 2 {
+		return TupleResult{}, fmt.Errorf("core: query tuple dimension %d on a 2-D index", qt.Dim())
+	}
+	qext, err := qt.Extension()
+	if err != nil {
+		return TupleResult{}, err
+	}
+	if qext.IsEmpty() {
+		// An unsatisfiable query tuple denotes the empty set: nothing is
+		// contained in it and nothing intersects it.
+		return TupleResult{Stats: QueryTupleStats{QueryStats: QueryStats{Path: "empty-query"}}}, nil
+	}
+	before := ix.pool.Stats().PhysicalReads
+	st := QueryTupleStats{QueryStats: QueryStats{Path: "tuple-" + kind.String()}}
+
+	// Decompose into per-constraint selections. Non-vertical constraints
+	// run as half-plane queries; vertical ones run on the V^up/V^down pair
+	// when the index carries it (Options.IndexVertical) and are otherwise
+	// left to the refinement step.
+	type runner func() (Result, error)
+	var selections []runner
+	for _, h := range qt.Constraints() {
+		if h.IsTrivial() {
+			st.ConstraintsSkipped++
+			continue
+		}
+		slope, icpt, op, err := h.SlopeForm()
+		if err != nil {
+			if ix.vup != nil {
+				// Vertical constraint a·x + c θ 0 with a ≠ 0: normalize to
+				// x θ' −c/a.
+				a, c := h.A[0], h.C
+				vop := h.Op
+				if a < 0 {
+					vop = vop.Negate()
+				}
+				cutoff := -c / a
+				selections = append(selections, func() (Result, error) {
+					return ix.QueryVertical(kind, vop, cutoff)
+				})
+				continue
+			}
+			st.ConstraintsSkipped++ // vertical without the pair: refinement-only
+			continue
+		}
+		q := constraint.NewQuery(kind, slope, icpt, op)
+		selections = append(selections, func() (Result, error) { return ix.Query(q) })
+	}
+	st.ConstraintsIndexed = len(selections)
+
+	var candidate map[constraint.TupleID]bool
+	if len(selections) == 0 {
+		// Nothing usable on the index: scan.
+		st.Path = "tuple-scan"
+		candidate = make(map[constraint.TupleID]bool)
+		ix.rel.Scan(func(t *constraint.Tuple) bool {
+			candidate[t.ID()] = true
+			return true
+		})
+	} else {
+		// Intersect the per-constraint selections (each exact for ALL, a
+		// filter for EXIST).
+		for i, run := range selections {
+			res, err := run()
+			if err != nil {
+				return TupleResult{}, err
+			}
+			st.LeavesSwept += res.Stats.LeavesSwept
+			st.Candidates += res.Stats.Candidates
+			if i == 0 {
+				candidate = make(map[constraint.TupleID]bool, len(res.IDs))
+				for _, id := range res.IDs {
+					candidate[id] = true
+				}
+				continue
+			}
+			next := make(map[constraint.TupleID]bool, len(res.IDs))
+			for _, id := range res.IDs {
+				if candidate[id] {
+					next[id] = true
+				}
+			}
+			candidate = next
+			if len(candidate) == 0 {
+				break
+			}
+		}
+	}
+
+	// Refine. For ALL with no skipped constraints the intersection is
+	// already exact; otherwise (EXIST, or vertical constraints present)
+	// test the exact polyhedral predicate.
+	needRefine := kind == constraint.EXIST || st.ConstraintsSkipped > 0 || len(selections) == 0
+	ids := make([]constraint.TupleID, 0, len(candidate))
+	for id := range candidate {
+		if needRefine {
+			t, err := ix.rel.Get(id)
+			if err != nil {
+				return TupleResult{}, err
+			}
+			var ok bool
+			if kind == constraint.ALL {
+				ok, err = constraint.TupleALL(qt, t)
+			} else {
+				ok, err = constraint.TupleEXIST(qt, t)
+			}
+			if err != nil {
+				return TupleResult{}, err
+			}
+			if !ok {
+				st.FalseHits++
+				continue
+			}
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	st.Results = len(ids)
+	st.PagesRead = ix.pool.Stats().PhysicalReads - before
+	return TupleResult{IDs: ids, Stats: st}, nil
+}
+
+// EvalTuple is the exhaustive ground truth for generalized-tuple
+// selections: it scans the relation applying the exact polyhedral
+// predicates.
+func EvalTuple(kind constraint.QueryKind, qt *constraint.Tuple, rel *constraint.Relation) ([]constraint.TupleID, error) {
+	qext, err := qt.Extension()
+	if err != nil {
+		return nil, err
+	}
+	if qext.IsEmpty() {
+		return nil, nil
+	}
+	var out []constraint.TupleID
+	var scanErr error
+	rel.Scan(func(t *constraint.Tuple) bool {
+		var ok bool
+		var err error
+		if kind == constraint.ALL {
+			ok, err = constraint.TupleALL(qt, t)
+		} else {
+			ok, err = constraint.TupleEXIST(qt, t)
+		}
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			out = append(out, t.ID())
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

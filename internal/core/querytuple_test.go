@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/geom"
+)
+
+// randQueryTuple builds a random generalized query tuple: a (possibly
+// unbounded) conjunction of 1–4 constraints, occasionally including a
+// vertical one to exercise the refinement-only path.
+func randQueryTuple(rng *rand.Rand) *constraint.Tuple {
+	m := 1 + rng.Intn(4)
+	var hs []geom.HalfSpace
+	for i := 0; i < m; i++ {
+		if rng.Intn(5) == 0 {
+			// Vertical constraint x θ c.
+			op := geom.LE
+			if rng.Intn(2) == 0 {
+				op = geom.GE
+			}
+			hs = append(hs, geom.HalfPlane2(1, 0, -(rng.Float64()*100-50), op))
+			continue
+		}
+		a := rng.NormFloat64() * 2
+		b := rng.Float64()*120 - 60
+		op := geom.GE
+		if rng.Intn(2) == 0 {
+			op = geom.LE
+		}
+		hs = append(hs, geom.FromSlopeForm([]float64{a}, b, op))
+	}
+	t, err := constraint.NewTuple(2, hs)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TestQueryTupleMatchesGroundTruth: generalized-tuple selections must
+// agree with the exhaustive polyhedral evaluation, for both kinds, random
+// relations (with unbounded tuples) and random query tuples.
+func TestQueryTupleMatchesGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 4; trial++ {
+		rel, ix := buildRandomIndex(t, rng, 150, Options{
+			Slopes: EquiangularSlopes(3), Technique: T2,
+		}, true)
+		for qi := 0; qi < 40; qi++ {
+			qt := randQueryTuple(rng)
+			for _, kind := range []constraint.QueryKind{constraint.ALL, constraint.EXIST} {
+				want, err := EvalTuple(kind, qt, rel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := ix.QueryTuple(kind, qt)
+				if err != nil {
+					t.Fatalf("%v(%v): %v", kind, qt, err)
+				}
+				if !sameIDs(got.IDs, want) {
+					t.Fatalf("%v(%s): got %v, want %v (stats %+v)", kind, qt, got.IDs, want, got.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestQueryTupleUnsatisfiableQuery: an empty query tuple selects nothing.
+func TestQueryTupleUnsatisfiableQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	_, ix := buildRandomIndex(t, rng, 50, Options{Slopes: EquiangularSlopes(2), Technique: T2}, false)
+	qt, _ := constraint.ParseTuple("x >= 1 && x <= 0", 2)
+	for _, kind := range []constraint.QueryKind{constraint.ALL, constraint.EXIST} {
+		got, err := ix.QueryTuple(kind, qt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.IDs) != 0 || got.Stats.Path != "empty-query" {
+			t.Fatalf("%v on empty query: %v (%+v)", kind, got.IDs, got.Stats)
+		}
+	}
+}
+
+// TestQueryTupleVerticalOnly: a query tuple of only vertical constraints
+// degenerates to a scan and stays exact.
+func TestQueryTupleVerticalOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	rel, ix := buildRandomIndex(t, rng, 120, Options{Slopes: EquiangularSlopes(3), Technique: T2}, false)
+	qt, err := constraint.ParseTuple("x >= -10 && x <= 10", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []constraint.QueryKind{constraint.ALL, constraint.EXIST} {
+		want, err := EvalTuple(kind, qt, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.QueryTuple(kind, qt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stats.Path != "tuple-scan" {
+			t.Fatalf("path = %q", got.Stats.Path)
+		}
+		if !sameIDs(got.IDs, want) {
+			t.Fatalf("%v: got %v, want %v", kind, got.IDs, want)
+		}
+	}
+}
+
+// TestQueryTupleBoxQuery: the common spatial case — a window (box) query
+// tuple mixing vertical and horizontal constraints.
+func TestQueryTupleBoxQuery(t *testing.T) {
+	rel := constraint.NewRelation(2)
+	ix, err := New(rel, Options{Slopes: EquiangularSlopes(3), Technique: T2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside, _ := constraint.ParseTuple("x >= 1 && x <= 2 && y >= 1 && y <= 2", 2)
+	crossing, _ := constraint.ParseTuple("x >= 4 && x <= 6 && y >= 4 && y <= 6", 2)
+	outside, _ := constraint.ParseTuple("x >= 20 && x <= 21 && y >= 0 && y <= 1", 2)
+	idIn, _ := ix.Insert(inside)
+	idCross, _ := ix.Insert(crossing)
+	if _, err := ix.Insert(outside); err != nil {
+		t.Fatal(err)
+	}
+	window, _ := constraint.ParseTuple("x >= 0 && x <= 5 && y >= 0 && y <= 5", 2)
+
+	all, err := ix.QueryTuple(constraint.ALL, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.IDs) != 1 || all.IDs[0] != idIn {
+		t.Fatalf("ALL(window) = %v", all.IDs)
+	}
+	exist, err := ix.QueryTuple(constraint.EXIST, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exist.IDs) != 2 || exist.IDs[0] != idIn || exist.IDs[1] != idCross {
+		t.Fatalf("EXIST(window) = %v", exist.IDs)
+	}
+	if exist.Stats.ConstraintsIndexed != 2 || exist.Stats.ConstraintsSkipped != 2 {
+		t.Fatalf("constraint accounting: %+v", exist.Stats)
+	}
+}
+
+// TestQueryTupleRejectsWrongDim: dimension checks.
+func TestQueryTupleRejectsWrongDim(t *testing.T) {
+	rel := constraint.NewRelation(2)
+	ix, err := New(rel, Options{Slopes: EquiangularSlopes(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt3, _ := constraint.NewTuple(3, nil)
+	if _, err := ix.QueryTuple(constraint.ALL, qt3); err == nil {
+		t.Fatal("3-D query tuple must be rejected")
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dualcdb/internal/btree"
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/geom"
+)
+
+// Vertical half-planes x θ c fall outside the dual transform (footnote 4:
+// "the proposed transformation can be extended to deal with vertical
+// hyperplanes"). The extension is the degenerate-direction analogue of the
+// TOP/BOT trees: index every tuple's horizontal support interval
+// [infX, supX] in one B⁺-tree pair, and the four selections reduce to the
+// familiar sweeps:
+//
+//	EXIST(x ≥ c) ⇔ supX ≥ c     (V^up,   upward sweep)
+//	ALL(x ≤ c)   ⇔ supX ≤ c     (V^up,   downward sweep)
+//	ALL(x ≥ c)   ⇔ infX ≥ c     (V^down, upward sweep)
+//	EXIST(x ≤ c) ⇔ infX ≤ c     (V^down, downward sweep)
+//
+// No approximation is ever needed — there is only one vertical direction —
+// so vertical queries always run the restricted path. The pair is optional
+// (Options.IndexVertical); without it vertical selections fall back to an
+// exhaustive scan.
+
+// ensureVerticalTrees creates the V^up/V^down pair.
+func (ix *Index) ensureVerticalTrees() error {
+	if ix.vup != nil {
+		return nil
+	}
+	cfg := btree.Config{FillFactor: ix.opt.FillFactor}
+	var err error
+	if ix.vup, err = btree.New(ix.pool, cfg); err != nil {
+		return err
+	}
+	if ix.vdown, err = btree.New(ix.pool, cfg); err != nil {
+		return err
+	}
+	return nil
+}
+
+// supX and infX are the tuple's horizontal support values (±Inf for
+// horizontally unbounded extensions).
+func supX(ext geom.Polyhedron) float64 { return ext.Support(geom.Point{1, 0}) }
+func infX(ext geom.Polyhedron) float64 { return -ext.Support(geom.Point{-1, 0}) }
+
+// insertVertical indexes one tuple in the vertical pair.
+func (ix *Index) insertVertical(ext geom.Polyhedron, id constraint.TupleID) error {
+	if ix.vup == nil {
+		return nil
+	}
+	if err := ix.vup.Insert(supX(ext), uint32(id)); err != nil {
+		return err
+	}
+	return ix.vdown.Insert(infX(ext), uint32(id))
+}
+
+// deleteVertical removes one tuple from the vertical pair.
+func (ix *Index) deleteVertical(ext geom.Polyhedron, id constraint.TupleID) error {
+	if ix.vup == nil {
+		return nil
+	}
+	if _, err := ix.vup.Delete(supX(ext), uint32(id)); err != nil {
+		return err
+	}
+	_, err := ix.vdown.Delete(infX(ext), uint32(id))
+	return err
+}
+
+// QueryVertical executes the selection Kind(x op c). With IndexVertical it
+// runs one exact tree sweep; otherwise it scans.
+func (ix *Index) QueryVertical(kind constraint.QueryKind, op geom.Op, c float64) (Result, error) {
+	if math.IsNaN(c) || math.IsInf(c, 0) {
+		return Result{}, fmt.Errorf("core: invalid vertical intercept %v", c)
+	}
+	before := ix.pool.Stats().PhysicalReads
+	if ix.vup == nil {
+		ids, err := EvalVertical(kind, op, c, ix.rel)
+		if err != nil {
+			return Result{}, err
+		}
+		st := QueryStats{Path: "scan", Candidates: ix.rel.Len(), Results: len(ids)}
+		st.FalseHits = st.Candidates - st.Results
+		return Result{IDs: ids, Stats: st}, nil
+	}
+	st := QueryStats{Path: "restricted-vertical"}
+	// Route: EXIST(≥)/ALL(≤) read V^up; ALL(≥)/EXIST(≤) read V^down.
+	useUp := (kind == constraint.EXIST) == (op == geom.GE)
+	tr := ix.vdown
+	if useUp {
+		tr = ix.vup
+	}
+	var cands []uint32
+	var err error
+	if op == geom.GE {
+		err = tr.VisitLeavesAsc(c, func(lv btree.LeafView) bool {
+			st.LeavesSwept++
+			for _, e := range lv.Entries {
+				if e.Key >= c-geom.Eps {
+					cands = append(cands, e.TID)
+				}
+			}
+			return true
+		})
+	} else {
+		err = tr.VisitLeavesDesc(c, func(lv btree.LeafView) bool {
+			st.LeavesSwept++
+			for _, e := range lv.Entries {
+				if e.Key <= c+geom.Eps {
+					cands = append(cands, e.TID)
+				}
+			}
+			return true
+		})
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	st.Candidates = len(cands)
+	ids := make([]constraint.TupleID, 0, len(cands))
+	for _, tid := range cands {
+		t, err := ix.rel.Get(constraint.TupleID(tid))
+		if err != nil {
+			return Result{}, err
+		}
+		ok, err := matchesVertical(kind, op, c, t)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			ids = append(ids, constraint.TupleID(tid))
+		} else {
+			st.FalseHits++
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	st.Results = len(ids)
+	st.PagesRead = ix.pool.Stats().PhysicalReads - before
+	return Result{IDs: ids, Stats: st}, nil
+}
+
+// matchesVertical is the exact predicate for Kind(x op c).
+func matchesVertical(kind constraint.QueryKind, op geom.Op, c float64, t *constraint.Tuple) (bool, error) {
+	ext, err := t.Extension()
+	if err != nil {
+		return false, err
+	}
+	if ext.IsEmpty() {
+		return false, nil
+	}
+	switch {
+	case kind == constraint.EXIST && op == geom.GE:
+		return supX(ext) >= c-geom.Eps, nil
+	case kind == constraint.EXIST && op == geom.LE:
+		return infX(ext) <= c+geom.Eps, nil
+	case kind == constraint.ALL && op == geom.GE:
+		return infX(ext) >= c-geom.Eps, nil
+	default: // ALL, LE
+		return supX(ext) <= c+geom.Eps, nil
+	}
+}
+
+// EvalVertical is the exhaustive ground truth for vertical selections.
+func EvalVertical(kind constraint.QueryKind, op geom.Op, c float64, rel *constraint.Relation) ([]constraint.TupleID, error) {
+	var out []constraint.TupleID
+	var scanErr error
+	rel.Scan(func(t *constraint.Tuple) bool {
+		ok, err := matchesVertical(kind, op, c, t)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			out = append(out, t.ID())
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

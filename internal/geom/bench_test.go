@@ -1,0 +1,105 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPolys(n int) []Polyhedron {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]Polyhedron, n)
+	for i := range out {
+		out[i] = randomBoundedPoly(rng)
+	}
+	return out
+}
+
+func BenchmarkFromHalfSpaces2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = randomBoundedPoly(rng)
+	}
+}
+
+func BenchmarkFromHalfSpaces3D(b *testing.B) {
+	hs := []HalfSpace{
+		NewHalfSpace([]float64{1, 0, 0}, 0, GE),
+		NewHalfSpace([]float64{0, 1, 0}, 0, GE),
+		NewHalfSpace([]float64{0, 0, 1}, 0, GE),
+		NewHalfSpace([]float64{1, 1, 1}, -1, LE),
+		NewHalfSpace([]float64{1, 2, 0.5}, -2, LE),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromHalfSpaces(hs, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchSink float64
+
+func BenchmarkSupport(b *testing.B) {
+	polys := benchPolys(64)
+	c := Pt2(0.3, -0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = polys[i%len(polys)].Support(c)
+	}
+}
+
+func BenchmarkTopEnvelopeBuild(b *testing.B) {
+	polys := benchPolys(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TopEnvelope2(polys[i%len(polys)])
+	}
+}
+
+func BenchmarkEnvelopeEval(b *testing.B) {
+	polys := benchPolys(64)
+	envs := make([]Envelope, len(polys))
+	for i, p := range polys {
+		envs[i] = TopEnvelope2(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = envs[i%len(envs)].Eval(float64(i%7) - 3)
+	}
+}
+
+func BenchmarkEnvelopeMinOn(b *testing.B) {
+	polys := benchPolys(64)
+	envs := make([]Envelope, len(polys))
+	for i, p := range polys {
+		envs[i] = TopEnvelope2(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = envs[i%len(envs)].MinOn(-1, 2)
+	}
+}
+
+func BenchmarkConvexHull2(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Pt2(rng.NormFloat64()*20, rng.NormFloat64()*20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ConvexHull2(pts)
+	}
+}
+
+func BenchmarkSolveLinear3(b *testing.B) {
+	a := [][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}
+	rhs := []float64{8, -11, -3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := SolveLinear(a, rhs); !ok {
+			b.Fatal("singular")
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEnvelopeMatchesTop(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		p := randomBoundedPoly(rng)
+		if p.IsEmpty() {
+			continue
+		}
+		top := TopEnvelope2(p)
+		bot := BotEnvelope2(p)
+		for j := 0; j < 25; j++ {
+			a := rng.NormFloat64() * 4
+			if gt, ge := p.Top([]float64{a}), top.Eval(a); math.Abs(gt-ge) > 1e-6 {
+				t.Fatalf("TOP envelope mismatch at a=%v: %v vs %v", a, gt, ge)
+			}
+			if gb, ge := p.Bot([]float64{a}), bot.Eval(a); math.Abs(gb-ge) > 1e-6 {
+				t.Fatalf("BOT envelope mismatch at a=%v: %v vs %v", a, gb, ge)
+			}
+		}
+	}
+}
+
+func TestEnvelopeExtremesAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 200; trial++ {
+		p := randomBoundedPoly(rng)
+		if p.IsEmpty() {
+			continue
+		}
+		for _, e := range []Envelope{TopEnvelope2(p), BotEnvelope2(p)} {
+			lo := rng.NormFloat64() * 2
+			hi := lo + rng.Float64()*4
+			gotMax, gotMin := e.MaxOn(lo, hi), e.MinOn(lo, hi)
+			// Dense sampling lower-bounds the max and upper-bounds the min.
+			sampleMax, sampleMin := math.Inf(-1), math.Inf(1)
+			for k := 0; k <= 400; k++ {
+				a := lo + (hi-lo)*float64(k)/400
+				v := e.Eval(a)
+				sampleMax = math.Max(sampleMax, v)
+				sampleMin = math.Min(sampleMin, v)
+			}
+			if gotMax < sampleMax-1e-6 {
+				t.Fatalf("MaxOn(%v,%v)=%v < sampled %v", lo, hi, gotMax, sampleMax)
+			}
+			if gotMin > sampleMin+1e-6 {
+				t.Fatalf("MinOn(%v,%v)=%v > sampled %v", lo, hi, gotMin, sampleMin)
+			}
+			// And the exact extremes cannot beat sampling by much more than
+			// the sampling resolution allows (pieces are lines, so the error
+			// is bounded by slopeRange·step; use a generous bound).
+			if gotMax > sampleMax+1+0.3*math.Abs(gotMax) {
+				t.Fatalf("MaxOn suspiciously above samples: %v vs %v", gotMax, sampleMax)
+			}
+			if gotMin < sampleMin-1-0.3*math.Abs(gotMin) {
+				t.Fatalf("MinOn suspiciously below samples: %v vs %v", gotMin, sampleMin)
+			}
+		}
+	}
+}
+
+func TestEnvelopeUnboundedDomain(t *testing.T) {
+	// Quadrant x ≥ 0, y ≥ 0: TOP ≡ +Inf for every slope (can always go up…
+	// no: going up is ray (0,1), so yes +Inf everywhere).
+	p, _ := FromHalfSpaces([]HalfSpace{HalfPlane2(1, 0, 0, GE), HalfPlane2(0, 1, 0, GE)}, 2)
+	top := TopEnvelope2(p)
+	for _, a := range []float64{-3, 0, 5} {
+		if !math.IsInf(top.Eval(a), 1) {
+			t.Errorf("TOP(%v) of quadrant must be +Inf", a)
+		}
+	}
+	// BOT of the quadrant: inf(y − a·x). For a > 0 the ray (1,0) drives it
+	// to −Inf; for a ≤ 0 the inf is 0 at the origin.
+	bot := BotEnvelope2(p)
+	if !math.IsInf(bot.Eval(1), -1) {
+		t.Error("BOT(1) of quadrant must be −Inf")
+	}
+	if v := bot.Eval(-1); math.Abs(v) > 1e-9 {
+		t.Errorf("BOT(−1) of quadrant = %v, want 0", v)
+	}
+	if v := bot.Eval(0); math.Abs(v) > 1e-9 {
+		t.Errorf("BOT(0) of quadrant = %v, want 0", v)
+	}
+}
+
+func TestEnvelopeEmptyPolyhedron(t *testing.T) {
+	e := TopEnvelope2(EmptyPolyhedron(2))
+	if !math.IsInf(e.Eval(0), -1) {
+		t.Error("TOP of empty polyhedron is −Inf")
+	}
+	b := BotEnvelope2(EmptyPolyhedron(2))
+	if !math.IsInf(b.Eval(0), 1) {
+		t.Error("BOT of empty polyhedron is +Inf")
+	}
+}
+
+func TestEnvelopeMaxOnEscapesDomain(t *testing.T) {
+	// Half-plane y ≥ 0: BOT finite only at a = 0.
+	p, _ := FromHalfSpaces([]HalfSpace{HalfPlane2(0, 1, 0, GE)}, 2)
+	bot := BotEnvelope2(p)
+	if !math.IsInf(bot.MinOn(-1, 1), -1) {
+		t.Error("BOT min over an interval escaping the domain must be −Inf")
+	}
+	if v := bot.MaxOn(-1, 1); math.Abs(v) > 1e-9 {
+		t.Errorf("BOT max over [−1,1] = %v, want 0 (attained at a=0)", v)
+	}
+}
+
+func TestUpperHullLines(t *testing.T) {
+	lines := []Line2{{M: 0, B: 0}, {M: 1, B: -2}, {M: -1, B: -2}, {M: 0, B: -10}}
+	hull, bps := upperHullLines(lines)
+	if len(hull) != 3 {
+		t.Fatalf("hull = %v", hull)
+	}
+	if len(bps) != 2 || math.Abs(bps[0]-(-2)) > Eps || math.Abs(bps[1]-2) > Eps {
+		t.Fatalf("breakpoints = %v", bps)
+	}
+	// The dominated line M=0,B=−10 must not appear.
+	for _, l := range hull {
+		if l.B == -10 {
+			t.Error("dominated line kept on hull")
+		}
+	}
+}
+
+func TestEnvelopeSingleVertex(t *testing.T) {
+	p, err := FromVertices([]Point{{2, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := TopEnvelope2(p)
+	// TOP(a) = 3 − 2a for the single point (2,3).
+	for _, a := range []float64{-1, 0, 2.5} {
+		if v := top.Eval(a); math.Abs(v-(3-2*a)) > 1e-9 {
+			t.Errorf("TOP(%v) = %v, want %v", a, v, 3-2*a)
+		}
+	}
+}

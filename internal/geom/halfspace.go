@@ -1,0 +1,193 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Op is a comparison operator of a linear constraint. The paper (Section 2)
+// normalizes every generalized tuple to conjunctions with θ ∈ {≤, ≥};
+// equalities are rewritten as two opposite inequalities.
+type Op int
+
+const (
+	// LE is the operator "≤ 0".
+	LE Op = iota
+	// GE is the operator "≥ 0".
+	GE
+)
+
+// Negate returns the opposite operator: ¬(≤) = ≥ and ¬(≥) = ≤, the ¬θ of
+// Table 1 in the paper.
+func (o Op) Negate() Op {
+	if o == LE {
+		return GE
+	}
+	return LE
+}
+
+// String renders the operator.
+func (o Op) String() string {
+	if o == LE {
+		return "<="
+	}
+	return ">="
+}
+
+// HalfSpace is the spatial object a1·x1 + … + ad·xd + c θ 0 with
+// θ ∈ {≤, ≥} (Section 2 of the paper). In E² it is a half-plane.
+type HalfSpace struct {
+	A  []float64 // coefficients a1..ad
+	C  float64   // constant term c
+	Op Op        // θ
+}
+
+// NewHalfSpace builds a half-space from its coefficient vector, constant
+// term and operator. The coefficient slice is copied.
+func NewHalfSpace(a []float64, c float64, op Op) HalfSpace {
+	ac := make([]float64, len(a))
+	copy(ac, a)
+	return HalfSpace{A: ac, C: c, Op: op}
+}
+
+// HalfPlane2 builds the 2-D half-plane a·x + b·y + c θ 0.
+func HalfPlane2(a, b, c float64, op Op) HalfSpace {
+	return HalfSpace{A: []float64{a, b}, C: c, Op: op}
+}
+
+// Dim returns the dimension of the ambient space.
+func (h HalfSpace) Dim() int { return len(h.A) }
+
+// Eval returns a1·p1 + … + ad·pd + c.
+func (h HalfSpace) Eval(p Point) float64 {
+	s := h.C
+	for i, a := range h.A {
+		s += a * p[i]
+	}
+	return s
+}
+
+// Contains reports whether p satisfies the constraint within Eps.
+func (h HalfSpace) Contains(p Point) bool {
+	v := h.Eval(p)
+	if h.Op == LE {
+		return v <= Eps
+	}
+	return v >= -Eps
+}
+
+// ContainsStrict reports whether p satisfies the constraint with slack
+// greater than Eps (p is in the open half-space, off the boundary).
+func (h HalfSpace) ContainsStrict(p Point) bool {
+	v := h.Eval(p)
+	if h.Op == LE {
+		return v < -Eps
+	}
+	return v > Eps
+}
+
+// OnBoundary reports whether p lies on the supporting hyperplane within Eps.
+func (h HalfSpace) OnBoundary(p Point) bool {
+	return math.Abs(h.Eval(p)) <= Eps
+}
+
+// AllowsDirection reports whether the recession cone of the half-space
+// contains direction d, i.e. whether moving from any feasible point along d
+// stays feasible: a·d ≤ 0 for θ = ≤, a·d ≥ 0 for θ = ≥ (within Eps).
+func (h HalfSpace) AllowsDirection(d Point) bool {
+	var s float64
+	for i, a := range h.A {
+		s += a * d[i]
+	}
+	if h.Op == LE {
+		return s <= Eps
+	}
+	return s >= -Eps
+}
+
+// Negated returns the complementary (closed) half-space: same hyperplane,
+// opposite operator.
+func (h HalfSpace) Negated() HalfSpace {
+	return HalfSpace{A: append([]float64(nil), h.A...), C: h.C, Op: h.Op.Negate()}
+}
+
+// IsVertical reports whether the supporting hyperplane is vertical in the
+// sense of Section 2.1: its last coefficient is (numerically) zero, so the
+// hyperplane cannot be written as x_d = b1·x1 + … + b_{d−1}·x_{d−1} + b_d.
+func (h HalfSpace) IsVertical() bool {
+	return math.Abs(h.A[len(h.A)-1]) <= Eps
+}
+
+// IsTrivial reports whether all coefficients are (numerically) zero, in
+// which case the constraint is either vacuous or unsatisfiable depending on
+// the constant term.
+func (h HalfSpace) IsTrivial() bool {
+	for _, a := range h.A {
+		if math.Abs(a) > Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// TrivialSatisfiable reports, for a trivial constraint (IsTrivial), whether
+// it is satisfied by every point (true) or by none (false).
+func (h HalfSpace) TrivialSatisfiable() bool {
+	if h.Op == LE {
+		return h.C <= Eps
+	}
+	return h.C >= -Eps
+}
+
+// SlopeForm rewrites a non-vertical half-space in the paper's query form
+// x_d θ' b1·x1 + … + b_{d−1}·x_{d−1} + b_d, returning the slope vector
+// (b1..b_{d−1}), the intercept b_d and θ'. Dividing by a_d flips the
+// operator when a_d < 0.
+func (h HalfSpace) SlopeForm() (slope []float64, intercept float64, op Op, err error) {
+	d := h.Dim()
+	ad := h.A[d-1]
+	if math.Abs(ad) <= Eps {
+		return nil, 0, LE, fmt.Errorf("geom: vertical half-space %v has no slope form", h)
+	}
+	slope = make([]float64, d-1)
+	for i := 0; i < d-1; i++ {
+		slope[i] = -h.A[i] / ad
+		if slope[i] == 0 {
+			slope[i] = 0 // normalize −0
+		}
+	}
+	intercept = -h.C / ad
+	if intercept == 0 {
+		intercept = 0
+	}
+	op = h.Op
+	if ad < 0 {
+		op = op.Negate()
+	}
+	return slope, intercept, op, nil
+}
+
+// FromSlopeForm builds the half-space x_d θ b1·x1 + … + b_{d−1}·x_{d−1} + b_d,
+// i.e. −b1·x1 − … − b_{d−1}·x_{d−1} + x_d − b_d θ 0.
+func FromSlopeForm(slope []float64, intercept float64, op Op) HalfSpace {
+	a := make([]float64, len(slope)+1)
+	for i, b := range slope {
+		a[i] = -b
+	}
+	a[len(slope)] = 1
+	return HalfSpace{A: a, C: -intercept, Op: op}
+}
+
+// String renders the half-space as "a1*x1 + … + c <= 0".
+func (h HalfSpace) String() string {
+	var sb strings.Builder
+	for i, a := range h.A {
+		if i > 0 {
+			sb.WriteString(" + ")
+		}
+		fmt.Fprintf(&sb, "%g*x%d", a, i+1)
+	}
+	fmt.Fprintf(&sb, " + %g %s 0", h.C, h.Op)
+	return sb.String()
+}

@@ -1,0 +1,133 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHalfSpaceContains(t *testing.T) {
+	h := HalfPlane2(1, 1, -2, LE) // x + y ≤ 2
+	if !h.Contains(Pt2(0, 0)) {
+		t.Error("(0,0) should satisfy x+y ≤ 2")
+	}
+	if !h.Contains(Pt2(1, 1)) {
+		t.Error("boundary point should satisfy closed constraint")
+	}
+	if h.Contains(Pt2(2, 2)) {
+		t.Error("(2,2) should violate x+y ≤ 2")
+	}
+	if !h.Negated().Contains(Pt2(2, 2)) {
+		t.Error("negation should contain (2,2)")
+	}
+}
+
+func TestHalfSpaceContainsStrictAndBoundary(t *testing.T) {
+	h := HalfPlane2(0, 1, 0, GE) // y ≥ 0
+	if !h.OnBoundary(Pt2(5, 0)) {
+		t.Error("(5,0) is on the boundary")
+	}
+	if h.ContainsStrict(Pt2(5, 0)) {
+		t.Error("boundary point is not strictly inside")
+	}
+	if !h.ContainsStrict(Pt2(0, 1)) {
+		t.Error("(0,1) is strictly inside y ≥ 0")
+	}
+}
+
+func TestOpNegate(t *testing.T) {
+	if LE.Negate() != GE || GE.Negate() != LE {
+		t.Fatal("Negate must swap LE and GE")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" {
+		t.Fatal("operator rendering")
+	}
+}
+
+func TestAllowsDirection(t *testing.T) {
+	h := HalfPlane2(0, 1, -3, GE) // y ≥ 3: recession cone is y ≥ 0
+	if !h.AllowsDirection(Pt2(1, 0)) || !h.AllowsDirection(Pt2(0, 1)) {
+		t.Error("horizontal and upward directions must be allowed")
+	}
+	if h.AllowsDirection(Pt2(0, -1)) {
+		t.Error("downward direction must be rejected")
+	}
+}
+
+func TestIsVerticalAndTrivial(t *testing.T) {
+	if !HalfPlane2(1, 0, 0, LE).IsVertical() {
+		t.Error("x ≤ 0 is vertical (a2 = 0)")
+	}
+	if HalfPlane2(1, 1, 0, LE).IsVertical() {
+		t.Error("x + y ≤ 0 is not vertical")
+	}
+	triv := HalfPlane2(0, 0, -1, LE) // −1 ≤ 0: vacuous
+	if !triv.IsTrivial() || !triv.TrivialSatisfiable() {
+		t.Error("−1 ≤ 0 is trivially satisfiable")
+	}
+	bad := HalfPlane2(0, 0, 1, LE) // 1 ≤ 0: unsatisfiable
+	if !bad.IsTrivial() || bad.TrivialSatisfiable() {
+		t.Error("1 ≤ 0 is trivially unsatisfiable")
+	}
+}
+
+func TestSlopeFormRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		c := rng.NormFloat64()
+		if math.Abs(b) < 1e-3 {
+			continue
+		}
+		op := LE
+		if rng.Intn(2) == 0 {
+			op = GE
+		}
+		h := HalfPlane2(a, b, c, op)
+		slope, icpt, sop, err := h.SlopeForm()
+		if err != nil {
+			t.Fatalf("SlopeForm(%v): %v", h, err)
+		}
+		h2 := FromSlopeForm(slope, icpt, sop)
+		// The two half-planes must contain the same random points.
+		for j := 0; j < 20; j++ {
+			p := Pt2(rng.NormFloat64()*10, rng.NormFloat64()*10)
+			if h.ContainsStrict(p) != h2.ContainsStrict(p) && !h.OnBoundary(p) && !h2.OnBoundary(p) {
+				t.Fatalf("round trip disagrees at %v: %v vs %v", p, h, h2)
+			}
+		}
+	}
+}
+
+func TestSlopeFormVerticalError(t *testing.T) {
+	if _, _, _, err := HalfPlane2(1, 0, 0, LE).SlopeForm(); err == nil {
+		t.Fatal("vertical half-plane must not have a slope form")
+	}
+}
+
+func TestFromSlopeForm(t *testing.T) {
+	// y ≥ 2x + 1 contains (0, 2) and not (0, 0).
+	h := FromSlopeForm([]float64{2}, 1, GE)
+	if !h.Contains(Pt2(0, 2)) {
+		t.Error("(0,2) satisfies y ≥ 2x+1")
+	}
+	if h.Contains(Pt2(0, 0)) {
+		t.Error("(0,0) violates y ≥ 2x+1")
+	}
+}
+
+func TestEvalLinearity(t *testing.T) {
+	f := func(a, b, c, x, y float64) bool {
+		if anyBad(a, b, c, x, y) {
+			return true
+		}
+		h := HalfPlane2(a, b, c, LE)
+		want := a*x + b*y + c
+		return h.Eval(Pt2(x, y)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package geom
+
+import "math"
+
+// NullSpaceBasis returns an orthonormal-ish basis (unit vectors, not
+// necessarily mutually orthogonal) of the null space of the rows×n matrix a.
+// An empty result means the matrix has full column rank.
+//
+// It is used to enumerate candidate generator directions for recession
+// cones: directions lying on the boundaries of a subset of constraints form
+// the null space of that subset's normal vectors.
+func NullSpaceBasis(a [][]float64, n int) [][]float64 {
+	rows := len(a)
+	if rows == 0 {
+		// Null space is all of E^n: the standard basis.
+		basis := make([][]float64, n)
+		for i := range basis {
+			v := make([]float64, n)
+			v[i] = 1
+			basis[i] = v
+		}
+		return basis
+	}
+	// Row-reduce a copy, tracking pivot columns.
+	m := make([][]float64, rows)
+	for i := range a {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	pivotCol := make([]int, 0, rows)
+	r := 0
+	for c := 0; c < n && r < rows; c++ {
+		pivot := -1
+		best := Eps
+		for i := r; i < rows; i++ {
+			if math.Abs(m[i][c]) > best {
+				best = math.Abs(m[i][c])
+				pivot = i
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m[r], m[pivot] = m[pivot], m[r]
+		inv := 1 / m[r][c]
+		for i := 0; i < rows; i++ {
+			if i == r {
+				continue
+			}
+			f := m[i][c] * inv
+			if f == 0 {
+				continue
+			}
+			for j := c; j < n; j++ {
+				m[i][j] -= f * m[r][j]
+			}
+		}
+		pivotCol = append(pivotCol, c)
+		r++
+	}
+	isPivot := make([]bool, n)
+	for _, c := range pivotCol {
+		isPivot[c] = true
+	}
+	pivotRow := make(map[int]int, len(pivotCol))
+	for i, c := range pivotCol {
+		pivotRow[c] = i
+	}
+	var basis [][]float64
+	for free := 0; free < n; free++ {
+		if isPivot[free] {
+			continue
+		}
+		x := make([]float64, n)
+		x[free] = 1
+		for c, i := range pivotRow {
+			x[c] = -m[i][free] / m[i][c]
+		}
+		var norm float64
+		for _, v := range x {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm <= Eps {
+			continue
+		}
+		for i := range x {
+			x[i] /= norm
+		}
+		basis = append(basis, x)
+	}
+	return basis
+}

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/core"
+	"dualcdb/internal/workload"
+)
+
+// DimSweepConfig parameterizes the dimension sweep — the study the paper's
+// Section 6 leaves as future work: "by increasing the dimension of the
+// space, the performance of our technique does not change, since we always
+// deal with single values".
+type DimSweepConfig struct {
+	// Dims are the ambient dimensions measured (default 2, 3, 4).
+	Dims []int
+	// N is the relation cardinality (default 2000).
+	N int
+	// SitesPerAxis is the slope-lattice resolution per axis (default 3, so
+	// k = 3^{d−1} sites).
+	SitesPerAxis int
+	// QueriesPerPoint (default 6) and the selectivity band (default
+	// 0.10–0.15) follow the paper's mix.
+	QueriesPerPoint int
+	SelLo, SelHi    float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (c *DimSweepConfig) defaults() {
+	if len(c.Dims) == 0 {
+		c.Dims = []int{2, 3, 4}
+	}
+	if c.N <= 0 {
+		c.N = 2000
+	}
+	if c.SitesPerAxis <= 0 {
+		c.SitesPerAxis = 3
+	}
+	if c.QueriesPerPoint <= 0 {
+		c.QueriesPerPoint = 6
+	}
+	if c.SelLo <= 0 {
+		c.SelLo, c.SelHi = 0.10, 0.15
+	}
+}
+
+// DimSweepRow is one measured dimension.
+type DimSweepRow struct {
+	Dim        int
+	Sites      int
+	IOPerQuery float64
+	Pages      int
+	// RestrictedIO measures in-set slope points (the optimal path).
+	RestrictedIO float64
+}
+
+// RunDimSweep builds a d-dimensional index per dimension and measures
+// pages/query for approximated (in-cell) and restricted slopes.
+func RunDimSweep(cfg DimSweepConfig) ([]DimSweepRow, error) {
+	cfg.defaults()
+	var rows []DimSweepRow
+	for di, d := range cfg.Dims {
+		rel, err := workload.GenerateRelationD(workload.ConfigD{
+			Dim: d, N: cfg.N, Seed: cfg.Seed + int64(di),
+		})
+		if err != nil {
+			return nil, err
+		}
+		sites := core.LatticeSites(d-1, cfg.SitesPerAxis, 1.0)
+		ix, err := core.BuildD(rel, core.OptionsD{Sites: sites, PoolPages: 1 << 16})
+		if err != nil {
+			return nil, err
+		}
+		queries, err := workload.GenerateQueriesD(rel, workload.QueryConfig{
+			Count: cfg.QueriesPerPoint, Kind: constraint.EXIST,
+			SelectivityLo: cfg.SelLo, SelectivityHi: cfg.SelHi,
+			Seed: cfg.Seed + 700 + int64(di),
+		}, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		row := DimSweepRow{Dim: d, Sites: len(sites), Pages: ix.Pages()}
+
+		var total uint64
+		for _, q := range queries {
+			io, err := coldIO(ix.Pool(), func() error { _, err := ix.Query(q); return err })
+			if err != nil {
+				return nil, err
+			}
+			total += io
+		}
+		row.IOPerQuery = float64(total) / float64(len(queries))
+
+		// Restricted path: pin the slope to a site.
+		total = 0
+		for i, q := range queries {
+			rq := q
+			s := sites[i%len(sites)]
+			rq.Slope = append([]float64(nil), s...)
+			io, err := coldIO(ix.Pool(), func() error { _, err := ix.Query(rq); return err })
+			if err != nil {
+				return nil, err
+			}
+			total += io
+		}
+		row.RestrictedIO = float64(total) / float64(len(queries))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatDimSweep renders the sweep as an aligned table.
+func FormatDimSweep(rows []DimSweepRow) string {
+	var sb strings.Builder
+	sb.WriteString("dim   sites   T2 pages/query   restricted pages/query      pages\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%3d %7d %16.1f %24.1f %10d\n",
+			r.Dim, r.Sites, r.IOPerQuery, r.RestrictedIO, r.Pages)
+	}
+	return sb.String()
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSelSweep(t *testing.T) {
+	rows, err := RunSelSweep(SelSweepConfig{
+		N:               800,
+		Bands:           [][2]float64{{0.05, 0.10}, {0.40, 0.50}},
+		QueriesPerPoint: 3,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WinFactor <= 1 {
+			t.Errorf("T2 must win at selectivity %v–%v: factor %v", r.SelLo, r.SelHi, r.WinFactor)
+		}
+	}
+	// Output-sensitive T2: higher selectivity never costs dramatically
+	// less (at this small N the leaf counts barely move, so only a
+	// non-degradation check is meaningful; the full-scale growth trend is
+	// in EXPERIMENTS.md).
+	if rows[1].T2IO < rows[0].T2IO*0.7 {
+		t.Errorf("T2 I/O collapsed at higher selectivity: %+v", rows)
+	}
+	if out := FormatSelSweep(rows); !strings.Contains(out, "win factor") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestRunTechniqueComparison(t *testing.T) {
+	rows, err := RunTechniqueComparison(800, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TechniqueRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, name := range []string{"T2", "T1", "restricted", "R+-tree", "scan"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("missing technique %q in %+v", name, rows)
+		}
+	}
+	// The paper's ordering: restricted ≤ T2 ≤ T1 in I/O; R⁺ worst of the
+	// indexed strategies.
+	if !(byName["restricted"].IOPerQuery <= byName["T2"].IOPerQuery) {
+		t.Errorf("restricted must not exceed T2: %+v", rows)
+	}
+	if !(byName["T2"].IOPerQuery <= byName["T1"].IOPerQuery) {
+		t.Errorf("T2 must not exceed T1: %+v", rows)
+	}
+	if !(byName["T1"].IOPerQuery < byName["R+-tree"].IOPerQuery) {
+		t.Errorf("every dual technique must beat the R+-tree here: %+v", rows)
+	}
+	if byName["restricted"].FalseHits != 0 || byName["restricted"].Duplicates != 0 {
+		t.Errorf("restricted path is exact: %+v", byName["restricted"])
+	}
+	if byName["T1"].Duplicates <= byName["T2"].Duplicates {
+		t.Errorf("T1 must duplicate more than T2: %+v", rows)
+	}
+	if out := FormatTechniques(rows); !strings.Contains(out, "restricted") {
+		t.Fatalf("format:\n%s", out)
+	}
+}

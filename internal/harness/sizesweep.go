@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/core"
+	"dualcdb/internal/rplustree"
+	"dualcdb/internal/workload"
+)
+
+// SizeSweepConfig parameterizes the object-size sweep experiment, which
+// isolates the paper's qualitative claim behind Figures 8 vs 9: "the
+// R⁺-tree performs better with small objects, whereas the behavior of
+// technique T2 does not significantly change when the object size
+// changes".
+type SizeSweepConfig struct {
+	// N is the relation cardinality (default 4000).
+	N int
+	// AreaFracs are the object-area fractions of the window swept over
+	// (default 0.0002 … 0.3).
+	AreaFracs []float64
+	// K is the slope-set cardinality for T2 (default 3).
+	K int
+	// Kind is the selection type (default EXIST).
+	Kind constraint.QueryKind
+	// QueriesPerPoint (default 6) and the selectivity band (default
+	// 0.10–0.15) follow the paper's mix.
+	QueriesPerPoint int
+	SelLo, SelHi    float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (c *SizeSweepConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 4000
+	}
+	if len(c.AreaFracs) == 0 {
+		c.AreaFracs = []float64{0.0002, 0.001, 0.005, 0.02, 0.08, 0.3}
+	}
+	if c.K <= 0 {
+		c.K = 3
+	}
+	if c.QueriesPerPoint <= 0 {
+		c.QueriesPerPoint = 6
+	}
+	if c.SelLo <= 0 {
+		c.SelLo, c.SelHi = 0.10, 0.15
+	}
+}
+
+// SizeSweepRow is one swept size: average I/O per query per structure.
+type SizeSweepRow struct {
+	AreaFrac   float64
+	RPlusIO    float64
+	T2IO       float64
+	RPlusPages int
+	T2Pages    int
+}
+
+// RunSizeSweep measures both structures across object sizes at fixed N.
+func RunSizeSweep(cfg SizeSweepConfig) ([]SizeSweepRow, error) {
+	cfg.defaults()
+	var rows []SizeSweepRow
+	for i, frac := range cfg.AreaFracs {
+		rel, err := workload.GenerateRelation(workload.Config{
+			N: cfg.N, AreaLoFrac: frac * 0.8, AreaHiFrac: frac * 1.2,
+			Seed: cfg.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		queries, err := workload.GenerateQueries(rel, workload.QueryConfig{
+			Count: cfg.QueriesPerPoint, Kind: cfg.Kind,
+			SelectivityLo: cfg.SelLo, SelectivityHi: cfg.SelHi,
+			Seed: cfg.Seed + 500 + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rix, err := rplustree.Build(rel, rplustree.Options{PoolPages: 1 << 16})
+		if err != nil {
+			return nil, err
+		}
+		ix, err := core.Build(rel, core.Options{
+			Slopes: core.EquiangularSlopes(cfg.K), Technique: core.T2, PoolPages: 1 << 16,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := SizeSweepRow{AreaFrac: frac, RPlusPages: rix.Pages(), T2Pages: ix.Pages()}
+		var rTotal, tTotal uint64
+		for _, q := range queries {
+			io, err := coldIO(rix.Pool(), func() error { _, err := rix.Query(q); return err })
+			if err != nil {
+				return nil, err
+			}
+			rTotal += io
+			io, err = coldIO(ix.Pool(), func() error { _, err := ix.Query(q); return err })
+			if err != nil {
+				return nil, err
+			}
+			tTotal += io
+		}
+		row.RPlusIO = float64(rTotal) / float64(len(queries))
+		row.T2IO = float64(tTotal) / float64(len(queries))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSizeSweep renders the sweep as an aligned table.
+func FormatSizeSweep(rows []SizeSweepRow) string {
+	var sb strings.Builder
+	sb.WriteString("object area   R+ pages/query  T2 pages/query    R+ pages    T2 pages\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%9.3f%%  %15.1f %15.1f %11d %11d\n",
+			r.AreaFrac*100, r.RPlusIO, r.T2IO, r.RPlusPages, r.T2Pages)
+	}
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSizeSweep(t *testing.T) {
+	rows, err := RunSizeSweep(SizeSweepConfig{
+		N:               800,
+		AreaFracs:       []float64{0.0005, 0.02, 0.25},
+		QueriesPerPoint: 3,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// T2 must win at every size and stay within a narrow band while the
+	// R⁺-tree degrades (the Section 5 object-size claim).
+	var t2Min, t2Max float64
+	for i, r := range rows {
+		if r.T2IO <= 0 || r.RPlusIO <= 0 {
+			t.Fatalf("non-positive I/O in row %+v", r)
+		}
+		if r.T2IO >= r.RPlusIO {
+			t.Errorf("T2 (%v) did not beat R+ (%v) at area %v", r.T2IO, r.RPlusIO, r.AreaFrac)
+		}
+		if i == 0 {
+			t2Min, t2Max = r.T2IO, r.T2IO
+		} else {
+			if r.T2IO < t2Min {
+				t2Min = r.T2IO
+			}
+			if r.T2IO > t2Max {
+				t2Max = r.T2IO
+			}
+		}
+	}
+	if t2Max > 3*t2Min {
+		t.Errorf("T2 I/O varies too much with object size: [%v, %v]", t2Min, t2Max)
+	}
+	out := FormatSizeSweep(rows)
+	if !strings.Contains(out, "object area") || len(strings.Split(out, "\n")) < 4 {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestRunDimSweep(t *testing.T) {
+	rows, err := RunDimSweep(DimSweepConfig{
+		Dims:            []int{2, 3},
+		N:               400,
+		QueriesPerPoint: 3,
+		Seed:            6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The Section 6 conjecture: per-query I/O roughly flat across d (the
+	// index only ever touches single surface values).
+	if rows[1].IOPerQuery > 3*rows[0].IOPerQuery {
+		t.Errorf("I/O not flat across dimensions: %+v", rows)
+	}
+	// Space grows with the site count (3^{d−1} lattice).
+	if rows[1].Pages <= rows[0].Pages {
+		t.Errorf("pages must grow with sites: %+v", rows)
+	}
+	if rows[0].Sites != 3 || rows[1].Sites != 9 {
+		t.Errorf("site counts: %+v", rows)
+	}
+	out := FormatDimSweep(rows)
+	if !strings.Contains(out, "dim") {
+		t.Fatalf("format:\n%s", out)
+	}
+}

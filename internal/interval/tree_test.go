@@ -1,0 +1,188 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dualcdb/internal/pagestore"
+)
+
+func newPool() *pagestore.Pool {
+	return pagestore.NewPool(pagestore.NewMemStore(1024), 1<<14)
+}
+
+func randIntervals(rng *rand.Rand, n int) []Interval {
+	out := make([]Interval, n)
+	for i := range out {
+		a := rng.Float64()*200 - 100
+		b := a + rng.Float64()*30
+		out[i] = Interval{Lo: a, Hi: b, TID: uint32(i + 1)}
+	}
+	return out
+}
+
+func stabIDs(t *testing.T, tr *Tree, x float64) []uint32 {
+	t.Helper()
+	var ids []uint32
+	if _, err := tr.Stab(x, func(iv Interval) { ids = append(ids, iv.TID) }); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestStabMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ivs := randIntervals(rng, 3000)
+	tr, err := Build(newPool(), ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		x := rng.Float64()*240 - 120
+		got := stabIDs(t, tr, x)
+		var want []uint32
+		for _, iv := range ivs {
+			if iv.Contains(x) {
+				want = append(want, iv.TID)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("x=%v: got %d, want %d", x, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("x=%v: mismatch at %d", x, i)
+			}
+		}
+	}
+}
+
+func TestStabInfiniteEndpoints(t *testing.T) {
+	ivs := []Interval{
+		{Lo: math.Inf(-1), Hi: 0, TID: 1},
+		{Lo: 0, Hi: math.Inf(1), TID: 2},
+		{Lo: math.Inf(-1), Hi: math.Inf(1), TID: 3},
+		{Lo: 5, Hi: 6, TID: 4},
+	}
+	tr, err := Build(newPool(), ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    float64
+		want []uint32
+	}{
+		{-100, []uint32{1, 3}},
+		{0, []uint32{1, 2, 3}},
+		{5.5, []uint32{2, 3, 4}},
+		{100, []uint32{2, 3}},
+	}
+	for _, c := range cases {
+		got := stabIDs(t, tr, c.x)
+		if len(got) != len(c.want) {
+			t.Fatalf("x=%v: got %v, want %v", c.x, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("x=%v: got %v, want %v", c.x, got, c.want)
+			}
+		}
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	tr, err := Build(newPool(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stabIDs(t, tr, 0); len(got) != 0 {
+		t.Fatalf("empty tree: %v", got)
+	}
+	// All-identical intervals (degenerate median).
+	ivs := make([]Interval, 200)
+	for i := range ivs {
+		ivs[i] = Interval{Lo: 1, Hi: 2, TID: uint32(i + 1)}
+	}
+	tr, err = Build(newPool(), ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stabIDs(t, tr, 1.5); len(got) != 200 {
+		t.Fatalf("identical intervals: %d found", len(got))
+	}
+	if got := stabIDs(t, tr, 3); len(got) != 0 {
+		t.Fatalf("outside: %v", got)
+	}
+	// Invalid interval rejected.
+	if _, err := Build(newPool(), []Interval{{Lo: 2, Hi: 1}}); err == nil {
+		t.Fatal("inverted interval must be rejected")
+	}
+	if _, err := Build(newPool(), []Interval{{Lo: math.NaN(), Hi: 1}}); err == nil {
+		t.Fatal("NaN endpoint must be rejected")
+	}
+}
+
+func TestStabIOBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Short intervals: selective stabs must touch few pages.
+	ivs := make([]Interval, 5000)
+	for i := range ivs {
+		a := rng.Float64()*200 - 100
+		ivs[i] = Interval{Lo: a, Hi: a + 0.5, TID: uint32(i + 1)}
+	}
+	tr, err := Build(newPool(), ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	visited, err := tr.Stab(0, func(Interval) { found++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O(log n) nodes + t/B list pages: generous bound.
+	if visited > 40+found/2 {
+		t.Fatalf("stab visited %d pages for %d results over %d pages total",
+			visited, found, tr.Pages())
+	}
+}
+
+func TestQuickStabEquivalence(t *testing.T) {
+	type ivSpec struct {
+		Lo   int16
+		Len  uint8
+		Stab int16
+	}
+	f := func(specs []ivSpec) bool {
+		if len(specs) == 0 {
+			return true
+		}
+		ivs := make([]Interval, len(specs))
+		for i, s := range specs {
+			lo := float64(s.Lo) / 64
+			ivs[i] = Interval{Lo: lo, Hi: lo + float64(s.Len)/16, TID: uint32(i + 1)}
+		}
+		tr, err := Build(newPool(), ivs)
+		if err != nil {
+			return false
+		}
+		x := float64(specs[0].Stab) / 64
+		got := make(map[uint32]bool)
+		if _, err := tr.Stab(x, func(iv Interval) { got[iv.TID] = true }); err != nil {
+			return false
+		}
+		for _, iv := range ivs {
+			if got[iv.TID] != iv.Contains(x) {
+				return false
+			}
+		}
+		return len(got) <= len(ivs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

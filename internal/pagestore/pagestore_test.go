@@ -1,0 +1,285 @@
+package pagestore
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func stores(t *testing.T, pageSize int) map[string]Store {
+	t.Helper()
+	fs, err := OpenFileStore(filepath.Join(t.TempDir(), "pages.db"), pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return map[string]Store{
+		"mem":  NewMemStore(pageSize),
+		"file": fs,
+	}
+}
+
+func TestStoreAllocReadWrite(t *testing.T) {
+	for name, s := range stores(t, 128) {
+		t.Run(name, func(t *testing.T) {
+			id1, err := s.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			id2, err := s.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id1 == id2 || id1 == InvalidPage {
+				t.Fatalf("ids %d %d", id1, id2)
+			}
+			buf := make([]byte, 128)
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			if err := s.WritePage(id1, buf); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 128)
+			if err := s.ReadPage(id1, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, got) {
+				t.Fatal("read != written")
+			}
+			// A fresh page must be zeroed.
+			if err := s.ReadPage(id2, got); err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range got {
+				if b != 0 {
+					t.Fatal("fresh page not zeroed")
+				}
+			}
+			if s.NumAllocated() != 2 {
+				t.Fatalf("NumAllocated = %d", s.NumAllocated())
+			}
+		})
+	}
+}
+
+func TestStoreFreeAndReuse(t *testing.T) {
+	for name, s := range stores(t, 64) {
+		t.Run(name, func(t *testing.T) {
+			id, _ := s.Alloc()
+			if err := s.Free(id); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Free(id); err == nil {
+				t.Fatal("double free must fail")
+			}
+			buf := make([]byte, 64)
+			if err := s.ReadPage(id, buf); err == nil {
+				t.Fatal("reading freed page must fail")
+			}
+			id2, _ := s.Alloc()
+			if id2 != id {
+				t.Fatalf("freed page not reused: %d vs %d", id2, id)
+			}
+			// Reused pages are zeroed.
+			if err := s.ReadPage(id2, buf); err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range buf {
+				if b != 0 {
+					t.Fatal("reused page not zeroed")
+				}
+			}
+		})
+	}
+}
+
+func TestPoolBasicReadWrite(t *testing.T) {
+	s := NewMemStore(64)
+	p := NewPool(s, 16)
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	copy(f.Data(), "hello")
+	f.MarkDirty()
+	f.Release()
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Read through a different pool to force a physical read.
+	p2 := NewPool(s, 16)
+	f2, err := p2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f2.Data()[:5]) != "hello" {
+		t.Fatalf("data = %q", f2.Data()[:5])
+	}
+	f2.Release()
+	if st := p2.Stats(); st.PhysicalReads != 1 || st.LogicalReads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolCacheHit(t *testing.T) {
+	s := NewMemStore(64)
+	p := NewPool(s, 16)
+	f, _ := p.NewPage()
+	id := f.ID()
+	f.Release()
+	p.ResetStats()
+	for i := 0; i < 5; i++ {
+		g, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Release()
+	}
+	st := p.Stats()
+	if st.LogicalReads != 5 {
+		t.Fatalf("logical = %d", st.LogicalReads)
+	}
+	if st.PhysicalReads != 0 {
+		t.Fatalf("physical = %d (page was already cached)", st.PhysicalReads)
+	}
+}
+
+func TestPoolEvictionWritesBackDirty(t *testing.T) {
+	s := NewMemStore(64)
+	p := NewPool(s, 8) // minimum capacity
+	f, _ := p.NewPage()
+	id := f.ID()
+	copy(f.Data(), "dirty")
+	f.MarkDirty()
+	f.Release()
+	// Fill the pool to force eviction of the first page.
+	for i := 0; i < 10; i++ {
+		g, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Release()
+	}
+	buf := make([]byte, 64)
+	if err := s.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:5]) != "dirty" {
+		t.Fatal("evicted dirty page not written back")
+	}
+}
+
+func TestPoolAllPinned(t *testing.T) {
+	s := NewMemStore(64)
+	p := NewPool(s, 8)
+	var frames []*Frame
+	for i := 0; i < 8; i++ {
+		f, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	if _, err := p.NewPage(); err != ErrPoolFull {
+		t.Fatalf("want ErrPoolFull, got %v", err)
+	}
+	frames[0].Release()
+	if _, err := p.NewPage(); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+func TestPoolEvictAllColdCache(t *testing.T) {
+	s := NewMemStore(64)
+	p := NewPool(s, 64)
+	var ids []PageID
+	for i := 0; i < 10; i++ {
+		f, _ := p.NewPage()
+		ids = append(ids, f.ID())
+		f.Release()
+	}
+	if err := p.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetStats()
+	// Touch 5 distinct pages, some twice: PhysicalReads must be 5.
+	for _, i := range []int{0, 1, 2, 2, 3, 4, 0} {
+		f, err := p.Get(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Release()
+	}
+	if st := p.Stats(); st.PhysicalReads != 5 {
+		t.Fatalf("physical reads = %d, want 5", st.PhysicalReads)
+	}
+}
+
+func TestPoolFreePage(t *testing.T) {
+	s := NewMemStore(64)
+	p := NewPool(s, 16)
+	f, _ := p.NewPage()
+	id := f.ID()
+	if err := p.FreePage(id); err == nil {
+		t.Fatal("freeing a pinned page must fail")
+	}
+	f.Release()
+	if err := p.FreePage(id); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAllocated() != 0 {
+		t.Fatalf("allocated = %d", s.NumAllocated())
+	}
+}
+
+func TestPoolRandomizedAgainstDirectStore(t *testing.T) {
+	// Property: reading through a (small, eviction-heavy) pool always
+	// returns the last bytes written through the pool.
+	s := NewMemStore(32)
+	p := NewPool(s, 8)
+	rng := rand.New(rand.NewSource(77))
+	shadow := make(map[PageID][]byte)
+	var ids []PageID
+	for i := 0; i < 20; i++ {
+		f, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, f.ID())
+		shadow[f.ID()] = make([]byte, 32)
+		f.Release()
+	}
+	for step := 0; step < 2000; step++ {
+		id := ids[rng.Intn(len(ids))]
+		f, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(2) == 0 {
+			b := byte(rng.Intn(256))
+			off := rng.Intn(32)
+			f.Data()[off] = b
+			shadow[id][off] = b
+			f.MarkDirty()
+		} else if !bytes.Equal(f.Data(), shadow[id]) {
+			t.Fatalf("step %d: page %d diverged", step, id)
+		}
+		f.Release()
+	}
+}
+
+func TestFrameOverReleasePanics(t *testing.T) {
+	s := NewMemStore(64)
+	p := NewPool(s, 8)
+	f, _ := p.NewPage()
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release must panic")
+		}
+	}()
+	f.Release()
+}

@@ -1,0 +1,242 @@
+package pagestore
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Stats accumulates the buffer pool's I/O counters. PhysicalReads is the
+// number the paper's figures plot: page transfers from secondary storage,
+// which with a per-query cold cache equals the number of distinct pages a
+// query touches.
+type Stats struct {
+	LogicalReads  uint64 // Get calls
+	PhysicalReads uint64 // pages fetched from the store (cache misses)
+	Writes        uint64 // pages written back to the store
+	Allocs        uint64 // pages allocated
+	Frees         uint64 // pages freed
+}
+
+// Pool is an LRU buffer pool over a Store. Frames are pinned while in use;
+// unpinned dirty frames are written back on eviction or Flush.
+//
+// A Pool is safe for use from a single goroutine per structure operation;
+// the internal mutex only protects the counters and tables against
+// incidental cross-goroutine sharing in tests.
+type Pool struct {
+	mu       sync.Mutex
+	store    Store
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // of PageID, most-recent at front; only unpinned pages
+	lruPos   map[PageID]*list.Element
+	stats    Stats
+}
+
+// Frame is a pinned page in the buffer pool. Callers must Release it when
+// done and MarkDirty after mutating Data.
+type Frame struct {
+	pool  *Pool
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+}
+
+// ErrPoolFull is returned when every frame is pinned and a new page is
+// requested.
+var ErrPoolFull = errors.New("pagestore: all buffer frames pinned")
+
+// NewPool creates a buffer pool with the given frame capacity (minimum 8).
+func NewPool(store Store, capacity int) *Pool {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Pool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame),
+		lru:      list.New(),
+		lruPos:   make(map[PageID]*list.Element),
+	}
+}
+
+// Store returns the underlying page device.
+func (p *Pool) Store() Store { return p.store }
+
+// PageSize returns the page size in bytes.
+func (p *Pool) PageSize() int { return p.store.PageSize() }
+
+// Get pins the page with the given id, reading it from the store on a miss.
+func (p *Pool) Get(id PageID) (*Frame, error) {
+	if id == InvalidPage {
+		return nil, errors.New("pagestore: Get(InvalidPage)")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.LogicalReads++
+	if f, ok := p.frames[id]; ok {
+		p.pinLocked(f)
+		return f, nil
+	}
+	if err := p.ensureRoomLocked(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, p.store.PageSize())
+	if err := p.store.ReadPage(id, buf); err != nil {
+		return nil, err
+	}
+	p.stats.PhysicalReads++
+	f := &Frame{pool: p, id: id, data: buf, pins: 1}
+	p.frames[id] = f
+	return f, nil
+}
+
+// NewPage allocates a fresh zeroed page and returns it pinned and dirty.
+func (p *Pool) NewPage() (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.ensureRoomLocked(); err != nil {
+		return nil, err
+	}
+	id, err := p.store.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	p.stats.Allocs++
+	f := &Frame{pool: p, id: id, data: make([]byte, p.store.PageSize()), pins: 1, dirty: true}
+	p.frames[id] = f
+	return f, nil
+}
+
+// FreePage removes the page from the pool and the store. The page must not
+// be pinned.
+func (p *Pool) FreePage(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[id]; ok {
+		if f.pins > 0 {
+			return fmt.Errorf("pagestore: freeing pinned page %d", id)
+		}
+		p.dropLocked(id)
+	}
+	p.stats.Frees++
+	return p.store.Free(id)
+}
+
+// pinLocked pins an in-pool frame, removing it from the eviction list.
+func (p *Pool) pinLocked(f *Frame) {
+	f.pins++
+	if el, ok := p.lruPos[f.id]; ok {
+		p.lru.Remove(el)
+		delete(p.lruPos, f.id)
+	}
+}
+
+// ensureRoomLocked evicts the least-recently-used unpinned frame when the
+// pool is at capacity.
+func (p *Pool) ensureRoomLocked() error {
+	if len(p.frames) < p.capacity {
+		return nil
+	}
+	el := p.lru.Back()
+	if el == nil {
+		return ErrPoolFull
+	}
+	id := el.Value.(PageID)
+	f := p.frames[id]
+	if f.dirty {
+		if err := p.store.WritePage(id, f.data); err != nil {
+			return err
+		}
+		p.stats.Writes++
+		f.dirty = false
+	}
+	p.dropLocked(id)
+	return nil
+}
+
+func (p *Pool) dropLocked(id PageID) {
+	if el, ok := p.lruPos[id]; ok {
+		p.lru.Remove(el)
+		delete(p.lruPos, id)
+	}
+	delete(p.frames, id)
+}
+
+// Flush writes back all dirty frames (pinned or not) without evicting them.
+func (p *Pool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, f := range p.frames {
+		if f.dirty {
+			if err := p.store.WritePage(id, f.data); err != nil {
+				return err
+			}
+			p.stats.Writes++
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// EvictAll flushes and drops every unpinned frame — a "cold cache" reset so
+// the next query's PhysicalReads counts each touched page exactly once.
+func (p *Pool) EvictAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, f := range p.frames {
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			if err := p.store.WritePage(id, f.data); err != nil {
+				return err
+			}
+			p.stats.Writes++
+			f.dirty = false
+		}
+		p.dropLocked(id)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the I/O counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// ID returns the frame's page id.
+func (f *Frame) ID() PageID { return f.id }
+
+// Data returns the page bytes; mutate only while pinned and call MarkDirty.
+func (f *Frame) Data() []byte { return f.data }
+
+// MarkDirty records that the page bytes changed.
+func (f *Frame) MarkDirty() { f.dirty = true }
+
+// Release unpins the frame. Unpinned frames become eviction candidates.
+func (f *Frame) Release() {
+	p := f.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins == 0 {
+		panic(fmt.Sprintf("pagestore: over-release of page %d", f.id))
+	}
+	f.pins--
+	if f.pins == 0 {
+		el := p.lru.PushFront(f.id)
+		p.lruPos[f.id] = el
+	}
+}

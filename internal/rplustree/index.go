@@ -1,0 +1,210 @@
+package rplustree
+
+import (
+	"fmt"
+	"sort"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/geom"
+	"dualcdb/internal/pagestore"
+)
+
+// Index is the relation-aware R⁺-tree: it stores the MBRs of the bounded
+// tuples of a generalized relation and answers the same ALL/EXIST
+// half-plane selections as the dual index, for a direct experimental
+// comparison (Section 5).
+//
+// Limitations inherited from the structure (and exploited by the paper):
+// unbounded tuples cannot be stored, and an ALL selection must be executed
+// as an EXIST traversal plus refinement, because containment cannot be
+// decided from clipped bounding boxes alone.
+type Index struct {
+	rel  *constraint.Relation
+	tree *Tree
+	pool *pagestore.Pool
+
+	// Skipped counts tuples the structure could not index (unbounded or
+	// unsatisfiable extensions).
+	Skipped int
+}
+
+// Options configures an R⁺-tree index.
+type Options struct {
+	// PageSize in bytes (default 1024). Ignored when Pool is set.
+	PageSize int
+	// PoolPages is the buffer-pool capacity in frames (default 512).
+	PoolPages int
+	// Pool optionally shares a buffer pool with other structures.
+	Pool *pagestore.Pool
+	// FillFactor is the bulk-load node occupancy in (0,1]; default 0.9.
+	FillFactor float64
+	// DuplicationBound caps one partitioning level's reference growth
+	// (default 1.5 = 50 % duplication); beyond it the build chains pages
+	// instead of subdividing. An ablation knob for the R⁺-tree's clipping
+	// behaviour.
+	DuplicationBound float64
+}
+
+// QueryStats mirrors core.QueryStats for uniform reporting.
+type QueryStats struct {
+	Path         string
+	Candidates   int // object references touched (duplicates included)
+	Results      int
+	FalseHits    int
+	Duplicates   int
+	NodesVisited int
+	PagesRead    uint64
+}
+
+// Result is a selection answer.
+type Result struct {
+	IDs   []constraint.TupleID
+	Stats QueryStats
+}
+
+// Build bulk-loads an R⁺-tree over every bounded, satisfiable tuple of rel.
+func Build(rel *constraint.Relation, opt Options) (*Index, error) {
+	if rel.Dim() != 2 {
+		return nil, fmt.Errorf("rplustree: relation dimension %d, want 2", rel.Dim())
+	}
+	if opt.PageSize <= 0 {
+		opt.PageSize = pagestore.DefaultPageSize
+	}
+	if opt.PoolPages <= 0 {
+		opt.PoolPages = 512
+	}
+	pool := opt.Pool
+	if pool == nil {
+		pool = pagestore.NewPool(pagestore.NewMemStore(opt.PageSize), opt.PoolPages)
+	}
+	ix := &Index{rel: rel, pool: pool}
+	var items []Item
+	var buildErr error
+	rel.Scan(func(t *constraint.Tuple) bool {
+		it, ok, err := itemFor(t)
+		if err != nil {
+			buildErr = err
+			return false
+		}
+		if !ok {
+			ix.Skipped++
+			return true
+		}
+		items = append(items, it)
+		return true
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	tree, err := BulkBounded(pool, items, opt.FillFactor, opt.DuplicationBound)
+	if err != nil {
+		return nil, err
+	}
+	ix.tree = tree
+	return ix, nil
+}
+
+// itemFor derives the MBR item of a tuple; ok is false for tuples the
+// R⁺-tree cannot store (empty or unbounded extensions).
+func itemFor(t *constraint.Tuple) (Item, bool, error) {
+	ext, err := t.Extension()
+	if err != nil {
+		return Item{}, false, err
+	}
+	if ext.IsEmpty() || !ext.IsBounded() {
+		return Item{}, false, nil
+	}
+	lo, hi, err := ext.MBR()
+	if err != nil {
+		return Item{}, false, err
+	}
+	return Item{R: Rect{MinX: lo[0], MinY: lo[1], MaxX: hi[0], MaxY: hi[1]}, TID: uint32(t.ID())}, true, nil
+}
+
+// Insert adds a tuple to the relation and, if bounded, to the tree.
+func (ix *Index) Insert(t *constraint.Tuple) (constraint.TupleID, error) {
+	id, err := ix.rel.Insert(t)
+	if err != nil {
+		return 0, err
+	}
+	it, ok, err := itemFor(t)
+	if err != nil {
+		return id, err
+	}
+	if !ok {
+		ix.Skipped++
+		return id, nil
+	}
+	return id, ix.tree.Insert(it)
+}
+
+// Delete removes a tuple from both the tree and the relation.
+func (ix *Index) Delete(id constraint.TupleID) error {
+	t, err := ix.rel.Get(id)
+	if err != nil {
+		return err
+	}
+	if it, ok, err := itemFor(t); err != nil {
+		return err
+	} else if ok {
+		if _, err := ix.tree.Delete(it.R, it.TID); err != nil {
+			return err
+		}
+	}
+	return ix.rel.Delete(id)
+}
+
+// Query answers an ALL or EXIST half-plane selection. Both kinds traverse
+// the nodes intersecting the half-plane (an ALL query cannot prune more:
+// containment of a clipped box says nothing about the object — Section 1),
+// deduplicate the references, and refine with the exact predicate.
+func (ix *Index) Query(q constraint.Query) (Result, error) {
+	if q.Dim() != 2 {
+		return Result{}, fmt.Errorf("rplustree: query dimension %d", q.Dim())
+	}
+	before := ix.pool.Stats().PhysicalReads
+	h := q.HalfSpace()
+	le := h.Op == geom.LE
+	st := QueryStats{Path: "rplus-" + q.Kind.String()}
+	seen := make(map[uint32]int)
+	visited, err := ix.tree.SearchHalfPlane(h.A[0], h.A[1], h.C, le, func(tid uint32, _ Rect) {
+		st.Candidates++
+		seen[tid]++
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	st.NodesVisited = visited
+	ids := make([]constraint.TupleID, 0, len(seen))
+	for tid, n := range seen {
+		if n > 1 {
+			st.Duplicates += n - 1
+		}
+		t, err := ix.rel.Get(constraint.TupleID(tid))
+		if err != nil {
+			return Result{}, fmt.Errorf("rplustree: candidate %d not in relation: %w", tid, err)
+		}
+		ok, err := q.Matches(t)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			ids = append(ids, constraint.TupleID(tid))
+		} else {
+			st.FalseHits++
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	st.Results = len(ids)
+	st.PagesRead = ix.pool.Stats().PhysicalReads - before
+	return Result{IDs: ids, Stats: st}, nil
+}
+
+// Pages returns the tree's page count.
+func (ix *Index) Pages() int { return ix.tree.Pages() }
+
+// Pool exposes the buffer pool for I/O accounting.
+func (ix *Index) Pool() *pagestore.Pool { return ix.pool }
+
+// Tree exposes the underlying rectangle tree.
+func (ix *Index) Tree() *Tree { return ix.tree }

@@ -1,0 +1,592 @@
+package rplustree
+
+import (
+	"fmt"
+	"math"
+
+	"dualcdb/internal/pagestore"
+)
+
+// This file implements dynamic maintenance (Insert/Delete) and searches.
+
+// Insert adds an item, duplicating its reference into every leaf whose
+// region intersects the MBR (the R⁺-tree clipping rule). Node overflow
+// splits the node's region with a guillotine cut; crossing objects are
+// duplicated into both halves.
+func (t *Tree) Insert(it Item) error {
+	if !it.R.Valid() {
+		return fmt.Errorf("rplustree: invalid rectangle %+v", it.R)
+	}
+	split, err := t.insertInto(t.root, WorldRect(), it)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		// Root split: new internal root over the two halves.
+		f, err := t.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		initNode(f, typeInternal)
+		t.pages++
+		appendEntry(f, split.leftRegion, uint32(split.left))
+		appendEntry(f, split.rightRegion, uint32(split.right))
+		t.root = f.ID()
+		f.Release()
+	}
+	return nil
+}
+
+// splitResult describes a node split to the parent.
+type splitResult struct {
+	left, right             pagestore.PageID
+	leftRegion, rightRegion Rect
+}
+
+func (t *Tree) insertInto(id pagestore.PageID, region Rect, it Item) (*splitResult, error) {
+	f, err := t.pool.Get(id)
+	if err != nil {
+		return nil, err
+	}
+
+	if nodeType(f) == typeLeaf {
+		if overflow(f) != pagestore.InvalidPage {
+			// Chained leaf (degenerate data): never split a chain — walk to
+			// a page with room, extending the chain if necessary.
+			for nodeCount(f) == t.cap && overflow(f) != pagestore.InvalidPage {
+				next := overflow(f)
+				f.Release()
+				if f, err = t.pool.Get(next); err != nil {
+					return nil, err
+				}
+			}
+			if nodeCount(f) == t.cap {
+				nf, err := t.pool.NewPage()
+				if err != nil {
+					f.Release()
+					return nil, err
+				}
+				initNode(nf, typeLeaf)
+				t.pages++
+				setOverflow(f, nf.ID())
+				f.Release()
+				f = nf
+			}
+			appendEntry(f, it.R, it.TID)
+			t.size++
+			f.Release()
+			return nil, nil
+		}
+		if nodeCount(f) < t.cap {
+			appendEntry(f, it.R, it.TID)
+			t.size++
+			f.Release()
+			return nil, nil
+		}
+		// Full chain-free leaf: split, or start a chain if the region
+		// cannot be cut without putting everything on both sides.
+		res, err := t.splitLeaf(f, region, it)
+		f.Release()
+		return res, err
+	}
+
+	// Internal: read the children, descend into every child whose region
+	// intersects the MBR, apply any child splits to the in-memory list, and
+	// rewrite (or split) this node from the list — never writing past the
+	// page capacity.
+	children := readChildren(f)
+	var splits []struct {
+		idx int
+		res *splitResult
+	}
+	for i, ch := range children {
+		if !ch.r.Intersects(it.R) {
+			continue
+		}
+		res, err := t.insertInto(pagestore.PageID(ch.id), ch.r, it)
+		if err != nil {
+			f.Release()
+			return nil, err
+		}
+		if res != nil {
+			splits = append(splits, struct {
+				idx int
+				res *splitResult
+			}{i, res})
+		}
+	}
+	if len(splits) == 0 {
+		f.Release()
+		return nil, nil
+	}
+	for i := len(splits) - 1; i >= 0; i-- {
+		s := splits[i]
+		children = append(children[:s.idx], append([]child{
+			{r: s.res.leftRegion, id: uint32(s.res.left)},
+			{r: s.res.rightRegion, id: uint32(s.res.right)},
+		}, children[s.idx+1:]...)...)
+	}
+	if len(children) <= t.cap {
+		writeChildren(f, children)
+		f.Release()
+		return nil, nil
+	}
+	res, err := t.splitChildren(f, children, region)
+	f.Release()
+	return res, err
+}
+
+// child is an in-memory internal-node entry.
+type child struct {
+	r  Rect
+	id uint32
+}
+
+func readChildren(f *pagestore.Frame) []child {
+	n := nodeCount(f)
+	out := make([]child, n)
+	for i := 0; i < n; i++ {
+		r, id := getEntry(f, i)
+		out[i] = child{r, id}
+	}
+	return out
+}
+
+func writeChildren(f *pagestore.Frame, children []child) {
+	initNode(f, typeInternal)
+	for _, ch := range children {
+		appendEntry(f, ch.r, ch.id)
+	}
+}
+
+// splitChildren splits an over-full child list with a guillotine cut,
+// reusing f as the left node; either side that still exceeds capacity is
+// split recursively into a deeper internal node.
+func (t *Tree) splitChildren(f *pagestore.Frame, children []child, region Rect) (*splitResult, error) {
+	axis, at, err := guillotineCut(children, region)
+	if err != nil {
+		return nil, err
+	}
+	leftRegion := region.cutLeft(axis, at)
+	rightRegion := region.cutRight(axis, at)
+	var left, right []child
+	for _, ch := range children {
+		if rightRegion.Contains(ch.r) {
+			right = append(right, ch)
+		} else {
+			left = append(left, ch)
+		}
+	}
+	leftID, err := t.writeInternal(left, leftRegion, f)
+	if err != nil {
+		return nil, err
+	}
+	rightID, err := t.writeInternal(right, rightRegion, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &splitResult{left: leftID, right: rightID, leftRegion: leftRegion, rightRegion: rightRegion}, nil
+}
+
+// writeInternal persists a child list as an internal node, reusing frame
+// `reuse` when given; lists beyond capacity recurse via guillotine cuts.
+func (t *Tree) writeInternal(children []child, region Rect, reuse *pagestore.Frame) (pagestore.PageID, error) {
+	if len(children) <= t.cap {
+		if reuse != nil {
+			writeChildren(reuse, children)
+			return reuse.ID(), nil
+		}
+		f, err := t.pool.NewPage()
+		if err != nil {
+			return 0, err
+		}
+		t.pages++
+		writeChildren(f, children)
+		id := f.ID()
+		f.Release()
+		return id, nil
+	}
+	axis, at, err := guillotineCut(children, region)
+	if err != nil {
+		return 0, err
+	}
+	leftRegion := region.cutLeft(axis, at)
+	rightRegion := region.cutRight(axis, at)
+	var left, right []child
+	for _, ch := range children {
+		if rightRegion.Contains(ch.r) {
+			right = append(right, ch)
+		} else {
+			left = append(left, ch)
+		}
+	}
+	leftID, err := t.writeInternal(left, leftRegion, nil)
+	if err != nil {
+		return 0, err
+	}
+	rightID, err := t.writeInternal(right, rightRegion, nil)
+	if err != nil {
+		return 0, err
+	}
+	pair := []child{{r: leftRegion, id: uint32(leftID)}, {r: rightRegion, id: uint32(rightID)}}
+	return t.writeInternal(pair, region, reuse)
+}
+
+// guillotineCut finds a cut line no child region strictly crosses, with
+// both sides non-empty, preferring balance.
+func guillotineCut(children []child, region Rect) (axis int, at float64, err error) {
+	found := false
+	bestBal := math.Inf(1)
+	for ax := 0; ax < 2; ax++ {
+		for _, ch := range children {
+			for _, c := range cutCandidates(ch.r, ax) {
+				if !insideRegion(region, ax, c) {
+					continue
+				}
+				valid, l, r := true, 0, 0
+				for _, o := range children {
+					lo, hi := o.r.MinX, o.r.MaxX
+					if ax == 1 {
+						lo, hi = o.r.MinY, o.r.MaxY
+					}
+					switch {
+					case hi <= c:
+						l++
+					case lo >= c:
+						r++
+					default:
+						valid = false
+					}
+				}
+				if !valid || l == 0 || r == 0 {
+					continue
+				}
+				if bal := math.Abs(float64(l - r)); bal < bestBal {
+					bestBal, axis, at, found = bal, ax, c, true
+				}
+			}
+		}
+	}
+	if !found {
+		return 0, 0, ErrNoValidCut
+	}
+	return axis, at, nil
+}
+
+// splitLeaf splits a full leaf plus the pending item across a cut of its
+// region. Entries crossing the cut are duplicated. When no cut separates
+// anything (all entries overlap every candidate), the leaf grows an
+// overflow page instead.
+func (t *Tree) splitLeaf(f *pagestore.Frame, region Rect, it Item) (*splitResult, error) {
+	items := make([]Item, 0, nodeCount(f)+1)
+	for i := 0; i < nodeCount(f); i++ {
+		r, tid := getEntry(f, i)
+		items = append(items, Item{R: r, TID: tid})
+	}
+	items = append(items, it)
+
+	axis, at, ok := bestLeafCut(items, region)
+	if !ok {
+		// Degenerate: chain an overflow page holding the new item.
+		nf, err := t.pool.NewPage()
+		if err != nil {
+			return nil, err
+		}
+		initNode(nf, typeLeaf)
+		t.pages++
+		setOverflow(nf, overflow(f))
+		setOverflow(f, nf.ID())
+		appendEntry(nf, it.R, it.TID)
+		t.size++
+		nf.Release()
+		return nil, nil
+	}
+
+	leftRegion := region.cutLeft(axis, at)
+	rightRegion := region.cutRight(axis, at)
+	var left, right []Item
+	for _, x := range items {
+		if leftRegion.Intersects(x.R) {
+			left = append(left, x)
+		}
+		if rightRegion.Intersects(x.R) {
+			right = append(right, x)
+		}
+	}
+	// Rewrite f as the left leaf; allocate the right leaf. f has no
+	// overflow chain here (chained leaves are never split).
+	initNode(f, typeLeaf)
+	for _, x := range left {
+		appendEntry(f, x.R, x.TID)
+	}
+	nf, err := t.pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	initNode(nf, typeLeaf)
+	t.pages++
+	for _, x := range right {
+		appendEntry(nf, x.R, x.TID)
+	}
+	// Reference accounting: one new item, plus one duplicate per crossing.
+	t.size += 1 + (len(left) + len(right) - len(items))
+	res := &splitResult{left: f.ID(), right: nf.ID(), leftRegion: leftRegion, rightRegion: rightRegion}
+	nf.Release()
+	return res, nil
+}
+
+// bestLeafCut picks the axis and coordinate minimizing crossings while
+// keeping both sides strictly smaller than the input. Candidates are entry
+// boundaries.
+func bestLeafCut(items []Item, region Rect) (axis int, at float64, ok bool) {
+	bestScore := math.Inf(1)
+	for ax := 0; ax < 2; ax++ {
+		for _, x := range items {
+			for _, c := range cutCandidates(x.R, ax) {
+				if !insideRegion(region, ax, c) {
+					continue
+				}
+				l, r, cross := countSides(items, ax, c)
+				if l == len(items) || r == len(items) {
+					continue // useless cut
+				}
+				score := float64(cross)*10 + math.Abs(float64(l-r))
+				if score < bestScore {
+					bestScore, axis, at, ok = score, ax, c, true
+				}
+			}
+		}
+	}
+	return axis, at, ok
+}
+
+func cutCandidates(r Rect, axis int) [2]float64 {
+	if axis == 0 {
+		return [2]float64{r.MinX, r.MaxX}
+	}
+	return [2]float64{r.MinY, r.MaxY}
+}
+
+func insideRegion(region Rect, axis int, c float64) bool {
+	if axis == 0 {
+		return c > region.MinX && c < region.MaxX
+	}
+	return c > region.MinY && c < region.MaxY
+}
+
+func countSides(items []Item, axis int, c float64) (left, right, cross int) {
+	for _, x := range items {
+		lo, hi := x.R.MinX, x.R.MaxX
+		if axis == 1 {
+			lo, hi = x.R.MinY, x.R.MaxY
+		}
+		inLeft := lo <= c
+		inRight := hi >= c
+		if inLeft {
+			left++
+		}
+		if inRight {
+			right++
+		}
+		if inLeft && inRight {
+			cross++
+		}
+	}
+	return left, right, cross
+}
+
+// Delete removes every reference to (r, tid) from leaves intersecting r.
+// Underflowing nodes are not condensed (deletion is rare in the paper's
+// workloads; space is reclaimed by rebuilding).
+func (t *Tree) Delete(r Rect, tid uint32) (int, error) {
+	removed := 0
+	var walk func(id pagestore.PageID) error
+	walk = func(id pagestore.PageID) error {
+		f, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		defer func() { f.Release() }()
+		if nodeType(f) == typeLeaf {
+			for {
+				for i := nodeCount(f) - 1; i >= 0; i-- {
+					er, etid := getEntry(f, i)
+					if etid == tid && er == r {
+						removeEntryAt(f, i)
+						removed++
+						t.size--
+					}
+				}
+				next := overflow(f)
+				if next == pagestore.InvalidPage {
+					return nil
+				}
+				nf, err := t.pool.Get(next)
+				if err != nil {
+					return err
+				}
+				f.Release()
+				f = nf
+			}
+		}
+		for i := 0; i < nodeCount(f); i++ {
+			cr, cid := getEntry(f, i)
+			if cr.Intersects(r) {
+				if err := walk(pagestore.PageID(cid)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	err := walk(t.root)
+	return removed, err
+}
+
+// SearchHalfPlane visits every object whose MBR intersects the half-plane
+// a·x + b·y + c θ 0 (le: θ is ≤). The same tid may be emitted repeatedly
+// (the R⁺-tree duplication); callers deduplicate. It returns the number of
+// tree nodes visited.
+func (t *Tree) SearchHalfPlane(a, b, c float64, le bool, emit func(tid uint32, r Rect)) (int, error) {
+	visited := 0
+	var walk func(id pagestore.PageID, region Rect) error
+	walk = func(id pagestore.PageID, region Rect) error {
+		f, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		defer func() { f.Release() }()
+		visited++
+		if nodeType(f) == typeLeaf {
+			for {
+				for i := 0; i < nodeCount(f); i++ {
+					r, tid := getEntry(f, i)
+					if r.IntersectsHalfPlane(a, b, c, le) {
+						emit(tid, r)
+					}
+				}
+				next := overflow(f)
+				if next == pagestore.InvalidPage {
+					return nil
+				}
+				nf, err := t.pool.Get(next)
+				if err != nil {
+					return err
+				}
+				f.Release()
+				f = nf
+				visited++
+			}
+		}
+		for i := 0; i < nodeCount(f); i++ {
+			r, cid := getEntry(f, i)
+			if r.IntersectsHalfPlane(a, b, c, le) {
+				if err := walk(pagestore.PageID(cid), r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	err := walk(t.root, WorldRect())
+	return visited, err
+}
+
+// SearchRect visits every object whose MBR intersects q (window queries;
+// also used by tests to validate structure).
+func (t *Tree) SearchRect(q Rect, emit func(tid uint32, r Rect)) error {
+	var walk func(id pagestore.PageID) error
+	walk = func(id pagestore.PageID) error {
+		f, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		defer func() { f.Release() }()
+		if nodeType(f) == typeLeaf {
+			for {
+				for i := 0; i < nodeCount(f); i++ {
+					r, tid := getEntry(f, i)
+					if r.Intersects(q) {
+						emit(tid, r)
+					}
+				}
+				next := overflow(f)
+				if next == pagestore.InvalidPage {
+					return nil
+				}
+				nf, err := t.pool.Get(next)
+				if err != nil {
+					return err
+				}
+				f.Release()
+				f = nf
+			}
+		}
+		for i := 0; i < nodeCount(f); i++ {
+			r, cid := getEntry(f, i)
+			if r.Intersects(q) {
+				if err := walk(pagestore.PageID(cid)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return walk(t.root)
+}
+
+// CheckInvariants verifies the R⁺-tree structural invariants: sibling
+// regions are pairwise disjoint (zero-area overlap), children lie within
+// their parent regions, and every leaf entry intersects its leaf region.
+func (t *Tree) CheckInvariants() error {
+	var walk func(id pagestore.PageID, region Rect) error
+	walk = func(id pagestore.PageID, region Rect) error {
+		f, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		defer func() { f.Release() }()
+		if nodeType(f) == typeLeaf {
+			for {
+				for i := 0; i < nodeCount(f); i++ {
+					r, tid := getEntry(f, i)
+					if !r.Intersects(region) {
+						return fmt.Errorf("rplustree: leaf %d entry %d (tid %d) outside region", id, i, tid)
+					}
+				}
+				next := overflow(f)
+				if next == pagestore.InvalidPage {
+					return nil
+				}
+				nf, err := t.pool.Get(next)
+				if err != nil {
+					return err
+				}
+				f.Release()
+				f = nf
+			}
+		}
+		var regions []Rect
+		for i := 0; i < nodeCount(f); i++ {
+			r, cid := getEntry(f, i)
+			if !region.Contains(r) {
+				return fmt.Errorf("rplustree: node %d child %d region escapes parent", id, i)
+			}
+			for _, o := range regions {
+				ix := Rect{
+					MinX: math.Max(r.MinX, o.MinX), MinY: math.Max(r.MinY, o.MinY),
+					MaxX: math.Min(r.MaxX, o.MaxX), MaxY: math.Min(r.MaxY, o.MaxY),
+				}
+				if ix.Valid() && ix.Area() > 1e-9 {
+					return fmt.Errorf("rplustree: node %d has overlapping child regions", id)
+				}
+			}
+			regions = append(regions, r)
+			if err := walk(pagestore.PageID(cid), r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, WorldRect())
+}

@@ -1,0 +1,304 @@
+package rplustree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dualcdb/internal/pagestore"
+)
+
+func newPool(pageSize int) *pagestore.Pool {
+	return pagestore.NewPool(pagestore.NewMemStore(pageSize), 512)
+}
+
+func randItems(rng *rand.Rand, n int, maxSide float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		cx, cy := rng.Float64()*100-50, rng.Float64()*100-50
+		w, h := rng.Float64()*maxSide, rng.Float64()*maxSide
+		items[i] = Item{
+			R:   Rect{MinX: cx - w/2, MinY: cy - h/2, MaxX: cx + w/2, MaxY: cy + h/2},
+			TID: uint32(i + 1),
+		}
+	}
+	return items
+}
+
+// searchAllTIDs runs a rect search and returns the distinct tids found.
+func searchAllTIDs(t *testing.T, tr *Tree, q Rect) map[uint32]bool {
+	t.Helper()
+	got := make(map[uint32]bool)
+	if err := tr.SearchRect(q, func(tid uint32, _ Rect) { got[tid] = true }); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRectOps(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	b := Rect{1, 1, 3, 3}
+	c := Rect{5, 5, 6, 6}
+	if !a.Intersects(b) || a.Intersects(c) {
+		t.Error("intersection tests")
+	}
+	if !a.Intersects(Rect{2, 0, 4, 2}) {
+		t.Error("edge-touching rectangles intersect (closed sets)")
+	}
+	if !a.Contains(Rect{0.5, 0.5, 1, 1}) || a.Contains(b) {
+		t.Error("containment tests")
+	}
+	if u := a.Union(c); u != (Rect{0, 0, 6, 6}) {
+		t.Errorf("union = %+v", u)
+	}
+	if a.Area() != 4 {
+		t.Errorf("area = %v", a.Area())
+	}
+	if !WorldRect().ContainsPoint(1e17, -1e17) {
+		t.Error("world rect contains everything")
+	}
+}
+
+func TestRectIntersectsHalfPlane(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	// y ≥ 1 crosses the box: 0·x + 1·y − 1 ≥ 0.
+	if !r.IntersectsHalfPlane(0, 1, -1, false) {
+		t.Error("y ≥ 1 must intersect [0,2]²")
+	}
+	// y ≥ 3 misses it.
+	if r.IntersectsHalfPlane(0, 1, -3, false) {
+		t.Error("y ≥ 3 must miss [0,2]²")
+	}
+	// y ≤ −1 misses it.
+	if r.IntersectsHalfPlane(0, 1, 1, true) {
+		t.Error("y ≤ −1 must miss [0,2]²")
+	}
+	// Infinite region always intersects any half-plane.
+	if !WorldRect().IntersectsHalfPlane(1, -1, 1000, true) {
+		t.Error("world region intersects every half-plane")
+	}
+	// x + y ≤ 0 touches the box at the corner (0,0).
+	if !r.IntersectsHalfPlane(1, 1, 0, true) {
+		t.Error("x + y ≤ 0 touches [0,2]² at the origin")
+	}
+}
+
+func TestBulkSearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	items := randItems(rng, 2000, 8)
+	tr, err := Bulk(newPool(1024), items, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := randItems(rng, 1, 30)[0].R
+		got := searchAllTIDs(t, tr, q)
+		for _, it := range items {
+			want := it.R.Intersects(q)
+			if got[it.TID] != want {
+				t.Fatalf("tid %d: got %v, want %v (q=%+v r=%+v)", it.TID, got[it.TID], want, q, it.R)
+			}
+		}
+	}
+}
+
+func TestBulkHalfPlaneSearchComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	items := randItems(rng, 1500, 10)
+	tr, err := Bulk(newPool(1024), items, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 60; trial++ {
+		a := rng.NormFloat64() * 2
+		b := 1.0
+		c := rng.Float64()*100 - 50
+		le := rng.Intn(2) == 0
+		got := make(map[uint32]bool)
+		if _, err := tr.SearchHalfPlane(a, b, c, le, func(tid uint32, _ Rect) { got[tid] = true }); err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items {
+			want := it.R.IntersectsHalfPlane(a, b, c, le)
+			if want && !got[it.TID] {
+				t.Fatalf("missed tid %d for half-plane (%v,%v,%v,%v)", it.TID, a, b, c, le)
+			}
+			if !want && got[it.TID] {
+				t.Fatalf("spurious tid %d", it.TID)
+			}
+		}
+	}
+}
+
+func TestDynamicInsertMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr, err := New(newPool(1024), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []Item
+	for i := 0; i < 1200; i++ {
+		it := randItems(rng, 1, 6)[0]
+		it.TID = uint32(i + 1)
+		items = append(items, it)
+		if err := tr.Insert(it); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if i%300 == 299 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		q := randItems(rng, 1, 40)[0].R
+		got := searchAllTIDs(t, tr, q)
+		for _, it := range items {
+			if got[it.TID] != it.R.Intersects(q) {
+				t.Fatalf("tid %d mismatch", it.TID)
+			}
+		}
+	}
+}
+
+func TestInsertIdenticalRectsOverflowChain(t *testing.T) {
+	// Degenerate: many identical rectangles cannot be separated by any cut;
+	// the structure must chain overflow pages and stay correct.
+	tr, err := New(newPool(1024), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Rect{0, 0, 1, 1}
+	n := 200
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(Item{R: r, TID: uint32(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := searchAllTIDs(t, tr, Rect{0.5, 0.5, 0.6, 0.6})
+	if len(got) != n {
+		t.Fatalf("found %d of %d identical objects", len(got), n)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteRemovesReferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	items := randItems(rng, 500, 12)
+	tr, err := Bulk(newPool(1024), items, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items[:100] {
+		n, err := tr.Delete(it.R, it.TID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 1 {
+			t.Fatalf("tid %d not found on delete", it.TID)
+		}
+	}
+	got := searchAllTIDs(t, tr, WorldRect())
+	for _, it := range items[:100] {
+		if got[it.TID] {
+			t.Fatalf("deleted tid %d still found", it.TID)
+		}
+	}
+	for _, it := range items[100:] {
+		if !got[it.TID] {
+			t.Fatalf("surviving tid %d lost", it.TID)
+		}
+	}
+}
+
+func TestBulkEmpty(t *testing.T) {
+	tr, err := Bulk(newPool(1024), nil, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := searchAllTIDs(t, tr, WorldRect())
+	if len(got) != 0 {
+		t.Fatalf("empty tree returned %v", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeObjectsDegradeSelectiveQueries(t *testing.T) {
+	// The R⁺-tree pathology the paper leans on (Figure 9): large objects
+	// straddle region boundaries, forcing duplication or chained leaves,
+	// so a selective query prunes far less of a big-object tree than of a
+	// small-object tree.
+	visitFraction := func(maxSide float64) float64 {
+		rng := rand.New(rand.NewSource(15))
+		tr, err := Bulk(newPool(1024), randItems(rng, 2000, maxSide), 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Selective query: y ≥ 45 touches ~5 % of centers.
+		visited, err := tr.SearchHalfPlane(0, 1, -45, false, func(uint32, Rect) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(visited) / float64(tr.Pages())
+	}
+	small := visitFraction(2)
+	big := visitFraction(30)
+	if big <= small {
+		t.Fatalf("pruning: big-object visit fraction %.2f ≤ small-object %.2f", big, small)
+	}
+}
+
+func TestPagesAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	pool := newPool(1024)
+	tr, err := Bulk(pool, randItems(rng, 3000, 5), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Pages() != pool.Store().NumAllocated() {
+		t.Fatalf("tree pages %d != store %d", tr.Pages(), pool.Store().NumAllocated())
+	}
+}
+
+func TestSearchIOCostBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pool := newPool(1024)
+	tr, err := Bulk(pool, randItems(rng, 5000, 1), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	pool.ResetStats()
+	// A selective half-plane: y ≥ 49 touches few objects.
+	visited, err := tr.SearchHalfPlane(0, 1, -49, false, func(uint32, Rect) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited > tr.Pages()/3 {
+		t.Fatalf("selective query visited %d of %d pages", visited, tr.Pages())
+	}
+	if got := pool.Stats().PhysicalReads; got > uint64(visited) {
+		t.Fatalf("physical reads %d > visited nodes %d", got, visited)
+	}
+}
+
+func TestWorldRectMath(t *testing.T) {
+	w := WorldRect()
+	if !math.IsInf(w.Area(), 1) {
+		t.Error("world area must be +Inf")
+	}
+	l := w.cutLeft(0, 3)
+	r := w.cutRight(0, 3)
+	if l.MaxX != 3 || r.MinX != 3 {
+		t.Errorf("cuts: %+v %+v", l, r)
+	}
+}

@@ -1,0 +1,425 @@
+// Package workload regenerates the synthetic workloads of the paper's
+// Section 5: relations of random generalized tuples — conjunctions of 3–6
+// linear constraints whose boundary directions are drawn uniformly from
+// [0, π/2) ∪ (π/2, π), with weight centers uniform in the working window
+// [−50, 50]² — in two size regimes (small objects covering 1–5 % of the
+// bounding area, medium objects up to 50 %), plus half-plane queries
+// calibrated to a target selectivity.
+//
+// All generation is deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/geom"
+)
+
+// SizeClass selects the paper's object-size regime.
+type SizeClass int
+
+const (
+	// Small objects cover 1–5 % of the working window's area.
+	Small SizeClass = iota
+	// Medium objects cover 5–50 % of the working window's area.
+	Medium
+)
+
+// String renders the size class.
+func (s SizeClass) String() string {
+	if s == Medium {
+		return "medium"
+	}
+	return "small"
+}
+
+// Config parameterizes relation generation.
+type Config struct {
+	// N is the number of tuples (the paper uses 500–12000).
+	N int
+	// Size selects the object-size regime.
+	Size SizeClass
+	// Window is the half-width of the working window (default 50, the
+	// paper's [−50, 50]²).
+	Window float64
+	// MinConstraints/MaxConstraints bound the constraints per tuple
+	// (defaults 3 and 6, the paper's setting).
+	MinConstraints, MaxConstraints int
+	// UnboundedFraction, when positive, replaces that fraction of tuples
+	// with unbounded ones (wedges and half-planes) — beyond the paper's
+	// bounded experiments, used by the unbounded-object studies.
+	UnboundedFraction float64
+	// AreaLoFrac/AreaHiFrac, when positive, override the size class with an
+	// explicit object-area range as fractions of the window area (used by
+	// the object-size sweep experiment).
+	AreaLoFrac, AreaHiFrac float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Window <= 0 {
+		c.Window = 50
+	}
+	if c.MinConstraints <= 0 {
+		c.MinConstraints = 3
+	}
+	if c.MaxConstraints < c.MinConstraints {
+		c.MaxConstraints = c.MinConstraints + 3
+	}
+}
+
+// areaFraction samples the object's target area as a fraction of the
+// window area for the size class.
+func (c Config) areaFraction(rng *rand.Rand) float64 {
+	if c.AreaLoFrac > 0 && c.AreaHiFrac >= c.AreaLoFrac {
+		return c.AreaLoFrac + rng.Float64()*(c.AreaHiFrac-c.AreaLoFrac)
+	}
+	if c.Size == Medium {
+		return 0.05 + rng.Float64()*0.45 // 5–50 %
+	}
+	return 0.01 + rng.Float64()*0.04 // 1–5 %
+}
+
+// GenerateRelation builds a deterministic random relation.
+func GenerateRelation(cfg Config) (*constraint.Relation, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rel := constraint.NewRelation(2)
+	for i := 0; i < cfg.N; i++ {
+		var t *constraint.Tuple
+		var err error
+		if cfg.UnboundedFraction > 0 && rng.Float64() < cfg.UnboundedFraction {
+			t, err = unboundedTuple(cfg, rng)
+		} else {
+			t, err = boundedTuple(cfg, rng)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, err := rel.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// boundedTuple builds one bounded convex tuple: m tangent half-planes of a
+// circle around the weight center, rescaled so the polygon area hits the
+// sampled target exactly.
+func boundedTuple(cfg Config, rng *rand.Rand) (*constraint.Tuple, error) {
+	w := cfg.Window
+	cx, cy := rng.Float64()*2*w-w, rng.Float64()*2*w-w
+	m := cfg.MinConstraints + rng.Intn(cfg.MaxConstraints-cfg.MinConstraints+1)
+	target := cfg.areaFraction(rng) * (2 * w) * (2 * w)
+
+	// Outward normal directions spread around the circle with gaps < π so
+	// the polygon is bounded; the induced boundary directions follow the
+	// paper's uniform-angle distribution (vertical boundaries have measure
+	// zero and are avoided by the jitter).
+	normals := make([]float64, m)
+	dists := make([]float64, m)
+	for i := 0; i < m; i++ {
+		normals[i] = (float64(i) + 0.35 + rng.Float64()*0.3) * 2 * math.Pi / float64(m)
+		dists[i] = 0.7 + rng.Float64()*0.6 // radius jitter, rescaled below
+	}
+	build := func(scale float64) []geom.HalfSpace {
+		hs := make([]geom.HalfSpace, m)
+		for i := 0; i < m; i++ {
+			nx, ny := math.Cos(normals[i]), math.Sin(normals[i])
+			r := dists[i] * scale
+			hs[i] = geom.HalfSpace{A: []float64{nx, ny}, C: -(nx*cx + ny*cy + r), Op: geom.LE}
+		}
+		return hs
+	}
+	probe, err := geom.FromHalfSpaces(build(1), 2)
+	if err != nil {
+		return nil, err
+	}
+	area := probe.Area2()
+	if area <= 0 || math.IsInf(area, 0) {
+		return nil, fmt.Errorf("workload: degenerate probe polygon (area %v)", area)
+	}
+	// Scaling every tangent distance by s scales the polygon by s about the
+	// center, so the area scales by s².
+	s := math.Sqrt(target / area)
+	return constraint.NewTuple(2, build(s))
+}
+
+// unboundedTuple builds a wedge (two half-planes) or a half-plane or slab,
+// anchored near the weight center.
+func unboundedTuple(cfg Config, rng *rand.Rand) (*constraint.Tuple, error) {
+	w := cfg.Window
+	cx, cy := rng.Float64()*2*w-w, rng.Float64()*2*w-w
+	m := 1 + rng.Intn(2)
+	hs := make([]geom.HalfSpace, 0, m)
+	base := rng.Float64() * 2 * math.Pi
+	for i := 0; i < m; i++ {
+		// Keep the normals within a half-circle so the conjunction stays
+		// non-empty (a wedge or half-plane through the center).
+		ang := base + rng.Float64()*2.5
+		nx, ny := math.Cos(ang), math.Sin(ang)
+		hs = append(hs, geom.HalfSpace{A: []float64{nx, ny}, C: -(nx*cx + ny*cy), Op: geom.LE})
+	}
+	return constraint.NewTuple(2, hs)
+}
+
+// ConfigD parameterizes d-dimensional relation generation (the Section 6
+// "future work" study: behaviour of the technique for d > 2).
+type ConfigD struct {
+	// Dim is the ambient dimension d ≥ 2.
+	Dim int
+	// N is the number of tuples.
+	N int
+	// Window is the half-width of the working window (default 50).
+	Window float64
+	// SideFrac is the objects' edge length as a fraction of the window
+	// width (default 0.15, chosen so selectivities stay comparable across
+	// dimensions).
+	SideFrac float64
+	// ExtraCuts is the number of random tangent half-spaces added to each
+	// box (default 2) so tuples are general polytopes, not just boxes.
+	ExtraCuts int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// GenerateRelationD builds a deterministic random d-dimensional relation:
+// axis-aligned boxes around uniform centers, cut by a few random tangent
+// half-spaces.
+func GenerateRelationD(cfg ConfigD) (*constraint.Relation, error) {
+	if cfg.Dim < 2 {
+		return nil, fmt.Errorf("workload: dimension %d < 2", cfg.Dim)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 50
+	}
+	if cfg.SideFrac <= 0 {
+		cfg.SideFrac = 0.15
+	}
+	if cfg.ExtraCuts < 0 {
+		cfg.ExtraCuts = 0
+	} else if cfg.ExtraCuts == 0 {
+		cfg.ExtraCuts = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rel := constraint.NewRelation(cfg.Dim)
+	half := cfg.SideFrac * cfg.Window
+	for i := 0; i < cfg.N; i++ {
+		c := make([]float64, cfg.Dim)
+		for j := range c {
+			c[j] = rng.Float64()*2*cfg.Window - cfg.Window
+		}
+		var hs []geom.HalfSpace
+		for j := 0; j < cfg.Dim; j++ {
+			lo := make([]float64, cfg.Dim)
+			lo[j] = 1
+			hi := append([]float64(nil), lo...)
+			h := half * (0.6 + 0.8*rng.Float64())
+			hs = append(hs,
+				geom.HalfSpace{A: lo, C: -(c[j] - h), Op: geom.GE},
+				geom.HalfSpace{A: hi, C: -(c[j] + h), Op: geom.LE},
+			)
+		}
+		for e := 0; e < cfg.ExtraCuts; e++ {
+			n := make(geom.Point, cfg.Dim)
+			var norm float64
+			for j := range n {
+				n[j] = rng.NormFloat64()
+				norm += n[j] * n[j]
+			}
+			norm = math.Sqrt(norm)
+			if norm < 1e-9 {
+				continue
+			}
+			for j := range n {
+				n[j] /= norm
+			}
+			r := half * (0.3 + 0.7*rng.Float64())
+			hs = append(hs, geom.HalfSpace{
+				A: append([]float64(nil), n...), C: -(n.Dot(geom.Point(c)) + r), Op: geom.LE,
+			})
+		}
+		t, err := constraint.NewTuple(cfg.Dim, hs)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := rel.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// GenerateQueriesD builds d-dimensional half-plane queries calibrated to a
+// target selectivity, with slope vectors uniform in [−slopeExtent,
+// slopeExtent]^{d−1}.
+func GenerateQueriesD(rel *constraint.Relation, qc QueryConfig, slopeExtent float64) ([]constraint.Query, error) {
+	if qc.Count <= 0 {
+		return nil, nil
+	}
+	if qc.SelectivityLo <= 0 || qc.SelectivityHi < qc.SelectivityLo || qc.SelectivityHi > 1 {
+		return nil, fmt.Errorf("workload: bad selectivity range [%v, %v]", qc.SelectivityLo, qc.SelectivityHi)
+	}
+	if slopeExtent <= 0 {
+		slopeExtent = 1
+	}
+	rng := rand.New(rand.NewSource(qc.Seed))
+	sdim := rel.Dim() - 1
+	var out []constraint.Query
+	for len(out) < qc.Count {
+		slope := make([]float64, sdim)
+		for i := range slope {
+			slope[i] = rng.Float64()*2*slopeExtent - slopeExtent
+		}
+		op := geom.GE
+		if rng.Intn(2) == 0 {
+			op = geom.LE
+		}
+		sel := qc.SelectivityLo + rng.Float64()*(qc.SelectivityHi-qc.SelectivityLo)
+		q, ok, err := calibrateD(rel, qc.Kind, slope, op, sel)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, q)
+		}
+	}
+	return out, nil
+}
+
+// calibrateD is calibrate for arbitrary dimension.
+func calibrateD(rel *constraint.Relation, kind constraint.QueryKind, slope []float64, op geom.Op, sel float64) (constraint.Query, bool, error) {
+	probe := constraint.NewQuery(kind, slope, 0, op)
+	vals := make([]float64, 0, rel.Len())
+	var scanErr error
+	rel.Scan(func(t *constraint.Tuple) bool {
+		v, err := probe.SurfaceValue(t)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+		return true
+	})
+	if scanErr != nil {
+		return constraint.Query{}, false, scanErr
+	}
+	if len(vals) == 0 {
+		return constraint.Query{}, false, nil
+	}
+	sort.Float64s(vals)
+	want := int(sel * float64(rel.Len()))
+	if want < 1 {
+		want = 1
+	}
+	if want > len(vals) {
+		want = len(vals)
+	}
+	var b float64
+	if probe.SweepsUp() {
+		b = vals[len(vals)-want]
+	} else {
+		b = vals[want-1]
+	}
+	if math.IsInf(b, 0) {
+		return constraint.Query{}, false, nil
+	}
+	return constraint.NewQuery(kind, slope, b, op), true, nil
+}
+
+// QueryConfig parameterizes query generation.
+type QueryConfig struct {
+	// Count is the number of queries (the paper uses six per kind).
+	Count int
+	// Kind is ALL or EXIST.
+	Kind constraint.QueryKind
+	// SelectivityLo/Hi is the target selectivity range (the paper reports
+	// the 10–15 % band).
+	SelectivityLo, SelectivityHi float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// GenerateQueries builds half-plane queries whose selectivity over rel is
+// calibrated into [SelectivityLo, SelectivityHi]: the slope is a random
+// tangent of a uniform angle, and the intercept is chosen as the exact
+// quantile of the tuples' surface values at that slope.
+func GenerateQueries(rel *constraint.Relation, qc QueryConfig) ([]constraint.Query, error) {
+	if qc.Count <= 0 {
+		return nil, nil
+	}
+	if qc.SelectivityLo <= 0 || qc.SelectivityHi < qc.SelectivityLo || qc.SelectivityHi > 1 {
+		return nil, fmt.Errorf("workload: bad selectivity range [%v, %v]", qc.SelectivityLo, qc.SelectivityHi)
+	}
+	rng := rand.New(rand.NewSource(qc.Seed))
+	var out []constraint.Query
+	for len(out) < qc.Count {
+		ang := (rng.Float64() - 0.5) * (math.Pi - 0.15)
+		a := math.Tan(ang)
+		op := geom.GE
+		if rng.Intn(2) == 0 {
+			op = geom.LE
+		}
+		sel := qc.SelectivityLo + rng.Float64()*(qc.SelectivityHi-qc.SelectivityLo)
+		q, ok, err := calibrate(rel, qc.Kind, a, op, sel)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, q)
+		}
+	}
+	return out, nil
+}
+
+// calibrate picks the intercept that makes the query match approximately
+// sel·N tuples, using the exact surface-value quantile. It can fail (ok =
+// false) when too many tuples share infinite surface values at the slope.
+func calibrate(rel *constraint.Relation, kind constraint.QueryKind, a float64, op geom.Op, sel float64) (constraint.Query, bool, error) {
+	probe := constraint.Query2(kind, a, 0, op)
+	vals := make([]float64, 0, rel.Len())
+	var scanErr error
+	rel.Scan(func(t *constraint.Tuple) bool {
+		v, err := probe.SurfaceValue(t)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+		return true
+	})
+	if scanErr != nil {
+		return constraint.Query{}, false, scanErr
+	}
+	if len(vals) == 0 {
+		return constraint.Query{}, false, nil
+	}
+	sort.Float64s(vals)
+	want := int(sel * float64(rel.Len()))
+	if want < 1 {
+		want = 1
+	}
+	if want > len(vals) {
+		want = len(vals)
+	}
+	var b float64
+	if probe.SweepsUp() {
+		// Matching tuples have surface value ≥ b: take the want-th from top.
+		b = vals[len(vals)-want]
+	} else {
+		b = vals[want-1]
+	}
+	if math.IsInf(b, 0) {
+		return constraint.Query{}, false, nil
+	}
+	return constraint.Query2(kind, a, b, op), true, nil
+}

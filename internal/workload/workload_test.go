@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/geom"
+)
+
+func TestGenerateRelationBasics(t *testing.T) {
+	rel, err := GenerateRelation(Config{N: 200, Size: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 200 {
+		t.Fatalf("Len = %d", rel.Len())
+	}
+	rel.Scan(func(tp *constraint.Tuple) bool {
+		if !tp.IsSatisfiable() {
+			t.Fatalf("generated tuple unsatisfiable: %v", tp)
+		}
+		if !tp.IsBounded() {
+			t.Fatalf("small-regime tuple unbounded: %v", tp)
+		}
+		m := len(tp.Constraints())
+		if m < 3 || m > 6 {
+			t.Fatalf("tuple has %d constraints, want 3–6", m)
+		}
+		return true
+	})
+}
+
+func TestGeneratedAreasInRegime(t *testing.T) {
+	for _, size := range []SizeClass{Small, Medium} {
+		rel, err := GenerateRelation(Config{N: 150, Size: size, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		window := 100.0 * 100.0
+		lo, hi := 0.01, 0.05
+		if size == Medium {
+			lo, hi = 0.05, 0.50
+		}
+		rel.Scan(func(tp *constraint.Tuple) bool {
+			ext, err := tp.Extension()
+			if err != nil {
+				t.Fatal(err)
+			}
+			frac := ext.Area2() / window
+			if frac < lo*0.9 || frac > hi*1.1 {
+				t.Fatalf("%v object area fraction %v outside [%v, %v]", size, frac, lo, hi)
+			}
+			return true
+		})
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	r1, err := GenerateRelation(Config{N: 50, Size: Small, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := GenerateRelation(Config{N: 50, Size: Small, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids1, ids2 := r1.IDs(), r2.IDs()
+	for i := range ids1 {
+		t1, _ := r1.Get(ids1[i])
+		t2, _ := r2.Get(ids2[i])
+		if t1.String() != t2.String() {
+			t.Fatalf("seeded generation not deterministic at %d", i)
+		}
+	}
+	r3, err := GenerateRelation(Config{N: 50, Size: Small, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := r1.Get(ids1[0])
+	t3, _ := r3.Get(r3.IDs()[0])
+	if t1.String() == t3.String() {
+		t.Fatal("different seeds produced identical tuples")
+	}
+}
+
+func TestUnboundedFraction(t *testing.T) {
+	rel, err := GenerateRelation(Config{N: 200, Size: Small, UnboundedFraction: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unb := 0
+	rel.Scan(func(tp *constraint.Tuple) bool {
+		if !tp.IsSatisfiable() {
+			t.Fatalf("unsatisfiable generated tuple")
+		}
+		if !tp.IsBounded() {
+			unb++
+		}
+		return true
+	})
+	if unb < 30 || unb > 90 {
+		t.Fatalf("unbounded count %d far from expectation 60", unb)
+	}
+}
+
+func TestQueryCalibration(t *testing.T) {
+	rel, err := GenerateRelation(Config{N: 1000, Size: Small, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []constraint.QueryKind{constraint.EXIST, constraint.ALL} {
+		qs, err := GenerateQueries(rel, QueryConfig{
+			Count: 6, Kind: kind, SelectivityLo: 0.10, SelectivityHi: 0.15, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(qs) != 6 {
+			t.Fatalf("generated %d queries", len(qs))
+		}
+		for _, q := range qs {
+			if q.Kind != kind {
+				t.Fatalf("kind %v, want %v", q.Kind, kind)
+			}
+			sel, err := q.Selectivity(rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Quantile calibration is exact up to surface-value ties.
+			if sel < 0.08 || sel > 0.18 {
+				t.Fatalf("%v: selectivity %v outside the calibrated band", q, sel)
+			}
+		}
+	}
+}
+
+func TestQueryCalibrationRejectsBadRange(t *testing.T) {
+	rel, _ := GenerateRelation(Config{N: 10, Size: Small, Seed: 6})
+	if _, err := GenerateQueries(rel, QueryConfig{Count: 1, SelectivityLo: 0, SelectivityHi: 0.5}); err == nil {
+		t.Fatal("zero lower selectivity must be rejected")
+	}
+	if _, err := GenerateQueries(rel, QueryConfig{Count: 1, SelectivityLo: 0.5, SelectivityHi: 0.1}); err == nil {
+		t.Fatal("inverted range must be rejected")
+	}
+	qs, err := GenerateQueries(rel, QueryConfig{Count: 0, SelectivityLo: 0.1, SelectivityHi: 0.2})
+	if err != nil || qs != nil {
+		t.Fatalf("count 0 must yield nothing: %v %v", qs, err)
+	}
+}
+
+func TestQuerySlopesAreFinite(t *testing.T) {
+	rel, _ := GenerateRelation(Config{N: 300, Size: Medium, Seed: 9})
+	qs, err := GenerateQueries(rel, QueryConfig{
+		Count: 20, Kind: constraint.EXIST, SelectivityLo: 0.05, SelectivityHi: 0.6, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if math.IsInf(q.Slope[0], 0) || math.IsNaN(q.Slope[0]) || math.IsInf(q.Intercept, 0) {
+			t.Fatalf("bad query %v", q)
+		}
+		if q.Op != geom.GE && q.Op != geom.LE {
+			t.Fatalf("bad op in %v", q)
+		}
+	}
+}

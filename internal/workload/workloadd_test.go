@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+
+	"dualcdb/internal/constraint"
+)
+
+func TestGenerateRelationD(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		rel, err := GenerateRelationD(ConfigD{Dim: d, N: 60, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.Len() != 60 || rel.Dim() != d {
+			t.Fatalf("d=%d: len=%d dim=%d", d, rel.Len(), rel.Dim())
+		}
+		rel.Scan(func(tp *constraint.Tuple) bool {
+			if !tp.IsSatisfiable() {
+				t.Fatalf("d=%d: unsatisfiable tuple %v", d, tp)
+			}
+			if !tp.IsBounded() {
+				t.Fatalf("d=%d: unbounded tuple", d)
+			}
+			return true
+		})
+	}
+	if _, err := GenerateRelationD(ConfigD{Dim: 1, N: 5}); err == nil {
+		t.Fatal("dimension 1 must be rejected")
+	}
+}
+
+func TestGenerateRelationDDeterministic(t *testing.T) {
+	a, err := GenerateRelationD(ConfigD{Dim: 3, N: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRelationD(ConfigD{Dim: 3, N: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := a.Get(a.IDs()[7])
+	tb, _ := b.Get(b.IDs()[7])
+	if ta.String() != tb.String() {
+		t.Fatal("seeded d-dim generation not deterministic")
+	}
+}
+
+func TestGenerateQueriesD(t *testing.T) {
+	rel, err := GenerateRelationD(ConfigD{Dim: 3, N: 400, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := GenerateQueriesD(rel, QueryConfig{
+		Count: 5, Kind: constraint.EXIST, SelectivityLo: 0.10, SelectivityHi: 0.15, Seed: 13,
+	}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 5 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Dim() != 3 {
+			t.Fatalf("query dim %d", q.Dim())
+		}
+		sel, err := q.Selectivity(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel < 0.07 || sel > 0.20 {
+			t.Fatalf("%v selectivity %v outside the calibrated band", q, sel)
+		}
+	}
+	if _, err := GenerateQueriesD(rel, QueryConfig{Count: 1, SelectivityLo: 0, SelectivityHi: 1}, 1); err == nil {
+		t.Fatal("bad selectivity must be rejected")
+	}
+}
