@@ -156,6 +156,81 @@ func BenchmarkFig10Space(b *testing.B) {
 	})
 }
 
+// BenchmarkQueryBatchParallel measures QueryBatch throughput on the
+// Figure 9 (medium objects) workload at 1/2/4/8 query workers over a warm
+// sharded buffer pool. The workers=1 row is the sequential baseline the
+// speedup is read against; on a multi-core host the 4-worker row is
+// expected to clear 2× its queries/sec.
+func BenchmarkQueryBatchParallel(b *testing.B) {
+	rel, err := dualcdb.GenerateRelation(dualcdb.WorkloadConfig{
+		N: benchN, Size: dualcdb.MediumObjects, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := dualcdb.GenerateQueries(rel, dualcdb.QueryWorkloadConfig{
+		Count: 64, Kind: dualcdb.EXIST, SelectivityLo: 0.10, SelectivityHi: 0.15, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := dualcdb.BuildIndex(rel, dualcdb.IndexOptions{
+		Slopes: dualcdb.EquiangularSlopes(3), Technique: dualcdb.T2,
+		PoolPages: 1 << 16, BuildWorkers: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the pool so the rows measure compute scaling, not first-touch
+	// page faulting.
+	if _, err := idx.QueryBatch(queries, dualcdb.BatchOptions{Workers: 1}); err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.QueryBatch(queries, dualcdb.BatchOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
+}
+
+// BenchmarkBuildParallel measures bulk-loading the 2·k slope trees across
+// a build worker pool at 1/2/4/8 workers (k = 4, so eight independent
+// trees plus per-slope handicap folding are available to parallelize).
+func BenchmarkBuildParallel(b *testing.B) {
+	rel, err := dualcdb.GenerateRelation(dualcdb.WorkloadConfig{
+		N: benchN, Size: dualcdb.MediumObjects, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Resolve every tuple extension up front so the rows time tree
+	// construction, not the once-per-relation geometry cache fill.
+	if _, err := dualcdb.BuildIndex(rel, dualcdb.IndexOptions{
+		Slopes: dualcdb.EquiangularSlopes(4), Technique: dualcdb.T2,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dualcdb.BuildIndex(rel, dualcdb.IndexOptions{
+					Slopes: dualcdb.EquiangularSlopes(4), Technique: dualcdb.T2,
+					BuildWorkers: w,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable1PlanT1 measures the Table 1 app-query planner (the
 // rewrite every out-of-set T1/fallback query pays).
 func BenchmarkTable1PlanT1(b *testing.B) {

@@ -112,6 +112,9 @@ type (
 	Result = core.Result
 	// QueryStats describes how a selection executed.
 	QueryStats = core.QueryStats
+	// BatchOptions tunes Index.QueryBatch's worker pool and intra-query
+	// parallelism; the zero value selects sensible defaults.
+	BatchOptions = core.BatchOptions
 )
 
 // Technique constants.

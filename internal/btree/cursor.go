@@ -20,7 +20,14 @@ type LeafView struct {
 // returns true. This is the paper's upward leaf sweep; each visited leaf
 // costs one page access.
 func (t *Tree) VisitLeavesAsc(from float64, visit func(LeafView) bool) error {
-	leaf, err := t.findLeaf(Entry{Key: from, TID: 0})
+	return t.VisitLeavesAscTracked(from, nil, visit)
+}
+
+// VisitLeavesAscTracked is VisitLeavesAsc with every page read of the
+// descent and the leaf chain charged to rc — the per-query accounting that
+// stays exact when several sweeps share the buffer pool.
+func (t *Tree) VisitLeavesAscTracked(from float64, rc *pagestore.ReadCounter, visit func(LeafView) bool) error {
+	leaf, err := t.findLeafTracked(Entry{Key: from, TID: 0}, rc)
 	if err != nil {
 		return err
 	}
@@ -31,7 +38,7 @@ func (t *Tree) VisitLeavesAsc(from float64, visit func(LeafView) bool) error {
 		if !visit(lv) || next == pagestore.InvalidPage {
 			return nil
 		}
-		if leaf, err = t.get(next); err != nil {
+		if leaf, err = t.getTracked(next, rc); err != nil {
 			return err
 		}
 	}
@@ -40,7 +47,13 @@ func (t *Tree) VisitLeavesAsc(from float64, visit func(LeafView) bool) error {
 // VisitLeavesDesc visits leaves in descending key order starting at the
 // leaf that owns key `from` (with the largest TID) — the downward sweep.
 func (t *Tree) VisitLeavesDesc(from float64, visit func(LeafView) bool) error {
-	leaf, err := t.findLeaf(Entry{Key: from, TID: math.MaxUint32})
+	return t.VisitLeavesDescTracked(from, nil, visit)
+}
+
+// VisitLeavesDescTracked is VisitLeavesDesc with per-query I/O accounting
+// (see VisitLeavesAscTracked).
+func (t *Tree) VisitLeavesDescTracked(from float64, rc *pagestore.ReadCounter, visit func(LeafView) bool) error {
+	leaf, err := t.findLeafTracked(Entry{Key: from, TID: math.MaxUint32}, rc)
 	if err != nil {
 		return err
 	}
@@ -51,7 +64,7 @@ func (t *Tree) VisitLeavesDesc(from float64, visit func(LeafView) bool) error {
 		if !visit(lv) || prev == pagestore.InvalidPage {
 			return nil
 		}
-		if leaf, err = t.get(prev); err != nil {
+		if leaf, err = t.getTracked(prev, rc); err != nil {
 			return err
 		}
 	}

@@ -32,6 +32,18 @@ func (e Entry) Less(o Entry) bool {
 	return e.TID < o.TID
 }
 
+// Compare orders entries in composite order for slices.SortFunc.
+func (e Entry) Compare(o Entry) int {
+	switch {
+	case e.Less(o):
+		return -1
+	case o.Less(e):
+		return 1
+	default:
+		return 0
+	}
+}
+
 // SlotKind declares how a handicap slot combines values, which also fixes
 // its identity element and its conservative merge direction:
 // MinSlot accumulates minima (identity +Inf, e.g. the paper's low_j values),

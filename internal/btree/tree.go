@@ -139,7 +139,13 @@ func Restore(pool *pagestore.Pool, cfg Config, m Meta) (*Tree, error) {
 func (t *Tree) NumHandicaps() int { return len(t.cfg.HandicapKinds) }
 
 func (t *Tree) get(id pagestore.PageID) (node, error) {
-	f, err := t.pool.Get(id)
+	return t.getTracked(id, nil)
+}
+
+// getTracked pins a page, attributing a cache miss to rc when non-nil (the
+// per-query I/O accounting of concurrent sweeps).
+func (t *Tree) getTracked(id pagestore.PageID, rc *pagestore.ReadCounter) (node, error) {
+	f, err := t.pool.GetTracked(id, rc)
 	if err != nil {
 		return node{}, err
 	}
@@ -170,14 +176,19 @@ func (t *Tree) newInternal() (node, error) {
 
 // findLeaf descends to the leaf that owns entry e, returning it pinned.
 func (t *Tree) findLeaf(e Entry) (node, error) {
-	n, err := t.get(t.root)
+	return t.findLeafTracked(e, nil)
+}
+
+// findLeafTracked is findLeaf with the descent's page reads charged to rc.
+func (t *Tree) findLeafTracked(e Entry, rc *pagestore.ReadCounter) (node, error) {
+	n, err := t.getTracked(t.root, rc)
 	if err != nil {
 		return node{}, err
 	}
 	for !n.isLeaf() {
 		child := n.child(n.childIndex(e))
 		n.release()
-		if n, err = t.get(child); err != nil {
+		if n, err = t.getTracked(child, rc); err != nil {
 			return node{}, err
 		}
 	}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/pagestore"
+)
+
+// BatchOptions tunes QueryBatch's worker pool. The zero value asks for
+// sensible defaults: GOMAXPROCS query workers, intra-query parallelism on,
+// refinement fan-out above 256 candidates.
+type BatchOptions struct {
+	// Workers is the number of queries executed concurrently (≤ 0 selects
+	// GOMAXPROCS). Workers = 1 degenerates to sequential execution and is
+	// the baseline the scaling benchmarks compare against.
+	Workers int
+	// DisableIntraQuery turns off per-query parallelism (T1's two
+	// app-query sweeps and large-candidate refinement fan-out). Useful
+	// when the batch already saturates every core.
+	DisableIntraQuery bool
+	// RefineThreshold is the candidate count at which refinement fans out
+	// across RefineWorkers goroutines (default 256; candidate sets in the
+	// paper's medium workloads routinely reach hundreds of tuples).
+	RefineThreshold int
+	// RefineWorkers is the refinement fan-out width (default
+	// min(4, GOMAXPROCS)).
+	RefineWorkers int
+}
+
+func (o *BatchOptions) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.RefineThreshold <= 0 {
+		o.RefineThreshold = 256
+	}
+	if o.RefineWorkers <= 0 {
+		o.RefineWorkers = min(4, runtime.GOMAXPROCS(0))
+	}
+}
+
+// QueryBatch executes a batch of 2-D selections across a bounded worker
+// pool and returns one Result per query, positionally. The index must not
+// be mutated while the batch runs (see the concurrency model in
+// DESIGN.md): queries only pin pages in the sharded buffer pool, read the
+// immutable tree pages and evaluate cached tuple extensions, so readers
+// never block each other except on buffer-pool shard misses.
+//
+// Each query carries its own exact I/O counter, so every Result's
+// QueryStats.PagesRead is the number of page misses that query itself
+// faulted in — stable under concurrency, unlike a before/after delta on
+// the shared pool statistics.
+//
+// The first error aborts the batch (workers drain without starting new
+// queries) and is returned with a nil slice.
+func (ix *Index) QueryBatch(qs []constraint.Query, opts BatchOptions) ([]Result, error) {
+	opts.defaults()
+	if len(qs) == 0 {
+		return []Result{}, nil
+	}
+	workers := opts.Workers
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+
+	results := make([]Result, len(qs))
+	bufs := &sync.Pool{}
+	var next atomic.Int64
+	var failed atomic.Bool
+	var errOnce sync.Once
+	var firstErr error
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) || failed.Load() {
+					return
+				}
+				ec := &execCtx{
+					rc:              &pagestore.ReadCounter{},
+					parallelSweeps:  !opts.DisableIntraQuery,
+					refineThreshold: opts.RefineThreshold,
+					bufs:            bufs,
+				}
+				if !opts.DisableIntraQuery {
+					ec.refineWorkers = opts.RefineWorkers
+				}
+				res, err := ix.query(qs[i], ec)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

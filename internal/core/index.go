@@ -1,9 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dualcdb/internal/btree"
 	"dualcdb/internal/constraint"
@@ -57,7 +61,7 @@ func New(rel *constraint.Relation, opt Options) (*Index, error) {
 		if store == nil {
 			store = pagestore.NewMemStore(opt.PageSize)
 		}
-		pool = pagestore.NewPool(store, opt.PoolPages)
+		pool = pagestore.NewShardedPool(store, opt.PoolPages, opt.PoolShards)
 	}
 	ix := &Index{
 		rel:     rel,
@@ -98,17 +102,27 @@ func New(rel *constraint.Relation, opt Options) (*Index, error) {
 	return ix, nil
 }
 
+// tupleSurface is one satisfiable tuple's build-time geometry: its id and
+// its TOP/BOT dual envelopes.
+type tupleSurface struct {
+	id  constraint.TupleID
+	top geom.Envelope
+	bot geom.Envelope
+}
+
 // Build bulk-loads the index from every satisfiable tuple currently in the
 // relation. The index must be empty.
+//
+// With Options.BuildWorkers > 1 the per-slope work — key evaluation,
+// sorting, bulk-loading B_i^up/B_i^down and folding that slope's handicap
+// extrema — fans out across a worker pool. Each worker owns whole trees
+// (disjoint page sets), so only buffer-pool shard locks are contended and
+// the loaded trees are bit-identical in shape to a serial build; only page
+// id assignment differs.
 func Build(rel *constraint.Relation, opt Options) (*Index, error) {
 	ix, err := New(rel, opt)
 	if err != nil {
 		return nil, err
-	}
-	type tupleSurface struct {
-		id  constraint.TupleID
-		top geom.Envelope
-		bot geom.Envelope
 	}
 	var ts []tupleSurface
 	var buildErr error
@@ -126,55 +140,109 @@ func Build(rel *constraint.Relation, opt Options) (*Index, error) {
 	if buildErr != nil {
 		return nil, buildErr
 	}
-	for i, a := range ix.slopes {
-		upEntries := make([]btree.Entry, 0, len(ts))
-		downEntries := make([]btree.Entry, 0, len(ts))
-		for _, t := range ts {
-			upEntries = append(upEntries, btree.Entry{Key: t.top.Eval(a), TID: uint32(t.id)})
-			downEntries = append(downEntries, btree.Entry{Key: t.bot.Eval(a), TID: uint32(t.id)})
-		}
-		sort.Slice(upEntries, func(x, y int) bool { return upEntries[x].Less(upEntries[y]) })
-		sort.Slice(downEntries, func(x, y int) bool { return downEntries[x].Less(downEntries[y]) })
-		if err := ix.up[i].BulkLoad(upEntries); err != nil {
-			return nil, err
-		}
-		if err := ix.down[i].BulkLoad(downEntries); err != nil {
-			return nil, err
-		}
+
+	// One task per slope pair, plus one for the optional vertical pair.
+	tasks := make([]func() error, 0, len(ix.slopes)+1)
+	for i := range ix.slopes {
+		i := i
+		tasks = append(tasks, func() error { return ix.buildSlope(i, ts) })
 	}
 	if ix.vup != nil {
-		vupEntries := make([]btree.Entry, 0, len(ts))
-		vdownEntries := make([]btree.Entry, 0, len(ts))
-		for _, t := range ts {
-			tup, err := rel.Get(t.id)
-			if err != nil {
-				return nil, err
-			}
-			ext, err := tup.Extension()
-			if err != nil {
-				return nil, err
-			}
-			vupEntries = append(vupEntries, btree.Entry{Key: supX(ext), TID: uint32(t.id)})
-			vdownEntries = append(vdownEntries, btree.Entry{Key: infX(ext), TID: uint32(t.id)})
-		}
-		sort.Slice(vupEntries, func(x, y int) bool { return vupEntries[x].Less(vupEntries[y]) })
-		sort.Slice(vdownEntries, func(x, y int) bool { return vdownEntries[x].Less(vdownEntries[y]) })
-		if err := ix.vup.BulkLoad(vupEntries); err != nil {
-			return nil, err
-		}
-		if err := ix.vdown.BulkLoad(vdownEntries); err != nil {
-			return nil, err
-		}
+		tasks = append(tasks, func() error { return ix.buildVertical(rel, ts) })
 	}
-	// Handicap pass: now that the leaves exist, fold every tuple's strip
-	// extrema into the slots (the paper's preprocessing step).
+	if err := runTasks(tasks, opt.BuildWorkers); err != nil {
+		return nil, err
+	}
 	for _, t := range ts {
-		if err := ix.mergeHandicaps(t.top, t.bot); err != nil {
-			return nil, err
-		}
 		ix.indexed[t.id] = true
 	}
 	return ix, nil
+}
+
+// buildSlope bulk-loads the tree pair of slope index i and folds every
+// tuple's strip extrema into that pair's handicap slots (the paper's
+// preprocessing step, restricted to one slope so builds parallelize).
+func (ix *Index) buildSlope(i int, ts []tupleSurface) error {
+	a := ix.slopes[i]
+	upEntries := make([]btree.Entry, 0, len(ts))
+	downEntries := make([]btree.Entry, 0, len(ts))
+	for _, t := range ts {
+		upEntries = append(upEntries, btree.Entry{Key: t.top.Eval(a), TID: uint32(t.id)})
+		downEntries = append(downEntries, btree.Entry{Key: t.bot.Eval(a), TID: uint32(t.id)})
+	}
+	slices.SortFunc(upEntries, btree.Entry.Compare)
+	slices.SortFunc(downEntries, btree.Entry.Compare)
+	if err := ix.up[i].BulkLoad(upEntries); err != nil {
+		return err
+	}
+	if err := ix.down[i].BulkLoad(downEntries); err != nil {
+		return err
+	}
+	for _, t := range ts {
+		if err := ix.mergeHandicapsAt(i, t.top, t.bot); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildVertical bulk-loads the optional V^up/V^down pair over horizontal
+// support values.
+func (ix *Index) buildVertical(rel *constraint.Relation, ts []tupleSurface) error {
+	vupEntries := make([]btree.Entry, 0, len(ts))
+	vdownEntries := make([]btree.Entry, 0, len(ts))
+	for _, t := range ts {
+		tup, err := rel.Get(t.id)
+		if err != nil {
+			return err
+		}
+		ext, err := tup.Extension()
+		if err != nil {
+			return err
+		}
+		vupEntries = append(vupEntries, btree.Entry{Key: supX(ext), TID: uint32(t.id)})
+		vdownEntries = append(vdownEntries, btree.Entry{Key: infX(ext), TID: uint32(t.id)})
+	}
+	slices.SortFunc(vupEntries, btree.Entry.Compare)
+	slices.SortFunc(vdownEntries, btree.Entry.Compare)
+	if err := ix.vup.BulkLoad(vupEntries); err != nil {
+		return err
+	}
+	return ix.vdown.BulkLoad(vdownEntries)
+}
+
+// runTasks executes the tasks on a pool of `workers` goroutines (≤ 1 runs
+// them inline) and returns the first error.
+func runTasks(tasks []func() error, workers int) error {
+	if workers <= 1 || len(tasks) <= 1 {
+		for _, task := range tasks {
+			if err := task(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var next atomic.Int64
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				errs[i] = tasks[i]()
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // stripBounds returns the left and right strip limits of slope i:
@@ -196,45 +264,54 @@ func (ix *Index) stripBounds(i int) (leftLo, rightHi float64) {
 }
 
 // mergeHandicaps folds one tuple's contribution into every tree's handicap
-// slots. topV/botV are the tree keys; the routing keys are the exact strip
-// extrema of the tuple's TOP/BOT envelopes (DESIGN.md §4.3).
+// slots.
 func (ix *Index) mergeHandicaps(top, bot geom.Envelope) error {
-	for i, a := range ix.slopes {
-		leftLo, rightHi := ix.stripBounds(i)
-		topV, botV := top.Eval(a), bot.Eval(a)
-
-		// B_i^up: low slots route by strip max of TOP (convex ⇒ exact at
-		// strip endpoints), high slots by strip min.
-		u := ix.up[i]
-		if err := u.MergeHandicap(top.MaxOn(leftLo, a), slotLowPrev, topV); err != nil {
-			return err
-		}
-		if err := u.MergeHandicap(top.MaxOn(a, rightHi), slotLowNext, topV); err != nil {
-			return err
-		}
-		if err := u.MergeHandicap(top.MinOn(leftLo, a), slotHighPrev, topV); err != nil {
-			return err
-		}
-		if err := u.MergeHandicap(top.MinOn(a, rightHi), slotHighNext, topV); err != nil {
-			return err
-		}
-
-		// B_i^down: the same four slots over the BOT surface.
-		d := ix.down[i]
-		if err := d.MergeHandicap(bot.MaxOn(leftLo, a), slotLowPrev, botV); err != nil {
-			return err
-		}
-		if err := d.MergeHandicap(bot.MaxOn(a, rightHi), slotLowNext, botV); err != nil {
-			return err
-		}
-		if err := d.MergeHandicap(bot.MinOn(leftLo, a), slotHighPrev, botV); err != nil {
-			return err
-		}
-		if err := d.MergeHandicap(bot.MinOn(a, rightHi), slotHighNext, botV); err != nil {
+	for i := range ix.slopes {
+		if err := ix.mergeHandicapsAt(i, top, bot); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// mergeHandicapsAt folds one tuple's contribution into the handicap slots
+// of slope i's tree pair. topV/botV are the tree keys; the routing keys are
+// the exact strip extrema of the tuple's TOP/BOT envelopes (DESIGN.md
+// §4.3). Calls for distinct slopes touch disjoint trees, which is what
+// lets Build fan handicap folding across its per-slope workers.
+func (ix *Index) mergeHandicapsAt(i int, top, bot geom.Envelope) error {
+	a := ix.slopes[i]
+	leftLo, rightHi := ix.stripBounds(i)
+	topV, botV := top.Eval(a), bot.Eval(a)
+
+	// B_i^up: low slots route by strip max of TOP (convex ⇒ exact at
+	// strip endpoints), high slots by strip min.
+	u := ix.up[i]
+	if err := u.MergeHandicap(top.MaxOn(leftLo, a), slotLowPrev, topV); err != nil {
+		return err
+	}
+	if err := u.MergeHandicap(top.MaxOn(a, rightHi), slotLowNext, topV); err != nil {
+		return err
+	}
+	if err := u.MergeHandicap(top.MinOn(leftLo, a), slotHighPrev, topV); err != nil {
+		return err
+	}
+	if err := u.MergeHandicap(top.MinOn(a, rightHi), slotHighNext, topV); err != nil {
+		return err
+	}
+
+	// B_i^down: the same four slots over the BOT surface.
+	d := ix.down[i]
+	if err := d.MergeHandicap(bot.MaxOn(leftLo, a), slotLowPrev, botV); err != nil {
+		return err
+	}
+	if err := d.MergeHandicap(bot.MaxOn(a, rightHi), slotLowNext, botV); err != nil {
+		return err
+	}
+	if err := d.MergeHandicap(bot.MinOn(leftLo, a), slotHighPrev, botV); err != nil {
+		return err
+	}
+	return d.MergeHandicap(bot.MinOn(a, rightHi), slotHighNext, botV)
 }
 
 // Insert adds a tuple to the relation and the index. Unsatisfiable tuples

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"dualcdb/internal/btree"
 	"dualcdb/internal/constraint"
@@ -246,8 +246,8 @@ func BuildD(rel *constraint.Relation, opt OptionsD) (*IndexD, error) {
 			upEntries = append(upEntries, btree.Entry{Key: t.ext.Top(s), TID: uint32(t.id)})
 			downEntries = append(downEntries, btree.Entry{Key: t.ext.Bot(s), TID: uint32(t.id)})
 		}
-		sort.Slice(upEntries, func(x, y int) bool { return upEntries[x].Less(upEntries[y]) })
-		sort.Slice(downEntries, func(x, y int) bool { return downEntries[x].Less(downEntries[y]) })
+		slices.SortFunc(upEntries, btree.Entry.Compare)
+		slices.SortFunc(downEntries, btree.Entry.Compare)
 		if err := ix.up[i].BulkLoad(upEntries); err != nil {
 			return nil, err
 		}
@@ -671,7 +671,7 @@ func (ix *IndexD) refineD(q constraint.Query, cands []uint32, st QueryStats) (Re
 			st.FalseHits++
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	st.Results = len(ids)
 	return Result{IDs: ids, Stats: st}, nil
 }

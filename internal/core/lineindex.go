@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"dualcdb/internal/constraint"
@@ -100,7 +101,7 @@ func (li *LineIndex) QueryLine(a, b float64) ([]constraint.TupleID, QueryStats, 
 	st.Candidates = len(ids)
 	st.Results = len(ids)
 	st.PagesRead = li.pool.Stats().PhysicalReads - before
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids, st, nil
 }
 

@@ -66,6 +66,17 @@ type Options struct {
 	// PoolPages is the buffer-pool capacity in frames (default 512).
 	// Ignored when Pool is set.
 	PoolPages int
+	// PoolShards is the number of buffer-pool shards, rounded up to a
+	// power of two. 0 (the default) selects nextPow2(GOMAXPROCS) so
+	// concurrent queries don't serialize on one pool mutex; 1 keeps the
+	// historical single-shard pool (one global LRU order). Ignored when
+	// Pool is set.
+	PoolShards int
+	// BuildWorkers is the number of goroutines Build uses to bulk-load
+	// the 2·k slope trees and fold handicaps (each worker owns whole
+	// trees, so only buffer-pool shard locks contend). ≤ 1 builds
+	// serially.
+	BuildWorkers int
 	// Pool optionally supplies a shared buffer pool (so several structures
 	// can be compared on one store); when nil a MemStore-backed pool is
 	// created from PageSize/PoolPages. Indexes on shared pools cannot be

@@ -3,11 +3,14 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"sync"
 
 	"dualcdb/internal/btree"
 	"dualcdb/internal/constraint"
 	"dualcdb/internal/geom"
+	"dualcdb/internal/pagestore"
 )
 
 // QueryStats describes how one selection was executed.
@@ -28,8 +31,14 @@ type QueryStats struct {
 	Duplicates int
 	// LeavesSwept is the number of leaf pages visited across all sweeps.
 	LeavesSwept int
-	// PagesRead is the number of physical page reads during the query
-	// (equals distinct pages touched when the pool starts cold).
+	// PagesRead is the number of physical page reads this query's own
+	// tree traversals triggered, counted exactly via a per-query read
+	// counter (never a delta on the shared pool counters, which would be
+	// racy under concurrent queries). With a cold buffer pool and the
+	// query running alone it equals the number of distinct pages touched;
+	// in a concurrent batch over a warm shared pool it reports the misses
+	// this query itself faulted in — pages another in-flight query loaded
+	// first are, by design, charged to that query.
 	PagesRead uint64
 }
 
@@ -48,12 +57,49 @@ type AppQuery struct {
 	SlopeIndex int
 }
 
+// execCtx carries one query's execution state: its exact I/O counter and
+// the intra-query parallelism knobs QueryBatch enables.
+type execCtx struct {
+	rc *pagestore.ReadCounter
+	// parallelSweeps runs T1's two app-query sweeps concurrently (they
+	// visit independent trees).
+	parallelSweeps bool
+	// refineWorkers fans refinement across this many goroutines once a
+	// candidate set reaches refineThreshold (0/1 disables).
+	refineWorkers   int
+	refineThreshold int
+	// bufs, when non-nil, recycles candidate slices across the batch.
+	bufs *sync.Pool
+}
+
+// getBuf returns a zero-length candidate slice, reusing pooled capacity.
+func (ec *execCtx) getBuf() []uint32 {
+	if ec.bufs != nil {
+		if v := ec.bufs.Get(); v != nil {
+			return (*v.(*[]uint32))[:0]
+		}
+	}
+	return nil
+}
+
+// putBuf returns a candidate slice to the pool once refinement is done
+// with it.
+func (ec *execCtx) putBuf(s []uint32) {
+	if ec.bufs != nil && cap(s) > 0 {
+		ec.bufs.Put(&s)
+	}
+}
+
 // Query executes an ALL or EXIST half-plane selection.
 func (ix *Index) Query(q constraint.Query) (Result, error) {
+	return ix.query(q, &execCtx{rc: &pagestore.ReadCounter{}})
+}
+
+// query is the shared execution core of Query and QueryBatch.
+func (ix *Index) query(q constraint.Query, ec *execCtx) (Result, error) {
 	if q.Dim() != 2 {
 		return Result{}, fmt.Errorf("core: query dimension %d on a 2-D index", q.Dim())
 	}
-	before := ix.pool.Stats().PhysicalReads
 	a := q.Slope[0]
 	if math.IsNaN(a) || math.IsInf(a, 0) {
 		return Result{}, fmt.Errorf("core: invalid query slope %v", a)
@@ -64,23 +110,23 @@ func (ix *Index) Query(q constraint.Query) (Result, error) {
 	var err error
 	switch {
 	case exact:
-		res, err = ix.runRestricted(i, q)
+		res, err = ix.runRestricted(i, q, ec)
 	case ix.opt.Technique == RestrictedOnly:
 		return Result{}, fmt.Errorf("core: slope %g not in S and technique is restricted-only", a)
 	case ix.opt.Technique == T1:
-		res, err = ix.runT1(q, "t1")
+		res, err = ix.runT1(q, "t1", ec)
 	default: // T2
 		leftLo, rightHi := ix.stripBounds(i)
 		if a >= leftLo && a <= rightHi {
-			res, err = ix.runT2(i, q)
+			res, err = ix.runT2(i, q, ec)
 		} else {
-			res, err = ix.runT1(q, "t1(fallback)")
+			res, err = ix.runT1(q, "t1(fallback)", ec)
 		}
 	}
 	if err != nil {
 		return Result{}, err
 	}
-	res.Stats.PagesRead = ix.pool.Stats().PhysicalReads - before
+	res.Stats.PagesRead = ec.rc.Physical.Load()
 	return res, nil
 }
 
@@ -95,13 +141,14 @@ func (ix *Index) tree(i int, q constraint.Query) *btree.Tree {
 
 // collectRestricted gathers the candidate tuple ids for a query whose
 // slope is exactly S[i]: one search plus a one-directional leaf sweep.
-func (ix *Index) collectRestricted(i int, q constraint.Query, st *QueryStats) ([]uint32, error) {
+// Candidates are appended to cands (which may carry pooled capacity); page
+// reads are charged to rc.
+func (ix *Index) collectRestricted(i int, q constraint.Query, st *QueryStats, rc *pagestore.ReadCounter, cands []uint32) ([]uint32, error) {
 	tr := ix.tree(i, q)
 	b := q.Intercept
-	var cands []uint32
 	var err error
 	if q.SweepsUp() {
-		err = tr.VisitLeavesAsc(b, func(lv btree.LeafView) bool {
+		err = tr.VisitLeavesAscTracked(b, rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			for _, e := range lv.Entries {
 				if e.Key >= b-geom.Eps {
@@ -111,7 +158,7 @@ func (ix *Index) collectRestricted(i int, q constraint.Query, st *QueryStats) ([
 			return true
 		})
 	} else {
-		err = tr.VisitLeavesDesc(b, func(lv btree.LeafView) bool {
+		err = tr.VisitLeavesDescTracked(b, rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			for _, e := range lv.Entries {
 				if e.Key <= b+geom.Eps {
@@ -125,13 +172,15 @@ func (ix *Index) collectRestricted(i int, q constraint.Query, st *QueryStats) ([
 }
 
 // runRestricted answers a query whose slope is in S (Section 3).
-func (ix *Index) runRestricted(i int, q constraint.Query) (Result, error) {
+func (ix *Index) runRestricted(i int, q constraint.Query, ec *execCtx) (Result, error) {
 	st := QueryStats{Path: "restricted"}
-	cands, err := ix.collectRestricted(i, q, &st)
+	cands, err := ix.collectRestricted(i, q, &st, ec.rc, ec.getBuf())
 	if err != nil {
 		return Result{}, err
 	}
-	return ix.refine(q, cands, st)
+	res, err := ix.refine(q, cands, st, ec)
+	ec.putBuf(cands)
+	return res, err
 }
 
 // PlanT1 rewrites a query with slope a ∉ S into the two app-queries of
@@ -180,23 +229,53 @@ func PlanT1(q constraint.Query, slopes []float64, pivotX float64) ([2]AppQuery, 
 }
 
 // runT1 executes the two-app-query technique and refines against the
-// original query.
-func (ix *Index) runT1(q constraint.Query, path string) (Result, error) {
+// original query. The two app-queries sweep independent trees, so with
+// ec.parallelSweeps they run concurrently (each with its own stats,
+// merged below; page reads land on the shared per-query counter).
+func (ix *Index) runT1(q constraint.Query, path string, ec *execCtx) (Result, error) {
 	plan, err := PlanT1(q, ix.slopes, ix.opt.PivotX)
 	if err != nil {
 		return Result{}, err
 	}
 	st := QueryStats{Path: path}
-	var all []uint32
-	seen := make(map[uint32]int)
-	for _, app := range plan {
-		cands, err := ix.collectRestricted(app.SlopeIndex, app.Query, &st)
-		if err != nil {
-			return Result{}, err
+	var sweeps [2]struct {
+		st    QueryStats
+		cands []uint32
+		err   error
+	}
+	if ec.parallelSweeps {
+		var wg sync.WaitGroup
+		for s := range plan {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sweeps[s].cands, sweeps[s].err = ix.collectRestricted(
+					plan[s].SlopeIndex, plan[s].Query, &sweeps[s].st, ec.rc, ec.getBuf())
+			}(s)
 		}
-		for _, tid := range cands {
+		wg.Wait()
+	} else {
+		for s := range plan {
+			sweeps[s].cands, sweeps[s].err = ix.collectRestricted(
+				plan[s].SlopeIndex, plan[s].Query, &sweeps[s].st, ec.rc, ec.getBuf())
+		}
+	}
+	for s := range sweeps {
+		if sweeps[s].err != nil {
+			return Result{}, sweeps[s].err
+		}
+		st.LeavesSwept += sweeps[s].st.LeavesSwept
+	}
+	// Deduplicate before refinement; Candidates still counts every
+	// retrieved reference (the paper's T1/T2 comparison is about exactly
+	// this redundancy). Pre-sizing seen to the total reference count
+	// avoids rehashing on the hot path.
+	total := len(sweeps[0].cands) + len(sweeps[1].cands)
+	st.Candidates = total
+	seen := make(map[uint32]int, total)
+	for s := range sweeps {
+		for _, tid := range sweeps[s].cands {
 			seen[tid]++
-			all = append(all, tid)
 		}
 	}
 	for _, n := range seen {
@@ -204,26 +283,28 @@ func (ix *Index) runT1(q constraint.Query, path string) (Result, error) {
 			st.Duplicates += n - 1
 		}
 	}
-	// Deduplicate before refinement; Candidates still counts every
-	// retrieved reference (the paper's T1/T2 comparison is about exactly
-	// this redundancy).
-	st.Candidates = len(all)
-	uniq := make([]uint32, 0, len(seen))
+	uniq := ec.getBuf()
+	if uniq == nil {
+		uniq = make([]uint32, 0, len(seen))
+	}
 	for tid := range seen {
 		uniq = append(uniq, tid)
 	}
-	res, err := ix.refineKeepCandidates(q, uniq, st)
+	res, err := ix.refineKeepCandidates(q, uniq, st, ec)
+	ec.putBuf(uniq)
+	ec.putBuf(sweeps[0].cands)
+	ec.putBuf(sweeps[1].cands)
 	return res, err
 }
 
 // runT2 executes the single-tree handicap technique of Section 4.2/4.3.
-func (ix *Index) runT2(i int, q constraint.Query) (Result, error) {
+func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 	st := QueryStats{Path: "t2"}
 	tr := ix.tree(i, q)
 	a, b := q.Slope[0], q.Intercept
 	right := a >= ix.slopes[i]
 
-	var cands []uint32
+	cands := ec.getBuf()
 	if q.SweepsUp() {
 		slot := slotLowPrev
 		if right {
@@ -232,7 +313,7 @@ func (ix *Index) runT2(i int, q constraint.Query) (Result, error) {
 		// First sweep: upward from the query intercept, collecting every
 		// key ≥ b and tracking the lowest handicap of the visited leaves.
 		low := math.Inf(1)
-		err := tr.VisitLeavesAsc(b, func(lv btree.LeafView) bool {
+		err := tr.VisitLeavesAscTracked(b, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			if h := lv.Handicaps[slot]; h < low {
 				low = h
@@ -250,7 +331,7 @@ func (ix *Index) runT2(i int, q constraint.Query) (Result, error) {
 		// Second sweep: downward from b to low(q); keys in [low, b) — a
 		// set disjoint from the first sweep, so no duplicates arise.
 		if low < b {
-			err = tr.VisitLeavesDesc(b, func(lv btree.LeafView) bool {
+			err = tr.VisitLeavesDescTracked(b, ec.rc, func(lv btree.LeafView) bool {
 				st.LeavesSwept++
 				done := false
 				for _, e := range lv.Entries {
@@ -275,7 +356,7 @@ func (ix *Index) runT2(i int, q constraint.Query) (Result, error) {
 			slot = slotHighNext
 		}
 		high := math.Inf(-1)
-		err := tr.VisitLeavesDesc(b, func(lv btree.LeafView) bool {
+		err := tr.VisitLeavesDescTracked(b, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			if h := lv.Handicaps[slot]; h > high {
 				high = h
@@ -291,7 +372,7 @@ func (ix *Index) runT2(i int, q constraint.Query) (Result, error) {
 			return Result{}, err
 		}
 		if high > b {
-			err = tr.VisitLeavesAsc(b, func(lv btree.LeafView) bool {
+			err = tr.VisitLeavesAscTracked(b, ec.rc, func(lv btree.LeafView) bool {
 				st.LeavesSwept++
 				done := false
 				for _, e := range lv.Entries {
@@ -311,18 +392,27 @@ func (ix *Index) runT2(i int, q constraint.Query) (Result, error) {
 			}
 		}
 	}
-	return ix.refine(q, cands, st)
+	res, err := ix.refine(q, cands, st, ec)
+	ec.putBuf(cands)
+	return res, err
 }
 
 // refine filters candidates through the exact Proposition 2.2 predicate.
-func (ix *Index) refine(q constraint.Query, cands []uint32, st QueryStats) (Result, error) {
+func (ix *Index) refine(q constraint.Query, cands []uint32, st QueryStats, ec *execCtx) (Result, error) {
 	st.Candidates = len(cands)
-	return ix.refineKeepCandidates(q, cands, st)
+	return ix.refineKeepCandidates(q, cands, st, ec)
 }
 
 // refineKeepCandidates is refine with st.Candidates already set by the
-// caller (T1 counts duplicated references before deduplication).
-func (ix *Index) refineKeepCandidates(q constraint.Query, cands []uint32, st QueryStats) (Result, error) {
+// caller (T1 counts duplicated references before deduplication). Above
+// ec.refineThreshold candidates the predicate evaluation fans out across
+// ec.refineWorkers goroutines — Tuple extensions are sync.Once-cached and
+// Matches is read-only, so chunks are independent.
+func (ix *Index) refineKeepCandidates(q constraint.Query, cands []uint32, st QueryStats, ec *execCtx) (Result, error) {
+	workers := ec.refineWorkers
+	if workers > 1 && len(cands) >= ec.refineThreshold && ec.refineThreshold > 0 {
+		return ix.refineParallel(q, cands, st, workers)
+	}
 	ids := make([]constraint.TupleID, 0, len(cands))
 	for _, tid := range cands {
 		t, err := ix.rel.Get(constraint.TupleID(tid))
@@ -339,7 +429,69 @@ func (ix *Index) refineKeepCandidates(q constraint.Query, cands []uint32, st Que
 			st.FalseHits++
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
+	st.Results = len(ids)
+	return Result{IDs: ids, Stats: st}, nil
+}
+
+// refineParallel splits the candidate set into contiguous chunks, refines
+// each on its own goroutine and merges the per-chunk answers. The final
+// sort makes the result identical to sequential refinement.
+func (ix *Index) refineParallel(q constraint.Query, cands []uint32, st QueryStats, workers int) (Result, error) {
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	type chunkOut struct {
+		ids       []constraint.TupleID
+		falseHits int
+		err       error
+	}
+	outs := make([]chunkOut, workers)
+	var wg sync.WaitGroup
+	per := (len(cands) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			out := &outs[w]
+			out.ids = make([]constraint.TupleID, 0, hi-lo)
+			for _, tid := range cands[lo:hi] {
+				t, err := ix.rel.Get(constraint.TupleID(tid))
+				if err != nil {
+					out.err = fmt.Errorf("core: candidate %d not in relation: %w", tid, err)
+					return
+				}
+				ok, err := q.Matches(t)
+				if err != nil {
+					out.err = err
+					return
+				}
+				if ok {
+					out.ids = append(out.ids, constraint.TupleID(tid))
+				} else {
+					out.falseHits++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	ids := make([]constraint.TupleID, 0, len(cands))
+	for w := range outs {
+		if outs[w].err != nil {
+			return Result{}, outs[w].err
+		}
+		ids = append(ids, outs[w].ids...)
+		st.FalseHits += outs[w].falseHits
+	}
+	slices.Sort(ids)
 	st.Results = len(ids)
 	return Result{IDs: ids, Stats: st}, nil
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"dualcdb/internal/constraint"
 	"dualcdb/internal/geom"
@@ -35,7 +35,7 @@ func (ix *Index) QueryLine(a, b float64) (Result, error) {
 			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	st := QueryStats{
 		Path:        fmt.Sprintf("line(%s∩%s)", upper.Stats.Path, lower.Stats.Path),
 		Candidates:  upper.Stats.Candidates + lower.Stats.Candidates,
@@ -70,6 +70,6 @@ func EvalLine(a, b float64, rel *constraint.Relation) ([]constraint.TupleID, err
 	if scanErr != nil {
 		return nil, scanErr
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"dualcdb/internal/constraint"
 )
@@ -160,7 +160,7 @@ func (ix *Index) QueryTuple(kind constraint.QueryKind, qt *constraint.Tuple) (Tu
 		}
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	st.Results = len(ids)
 	st.PagesRead = ix.pool.Stats().PhysicalReads - before
 	return TupleResult{IDs: ids, Stats: st}, nil
@@ -199,6 +199,6 @@ func EvalTuple(kind constraint.QueryKind, qt *constraint.Tuple, rel *constraint.
 	if scanErr != nil {
 		return nil, scanErr
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }

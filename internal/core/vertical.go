@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"dualcdb/internal/btree"
 	"dualcdb/internal/constraint"
@@ -137,7 +137,7 @@ func (ix *Index) QueryVertical(kind constraint.QueryKind, op geom.Op, c float64)
 			st.FalseHits++
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	st.Results = len(ids)
 	st.PagesRead = ix.pool.Stats().PhysicalReads - before
 	return Result{IDs: ids, Stats: st}, nil
@@ -182,6 +182,6 @@ func EvalVertical(kind constraint.QueryKind, op geom.Op, c float64, rel *constra
 	if scanErr != nil {
 		return nil, scanErr
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }

@@ -8,6 +8,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"dualcdb/internal/constraint"
@@ -145,10 +146,11 @@ func RunQueryFigure(id, title string, cfg Config) (Figure, error) {
 		// Dual index, technique T2, for each k.
 		for _, k := range cfg.Ks {
 			ix, err := core.Build(rel, core.Options{
-				Slopes:    core.EquiangularSlopes(k),
-				Technique: core.T2,
-				PageSize:  cfg.PageSize,
-				PoolPages: 1 << 16,
+				Slopes:       core.EquiangularSlopes(k),
+				Technique:    core.T2,
+				PageSize:     cfg.PageSize,
+				PoolPages:    1 << 16,
+				BuildWorkers: runtime.GOMAXPROCS(0),
 			})
 			if err != nil {
 				return Figure{}, err
@@ -206,10 +208,11 @@ func RunSpaceFigure(cfg Config) (Figure, error) {
 		series["R+-tree"].Y = append(series["R+-tree"].Y, float64(rix.Pages()))
 		for _, k := range cfg.Ks {
 			ix, err := core.Build(rel, core.Options{
-				Slopes:    core.EquiangularSlopes(k),
-				Technique: core.T2,
-				PageSize:  cfg.PageSize,
-				PoolPages: 1 << 16,
+				Slopes:       core.EquiangularSlopes(k),
+				Technique:    core.T2,
+				PageSize:     cfg.PageSize,
+				PoolPages:    1 << 16,
+				BuildWorkers: runtime.GOMAXPROCS(0),
 			})
 			if err != nil {
 				return Figure{}, err

@@ -4,7 +4,9 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats accumulates the buffer pool's I/O counters. PhysicalReads is the
@@ -19,49 +21,121 @@ type Stats struct {
 	Frees         uint64 // pages freed
 }
 
-// Pool is an LRU buffer pool over a Store. Frames are pinned while in use;
-// unpinned dirty frames are written back on eviction or Flush.
+// ReadCounter is a per-caller I/O counter threaded through GetTracked so a
+// single query can account exactly for the page reads it caused, without
+// the before/after delta on the shared pool counters that is racy when
+// several queries run concurrently. The fields are atomics because one
+// query may fan its tree sweeps across goroutines.
+type ReadCounter struct {
+	Logical  atomic.Uint64 // Get calls attributed to this counter
+	Physical atomic.Uint64 // cache misses this counter's Gets triggered
+}
+
+// Pool is an LRU buffer pool over a Store, split into power-of-two many
+// shards keyed by a PageID hash. Each shard has its own mutex, frame table
+// and LRU list, so concurrent readers touching different pages rarely
+// contend; the I/O counters are atomics shared by all shards. Frames are
+// pinned while in use; unpinned dirty frames are written back on eviction
+// or Flush.
 //
-// A Pool is safe for use from a single goroutine per structure operation;
-// the internal mutex only protects the counters and tables against
-// incidental cross-goroutine sharing in tests.
+// A single-shard pool (NewPool) behaves exactly like the historical
+// implementation: one mutex, one LRU list, one capacity.
 type Pool struct {
+	store  Store
+	shards []*poolShard
+	shift  uint // 32 - log2(len(shards)); hash>>shift indexes the shard
+
+	logicalReads  atomic.Uint64
+	physicalReads atomic.Uint64
+	writes        atomic.Uint64
+	allocs        atomic.Uint64
+	frees         atomic.Uint64
+}
+
+// poolShard is one independently locked slice of the pool.
+type poolShard struct {
 	mu       sync.Mutex
-	store    Store
 	capacity int
 	frames   map[PageID]*Frame
 	lru      *list.List // of PageID, most-recent at front; only unpinned pages
 	lruPos   map[PageID]*list.Element
-	stats    Stats
 }
 
 // Frame is a pinned page in the buffer pool. Callers must Release it when
 // done and MarkDirty after mutating Data.
 type Frame struct {
-	pool  *Pool
+	shard *poolShard
 	id    PageID
 	data  []byte
 	pins  int
 	dirty bool
 }
 
-// ErrPoolFull is returned when every frame is pinned and a new page is
-// requested.
+// ErrPoolFull is returned when every frame of the page's shard is pinned
+// and a new page is requested.
 var ErrPoolFull = errors.New("pagestore: all buffer frames pinned")
 
-// NewPool creates a buffer pool with the given frame capacity (minimum 8).
+// NewPool creates a single-shard buffer pool with the given frame capacity
+// (minimum 8) — the historical behavior, appropriate for single-threaded
+// workloads and for tests that reason about one global LRU order.
 func NewPool(store Store, capacity int) *Pool {
-	if capacity < 8 {
-		capacity = 8
-	}
-	return &Pool{
-		store:    store,
-		capacity: capacity,
-		frames:   make(map[PageID]*Frame),
-		lru:      list.New(),
-		lruPos:   make(map[PageID]*list.Element),
-	}
+	return NewShardedPool(store, capacity, 1)
 }
+
+// NewShardedPool creates a buffer pool whose frames are distributed over
+// nextPow2(shards) independently locked shards (shards ≤ 0 selects
+// nextPow2(GOMAXPROCS)). The total capacity is divided evenly; every shard
+// holds at least 8 frames, so the effective total can exceed capacity when
+// capacity < 8·shards.
+func NewShardedPool(store Store, capacity, shards int) *Pool {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	n := nextPow2(shards)
+	per := capacity / n
+	if per < 8 {
+		per = 8
+	}
+	p := &Pool{store: store, shards: make([]*poolShard, n), shift: 32 - log2(n)}
+	for i := range p.shards {
+		p.shards[i] = &poolShard{
+			capacity: per,
+			frames:   make(map[PageID]*Frame),
+			lru:      list.New(),
+			lruPos:   make(map[PageID]*list.Element),
+		}
+	}
+	return p
+}
+
+// nextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// log2 of a power of two.
+func log2(n int) uint {
+	var s uint
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
+}
+
+// shardOf routes a page id to its shard by Fibonacci hashing: the high
+// bits of id·2654435761 index the shard table. For a single-shard pool the
+// shift is 32, which Go defines to yield 0.
+func (p *Pool) shardOf(id PageID) *poolShard {
+	return p.shards[(uint32(id)*2654435761)>>p.shift]
+}
+
+// Shards returns the number of shards.
+func (p *Pool) Shards() int { return len(p.shards) }
 
 // Store returns the underlying page device.
 func (p *Pool) Store() Store { return p.store }
@@ -70,114 +144,136 @@ func (p *Pool) Store() Store { return p.store }
 func (p *Pool) PageSize() int { return p.store.PageSize() }
 
 // Get pins the page with the given id, reading it from the store on a miss.
-func (p *Pool) Get(id PageID) (*Frame, error) {
+func (p *Pool) Get(id PageID) (*Frame, error) { return p.GetTracked(id, nil) }
+
+// GetTracked is Get with per-caller accounting: when rc is non-nil, its
+// Logical counter is bumped for the call and its Physical counter for a
+// cache miss this call itself served. The attribution is exact — a miss is
+// charged to exactly the caller whose Get read the page from the store —
+// which makes per-query I/O numbers stable under concurrency.
+func (p *Pool) GetTracked(id PageID, rc *ReadCounter) (*Frame, error) {
 	if id == InvalidPage {
 		return nil, errors.New("pagestore: Get(InvalidPage)")
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.LogicalReads++
-	if f, ok := p.frames[id]; ok {
-		p.pinLocked(f)
+	p.logicalReads.Add(1)
+	if rc != nil {
+		rc.Logical.Add(1)
+	}
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[id]; ok {
+		sh.pinLocked(f)
 		return f, nil
 	}
-	if err := p.ensureRoomLocked(); err != nil {
+	if err := sh.ensureRoomLocked(p); err != nil {
 		return nil, err
 	}
 	buf := make([]byte, p.store.PageSize())
 	if err := p.store.ReadPage(id, buf); err != nil {
 		return nil, err
 	}
-	p.stats.PhysicalReads++
-	f := &Frame{pool: p, id: id, data: buf, pins: 1}
-	p.frames[id] = f
+	p.physicalReads.Add(1)
+	if rc != nil {
+		rc.Physical.Add(1)
+	}
+	f := &Frame{shard: sh, id: id, data: buf, pins: 1}
+	sh.frames[id] = f
 	return f, nil
 }
 
 // NewPage allocates a fresh zeroed page and returns it pinned and dirty.
 func (p *Pool) NewPage() (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.ensureRoomLocked(); err != nil {
-		return nil, err
-	}
 	id, err := p.store.Alloc()
 	if err != nil {
 		return nil, err
 	}
-	p.stats.Allocs++
-	f := &Frame{pool: p, id: id, data: make([]byte, p.store.PageSize()), pins: 1, dirty: true}
-	p.frames[id] = f
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.ensureRoomLocked(p); err != nil {
+		// Undo the allocation so the store does not leak the page.
+		_ = p.store.Free(id)
+		return nil, err
+	}
+	p.allocs.Add(1)
+	f := &Frame{shard: sh, id: id, data: make([]byte, p.store.PageSize()), pins: 1, dirty: true}
+	sh.frames[id] = f
 	return f, nil
 }
 
 // FreePage removes the page from the pool and the store. The page must not
 // be pinned.
 func (p *Pool) FreePage(id PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[id]; ok {
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok {
 		if f.pins > 0 {
+			sh.mu.Unlock()
 			return fmt.Errorf("pagestore: freeing pinned page %d", id)
 		}
-		p.dropLocked(id)
+		sh.dropLocked(id)
 	}
-	p.stats.Frees++
+	sh.mu.Unlock()
+	p.frees.Add(1)
 	return p.store.Free(id)
 }
 
-// pinLocked pins an in-pool frame, removing it from the eviction list.
-func (p *Pool) pinLocked(f *Frame) {
+// pinLocked pins an in-shard frame, removing it from the eviction list.
+func (sh *poolShard) pinLocked(f *Frame) {
 	f.pins++
-	if el, ok := p.lruPos[f.id]; ok {
-		p.lru.Remove(el)
-		delete(p.lruPos, f.id)
+	if el, ok := sh.lruPos[f.id]; ok {
+		sh.lru.Remove(el)
+		delete(sh.lruPos, f.id)
 	}
 }
 
-// ensureRoomLocked evicts the least-recently-used unpinned frame when the
-// pool is at capacity.
-func (p *Pool) ensureRoomLocked() error {
-	if len(p.frames) < p.capacity {
+// ensureRoomLocked evicts the shard's least-recently-used unpinned frame
+// when the shard is at capacity.
+func (sh *poolShard) ensureRoomLocked(p *Pool) error {
+	if len(sh.frames) < sh.capacity {
 		return nil
 	}
-	el := p.lru.Back()
+	el := sh.lru.Back()
 	if el == nil {
 		return ErrPoolFull
 	}
 	id := el.Value.(PageID)
-	f := p.frames[id]
+	f := sh.frames[id]
 	if f.dirty {
 		if err := p.store.WritePage(id, f.data); err != nil {
 			return err
 		}
-		p.stats.Writes++
+		p.writes.Add(1)
 		f.dirty = false
 	}
-	p.dropLocked(id)
+	sh.dropLocked(id)
 	return nil
 }
 
-func (p *Pool) dropLocked(id PageID) {
-	if el, ok := p.lruPos[id]; ok {
-		p.lru.Remove(el)
-		delete(p.lruPos, id)
+func (sh *poolShard) dropLocked(id PageID) {
+	if el, ok := sh.lruPos[id]; ok {
+		sh.lru.Remove(el)
+		delete(sh.lruPos, id)
 	}
-	delete(p.frames, id)
+	delete(sh.frames, id)
 }
 
 // Flush writes back all dirty frames (pinned or not) without evicting them.
 func (p *Pool) Flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for id, f := range p.frames {
-		if f.dirty {
-			if err := p.store.WritePage(id, f.data); err != nil {
-				return err
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for id, f := range sh.frames {
+			if f.dirty {
+				if err := p.store.WritePage(id, f.data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				p.writes.Add(1)
+				f.dirty = false
 			}
-			p.stats.Writes++
-			f.dirty = false
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -185,36 +281,48 @@ func (p *Pool) Flush() error {
 // EvictAll flushes and drops every unpinned frame — a "cold cache" reset so
 // the next query's PhysicalReads counts each touched page exactly once.
 func (p *Pool) EvictAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for id, f := range p.frames {
-		if f.pins > 0 {
-			continue
-		}
-		if f.dirty {
-			if err := p.store.WritePage(id, f.data); err != nil {
-				return err
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for id, f := range sh.frames {
+			if f.pins > 0 {
+				continue
 			}
-			p.stats.Writes++
-			f.dirty = false
+			if f.dirty {
+				if err := p.store.WritePage(id, f.data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				p.writes.Add(1)
+				f.dirty = false
+			}
+			sh.dropLocked(id)
 		}
-		p.dropLocked(id)
+		sh.mu.Unlock()
 	}
 	return nil
 }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters. Under concurrent use the
+// counters are updated atomically but the snapshot as a whole is not a
+// consistent cut; per-query accounting should use GetTracked instead of
+// deltas of this snapshot.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		LogicalReads:  p.logicalReads.Load(),
+		PhysicalReads: p.physicalReads.Load(),
+		Writes:        p.writes.Load(),
+		Allocs:        p.allocs.Load(),
+		Frees:         p.frees.Load(),
+	}
 }
 
 // ResetStats zeroes the I/O counters.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	p.logicalReads.Store(0)
+	p.physicalReads.Store(0)
+	p.writes.Store(0)
+	p.allocs.Store(0)
+	p.frees.Store(0)
 }
 
 // ID returns the frame's page id.
@@ -228,15 +336,15 @@ func (f *Frame) MarkDirty() { f.dirty = true }
 
 // Release unpins the frame. Unpinned frames become eviction candidates.
 func (f *Frame) Release() {
-	p := f.pool
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := f.shard
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if f.pins == 0 {
 		panic(fmt.Sprintf("pagestore: over-release of page %d", f.id))
 	}
 	f.pins--
 	if f.pins == 0 {
-		el := p.lru.PushFront(f.id)
-		p.lruPos[f.id] = el
+		el := sh.lru.PushFront(f.id)
+		sh.lruPos[f.id] = el
 	}
 }
