@@ -1,0 +1,34 @@
+// Command dualvet is the multichecker for the repository's machine-checked
+// invariants (DESIGN.md §7): float comparison discipline, ±Inf sentinel
+// arithmetic, atomic/plain field mixing, shard-lock re-entrancy and dropped
+// I/O errors.
+//
+// Run it through the go command, which supplies type information for every
+// compilation unit:
+//
+//	go build -o /tmp/dualvet ./cmd/dualvet
+//	go vet -vettool=/tmp/dualvet ./...
+//
+// or directly — `dualvet ./...` re-executes itself under go vet. A single
+// analyzer runs with its enable flag: `go vet -vettool=/tmp/dualvet
+// -floatcmp ./...`.
+package main
+
+import (
+	"dualcdb/internal/analysis/atomicfield"
+	"dualcdb/internal/analysis/errsink"
+	"dualcdb/internal/analysis/floatcmp"
+	"dualcdb/internal/analysis/infguard"
+	"dualcdb/internal/analysis/lockorder"
+	"dualcdb/internal/analysis/unitdriver"
+)
+
+func main() {
+	unitdriver.Main(
+		floatcmp.Analyzer,
+		infguard.Analyzer,
+		atomicfield.Analyzer,
+		lockorder.Analyzer,
+		errsink.Analyzer,
+	)
+}

@@ -1,0 +1,141 @@
+// Package atomicfield flags struct fields accessed both through sync/atomic
+// call-style operations (atomic.AddUint64(&s.n, 1)) and through plain
+// loads/stores elsewhere in the package.
+//
+// Mixing the two races: the plain access is invisible to the atomic one, and
+// the race detector only catches schedules that actually interleave. The
+// sharded buffer pool's stats counters (PR 1) are exactly this shape — they
+// migrated to the typed atomic.Uint64 API, which makes the mix
+// unrepresentable; this analyzer keeps the legacy call-style API honest
+// wherever it is still used.
+//
+// A field is reported when the package contains at least one atomic
+// call-style access and at least one plain access to it. Typed atomics
+// (atomic.Uint64 et al.) need no checking and are the recommended fix.
+// Escape hatch: //dualvet:allow atomicfield on the plain-access line (e.g.
+// a constructor writing the field before the value escapes).
+package atomicfield
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dualcdb/internal/analysis/framework"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicfield",
+	Doc:  "flag struct fields accessed both via sync/atomic calls and via plain loads/stores in the same package",
+	Run:  run,
+}
+
+type access struct {
+	pos  token.Pos
+	expr string
+}
+
+func run(pass *framework.Pass) error {
+	atomicUses := make(map[*types.Var][]access)
+	plainUses := make(map[*types.Var][]access)
+
+	for _, f := range pass.Files {
+		// Selector expressions consumed as &x.f by a sync/atomic call.
+		inAtomicCall := make(map[*ast.SelectorExpr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+					inAtomicCall[sel] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld := fieldObj(pass, sel)
+			if fld == nil {
+				return true
+			}
+			a := access{pos: sel.Sel.Pos(), expr: types.ExprString(sel)}
+			if inAtomicCall[sel] {
+				atomicUses[fld] = append(atomicUses[fld], a)
+			} else {
+				plainUses[fld] = append(plainUses[fld], a)
+			}
+			return true
+		})
+	}
+
+	for fld, plains := range plainUses {
+		atomics := atomicUses[fld]
+		if len(atomics) == 0 {
+			continue
+		}
+		for _, p := range plains {
+			pass.Reportf(p.pos,
+				"field %s is accessed atomically at %s but plainly here; use the typed atomic.%s API or make every access atomic",
+				fld.Name(), pass.Fset.Position(atomics[0].pos), typedAtomicName(fld.Type()))
+		}
+	}
+	return nil
+}
+
+// fieldObj resolves sel to a struct-field object of a numeric basic type
+// declared in the package under analysis.
+func fieldObj(pass *framework.Pass, sel *ast.SelectorExpr) *types.Var {
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() || v.Pkg() != pass.Pkg {
+		return nil
+	}
+	b, ok := v.Type().Underlying().(*types.Basic)
+	if !ok || b.Info()&(types.IsInteger|types.IsUnsigned) == 0 {
+		return nil
+	}
+	return v
+}
+
+func isAtomicFuncCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// typedAtomicName suggests the typed sync/atomic replacement for t.
+func typedAtomicName(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint, types.Uintptr:
+		return "Uint64"
+	default:
+		return fmt.Sprintf("Value /* %s */", b.Name())
+	}
+}

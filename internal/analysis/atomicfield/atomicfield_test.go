@@ -1,0 +1,16 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"dualcdb/internal/analysis/analysistest"
+	"dualcdb/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	for _, pkg := range []string{"atomicfield"} {
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, "../testdata", atomicfield.Analyzer, pkg)
+		})
+	}
+}

@@ -1,0 +1,109 @@
+// Package errsink flags call statements that discard an error returned from
+// the repository's I/O layers (pagestore, btree, interval, rplustree).
+//
+// Those packages surface real page faults — pagestore.FaultStore exists so
+// tests can inject them — and a dropped error there turns a failed page
+// write into silent index corruption. The check is scoped to the I/O
+// packages rather than being a general errcheck: the envelope/geometry
+// layers return validation errors whose handling is already enforced by
+// their callers' signatures.
+//
+// Reported: expression statements, go statements and defer statements whose
+// call returns an error (possibly among other results) and whose callee is
+// declared in one of the target packages. Assigning the error to _ is the
+// deliberate-discard escape hatch and is not flagged (pair it with a
+// justifying comment); //dualvet:allow errsink also works. Test files are
+// skipped.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dualcdb/internal/analysis/framework"
+)
+
+// Analyzer is the errsink check.
+var Analyzer = &framework.Analyzer{
+	Name: "errsink",
+	Doc:  "flag dropped error returns from pagestore/btree/interval/rplustree I/O calls",
+	Run:  run,
+}
+
+// TargetPathSuffixes are the import-path tails of the I/O packages whose
+// errors must not be dropped.
+var TargetPathSuffixes = []string{"pagestore", "btree", "interval", "rplustree"}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.DeferStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			fn := callee(pass, call)
+			if fn == nil || !returnsError(fn) || !inTargetPackage(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"result of %s includes an error that is dropped here; page faults must propagate — handle it or assign to _ with a justifying comment",
+				fn.FullName())
+			return true
+		})
+	}
+	return nil
+}
+
+func callee(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+func inTargetPackage(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	for _, suffix := range TargetPathSuffixes {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}

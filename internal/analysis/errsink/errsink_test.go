@@ -1,0 +1,16 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"dualcdb/internal/analysis/analysistest"
+	"dualcdb/internal/analysis/errsink"
+)
+
+func TestErrsink(t *testing.T) {
+	for _, pkg := range []string{"errsink"} {
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, "../testdata", errsink.Analyzer, pkg)
+		})
+	}
+}

@@ -1,0 +1,138 @@
+// Package floatcmp flags exact equality comparisons (and switch statements)
+// on floating-point values.
+//
+// The dual representation reduces ALL/EXIST selection to comparing the query
+// intercept against evaluated TOP/BOT envelopes (Prop. 2.2), so every float
+// comparison on the query path must go through the repository's Eps
+// tolerance (geom.Eps, geom.Point.Eq) — a raw == between two computed
+// surface values silently diverges from the refinement predicate.
+//
+// Allowed without annotation:
+//   - comparisons against an exact sentinel: the literal constant 0 (division
+//     and sign guards) or ±Inf (math.Inf calls, math.MaxFloat64-style consts
+//     are NOT exempt);
+//   - the x != x NaN idiom;
+//   - comparisons where both operands are compile-time constants;
+//   - epsilon helpers themselves (function names Eq, feq, approxEq,
+//     almostEqual, EqualWithin);
+//   - test files (exact expected values are deliberate there);
+//   - lines annotated //dualvet:allow floatcmp — required for intentional
+//     exact total orders such as sort tie-breaks and B⁺-tree key ordering.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"dualcdb/internal/analysis/framework"
+)
+
+// Analyzer is the floatcmp check.
+var Analyzer = &framework.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag exact ==/!=/switch comparisons on floating-point values outside epsilon helpers and exact-sentinel checks",
+	Run:  run,
+}
+
+// allowedFuncs are epsilon-helper names whose bodies may compare exactly.
+var allowedFuncs = map[string]bool{
+	"Eq": true, "feq": true, "approxEq": true, "almostEqual": true, "EqualWithin": true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(pass, n.X) && !isFloat(pass, n.Y) {
+					return true
+				}
+				if comparisonAllowed(pass, n, stack) {
+					return true
+				}
+				pass.Reportf(n.OpPos,
+					"exact floating-point %s comparison; use an epsilon tolerance (math.Abs(a-b) <= geom.Eps, geom.Point.Eq) or annotate //dualvet:allow floatcmp for an intentional exact order", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(pass, n.Tag) {
+					pass.Reportf(n.Switch,
+						"switch on a floating-point value compares exactly; rewrite with epsilon-tolerant if/else or annotate //dualvet:allow floatcmp")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func comparisonAllowed(pass *framework.Pass, cmp *ast.BinaryExpr, stack []ast.Node) bool {
+	// x != x / x == x: the NaN self-comparison idiom.
+	if types.ExprString(cmp.X) == types.ExprString(cmp.Y) {
+		return true
+	}
+	xc, yc := constVal(pass, cmp.X), constVal(pass, cmp.Y)
+	// Both sides compile-time constants: the comparison is exact by
+	// construction (e.g. table-driven option validation).
+	if xc != nil && yc != nil {
+		return true
+	}
+	// Exact sentinels: literal zero and ±Inf.
+	for _, c := range [2]constant.Value{xc, yc} {
+		if c != nil && constant.Compare(c, token.EQL, constant.MakeInt64(0)) {
+			return true
+		}
+	}
+	if isInfCall(pass, cmp.X) || isInfCall(pass, cmp.Y) {
+		return true
+	}
+	// Epsilon helpers may compare exactly in their own bodies.
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok && allowedFuncs[fd.Name.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+func constVal(pass *framework.Pass, e ast.Expr) constant.Value {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+// isInfCall reports whether e is a call to math.Inf.
+func isInfCall(pass *framework.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Inf" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "math"
+}

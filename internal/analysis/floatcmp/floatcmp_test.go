@@ -1,0 +1,16 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"dualcdb/internal/analysis/analysistest"
+	"dualcdb/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	for _, pkg := range []string{"floatcmp"} {
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, "../testdata", floatcmp.Analyzer, pkg)
+		})
+	}
+}

@@ -1,0 +1,338 @@
+// Package infguard flags NaN-generating arithmetic on values that can carry
+// the ±Inf TOP/BOT sentinels.
+//
+// The dual representation uses ±Inf as the honest value of TOP^P/BOT^P for
+// unbounded polyhedra (the paper's "virtual vertices at infinity"), for the
+// handicap-slot identities (MinSlot = +Inf, MaxSlot = −Inf) and for
+// unbounded R⁺-tree regions. IEEE 754 keeps comparisons on such values exact
+// and total, but two arithmetic shapes silently produce NaN — `Inf - Inf`
+// (and `Inf + -Inf`) and `0 * Inf` — after which every comparison is false
+// and a selection drops tuples with no error anywhere.
+//
+// The check is intra-procedural. A value "may carry Inf" when it is:
+//   - the result of math.Inf(...);
+//   - read from a field, or returned by a function/method, on the built-in
+//     sentinel-carrier list below (the envelope/support/handicap surfaces);
+//   - read from a local declaration annotated //dualvet:mayinf;
+//   - a local variable assigned from any of the above.
+//
+// Flagged, unless a math.IsInf guard on the same operand expression appears
+// earlier in the function:
+//   - x + y and x - y where BOTH operands may carry Inf (opposite-sign
+//     infinities meet);
+//   - x * y where EITHER operand may carry Inf and the other is not a
+//     provably non-zero constant (0·Inf).
+//
+// Escape hatch: //dualvet:allow infguard on the flagged line, for call sites
+// where the operand range provably excludes Inf (say so in a comment).
+// _test.go files are exempt: computed-vs-expected comparisons there fail no
+// assertion a correct ±Inf comparison wouldn't also fail.
+package infguard
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dualcdb/internal/analysis/framework"
+)
+
+// Analyzer is the infguard check.
+var Analyzer = &framework.Analyzer{
+	Name: "infguard",
+	Doc:  "flag +,-,* arithmetic on possibly-±Inf sentinel values without a preceding math.IsInf guard",
+	Run:  run,
+}
+
+// MayInfFuncs lists functions and methods whose result can carry ±Inf, keyed
+// by types.Func.FullName. These are the repository's sentinel producers; the
+// list is the cross-package complement of the //dualvet:mayinf annotation,
+// which only reaches declarations in the package under analysis.
+var MayInfFuncs = map[string]bool{
+	"math.Inf":                                   true,
+	"(dualcdb/internal/geom.Envelope).Eval":      true,
+	"(dualcdb/internal/geom.Envelope).MaxOn":     true,
+	"(dualcdb/internal/geom.Envelope).MinOn":     true,
+	"(dualcdb/internal/geom.Polyhedron).Support": true,
+	"(dualcdb/internal/geom.Polyhedron).Top":     true,
+	"(dualcdb/internal/geom.Polyhedron).Bot":     true,
+	"(dualcdb/internal/geom.Polyhedron).Area2":   true,
+	"(dualcdb/internal/rplustree.Rect).Area":     true,
+	"dualcdb/internal/core.supX":                 true,
+	"dualcdb/internal/core.infX":                 true,
+}
+
+// MayInfFields lists struct fields that can hold ±Inf, as
+// "pkgpath.Type.Field".
+var MayInfFields = map[string]bool{
+	"dualcdb/internal/geom.Envelope.DomLo":      true,
+	"dualcdb/internal/geom.Envelope.DomHi":      true,
+	"dualcdb/internal/btree.LeafView.Handicaps": true,
+	"dualcdb/internal/rplustree.Rect.MinX":      true,
+	"dualcdb/internal/rplustree.Rect.MinY":      true,
+	"dualcdb/internal/rplustree.Rect.MaxX":      true,
+	"dualcdb/internal/rplustree.Rect.MaxY":      true,
+}
+
+// MayInfDirective marks a local declaration (function or struct field) whose
+// value can carry ±Inf.
+const MayInfDirective = "//dualvet:mayinf"
+
+func run(pass *framework.Pass) error {
+	local := collectLocalMarks(pass)
+	for _, f := range pass.Files {
+		// Tests compare computed against expected values where, when both
+		// sides carry the same infinity, a NaN difference fails no assertion
+		// that a correct ±Inf comparison wouldn't also fail.
+		if framework.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, local)
+		}
+	}
+	return nil
+}
+
+// localMarks holds objects annotated //dualvet:mayinf in this package.
+type localMarks map[types.Object]bool
+
+// collectLocalMarks resolves //dualvet:mayinf comments to the function and
+// field objects they annotate (directive on the declaration line or the line
+// directly above it).
+func collectLocalMarks(pass *framework.Pass) localMarks {
+	marks := make(localMarks)
+	for _, f := range pass.Files {
+		lines := make(map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, MayInfDirective) {
+					lines[pass.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		if len(lines) == 0 {
+			continue
+		}
+		// A trailing directive (sharing a line with a declaration) marks only
+		// that line; the line-above rule is for standalone directive lines.
+		declLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.Field:
+				declLines[pass.Fset.Position(n.Pos()).Line] = true
+			}
+			return true
+		})
+		marked := func(pos token.Pos) bool {
+			ln := pass.Fset.Position(pos).Line
+			return lines[ln] || (lines[ln-1] && !declLines[ln-1])
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if marked(n.Pos()) {
+					if obj := pass.TypesInfo.Defs[n.Name]; obj != nil {
+						marks[obj] = true
+					}
+				}
+			case *ast.Field:
+				if marked(n.Pos()) {
+					for _, name := range n.Names {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							marks[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return marks
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, local localMarks) {
+	// Pass 1: earliest math.IsInf guard position per guarded expression.
+	guards := make(map[string]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !isMathCall(pass, call, "IsInf") {
+			return true
+		}
+		key := types.ExprString(call.Args[0])
+		if p, ok := guards[key]; !ok || call.Pos() < p {
+			guards[key] = call.Pos()
+		}
+		return true
+	})
+
+	guarded := func(e ast.Expr, at token.Pos) bool {
+		p, ok := guards[types.ExprString(e)]
+		return ok && p < at
+	}
+
+	// Pass 2: walk in source order, propagating may-Inf through local
+	// assignments and flagging unguarded arithmetic.
+	vars := make(map[types.Object]bool) // locals holding a possibly-Inf value
+	mayInf := func(e ast.Expr) bool { return exprMayInf(pass, e, local, vars) }
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ASSIGN, token.DEFINE:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, lhs := range n.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						obj := pass.TypesInfo.Defs[id]
+						if obj == nil {
+							obj = pass.TypesInfo.Uses[id]
+						}
+						if obj != nil && mayInf(n.Rhs[i]) {
+							vars[obj] = true
+						}
+					}
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				if mayInf(n.Lhs[0]) && mayInf(n.Rhs[0]) &&
+					!guarded(n.Lhs[0], n.Pos()) && !guarded(n.Rhs[0], n.Pos()) {
+					report(pass, n.TokPos, n.Tok, n.Lhs[0], n.Rhs[0])
+				}
+			case token.MUL_ASSIGN:
+				checkMul(pass, n.TokPos, n.Lhs[0], n.Rhs[0], mayInf, guarded)
+			}
+		case *ast.BinaryExpr:
+			if !isFloatExpr(pass, n.X) && !isFloatExpr(pass, n.Y) {
+				return true
+			}
+			switch n.Op {
+			case token.ADD, token.SUB:
+				if mayInf(n.X) && mayInf(n.Y) &&
+					!guarded(n.X, n.Pos()) && !guarded(n.Y, n.Pos()) {
+					report(pass, n.OpPos, n.Op, n.X, n.Y)
+				}
+			case token.MUL:
+				checkMul(pass, n.OpPos, n.X, n.Y, mayInf, guarded)
+			}
+		}
+		return true
+	})
+}
+
+func checkMul(pass *framework.Pass, pos token.Pos, x, y ast.Expr,
+	mayInf func(ast.Expr) bool, guarded func(ast.Expr, token.Pos) bool) {
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		inf, other := pair[0], pair[1]
+		if mayInf(inf) && !guarded(inf, pos) && !nonZeroConst(pass, other) {
+			pass.Reportf(pos,
+				"%s may be ±Inf: 0·Inf here yields NaN; check math.IsInf(%s, 0) first (or //dualvet:allow infguard with the range argument)",
+				types.ExprString(inf), types.ExprString(inf))
+			return
+		}
+	}
+}
+
+func report(pass *framework.Pass, pos token.Pos, op token.Token, x, y ast.Expr) {
+	pass.Reportf(pos,
+		"both %s and %s may be ±Inf: %s here can yield NaN (Inf%sInf); check math.IsInf first (or //dualvet:allow infguard with the range argument)",
+		types.ExprString(x), types.ExprString(y), op, op)
+}
+
+// exprMayInf reports whether e can carry a ±Inf sentinel.
+func exprMayInf(pass *framework.Pass, e ast.Expr, local localMarks, vars map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		return obj != nil && vars[obj]
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return exprMayInf(pass, e.X, local, vars)
+		}
+	case *ast.IndexExpr:
+		return exprMayInf(pass, e.X, local, vars)
+	case *ast.SelectorExpr:
+		obj := pass.TypesInfo.Uses[e.Sel]
+		if obj == nil {
+			return false
+		}
+		if local[obj] {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			return MayInfFields[fieldKey(pass, e, v)]
+		}
+	case *ast.CallExpr:
+		if fn := calleeFunc(pass, e); fn != nil {
+			return MayInfFuncs[fn.FullName()] || local[fn]
+		}
+	}
+	return false
+}
+
+// fieldKey renders a field access as "pkgpath.Type.Field".
+func fieldKey(pass *framework.Pass, sel *ast.SelectorExpr, v *types.Var) string {
+	recv := pass.TypesInfo.Selections[sel]
+	if recv == nil {
+		return ""
+	}
+	t := recv.Recv()
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + v.Name()
+}
+
+func calleeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func isMathCall(pass *framework.Pass, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(pass, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == name
+}
+
+func isFloatExpr(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// nonZeroConst reports whether e is a compile-time constant other than zero
+// (multiplying ±Inf by it cannot produce NaN).
+func nonZeroConst(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return !constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}

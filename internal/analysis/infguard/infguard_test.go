@@ -1,0 +1,16 @@
+package infguard_test
+
+import (
+	"testing"
+
+	"dualcdb/internal/analysis/analysistest"
+	"dualcdb/internal/analysis/infguard"
+)
+
+func TestInfguard(t *testing.T) {
+	for _, pkg := range []string{"infguard"} {
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, "../testdata", infguard.Analyzer, pkg)
+		})
+	}
+}

@@ -1,0 +1,143 @@
+// Package lockorder flags functions that acquire a sync.Mutex/RWMutex held
+// in some value's field and then, while the lock is positionally still held,
+// call an exported method on that same value.
+//
+// Exported methods are a type's public entry points and routinely take the
+// same lock (the sharded buffer pool's shard mutex pattern from PR 1):
+// calling one with the lock held self-deadlocks on the first schedule that
+// reaches it, or establishes a lock-order cycle between shards. The
+// convention enforced here is the repository's `fooLocked` idiom — work done
+// under a lock goes through unexported *Locked helpers.
+//
+// The analysis is syntactic within one function: an acquisition
+// `v.mu.Lock()` opens a hazard window on the value expression `v` that a
+// plain (non-deferred) `v.mu.Unlock()` closes; exported method calls `v.M()`
+// inside a window are reported. Escape hatch: //dualvet:allow lockorder on
+// the call line, for exported methods documented as lock-free.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dualcdb/internal/analysis/framework"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &framework.Analyzer{
+	Name: "lockorder",
+	Doc:  "flag exported method calls on a value whose mutex field the function still holds",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+type lockEvent struct {
+	root     string // rendering of the value whose mutex field is locked
+	pos      token.Pos
+	unlock   bool
+	rlock    bool
+	deferred bool
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	var events []lockEvent
+	type methodCall struct {
+		root string
+		name string
+		pos  token.Pos
+	}
+	var calls []methodCall
+
+	// Inspect visits a defer's CallExpr both via the DeferStmt and as a child
+	// node; mark it at the DeferStmt and classify at the CallExpr visit only.
+	deferCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferCalls[n.Call] = true
+			return true
+		case *ast.CallExpr:
+			call = n
+		default:
+			return true
+		}
+		deferred := deferCalls[call]
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		if root, op, ok := mutexOp(pass, sel, fn); ok {
+			events = append(events, lockEvent{
+				root:     root,
+				pos:      call.Pos(),
+				unlock:   op == "Unlock" || op == "RUnlock",
+				rlock:    op == "RLock" || op == "RUnlock",
+				deferred: deferred,
+			})
+			return true
+		}
+		if !deferred && ast.IsExported(fn.Name()) && fn.Type().(*types.Signature).Recv() != nil {
+			calls = append(calls, methodCall{root: types.ExprString(sel.X), name: fn.Name(), pos: call.Pos()})
+		}
+		return true
+	})
+
+	for _, c := range calls {
+		var held *lockEvent
+		for i := range events {
+			e := &events[i]
+			if e.root != c.root || e.pos >= c.pos || e.deferred {
+				continue
+			}
+			if e.unlock {
+				held = nil
+			} else {
+				held = e
+			}
+		}
+		if held != nil {
+			pass.Reportf(c.pos,
+				"%s.%s() is called while %s's mutex is held (locked at %s); exported methods may re-acquire it — use an unexported *Locked helper or release first",
+				c.root, c.name, c.root, pass.Fset.Position(held.pos))
+		}
+	}
+}
+
+// mutexOp recognizes sel as a Lock/RLock/Unlock/RUnlock call on a
+// sync.Mutex or sync.RWMutex reached through a field of some value, and
+// returns the rendering of that value (`sh` for sh.mu.Lock()).
+func mutexOp(pass *framework.Pass, sel *ast.SelectorExpr, fn *types.Func) (root, op string, ok bool) {
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	// sel.X is the mutex value; require it to be a field selection so we
+	// can name the owning value.
+	owner, okSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	return types.ExprString(owner.X), fn.Name(), true
+}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"dualcdb/internal/analysis/analysistest"
+	"dualcdb/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	for _, pkg := range []string{"lockorder"} {
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, "../testdata", lockorder.Analyzer, pkg)
+		})
+	}
+}

@@ -1,0 +1,74 @@
+// Golden cases for the floatcmp analyzer.
+package floatcmp
+
+import "math"
+
+type keyed float64
+
+const tol = 1e-9
+
+func comparisons(a, b float64, f32 float32, k keyed, n int) bool {
+	if a == b { // want `exact floating-point == comparison`
+		return true
+	}
+	if a != b { // want `exact floating-point != comparison`
+		return true
+	}
+	if f32 == float32(b) { // want `exact floating-point == comparison`
+		return true
+	}
+	if k == keyed(a) { // want `exact floating-point == comparison`
+		return true
+	}
+	if a != a { // NaN self-comparison idiom: allowed.
+		return true
+	}
+	if a == 0 { // exact-zero sentinel: allowed.
+		return true
+	}
+	if 0 != b { // exact-zero sentinel, reversed: allowed.
+		return true
+	}
+	if a == math.Inf(1) { // Inf sentinel: allowed.
+		return true
+	}
+	if math.Inf(-1) == b { // Inf sentinel, reversed: allowed.
+		return true
+	}
+	if tol == 1e-9 { // both operands constant: allowed.
+		return true
+	}
+	return n == 3 // integers: not this analyzer's business
+}
+
+func switches(a float64, n int) int {
+	switch a { // want `switch on a floating-point value`
+	case 1.5:
+		return 1
+	}
+	switch n { // integer switch: allowed.
+	case 2:
+		return 2
+	}
+	switch { // tagless switch: allowed.
+	case a > 0:
+		return 3
+	}
+	return 0
+}
+
+// Eq is an epsilon helper: exact comparison inside is the fast path.
+func Eq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func annotated(a, b float64) bool {
+	if a == b { //dualvet:allow floatcmp — exact total order needed here
+		return true
+	}
+	//dualvet:allow floatcmp (directive on the line above also suppresses)
+	return a != b
+}

@@ -1,0 +1,63 @@
+// Golden cases for the infguard analyzer.
+package infguard
+
+import "math"
+
+type env struct {
+	Lo     float64 //dualvet:mayinf
+	Hi     float64 //dualvet:mayinf
+	finite float64
+}
+
+//dualvet:mayinf
+func top() float64 { return math.Inf(1) }
+
+func bot() float64 { return -1 } // unmarked: never treated as Inf-carrying
+
+func addSub(e env) float64 {
+	w := e.Hi - e.Lo               // want `both e.Hi and e.Lo may be ±Inf`
+	s := e.Lo + e.Hi               // want `both e.Lo and e.Hi may be ±Inf`
+	d := math.Inf(1) - math.Inf(1) // want `may be ±Inf`
+	t := top() - top()             // want `both top\(\) and top\(\) may be ±Inf`
+	u := e.Hi - 1                  // one finite operand: Inf-1 is Inf, never NaN
+	v := bot() - bot()             // unmarked producer: allowed
+	f := e.finite + e.finite       // unmarked field: allowed
+	return w + s + d + t + u + v + f
+}
+
+func mul(e env, scale float64) float64 {
+	p := e.Hi * scale // want `e.Hi may be ±Inf: 0·Inf here yields NaN`
+	q := e.Hi * 2     // non-zero constant factor: allowed
+	r := scale * 3.5  // no Inf-carrying operand: allowed
+	return p + q + r
+}
+
+func propagated(e env, scale float64) float64 {
+	h := e.Hi
+	return h * scale // want `h may be ±Inf`
+}
+
+func guarded(e env, scale float64) float64 {
+	if math.IsInf(e.Hi, 0) {
+		return 0
+	}
+	ok := e.Hi * scale // guard precedes: allowed
+	w := e.Lo - e.Lo   // want `both e.Lo and e.Lo may be ±Inf`
+	if math.IsInf(e.Lo, 0) {
+		return 0
+	}
+	return ok + w + e.Hi - e.Lo // both guarded above: allowed
+}
+
+func compound(e env) {
+	x := e.Hi
+	x -= e.Lo // want `both x and e.Lo may be ±Inf`
+	y := 1.0
+	y *= 2
+	_ = x + y
+}
+
+func annotated(e env) float64 {
+	// The domain guarantees Lo is finite whenever Hi is (see docs).
+	return e.Hi - e.Lo //dualvet:allow infguard
+}

@@ -1,0 +1,72 @@
+// Golden cases for the lockorder analyzer.
+package lockorder
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Stats is a public entry point that takes the shard lock itself.
+func (s *shard) Stats() int { s.mu.Lock(); defer s.mu.Unlock(); return s.n }
+
+func (s *shard) statsLocked() int { return s.n }
+
+func (s *shard) bad() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Stats() // want `s\.Stats\(\) is called while s's mutex is held`
+}
+
+func (s *shard) good() int {
+	s.mu.Lock()
+	n := s.statsLocked() // unexported *Locked helper: allowed
+	s.mu.Unlock()
+	return n + s.Stats() // lock released before the call: allowed
+}
+
+func (s *shard) windowReopened() int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Stats() // want `s\.Stats\(\) is called while s's mutex is held`
+}
+
+type pool struct {
+	shards []*shard
+	mu     sync.RWMutex
+}
+
+func (p *pool) crossValue(other *shard) int {
+	p.shards[0].mu.Lock()
+	defer p.shards[0].mu.Unlock()
+	return other.Stats() // different value locked: allowed
+}
+
+func (p *pool) readLocked() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.Total() // want `p\.Total\(\) is called while p's mutex is held`
+}
+
+// Total is exported and takes the pool lock.
+func (p *pool) Total() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := 0
+	for _, s := range p.shards {
+		n += s.Stats() // no p/s lock event precedes in this function: allowed
+	}
+	return n
+}
+
+func (p *pool) annotated() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.LockFree() //dualvet:allow lockorder — LockFree takes no locks
+}
+
+// LockFree is exported and documented not to lock.
+func (p *pool) LockFree() int { return len(p.shards) }

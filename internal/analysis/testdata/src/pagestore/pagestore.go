@@ -1,0 +1,14 @@
+// Package pagestore is a golden-test stand-in for dualcdb/internal/pagestore:
+// the errsink analyzer matches target packages by import-path suffix, so
+// this fake exercises the same resolution without importing the real module.
+package pagestore
+
+type Pool struct{}
+
+func (p *Pool) Flush() error         { return nil }
+func (p *Pool) Get() (*Frame, error) { return &Frame{}, nil }
+func (p *Pool) Release()             {}
+
+type Frame struct{}
+
+func Sync() error { return nil }
