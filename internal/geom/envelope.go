@@ -94,16 +94,22 @@ func upperHullLines(lines []Line2) ([]Line2, []float64) {
 	}
 	ls := append([]Line2(nil), lines...)
 	sort.Slice(ls, func(i, j int) bool {
-		if ls[i].M != ls[j].M {
+		if ls[i].M != ls[j].M { //dualvet:allow floatcmp — sort needs a strict weak order over the raw bits
 			return ls[i].M < ls[j].M
 		}
 		return ls[i].B < ls[j].B
 	})
-	// Drop dominated equal-slope lines (keep max B).
+	// Drop dominated near-equal-slope lines (keep max B). Slopes closer than
+	// Eps would put the crossing at ΔB/ΔM — a breakpoint of magnitude ≳1e9
+	// (or ±Inf/NaN when ΔM underflows) that destabilizes the hull scan and
+	// the binary search over bps, while the dropped line differs from the
+	// kept one by at most Eps·|a| anywhere in the domain.
 	dedup := ls[:0]
 	for _, l := range ls {
-		if len(dedup) > 0 && dedup[len(dedup)-1].M == l.M {
-			dedup[len(dedup)-1] = l
+		if len(dedup) > 0 && l.M-dedup[len(dedup)-1].M <= Eps {
+			if l.B > dedup[len(dedup)-1].B {
+				dedup[len(dedup)-1] = l
+			}
 			continue
 		}
 		dedup = append(dedup, l)

@@ -129,6 +129,36 @@ func TestUpperHullLines(t *testing.T) {
 	}
 }
 
+func TestUpperHullLinesNearEqualSlopes(t *testing.T) {
+	// Slopes closer than Eps must be merged: keeping both would place their
+	// crossing at ΔB/ΔM, a breakpoint of magnitude ≳1e9 (±Inf once ΔM
+	// underflows) that corrupts the hull scan and the breakpoint search.
+	lines := []Line2{{M: 0, B: 0}, {M: 5e-310, B: 1}, {M: 1, B: 0}}
+	hull, bps := upperHullLines(lines)
+	if len(hull) != 2 {
+		t.Fatalf("hull = %v, want the near-duplicate slopes merged", hull)
+	}
+	if hull[0].B != 1 {
+		t.Errorf("hull[0] = %v, want the dominating B=1 line kept", hull[0])
+	}
+	for _, b := range bps {
+		if math.IsInf(b, 0) || math.IsNaN(b) || math.Abs(b) > 1e6 {
+			t.Errorf("unstable breakpoint %v from near-equal slopes", b)
+		}
+	}
+	// The merged envelope still upper-bounds every input line on a normal
+	// domain, within the tolerance the merge can introduce.
+	e := Envelope{Upper: true, DomLo: -10, DomHi: 10, hull: hull, bps: bps}
+	for _, a := range []float64{-3, -1, 0, 0.5, 1, 3} {
+		got := e.evalFinite(a)
+		for _, l := range lines {
+			if want := l.M*a + l.B; got < want-1e-6 {
+				t.Errorf("Eval(%v) = %v below input line value %v", a, got, want)
+			}
+		}
+	}
+}
+
 func TestEnvelopeSingleVertex(t *testing.T) {
 	p, err := FromVertices([]Point{{2, 3}}, nil)
 	if err != nil {
