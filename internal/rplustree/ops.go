@@ -14,8 +14,8 @@ import (
 // splits the node's region with a guillotine cut; crossing objects are
 // duplicated into both halves.
 func (t *Tree) Insert(it Item) error {
-	if !it.R.Valid() {
-		return fmt.Errorf("rplustree: invalid rectangle %+v", it.R)
+	if !it.R.Valid() || !it.R.Bounded() {
+		return fmt.Errorf("rplustree: item rectangle %+v must be valid and bounded", it.R)
 	}
 	split, err := t.insertInto(t.root, WorldRect(), it)
 	if err != nil {

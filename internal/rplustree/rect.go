@@ -28,6 +28,15 @@ func WorldRect() Rect {
 // Valid reports MinX ≤ MaxX and MinY ≤ MaxY.
 func (r Rect) Valid() bool { return r.MinX <= r.MaxX && r.MinY <= r.MaxY }
 
+// Bounded reports whether all four coordinates are finite. Stored objects
+// must be bounded (the structure's documented limitation — only node
+// regions extend to infinity); center and extent arithmetic in the build
+// path would otherwise silently produce NaN from Inf − Inf.
+func (r Rect) Bounded() bool {
+	return !math.IsInf(r.MinX, 0) && !math.IsInf(r.MaxX, 0) &&
+		!math.IsInf(r.MinY, 0) && !math.IsInf(r.MaxY, 0)
+}
+
 // Intersects reports whether the closed rectangles share a point.
 func (r Rect) Intersects(o Rect) bool {
 	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
@@ -51,10 +60,19 @@ func (r Rect) Union(o Rect) Rect {
 	}
 }
 
-// Area returns the rectangle's area (+Inf for unbounded regions).
+// Area returns the rectangle's area: +Inf for unbounded regions, 0 for
+// degenerate ones — including unbounded strips of zero width, whose naive
+// width·height would be 0·Inf = NaN (and a NaN area poisons every split-cost
+// comparison downstream, since all of them come out false).
 func (r Rect) Area() float64 {
 	if !r.Valid() {
 		return 0
+	}
+	if math.IsInf(r.MinX, 0) || math.IsInf(r.MaxX, 0) || math.IsInf(r.MinY, 0) || math.IsInf(r.MaxY, 0) {
+		if r.MinX == r.MaxX || r.MinY == r.MaxY { //dualvet:allow floatcmp — exact sentinel equality on ±Inf coordinates
+			return 0
+		}
+		return math.Inf(1)
 	}
 	return (r.MaxX - r.MinX) * (r.MaxY - r.MinY)
 }

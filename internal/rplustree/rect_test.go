@@ -1,0 +1,37 @@
+package rplustree
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRectArea(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		r    Rect
+		want float64
+	}{
+		{"bounded", Rect{0, 0, 2, 3}, 6},
+		{"invalid", Rect{1, 0, 0, 1}, 0},
+		{"world", WorldRect(), inf},
+		{"half plane", Rect{-inf, 0, inf, 5}, inf},
+		{"quadrant", Rect{0, 0, inf, inf}, inf},
+		// Naive width·height is 0·Inf = NaN for these; a NaN area makes
+		// every split-cost comparison false and silently corrupts packing.
+		{"zero-height strip", Rect{-inf, 2, inf, 2}, 0},
+		{"zero-width strip", Rect{3, -inf, 3, inf}, 0},
+		{"degenerate ray", Rect{0, 1, inf, 1}, 0},
+		{"point at infinity", Rect{inf, inf, inf, inf}, 0},
+	}
+	for _, c := range cases {
+		got := c.r.Area()
+		if math.IsNaN(got) {
+			t.Errorf("%s: Area() = NaN", c.name)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: Area() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

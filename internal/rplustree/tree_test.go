@@ -187,6 +187,36 @@ func TestInsertIdenticalRectsOverflowChain(t *testing.T) {
 	}
 }
 
+func TestUnboundedItemsRejected(t *testing.T) {
+	// Stored objects must be bounded; before this was enforced, an infinite
+	// MBR reached buildGrid, whose center arithmetic (MinX+MaxX)/2 produced
+	// NaN and silently corrupted the grid partitioning.
+	bad := []Rect{
+		WorldRect(),
+		{MinX: math.Inf(-1), MinY: 0, MaxX: 1, MaxY: 1},
+		{MinX: 0, MinY: 0, MaxX: math.Inf(1), MaxY: 1},
+		{MinX: 0, MinY: math.NaN(), MaxX: 1, MaxY: 1},
+	}
+	tr, err := New(newPool(1024), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range bad {
+		if err := tr.Insert(Item{R: r, TID: 1}); err == nil {
+			t.Errorf("Insert accepted unbounded/invalid rect %+v", r)
+		}
+	}
+	for _, r := range bad {
+		if _, err := Bulk(newPool(1024), []Item{{R: r, TID: 1}}, 0.9); err == nil {
+			t.Errorf("Bulk accepted unbounded/invalid rect %+v", r)
+		}
+	}
+	// Bounded items still load.
+	if err := tr.Insert(Item{R: Rect{0, 0, 1, 1}, TID: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestDeleteRemovesReferences(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
 	items := randItems(rng, 500, 12)
