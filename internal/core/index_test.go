@@ -294,6 +294,12 @@ func TestOptionsValidation(t *testing.T) {
 	if _, err := New(rel, Options{Slopes: []float64{1, 1}}); err == nil {
 		t.Error("duplicate slopes must be rejected")
 	}
+	if _, err := New(rel, Options{Slopes: []float64{0, geom.Eps / 2, 1}}); err == nil {
+		t.Error("slopes closer than the tolerance must be rejected")
+	}
+	if _, err := New(rel, Options{Slopes: []float64{0, 2 * geom.Eps}}); err != nil {
+		t.Errorf("slopes separated by more than the tolerance rejected: %v", err)
+	}
 	if _, err := New(rel, Options{Slopes: []float64{1}, Technique: T2}); err == nil {
 		t.Error("T2 with a single slope must be rejected")
 	}

@@ -26,6 +26,7 @@ import (
 	"math"
 	"sort"
 
+	"dualcdb/internal/geom"
 	"dualcdb/internal/pagestore"
 )
 
@@ -116,9 +117,13 @@ func (o *Options) normalize() ([]float64, error) {
 	}
 	s := append([]float64(nil), o.Slopes...)
 	sort.Float64s(s)
+	// Reject slopes closer than the geometric tolerance, not just exact
+	// duplicates: two trees for indistinguishable slopes waste pages, and
+	// T2's nearest-slope selection and handicap bounds divide by slope
+	// differences that must stay well clear of Eps.
 	for i := 1; i < len(s); i++ {
-		if s[i] == s[i-1] {
-			return nil, fmt.Errorf("core: duplicate slope %g in S", s[i])
+		if s[i]-s[i-1] <= geom.Eps {
+			return nil, fmt.Errorf("core: slopes %g and %g in S are closer than the tolerance %g", s[i-1], s[i], geom.Eps)
 		}
 	}
 	for _, a := range s {
