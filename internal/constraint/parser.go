@@ -2,6 +2,7 @@ package constraint
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"unicode"
@@ -237,6 +238,14 @@ func ParseConstraints(s string, dim int) ([]geom.HalfSpace, error) {
 			a[i] = lhsCoef[i] - rhsCoef[i]
 		}
 		c := lhsC - rhsC
+		// Individual literals are range-checked by ParseFloat, but summing
+		// terms ("9e307x + 9e307x") can still overflow; a non-finite
+		// coefficient would poison every surface computation downstream.
+		for _, v := range append(append([]float64(nil), a...), c) {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				return nil, fmt.Errorf("constraint: non-finite coefficient %g after combining terms", v)
+			}
+		}
 		switch ct.text {
 		case "<=", "<":
 			out = append(out, geom.HalfSpace{A: a, C: c, Op: geom.LE})
@@ -279,15 +288,15 @@ func formatConstraint(h geom.HalfSpace) string {
 			continue
 		}
 		switch {
-		case !wrote && a == 1:
+		case !wrote && a == 1: //dualvet:allow floatcmp — formatting elides the coefficient only when it is exactly ±1
 			sb.WriteString(varName(i, dim))
-		case !wrote && a == -1:
+		case !wrote && a == -1: //dualvet:allow floatcmp — formatting elides the coefficient only when it is exactly ±1
 			sb.WriteString("-" + varName(i, dim))
 		case !wrote:
 			fmt.Fprintf(&sb, "%g%s", a, varName(i, dim))
-		case a == 1:
+		case a == 1: //dualvet:allow floatcmp — formatting elides the coefficient only when it is exactly ±1
 			sb.WriteString(" + " + varName(i, dim))
-		case a == -1:
+		case a == -1: //dualvet:allow floatcmp — formatting elides the coefficient only when it is exactly ±1
 			sb.WriteString(" - " + varName(i, dim))
 		case a > 0:
 			fmt.Fprintf(&sb, " + %g%s", a, varName(i, dim))
