@@ -26,7 +26,7 @@ type Entry struct {
 
 // Less reports whether e precedes o in composite order.
 func (e Entry) Less(o Entry) bool {
-	if e.Key != o.Key {
+	if e.Key != o.Key { //dualvet:allow floatcmp — tree order must be an exact total order over the stored key bits
 		return e.Key < o.Key
 	}
 	return e.TID < o.TID

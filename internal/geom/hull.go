@@ -14,7 +14,7 @@ func ConvexHull2(pts []Point) []Point {
 	ps := make([]Point, len(pts))
 	copy(ps, pts)
 	sort.Slice(ps, func(i, j int) bool {
-		if ps[i][0] != ps[j][0] {
+		if ps[i][0] != ps[j][0] { //dualvet:allow floatcmp — sort needs a strict weak order over the raw bits
 			return ps[i][0] < ps[j][0]
 		}
 		return ps[i][1] < ps[j][1]
