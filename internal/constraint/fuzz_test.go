@@ -1,0 +1,35 @@
+package constraint
+
+import (
+	"testing"
+)
+
+// FuzzParser throws arbitrary input at the tuple parser. It must never
+// panic, and every tuple it accepts must render through String() back into
+// text the parser accepts again, with the same number of constraints — the
+// persistence layer relies on that round trip.
+func FuzzParser(f *testing.F) {
+	f.Add("x <= 4, y >= 2", uint8(2))
+	f.Add("2x + 3y <= 4", uint8(2))
+	f.Add("x0 - 2 = 7", uint8(2))
+	f.Add("y = 2x + 1", uint8(2))
+	f.Add("x + y + z <= 1", uint8(3))
+	f.Add("-x < -0.5 && y > 1e3", uint8(2))
+	f.Add("3*x1 - x2 <= 5 and x2 >= 1", uint8(2))
+	f.Add("9e307x + 9e307x <= 0", uint8(1))
+	f.Fuzz(func(t *testing.T, s string, dimRaw uint8) {
+		dim := int(dimRaw)%4 + 1
+		tup, err := ParseTuple(s, dim)
+		if err != nil {
+			return
+		}
+		text := tup.String()
+		back, err := ParseTuple(text, dim)
+		if err != nil {
+			t.Fatalf("accepted %q but re-parsing its rendering %q failed: %v", s, text, err)
+		}
+		if got, want := len(back.Constraints()), len(tup.Constraints()); got != want {
+			t.Fatalf("round trip of %q via %q changed constraint count %d -> %d", s, text, want, got)
+		}
+	})
+}
