@@ -1,0 +1,251 @@
+// Command benchsnap measures the read-path benchmarks outside `go test`
+// and writes a machine-readable snapshot, so CI can archive per-PR
+// numbers and regressions show up as artifact diffs.
+//
+// Usage:
+//
+//	benchsnap                # full measurement, writes BENCH_pr3.json
+//	benchsnap -quick -o out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dualcdb/internal/btree"
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/core"
+	"dualcdb/internal/geom"
+	"dualcdb/internal/pagestore"
+)
+
+// Row is one benchmark measurement in the snapshot.
+type Row struct {
+	Name     string             `json:"name"`
+	NsOp     float64            `json:"ns_op"`
+	AllocsOp int64              `json:"allocs_op"`
+	BytesOp  int64              `json:"bytes_op"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pr3.json", "output file")
+	quick := flag.Bool("quick", false, "smaller trees (smoke run)")
+	flag.Parse()
+
+	n := 50000
+	coreN := 2000
+	if *quick {
+		n = 10000
+		coreN = 500
+	}
+
+	tmp, err := os.MkdirTemp("", "benchsnap")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	var rows []Row
+	add := func(name string, extra map[string]float64, r testing.BenchmarkResult) {
+		row := Row{
+			Name:     name,
+			NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+			Extra:    extra,
+		}
+		rows = append(rows, row)
+		fmt.Printf("%-28s %12.0f ns/op %8d allocs/op %10d B/op  %v\n",
+			name, row.NsOp, row.AllocsOp, row.BytesOp, extra)
+	}
+
+	// Warm leaf sweeps over a MemStore-backed tree: the decoded-node
+	// cache ablation.
+	for _, bc := range []struct {
+		name    string
+		noCache bool
+	}{{"SweepWarm", false}, {"SweepWarmNoCache", true}} {
+		tr := buildTree(pagestore.NewPool(pagestore.NewMemStore(1024), 1<<16), n, 0, bc.noCache)
+		add(bc.name, nil, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sweep(b, tr, float64(n)*0.9)
+			}
+		}))
+	}
+
+	// Cold file-backed sweeps: the readahead ablation.
+	for _, bc := range []struct {
+		name string
+		ra   int
+	}{{"SweepCold", 0}, {"SweepColdReadahead", 8}} {
+		store, err := pagestore.OpenFileStore(filepath.Join(tmp, bc.name+".db"), 1024)
+		if err != nil {
+			fatal(err)
+		}
+		pool := pagestore.NewPool(store, 1<<16)
+		tr := buildTree(pool, n, bc.ra, false)
+		pool.ResetStats()
+		var iters int
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := pool.EvictAll(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				sweep(b, tr, float64(n)*0.9)
+			}
+			iters += b.N
+		})
+		st := pool.Stats()
+		add(bc.name, map[string]float64{
+			"physical_reads_op":    float64(st.PhysicalReads) / float64(iters),
+			"readahead_batches_op": float64(st.ReadaheadBatches) / float64(iters),
+		}, res)
+		if err := store.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Cold T2 queries against a file-backed index: the end-to-end path.
+	for _, bc := range []struct {
+		name string
+		ra   int
+	}{{"QueryFileStore", 0}, {"QueryFileStoreReadahead", 8}} {
+		store, err := pagestore.OpenFileStore(filepath.Join(tmp, bc.name+".db"), 1024)
+		if err != nil {
+			fatal(err)
+		}
+		rng := rand.New(rand.NewSource(79))
+		rel := constraint.NewRelation(2)
+		for i := 0; i < coreN; i++ {
+			if _, err := rel.Insert(randTuple(rng)); err != nil {
+				fatal(err)
+			}
+		}
+		ix, err := core.Build(rel, core.Options{
+			Slopes:    core.EquiangularSlopes(3),
+			Technique: core.T2,
+			Store:     store,
+			PoolPages: 1 << 14,
+			Readahead: bc.ra,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		queries := make([]constraint.Query, 64)
+		for i := range queries {
+			queries[i] = randQuery(rng)
+		}
+		var pages uint64
+		var iters int
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := ix.Pool().EvictAll(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				r, err := ix.Query(queries[i%len(queries)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				pages += r.Stats.PagesRead
+			}
+			iters += b.N
+		})
+		add(bc.name, map[string]float64{
+			"physical_reads_op": float64(pages) / float64(iters),
+		}, res)
+		if err := store.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rows))
+}
+
+// buildTree bulk-loads n sequential entries into a fresh tree.
+func buildTree(pool *pagestore.Pool, n, readahead int, noCache bool) *btree.Tree {
+	tr, err := btree.New(pool, btree.Config{Readahead: readahead, NoDecodeCache: noCache})
+	if err != nil {
+		fatal(err)
+	}
+	entries := make([]btree.Entry, n)
+	for i := range entries {
+		entries[i] = btree.Entry{Key: float64(i), TID: uint32(i + 1)}
+	}
+	if err := tr.BulkLoad(entries); err != nil {
+		fatal(err)
+	}
+	if _, err := tr.ScanAll(); err != nil { // prime pool + decode cache
+		fatal(err)
+	}
+	return tr
+}
+
+// sweep visits the tail of the key space, counting entries.
+func sweep(b *testing.B, tr *btree.Tree, from float64) {
+	count := 0
+	err := tr.VisitLeavesAsc(from, func(lv btree.LeafView) bool {
+		count += len(lv.Entries)
+		return true
+	})
+	if err != nil || count == 0 {
+		b.Fatalf("count=%d err=%v", count, err)
+	}
+}
+
+// randTuple builds a random bounded convex tuple (mirrors the core
+// package's benchmark workload).
+func randTuple(rng *rand.Rand) *constraint.Tuple {
+	cx, cy := rng.Float64()*100-50, rng.Float64()*100-50
+	r := rng.Float64()*8 + 0.3
+	m := 3 + rng.Intn(4)
+	hs := make([]geom.HalfSpace, 0, m)
+	for i := 0; i < m; i++ {
+		ang := (float64(i) + rng.Float64()*0.3 + 0.35) * 2 * math.Pi / float64(m)
+		nx, ny := math.Cos(ang), math.Sin(ang)
+		hs = append(hs, geom.HalfSpace{A: []float64{nx, ny}, C: -(nx*cx + ny*cy + r), Op: geom.LE})
+	}
+	t, err := constraint.NewTuple(2, hs)
+	if err != nil {
+		fatal(err)
+	}
+	return t
+}
+
+func randQuery(rng *rand.Rand) constraint.Query {
+	kind := constraint.EXIST
+	if rng.Intn(2) == 0 {
+		kind = constraint.ALL
+	}
+	op := geom.GE
+	if rng.Intn(2) == 0 {
+		op = geom.LE
+	}
+	ang := (rng.Float64() - 0.5) * (math.Pi - 0.2)
+	return constraint.Query2(kind, math.Tan(ang), rng.Float64()*160-80, op)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+	os.Exit(1)
+}

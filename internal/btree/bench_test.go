@@ -108,6 +108,93 @@ func BenchmarkSweepAscend(b *testing.B) {
 	}
 }
 
+// benchSweepWarm sweeps the last 10% of a 50000-entry tree out of a warm
+// pool, with or without the decoded-node cache. The Warm/WarmNoCache pair
+// is the allocs/op acceptance comparison for the read-path overhaul.
+func benchSweepWarm(b *testing.B, noCache bool) {
+	pool := pagestore.NewPool(pagestore.NewMemStore(1024), 1<<16)
+	tr, err := New(pool, Config{NoDecodeCache: noCache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 50000
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Key: float64(i), TID: uint32(i + 1)}
+	}
+	if err := tr.BulkLoad(entries); err != nil {
+		b.Fatal(err)
+	}
+	// Prime pool and cache so the loop measures the steady state.
+	if _, err := tr.ScanAll(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		err := tr.VisitLeavesAsc(float64(n)*0.9, func(lv LeafView) bool {
+			count += len(lv.Entries)
+			return true
+		})
+		if err != nil || count == 0 {
+			b.Fatalf("count=%d err=%v", count, err)
+		}
+	}
+}
+
+func BenchmarkSweepWarm(b *testing.B)        { benchSweepWarm(b, false) }
+func BenchmarkSweepWarmNoCache(b *testing.B) { benchSweepWarm(b, true) }
+
+// benchSweepCold sweeps a file-backed tree whose pool is evicted before
+// every iteration, so each sweep pays the full physical read cost. The
+// readahead variant batches sibling fetches; PhysicalReads stays equal.
+func benchSweepCold(b *testing.B, readahead int) {
+	store, err := pagestore.OpenFileStore(b.TempDir()+"/bench.db", 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	pool := pagestore.NewPool(store, 1<<16)
+	tr, err := New(pool, Config{Readahead: readahead})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 50000
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Key: float64(i), TID: uint32(i + 1)}
+	}
+	if err := tr.BulkLoad(entries); err != nil {
+		b.Fatal(err)
+	}
+	pool.ResetStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := pool.EvictAll(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		count := 0
+		err := tr.VisitLeavesAsc(float64(n)*0.9, func(lv LeafView) bool {
+			count += len(lv.Entries)
+			return true
+		})
+		if err != nil || count == 0 {
+			b.Fatalf("count=%d err=%v", count, err)
+		}
+	}
+	b.StopTimer()
+	st := pool.Stats()
+	b.ReportMetric(float64(st.PhysicalReads)/float64(b.N), "physreads/op")
+	b.ReportMetric(float64(st.ReadaheadBatches)/float64(b.N), "rabatches/op")
+}
+
+func BenchmarkSweepCold(b *testing.B)          { benchSweepCold(b, 0) }
+func BenchmarkSweepColdReadahead(b *testing.B) { benchSweepCold(b, 8) }
+
 func BenchmarkMergeHandicap(b *testing.B) {
 	tr := benchTree(b, []SlotKind{MinSlot, MinSlot, MaxSlot, MaxSlot})
 	const n = 20000

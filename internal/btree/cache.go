@@ -1,0 +1,159 @@
+package btree
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dualcdb/internal/pagestore"
+)
+
+// DecodeStats counts decoded-node cache traffic.
+type DecodeStats struct {
+	Hits          uint64 // lookups served from a current decode
+	Misses        uint64 // lookups for pages never decoded (or evicted)
+	Invalidations uint64 // lookups that found a stale decode and refreshed it
+	Evictions     uint64 // decodes dropped by the cache's capacity bound
+}
+
+// Add accumulates other into s (for summing stats across trees).
+func (s *DecodeStats) Add(o DecodeStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Invalidations += o.Invalidations
+	s.Evictions += o.Evictions
+}
+
+// decodedNode is the parsed form of one page: the slices that node.entries
+// and node.handicaps would otherwise re-allocate on every visit, or an
+// internal node's separators and child pointers. It is immutable once
+// published and shared by concurrent sweeps; consumers must not modify it.
+type decodedNode struct {
+	version uint64
+	leaf    bool
+
+	// Leaf form.
+	entries   []Entry
+	handicaps []float64
+	next      pagestore.PageID
+	prev      pagestore.PageID
+
+	// Internal form.
+	seps     []Entry
+	children []pagestore.PageID
+}
+
+// childIndex mirrors node.childIndex over the decoded separators.
+func (d *decodedNode) childIndex(e Entry) int {
+	lo, hi := 0, len(d.seps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.Less(d.seps[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+const defaultDecodeCacheNodes = 4096
+
+// nodeCache caches decoded pages per tree, keyed by PageID and validated
+// against the frame's version stamp (see pagestore.Frame.Version): a
+// cached decode is served only while the pinned frame still reports the
+// version the decode was taken under, so a page mutated through MarkDirty
+// — or freed and reallocated — can never satisfy a lookup with stale
+// contents. Capacity is bounded by FIFO eviction; the hot inner nodes that
+// every descent touches are re-decoded at worst once per round trip
+// through the FIFO, which is already far off the hot path.
+type nodeCache struct {
+	mu   sync.RWMutex
+	m    map[pagestore.PageID]*decodedNode
+	fifo []pagestore.PageID // insertion order; live entries are at [head:]
+	head int
+	cap  int
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+	evictions     atomic.Uint64
+}
+
+func newNodeCache(capacity int) *nodeCache {
+	if capacity <= 0 {
+		capacity = defaultDecodeCacheNodes
+	}
+	return &nodeCache{m: make(map[pagestore.PageID]*decodedNode), cap: capacity}
+}
+
+// lookup returns the decoded form of the pinned node n, decoding and
+// caching it when absent or stale.
+func (c *nodeCache) lookup(n node) *decodedNode {
+	v := n.frame.Version()
+	id := n.id()
+	c.mu.RLock()
+	d := c.m[id]
+	c.mu.RUnlock()
+	if d != nil {
+		if d.version == v {
+			c.hits.Add(1)
+			return d
+		}
+		c.invalidations.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	d = decodeNode(n, v)
+	c.mu.Lock()
+	if _, ok := c.m[id]; !ok {
+		// New id: make room first. Ids are appended only when absent from
+		// the map and removed only by this loop, so each id has at most
+		// one live fifo slot.
+		for len(c.m) >= c.cap && c.head < len(c.fifo) {
+			victim := c.fifo[c.head]
+			c.head++
+			if _, live := c.m[victim]; live {
+				delete(c.m, victim)
+				c.evictions.Add(1)
+			}
+		}
+		if c.head > 64 && c.head > len(c.fifo)/2 {
+			c.fifo = append(c.fifo[:0], c.fifo[c.head:]...)
+			c.head = 0
+		}
+		c.fifo = append(c.fifo, id)
+	}
+	c.m[id] = d
+	c.mu.Unlock()
+	return d
+}
+
+func (c *nodeCache) stats() DecodeStats {
+	return DecodeStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+		Evictions:     c.evictions.Load(),
+	}
+}
+
+// decodeNode parses the node's page bytes under the given version stamp.
+func decodeNode(n node, version uint64) *decodedNode {
+	d := &decodedNode{version: version, leaf: n.isLeaf()}
+	if d.leaf {
+		d.entries = n.entries()
+		d.handicaps = n.handicaps()
+		d.next = n.next()
+		d.prev = n.prev()
+		return d
+	}
+	c := n.count()
+	d.seps = make([]Entry, c)
+	d.children = make([]pagestore.PageID, c+1)
+	d.children[0] = n.child(0)
+	for i := 0; i < c; i++ {
+		d.seps[i] = n.sep(i)
+		d.children[i+1] = n.child(i + 1)
+	}
+	return d
+}

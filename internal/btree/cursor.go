@@ -1,6 +1,7 @@
 package btree
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -8,11 +9,59 @@ import (
 )
 
 // LeafView is the read-only snapshot of one leaf handed to sweep callbacks:
-// its entries in key order and its handicap slot values.
+// its entries in key order and its handicap slot values. The slices may be
+// shared with the tree's decoded-node cache and with concurrent sweeps;
+// callers must not modify them or retain them past the callback.
 type LeafView struct {
 	Page      pagestore.PageID
 	Entries   []Entry
 	Handicaps []float64
+}
+
+// leafState snapshots a pinned leaf for a sweep: its view plus both chain
+// links, through the decoded-node cache when enabled.
+func (t *Tree) leafState(leaf node) (lv LeafView, next, prev pagestore.PageID) {
+	if t.cache != nil {
+		d := t.cache.lookup(leaf)
+		return LeafView{Page: leaf.id(), Entries: d.entries, Handicaps: d.handicaps}, d.next, d.prev
+	}
+	return LeafView{Page: leaf.id(), Entries: leaf.entries(), Handicaps: leaf.handicaps()},
+		leaf.next(), leaf.prev()
+}
+
+// chainNextAsc and chainNextDesc extract a leaf's forward link from its
+// raw page image for pool chain readahead; anything that is not a leaf
+// page ends the chain.
+func chainNextAsc(page []byte) pagestore.PageID {
+	if len(page) < headerSize || page[0] != typeLeaf {
+		return pagestore.InvalidPage
+	}
+	return pagestore.PageID(binary.LittleEndian.Uint32(page[4:8]))
+}
+
+func chainNextDesc(page []byte) pagestore.PageID {
+	if len(page) < headerSize || page[0] != typeLeaf {
+		return pagestore.InvalidPage
+	}
+	return pagestore.PageID(binary.LittleEndian.Uint32(page[8:12]))
+}
+
+// nextLeafTracked pins the sweep's next leaf. With Config.Readahead > 1
+// the pool speculatively batch-reads the upcoming sibling run in the sweep
+// direction (dir = +1 ascending, −1 descending).
+func (t *Tree) nextLeafTracked(id pagestore.PageID, dir int, rc *pagestore.ReadCounter) (node, error) {
+	if t.cfg.Readahead > 1 {
+		next := chainNextAsc
+		if dir < 0 {
+			next = chainNextDesc
+		}
+		f, err := t.pool.GetChainTracked(id, t.cfg.Readahead, dir, next, rc)
+		if err != nil {
+			return node{}, err
+		}
+		return wrap(f), nil
+	}
+	return t.getTracked(id, rc)
 }
 
 // VisitLeavesAsc visits leaves in ascending key order starting at the leaf
@@ -32,13 +81,12 @@ func (t *Tree) VisitLeavesAscTracked(from float64, rc *pagestore.ReadCounter, vi
 		return err
 	}
 	for {
-		lv := LeafView{Page: leaf.id(), Entries: leaf.entries(), Handicaps: leaf.handicaps()}
-		next := leaf.next()
+		lv, next, _ := t.leafState(leaf)
 		leaf.release()
 		if !visit(lv) || next == pagestore.InvalidPage {
 			return nil
 		}
-		if leaf, err = t.getTracked(next, rc); err != nil {
+		if leaf, err = t.nextLeafTracked(next, +1, rc); err != nil {
 			return err
 		}
 	}
@@ -58,13 +106,12 @@ func (t *Tree) VisitLeavesDescTracked(from float64, rc *pagestore.ReadCounter, v
 		return err
 	}
 	for {
-		lv := LeafView{Page: leaf.id(), Entries: leaf.entries(), Handicaps: leaf.handicaps()}
-		prev := leaf.prev()
+		lv, _, prev := t.leafState(leaf)
 		leaf.release()
 		if !visit(lv) || prev == pagestore.InvalidPage {
 			return nil
 		}
-		if leaf, err = t.getTracked(prev, rc); err != nil {
+		if leaf, err = t.nextLeafTracked(prev, -1, rc); err != nil {
 			return err
 		}
 	}

@@ -16,6 +16,20 @@ type Config struct {
 	// FillFactor is the target leaf occupancy for bulk loading, in (0, 1];
 	// the default is 0.9.
 	FillFactor float64
+	// NoDecodeCache disables the decoded-node cache, so every visit
+	// re-parses page bytes into fresh slices (the historical behavior;
+	// useful as a benchmark baseline).
+	NoDecodeCache bool
+	// DecodeCacheNodes bounds the number of decoded nodes kept per tree;
+	// ≤ 0 selects the default 4096.
+	DecodeCacheNodes int
+	// Readahead is the number of sibling leaves fetched per vectored chain
+	// read during leaf sweeps (including the demanded one); values ≤ 1
+	// disable readahead (the default). Enabling it changes when pages are
+	// read, not how many distinct pages a full sweep touches, but
+	// early-terminated sweeps may prefetch pages they never visit — keep
+	// it off when reproducing the paper's exact per-query I/O counts.
+	Readahead int
 }
 
 // Tree is a disk-based B⁺-tree over (float64, uint32) composite keys.
@@ -30,6 +44,10 @@ type Tree struct {
 	// pendingFree holds pages emptied by merges; they are still pinned when
 	// the merge runs, so Delete frees them after the recursion unwinds.
 	pendingFree []pagestore.PageID
+
+	// cache holds decoded pages, validated against frame version stamps;
+	// nil when Config.NoDecodeCache is set.
+	cache *nodeCache
 
 	leafCap int
 	intCap  int
@@ -50,6 +68,9 @@ func New(pool *pagestore.Pool, cfg Config) (*Tree, error) {
 		cfg.FillFactor = 0.9
 	}
 	t := &Tree{pool: pool, cfg: cfg}
+	if !cfg.NoDecodeCache {
+		t.cache = newNodeCache(cfg.DecodeCacheNodes)
+	}
 	ps := pool.PageSize()
 	t.leafCap = (ps - headerSize - 8*len(cfg.HandicapKinds)) / entrySize
 	t.intCap = (ps - headerSize - 4) / intRecSize
@@ -109,6 +130,9 @@ func Restore(pool *pagestore.Pool, cfg Config, m Meta) (*Tree, error) {
 		return nil, fmt.Errorf("btree: invalid metadata %+v", m)
 	}
 	t := &Tree{pool: pool, cfg: cfg, root: m.Root, hgt: m.Height, size: m.Size, pages: m.Pages}
+	if !cfg.NoDecodeCache {
+		t.cache = newNodeCache(cfg.DecodeCacheNodes)
+	}
 	ps := pool.PageSize()
 	t.leafCap = (ps - headerSize - 8*len(cfg.HandicapKinds)) / entrySize
 	t.intCap = (ps - headerSize - 4) / intRecSize
@@ -180,19 +204,36 @@ func (t *Tree) findLeaf(e Entry) (node, error) {
 }
 
 // findLeafTracked is findLeaf with the descent's page reads charged to rc.
+// Internal nodes are routed through the decoded-node cache when enabled,
+// so repeated descents stop re-parsing separator bytes.
 func (t *Tree) findLeafTracked(e Entry, rc *pagestore.ReadCounter) (node, error) {
 	n, err := t.getTracked(t.root, rc)
 	if err != nil {
 		return node{}, err
 	}
 	for !n.isLeaf() {
-		child := n.child(n.childIndex(e))
+		var child pagestore.PageID
+		if t.cache != nil {
+			d := t.cache.lookup(n)
+			child = d.children[d.childIndex(e)]
+		} else {
+			child = n.child(n.childIndex(e))
+		}
 		n.release()
 		if n, err = t.getTracked(child, rc); err != nil {
 			return node{}, err
 		}
 	}
 	return n, nil
+}
+
+// DecodeCacheStats returns the decoded-node cache counters (zero when the
+// cache is disabled).
+func (t *Tree) DecodeCacheStats() DecodeStats {
+	if t.cache == nil {
+		return DecodeStats{}
+	}
+	return t.cache.stats()
 }
 
 // Contains reports whether the exact entry (key, tid) is present.

@@ -61,7 +61,11 @@ func New(rel *constraint.Relation, opt Options) (*Index, error) {
 		if store == nil {
 			store = pagestore.NewMemStore(opt.PageSize)
 		}
-		pool = pagestore.NewShardedPool(store, opt.PoolPages, opt.PoolShards)
+		pool = pagestore.NewPoolWithOptions(store, pagestore.PoolOptions{
+			Capacity: opt.PoolPages,
+			Shards:   opt.PoolShards,
+			PlainLRU: opt.PlainLRU,
+		})
 	}
 	ix := &Index{
 		rel:     rel,
@@ -81,7 +85,7 @@ func New(rel *constraint.Relation, opt Options) (*Index, error) {
 		f.Release()
 	}
 	kinds := []btree.SlotKind{btree.MinSlot, btree.MinSlot, btree.MaxSlot, btree.MaxSlot}
-	cfg := btree.Config{HandicapKinds: kinds, FillFactor: opt.FillFactor}
+	cfg := opt.treeConfig(kinds)
 	for range slopes {
 		u, err := btree.New(pool, cfg)
 		if err != nil {
@@ -429,6 +433,24 @@ func (ix *Index) Pages() int {
 
 // Pool exposes the buffer pool (for I/O accounting in experiments).
 func (ix *Index) Pool() *pagestore.Pool { return ix.pool }
+
+// DecodeCacheStats sums the decoded-node cache counters over every tree of
+// the index (the vertical pair included) — the observability hook for the
+// read-path cache layer.
+func (ix *Index) DecodeCacheStats() btree.DecodeStats {
+	var s btree.DecodeStats
+	for _, t := range ix.up {
+		s.Add(t.DecodeCacheStats())
+	}
+	for _, t := range ix.down {
+		s.Add(t.DecodeCacheStats())
+	}
+	if ix.vup != nil {
+		s.Add(ix.vup.DecodeCacheStats())
+		s.Add(ix.vdown.DecodeCacheStats())
+	}
+	return s
+}
 
 // Slopes returns the sorted slope set S.
 func (ix *Index) Slopes() []float64 { return append([]float64(nil), ix.slopes...) }

@@ -26,6 +26,7 @@ import (
 	"math"
 	"sort"
 
+	"dualcdb/internal/btree"
 	"dualcdb/internal/geom"
 	"dualcdb/internal/pagestore"
 )
@@ -107,6 +108,29 @@ type Options struct {
 	// this many deletions (conservative drift otherwise only costs I/O,
 	// never correctness). 0 disables automatic rebuilds.
 	RebuildHandicapsEvery int
+	// PlainLRU restores the historical single-list LRU eviction in the
+	// buffer pool instead of the scan-resistant midpoint LRU (useful as a
+	// comparison baseline). Ignored when Pool is set.
+	PlainLRU bool
+	// NoDecodeCache disables the per-tree decoded-node cache, so every
+	// leaf visit re-parses page bytes into fresh slices.
+	NoDecodeCache bool
+	// Readahead is the leaf-sweep readahead window: the number of sibling
+	// leaves fetched per vectored batch read; ≤ 1 disables readahead (the
+	// default, which keeps per-query PagesRead exactly the paper's page
+	// accesses even for early-terminated sweeps).
+	Readahead int
+}
+
+// treeConfig is the btree configuration every tree of the index shares,
+// with the given handicap slots.
+func (o *Options) treeConfig(kinds []btree.SlotKind) btree.Config {
+	return btree.Config{
+		HandicapKinds: kinds,
+		FillFactor:    o.FillFactor,
+		NoDecodeCache: o.NoDecodeCache,
+		Readahead:     o.Readahead,
+	}
 }
 
 // normalize validates the options and fills defaults, returning the sorted

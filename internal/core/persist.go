@@ -180,7 +180,7 @@ func Open(pool *pagestore.Pool) (*constraint.Relation, *Index, error) {
 	}
 	ix.dataPages = chainPages
 	kinds := []btree.SlotKind{btree.MinSlot, btree.MinSlot, btree.MaxSlot, btree.MaxSlot}
-	cfg := btree.Config{HandicapKinds: kinds, FillFactor: opt.FillFactor}
+	cfg := opt.treeConfig(kinds)
 	for i := 0; i < k; i++ {
 		u, err := btree.Restore(pool, cfg, metas[2*i])
 		if err != nil {
@@ -194,7 +194,7 @@ func Open(pool *pagestore.Pool) (*constraint.Relation, *Index, error) {
 		ix.down = append(ix.down, dn)
 	}
 	if hasVertical {
-		vcfg := btree.Config{FillFactor: opt.FillFactor}
+		vcfg := opt.treeConfig(nil)
 		if ix.vup, err = btree.Restore(pool, vcfg, metas[2*k]); err != nil {
 			return nil, nil, fmt.Errorf("core: restore V^up: %w", err)
 		}

@@ -143,12 +143,18 @@ func (ix *Index) tree(i int, q constraint.Query) *btree.Tree {
 // slope is exactly S[i]: one search plus a one-directional leaf sweep.
 // Candidates are appended to cands (which may carry pooled capacity); page
 // reads are charged to rc.
+//
+// Boundary semantics: candidate filters tolerate ±geom.Eps around the
+// intercept (matching the Eps-tolerant refinement predicate), and the
+// sweep therefore also *starts* one tolerance before b — a key within Eps
+// of b can be stored in the leaf preceding the one that owns b, and a
+// sweep starting at b would never visit it.
 func (ix *Index) collectRestricted(i int, q constraint.Query, st *QueryStats, rc *pagestore.ReadCounter, cands []uint32) ([]uint32, error) {
 	tr := ix.tree(i, q)
 	b := q.Intercept
 	var err error
 	if q.SweepsUp() {
-		err = tr.VisitLeavesAscTracked(b, rc, func(lv btree.LeafView) bool {
+		err = tr.VisitLeavesAscTracked(b-geom.Eps, rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			for _, e := range lv.Entries {
 				if e.Key >= b-geom.Eps {
@@ -158,7 +164,7 @@ func (ix *Index) collectRestricted(i int, q constraint.Query, st *QueryStats, rc
 			return true
 		})
 	} else {
-		err = tr.VisitLeavesDescTracked(b, rc, func(lv btree.LeafView) bool {
+		err = tr.VisitLeavesDescTracked(b+geom.Eps, rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			for _, e := range lv.Entries {
 				if e.Key <= b+geom.Eps {
@@ -310,16 +316,18 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 		if right {
 			slot = slotLowNext
 		}
-		// First sweep: upward from the query intercept, collecting every
-		// key ≥ b and tracking the lowest handicap of the visited leaves.
+		// First sweep: upward from one tolerance below the query intercept
+		// (the same Eps-tolerant boundary convention as collectRestricted),
+		// collecting every key ≥ b−Eps and tracking the lowest handicap of
+		// the visited leaves.
 		low := math.Inf(1)
-		err := tr.VisitLeavesAscTracked(b, ec.rc, func(lv btree.LeafView) bool {
+		err := tr.VisitLeavesAscTracked(b-geom.Eps, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			if h := lv.Handicaps[slot]; h < low {
 				low = h
 			}
 			for _, e := range lv.Entries {
-				if e.Key >= b {
+				if e.Key >= b-geom.Eps {
 					cands = append(cands, e.TID)
 				}
 			}
@@ -328,17 +336,18 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		// Second sweep: downward from b to low(q); keys in [low, b) — a
-		// set disjoint from the first sweep, so no duplicates arise.
-		if low < b {
+		// Second sweep: downward from b to low(q); keys in [low, b−Eps) —
+		// the exact complement of the first sweep's filter, so the two
+		// sweeps stay disjoint and no duplicates arise.
+		if low < b-geom.Eps {
 			err = tr.VisitLeavesDescTracked(b, ec.rc, func(lv btree.LeafView) bool {
 				st.LeavesSwept++
 				done := false
 				for _, e := range lv.Entries {
-					if e.Key >= b {
+					if e.Key >= b-geom.Eps {
 						continue
 					}
-					if e.Key < low {
+					if e.Key < low-geom.Eps {
 						done = true
 						continue
 					}
@@ -356,13 +365,13 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 			slot = slotHighNext
 		}
 		high := math.Inf(-1)
-		err := tr.VisitLeavesDescTracked(b, ec.rc, func(lv btree.LeafView) bool {
+		err := tr.VisitLeavesDescTracked(b+geom.Eps, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			if h := lv.Handicaps[slot]; h > high {
 				high = h
 			}
 			for _, e := range lv.Entries {
-				if e.Key <= b {
+				if e.Key <= b+geom.Eps {
 					cands = append(cands, e.TID)
 				}
 			}
@@ -371,15 +380,15 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		if high > b {
+		if high > b+geom.Eps {
 			err = tr.VisitLeavesAscTracked(b, ec.rc, func(lv btree.LeafView) bool {
 				st.LeavesSwept++
 				done := false
 				for _, e := range lv.Entries {
-					if e.Key <= b {
+					if e.Key <= b+geom.Eps {
 						continue
 					}
-					if e.Key > high {
+					if e.Key > high+geom.Eps {
 						done = true
 						continue
 					}

@@ -16,7 +16,6 @@ import (
 // index (sharing its technique and statistics) and the refined
 // intersection is exact.
 func (ix *Index) QueryLine(a, b float64) (Result, error) {
-	before := ix.pool.Stats().PhysicalReads
 	upper, err := ix.Query(constraint.Query2(constraint.EXIST, a, b, geom.GE))
 	if err != nil {
 		return Result{}, err
@@ -43,7 +42,11 @@ func (ix *Index) QueryLine(a, b float64) (Result, error) {
 		FalseHits:   upper.Stats.FalseHits + lower.Stats.FalseHits,
 		Duplicates:  upper.Stats.Duplicates + lower.Stats.Duplicates,
 		LeavesSwept: upper.Stats.LeavesSwept + lower.Stats.LeavesSwept,
-		PagesRead:   ix.pool.Stats().PhysicalReads - before,
+		// Each sub-query's PagesRead is already its exact per-query
+		// ReadCounter attribution, so the sum stays exact under
+		// concurrency (no pool-stats delta that would absorb other
+		// queries' misses).
+		PagesRead: upper.Stats.PagesRead + lower.Stats.PagesRead,
 	}
 	return Result{IDs: ids, Stats: st}, nil
 }

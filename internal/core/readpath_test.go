@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/geom"
+)
+
+// pointTuple builds the degenerate tuple {(px, py)}.
+func pointTuple(px, py float64) *constraint.Tuple {
+	t, err := constraint.NewTuple(2, []geom.HalfSpace{
+		{A: []float64{1, 0}, C: -px, Op: geom.LE},
+		{A: []float64{-1, 0}, C: px, Op: geom.LE},
+		{A: []float64{0, 1}, C: -py, Op: geom.LE},
+		{A: []float64{0, -1}, C: py, Op: geom.LE},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TestBoundaryKeysSpanningLeaves pins the sweep/filter boundary agreement:
+// the refinement predicates accept keys within geom.Eps of the query
+// intercept b, so the sweeps must start one tolerance before b — keys that
+// are within Eps of b can fill whole leaves *before* the leaf that owns b
+// itself, and a sweep that starts exactly at b never visits them. With a
+// tiny page size the b−δ keys span many leaves, so this fails loudly
+// against the historical behaviour of starting the sweep at b.
+func TestBoundaryKeysSpanningLeaves(t *testing.T) {
+	const b = 10.0
+	const delta = 5e-10 // < geom.Eps, so b−δ and b+δ both match the filters
+
+	for _, dir := range []struct {
+		name string
+		y    float64 // packed boundary cluster, many leaves of equal keys
+	}{
+		{"asc-cluster-below-b", b - delta},
+		{"desc-cluster-above-b", b + delta},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			rel := constraint.NewRelation(2)
+			// 150 boundary points: with PageSize 256 their TOP/BOT keys
+			// occupy several leaves on their own.
+			for i := 0; i < 150; i++ {
+				if _, err := rel.Insert(pointTuple(float64(i-75), dir.y)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Interior points on both sides of the boundary so each sweep
+			// direction has leaves beyond the cluster.
+			for i := 0; i < 30; i++ {
+				if _, err := rel.Insert(pointTuple(float64(i), b+2+float64(i))); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := rel.Insert(pointTuple(float64(i), b-2-float64(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ix, err := Build(rel, Options{
+				Slopes:    []float64{-1, 0, 1},
+				Technique: T2,
+				PageSize:  256,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries := []constraint.Query{
+				// Restricted path, slope 0 ∈ S: TOP/BOT of a point (x, y)
+				// at slope 0 is y, so the cluster keys sit exactly δ away
+				// from the intercept.
+				constraint.Query2(constraint.EXIST, 0, b, geom.GE), // asc sweep in B^up
+				constraint.Query2(constraint.ALL, 0, b, geom.LE),   // desc sweep in B^up
+				constraint.Query2(constraint.ALL, 0, b, geom.GE),   // asc sweep in B^down
+				constraint.Query2(constraint.EXIST, 0, b, geom.LE), // desc sweep in B^down
+				// T2 handicap path (slope outside S, inside the strips).
+				constraint.Query2(constraint.EXIST, 0.01, b, geom.GE),
+				constraint.Query2(constraint.ALL, -0.01, b, geom.LE),
+			}
+			for _, q := range queries {
+				want, err := q.Eval(rel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := ix.Query(q)
+				if err != nil {
+					t.Fatalf("%v: %v", q, err)
+				}
+				if got.Stats.Path == "scan" {
+					t.Fatalf("%v: unexpectedly fell back to scan", q)
+				}
+				if !sameIDs(got.IDs, want) {
+					t.Fatalf("%v [path %s]: got %d ids, want %d (boundary keys missed)",
+						q, got.Stats.Path, len(got.IDs), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentPagesReadAttribution: QueryLine and QueryVertical report
+// per-query PagesRead from their own ReadCounter, so under concurrency
+// (a) the per-query numbers never exceed the query's serial cold cost, and
+// (b) they partition the pool's physical reads exactly. The historical
+// pool-stats delta failed both — concurrent queries absorbed each other's
+// misses.
+func TestConcurrentPagesReadAttribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	rel, ix := buildRandomIndex(t, rng, 300, Options{
+		Slopes:        EquiangularSlopes(3),
+		Technique:     T2,
+		PoolPages:     1 << 14,
+		PoolShards:    8,
+		IndexVertical: true,
+	}, true)
+
+	type workload struct {
+		line bool
+		a, b float64 // line params
+		kind constraint.QueryKind
+		op   geom.Op
+		c    float64 // vertical intercept
+	}
+	cases := []workload{
+		{line: true, a: 0.3, b: 4},
+		{line: true, a: -1.7, b: -12},
+		{kind: constraint.EXIST, op: geom.GE, c: 3},
+		{kind: constraint.ALL, op: geom.LE, c: 25},
+	}
+	run := func(w workload) (Result, error) {
+		if w.line {
+			return ix.QueryLine(w.a, w.b)
+		}
+		return ix.QueryVertical(w.kind, w.op, w.c)
+	}
+
+	// Serial cold baselines (and ground truth).
+	wantIDs := make([][]constraint.TupleID, len(cases))
+	serial := make([]uint64, len(cases))
+	for i, w := range cases {
+		if err := ix.Pool().EvictAll(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.PagesRead == 0 {
+			t.Fatalf("case %d: serial cold run read no pages", i)
+		}
+		var truth []constraint.TupleID
+		if w.line {
+			truth, err = EvalLine(w.a, w.b, rel)
+		} else {
+			truth, err = EvalVertical(w.kind, w.op, w.c, rel)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(res.IDs, truth) {
+			t.Fatalf("case %d: wrong answer", i)
+		}
+		wantIDs[i] = truth
+		serial[i] = res.Stats.PagesRead
+	}
+
+	if err := ix.Pool().EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	ix.Pool().ResetStats()
+
+	const workers = 8
+	const iters = 12
+	var wg sync.WaitGroup
+	attributed := make([]uint64, workers)
+	errs := make(chan error, workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				ci := (wkr + it) % len(cases)
+				res, err := run(cases[ci])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !sameIDs(res.IDs, wantIDs[ci]) {
+					errs <- errMismatch
+					return
+				}
+				if res.Stats.PagesRead > serial[ci] {
+					t.Errorf("case %d: concurrent PagesRead %d exceeds serial cold %d (foreign misses attributed)",
+						ci, res.Stats.PagesRead, serial[ci])
+				}
+				attributed[wkr] += res.Stats.PagesRead
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, a := range attributed {
+		sum += a
+	}
+	if misses := ix.Pool().Stats().PhysicalReads; sum != misses {
+		t.Fatalf("attributed PagesRead sum = %d, pool PhysicalReads = %d (attribution not exact)", sum, misses)
+	}
+}

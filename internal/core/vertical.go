@@ -8,6 +8,7 @@ import (
 	"dualcdb/internal/btree"
 	"dualcdb/internal/constraint"
 	"dualcdb/internal/geom"
+	"dualcdb/internal/pagestore"
 )
 
 // Vertical half-planes x θ c fall outside the dual transform (footnote 4:
@@ -32,7 +33,7 @@ func (ix *Index) ensureVerticalTrees() error {
 	if ix.vup != nil {
 		return nil
 	}
-	cfg := btree.Config{FillFactor: ix.opt.FillFactor}
+	cfg := ix.opt.treeConfig(nil)
 	var err error
 	if ix.vup, err = btree.New(ix.pool, cfg); err != nil {
 		return err
@@ -77,7 +78,6 @@ func (ix *Index) QueryVertical(kind constraint.QueryKind, op geom.Op, c float64)
 	if math.IsNaN(c) || math.IsInf(c, 0) {
 		return Result{}, fmt.Errorf("core: invalid vertical intercept %v", c)
 	}
-	before := ix.pool.Stats().PhysicalReads
 	if ix.vup == nil {
 		ids, err := EvalVertical(kind, op, c, ix.rel)
 		if err != nil {
@@ -94,10 +94,15 @@ func (ix *Index) QueryVertical(kind constraint.QueryKind, op geom.Op, c float64)
 	if useUp {
 		tr = ix.vup
 	}
+	// rc gives this query exact PagesRead attribution under concurrency;
+	// the sweeps start one tolerance below/above c so that boundary keys
+	// within Eps of c are reached even when they live in an earlier leaf
+	// than the one owning c (the same convention as collectRestricted).
+	rc := &pagestore.ReadCounter{}
 	var cands []uint32
 	var err error
 	if op == geom.GE {
-		err = tr.VisitLeavesAsc(c, func(lv btree.LeafView) bool {
+		err = tr.VisitLeavesAscTracked(c-geom.Eps, rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			for _, e := range lv.Entries {
 				if e.Key >= c-geom.Eps {
@@ -107,7 +112,7 @@ func (ix *Index) QueryVertical(kind constraint.QueryKind, op geom.Op, c float64)
 			return true
 		})
 	} else {
-		err = tr.VisitLeavesDesc(c, func(lv btree.LeafView) bool {
+		err = tr.VisitLeavesDescTracked(c+geom.Eps, rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			for _, e := range lv.Entries {
 				if e.Key <= c+geom.Eps {
@@ -139,7 +144,7 @@ func (ix *Index) QueryVertical(kind constraint.QueryKind, op geom.Op, c float64)
 	}
 	slices.Sort(ids)
 	st.Results = len(ids)
-	st.PagesRead = ix.pool.Stats().PhysicalReads - before
+	st.PagesRead = rc.Physical.Load()
 	return Result{IDs: ids, Stats: st}, nil
 }
 

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/core"
+	"dualcdb/internal/pagestore"
+	"dualcdb/internal/workload"
+)
+
+// countingStore wraps a page device and counts the read *calls* it
+// receives — the experiment's proxy for read syscalls. A vectored
+// ReadPages counts as one call however many pages it returns, which is
+// exactly the saving leaf-chain readahead is after.
+type countingStore struct {
+	pagestore.Store
+	readCalls atomic.Uint64
+}
+
+func (s *countingStore) ReadPage(id pagestore.PageID, buf []byte) error {
+	s.readCalls.Add(1)
+	return s.Store.ReadPage(id, buf)
+}
+
+func (s *countingStore) ReadPages(ids []pagestore.PageID, bufs [][]byte) (int, error) {
+	s.readCalls.Add(1)
+	return s.Store.ReadPages(ids, bufs)
+}
+
+// ReadPathConfig parameterizes the read-path ablation.
+type ReadPathConfig struct {
+	// N is the relation cardinality (default 2500).
+	N int
+	// Queries is the number of distinct queries (default 8).
+	Queries int
+	// Passes replays the query set this many times so decoded-node reuse
+	// and scan resistance show up (default 4).
+	Passes int
+	// PoolPages is the deliberately small buffer-pool capacity: leaf
+	// sweeps must overflow it while the inner nodes fit, so eviction
+	// policy matters (default 48).
+	PoolPages int
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (c *ReadPathConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 2500
+	}
+	if c.Queries <= 0 {
+		c.Queries = 8
+	}
+	if c.Passes <= 0 {
+		c.Passes = 4
+	}
+	if c.PoolPages <= 0 {
+		c.PoolPages = 48
+	}
+}
+
+// ReadPathRow is one configuration's profile on the repeated-query
+// workload.
+type ReadPathRow struct {
+	Name             string
+	NsPerQuery       float64
+	PagesPerQuery    float64 // physical page reads per query
+	ReadCallsPerQ    float64 // store read calls per query (syscall proxy)
+	ReadaheadBatches uint64
+	YoungEvictions   uint64
+	OldEvictions     uint64
+	DecodeHits       uint64
+	DecodeMisses     uint64
+}
+
+// RunReadPath ablates the three read-path layers — decoded-node cache,
+// leaf-chain readahead, midpoint LRU — on a file-backed index whose
+// buffer pool is much smaller than the leaf level. Each configuration
+// gets its own store and runs the same repeated query mix.
+func RunReadPath(cfg ReadPathConfig) ([]ReadPathRow, error) {
+	cfg.defaults()
+	rel, err := workload.GenerateRelation(workload.Config{
+		N: cfg.N, Size: workload.Small, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Wider selectivity than the paper's reported band: the sweeps must
+	// touch enough leaves to overflow the small pool.
+	queries, err := workload.GenerateQueries(rel, workload.QueryConfig{
+		Count: cfg.Queries, Kind: constraint.EXIST,
+		SelectivityLo: 0.35, SelectivityHi: 0.50,
+		Seed: cfg.Seed + 17,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "readpath")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	configs := []struct {
+		name              string
+		plainLRU, noCache bool
+		readahead         int
+	}{
+		{"baseline (plain LRU, no cache)", true, true, 0},
+		{"+decode cache", true, false, 0},
+		{"+readahead", true, false, 8},
+		{"full (midpoint LRU)", false, false, 8},
+	}
+	var rows []ReadPathRow
+	for ci, c := range configs {
+		fs, err := pagestore.OpenFileStore(filepath.Join(dir, fmt.Sprintf("rp%d.db", ci)), 1024)
+		if err != nil {
+			return nil, err
+		}
+		cs := &countingStore{Store: fs}
+		ix, err := core.Build(rel, core.Options{
+			Slopes:        core.EquiangularSlopes(3),
+			Technique:     core.T2,
+			Store:         cs,
+			PoolPages:     cfg.PoolPages,
+			PoolShards:    1,
+			PlainLRU:      c.plainLRU,
+			NoDecodeCache: c.noCache,
+			Readahead:     c.readahead,
+		})
+		if err != nil {
+			_ = fs.Close() // already failing; Close error would mask the cause
+			return nil, err
+		}
+		if err := ix.Pool().EvictAll(); err != nil {
+			_ = fs.Close() // already failing; Close error would mask the cause
+			return nil, err
+		}
+		ix.Pool().ResetStats()
+		cs.readCalls.Store(0)
+		decode0 := ix.DecodeCacheStats()
+
+		nq := cfg.Passes * len(queries)
+		start := time.Now()
+		for pass := 0; pass < cfg.Passes; pass++ {
+			for _, q := range queries {
+				if _, err := ix.Query(q); err != nil {
+					_ = fs.Close() // already failing; Close error would mask the cause
+					return nil, err
+				}
+			}
+		}
+		elapsed := time.Since(start)
+
+		st := ix.Pool().Stats()
+		dec := ix.DecodeCacheStats()
+		rows = append(rows, ReadPathRow{
+			Name:             c.name,
+			NsPerQuery:       float64(elapsed.Nanoseconds()) / float64(nq),
+			PagesPerQuery:    float64(st.PhysicalReads) / float64(nq),
+			ReadCallsPerQ:    float64(cs.readCalls.Load()) / float64(nq),
+			ReadaheadBatches: st.ReadaheadBatches,
+			YoungEvictions:   st.YoungEvictions,
+			OldEvictions:     st.OldEvictions,
+			DecodeHits:       dec.Hits - decode0.Hits,
+			DecodeMisses:     dec.Misses - decode0.Misses,
+		})
+		if err := fs.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// FormatReadPath renders the ablation as an aligned table.
+func FormatReadPath(rows []ReadPathRow) string {
+	var sb strings.Builder
+	sb.WriteString("configuration                    µs/query  pages/query  reads/query  ra-batches  evictions(young/old)  decode hit/miss\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-32s %8.1f %12.1f %12.1f %11d %12d/%-8d %8d/%d\n",
+			r.Name, r.NsPerQuery/1000, r.PagesPerQuery, r.ReadCallsPerQ,
+			r.ReadaheadBatches, r.YoungEvictions, r.OldEvictions,
+			r.DecodeHits, r.DecodeMisses)
+	}
+	return sb.String()
+}

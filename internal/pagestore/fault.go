@@ -91,6 +91,31 @@ func (s *FaultStore) ReadPage(id PageID, buf []byte) error {
 	return s.inner.ReadPage(id, buf)
 }
 
+// ReadPages forwards to the inner store with per-page fault accounting:
+// each page in the batch consumes one tick of the read-fault counter, and
+// a trip truncates the batch at the failing page, returning the pages
+// read before it together with ErrInjected.
+func (s *FaultStore) ReadPages(ids []PageID, bufs [][]byte) (int, error) {
+	s.mu.Lock()
+	allowed := len(ids)
+	tripped := false
+	for i := range ids {
+		if trip(&s.readAfter) {
+			allowed, tripped = i, true
+			break
+		}
+	}
+	s.mu.Unlock()
+	n, err := s.inner.ReadPages(ids[:allowed], bufs[:allowed])
+	if err != nil {
+		return n, err
+	}
+	if tripped {
+		return n, ErrInjected
+	}
+	return n, nil
+}
+
 // WritePage forwards unless the write fault trips.
 func (s *FaultStore) WritePage(id PageID, buf []byte) error {
 	s.mu.Lock()

@@ -19,6 +19,20 @@ type Stats struct {
 	Writes        uint64 // pages written back to the store
 	Allocs        uint64 // pages allocated
 	Frees         uint64 // pages freed
+
+	// ReadaheadBatches counts chain-readahead reads that admitted at least
+	// one extra page beyond the demanded one; ReadaheadPages counts those
+	// extra pages. Every admitted page is also a PhysicalRead, so the two
+	// metrics stay directly comparable with the non-readahead path.
+	ReadaheadBatches uint64
+	ReadaheadPages   uint64
+
+	// YoungEvictions and OldEvictions split evictions by the midpoint-LRU
+	// region the victim came from. A leaf sweep over a working set larger
+	// than the pool drains through the young region; OldEvictions staying
+	// flat during sweeps is the scan-resistance signal.
+	YoungEvictions uint64
+	OldEvictions   uint64
 }
 
 // ReadCounter is a per-caller I/O counter threaded through GetTracked so a
@@ -31,35 +45,63 @@ type ReadCounter struct {
 	Physical atomic.Uint64 // cache misses this counter's Gets triggered
 }
 
-// Pool is an LRU buffer pool over a Store, split into power-of-two many
-// shards keyed by a PageID hash. Each shard has its own mutex, frame table
-// and LRU list, so concurrent readers touching different pages rarely
+// Pool is a buffer pool over a Store, split into power-of-two many shards
+// keyed by a PageID hash. Each shard has its own mutex, frame table and
+// eviction lists, so concurrent readers touching different pages rarely
 // contend; the I/O counters are atomics shared by all shards. Frames are
 // pinned while in use; unpinned dirty frames are written back on eviction
 // or Flush.
 //
-// A single-shard pool (NewPool) behaves exactly like the historical
-// implementation: one mutex, one LRU list, one capacity.
+// Eviction is a midpoint-insertion LRU (young/old sublists per shard): a
+// page enters the young region on first use and is tenured into the old
+// region only on a second pin, so a single long leaf sweep cannot evict
+// the hot inner nodes that every query re-touches. PoolOptions.PlainLRU
+// restores the historical single-list order for comparison.
 type Pool struct {
 	store  Store
 	shards []*poolShard
 	shift  uint // 32 - log2(len(shards)); hash>>shift indexes the shard
 
-	logicalReads  atomic.Uint64
-	physicalReads atomic.Uint64
-	writes        atomic.Uint64
-	allocs        atomic.Uint64
-	frees         atomic.Uint64
+	logicalReads     atomic.Uint64
+	physicalReads    atomic.Uint64
+	writes           atomic.Uint64
+	allocs           atomic.Uint64
+	frees            atomic.Uint64
+	readaheadBatches atomic.Uint64
+	readaheadPages   atomic.Uint64
+	youngEvictions   atomic.Uint64
+	oldEvictions     atomic.Uint64
 }
 
-// poolShard is one independently locked slice of the pool.
+// poolShard is one independently locked slice of the pool. Its eviction
+// state is two LRU lists of resident PageIDs: young holds pages seen once,
+// old holds pages pinned at least twice ("tenured"). Every frame keeps its
+// list element for its whole residency — pinning leaves it in place and
+// releasing moves it to the front, so the steady-state pin/release cycle
+// allocates nothing. Victims come from the first unpinned frame off the
+// young tail, then the old tail; the old region is capped at oldCap
+// frames, beyond which its tail is demoted back to young. oldCap == 0
+// selects the plain single-list LRU (everything stays young, no tenuring).
 type poolShard struct {
 	mu       sync.Mutex
 	capacity int
+	oldCap   int
 	frames   map[PageID]*Frame
-	lru      *list.List // of PageID, most-recent at front; only unpinned pages
-	lruPos   map[PageID]*list.Element
+	young    *list.List // of PageID, most-recently released at front
+	old      *list.List // of PageID, most-recently released at front
+
+	// versions seeds Frame.version across evictions: dropLocked saves the
+	// frame's stamp here and the next fetch of the same id resumes from it,
+	// so a page that is modified, evicted, and re-read never repeats a
+	// version a stale decoded copy could still be keyed under (no ABA).
+	versions map[PageID]uint64
 }
+
+// Frame region tags for the midpoint LRU.
+const (
+	regionYoung = iota
+	regionOld
+)
 
 // Frame is a pinned page in the buffer pool. Callers must Release it when
 // done and MarkDirty after mutating Data.
@@ -67,17 +109,42 @@ type Frame struct {
 	shard *poolShard
 	id    PageID
 	data  []byte
-	pins  int
-	dirty bool
+	pins  int // guarded by shard.mu
+
+	elem     *list.Element // position in the shard's young/old list; guarded by shard.mu
+	region   uint8         // guarded by shard.mu
+	prefetch bool          // guarded by shard.mu; admitted by readahead, not yet demanded
+
+	// dirty and version are atomics because MarkDirty is called while
+	// pinned without the shard lock, potentially concurrently with another
+	// pinner of the same frame.
+	dirty   atomic.Bool
+	version atomic.Uint64
 }
 
 // ErrPoolFull is returned when every frame of the page's shard is pinned
 // and a new page is requested.
 var ErrPoolFull = errors.New("pagestore: all buffer frames pinned")
 
+// PoolOptions configures a buffer pool beyond the store and capacity.
+type PoolOptions struct {
+	// Capacity is the total frame budget, divided evenly over the shards
+	// (minimum 8 frames per shard).
+	Capacity int
+	// Shards is rounded up to a power of two; ≤ 0 selects
+	// nextPow2(GOMAXPROCS).
+	Shards int
+	// PlainLRU disables the midpoint young/old split and restores the
+	// historical single-list LRU eviction order.
+	PlainLRU bool
+	// OldFraction is the fraction of each shard's capacity reserved for
+	// the old (tenured) region, in (0,1); 0 selects the default 5/8.
+	OldFraction float64
+}
+
 // NewPool creates a single-shard buffer pool with the given frame capacity
-// (minimum 8) — the historical behavior, appropriate for single-threaded
-// workloads and for tests that reason about one global LRU order.
+// (minimum 8) — appropriate for single-threaded workloads and for tests
+// that reason about one global eviction order.
 func NewPool(store Store, capacity int) *Pool {
 	return NewShardedPool(store, capacity, 1)
 }
@@ -88,21 +155,43 @@ func NewPool(store Store, capacity int) *Pool {
 // holds at least 8 frames, so the effective total can exceed capacity when
 // capacity < 8·shards.
 func NewShardedPool(store Store, capacity, shards int) *Pool {
+	return NewPoolWithOptions(store, PoolOptions{Capacity: capacity, Shards: shards})
+}
+
+// NewPoolWithOptions creates a buffer pool with explicit eviction options.
+func NewPoolWithOptions(store Store, opt PoolOptions) *Pool {
+	shards := opt.Shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	n := nextPow2(shards)
-	per := capacity / n
+	per := opt.Capacity / n
 	if per < 8 {
 		per = 8
+	}
+	frac := opt.OldFraction
+	if frac <= 0 || frac >= 1 {
+		frac = 5.0 / 8.0
+	}
+	oldCap := int(float64(per) * frac)
+	if oldCap >= per {
+		oldCap = per - 1
+	}
+	if oldCap < 1 {
+		oldCap = 1
+	}
+	if opt.PlainLRU {
+		oldCap = 0
 	}
 	p := &Pool{store: store, shards: make([]*poolShard, n), shift: 32 - log2(n)}
 	for i := range p.shards {
 		p.shards[i] = &poolShard{
 			capacity: per,
+			oldCap:   oldCap,
 			frames:   make(map[PageID]*Frame),
-			lru:      list.New(),
-			lruPos:   make(map[PageID]*list.Element),
+			young:    list.New(),
+			old:      list.New(),
+			versions: make(map[PageID]uint64),
 		}
 	}
 	return p
@@ -159,6 +248,11 @@ func (p *Pool) GetTracked(id PageID, rc *ReadCounter) (*Frame, error) {
 	if rc != nil {
 		rc.Logical.Add(1)
 	}
+	return p.getPinned(id, rc)
+}
+
+// getPinned pins id without logical-read accounting (the caller did that).
+func (p *Pool) getPinned(id PageID, rc *ReadCounter) (*Frame, error) {
 	sh := p.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -177,9 +271,158 @@ func (p *Pool) GetTracked(id PageID, rc *ReadCounter) (*Frame, error) {
 	if rc != nil {
 		rc.Physical.Add(1)
 	}
-	f := &Frame{shard: sh, id: id, data: buf, pins: 1}
+	f := sh.newFrameLocked(id, buf, 1)
 	sh.frames[id] = f
 	return f, nil
+}
+
+// ChainNextFunc extracts the forward link from a raw page image during
+// chain readahead, returning InvalidPage when the image is not a chain
+// node or the chain ends there. It must not retain or mutate the page.
+type ChainNextFunc func(page []byte) PageID
+
+// GetChainTracked is GetTracked for sweeps along a linked page chain: on a
+// miss it speculatively reads up to lookahead pages at consecutive ids in
+// the sweep direction (dir = +1 ascending, −1 descending) with one
+// vectored store read, then admits only the pages the chain itself
+// confirms — it walks next() through the fetched images starting from the
+// demanded page, and a true chain node's link always points at the next
+// true chain node, so an unrelated page that merely sits at a neighbouring
+// id is discarded unread. Bulk-loaded leaf chains sit on consecutive ids,
+// so the speculation almost always pays off there.
+//
+// Every admitted page is counted as a PhysicalRead (charged to rc), which
+// keeps per-query I/O totals for a full sweep identical to the
+// single-page path; admitted extras enter the pool unpinned in the young
+// region, flagged so their first demand pin does not tenure them.
+// Readahead beyond the demanded page is best-effort: faults or a full
+// shard only surface when the demanded page itself is affected.
+func (p *Pool) GetChainTracked(id PageID, lookahead, dir int, next ChainNextFunc, rc *ReadCounter) (*Frame, error) {
+	if lookahead <= 1 || next == nil || dir == 0 {
+		return p.GetTracked(id, rc)
+	}
+	if id == InvalidPage {
+		return nil, errors.New("pagestore: Get(InvalidPage)")
+	}
+	p.logicalReads.Add(1)
+	if rc != nil {
+		rc.Logical.Add(1)
+	}
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok {
+		sh.pinLocked(f)
+		sh.mu.Unlock()
+		return f, nil
+	}
+	sh.mu.Unlock()
+
+	// Speculative batch read of the contiguous id run, without holding any
+	// shard lock across the I/O.
+	ids := make([]PageID, 1, lookahead)
+	ids[0] = id
+	for len(ids) < lookahead {
+		q := ids[len(ids)-1]
+		if dir > 0 {
+			q++
+		} else {
+			if q <= 1 {
+				break
+			}
+			q--
+		}
+		ids = append(ids, q)
+	}
+	ps := p.store.PageSize()
+	raw := make([]byte, len(ids)*ps)
+	bufs := make([][]byte, len(ids))
+	for i := range bufs {
+		bufs[i] = raw[i*ps : (i+1)*ps : (i+1)*ps]
+	}
+	n, err := p.store.ReadPages(ids, bufs)
+	if n == 0 {
+		if err != nil {
+			return nil, fmt.Errorf("pagestore: readahead batch at page %d: %w", id, err)
+		}
+		// The demanded page is not readable as part of a batch (e.g. it
+		// was freed); let the single-page path produce its usual error.
+		return p.getPinned(id, rc)
+	}
+
+	// Walk the chain inside the fetched prefix. sel collects confirmed
+	// batch positions in chain order, always starting with the demanded
+	// page at position 0. The walk must strictly advance through the batch
+	// (d > k), which also rules out link cycles.
+	sel := make([]int, 1, n)
+	for k := 0; ; {
+		nid := next(bufs[k])
+		if nid == InvalidPage {
+			break
+		}
+		d := int((int64(nid) - int64(id)) * int64(dir))
+		if d <= k || d >= n {
+			break
+		}
+		k = d
+		sel = append(sel, k)
+	}
+
+	var out *Frame
+	admitted := 0
+	for _, j := range sel {
+		pid := ids[j]
+		shj := p.shardOf(pid)
+		shj.mu.Lock()
+		if f, ok := shj.frames[pid]; ok {
+			// Raced with another reader that inserted the page first; its
+			// copy is at least as fresh as ours.
+			if j == 0 {
+				shj.pinLocked(f)
+				out = f
+			}
+			shj.mu.Unlock()
+			continue
+		}
+		if roomErr := shj.ensureRoomLocked(p); roomErr != nil {
+			shj.mu.Unlock()
+			if j == 0 {
+				return nil, roomErr
+			}
+			continue
+		}
+		pins := 0
+		if j == 0 {
+			pins = 1
+		}
+		f := shj.newFrameLocked(pid, bufs[j], pins)
+		f.prefetch = j != 0
+		shj.frames[pid] = f
+		shj.mu.Unlock()
+		p.physicalReads.Add(1)
+		if rc != nil {
+			rc.Physical.Add(1)
+		}
+		if j == 0 {
+			out = f
+		} else {
+			admitted++
+		}
+	}
+	if admitted > 0 {
+		p.readaheadBatches.Add(1)
+		p.readaheadPages.Add(uint64(admitted))
+	}
+	return out, nil
+}
+
+// newFrameLocked creates a frame for id, resuming its version stamp from
+// the shard's persisted map and placing it at the front of the young
+// list, where it stays for its whole residency. Callers hold sh.mu.
+func (sh *poolShard) newFrameLocked(id PageID, data []byte, pins int) *Frame {
+	f := &Frame{shard: sh, id: id, data: data, pins: pins, region: regionYoung}
+	f.elem = sh.young.PushFront(id)
+	f.version.Store(sh.versions[id])
+	return f
 }
 
 // NewPage allocates a fresh zeroed page and returns it pinned and dirty.
@@ -197,7 +440,13 @@ func (p *Pool) NewPage() (*Frame, error) {
 		return nil, err
 	}
 	p.allocs.Add(1)
-	f := &Frame{shard: sh, id: id, data: make([]byte, p.store.PageSize()), pins: 1, dirty: true}
+	f := sh.newFrameLocked(id, make([]byte, p.store.PageSize()), 1)
+	// A reused page id starts a new life: advance past any version a stale
+	// decode of the previous occupant could be keyed under.
+	v := sh.versions[id] + 1
+	sh.versions[id] = v
+	f.version.Store(v)
+	f.dirty.Store(true)
 	sh.frames[id] = f
 	return f, nil
 }
@@ -214,49 +463,105 @@ func (p *Pool) FreePage(id PageID) error {
 		}
 		sh.dropLocked(id)
 	}
+	// Invalidate any decoded copy keyed under the page's last version.
+	sh.versions[id]++
 	sh.mu.Unlock()
 	p.frees.Add(1)
 	return p.store.Free(id)
 }
 
-// pinLocked pins an in-shard frame, removing it from the eviction list.
+// pinLocked pins an in-shard frame. The frame keeps its list element; a
+// repeat pin tenures it into the old region — except the first demand pin
+// of a readahead page, which is the read the prefetch anticipated, not
+// evidence of reuse.
 func (sh *poolShard) pinLocked(f *Frame) {
 	f.pins++
-	if el, ok := sh.lruPos[f.id]; ok {
-		sh.lru.Remove(el)
-		delete(sh.lruPos, f.id)
+	if f.prefetch {
+		f.prefetch = false
+	} else if f.region == regionYoung && sh.oldCap > 0 {
+		f.region = regionOld
+		sh.young.Remove(f.elem)
+		f.elem = sh.old.PushFront(f.id)
+		sh.rebalanceLocked()
 	}
 }
 
-// ensureRoomLocked evicts the shard's least-recently-used unpinned frame
-// when the shard is at capacity.
+// listFor returns the eviction list the frame belongs to when unpinned.
+func (sh *poolShard) listFor(f *Frame) *list.List {
+	if f.region == regionOld {
+		return sh.old
+	}
+	return sh.young
+}
+
+// victimLocked returns the least-recently released unpinned frame of a
+// list, or nil if every frame in it is pinned.
+func (sh *poolShard) victimLocked(l *list.List) *Frame {
+	for el := l.Back(); el != nil; el = el.Prev() {
+		if f := sh.frames[el.Value.(PageID)]; f.pins == 0 {
+			return f
+		}
+	}
+	return nil
+}
+
+// ensureRoomLocked evicts one unpinned frame when the shard is at
+// capacity: the young region's tail first, the old region's only when no
+// young frame is evictable.
 func (sh *poolShard) ensureRoomLocked(p *Pool) error {
 	if len(sh.frames) < sh.capacity {
 		return nil
 	}
-	el := sh.lru.Back()
-	if el == nil {
+	f := sh.victimLocked(sh.young)
+	fromOld := false
+	if f == nil {
+		f = sh.victimLocked(sh.old)
+		fromOld = true
+	}
+	if f == nil {
 		return ErrPoolFull
 	}
-	id := el.Value.(PageID)
-	f := sh.frames[id]
-	if f.dirty {
+	id := f.id
+	if f.dirty.Load() {
 		if err := p.store.WritePage(id, f.data); err != nil {
 			return err
 		}
 		p.writes.Add(1)
-		f.dirty = false
+		f.dirty.Store(false)
 	}
 	sh.dropLocked(id)
+	if fromOld {
+		p.oldEvictions.Add(1)
+	} else {
+		p.youngEvictions.Add(1)
+	}
 	return nil
 }
 
 func (sh *poolShard) dropLocked(id PageID) {
-	if el, ok := sh.lruPos[id]; ok {
-		sh.lru.Remove(el)
-		delete(sh.lruPos, id)
+	f, ok := sh.frames[id]
+	if !ok {
+		return
 	}
+	sh.listFor(f).Remove(f.elem)
+	f.elem = nil
+	// Persist the version stamp so a later re-read of this id resumes
+	// where the frame left off instead of restarting at zero.
+	sh.versions[id] = f.version.Load()
 	delete(sh.frames, id)
+}
+
+// rebalanceLocked demotes the old region's tail back into the young
+// region while the old region exceeds its cap, keeping a bounded share of
+// the shard for tenured pages.
+func (sh *poolShard) rebalanceLocked() {
+	for sh.oldCap > 0 && sh.old.Len() > sh.oldCap {
+		el := sh.old.Back()
+		f := sh.frames[el.Value.(PageID)]
+		sh.old.Remove(el)
+		f.region = regionYoung
+		f.elem = sh.young.PushFront(f.id)
+	}
 }
 
 // Flush writes back all dirty frames (pinned or not) without evicting them.
@@ -264,13 +569,13 @@ func (p *Pool) Flush() error {
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		for id, f := range sh.frames {
-			if f.dirty {
+			if f.dirty.Load() {
 				if err := p.store.WritePage(id, f.data); err != nil {
 					sh.mu.Unlock()
 					return err
 				}
 				p.writes.Add(1)
-				f.dirty = false
+				f.dirty.Store(false)
 			}
 		}
 		sh.mu.Unlock()
@@ -287,13 +592,13 @@ func (p *Pool) EvictAll() error {
 			if f.pins > 0 {
 				continue
 			}
-			if f.dirty {
+			if f.dirty.Load() {
 				if err := p.store.WritePage(id, f.data); err != nil {
 					sh.mu.Unlock()
 					return err
 				}
 				p.writes.Add(1)
-				f.dirty = false
+				f.dirty.Store(false)
 			}
 			sh.dropLocked(id)
 		}
@@ -308,11 +613,15 @@ func (p *Pool) EvictAll() error {
 // deltas of this snapshot.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		LogicalReads:  p.logicalReads.Load(),
-		PhysicalReads: p.physicalReads.Load(),
-		Writes:        p.writes.Load(),
-		Allocs:        p.allocs.Load(),
-		Frees:         p.frees.Load(),
+		LogicalReads:     p.logicalReads.Load(),
+		PhysicalReads:    p.physicalReads.Load(),
+		Writes:           p.writes.Load(),
+		Allocs:           p.allocs.Load(),
+		Frees:            p.frees.Load(),
+		ReadaheadBatches: p.readaheadBatches.Load(),
+		ReadaheadPages:   p.readaheadPages.Load(),
+		YoungEvictions:   p.youngEvictions.Load(),
+		OldEvictions:     p.oldEvictions.Load(),
 	}
 }
 
@@ -323,6 +632,10 @@ func (p *Pool) ResetStats() {
 	p.writes.Store(0)
 	p.allocs.Store(0)
 	p.frees.Store(0)
+	p.readaheadBatches.Store(0)
+	p.readaheadPages.Store(0)
+	p.youngEvictions.Store(0)
+	p.oldEvictions.Store(0)
 }
 
 // ID returns the frame's page id.
@@ -331,8 +644,19 @@ func (f *Frame) ID() PageID { return f.id }
 // Data returns the page bytes; mutate only while pinned and call MarkDirty.
 func (f *Frame) Data() []byte { return f.data }
 
-// MarkDirty records that the page bytes changed.
-func (f *Frame) MarkDirty() { f.dirty = true }
+// MarkDirty records that the page bytes changed and advances the page's
+// version stamp, invalidating any decoded copy keyed under the old stamp.
+func (f *Frame) MarkDirty() {
+	f.dirty.Store(true)
+	f.version.Add(1)
+}
+
+// Version returns the page's current version stamp. The stamp changes on
+// every MarkDirty and whenever the page id is freed or reallocated, and it
+// never repeats across evictions, so (ID, Version) is a stable key for
+// caching decoded page contents: serve a cached decode only while the
+// pinned frame still reports the version it was decoded under.
+func (f *Frame) Version() uint64 { return f.version.Load() }
 
 // Release unpins the frame. Unpinned frames become eviction candidates.
 func (f *Frame) Release() {
@@ -344,7 +668,6 @@ func (f *Frame) Release() {
 	}
 	f.pins--
 	if f.pins == 0 {
-		el := sh.lru.PushFront(f.id)
-		sh.lruPos[f.id] = el
+		sh.listFor(f).MoveToFront(f.elem)
 	}
 }

@@ -1,0 +1,506 @@
+package pagestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// fillPattern writes a page-sized deterministic pattern for id.
+func fillPattern(buf []byte, id PageID) {
+	for i := range buf {
+		buf[i] = byte(uint32(id)*31 + uint32(i))
+	}
+}
+
+// eachStore runs fn against a MemStore and a FileStore.
+func eachStore(t *testing.T, fn func(t *testing.T, s Store)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) { fn(t, NewMemStore(128)) })
+	t.Run("file", func(t *testing.T) {
+		s, err := OpenFileStore(filepath.Join(t.TempDir(), "pages.db"), 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		fn(t, s)
+	})
+}
+
+func TestReadPagesMatchesReadPage(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		const n = 12
+		want := make(map[PageID][]byte)
+		for i := 0; i < n; i++ {
+			id, err := s.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, s.PageSize())
+			fillPattern(buf, id)
+			if err := s.WritePage(id, buf); err != nil {
+				t.Fatal(err)
+			}
+			want[id] = buf
+		}
+		// Ascending, descending, and non-contiguous id patterns must all
+		// return exactly what per-page ReadPage would.
+		patterns := [][]PageID{
+			{1, 2, 3, 4, 5},
+			{9, 8, 7, 6},
+			{2, 5, 6, 7, 3, 12, 11, 10},
+			{4},
+		}
+		for _, ids := range patterns {
+			bufs := make([][]byte, len(ids))
+			for i := range bufs {
+				bufs[i] = make([]byte, s.PageSize())
+			}
+			got, err := s.ReadPages(ids, bufs)
+			if err != nil {
+				t.Fatalf("ReadPages(%v): %v", ids, err)
+			}
+			if got != len(ids) {
+				t.Fatalf("ReadPages(%v) = %d, want %d", ids, got, len(ids))
+			}
+			for i, id := range ids {
+				if !bytes.Equal(bufs[i], want[id]) {
+					t.Fatalf("ReadPages(%v): page %d contents differ", ids, id)
+				}
+			}
+		}
+	})
+}
+
+func TestReadPagesStopsAtMissingPage(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		for i := 0; i < 5; i++ {
+			if _, err := s.Alloc(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Free(3); err != nil {
+			t.Fatal(err)
+		}
+		ids := []PageID{1, 2, 3, 4}
+		bufs := make([][]byte, len(ids))
+		for i := range bufs {
+			bufs[i] = make([]byte, s.PageSize())
+		}
+		got, err := s.ReadPages(ids, bufs)
+		if err != nil {
+			t.Fatalf("ReadPages: %v", err)
+		}
+		if got != 2 {
+			t.Fatalf("ReadPages stopping at freed page: got %d, want 2", got)
+		}
+		// A missing first page yields an empty prefix, not an error.
+		got, err = s.ReadPages([]PageID{3, 4}, bufs[:2])
+		if err != nil || got != 0 {
+			t.Fatalf("ReadPages(freed head) = (%d, %v), want (0, nil)", got, err)
+		}
+	})
+}
+
+func TestFaultStoreReadPagesPerPageAccounting(t *testing.T) {
+	inner := NewMemStore(64)
+	for i := 0; i < 6; i++ {
+		if _, err := inner.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := NewFaultStore(inner)
+	// Each page of a batch consumes one tick: arming after 3 lets two
+	// batched pages through and fails the third.
+	fs.FailReadAfter(3)
+	ids := []PageID{1, 2, 3, 4, 5}
+	bufs := make([][]byte, len(ids))
+	for i := range bufs {
+		bufs[i] = make([]byte, 64)
+	}
+	n, err := fs.ReadPages(ids, bufs)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 2 {
+		t.Fatalf("n = %d, want 2 pages before the fault", n)
+	}
+	// Disarmed: the whole batch goes through.
+	n, err = fs.ReadPages(ids, bufs)
+	if err != nil || n != len(ids) {
+		t.Fatalf("disarmed ReadPages = (%d, %v), want (%d, nil)", n, err, len(ids))
+	}
+}
+
+func TestFrameVersionBumpsOnMarkDirtyAndSurvivesEviction(t *testing.T) {
+	store := NewMemStore(64)
+	pool := NewPool(store, 16)
+	f, err := pool.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	v0 := f.Version()
+	f.MarkDirty()
+	if v := f.Version(); v <= v0 {
+		t.Fatalf("MarkDirty did not advance version: %d -> %d", v0, v)
+	}
+	f.MarkDirty()
+	v1 := f.Version()
+	f.Release()
+
+	// Evict and re-read: the version must resume at (not below) the saved
+	// stamp, so a decode cached under v1 can never be revalidated by a
+	// fresh frame that restarted at zero.
+	if err := pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := pool.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Version() < v1 {
+		t.Fatalf("version regressed across eviction: %d < %d", g.Version(), v1)
+	}
+	g.Release()
+}
+
+func TestFreedPageIDGetsNewVersionOnReuse(t *testing.T) {
+	store := NewMemStore(64)
+	pool := NewPool(store, 16)
+	f, err := pool.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	f.MarkDirty()
+	vOld := f.Version()
+	f.Release()
+	if err := pool.FreePage(id); err != nil {
+		t.Fatal(err)
+	}
+	g, err := pool.NewPage() // MemStore reuses the freed id
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	if g.ID() != id {
+		t.Skipf("store did not reuse id %d (got %d)", id, g.ID())
+	}
+	if g.Version() <= vOld {
+		t.Fatalf("reused page id %d kept version %d (old %d); stale decodes would revalidate", id, g.Version(), vOld)
+	}
+}
+
+// pinTwice tenures a page into the old region: first pin on fetch, second
+// pin after a release.
+func pinTwice(t *testing.T, pool *Pool, id PageID) {
+	t.Helper()
+	for i := 0; i < 2; i++ {
+		f, err := pool.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Release()
+	}
+}
+
+func TestMidpointLRUScanResistance(t *testing.T) {
+	store := NewMemStore(64)
+	const capacity = 16
+	pool := NewPool(store, capacity)
+	const total = 64
+	for i := 0; i < total; i++ {
+		if _, err := store.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tenure a few "inner node" pages by touching them twice.
+	hot := []PageID{1, 2, 3}
+	for _, id := range hot {
+		pinTwice(t, pool, id)
+	}
+	pool.ResetStats()
+
+	// One long scan over everything else, touching each page once.
+	for id := PageID(4); id <= total; id++ {
+		f, err := pool.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Release()
+	}
+	if ev := pool.Stats().OldEvictions; ev != 0 {
+		t.Fatalf("scan evicted %d old-region pages; midpoint LRU should drain scans through young", ev)
+	}
+
+	// The tenured pages must still be resident: re-pinning them must not
+	// read from the store.
+	pool.ResetStats()
+	for _, id := range hot {
+		f, err := pool.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Release()
+	}
+	if pr := pool.Stats().PhysicalReads; pr != 0 {
+		t.Fatalf("hot pages were evicted by the scan: %d physical reads after scan", pr)
+	}
+}
+
+func TestPlainLRUScanEvictsHotPages(t *testing.T) {
+	store := NewMemStore(64)
+	pool := NewPoolWithOptions(store, PoolOptions{Capacity: 16, Shards: 1, PlainLRU: true})
+	const total = 64
+	for i := 0; i < total; i++ {
+		if _, err := store.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := []PageID{1, 2, 3}
+	for _, id := range hot {
+		pinTwice(t, pool, id)
+	}
+	for id := PageID(4); id <= total; id++ {
+		f, err := pool.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Release()
+	}
+	st := pool.Stats()
+	if st.OldEvictions != 0 {
+		t.Fatalf("plain LRU reported %d old evictions; the old region should be unused", st.OldEvictions)
+	}
+	pool.ResetStats()
+	for _, id := range hot {
+		f, err := pool.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Release()
+	}
+	if pr := pool.Stats().PhysicalReads; pr == 0 {
+		t.Fatal("plain LRU kept hot pages resident through a full scan; expected them evicted (the baseline behavior the midpoint LRU fixes)")
+	}
+}
+
+func TestOldRegionCapDemotesToYoung(t *testing.T) {
+	store := NewMemStore(64)
+	pool := NewPoolWithOptions(store, PoolOptions{Capacity: 16, Shards: 1})
+	const total = 40
+	for i := 0; i < total; i++ {
+		if _, err := store.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tenure more pages than the old region can hold; rebalancing must
+	// demote the overflow instead of letting old grow to the whole shard.
+	for id := PageID(1); id <= 20; id++ {
+		pinTwice(t, pool, id)
+	}
+	sh := pool.shards[0]
+	sh.mu.Lock()
+	oldLen, youngLen, oldCap := sh.old.Len(), sh.young.Len(), sh.oldCap
+	sh.mu.Unlock()
+	if oldLen > oldCap {
+		t.Fatalf("old region %d exceeds its cap %d", oldLen, oldCap)
+	}
+	if youngLen == 0 {
+		t.Fatal("expected demoted pages in the young region")
+	}
+}
+
+// chainStore lays out a synthetic page chain: page n links to n+1 (asc) at
+// offset 4 and to n−1 (desc) at offset 8, mimicking the btree leaf header.
+func buildChain(t *testing.T, s Store, n int) []PageID {
+	t.Helper()
+	ids := make([]PageID, n)
+	for i := 0; i < n; i++ {
+		id, err := s.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i, id := range ids {
+		buf := make([]byte, s.PageSize())
+		buf[0] = 1 // "leaf" tag
+		var next, prev PageID
+		if i+1 < n {
+			next = ids[i+1]
+		}
+		if i > 0 {
+			prev = ids[i-1]
+		}
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(next))
+		binary.LittleEndian.PutUint32(buf[8:12], uint32(prev))
+		fillPattern(buf[16:], id)
+		if err := s.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ids
+}
+
+func chainNext(page []byte) PageID {
+	if len(page) < 16 || page[0] != 1 {
+		return InvalidPage
+	}
+	return PageID(binary.LittleEndian.Uint32(page[4:8]))
+}
+
+func chainPrev(page []byte) PageID {
+	if len(page) < 16 || page[0] != 1 {
+		return InvalidPage
+	}
+	return PageID(binary.LittleEndian.Uint32(page[8:12]))
+}
+
+func TestGetChainTrackedReadahead(t *testing.T) {
+	for _, dir := range []int{+1, -1} {
+		t.Run(fmt.Sprintf("dir=%+d", dir), func(t *testing.T) {
+			store := NewMemStore(64)
+			pool := NewPoolWithOptions(store, PoolOptions{Capacity: 64, Shards: 1})
+			ids := buildChain(t, store, 16)
+			next := chainNext
+			order := ids
+			if dir < 0 {
+				next = chainPrev
+				order = make([]PageID, len(ids))
+				for i, id := range ids {
+					order[len(ids)-1-i] = id
+				}
+			}
+			rc := &ReadCounter{}
+			for _, id := range order {
+				f, err := pool.GetChainTracked(id, 4, dir, next, rc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if f.ID() != id {
+					t.Fatalf("got page %d, want %d", f.ID(), id)
+				}
+				var want [64]byte
+				want[0] = 1
+				fillPattern(want[16:], id)
+				if !bytes.Equal(f.Data()[16:], want[16:]) {
+					t.Fatalf("page %d contents differ", id)
+				}
+				f.Release()
+			}
+			st := pool.Stats()
+			// A full sweep reads each chain page exactly once, readahead or
+			// not — that is the PhysicalReads-unchanged contract.
+			if st.PhysicalReads != uint64(len(ids)) {
+				t.Fatalf("PhysicalReads = %d, want %d", st.PhysicalReads, len(ids))
+			}
+			if rc.Physical.Load() != uint64(len(ids)) {
+				t.Fatalf("rc.Physical = %d, want %d", rc.Physical.Load(), len(ids))
+			}
+			if st.ReadaheadBatches == 0 || st.ReadaheadPages == 0 {
+				t.Fatalf("no readahead recorded: %+v", st)
+			}
+		})
+	}
+}
+
+func TestGetChainTrackedDoesNotAdmitOffChainPages(t *testing.T) {
+	store := NewMemStore(64)
+	pool := NewPoolWithOptions(store, PoolOptions{Capacity: 64, Shards: 1})
+	ids := buildChain(t, store, 2) // pages 1,2 chained
+	// Page 3 is allocated but NOT on the chain (page 2's next is 0).
+	loner, err := store.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := pool.GetChainTracked(ids[0], 4, +1, chainNext, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+	// The loner page must not be in the pool: fetching it now must be a
+	// physical read.
+	pool.ResetStats()
+	g, err := pool.Get(loner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+	if pr := pool.Stats().PhysicalReads; pr != 1 {
+		t.Fatalf("off-chain page was admitted by readahead (physical reads = %d, want 1)", pr)
+	}
+}
+
+func TestGetChainTrackedFaults(t *testing.T) {
+	inner := NewMemStore(64)
+	ids := buildChain(t, inner, 8)
+	fs := NewFaultStore(inner)
+	pool := NewPoolWithOptions(fs, PoolOptions{Capacity: 64, Shards: 1})
+
+	// Fault on a readahead page (second of the batch): the demanded page
+	// must still be served; the batch is just truncated.
+	fs.FailReadAfter(2)
+	f, err := pool.GetChainTracked(ids[0], 4, +1, chainNext, nil)
+	if err != nil {
+		t.Fatalf("demanded page should survive a readahead-only fault: %v", err)
+	}
+	f.Release()
+	fs.Disarm()
+	if err := pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault on the demanded page itself: the error must surface.
+	fs.FailReadAfter(1)
+	if _, err := pool.GetChainTracked(ids[4], 4, +1, chainNext, nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	fs.Disarm()
+}
+
+func TestGetChainTrackedConcurrentSweeps(t *testing.T) {
+	store := NewMemStore(64)
+	pool := NewPoolWithOptions(store, PoolOptions{Capacity: 32, Shards: 4})
+	ids := buildChain(t, store, 48)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(dir int) {
+			defer wg.Done()
+			rc := &ReadCounter{}
+			order := ids
+			next := chainNext
+			if dir < 0 {
+				next = chainPrev
+				order = make([]PageID, len(ids))
+				for i, id := range ids {
+					order[len(ids)-1-i] = id
+				}
+			}
+			for _, id := range order {
+				f, err := pool.GetChainTracked(id, 4, dir, next, rc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if f.ID() != id {
+					errs <- fmt.Errorf("got page %d, want %d", f.ID(), id)
+					return
+				}
+				f.Release()
+			}
+		}(1 - 2*(w%2))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -39,6 +39,13 @@ type Store interface {
 	Free(PageID) error
 	// ReadPage fills buf (of PageSize bytes) with the page contents.
 	ReadPage(id PageID, buf []byte) error
+	// ReadPages fills bufs[i] (each of PageSize bytes) with the contents
+	// of page ids[i] for a maximal prefix of readable pages and returns
+	// how many were filled. A missing or freed page ends the prefix
+	// without error; an I/O failure returns the count read so far and the
+	// error. Implementations coalesce runs of consecutive ids (ascending
+	// or descending) into single device reads where the medium allows.
+	ReadPages(ids []PageID, bufs [][]byte) (int, error)
 	// WritePage persists buf (of PageSize bytes) as the page contents.
 	WritePage(id PageID, buf []byte) error
 	// NumAllocated returns the number of live pages — the structure's
@@ -109,6 +116,21 @@ func (s *MemStore) ReadPage(id PageID, buf []byte) error {
 	}
 	copy(buf, p)
 	return nil
+}
+
+// ReadPages copies each page into its buffer, stopping without error at
+// the first missing page.
+func (s *MemStore) ReadPages(ids []PageID, bufs [][]byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, id := range ids {
+		p, ok := s.pages[id]
+		if !ok {
+			return i, nil
+		}
+		copy(bufs[i], p)
+	}
+	return len(ids), nil
 }
 
 // WritePage stores buf as the page contents.
@@ -234,6 +256,60 @@ func (s *FileStore) ReadPage(id PageID, buf []byte) error {
 		return fmt.Errorf("pagestore: read page %d: %w", id, err)
 	}
 	return nil
+}
+
+// ReadPages reads a maximal live prefix of the pages, coalescing each run
+// of consecutive ids — ascending or descending, as leaf sweeps in either
+// direction produce — into a single ReadAt over the covered byte range,
+// so a readahead batch over a bulk-loaded leaf chain costs one syscall
+// instead of one per page.
+func (s *FileStore) ReadPages(ids []PageID, bufs [][]byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for n < len(ids) && s.live[ids[n]] {
+		n++
+	}
+	for start := 0; start < n; {
+		end := start + 1
+		step := int64(0)
+		if end < n {
+			switch int64(ids[end]) - int64(ids[start]) {
+			case 1:
+				step = 1
+			case -1:
+				step = -1
+			}
+		}
+		if step != 0 {
+			for end < n && int64(ids[end])-int64(ids[end-1]) == step {
+				end++
+			}
+		}
+		lo := ids[start]
+		if step < 0 {
+			lo = ids[end-1]
+		}
+		run := make([]byte, (end-start)*s.pageSize)
+		if _, err := s.f.ReadAt(run, int64(lo-1)*int64(s.pageSize)); err != nil {
+			// Retry the run page by page so a partial failure still yields
+			// the maximal readable prefix.
+			for i := start; i < end; i++ {
+				off := int64(ids[i]-1) * int64(s.pageSize)
+				if _, err := s.f.ReadAt(bufs[i][:s.pageSize], off); err != nil {
+					return i, fmt.Errorf("pagestore: read page %d: %w", ids[i], err)
+				}
+			}
+			start = end
+			continue
+		}
+		for i := start; i < end; i++ {
+			off := int(int64(ids[i])-int64(lo)) * s.pageSize
+			copy(bufs[i], run[off:off+s.pageSize])
+		}
+		start = end
+	}
+	return n, nil
 }
 
 // WritePage persists buf as the page contents.
