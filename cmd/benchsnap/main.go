@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchsnap                # full measurement, writes BENCH_pr3.json
+//	benchsnap                # full measurement, writes BENCH_pr4.json
 //	benchsnap -quick -o out.json
 package main
 
@@ -22,6 +22,7 @@ import (
 	"dualcdb/internal/constraint"
 	"dualcdb/internal/core"
 	"dualcdb/internal/geom"
+	"dualcdb/internal/obs"
 	"dualcdb/internal/pagestore"
 )
 
@@ -35,7 +36,7 @@ type Row struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr3.json", "output file")
+	out := flag.String("o", "BENCH_pr4.json", "output file")
 	quick := flag.Bool("quick", false, "smaller trees (smoke run)")
 	flag.Parse()
 
@@ -169,6 +170,55 @@ func main() {
 		}, res)
 		if err := store.Close(); err != nil {
 			fatal(err)
+		}
+	}
+
+	// Warm queries with and without an attached observer: the
+	// observability overhead guard. QueryBare is the nil-hook path and
+	// must stay at the pre-observability numbers; QueryObserved pays for
+	// one trace plus its spans.
+	{
+		rng := rand.New(rand.NewSource(79))
+		rel := constraint.NewRelation(2)
+		for i := 0; i < coreN; i++ {
+			if _, err := rel.Insert(randTuple(rng)); err != nil {
+				fatal(err)
+			}
+		}
+		queries := make([]constraint.Query, 64)
+		for i := range queries {
+			queries[i] = randQuery(rng)
+		}
+		for _, bc := range []struct {
+			name     string
+			observed bool
+		}{{"QueryBare", false}, {"QueryObserved", true}} {
+			opt := core.Options{
+				Slopes:    core.EquiangularSlopes(3),
+				Technique: core.T2,
+				Store:     pagestore.NewMemStore(1024),
+				PoolPages: 1 << 14,
+			}
+			if bc.observed {
+				opt.Observe = obs.New(obs.Options{Name: "benchsnap"})
+			}
+			ix, err := core.Build(rel, opt)
+			if err != nil {
+				fatal(err)
+			}
+			for _, q := range queries { // prime pool + decode cache
+				if _, err := ix.Query(q); err != nil {
+					fatal(err)
+				}
+			}
+			add(bc.name, nil, testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := ix.Query(queries[i%len(queries)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
 		}
 	}
 

@@ -39,8 +39,6 @@ func TestSessionDBSaveOpenRoundTrip(t *testing.T) {
 }
 
 func TestSessionDBSaveRequiresIndex(t *testing.T) {
-	var s session
-	_ = s
 	path := filepath.Join(t.TempDir(), "noidx.cdb")
 	out := captureErr(t, []string{"gen 10 small 1"}, "dbsave "+path)
 	if !strings.Contains(out, "build a dual index first") {

@@ -26,9 +26,11 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"dualcdb"
 	"dualcdb/internal/constraint"
@@ -36,9 +38,14 @@ import (
 )
 
 type session struct {
+	// mu serializes command execution against the debug server's stats
+	// callback (the only concurrent reader of the session state).
+	mu    sync.Mutex
 	rel   *dualcdb.Relation
 	dual  *dualcdb.Index
 	rplus *dualcdb.RPlusIndex
+	obs   *dualcdb.Observer
+	srv   *http.Server
 	out   *bufio.Writer
 }
 
@@ -81,6 +88,12 @@ func isTerminal() bool {
 }
 
 func (s *session) exec(line string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.execLocked(line)
+}
+
+func (s *session) execLocked(line string) error {
 	cmd, rest, _ := strings.Cut(line, " ")
 	rest = strings.TrimSpace(rest)
 	switch cmd {
@@ -151,15 +164,14 @@ func (s *session) exec(line string) error {
 		return s.dbsave(rest)
 	case "dbopen":
 		return s.dbopen(rest)
+	case "observe":
+		return s.observe(rest)
+	case "serve":
+		return s.serve(rest)
+	case "traces":
+		return s.traces()
 	case "stats":
-		fmt.Fprintf(s.out, "relation: %d tuples, dim %d\n", s.rel.Len(), s.rel.Dim())
-		if s.dual != nil {
-			fmt.Fprintf(s.out, "dual index: %d indexed tuples, %d pages, slopes %v\n",
-				s.dual.Len(), s.dual.Pages(), s.dual.Slopes())
-		}
-		if s.rplus != nil {
-			fmt.Fprintf(s.out, "R+-tree: %d pages\n", s.rplus.Pages())
-		}
+		s.stats()
 	default:
 		return fmt.Errorf("unknown command %q ('help' lists commands)", cmd)
 	}
@@ -183,7 +195,14 @@ func (s *session) help() {
   load <path>              read a relation text file (replaces current)
   dbsave <path>            write relation + dual index as a binary database
   dbopen <path>            reopen a binary database (replaces current)
-  stats                    structure statistics
+  observe [slow <dur>|off] attach a query observer (metrics, traces); with
+                           'slow 10ms' queries at or over the threshold are
+                           logged to stderr and retained for 'traces'
+  serve [addr]             start the HTTP debug server (default
+                           127.0.0.1:6060): /debug/stats, /debug/metrics,
+                           /debug/traces, /debug/pprof
+  traces                   dump the retained slow-query traces
+  stats                    structure + query statistics
   quit                     leave
 `)
 }
@@ -308,7 +327,7 @@ func (s *session) buildDual(rest string) error {
 		}
 	}
 	ix, err := dualcdb.BuildIndex(s.rel, dualcdb.IndexOptions{
-		Slopes: dualcdb.EquiangularSlopes(k), Technique: tech,
+		Slopes: dualcdb.EquiangularSlopes(k), Technique: tech, Observe: s.obs,
 	})
 	if err != nil {
 		return err
@@ -438,6 +457,7 @@ func (s *session) dbopen(path string) error {
 	if err != nil {
 		return err
 	}
+	idx.SetObserver(s.obs)
 	s.rel, s.dual, s.rplus = rel, idx, nil
 	fmt.Fprintf(s.out, "database opened: %d tuples, k=%d, %d tree pages\n",
 		rel.Len(), len(idx.Slopes()), idx.Pages())

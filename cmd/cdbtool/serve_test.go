@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestServeSmoke drives a full observed session — generate, index, query,
+// serve — then scrapes the debug server and checks the JSON is well-formed
+// with nonzero pool counters. This is the CI smoke test for the debug
+// server.
+func TestServeSmoke(t *testing.T) {
+	var sb strings.Builder
+	s := newTestSession(&sb)
+	for _, line := range []string{
+		"observe slow 1ns",
+		"gen 300 small 7",
+		"index 3 t2",
+		"exist y >= 0.4x + 1",
+		"all y <= 2",
+		"serve 127.0.0.1:0",
+	} {
+		if err := s.exec(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	s.out.Flush()
+	defer s.srv.Close()
+
+	m := regexp.MustCompile(`listening on (http://[^/ ]+)/`).FindStringSubmatch(sb.String())
+	if m == nil {
+		t.Fatalf("no listen address in output:\n%s", sb.String())
+	}
+	base := m[1]
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	// /debug/stats: the unified snapshot with live pool counters.
+	var stats struct {
+		Tuples    int    `json:"tuples"`
+		Pages     int    `json:"pages"`
+		Technique string `json:"technique"`
+		Pool      struct {
+			LogicalReads  uint64 `json:"LogicalReads"`
+			PhysicalReads uint64 `json:"PhysicalReads"`
+		} `json:"pool"`
+		Observer *struct {
+			Queries uint64 `json:"queries"`
+		} `json:"observer"`
+	}
+	if err := json.Unmarshal(get("/debug/stats"), &stats); err != nil {
+		t.Fatalf("/debug/stats is not valid JSON: %v", err)
+	}
+	if stats.Tuples != 300 || stats.Pages == 0 || stats.Technique != "T2" {
+		t.Errorf("unexpected snapshot shape: %+v", stats)
+	}
+	if stats.Pool.LogicalReads == 0 {
+		t.Error("pool logical reads are zero after an index build and two queries")
+	}
+	if stats.Observer == nil || stats.Observer.Queries != 2 {
+		t.Errorf("observer should report 2 queries, got %+v", stats.Observer)
+	}
+
+	// /debug/metrics: flat registry snapshot.
+	var metrics map[string]any
+	if err := json.Unmarshal(get("/debug/metrics"), &metrics); err != nil {
+		t.Fatalf("/debug/metrics is not valid JSON: %v", err)
+	}
+	if v, ok := metrics["queries.total"].(float64); !ok || v != 2 {
+		t.Errorf("queries.total = %v, want 2", metrics["queries.total"])
+	}
+	if v, ok := metrics["pool.logical_reads"].(float64); !ok || v == 0 {
+		t.Errorf("pool.logical_reads gauge = %v, want nonzero", metrics["pool.logical_reads"])
+	}
+
+	// /debug/traces: both queries crossed the 1ns threshold.
+	var traces []json.RawMessage
+	if err := json.Unmarshal(get("/debug/traces"), &traces); err != nil {
+		t.Fatalf("/debug/traces is not valid JSON: %v", err)
+	}
+	if len(traces) != 2 {
+		t.Errorf("expected 2 retained traces, got %d", len(traces))
+	}
+
+	// The shell's stats command must surface the same layer.
+	sb.Reset()
+	if err := s.exec("stats"); err != nil {
+		t.Fatal(err)
+	}
+	s.out.Flush()
+	out := sb.String()
+	for _, want := range []string{"pool:", "decode cache:", "queries: 2 total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}

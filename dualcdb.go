@@ -30,10 +30,13 @@
 package dualcdb
 
 import (
+	"net/http"
+
 	"dualcdb/internal/constraint"
 	"dualcdb/internal/core"
 	"dualcdb/internal/geom"
 	"dualcdb/internal/harness"
+	"dualcdb/internal/obs"
 	"dualcdb/internal/pagestore"
 	"dualcdb/internal/rplustree"
 	"dualcdb/internal/workload"
@@ -256,6 +259,35 @@ func RunQueryFigure(id, title string, cfg FigureConfig) (Figure, error) {
 
 // RunSpaceFigure regenerates Figure 10.
 func RunSpaceFigure(cfg FigureConfig) (Figure, error) { return harness.RunSpaceFigure(cfg) }
+
+// Observability layer (metrics registry, per-query tracing, slow-query
+// log, debug server).
+type (
+	// Observer aggregates per-query metrics, stage-span latencies and
+	// slow-query traces for one index; attach it with
+	// IndexOptions.Observe or Index.SetObserver. A nil *Observer is
+	// valid everywhere and costs nothing on the query path.
+	Observer = obs.Observer
+	// ObserverOptions configures an Observer (slow threshold, logger,
+	// trace-ring capacity).
+	ObserverOptions = obs.Options
+	// ObserverSnapshot is a point-in-time read of an Observer.
+	ObserverSnapshot = obs.Snapshot
+	// TraceSnapshot is one retained per-query trace with its stage
+	// spans.
+	TraceSnapshot = obs.TraceSnapshot
+	// StatsSnapshot is the unified observability view of one Index
+	// (shape, pool, caches, sweeps, observer aggregates).
+	StatsSnapshot = core.StatsSnapshot
+)
+
+// NewObserver creates a metrics-and-tracing observer.
+func NewObserver(opt ObserverOptions) *Observer { return obs.New(opt) }
+
+// DebugMux builds the live debug server's handler: /debug/stats (the
+// stats callback's JSON), /debug/metrics, /debug/traces and
+// /debug/pprof. Either argument may be nil.
+func DebugMux(stats func() any, o *Observer) *http.ServeMux { return obs.DebugMux(stats, o) }
 
 // DefaultPageSize is the paper's 1024-byte page size.
 const DefaultPageSize = pagestore.DefaultPageSize

@@ -1,0 +1,203 @@
+package unitdriver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The vetx file this driver writes is no longer empty: it records the
+// unit's analysis result — the fingerprint of everything that went into
+// it, the analyzer selection and the diagnostics — as JSON. The go
+// command treats the file as opaque fact data and feeds dependency vetx
+// files back through Config.PackageVetx, which makes the fingerprint
+// transitive: a dependency's record embeds hashes of its sources, so
+// hashing dep vetx files captures the whole compile closure without
+// touching export data.
+//
+// The same record is mirrored in an external cache directory
+// ($DUALVET_CACHE, default <user cache>/dualvet) keyed by fingerprint.
+// That is what survives a thrown-away GOCACHE: when the go command
+// re-invokes the driver on an unchanged unit, the fingerprint matches, the
+// recorded diagnostics replay verbatim and the parse/type-check/analysis
+// pipeline is skipped entirely. Diagnostics make go vet exit nonzero, so
+// failing units are re-invoked on every run — replay keeps them cheap.
+//
+// $DUALVET_TRACE, when set to a file path, appends one line per unit —
+// "cold", "warm" or "vetxonly" plus the import path — so tests (and
+// curious humans) can observe the cache behaviour.
+
+const vetxVersion = 1
+
+// diagRecord is one recorded diagnostic, position pre-formatted.
+type diagRecord struct {
+	Position string `json:"position"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
+// vetxRecord is the JSON body of a vetx file and of a cache entry.
+type vetxRecord struct {
+	Version     int          `json:"version"`
+	Fingerprint string       `json:"fingerprint"`
+	ImportPath  string       `json:"import_path"`
+	Analyzers   []string     `json:"analyzers,omitempty"`
+	Diagnostics []diagRecord `json:"diagnostics,omitempty"`
+}
+
+// fingerprint hashes everything that can change this unit's diagnostics:
+// the driver binary, the analyzer selection, the unit identity, every
+// source file's contents, and every dependency's vetx record (itself a
+// fingerprint over that dependency's sources, transitively). Returns ""
+// when any input cannot be read — the caller then skips caching.
+func fingerprint(cfg *Config, analyzerNames []string) string {
+	h := sha256.New()
+	self, err := selfHash()
+	if err != nil {
+		return ""
+	}
+	fmt.Fprintf(h, "driver %s\n", self)
+	fmt.Fprintf(h, "unit %s %s %s\n", cfg.ImportPath, cfg.GoVersion, cfg.Compiler)
+	for _, name := range analyzerNames {
+		fmt.Fprintf(h, "analyzer %s\n", name)
+	}
+	for _, file := range cfg.GoFiles {
+		sum, err := fileHash(file)
+		if err != nil {
+			return ""
+		}
+		fmt.Fprintf(h, "gofile %s %s\n", filepath.Base(file), sum)
+	}
+	deps := make([]string, 0, len(cfg.PackageVetx))
+	for dep := range cfg.PackageVetx {
+		deps = append(deps, dep)
+	}
+	sort.Strings(deps)
+	for _, dep := range deps {
+		sum, err := fileHash(cfg.PackageVetx[dep])
+		if err != nil {
+			return ""
+		}
+		fmt.Fprintf(h, "depvetx %s %s\n", dep, sum)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func fileHash(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// selfHash hashes the driver executable, the same identity -V=full
+// reports to the go command's build cache.
+func selfHash() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	return fileHash(exe)
+}
+
+// cacheDir resolves the external cache directory; "" disables it.
+func cacheDir() string {
+	if dir := os.Getenv("DUALVET_CACHE"); dir != "" {
+		if dir == "off" {
+			return ""
+		}
+		return dir
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "dualvet")
+}
+
+// cacheLookup returns the recorded result for fp, if any.
+func cacheLookup(fp string) (vetxRecord, bool) {
+	dir := cacheDir()
+	if dir == "" || fp == "" {
+		return vetxRecord{}, false
+	}
+	data, err := os.ReadFile(filepath.Join(dir, fp+".json"))
+	if err != nil {
+		return vetxRecord{}, false
+	}
+	var rec vetxRecord
+	if err := json.Unmarshal(data, &rec); err != nil || rec.Version != vetxVersion || rec.Fingerprint != fp {
+		return vetxRecord{}, false
+	}
+	return rec, true
+}
+
+// cacheStore writes rec under its fingerprint via a temp file + rename,
+// so concurrent unit processes never observe a torn entry. Failures are
+// silent: the cache is an accelerator, never a correctness dependency.
+func cacheStore(rec vetxRecord) {
+	dir := cacheDir()
+	if dir == "" || rec.Fingerprint == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, filepath.Join(dir, rec.Fingerprint+".json")); err != nil {
+		os.Remove(name)
+	}
+}
+
+// writeVetx persists rec as the unit's fact file for the go build cache.
+func writeVetx(cfg *Config, rec vetxRecord) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.VetxOutput, data, 0o666)
+}
+
+// trace appends one "<event> <importpath>" line to $DUALVET_TRACE.
+func trace(event, importPath string) {
+	path := os.Getenv("DUALVET_TRACE")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o666)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(f, "%s %s\n", event, importPath)
+	f.Close()
+}

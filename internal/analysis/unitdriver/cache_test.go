@@ -1,0 +1,137 @@
+package unitdriver
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWarmSecondRun proves the vetx/result cache works end to end: a cold
+// `go vet -vettool=dualvet` run analyzes the package and records its
+// diagnostics; a second run with a *fresh* GOCACHE (so the go command
+// re-invokes the tool) but the same DUALVET_CACHE replays the recorded
+// diagnostics without re-analyzing. DUALVET_TRACE lines distinguish the
+// two paths.
+func TestWarmSecondRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet twice")
+	}
+	tmp := t.TempDir()
+
+	// Build the dualvet tool from this repo.
+	tool := filepath.Join(tmp, "dualvet")
+	build := exec.Command("go", "build", "-o", tool, "dualcdb/cmd/dualvet")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building dualvet: %v\n%s", err, out)
+	}
+
+	// A tiny throwaway module with one floatcmp violation.
+	mod := filepath.Join(tmp, "mod")
+	if err := os.MkdirAll(mod, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module tmpmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(mod, "a.go"), `package tmpmod
+
+func sameFloat(a, b float64) bool { return a == b }
+`)
+
+	cache := filepath.Join(tmp, "dualvet-cache")
+	runVet := func(gocache, traceFile string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+		cmd.Dir = mod
+		cmd.Env = append(os.Environ(),
+			"GOCACHE="+gocache,
+			"GOFLAGS=-mod=mod",
+			"DUALVET_CACHE="+cache,
+			"DUALVET_TRACE="+traceFile,
+		)
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	trace1 := filepath.Join(tmp, "trace1")
+	out1, err := runVet(filepath.Join(tmp, "gocacheA"), trace1)
+	if err == nil {
+		t.Fatalf("cold run should fail on the floatcmp violation, output:\n%s", out1)
+	}
+	if !strings.Contains(out1, "[dualvet:floatcmp]") {
+		t.Fatalf("cold run did not report the floatcmp diagnostic:\n%s", out1)
+	}
+	if events := traceEvents(t, trace1, "tmpmod"); !contains(events, "cold") || contains(events, "warm") {
+		t.Fatalf("first run should be cold, trace events for tmpmod: %v", events)
+	}
+
+	// Fresh GOCACHE forces the go command to re-invoke the tool; the
+	// shared DUALVET_CACHE must make that invocation a warm replay with
+	// identical diagnostics.
+	trace2 := filepath.Join(tmp, "trace2")
+	out2, err := runVet(filepath.Join(tmp, "gocacheB"), trace2)
+	if err == nil {
+		t.Fatalf("warm run should still fail on the recorded violation, output:\n%s", out2)
+	}
+	if !strings.Contains(out2, "[dualvet:floatcmp]") {
+		t.Fatalf("warm run did not replay the floatcmp diagnostic:\n%s", out2)
+	}
+	events := traceEvents(t, trace2, "tmpmod")
+	if !contains(events, "warm") {
+		t.Fatalf("second run with a shared cache should be warm, trace events for tmpmod: %v", events)
+	}
+	if contains(events, "cold") {
+		t.Fatalf("second run re-analyzed the unchanged package, trace events: %v", events)
+	}
+
+	// Editing the source must invalidate the fingerprint: third run,
+	// again with a fresh GOCACHE, goes cold and reports the new position.
+	writeFile(t, filepath.Join(mod, "a.go"), `package tmpmod
+
+// moved down a line
+func sameFloat(a, b float64) bool { return a == b }
+`)
+	trace3 := filepath.Join(tmp, "trace3")
+	out3, err := runVet(filepath.Join(tmp, "gocacheC"), trace3)
+	if err == nil {
+		t.Fatalf("edited run should fail, output:\n%s", out3)
+	}
+	if events := traceEvents(t, trace3, "tmpmod"); !contains(events, "cold") {
+		t.Fatalf("edited package should re-analyze cold, trace events: %v", events)
+	}
+	if !strings.Contains(out3, "a.go:4") {
+		t.Fatalf("edited run should report the new diagnostic position:\n%s", out3)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// traceEvents returns the events recorded for importPath in a trace file.
+func traceEvents(t *testing.T, path, importPath string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading trace file: %v", err)
+	}
+	var events []string
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[1] == importPath {
+			events = append(events, fields[0])
+		}
+	}
+	return events
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -13,8 +13,12 @@
 // prints diagnostics to stderr (exit status 1 when there are any).
 //
 // Cross-package facts are not implemented — dualvet's analyzers are
-// package-local — so the fact file (.vetx) this driver writes for the build
-// cache is always empty.
+// package-local — but the fact file (.vetx) this driver writes is not
+// empty: it records a fingerprint of the unit's inputs plus the
+// diagnostics the analyzers produced (see cache.go). The same record is
+// mirrored in an external cache ($DUALVET_CACHE) so a repeat run over an
+// unchanged package replays the recorded diagnostics instead of
+// re-type-checking and re-analyzing, even when GOCACHE was discarded.
 //
 // Invoked with package patterns instead of a .cfg file, the driver re-executes
 // itself through `go vet -vettool=<self>`, which provides the standalone
@@ -157,16 +161,46 @@ func runUnit(cfgFile string, analyzers []*framework.Analyzer) int {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Always write the (empty) fact file first: the go command caches it
-	// as this unit's vet output even in VetxOnly mode.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	fp := fingerprint(cfg, names)
+	rec := vetxRecord{Version: vetxVersion, Fingerprint: fp, ImportPath: cfg.ImportPath}
+
+	if cfg.VetxOnly {
+		// Dependency unit: the go command only wants the fact file. The
+		// fingerprint alone is the fact — it hashes this package's sources,
+		// so dependents' fingerprints change when this package does.
+		if err := writeVetx(cfg, rec); err != nil {
 			log.Fatal(err)
 		}
-	}
-	if cfg.VetxOnly {
+		trace("vetxonly", cfg.ImportPath)
 		return 0
 	}
+
+	if cached, ok := cacheLookup(fp); ok {
+		// Warm: replay the recorded diagnostics, skipping parse,
+		// type-check and analysis entirely.
+		if err := writeVetx(cfg, cached); err != nil {
+			log.Fatal(err)
+		}
+		trace("warm", cfg.ImportPath)
+		for _, d := range cached.Diagnostics {
+			fmt.Fprintf(os.Stderr, "%s: %s [dualvet:%s]\n", d.Position, d.Message, d.Analyzer)
+		}
+		if len(cached.Diagnostics) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	// Cold: write a provisional fact file so it exists even if a parse or
+	// type-check failure aborts the process, then analyze for real.
+	if err := writeVetx(cfg, rec); err != nil {
+		log.Fatal(err)
+	}
+	trace("cold", cfg.ImportPath)
 
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -198,10 +232,22 @@ func runUnit(cfgFile string, analyzers []*framework.Analyzer) int {
 	if err != nil {
 		log.Fatal(err)
 	}
+	rec.Analyzers = names
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s [dualvet:%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		rec.Diagnostics = append(rec.Diagnostics, diagRecord{
+			Position: fset.Position(d.Pos).String(),
+			Message:  d.Message,
+			Analyzer: d.Analyzer,
+		})
 	}
-	if len(diags) > 0 {
+	if err := writeVetx(cfg, rec); err != nil {
+		log.Fatal(err)
+	}
+	cacheStore(rec)
+	for _, d := range rec.Diagnostics {
+		fmt.Fprintf(os.Stderr, "%s: %s [dualvet:%s]\n", d.Position, d.Message, d.Analyzer)
+	}
+	if len(rec.Diagnostics) > 0 {
 		return 1
 	}
 	return 0

@@ -7,12 +7,15 @@ import (
 	"dualcdb/internal/pagestore"
 )
 
-// DecodeStats counts decoded-node cache traffic.
+// DecodeStats counts decoded-node cache traffic. Resident is a gauge —
+// the number of decoded nodes currently held — while the other fields
+// are monotone counters.
 type DecodeStats struct {
 	Hits          uint64 // lookups served from a current decode
 	Misses        uint64 // lookups for pages never decoded (or evicted)
 	Invalidations uint64 // lookups that found a stale decode and refreshed it
 	Evictions     uint64 // decodes dropped by the cache's capacity bound
+	Resident      uint64 // decoded nodes currently cached
 }
 
 // Add accumulates other into s (for summing stats across trees).
@@ -21,6 +24,7 @@ func (s *DecodeStats) Add(o DecodeStats) {
 	s.Misses += o.Misses
 	s.Invalidations += o.Invalidations
 	s.Evictions += o.Evictions
+	s.Resident += o.Resident
 }
 
 // decodedNode is the parsed form of one page: the slices that node.entries
@@ -129,11 +133,15 @@ func (c *nodeCache) lookup(n node) *decodedNode {
 }
 
 func (c *nodeCache) stats() DecodeStats {
+	c.mu.RLock()
+	resident := len(c.m)
+	c.mu.RUnlock()
 	return DecodeStats{
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),
 		Invalidations: c.invalidations.Load(),
 		Evictions:     c.evictions.Load(),
+		Resident:      uint64(resident),
 	}
 }
 

@@ -21,6 +21,7 @@ type LeafView struct {
 // leafState snapshots a pinned leaf for a sweep: its view plus both chain
 // links, through the decoded-node cache when enabled.
 func (t *Tree) leafState(leaf node) (lv LeafView, next, prev pagestore.PageID) {
+	t.leavesVisited.Add(1)
 	if t.cache != nil {
 		d := t.cache.lookup(leaf)
 		return LeafView{Page: leaf.id(), Entries: d.entries, Handicaps: d.handicaps}, d.next, d.prev

@@ -3,6 +3,7 @@ package btree
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"dualcdb/internal/pagestore"
 )
@@ -48,6 +49,12 @@ type Tree struct {
 	// cache holds decoded pages, validated against frame version stamps;
 	// nil when Config.NoDecodeCache is set.
 	cache *nodeCache
+
+	// Traversal counters (atomics: sweeps run concurrently). descents
+	// counts root-to-leaf searches, leavesVisited the leaves snapshotted
+	// by chain sweeps.
+	descents      atomic.Uint64
+	leavesVisited atomic.Uint64
 
 	leafCap int
 	intCap  int
@@ -207,6 +214,7 @@ func (t *Tree) findLeaf(e Entry) (node, error) {
 // Internal nodes are routed through the decoded-node cache when enabled,
 // so repeated descents stop re-parsing separator bytes.
 func (t *Tree) findLeafTracked(e Entry, rc *pagestore.ReadCounter) (node, error) {
+	t.descents.Add(1)
 	n, err := t.getTracked(t.root, rc)
 	if err != nil {
 		return node{}, err
@@ -234,6 +242,28 @@ func (t *Tree) DecodeCacheStats() DecodeStats {
 		return DecodeStats{}
 	}
 	return t.cache.stats()
+}
+
+// SweepStats counts tree-traversal activity: root-to-leaf descents
+// (searches, sweep starts, handicap routing) and leaves snapshotted by
+// chain sweeps. Monotone over the tree's lifetime.
+type SweepStats struct {
+	Descents      uint64 `json:"descents"`
+	LeavesVisited uint64 `json:"leaves_visited"`
+}
+
+// Add accumulates other into s (for summing stats across trees).
+func (s *SweepStats) Add(o SweepStats) {
+	s.Descents += o.Descents
+	s.LeavesVisited += o.LeavesVisited
+}
+
+// SweepStats returns the tree's traversal counters.
+func (t *Tree) SweepStats() SweepStats {
+	return SweepStats{
+		Descents:      t.descents.Load(),
+		LeavesVisited: t.leavesVisited.Load(),
+	}
 }
 
 // Contains reports whether the exact entry (key, tid) is present.

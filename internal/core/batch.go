@@ -66,6 +66,7 @@ func (ix *Index) QueryBatch(qs []constraint.Query, opts BatchOptions) ([]Result,
 		workers = len(qs)
 	}
 
+	bt := ix.opt.Observe.StartBatch()
 	results := make([]Result, len(qs))
 	bufs := &sync.Pool{}
 	var next atomic.Int64
@@ -88,6 +89,7 @@ func (ix *Index) QueryBatch(qs []constraint.Query, opts BatchOptions) ([]Result,
 					parallelSweeps:  !opts.DisableIntraQuery,
 					refineThreshold: opts.RefineThreshold,
 					bufs:            bufs,
+					obs:             ix.opt.Observe,
 				}
 				if !opts.DisableIntraQuery {
 					ec.refineWorkers = opts.RefineWorkers
@@ -103,6 +105,7 @@ func (ix *Index) QueryBatch(qs []constraint.Query, opts BatchOptions) ([]Result,
 		}()
 	}
 	wg.Wait()
+	bt.Done()
 	if firstErr != nil {
 		return nil, firstErr
 	}

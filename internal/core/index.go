@@ -103,6 +103,7 @@ func New(rel *constraint.Relation, opt Options) (*Index, error) {
 			return nil, err
 		}
 	}
+	ix.registerGauges()
 	return ix, nil
 }
 

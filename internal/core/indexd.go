@@ -8,6 +8,7 @@ import (
 	"dualcdb/internal/btree"
 	"dualcdb/internal/constraint"
 	"dualcdb/internal/geom"
+	"dualcdb/internal/obs"
 	"dualcdb/internal/pagestore"
 )
 
@@ -56,6 +57,9 @@ type OptionsD struct {
 	FillFactor float64
 	// RebuildHandicapsEvery as in Options.
 	RebuildHandicapsEvery int
+	// Observe as in Options: attaches per-query metrics and tracing; nil
+	// keeps the query path allocation-free.
+	Observe *obs.Observer
 }
 
 // Handicap slots of the d-dimensional trees.
@@ -478,6 +482,22 @@ func (ix *IndexD) nearestSite(p geom.Point) (int, bool) {
 
 // Query executes a d-dimensional ALL/EXIST half-plane selection.
 func (ix *IndexD) Query(q constraint.Query) (Result, error) {
+	ec := &execCtx{rc: &pagestore.ReadCounter{}, obs: ix.opt.Observe}
+	if ec.obs != nil {
+		ec.tr = ec.obs.StartQuery(q.String())
+		res, err := ix.queryD(q, ec)
+		ec.obs.FinishQuery(ec.tr, queryInfo(res.Stats, err))
+		ec.tr = nil
+		return res, err
+	}
+	return ix.queryD(q, ec)
+}
+
+// queryD validates, routes and dispatches one selection; every page read
+// is charged to the execCtx's exact per-query counter (a before/after
+// delta on the shared pool counters would absorb concurrent queries'
+// misses).
+func (ix *IndexD) queryD(q constraint.Query, ec *execCtx) (Result, error) {
 	if q.Dim() != ix.dim {
 		return Result{}, fmt.Errorf("core: query dimension %d, index dimension %d", q.Dim(), ix.dim)
 	}
@@ -486,22 +506,23 @@ func (ix *IndexD) Query(q constraint.Query) (Result, error) {
 			return Result{}, fmt.Errorf("core: invalid query slope %v", q.Slope)
 		}
 	}
-	before := ix.pool.Stats().PhysicalReads
 	p := geom.Point(q.Slope)
+	sp := ec.span(obs.StageRoute)
 	i, exact := ix.nearestSite(p)
+	ec.endSpan(sp, 0)
 
 	var res Result
 	var err error
 	switch {
 	case exact:
-		res, err = ix.runRestrictedD(i, q)
+		res, err = ix.runRestrictedD(i, q, ec)
 	default:
 		in, cerr := ix.cells[i].Contains(p)
 		if cerr != nil {
 			return Result{}, cerr
 		}
 		if in {
-			res, err = ix.runT2D(i, q)
+			res, err = ix.runT2D(i, q, ec)
 		} else {
 			res, err = ix.runScan(q)
 		}
@@ -509,7 +530,7 @@ func (ix *IndexD) Query(q constraint.Query) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res.Stats.PagesRead = ix.pool.Stats().PhysicalReads - before
+	res.Stats.PagesRead = ec.rc.Physical.Load()
 	return res, nil
 }
 
@@ -521,14 +542,15 @@ func (ix *IndexD) treeD(i int, q constraint.Query) *btree.Tree {
 }
 
 // runRestrictedD answers a query whose slope point is in S.
-func (ix *IndexD) runRestrictedD(i int, q constraint.Query) (Result, error) {
+func (ix *IndexD) runRestrictedD(i int, q constraint.Query, ec *execCtx) (Result, error) {
 	st := QueryStats{Path: "restricted"}
 	tr := ix.treeD(i, q)
 	b := q.Intercept
 	var cands []uint32
 	var err error
+	sw := ec.span(obs.StageSweep)
 	if q.SweepsUp() {
-		err = tr.VisitLeavesAsc(b, func(lv btree.LeafView) bool {
+		err = tr.VisitLeavesAscTracked(b, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			for _, e := range lv.Entries {
 				if e.Key >= b-geom.Eps {
@@ -538,7 +560,7 @@ func (ix *IndexD) runRestrictedD(i int, q constraint.Query) (Result, error) {
 			return true
 		})
 	} else {
-		err = tr.VisitLeavesDesc(b, func(lv btree.LeafView) bool {
+		err = tr.VisitLeavesDescTracked(b, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			for _, e := range lv.Entries {
 				if e.Key <= b+geom.Eps {
@@ -548,21 +570,23 @@ func (ix *IndexD) runRestrictedD(i int, q constraint.Query) (Result, error) {
 			return true
 		})
 	}
+	ec.endSpan(sw, len(cands))
 	if err != nil {
 		return Result{}, err
 	}
-	return ix.refineD(q, cands, st)
+	return ix.refineD(q, cands, st, ec)
 }
 
 // runT2D is the cell-handicap analogue of the 2-D T2 execution.
-func (ix *IndexD) runT2D(i int, q constraint.Query) (Result, error) {
+func (ix *IndexD) runT2D(i int, q constraint.Query, ec *execCtx) (Result, error) {
 	st := QueryStats{Path: "t2"}
 	tr := ix.treeD(i, q)
 	b := q.Intercept
 	var cands []uint32
 	if q.SweepsUp() {
 		low := math.Inf(1)
-		err := tr.VisitLeavesAsc(b, func(lv btree.LeafView) bool {
+		sw := ec.span(obs.StageSweep)
+		err := tr.VisitLeavesAscTracked(b, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			if h := lv.Handicaps[slotDLow]; h < low {
 				low = h
@@ -574,11 +598,14 @@ func (ix *IndexD) runT2D(i int, q constraint.Query) (Result, error) {
 			}
 			return true
 		})
+		ec.endSpan(sw, len(cands))
 		if err != nil {
 			return Result{}, err
 		}
 		if low < b {
-			err = tr.VisitLeavesDesc(b, func(lv btree.LeafView) bool {
+			n1 := len(cands)
+			sw2 := ec.span(obs.StageSweepSecond)
+			err = tr.VisitLeavesDescTracked(b, ec.rc, func(lv btree.LeafView) bool {
 				st.LeavesSwept++
 				done := false
 				for _, e := range lv.Entries {
@@ -593,13 +620,15 @@ func (ix *IndexD) runT2D(i int, q constraint.Query) (Result, error) {
 				}
 				return !done
 			})
+			ec.endSpan(sw2, len(cands)-n1)
 			if err != nil {
 				return Result{}, err
 			}
 		}
 	} else {
 		high := math.Inf(-1)
-		err := tr.VisitLeavesDesc(b, func(lv btree.LeafView) bool {
+		sw := ec.span(obs.StageSweep)
+		err := tr.VisitLeavesDescTracked(b, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			if h := lv.Handicaps[slotDHigh]; h > high {
 				high = h
@@ -611,11 +640,14 @@ func (ix *IndexD) runT2D(i int, q constraint.Query) (Result, error) {
 			}
 			return true
 		})
+		ec.endSpan(sw, len(cands))
 		if err != nil {
 			return Result{}, err
 		}
 		if high > b {
-			err = tr.VisitLeavesAsc(b, func(lv btree.LeafView) bool {
+			n1 := len(cands)
+			sw2 := ec.span(obs.StageSweepSecond)
+			err = tr.VisitLeavesAscTracked(b, ec.rc, func(lv btree.LeafView) bool {
 				st.LeavesSwept++
 				done := false
 				for _, e := range lv.Entries {
@@ -630,12 +662,13 @@ func (ix *IndexD) runT2D(i int, q constraint.Query) (Result, error) {
 				}
 				return !done
 			})
+			ec.endSpan(sw2, len(cands)-n1)
 			if err != nil {
 				return Result{}, err
 			}
 		}
 	}
-	return ix.refineD(q, cands, st)
+	return ix.refineD(q, cands, st, ec)
 }
 
 // runScan answers a query whose slope lies outside every clamped cell by
@@ -653,8 +686,10 @@ func (ix *IndexD) runScan(q constraint.Query) (Result, error) {
 }
 
 // refineD filters candidates through the exact predicate.
-func (ix *IndexD) refineD(q constraint.Query, cands []uint32, st QueryStats) (Result, error) {
+func (ix *IndexD) refineD(q constraint.Query, cands []uint32, st QueryStats, ec *execCtx) (Result, error) {
 	st.Candidates = len(cands)
+	rf := ec.span(obs.StageRefine)
+	defer func() { ec.endSpan(rf, len(cands)) }()
 	ids := make([]constraint.TupleID, 0, len(cands))
 	for _, tid := range cands {
 		t, err := ix.rel.Get(constraint.TupleID(tid))

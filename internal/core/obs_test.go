@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/geom"
+	"dualcdb/internal/obs"
+)
+
+// obsIndex builds a small T2 index with a fresh observer attached; the
+// slow threshold of 1ns retains every query's trace in the ring.
+func obsIndex(t *testing.T, n int) (*Index, *obs.Observer, []constraint.Query) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(91))
+	rel := constraint.NewRelation(2)
+	for i := 0; i < n; i++ {
+		if _, err := rel.Insert(randTuple(rng, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o := obs.New(obs.Options{Name: "test", SlowThreshold: 1, TraceCapacity: 256})
+	ix, err := Build(rel, Options{
+		Slopes:    EquiangularSlopes(3),
+		Technique: T2,
+		PoolPages: 1 << 14,
+		Observe:   o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]constraint.Query, 48)
+	for i := range queries {
+		queries[i] = randQuery(rng)
+	}
+	return ix, o, queries
+}
+
+// TestObservedBatchReconciles is the acceptance check of the observability
+// layer: after an observed QueryBatch, the observer's aggregates must agree
+// exactly with the per-result QueryStats and with the pool's physical-read
+// counter. DisableIntraQuery keeps every query's stages sequential, so even
+// the per-span page attribution must sum to the query's exact PagesRead.
+func TestObservedBatchReconciles(t *testing.T) {
+	ix, o, queries := obsIndex(t, 800)
+
+	poolBefore := ix.Pool().Stats().PhysicalReads
+	// Evict so the batch actually faults pages in (the build warmed the
+	// pool); physical reads make the pages-reconciliation non-vacuous.
+	if err := ix.Pool().EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	results, err := ix.QueryBatch(queries, BatchOptions{Workers: 4, DisableIntraQuery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolDelta := ix.Pool().Stats().PhysicalReads - poolBefore
+
+	var wantPages, gotCand, gotRes, gotFalse, gotDup, gotLeaves uint64
+	for _, r := range results {
+		wantPages += r.Stats.PagesRead
+		gotCand += uint64(r.Stats.Candidates)
+		gotRes += uint64(r.Stats.Results)
+		gotFalse += uint64(r.Stats.FalseHits)
+		gotDup += uint64(r.Stats.Duplicates)
+		gotLeaves += uint64(r.Stats.LeavesSwept)
+	}
+	if wantPages == 0 {
+		t.Fatal("batch read no pages; reconciliation is vacuous")
+	}
+	// The batch workers are the pool's only readers, and each miss is
+	// charged to exactly one query's ReadCounter.
+	if poolDelta != wantPages {
+		t.Errorf("pool physical reads %d != sum of per-query PagesRead %d", poolDelta, wantPages)
+	}
+
+	s := o.ObserverSnapshot()
+	if s.Queries != uint64(len(queries)) {
+		t.Errorf("observer saw %d queries, want %d", s.Queries, len(queries))
+	}
+	if s.Batches != 1 {
+		t.Errorf("observer saw %d batches, want 1", s.Batches)
+	}
+	if s.Totals.Count != uint64(len(queries)) {
+		t.Errorf("path counts sum to %d, want %d", s.Totals.Count, len(queries))
+	}
+	if s.Totals.Pages != wantPages {
+		t.Errorf("observer pages %d != sum of per-query PagesRead %d", s.Totals.Pages, wantPages)
+	}
+	if s.Totals.Candidates != gotCand || s.Totals.Results != gotRes ||
+		s.Totals.FalseHits != gotFalse || s.Totals.Duplicates != gotDup ||
+		s.Totals.LeavesSwept != gotLeaves {
+		t.Errorf("observer totals %+v disagree with result sums (cand %d res %d false %d dup %d leaves %d)",
+			s.Totals, gotCand, gotRes, gotFalse, gotDup, gotLeaves)
+	}
+	// Histogram counts must agree with the counters they accompany.
+	var histCount uint64
+	for name, ps := range s.Paths {
+		if ps.Latency.Count != ps.Count {
+			t.Errorf("path %s: latency histogram count %d != path count %d", name, ps.Latency.Count, ps.Count)
+		}
+		histCount += ps.Latency.Count
+	}
+	if histCount != uint64(len(queries)) {
+		t.Errorf("histogram counts sum to %d, want %d", histCount, len(queries))
+	}
+	// With sequential stages, every physical read happens inside a span,
+	// so the per-stage page totals partition the exact query total.
+	var stagePages uint64
+	for _, st := range s.Stages {
+		stagePages += st.Pages
+	}
+	if stagePages != wantPages {
+		t.Errorf("stage span pages %d != sum of per-query PagesRead %d", stagePages, wantPages)
+	}
+
+	// Per-trace: each retained trace's span pages sum to its query total.
+	traces := o.SlowTraces()
+	if len(traces) != len(queries) {
+		t.Fatalf("ring retained %d traces, want %d", len(traces), len(queries))
+	}
+	for _, tr := range traces {
+		var sum uint64
+		for _, sp := range tr.Spans {
+			sum += sp.Pages
+		}
+		if sum != tr.Pages {
+			t.Errorf("trace %q: span pages %d != trace pages %d", tr.Query, sum, tr.Pages)
+		}
+	}
+}
+
+// TestObservedCompoundQueries checks that line stabs, vertical selections
+// and generalized query tuples each record exactly one trace (their
+// sub-queries share it) with exact page attribution.
+func TestObservedCompoundQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	rel := constraint.NewRelation(2)
+	for i := 0; i < 400; i++ {
+		if _, err := rel.Insert(randTuple(rng, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o := obs.New(obs.Options{SlowThreshold: 1, TraceCapacity: 16})
+	ix, err := Build(rel, Options{
+		Slopes:        EquiangularSlopes(3),
+		Technique:     T2,
+		IndexVertical: true,
+		PoolPages:     1 << 14,
+		Observe:       o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Pool().EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	lineRes, err := ix.QueryLine(0.4, -3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.QueryVertical(constraint.EXIST, geom.GE, 5); err != nil {
+		t.Fatal(err)
+	}
+	window, err := constraint.ParseTuple("x >= -20 && x <= 20 && y >= -20 && y <= 20", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tupRes, err := ix.QueryTuple(constraint.EXIST, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := o.ObserverSnapshot()
+	if s.Queries != 3 {
+		t.Fatalf("observer saw %d queries, want 3 (compound queries own a single trace)", s.Queries)
+	}
+	for _, tr := range o.SlowTraces() {
+		var sum uint64
+		for _, sp := range tr.Spans {
+			sum += sp.Pages
+		}
+		if sum != tr.Pages {
+			t.Errorf("trace %q: span pages %d != trace pages %d", tr.Query, sum, tr.Pages)
+		}
+	}
+	if lineRes.Stats.PagesRead == 0 && tupRes.Stats.PagesRead == 0 {
+		t.Error("compound queries read no pages on an evicted pool")
+	}
+}
+
+// TestNilObserverAddsNoAllocs pins the zero-overhead invariant: a query
+// with Observe nil allocates exactly as many objects as one on an index
+// that never had an observer, and attaching/detaching restores it.
+func TestNilObserverAddsNoAllocs(t *testing.T) {
+	ix, o, queries := obsIndex(t, 400)
+	q := queries[0]
+	// Warm everything (pool, decode cache, tuple extensions).
+	if _, err := ix.Query(q); err != nil {
+		t.Fatal(err)
+	}
+
+	ix.SetObserver(nil)
+	bare := testing.AllocsPerRun(200, func() {
+		if _, err := ix.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ix.SetObserver(o)
+	observed := testing.AllocsPerRun(200, func() {
+		if _, err := ix.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ix.SetObserver(nil)
+	detached := testing.AllocsPerRun(200, func() {
+		if _, err := ix.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if detached != bare {
+		t.Errorf("detached observer changed allocations: bare %.1f, after detach %.1f", bare, detached)
+	}
+	if observed < bare {
+		t.Errorf("observed path allocated less (%.1f) than bare (%.1f)?", observed, bare)
+	}
+	t.Logf("allocs/op: bare %.1f, observed %.1f", bare, observed)
+}
+
+// BenchmarkQueryBare and BenchmarkQueryObserved are the perf guard the
+// nil-hook invariant is judged by: the bare run must report 0 B/op on the
+// warm path, and the observed run shows the cost of full tracing.
+func BenchmarkQueryBare(b *testing.B)     { benchObserved(b, false) }
+func BenchmarkQueryObserved(b *testing.B) { benchObserved(b, true) }
+
+func benchObserved(b *testing.B, observed bool) {
+	_, ix, queries := benchIndex(b, 2000, 3, T2, 0)
+	if observed {
+		ix.SetObserver(obs.New(obs.Options{Name: "bench"}))
+	}
+	// Warm the pool and caches so allocation numbers reflect the steady
+	// state, not first-touch decode work.
+	for _, q := range queries {
+		if _, err := ix.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Query(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"dualcdb/internal/btree"
 	"dualcdb/internal/geom"
+	"dualcdb/internal/obs"
 	"dualcdb/internal/pagestore"
 )
 
@@ -120,6 +121,13 @@ type Options struct {
 	// default, which keeps per-query PagesRead exactly the paper's page
 	// accesses even for early-terminated sweeps).
 	Readahead int
+	// Observe attaches a metrics-and-tracing observer to every query this
+	// index executes: per-path counters and latency histograms, stage
+	// spans (routing, sweeps, dedup, refinement), a slow-query log and a
+	// slow-trace ring. nil (the default) compiles to a handful of nil
+	// checks on the query path — zero allocations, no atomics — which the
+	// BenchmarkQueryBare/BenchmarkQueryObserved pair guards.
+	Observe *obs.Observer
 }
 
 // treeConfig is the btree configuration every tree of the index shares,

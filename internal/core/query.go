@@ -10,6 +10,7 @@ import (
 	"dualcdb/internal/btree"
 	"dualcdb/internal/constraint"
 	"dualcdb/internal/geom"
+	"dualcdb/internal/obs"
 	"dualcdb/internal/pagestore"
 )
 
@@ -70,6 +71,34 @@ type execCtx struct {
 	refineThreshold int
 	// bufs, when non-nil, recycles candidate slices across the batch.
 	bufs *sync.Pool
+	// obs is the attached observer (nil: observation off). tr is the
+	// active query trace; when a compound selection (query tuple, line
+	// stab) owns the trace, its sub-queries find tr already set and record
+	// their stage spans into it instead of opening traces of their own.
+	obs *obs.Observer
+	tr  *obs.QueryTrace
+}
+
+// span opens a stage span when this execution is traced. On the bare
+// path it costs one nil check and returns the zero timer, whose End is
+// a no-op — no allocation, no atomic traffic.
+func (ec *execCtx) span(stage obs.Stage) obs.SpanTimer {
+	if ec.tr == nil {
+		return obs.SpanTimer{}
+	}
+	return ec.tr.Begin(stage, ec.rc.Physical.Load())
+}
+
+// endSpan closes sp, attributing the physical reads since span() and
+// the stage's payload size. Span page attribution is exact when stages
+// run sequentially; T1's parallel sweeps overlap on the shared counter,
+// so their per-span pages are approximate (the query total stays
+// exact). QueryBatch's DisableIntraQuery restores exact spans.
+func (ec *execCtx) endSpan(sp obs.SpanTimer, items int) {
+	if ec.tr == nil {
+		return
+	}
+	sp.End(ec.rc.Physical.Load(), items)
 }
 
 // getBuf returns a zero-length candidate slice, reusing pooled capacity.
@@ -92,11 +121,40 @@ func (ec *execCtx) putBuf(s []uint32) {
 
 // Query executes an ALL or EXIST half-plane selection.
 func (ix *Index) Query(q constraint.Query) (Result, error) {
-	return ix.query(q, &execCtx{rc: &pagestore.ReadCounter{}})
+	return ix.query(q, &execCtx{rc: &pagestore.ReadCounter{}, obs: ix.opt.Observe})
 }
 
-// query is the shared execution core of Query and QueryBatch.
+// queryInfo maps a finished query's stats onto the observer's report.
+func queryInfo(st QueryStats, err error) obs.QueryInfo {
+	return obs.QueryInfo{
+		Path:        st.Path,
+		PagesRead:   st.PagesRead,
+		Candidates:  st.Candidates,
+		Results:     st.Results,
+		FalseHits:   st.FalseHits,
+		Duplicates:  st.Duplicates,
+		LeavesSwept: st.LeavesSwept,
+		Err:         err,
+	}
+}
+
+// query is the shared execution core of Query and QueryBatch. When an
+// observer is attached and no trace is active yet, this call owns the
+// query's trace; sub-selections sharing the execCtx (compound queries)
+// record into the already-open trace instead.
 func (ix *Index) query(q constraint.Query, ec *execCtx) (Result, error) {
+	if ec.obs != nil && ec.tr == nil {
+		ec.tr = ec.obs.StartQuery(q.String())
+		res, err := ix.queryExec(q, ec)
+		ec.obs.FinishQuery(ec.tr, queryInfo(res.Stats, err))
+		ec.tr = nil
+		return res, err
+	}
+	return ix.queryExec(q, ec)
+}
+
+// queryExec validates, routes and dispatches one half-plane selection.
+func (ix *Index) queryExec(q constraint.Query, ec *execCtx) (Result, error) {
 	if q.Dim() != 2 {
 		return Result{}, fmt.Errorf("core: query dimension %d on a 2-D index", q.Dim())
 	}
@@ -104,7 +162,9 @@ func (ix *Index) query(q constraint.Query, ec *execCtx) (Result, error) {
 	if math.IsNaN(a) || math.IsInf(a, 0) {
 		return Result{}, fmt.Errorf("core: invalid query slope %v", a)
 	}
+	sp := ec.span(obs.StageRoute)
 	i, exact := ix.nearestSlope(a)
+	ec.endSpan(sp, 0)
 
 	var res Result
 	var err error
@@ -180,7 +240,9 @@ func (ix *Index) collectRestricted(i int, q constraint.Query, st *QueryStats, rc
 // runRestricted answers a query whose slope is in S (Section 3).
 func (ix *Index) runRestricted(i int, q constraint.Query, ec *execCtx) (Result, error) {
 	st := QueryStats{Path: "restricted"}
+	sp := ec.span(obs.StageSweep)
 	cands, err := ix.collectRestricted(i, q, &st, ec.rc, ec.getBuf())
+	ec.endSpan(sp, len(cands))
 	if err != nil {
 		return Result{}, err
 	}
@@ -239,7 +301,9 @@ func PlanT1(q constraint.Query, slopes []float64, pivotX float64) ([2]AppQuery, 
 // ec.parallelSweeps they run concurrently (each with its own stats,
 // merged below; page reads land on the shared per-query counter).
 func (ix *Index) runT1(q constraint.Query, path string, ec *execCtx) (Result, error) {
+	sp := ec.span(obs.StageRoute)
 	plan, err := PlanT1(q, ix.slopes, ix.opt.PivotX)
+	ec.endSpan(sp, 0)
 	if err != nil {
 		return Result{}, err
 	}
@@ -255,15 +319,19 @@ func (ix *Index) runT1(q constraint.Query, path string, ec *execCtx) (Result, er
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
+				sw := ec.span(obs.StageSweep)
 				sweeps[s].cands, sweeps[s].err = ix.collectRestricted(
 					plan[s].SlopeIndex, plan[s].Query, &sweeps[s].st, ec.rc, ec.getBuf())
+				ec.endSpan(sw, len(sweeps[s].cands))
 			}(s)
 		}
 		wg.Wait()
 	} else {
 		for s := range plan {
+			sw := ec.span(obs.StageSweep)
 			sweeps[s].cands, sweeps[s].err = ix.collectRestricted(
 				plan[s].SlopeIndex, plan[s].Query, &sweeps[s].st, ec.rc, ec.getBuf())
+			ec.endSpan(sw, len(sweeps[s].cands))
 		}
 	}
 	for s := range sweeps {
@@ -276,6 +344,7 @@ func (ix *Index) runT1(q constraint.Query, path string, ec *execCtx) (Result, er
 	// retrieved reference (the paper's T1/T2 comparison is about exactly
 	// this redundancy). Pre-sizing seen to the total reference count
 	// avoids rehashing on the hot path.
+	dd := ec.span(obs.StageDedup)
 	total := len(sweeps[0].cands) + len(sweeps[1].cands)
 	st.Candidates = total
 	seen := make(map[uint32]int, total)
@@ -296,6 +365,7 @@ func (ix *Index) runT1(q constraint.Query, path string, ec *execCtx) (Result, er
 	for tid := range seen {
 		uniq = append(uniq, tid)
 	}
+	ec.endSpan(dd, st.Duplicates)
 	res, err := ix.refineKeepCandidates(q, uniq, st, ec)
 	ec.putBuf(uniq)
 	ec.putBuf(sweeps[0].cands)
@@ -321,6 +391,7 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 		// collecting every key ≥ b−Eps and tracking the lowest handicap of
 		// the visited leaves.
 		low := math.Inf(1)
+		sw := ec.span(obs.StageSweep)
 		err := tr.VisitLeavesAscTracked(b-geom.Eps, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			if h := lv.Handicaps[slot]; h < low {
@@ -333,6 +404,7 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 			}
 			return true
 		})
+		ec.endSpan(sw, len(cands))
 		if err != nil {
 			return Result{}, err
 		}
@@ -340,6 +412,8 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 		// the exact complement of the first sweep's filter, so the two
 		// sweeps stay disjoint and no duplicates arise.
 		if low < b-geom.Eps {
+			n1 := len(cands)
+			sw2 := ec.span(obs.StageSweepSecond)
 			err = tr.VisitLeavesDescTracked(b, ec.rc, func(lv btree.LeafView) bool {
 				st.LeavesSwept++
 				done := false
@@ -355,6 +429,7 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 				}
 				return !done
 			})
+			ec.endSpan(sw2, len(cands)-n1)
 			if err != nil {
 				return Result{}, err
 			}
@@ -365,6 +440,7 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 			slot = slotHighNext
 		}
 		high := math.Inf(-1)
+		sw := ec.span(obs.StageSweep)
 		err := tr.VisitLeavesDescTracked(b+geom.Eps, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			if h := lv.Handicaps[slot]; h > high {
@@ -377,10 +453,13 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 			}
 			return true
 		})
+		ec.endSpan(sw, len(cands))
 		if err != nil {
 			return Result{}, err
 		}
 		if high > b+geom.Eps {
+			n1 := len(cands)
+			sw2 := ec.span(obs.StageSweepSecond)
 			err = tr.VisitLeavesAscTracked(b, ec.rc, func(lv btree.LeafView) bool {
 				st.LeavesSwept++
 				done := false
@@ -396,6 +475,7 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 				}
 				return !done
 			})
+			ec.endSpan(sw2, len(cands)-n1)
 			if err != nil {
 				return Result{}, err
 			}
@@ -418,6 +498,15 @@ func (ix *Index) refine(q constraint.Query, cands []uint32, st QueryStats, ec *e
 // ec.refineWorkers goroutines — Tuple extensions are sync.Once-cached and
 // Matches is read-only, so chunks are independent.
 func (ix *Index) refineKeepCandidates(q constraint.Query, cands []uint32, st QueryStats, ec *execCtx) (Result, error) {
+	sp := ec.span(obs.StageRefine)
+	res, err := ix.refineExec(q, cands, st, ec)
+	ec.endSpan(sp, len(cands))
+	return res, err
+}
+
+// refineExec is the refinement body, split out so the observation span
+// wrapper above stays branch-free on the unobserved path.
+func (ix *Index) refineExec(q constraint.Query, cands []uint32, st QueryStats, ec *execCtx) (Result, error) {
 	workers := ec.refineWorkers
 	if workers > 1 && len(cands) >= ec.refineThreshold && ec.refineThreshold > 0 {
 		return ix.refineParallel(q, cands, st, workers)

@@ -6,6 +6,8 @@ import (
 
 	"dualcdb/internal/constraint"
 	"dualcdb/internal/geom"
+	"dualcdb/internal/obs"
+	"dualcdb/internal/pagestore"
 )
 
 // QueryLine retrieves the tuples whose extension intersects the *line*
@@ -16,14 +18,31 @@ import (
 // index (sharing its technique and statistics) and the refined
 // intersection is exact.
 func (ix *Index) QueryLine(a, b float64) (Result, error) {
-	upper, err := ix.Query(constraint.Query2(constraint.EXIST, a, b, geom.GE))
+	ec := &execCtx{rc: &pagestore.ReadCounter{}, obs: ix.opt.Observe}
+	if ec.obs != nil {
+		// The line stab owns one trace; both EXIST sub-queries share the
+		// execCtx and record their stage spans into it.
+		ec.tr = ec.obs.StartQuery(fmt.Sprintf("line y = %g*x + %g", a, b))
+		res, err := ix.queryLine(a, b, ec)
+		ec.obs.FinishQuery(ec.tr, queryInfo(res.Stats, err))
+		ec.tr = nil
+		return res, err
+	}
+	return ix.queryLine(a, b, ec)
+}
+
+// queryLine runs the two EXIST selections on the shared execCtx, so the
+// stab's I/O is counted once on one exact per-query ReadCounter.
+func (ix *Index) queryLine(a, b float64, ec *execCtx) (Result, error) {
+	upper, err := ix.query(constraint.Query2(constraint.EXIST, a, b, geom.GE), ec)
 	if err != nil {
 		return Result{}, err
 	}
-	lower, err := ix.Query(constraint.Query2(constraint.EXIST, a, b, geom.LE))
+	lower, err := ix.query(constraint.Query2(constraint.EXIST, a, b, geom.LE), ec)
 	if err != nil {
 		return Result{}, err
 	}
+	dd := ec.span(obs.StageDedup)
 	inUpper := make(map[constraint.TupleID]bool, len(upper.IDs))
 	for _, id := range upper.IDs {
 		inUpper[id] = true
@@ -35,6 +54,7 @@ func (ix *Index) QueryLine(a, b float64) (Result, error) {
 		}
 	}
 	slices.Sort(ids)
+	ec.endSpan(dd, len(ids))
 	st := QueryStats{
 		Path:        fmt.Sprintf("line(%s∩%s)", upper.Stats.Path, lower.Stats.Path),
 		Candidates:  upper.Stats.Candidates + lower.Stats.Candidates,
@@ -42,11 +62,11 @@ func (ix *Index) QueryLine(a, b float64) (Result, error) {
 		FalseHits:   upper.Stats.FalseHits + lower.Stats.FalseHits,
 		Duplicates:  upper.Stats.Duplicates + lower.Stats.Duplicates,
 		LeavesSwept: upper.Stats.LeavesSwept + lower.Stats.LeavesSwept,
-		// Each sub-query's PagesRead is already its exact per-query
-		// ReadCounter attribution, so the sum stays exact under
-		// concurrency (no pool-stats delta that would absorb other
-		// queries' misses).
-		PagesRead: upper.Stats.PagesRead + lower.Stats.PagesRead,
+		// The shared ReadCounter accumulates across both sub-queries, so
+		// its final value is the stab's exact physical-read total (summing
+		// the sub-results would double-count: each sub-query's PagesRead
+		// is a cumulative snapshot of the same counter).
+		PagesRead: ec.rc.Physical.Load(),
 	}
 	return Result{IDs: ids, Stats: st}, nil
 }

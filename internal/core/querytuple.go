@@ -5,6 +5,8 @@ import (
 	"slices"
 
 	"dualcdb/internal/constraint"
+	"dualcdb/internal/obs"
+	"dualcdb/internal/pagestore"
 )
 
 // This file extends the index beyond single half-plane selections to
@@ -44,6 +46,24 @@ type TupleResult struct {
 // QueryTuple executes ALL(qt, r) or EXIST(qt, r) for a generalized query
 // tuple over the 2-D index.
 func (ix *Index) QueryTuple(kind constraint.QueryKind, qt *constraint.Tuple) (TupleResult, error) {
+	ec := &execCtx{rc: &pagestore.ReadCounter{}, obs: ix.opt.Observe}
+	if ec.obs != nil {
+		// The tuple selection owns one trace; every per-constraint
+		// sub-query shares the execCtx and records into it.
+		ec.tr = ec.obs.StartQuery(fmt.Sprintf("%s(tuple, %d constraints)", kind, len(qt.Constraints())))
+		res, err := ix.queryTuple(kind, qt, ec)
+		ec.obs.FinishQuery(ec.tr, queryInfo(res.Stats.QueryStats, err))
+		ec.tr = nil
+		return res, err
+	}
+	return ix.queryTuple(kind, qt, ec)
+}
+
+// queryTuple decomposes, intersects and refines on a caller-supplied
+// execCtx: one exact ReadCounter charges every sub-selection's I/O to this
+// tuple query (racy before/after deltas on the shared pool counters would
+// absorb concurrent queries' misses).
+func (ix *Index) queryTuple(kind constraint.QueryKind, qt *constraint.Tuple, ec *execCtx) (TupleResult, error) {
 	if qt.Dim() != 2 {
 		return TupleResult{}, fmt.Errorf("core: query tuple dimension %d on a 2-D index", qt.Dim())
 	}
@@ -56,7 +76,6 @@ func (ix *Index) QueryTuple(kind constraint.QueryKind, qt *constraint.Tuple) (Tu
 		// contained in it and nothing intersects it.
 		return TupleResult{Stats: QueryTupleStats{QueryStats: QueryStats{Path: "empty-query"}}}, nil
 	}
-	before := ix.pool.Stats().PhysicalReads
 	st := QueryTupleStats{QueryStats: QueryStats{Path: "tuple-" + kind.String()}}
 
 	// Decompose into per-constraint selections. Non-vertical constraints
@@ -82,7 +101,7 @@ func (ix *Index) QueryTuple(kind constraint.QueryKind, qt *constraint.Tuple) (Tu
 				}
 				cutoff := -c / a
 				selections = append(selections, func() (Result, error) {
-					return ix.QueryVertical(kind, vop, cutoff)
+					return ix.queryVertical(kind, vop, cutoff, ec)
 				})
 				continue
 			}
@@ -90,7 +109,7 @@ func (ix *Index) QueryTuple(kind constraint.QueryKind, qt *constraint.Tuple) (Tu
 			continue
 		}
 		q := constraint.NewQuery(kind, slope, icpt, op)
-		selections = append(selections, func() (Result, error) { return ix.Query(q) })
+		selections = append(selections, func() (Result, error) { return ix.query(q, ec) })
 	}
 	st.ConstraintsIndexed = len(selections)
 
@@ -137,6 +156,7 @@ func (ix *Index) QueryTuple(kind constraint.QueryKind, qt *constraint.Tuple) (Tu
 	// already exact; otherwise (EXIST, or vertical constraints present)
 	// test the exact polyhedral predicate.
 	needRefine := kind == constraint.EXIST || st.ConstraintsSkipped > 0 || len(selections) == 0
+	rf := ec.span(obs.StageRefine)
 	ids := make([]constraint.TupleID, 0, len(candidate))
 	for id := range candidate {
 		if needRefine {
@@ -161,8 +181,9 @@ func (ix *Index) QueryTuple(kind constraint.QueryKind, qt *constraint.Tuple) (Tu
 		ids = append(ids, id)
 	}
 	slices.Sort(ids)
+	ec.endSpan(rf, len(candidate))
 	st.Results = len(ids)
-	st.PagesRead = ix.pool.Stats().PhysicalReads - before
+	st.PagesRead = ec.rc.Physical.Load()
 	return TupleResult{IDs: ids, Stats: st}, nil
 }
 

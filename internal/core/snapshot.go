@@ -1,0 +1,94 @@
+package core
+
+import (
+	"dualcdb/internal/btree"
+	"dualcdb/internal/obs"
+	"dualcdb/internal/pagestore"
+)
+
+// StatsSnapshot is the unified observability view of one index: its shape,
+// the buffer-pool counters and frame residency, the decoded-node cache and
+// tree-traversal counters, and — when an observer is attached — the
+// per-path query metrics, stage latencies and slow traces. The struct
+// marshals to the JSON served at /debug/stats by the debug server.
+type StatsSnapshot struct {
+	Tuples    int    `json:"tuples"`    // relation size
+	Indexed   int    `json:"indexed"`   // satisfiable tuples in the trees
+	Pages     int    `json:"pages"`     // total tree pages (Figure 10's space metric)
+	Slopes    int    `json:"slopes"`    // |S|
+	Technique string `json:"technique"` // approximation technique
+
+	Pool        pagestore.Stats     `json:"pool"`
+	Residency   pagestore.Residency `json:"residency"`
+	DecodeCache btree.DecodeStats   `json:"decode_cache"`
+	Sweeps      btree.SweepStats    `json:"sweeps"`
+
+	Observer *obs.Snapshot `json:"observer,omitempty"`
+}
+
+// SweepStats sums the descent and leaf-visit counters over every tree of
+// the index (the vertical pair included).
+func (ix *Index) SweepStats() btree.SweepStats {
+	var s btree.SweepStats
+	for _, t := range ix.up {
+		s.Add(t.SweepStats())
+	}
+	for _, t := range ix.down {
+		s.Add(t.SweepStats())
+	}
+	if ix.vup != nil {
+		s.Add(ix.vup.SweepStats())
+		s.Add(ix.vdown.SweepStats())
+	}
+	return s
+}
+
+// StatsSnapshot assembles the unified view. Safe to call concurrently with
+// queries: every source is an atomic counter, a per-shard census, or the
+// observer's own lock-protected state.
+func (ix *Index) StatsSnapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Tuples:      ix.rel.Len(),
+		Indexed:     len(ix.indexed),
+		Pages:       ix.Pages(),
+		Slopes:      len(ix.slopes),
+		Technique:   ix.opt.Technique.String(),
+		Pool:        ix.pool.Stats(),
+		Residency:   ix.pool.Residency(),
+		DecodeCache: ix.DecodeCacheStats(),
+		Sweeps:      ix.SweepStats(),
+		Observer:    ix.opt.Observe.ObserverSnapshot(),
+	}
+}
+
+// SetObserver attaches an observer to (or, with nil, detaches it from) the
+// index's query paths. Not synchronized with in-flight queries: attach or
+// detach only while no queries run.
+func (ix *Index) SetObserver(o *obs.Observer) {
+	ix.opt.Observe = o
+	ix.registerGauges()
+}
+
+// registerGauges bridges the storage-layer counters into the observer's
+// registry as snapshot-time funcs, so /debug/metrics shows pool,
+// decode-cache, readahead and sweep state next to the query metrics
+// without mirroring every mutation into the registry.
+func (ix *Index) registerGauges() {
+	r := ix.opt.Observe.Registry()
+	if r == nil {
+		return
+	}
+	r.Func("pool.logical_reads", func() any { return ix.pool.Stats().LogicalReads })
+	r.Func("pool.physical_reads", func() any { return ix.pool.Stats().PhysicalReads })
+	r.Func("pool.writes", func() any { return ix.pool.Stats().Writes })
+	r.Func("pool.evictions.young", func() any { return ix.pool.Stats().YoungEvictions })
+	r.Func("pool.evictions.old", func() any { return ix.pool.Stats().OldEvictions })
+	r.Func("pool.readahead.batches", func() any { return ix.pool.Stats().ReadaheadBatches })
+	r.Func("pool.readahead.pages", func() any { return ix.pool.Stats().ReadaheadPages })
+	r.Func("pool.residency", func() any { return ix.pool.Residency() })
+	r.Func("decode_cache", func() any { return ix.DecodeCacheStats() })
+	r.Func("sweeps", func() any { return ix.SweepStats() })
+}
+
+// Observer returns the attached observer (nil when observation is off).
+func (ix *Index) Observer() *obs.Observer { return ix.opt.Observe }

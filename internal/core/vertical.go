@@ -8,6 +8,7 @@ import (
 	"dualcdb/internal/btree"
 	"dualcdb/internal/constraint"
 	"dualcdb/internal/geom"
+	"dualcdb/internal/obs"
 	"dualcdb/internal/pagestore"
 )
 
@@ -75,6 +76,21 @@ func (ix *Index) deleteVertical(ext geom.Polyhedron, id constraint.TupleID) erro
 // QueryVertical executes the selection Kind(x op c). With IndexVertical it
 // runs one exact tree sweep; otherwise it scans.
 func (ix *Index) QueryVertical(kind constraint.QueryKind, op geom.Op, c float64) (Result, error) {
+	ec := &execCtx{rc: &pagestore.ReadCounter{}, obs: ix.opt.Observe}
+	if ec.obs != nil {
+		ec.tr = ec.obs.StartQuery(fmt.Sprintf("%s(x %s %g)", kind, op, c))
+		res, err := ix.queryVertical(kind, op, c, ec)
+		ec.obs.FinishQuery(ec.tr, queryInfo(res.Stats, err))
+		ec.tr = nil
+		return res, err
+	}
+	return ix.queryVertical(kind, op, c, ec)
+}
+
+// queryVertical is QueryVertical on a caller-supplied execCtx, so a
+// generalized query tuple can charge the sweep to its own counter and
+// trace.
+func (ix *Index) queryVertical(kind constraint.QueryKind, op geom.Op, c float64, ec *execCtx) (Result, error) {
 	if math.IsNaN(c) || math.IsInf(c, 0) {
 		return Result{}, fmt.Errorf("core: invalid vertical intercept %v", c)
 	}
@@ -94,15 +110,15 @@ func (ix *Index) QueryVertical(kind constraint.QueryKind, op geom.Op, c float64)
 	if useUp {
 		tr = ix.vup
 	}
-	// rc gives this query exact PagesRead attribution under concurrency;
+	// ec.rc gives this query exact PagesRead attribution under concurrency;
 	// the sweeps start one tolerance below/above c so that boundary keys
 	// within Eps of c are reached even when they live in an earlier leaf
 	// than the one owning c (the same convention as collectRestricted).
-	rc := &pagestore.ReadCounter{}
 	var cands []uint32
 	var err error
+	sw := ec.span(obs.StageSweep)
 	if op == geom.GE {
-		err = tr.VisitLeavesAscTracked(c-geom.Eps, rc, func(lv btree.LeafView) bool {
+		err = tr.VisitLeavesAscTracked(c-geom.Eps, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			for _, e := range lv.Entries {
 				if e.Key >= c-geom.Eps {
@@ -112,7 +128,7 @@ func (ix *Index) QueryVertical(kind constraint.QueryKind, op geom.Op, c float64)
 			return true
 		})
 	} else {
-		err = tr.VisitLeavesDescTracked(c+geom.Eps, rc, func(lv btree.LeafView) bool {
+		err = tr.VisitLeavesDescTracked(c+geom.Eps, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
 			for _, e := range lv.Entries {
 				if e.Key <= c+geom.Eps {
@@ -122,10 +138,12 @@ func (ix *Index) QueryVertical(kind constraint.QueryKind, op geom.Op, c float64)
 			return true
 		})
 	}
+	ec.endSpan(sw, len(cands))
 	if err != nil {
 		return Result{}, err
 	}
 	st.Candidates = len(cands)
+	rf := ec.span(obs.StageRefine)
 	ids := make([]constraint.TupleID, 0, len(cands))
 	for _, tid := range cands {
 		t, err := ix.rel.Get(constraint.TupleID(tid))
@@ -143,8 +161,9 @@ func (ix *Index) QueryVertical(kind constraint.QueryKind, op geom.Op, c float64)
 		}
 	}
 	slices.Sort(ids)
+	ec.endSpan(rf, len(cands))
 	st.Results = len(ids)
-	st.PagesRead = rc.Physical.Load()
+	st.PagesRead = ec.rc.Physical.Load()
 	return Result{IDs: ids, Stats: st}, nil
 }
 

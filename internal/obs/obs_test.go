@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryReusesMetrics(t *testing.T) {
+	r := NewRegistry("test")
+	c1 := r.Counter("a")
+	c1.Add(3)
+	if c2 := r.Counter("a"); c2 != c1 {
+		t.Fatal("Counter did not return the registered instance")
+	}
+	g := r.Gauge("g")
+	g.Set(-5)
+	h := r.Histogram("h")
+	h.Record(7)
+	r.Func("f", func() any { return "hello" })
+
+	snap := r.Snapshot()
+	if snap["a"] != uint64(3) {
+		t.Fatalf("counter snapshot = %v", snap["a"])
+	}
+	if snap["g"] != int64(-5) {
+		t.Fatalf("gauge snapshot = %v", snap["g"])
+	}
+	if hs, ok := snap["h"].(HistogramSnapshot); !ok || hs.Count != 1 {
+		t.Fatalf("histogram snapshot = %v", snap["h"])
+	}
+	if snap["f"] != "hello" {
+		t.Fatalf("func snapshot = %v", snap["f"])
+	}
+	names := r.Names()
+	if len(names) != 4 || names[0] != "a" || names[1] != "f" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+// TestRegistryConcurrent hammers create/use/snapshot from many
+// goroutines; meaningful under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry("race")
+	names := []string{"x", "y", "z"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Counter(names[i%len(names)]).Inc()
+				r.Histogram("lat").Record(uint64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var total uint64
+	for _, n := range names {
+		total += snap[n].(uint64)
+	}
+	if total != 8*2000 {
+		t.Fatalf("counter total = %d, want %d", total, 8*2000)
+	}
+	if hs := snap["lat"].(HistogramSnapshot); hs.Count != 8*2000 {
+		t.Fatalf("histogram count = %d, want %d", hs.Count, 8*2000)
+	}
+}
+
+func TestNilObserverAndTraceAreNoOps(t *testing.T) {
+	var o *Observer
+	tr := o.StartQuery("q")
+	if tr != nil {
+		t.Fatal("nil observer returned a trace")
+	}
+	sp := tr.Begin(StageSweep, 0)
+	sp.End(5, 1) // must not panic
+	o.FinishQuery(tr, QueryInfo{})
+	o.StartBatch().Done()
+	if o.ObserverSnapshot() != nil {
+		t.Fatal("nil observer snapshot not nil")
+	}
+	if o.SlowTraces() != nil {
+		t.Fatal("nil observer traces not nil")
+	}
+	if o.Registry() != nil {
+		t.Fatal("nil observer registry not nil")
+	}
+}
+
+func TestObserverAggregates(t *testing.T) {
+	o := New(Options{Name: "ix"})
+	for i := 0; i < 3; i++ {
+		tr := o.StartQuery("exist y >= x")
+		sp := tr.Begin(StageSweep, 10)
+		sp.End(14, 20)
+		sp = tr.Begin(StageRefine, 14)
+		sp.End(14, 6)
+		o.FinishQuery(tr, QueryInfo{
+			Path: "t2", PagesRead: 4, Candidates: 20, Results: 17,
+			FalseHits: 3, LeavesSwept: 2,
+		})
+	}
+	tr := o.StartQuery("all y <= 0")
+	o.FinishQuery(tr, QueryInfo{Path: "restricted", PagesRead: 1, Candidates: 5, Results: 5})
+
+	s := o.ObserverSnapshot()
+	if s.Queries != 4 || s.Inflight != 0 {
+		t.Fatalf("queries=%d inflight=%d", s.Queries, s.Inflight)
+	}
+	t2 := s.Paths["t2"]
+	if t2.Count != 3 || t2.Pages != 12 || t2.Candidates != 60 || t2.FalseHits != 9 {
+		t.Fatalf("t2 path snapshot: %+v", t2)
+	}
+	if s.Totals.Count != 4 || s.Totals.Pages != 13 || s.Totals.Results != 56 {
+		t.Fatalf("totals: %+v", s.Totals)
+	}
+	sweep := s.Stages[StageSweep.String()]
+	if sweep.Count != 3 || sweep.Pages != 12 || sweep.Items != 60 {
+		t.Fatalf("sweep stage: %+v", sweep)
+	}
+	refine := s.Stages[StageRefine.String()]
+	if refine.Count != 3 || refine.Pages != 0 || refine.Items != 18 {
+		t.Fatalf("refine stage: %+v", refine)
+	}
+	if t2.Latency.Count != 3 {
+		t.Fatalf("t2 latency count = %d", t2.Latency.Count)
+	}
+}
+
+func TestSlowQueryLogAndRing(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	o := New(Options{
+		Name:          "ix",
+		SlowThreshold: time.Nanosecond, // everything is slow
+		Logger:        logger,
+		TraceCapacity: 2,
+	})
+	for i, q := range []string{"q0", "q1", "q2"} {
+		tr := o.StartQuery(q)
+		sp := tr.Begin(StageSweep, 0)
+		sp.End(uint64(i), i)
+		o.FinishQuery(tr, QueryInfo{Path: "t2", PagesRead: uint64(i)})
+	}
+	if got := o.ObserverSnapshot().Slow; got != 3 {
+		t.Fatalf("slow count = %d, want 3", got)
+	}
+	trs := o.SlowTraces()
+	if len(trs) != 2 { // capacity 2 keeps the newest two
+		t.Fatalf("ring kept %d traces, want 2", len(trs))
+	}
+	if trs[0].Query != "q2" || trs[1].Query != "q1" {
+		t.Fatalf("ring order: %q, %q", trs[0].Query, trs[1].Query)
+	}
+	if len(trs[0].Spans) != 1 || trs[0].Spans[0].Stage != "sweep" {
+		t.Fatalf("trace spans: %+v", trs[0].Spans)
+	}
+
+	// Three JSON log lines, each with the structured fields.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("log lines = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["msg"] != "slow query" || rec["query"] != "q2" || rec["path"] != "t2" {
+		t.Fatalf("log record: %v", rec)
+	}
+	if _, ok := rec["stages"]; !ok {
+		t.Fatalf("log record missing stage group: %v", rec)
+	}
+}
+
+func TestObserverConcurrent(t *testing.T) {
+	o := New(Options{SlowThreshold: time.Nanosecond, TraceCapacity: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			paths := []string{"restricted", "t1", "t2"}
+			for i := 0; i < 500; i++ {
+				tr := o.StartQuery("q")
+				sp := tr.Begin(StageSweep, 0)
+				sp.End(1, 1)
+				o.FinishQuery(tr, QueryInfo{Path: paths[i%3], PagesRead: 1})
+				if i%50 == 0 {
+					_ = o.ObserverSnapshot()
+					_ = o.SlowTraces()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := o.ObserverSnapshot()
+	if s.Queries != 8*500 || s.Totals.Count != 8*500 || s.Totals.Pages != 8*500 {
+		t.Fatalf("concurrent totals: queries=%d totals=%+v", s.Queries, s.Totals)
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	o := New(Options{SlowThreshold: time.Nanosecond})
+	tr := o.StartQuery("exist y >= 2x")
+	o.FinishQuery(tr, QueryInfo{Path: "t2", PagesRead: 7})
+	mux := DebugMux(func() any { return map[string]int{"pages": 42} }, o)
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) map[string]any {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		var v map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		return v
+	}
+
+	if v := get("/debug/stats"); v["pages"] != float64(42) {
+		t.Fatalf("/debug/stats: %v", v)
+	}
+	metrics := get("/debug/metrics")
+	if metrics["queries.total"] != float64(1) {
+		t.Fatalf("/debug/metrics: %v", metrics["queries.total"])
+	}
+	resp, err := srv.Client().Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var trs []TraceSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&trs); err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 1 || trs[0].Query != "exist y >= 2x" || trs[0].Pages != 7 {
+		t.Fatalf("/debug/traces: %+v", trs)
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the HTTP debug surface:
+//
+//	/debug/stats    expvar-style JSON of the unified stats snapshot
+//	/debug/metrics  flat name->value dump of the observer's registry
+//	/debug/traces   the last N slow-query traces, newest first
+//	/debug/pprof/*  the standard runtime profiles
+//
+// stats is evaluated per request (typically Index.StatsSnapshot); o
+// may be nil, in which case /debug/metrics and /debug/traces serve
+// empty documents. The mux is safe to serve while queries run.
+func DebugMux(stats func() any, o *Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
+		if stats == nil {
+			http.Error(w, "no stats source", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, stats())
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := o.Registry()
+		if reg == nil {
+			writeJSON(w, map[string]any{})
+			return
+		}
+		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		trs := o.SlowTraces()
+		if trs == nil {
+			trs = []TraceSnapshot{}
+		}
+		writeJSON(w, trs)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "dualcdb debug server")
+		for _, p := range []string{"/debug/stats", "/debug/metrics", "/debug/traces", "/debug/pprof/"} {
+			fmt.Fprintln(w, " ", p)
+		}
+	})
+	return mux
+}
+
+// writeJSON serializes v with stable key order (maps are sorted by
+// encoding/json) and an indent so the endpoints are curl-friendly.
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		// Client went away mid-response; nothing useful to do.
+		return
+	}
+}

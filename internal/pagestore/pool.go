@@ -625,6 +625,39 @@ func (p *Pool) Stats() Stats {
 	}
 }
 
+// Residency is a point-in-time census of the pool's frames — the gauge
+// complement to the monotone Stats counters. Young/Old split the
+// resident frames by midpoint-LRU region (with PlainLRU everything is
+// young); Pinned counts frames currently held by a caller.
+type Residency struct {
+	Frames   int `json:"frames"`
+	Young    int `json:"young"`
+	Old      int `json:"old"`
+	Pinned   int `json:"pinned"`
+	Capacity int `json:"capacity"`
+}
+
+// Residency counts the resident frames, summing over shards under each
+// shard's lock in turn. The census is per-shard consistent but not a
+// single cut across shards — fine for gauges, not for invariants.
+func (p *Pool) Residency() Residency {
+	var r Residency
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		r.Frames += len(sh.frames)
+		r.Young += sh.young.Len()
+		r.Old += sh.old.Len()
+		for _, f := range sh.frames {
+			if f.pins > 0 {
+				r.Pinned++
+			}
+		}
+		r.Capacity += sh.capacity
+		sh.mu.Unlock()
+	}
+	return r
+}
+
 // ResetStats zeroes the I/O counters.
 func (p *Pool) ResetStats() {
 	p.logicalReads.Store(0)
