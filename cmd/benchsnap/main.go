@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchsnap                # full measurement, writes BENCH_pr4.json
+//	benchsnap                # full measurement, writes BENCH_pr5.json
 //	benchsnap -quick -o out.json
 package main
 
@@ -15,8 +15,10 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"dualcdb/internal/btree"
 	"dualcdb/internal/constraint"
@@ -36,7 +38,7 @@ type Row struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr4.json", "output file")
+	out := flag.String("o", "BENCH_pr5.json", "output file")
 	quick := flag.Bool("quick", false, "smaller trees (smoke run)")
 	flag.Parse()
 
@@ -222,6 +224,18 @@ func main() {
 		}
 	}
 
+	// Dualvet unit-cache ablation: the tool is invoked directly on one
+	// hand-written compilation unit — a cold run (parse, type-check, all
+	// analyzers) against a warm replay of the same fingerprint from
+	// DUALVET_CACHE. These rows are wall-clock process timings, not
+	// allocation profiles.
+	if cold, warm, err := dualvetTimings(tmp); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: skipping dualvet rows: %v\n", err)
+	} else {
+		add("DualvetColdUnit", nil, testing.BenchmarkResult{N: 1, T: cold})
+		add("DualvetWarmUnit", nil, testing.BenchmarkResult{N: 1, T: warm})
+	}
+
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -293,6 +307,132 @@ func randQuery(rng *rand.Rand) constraint.Query {
 	}
 	ang := (rng.Float64() - 0.5) * (math.Pi - 0.2)
 	return constraint.Query2(kind, math.Tan(ang), rng.Float64()*160-80, op)
+}
+
+// dualvetTimings builds the dualvet tool, lays out a scratch compilation
+// unit and times a cold unit analysis against a warm cache replay. The
+// tool is driven through its go-vet unit protocol directly — a
+// hand-written .cfg file, exactly what the go command would pass — so
+// the measurement isolates the driver (parse, type-check, CFG/dataflow
+// analysis vs fingerprint match + diagnostic replay) from the go
+// command's own compile pipeline, which dwarfs it.
+func dualvetTimings(tmp string) (cold, warm time.Duration, err error) {
+	tool := filepath.Join(tmp, "dualvet")
+	if out, err := exec.Command("go", "build", "-o", tool, "dualcdb/cmd/dualvet").CombinedOutput(); err != nil {
+		return 0, 0, fmt.Errorf("building dualvet: %v\n%s", err, out)
+	}
+
+	// An import-free unit (so the driver needs no export data) with
+	// enough branchy control flow, float arithmetic, defers and closures
+	// that every analyzer does real CFG/dataflow work per function.
+	mod := filepath.Join(tmp, "dualvet-unit")
+	if err := os.MkdirAll(mod, 0o777); err != nil {
+		return 0, 0, err
+	}
+	var goFiles []string
+	for i := 0; i < 128; i++ {
+		src := fmt.Sprintf(`package benchunit
+
+type ring%[1]d struct {
+	buf  []float64
+	head int
+}
+
+func (r *ring%[1]d) push(v float64) {
+	if len(r.buf) == 0 {
+		r.buf = make([]float64, 8)
+	}
+	r.buf[r.head%%len(r.buf)] = v
+	r.head++
+}
+
+func scan%[1]d(xs []float64, lo, hi float64) (int, float64) {
+	count, best := 0, lo
+	for i, x := range xs {
+		switch {
+		case x < lo:
+			continue
+		case x > hi:
+			return count, best
+		default:
+			count++
+		}
+		if x > best {
+			best = x
+		}
+		if i > 0 && count > len(xs)/2 {
+			break
+		}
+	}
+	return count, best
+}
+
+func fold%[1]d(n int, f func(int) float64) float64 {
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		v := f(i)
+		if v < 0 {
+			acc -= v
+		} else {
+			acc += v
+		}
+	}
+	defer func() { _ = acc }()
+	return acc
+}
+`, i)
+		name := filepath.Join(mod, fmt.Sprintf("f%03d.go", i))
+		if err := os.WriteFile(name, []byte(src), 0o666); err != nil {
+			return 0, 0, err
+		}
+		goFiles = append(goFiles, name)
+	}
+	cfg := map[string]any{
+		"ID":         "benchunit",
+		"Compiler":   "gc",
+		"Dir":        mod,
+		"ImportPath": "benchunit",
+		"GoVersion":  "go1.22",
+		"GoFiles":    goFiles,
+		"VetxOutput": filepath.Join(tmp, "benchunit.vetx"),
+	}
+	cfgData, err := json.Marshal(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	cfgFile := filepath.Join(tmp, "benchunit.cfg")
+	if err := os.WriteFile(cfgFile, cfgData, 0o666); err != nil {
+		return 0, 0, err
+	}
+
+	cache := filepath.Join(tmp, "dualvet-cache")
+	runUnit := func() (time.Duration, error) {
+		cmd := exec.Command(tool, cfgFile)
+		cmd.Env = append(os.Environ(), "DUALVET_CACHE="+cache)
+		start := time.Now()
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return 0, fmt.Errorf("dualvet unit run: %v\n%s", err, out)
+		}
+		return time.Since(start), nil
+	}
+
+	if cold, err = runUnit(); err != nil {
+		return 0, 0, err
+	}
+	// Same fingerprint, populated cache: replays. Best of three, since
+	// process startup noise dominates runs this short.
+	warm = time.Duration(math.MaxInt64)
+	for i := 0; i < 3; i++ {
+		d, err := runUnit()
+		if err != nil {
+			return 0, 0, err
+		}
+		if d < warm {
+			warm = d
+		}
+	}
+	return cold, warm, nil
 }
 
 func fatal(err error) {

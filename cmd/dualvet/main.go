@@ -1,7 +1,8 @@
 // Command dualvet is the multichecker for the repository's machine-checked
-// invariants (DESIGN.md §7): float comparison discipline, ±Inf sentinel
-// arithmetic, atomic/plain field mixing, shard-lock re-entrancy and dropped
-// I/O errors.
+// invariants (DESIGN.md §7, §10): float comparison discipline, ±Inf
+// sentinel arithmetic, atomic/plain field mixing, shard-lock re-entrancy,
+// dropped I/O errors, leaked page-frame pins and leaked observability
+// spans.
 //
 // Run it through the go command, which supplies type information for every
 // compilation unit:
@@ -20,6 +21,8 @@ import (
 	"dualcdb/internal/analysis/floatcmp"
 	"dualcdb/internal/analysis/infguard"
 	"dualcdb/internal/analysis/lockorder"
+	"dualcdb/internal/analysis/pinleak"
+	"dualcdb/internal/analysis/spanleak"
 	"dualcdb/internal/analysis/unitdriver"
 )
 
@@ -30,5 +33,7 @@ func main() {
 		atomicfield.Analyzer,
 		lockorder.Analyzer,
 		errsink.Analyzer,
+		pinleak.Analyzer,
+		spanleak.Analyzer,
 	)
 }

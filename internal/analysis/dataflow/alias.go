@@ -1,0 +1,200 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Aliases canonicalizes expressions within one function body so that two
+// syntactic paths naming the same object compare equal. The central case
+// from ROADMAP: after `s := p.shards[i]`, both `s.mu` and `p.shards[i].mu`
+// canonicalize to the same string.
+//
+// The map is deliberately modest — flow-insensitive, single-assignment
+// only. A local is resolved through its defining expression only when that
+// local is never reassigned anywhere in the body (including ++/--, range
+// bindings, and unary &x escapes that could let it change behind our
+// back... the last is conservative: &x disables resolution of x). That
+// keeps canonicalization sound without needing SSA: a name that means two
+// things at two program points is simply left opaque, which can only make
+// an analysis less precise, never wrong in the may-direction.
+type Aliases struct {
+	info *types.Info
+	// def maps a single-assignment local object to its sole defining
+	// expression; nil value means "assigned more than once — do not
+	// resolve".
+	def map[types.Object]ast.Expr
+	// canonCache memoizes resolution (cycles impossible: defs are from an
+	// earlier position, and resolution stops at multi-assigned names).
+	canonCache map[types.Object]string
+}
+
+// NewAliases scans a function body (with its type info) and returns the
+// alias map for it. A nil body yields an empty, usable map.
+func NewAliases(body ast.Node, info *types.Info) *Aliases {
+	a := &Aliases{
+		info:       info,
+		def:        make(map[types.Object]ast.Expr),
+		canonCache: make(map[types.Object]string),
+	}
+	if body == nil {
+		return a
+	}
+	poison := func(id *ast.Ident) {
+		if obj := info.ObjectOf(id); obj != nil {
+			a.def[obj] = nil
+		}
+	}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		if id.Name == "_" {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if prev, seen := a.def[obj]; seen {
+			_ = prev
+			a.def[obj] = nil // second write: poison
+			return
+		}
+		a.def[obj] = rhs
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id, n.Rhs[i])
+					}
+				}
+			} else {
+				// Multi-value (tuple) assignment: the components have no
+				// single defining expression worth resolving through.
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						poison(id)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				poison(id)
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok && id.Name != "_" {
+				poison(id)
+			}
+			if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+				poison(id)
+			}
+		case *ast.UnaryExpr:
+			// &x lets x be written through the pointer; give up on it.
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					poison(id)
+				}
+			}
+		case *ast.ValueSpec:
+			// var x = e, or var x T (no values: leave unresolvable but
+			// defined-once so it renders by name).
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					record(name, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return a
+}
+
+// Canon renders an expression as a canonical path string. Identical strings
+// mean "same object along any single execution of the function" (up to the
+// single-assignment restriction above). Unrecognized expression forms are
+// rendered uniquely by source position so they never collide.
+func (a *Aliases) Canon(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return a.canonIdent(e)
+	case *ast.SelectorExpr:
+		return a.Canon(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return a.Canon(e.X) + "[" + a.Canon(e.Index) + "]"
+	case *ast.StarExpr:
+		// Auto-deref: *p and p name the same variable for field access.
+		return a.Canon(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return a.Canon(e.X)
+		}
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return fmt.Sprintf("‹%T@%d›", e, e.Pos())
+}
+
+func (a *Aliases) canonIdent(id *ast.Ident) string {
+	obj := a.info.ObjectOf(id)
+	if obj == nil {
+		return id.Name
+	}
+	if s, ok := a.canonCache[obj]; ok {
+		return s
+	}
+	// Guard against pathological self-reference before recursing.
+	a.canonCache[obj] = objKey(obj)
+	if rhs, ok := a.def[obj]; ok && rhs != nil && resolvable(rhs) {
+		s := a.Canon(rhs)
+		a.canonCache[obj] = s
+		return s
+	}
+	return a.canonCache[obj]
+}
+
+// objKey renders a variable uniquely: name alone would conflate shadowed
+// locals, so the declaration position disambiguates.
+func objKey(obj types.Object) string {
+	if obj.Pos() == token.NoPos {
+		return obj.Name()
+	}
+	return fmt.Sprintf("%s·%d", obj.Name(), obj.Pos())
+}
+
+// resolvable limits which defining expressions a name is resolved through:
+// pure path expressions only. Resolving through a call (`s := p.shard(i)`)
+// would equate two distinct call results; resolving through arithmetic is
+// meaningless for object identity.
+func resolvable(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return resolvable(e.X)
+	case *ast.IndexExpr:
+		return resolvable(e.X) && indexResolvable(e.Index)
+	case *ast.StarExpr:
+		return resolvable(e.X)
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && resolvable(e.X)
+	}
+	return false
+}
+
+// indexResolvable accepts constant or identifier indices — `p.shards[i]`
+// resolves as long as i itself is stable (if i is multi-assigned, its canon
+// is position-qualified, so two different i's never collide).
+func indexResolvable(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		return resolvable(e.X)
+	}
+	return false
+}

@@ -1,0 +1,196 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheck parses a full file and returns the last FuncDecl with its info.
+func typecheck(t *testing.T, src string) (*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range file.Decls {
+		if f, ok := d.(*ast.FuncDecl); ok {
+			fn = f
+		}
+	}
+	return fn, info
+}
+
+const aliasSrc = `package p
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type pool struct {
+	shards []*shard
+}
+`
+
+func TestCanonResolvesSingleAssignmentCopy(t *testing.T) {
+	fn, info := typecheck(t, aliasSrc+`
+func f(p *pool, i int) {
+	s := p.shards[i]
+	s.mu.Lock()
+	_ = p.shards[i].n
+	s.mu.Unlock()
+}
+`)
+	al := NewAliases(fn.Body, info)
+
+	// Dig out `s.mu` and `p.shards[i]` from the body.
+	var sMu, pShardsI ast.Expr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "s" && sel.Sel.Name == "mu" && sMu == nil {
+				sMu = sel
+			}
+		}
+		if ix, ok := n.(*ast.IndexExpr); ok && pShardsI == nil {
+			pShardsI = ix
+		}
+		return true
+	})
+	if sMu == nil || pShardsI == nil {
+		t.Fatal("test scaffolding failed to find expressions")
+	}
+	want := al.Canon(pShardsI) + ".mu"
+	if got := al.Canon(sMu); got != want {
+		t.Fatalf("s.mu should canonicalize through the alias: got %q want %q", got, want)
+	}
+}
+
+func TestCanonDoesNotResolveReassigned(t *testing.T) {
+	fn, info := typecheck(t, aliasSrc+`
+func f(p *pool, i, j int) {
+	s := p.shards[i]
+	s = p.shards[j]
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+`)
+	al := NewAliases(fn.Body, info)
+	var sMu ast.Expr
+	var firstIndex ast.Expr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "s" && sel.Sel.Name == "mu" && sMu == nil {
+				sMu = sel
+			}
+		}
+		if ix, ok := n.(*ast.IndexExpr); ok && firstIndex == nil {
+			firstIndex = ix
+		}
+		return true
+	})
+	got := al.Canon(sMu)
+	if got == al.Canon(firstIndex)+".mu" {
+		t.Fatalf("reassigned local must not resolve through its first definition: %q", got)
+	}
+}
+
+func TestCanonDoesNotResolveThroughCalls(t *testing.T) {
+	fn, info := typecheck(t, aliasSrc+`
+func pick(p *pool, i int) *shard { return p.shards[i] }
+
+func f(p *pool, i int) {
+	a := pick(p, i)
+	b := pick(p, i)
+	_ = a
+	_ = b
+}
+`)
+	al := NewAliases(fn.Body, info)
+	var aId, bId *ast.Ident
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				switch id.Name {
+				case "a":
+					aId = id
+				case "b":
+					bId = id
+				}
+			}
+		}
+		return true
+	})
+	if al.Canon(aId) == al.Canon(bId) {
+		t.Fatal("two distinct call results must not canonicalize equal")
+	}
+}
+
+func TestCanonShadowedLocalsDistinct(t *testing.T) {
+	fn, info := typecheck(t, aliasSrc+`
+func f(p *pool) {
+	s := p.shards[0]
+	{
+		s := p.shards[1]
+		_ = s
+	}
+	_ = s
+}
+`)
+	al := NewAliases(fn.Body, info)
+	var uses []*ast.Ident
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "s" {
+			uses = append(uses, id)
+		}
+		return true
+	})
+	// The two `_ = s` uses (last two) resolve to different shards.
+	inner, outer := uses[len(uses)-2], uses[len(uses)-1]
+	if al.Canon(inner) == al.Canon(outer) {
+		t.Fatal("shadowed locals must canonicalize differently")
+	}
+}
+
+func TestCanonStarAndAddr(t *testing.T) {
+	fn, info := typecheck(t, aliasSrc+`
+func f(s *shard) {
+	q := &s.mu
+	_ = q
+}
+`)
+	al := NewAliases(fn.Body, info)
+	var qId *ast.Ident
+	var sMu ast.Expr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "q" {
+				qId = id
+				if ue, ok := as.Rhs[0].(*ast.UnaryExpr); ok {
+					sMu = ue.X
+				}
+			}
+		}
+		return true
+	})
+	if al.Canon(qId) != al.Canon(sMu) {
+		t.Fatalf("q := &s.mu should alias s.mu: %q vs %q", al.Canon(qId), al.Canon(sMu))
+	}
+}

@@ -1,0 +1,601 @@
+// Package dataflow is the intra-procedural analysis engine underneath the
+// dualvet analyzers: a control-flow graph built from go/ast function bodies,
+// a forward fixpoint driver with pluggable lattices, a local alias map that
+// resolves single-assignment copies (`s := p.shards[i]`) back to a canonical
+// path, and a shared obligation engine for acquire/release disciplines
+// (frame pins, trace spans).
+//
+// The CFG is purely syntactic — it needs no type information — so it can be
+// built for any parseable function, including the repo-wide no-panic corpus
+// test. Statements appear in basic blocks in evaluation order; structured
+// control flow (if/for/range/switch/select), goto and labeled break/continue
+// become edges. Two virtual blocks terminate the graph: Exit collects normal
+// returns and the fall-off-the-end path, Halt collects paths that leave
+// through panic, os.Exit, log.Fatal* or runtime.Goexit — leak checkers
+// examine only Exit's predecessors.
+//
+// Condition refinement: the builder prefixes each if-branch (and for-loop
+// body/exit) with a synthetic Assume node recording which way the condition
+// went, so analyses can kill facts on, say, the `err != nil` arm of the
+// standard error check.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block, Entry first. Unreachable blocks (dead code
+	// after a terminator) are kept so analyzers stay total, but carry
+	// Live == false.
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the virtual block every normal return (and the fall-off-end
+	// path of the body) flows into. It holds no nodes.
+	Exit *Block
+	// Halt is the virtual block for abnormal termination: panic, os.Exit,
+	// log.Fatal*, runtime.Goexit. It holds no nodes.
+	Halt *Block
+	// Defers lists every defer statement in the body, in source order. The
+	// statements also appear as nodes in their blocks, so flow-sensitive
+	// analyses see where a defer is (or is not) registered.
+	Defers []*ast.DeferStmt
+}
+
+// A Block is a straight-line sequence of nodes with no internal control
+// transfer. Nodes holds, in evaluation order: simple statements, branch
+// conditions (as bare expressions), synthetic Assume markers, and the
+// RangeStmt/TypeSwitchStmt headers whose per-iteration bindings an analysis
+// may want to model. Composite statements never appear whole — their pieces
+// are distributed over blocks — so a transfer function can walk each node's
+// subtree without double-visiting nested bodies (FuncLit subtrees excepted;
+// see WalkShallow).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Live reports reachability from Entry; analyses skip dead blocks.
+	Live bool
+}
+
+// Assume is a synthetic node recording that control reached its block only
+// because Cond evaluated to true (Negated == false) or false (Negated ==
+// true). It implements ast.Node so it can sit in Block.Nodes.
+type Assume struct {
+	Cond    ast.Expr
+	Negated bool
+}
+
+// Pos implements ast.Node.
+func (a *Assume) Pos() token.Pos { return a.Cond.Pos() }
+
+// End implements ast.Node.
+func (a *Assume) End() token.Pos { return a.Cond.End() }
+
+// New builds the CFG of a function body.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cfg.Halt = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.labels = make(map[string]*labelInfo)
+	b.stmtList(body.List)
+	// Fall off the end of the body: an implicit return.
+	b.jump(b.cfg.Exit)
+	b.resolveGotos()
+	markLive(b.cfg)
+	return b.cfg
+}
+
+// labelInfo tracks one label: the block a goto/labeled-statement enters,
+// and, when the label names a loop/switch/select, its break and continue
+// targets.
+type labelInfo struct {
+	target     *Block // statement entry; created lazily for forward gotos
+	breakTo    *Block
+	continueTo *Block
+}
+
+// targets is one entry of the break/continue resolution stack.
+type targets struct {
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type builder struct {
+	cfg    *CFG
+	cur    *Block // nil never: after a terminator cur is a fresh dead block
+	stack  []targets
+	labels map[string]*labelInfo
+	// pendingLabel is the label of the immediately enclosing LabeledStmt,
+	// consumed by the loop/switch it labels.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge adds cur → to.
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump ends the current block with an edge to target and starts a fresh
+// (initially unreachable) block for whatever follows.
+func (b *builder) jump(target *Block) {
+	edge(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+func (b *builder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		li := b.label(s.Label.Name)
+		b.jump(li.target)
+		b.cur = li.target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && terminatesFlow(call) {
+			b.jump(b.cfg.Halt)
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// AssignStmt, DeclStmt, GoStmt, IncDecStmt, SendStmt, ...
+		b.add(s)
+	}
+}
+
+// label returns (creating on demand) the info for a label name, so forward
+// gotos can reference blocks before the labeled statement is reached.
+func (b *builder) label(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{target: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.breakTo != nil {
+				b.jump(li.breakTo)
+				return
+			}
+		}
+		for i := len(b.stack) - 1; i >= 0; i-- {
+			if b.stack[i].breakTo != nil {
+				b.jump(b.stack[i].breakTo)
+				return
+			}
+		}
+		b.jump(b.cfg.Exit) // malformed; stay total
+
+	case token.CONTINUE:
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.continueTo != nil {
+				b.jump(li.continueTo)
+				return
+			}
+		}
+		for i := len(b.stack) - 1; i >= 0; i-- {
+			if b.stack[i].continueTo != nil {
+				b.jump(b.stack[i].continueTo)
+				return
+			}
+		}
+		b.jump(b.cfg.Exit)
+
+	case token.GOTO:
+		if s.Label != nil {
+			b.jump(b.label(s.Label.Name).target)
+			return
+		}
+		b.jump(b.cfg.Exit)
+
+	case token.FALLTHROUGH:
+		// Handled by switchStmt (the clause's end flows into the next
+		// clause body); here it is a no-op so a stray fallthrough cannot
+		// break the builder.
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+
+	then := b.newBlock()
+	then.Nodes = append(then.Nodes, &Assume{Cond: s.Cond})
+	edge(head, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	after := b.newBlock()
+	if s.Else != nil {
+		els := b.newBlock()
+		els.Nodes = append(els.Nodes, &Assume{Cond: s.Cond, Negated: true})
+		edge(head, els)
+		b.cur = els
+		b.stmt(s.Else)
+		edge(b.cur, after)
+	} else {
+		els := b.newBlock()
+		els.Nodes = append(els.Nodes, &Assume{Cond: s.Cond, Negated: true})
+		edge(head, els)
+		edge(els, after)
+	}
+	edge(thenEnd, after)
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	b.jump(head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+
+	body := b.newBlock()
+	after := b.newBlock()
+	post := b.newBlock()
+	if s.Cond != nil {
+		body.Nodes = append(body.Nodes, &Assume{Cond: s.Cond})
+		after.Nodes = append(after.Nodes, &Assume{Cond: s.Cond, Negated: true})
+		edge(head, after)
+	}
+	edge(head, body)
+
+	if label != "" {
+		li := b.label(label)
+		li.breakTo, li.continueTo = after, post
+	}
+	b.stack = append(b.stack, targets{breakTo: after, continueTo: post})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	edge(b.cur, post)
+	b.stack = b.stack[:len(b.stack)-1]
+
+	b.cur = post
+	if s.Post != nil {
+		b.add(s.Post)
+	}
+	edge(b.cur, head)
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.newBlock()
+	b.jump(head)
+	b.cur = head
+	// The RangeStmt itself is the per-iteration node: analyses model the
+	// key/value bindings from it. WalkShallow does not descend into its
+	// body, which lives in the blocks below.
+	b.add(s)
+
+	body := b.newBlock()
+	after := b.newBlock()
+	edge(head, body)
+	edge(head, after)
+
+	if label != "" {
+		li := b.label(label)
+		li.breakTo, li.continueTo = after, head
+	}
+	b.stack = append(b.stack, targets{breakTo: after, continueTo: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	edge(b.cur, head)
+	b.stack = b.stack[:len(b.stack)-1]
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.cur
+	after := b.newBlock()
+	if label != "" {
+		b.label(label).breakTo = after
+	}
+	b.stack = append(b.stack, targets{breakTo: after})
+
+	// First pass: one body block per clause so fallthrough can target the
+	// next clause positionally.
+	clauses := make([]*ast.CaseClause, 0, len(s.Body.List))
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		guard := b.newBlock()
+		edge(head, guard)
+		for _, e := range cc.List {
+			guard.Nodes = append(guard.Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		edge(guard, bodies[i])
+	}
+	if !hasDefault {
+		edge(head, after)
+	}
+	for i, cc := range clauses {
+		b.cur = bodies[i]
+		b.stmtList(cc.Body)
+		if i+1 < len(bodies) && endsInFallthrough(cc.Body) {
+			edge(b.cur, bodies[i+1])
+			b.cur = b.newBlock()
+		} else {
+			edge(b.cur, after)
+		}
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	b.cur = after
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	// The `x := y.(type)` assignment; analyses can model the binding.
+	b.add(s.Assign)
+	head := b.cur
+	after := b.newBlock()
+	if label != "" {
+		b.label(label).breakTo = after
+	}
+	b.stack = append(b.stack, targets{breakTo: after})
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		body := b.newBlock()
+		edge(head, body)
+		b.cur = body
+		b.stmtList(cc.Body)
+		edge(b.cur, after)
+	}
+	if !hasDefault {
+		edge(head, after)
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.cur
+	after := b.newBlock()
+	if label != "" {
+		b.label(label).breakTo = after
+	}
+	b.stack = append(b.stack, targets{breakTo: after})
+	any := false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		any = true
+		body := b.newBlock()
+		edge(head, body)
+		b.cur = body
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		edge(b.cur, after)
+	}
+	if !any {
+		// `select {}` blocks forever.
+		edge(head, b.cfg.Halt)
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	b.cur = after
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	last := body[len(body)-1]
+	for {
+		if ls, ok := last.(*ast.LabeledStmt); ok {
+			last = ls.Stmt
+			continue
+		}
+		break
+	}
+	br, ok := last.(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// resolveGotos is a no-op today — labels create their blocks lazily, so a
+// forward goto already points at the right block — but it keeps the builder
+// honest: a goto to an undeclared label leaves an empty, edgeless target
+// block rather than a dangling pointer.
+func (b *builder) resolveGotos() {}
+
+// terminatesFlow reports, syntactically, whether a call never returns:
+// panic, os.Exit, log.Fatal/Fatalf/Fatalln, runtime.Goexit. The match is
+// name-based so the CFG stays type-free; shadowing produces a slightly
+// conservative graph, never a wrong analysis (the Halt path is simply not
+// checked by leak analyzers).
+func terminatesFlow(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name {
+		case "os":
+			return fun.Sel.Name == "Exit"
+		case "log":
+			switch fun.Sel.Name {
+			case "Fatal", "Fatalf", "Fatalln":
+				return true
+			}
+		case "runtime":
+			return fun.Sel.Name == "Goexit"
+		}
+	}
+	return false
+}
+
+// markLive flags every block reachable from Entry.
+func markLive(c *CFG) {
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if b.Live {
+			return
+		}
+		b.Live = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(c.Entry)
+}
+
+// WalkShallow visits n's subtree in depth-first order, skipping the bodies
+// of function literals (a closure's statements belong to its own CFG) and
+// never descending into the Body of a RangeStmt node (its statements live
+// in other blocks). f returning false prunes the subtree, mirroring
+// ast.Inspect.
+func WalkShallow(n ast.Node, f func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	if a, ok := n.(*Assume); ok {
+		WalkShallow(a.Cond, f)
+		return
+	}
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if !f(rs) {
+			return
+		}
+		WalkShallow(rs.Key, f)
+		WalkShallow(rs.Value, f)
+		WalkShallow(rs.X, f)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if fl, ok := m.(*ast.FuncLit); ok {
+			// Announce the literal so callers can e.g. scan for captures,
+			// but do not walk its body as straight-line code.
+			f(fl)
+			return false
+		}
+		return f(m)
+	})
+}
+
+// FuncLits returns every function literal under n, including nested ones,
+// in source order. Analyzers use it to give closure bodies their own CFG
+// pass.
+func FuncLits(n ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(n, func(m ast.Node) bool {
+		if fl, ok := m.(*ast.FuncLit); ok {
+			out = append(out, fl)
+		}
+		return true
+	})
+	return out
+}

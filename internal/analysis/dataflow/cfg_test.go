@@ -1,0 +1,278 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses `src` as the body of a function and returns its CFG.
+func parseBody(t *testing.T, src string) (*token.FileSet, *CFG) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package p\n\nfunc f() {\n"+src+"\n}", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return fset, New(fn.Body)
+}
+
+// reachesExit reports whether Exit has at least one live predecessor.
+func reachesExit(c *CFG) bool {
+	for _, p := range c.Exit.Preds {
+		if p.Live {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	_, c := parseBody(t, `x := 1; y := x + 2; _ = y`)
+	if !reachesExit(c) {
+		t.Fatal("straight-line body should reach Exit")
+	}
+	if len(c.Entry.Nodes) != 3 {
+		t.Fatalf("entry block should hold all three statements, got %d", len(c.Entry.Nodes))
+	}
+}
+
+func TestCFGIfElseAssumes(t *testing.T) {
+	_, c := parseBody(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	} else {
+		x = 3
+	}
+	_ = x`)
+	var pos, neg int
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if a, ok := n.(*Assume); ok {
+				if a.Negated {
+					neg++
+				} else {
+					pos++
+				}
+			}
+		}
+	}
+	if pos != 1 || neg != 1 {
+		t.Fatalf("want one positive and one negative Assume, got %d/%d", pos, neg)
+	}
+	if !reachesExit(c) {
+		t.Fatal("if/else should reach Exit")
+	}
+}
+
+func TestCFGPanicGoesToHalt(t *testing.T) {
+	_, c := parseBody(t, `
+	x := 1
+	if x > 0 {
+		panic("boom")
+	}
+	_ = x`)
+	if len(c.Halt.Preds) == 0 {
+		t.Fatal("panic path should feed Halt")
+	}
+	if !reachesExit(c) {
+		t.Fatal("non-panic path should still reach Exit")
+	}
+}
+
+func TestCFGOsExitGoesToHalt(t *testing.T) {
+	_, c := parseBody(t, `os.Exit(1)`)
+	if len(c.Halt.Preds) == 0 {
+		t.Fatal("os.Exit should feed Halt")
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	_, c := parseBody(t, `
+	s := 0
+	for i := 0; i < 10; i++ {
+		s += i
+	}
+	_ = s`)
+	// A loop must produce at least one back edge: some block's successor
+	// has a smaller index and is live.
+	back := false
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s.Live && b.Live {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("for loop should create a live back edge")
+	}
+	if !reachesExit(c) {
+		t.Fatal("terminating loop should reach Exit")
+	}
+}
+
+func TestCFGRangeBreakContinue(t *testing.T) {
+	_, c := parseBody(t, `
+	for _, v := range xs {
+		if v == 0 {
+			continue
+		}
+		if v < 0 {
+			break
+		}
+		use(v)
+	}
+	done()`)
+	if !reachesExit(c) {
+		t.Fatal("range with break/continue should reach Exit")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	_, c := parseBody(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i+j > 3 {
+				break outer
+			}
+			if j == 1 {
+				continue outer
+			}
+		}
+	}
+	done()`)
+	if !reachesExit(c) {
+		t.Fatal("labeled break/continue should reach Exit")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	_, c := parseBody(t, `
+	i := 0
+loop:
+	i++
+	if i < 10 {
+		goto loop
+	}
+	_ = i`)
+	if !reachesExit(c) {
+		t.Fatal("goto loop should reach Exit")
+	}
+	back := false
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && b.Live {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("goto to an earlier label should create a back edge")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	_, c := parseBody(t, `
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		d()
+	}
+	done()`)
+	if !reachesExit(c) {
+		t.Fatal("switch should reach Exit")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	_, c := parseBody(t, `
+	select {
+	case v := <-ch:
+		use(v)
+	case out <- 1:
+		b()
+	default:
+		d()
+	}
+	done()`)
+	if !reachesExit(c) {
+		t.Fatal("select should reach Exit")
+	}
+}
+
+func TestCFGEmptySelectHalts(t *testing.T) {
+	_, c := parseBody(t, `select {}`)
+	if len(c.Halt.Preds) == 0 {
+		t.Fatal("select{} blocks forever and should feed Halt")
+	}
+}
+
+func TestCFGDefersRecorded(t *testing.T) {
+	_, c := parseBody(t, `
+	f := open()
+	defer f.Close()
+	if bad {
+		return
+	}
+	work(f)`)
+	if len(c.Defers) != 1 {
+		t.Fatalf("want 1 recorded defer, got %d", len(c.Defers))
+	}
+}
+
+func TestCFGDeadCodeNotLive(t *testing.T) {
+	_, c := parseBody(t, `
+	return
+	unreachable()`)
+	// The statement after return must land in a non-live block.
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "unreachable" && b.Live {
+						t.Fatal("code after return should not be live")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWalkShallowSkipsFuncLit(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", `package p
+func f() {
+	g := func() { inner() }
+	g()
+}`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	var names []string
+	for _, s := range fn.Body.List {
+		WalkShallow(s, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				names = append(names, id.Name)
+			}
+			return true
+		})
+	}
+	joined := strings.Join(names, ",")
+	if strings.Contains(joined, "inner") {
+		t.Fatalf("WalkShallow descended into the FuncLit body: %v", names)
+	}
+	if !strings.Contains(joined, "g") {
+		t.Fatalf("WalkShallow should still see the outer identifiers: %v", names)
+	}
+}

@@ -1,0 +1,161 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCFGCorpusNoPanic builds a CFG for every function and function
+// literal in the repository and runs a counting fixpoint over each. The
+// builder is purely syntactic, so the whole module — including testdata
+// with deliberately odd control flow — is fair game: any panic, edge
+// inconsistency or non-terminating fixpoint here is a bug in the engine,
+// not in the corpus.
+func TestCFGCorpusNoPanic(t *testing.T) {
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	files, funcs := 0, 0
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "related") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+		if err != nil {
+			// Testdata may hold intentionally broken files; the corpus
+			// covers everything that parses.
+			t.Logf("skipping unparseable %s: %v", path, err)
+			return nil
+		}
+		files++
+		rel, _ := filepath.Rel(root, path)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			funcs += checkCorpusFunc(t, fset, rel, fd.Name.Name, fd.Body)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files < 50 || funcs < 300 {
+		t.Fatalf("corpus suspiciously small: %d files, %d functions (did the walk root move?)", files, funcs)
+	}
+	t.Logf("corpus: %d files, %d functions", files, funcs)
+}
+
+// checkCorpusFunc builds and sanity-checks the CFG of one body and of
+// every function literal inside it, returning the number checked.
+func checkCorpusFunc(t *testing.T, fset *token.FileSet, file, name string, body *ast.BlockStmt) int {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: %s: CFG construction panicked: %v", file, name, r)
+		}
+	}()
+	n := 1
+	checkCorpusCFG(t, file, name, New(body))
+	for _, fl := range FuncLits(body) {
+		n++
+		checkCorpusCFG(t, file, name+":funclit", New(fl.Body))
+	}
+	return n
+}
+
+// corpusLattice is the two-point reachability lattice — bounded, so the
+// fixpoint must terminate even across back edges, while still driving a
+// transfer over every live block.
+type corpusLattice struct{}
+
+func (corpusLattice) Bottom() bool      { return false }
+func (corpusLattice) Clone(f bool) bool { return f }
+func (corpusLattice) Join(dst, src bool) (bool, bool) {
+	return dst || src, src && !dst
+}
+
+func checkCorpusCFG(t *testing.T, file, name string, c *CFG) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Fatalf("%s: %s: "+format, append([]any{file, name}, args...)...)
+	}
+	if c.Entry == nil || c.Exit == nil || c.Halt == nil {
+		fail("virtual blocks missing: entry=%v exit=%v halt=%v", c.Entry, c.Exit, c.Halt)
+	}
+	if !c.Entry.Live {
+		fail("entry block not live")
+	}
+	for i, b := range c.Blocks {
+		if b.Index != i {
+			fail("block %d holds index %d", i, b.Index)
+		}
+		for _, s := range b.Succs {
+			if !hasBlock(s.Preds, b) {
+				fail("block %d → %d edge missing the back-pointer", b.Index, s.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			if !hasBlock(p.Succs, b) {
+				fail("block %d pred %d has no matching succ", b.Index, p.Index)
+			}
+		}
+		if b.Live && b != c.Exit && b != c.Halt && len(b.Succs) == 0 {
+			fail("live block %d dead-ends outside Exit/Halt", b.Index)
+		}
+	}
+	// The fixpoint must terminate and visit every live block.
+	in := Forward(c, corpusLattice{}, func(b *Block, f bool) bool { return true })
+	if len(in) != len(c.Blocks) {
+		fail("fixpoint returned %d facts for %d blocks", len(in), len(c.Blocks))
+	}
+}
+
+func hasBlock(s []*Block, b *Block) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

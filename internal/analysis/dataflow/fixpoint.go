@@ -1,0 +1,60 @@
+package dataflow
+
+// Lattice describes the fact domain of one forward analysis. F is the
+// per-block fact type (typically a map or a small struct of maps); the
+// driver treats it opaquely.
+type Lattice[F any] interface {
+	// Bottom returns the "no information" fact carried into unvisited
+	// blocks. Entry receives Bottom too; analyses that need a distinguished
+	// entry fact can special-case Block.Index == Entry.Index in Transfer.
+	Bottom() F
+	// Clone returns an independent copy a transfer function may mutate.
+	Clone(F) F
+	// Join merges src into dst in place and reports whether dst changed.
+	// For may-analyses this is set union.
+	Join(dst, src F) (F, bool)
+}
+
+// Transfer applies one block's nodes to an incoming fact and returns the
+// outgoing fact. It owns `in` (the driver passes a clone).
+type Transfer[F any] func(b *Block, in F) F
+
+// Forward runs a forward dataflow fixpoint over the CFG and returns the
+// fact at the *start* of every block, indexed by Block.Index. Blocks are
+// processed with a FIFO worklist; termination requires Join to be monotone
+// and the fact domain to have finite height (true for the finite powerset
+// domains the dualvet analyzers use).
+func Forward[F any](c *CFG, lat Lattice[F], tf Transfer[F]) []F {
+	in := make([]F, len(c.Blocks))
+	for i := range in {
+		in[i] = lat.Bottom()
+	}
+
+	// Seed with every live block (index order approximates reverse
+	// post-order closely enough here) so each is transferred at least once
+	// even when the incoming join never changes its Bottom fact.
+	var work []*Block
+	queued := make([]bool, len(c.Blocks))
+	for _, b := range c.Blocks {
+		if b.Live {
+			work = append(work, b)
+			queued[b.Index] = true
+		}
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		out := tf(b, lat.Clone(in[b.Index]))
+		for _, s := range b.Succs {
+			merged, changed := lat.Join(in[s.Index], out)
+			in[s.Index] = merged
+			if changed && !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,96 @@
+package dataflow
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// assignedLattice is a toy may-analysis: the set of variable names that may
+// have been assigned.
+type assignedLattice struct{}
+
+func (assignedLattice) Bottom() map[string]bool { return map[string]bool{} }
+
+func (assignedLattice) Clone(f map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(f))
+	for k := range f {
+		c[k] = true
+	}
+	return c
+}
+
+func (assignedLattice) Join(dst, src map[string]bool) (map[string]bool, bool) {
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func assignTransfer(b *Block, in map[string]bool) map[string]bool {
+	for _, n := range b.Nodes {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					in[id.Name] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+func TestForwardJoinsBranches(t *testing.T) {
+	_, c := parseBody(t, `
+	if cond {
+		x := 1
+		_ = x
+	} else {
+		y := 2
+		_ = y
+	}
+	after := 3
+	_ = after`)
+	in := Forward[map[string]bool](c, assignedLattice{}, assignTransfer)
+	exit := in[c.Exit.Index]
+	for _, name := range []string{"x", "y", "after"} {
+		if !exit[name] {
+			t.Fatalf("%q should be may-assigned at Exit, got %v", name, exit)
+		}
+	}
+}
+
+func TestForwardLoopReachesFixpoint(t *testing.T) {
+	_, c := parseBody(t, `
+	for i := 0; i < 10; i++ {
+		inner := i
+		_ = inner
+	}
+	done := 1
+	_ = done`)
+	in := Forward[map[string]bool](c, assignedLattice{}, assignTransfer)
+	exit := in[c.Exit.Index]
+	if !exit["inner"] || !exit["done"] {
+		t.Fatalf("loop-body facts should flow around the back edge to Exit: %v", exit)
+	}
+}
+
+func TestForwardHaltPathExcludedFromExit(t *testing.T) {
+	_, c := parseBody(t, `
+	if cond {
+		onlyOnPanicPath := 1
+		_ = onlyOnPanicPath
+		panic("x")
+	}
+	_ = 0`)
+	in := Forward[map[string]bool](c, assignedLattice{}, assignTransfer)
+	if in[c.Exit.Index]["onlyOnPanicPath"] {
+		t.Fatal("facts on a panic-terminated path must not reach Exit")
+	}
+	if !in[c.Halt.Index]["onlyOnPanicPath"] {
+		t.Fatal("facts on a panic-terminated path should reach Halt")
+	}
+}

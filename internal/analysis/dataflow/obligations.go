@@ -1,0 +1,568 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakSpec describes one acquire/release discipline: which calls open an
+// obligation (pin a frame, begin a span) and which call shapes close it.
+// The engine handles everything else — aliasing, CFG paths, defer, the
+// `if err != nil { return }` idiom, and ownership escapes.
+type LeakSpec struct {
+	// Source classifies a call expression. ok reports whether the call
+	// opens an obligation; resIdx is the index of the resource among the
+	// call's results, errIdx the index of an error result that, when
+	// non-nil, means no resource was acquired (-1 if the source cannot
+	// fail).
+	Source func(call *ast.CallExpr) (resIdx, errIdx int, ok bool)
+	// IsRelease reports whether a method call of the form recv.M(...)
+	// closes the obligation held by recv. The engine matches the receiver
+	// against the obligation's aliases; this predicate only inspects the
+	// call shape.
+	IsRelease func(call *ast.CallExpr) bool
+}
+
+// A Leak is an obligation that fails to reach a release on some path to a
+// normal return.
+type Leak struct {
+	// Acquire is the source call that opened the obligation.
+	Acquire *ast.CallExpr
+	// Immediate marks a resource discarded at the call site itself
+	// (expression statement or assignment to blank).
+	Immediate bool
+}
+
+// FindLeaks runs the obligation analysis over one function body and
+// returns its leaks in source order. Obligations closed by a release on
+// every path, by a defer, or by an ownership escape (returned, passed to a
+// call, stored into a structure, captured by a closure) are not reported.
+func FindLeaks(body *ast.BlockStmt, info *types.Info, spec LeakSpec) []Leak {
+	if body == nil {
+		return nil
+	}
+	cfg := New(body)
+	eng := &obEngine{
+		spec: spec,
+		info: info,
+		al:   NewAliases(body, info),
+	}
+	in := Forward[obFact](cfg, obLattice{}, eng.transfer)
+
+	var leaks []Leak
+	seen := make(map[token.Pos]bool)
+	add := func(call *ast.CallExpr, immediate bool) {
+		if !seen[call.Lparen] {
+			seen[call.Lparen] = true
+			leaks = append(leaks, Leak{Acquire: call, Immediate: immediate})
+		}
+	}
+
+	// Immediate leaks are syntactic: a source call whose resource result is
+	// discarded on the spot.
+	WalkShallowStmts(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if _, _, isSrc := spec.Source(call); isSrc {
+					add(call, true)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				resIdx, _, isSrc := spec.Source(call)
+				if !isSrc {
+					continue
+				}
+				if lhs := tupleLhs(n, i, resIdx); lhs != nil {
+					if id, isId := lhs.(*ast.Ident); isId && id.Name == "_" {
+						add(call, true)
+					}
+				}
+			}
+		}
+	})
+
+	// Path leaks: any obligation still open in the fact flowing into the
+	// virtual Exit block escaped release on at least one returning path.
+	for _, ob := range in[cfg.Exit.Index] {
+		if ob.open {
+			add(ob.call, false)
+		}
+	}
+
+	// Stable order for reporting.
+	for i := 1; i < len(leaks); i++ {
+		for j := i; j > 0 && leaks[j].Acquire.Lparen < leaks[j-1].Acquire.Lparen; j-- {
+			leaks[j], leaks[j-1] = leaks[j-1], leaks[j]
+		}
+	}
+	return leaks
+}
+
+// WalkShallowStmts visits every statement-level node under body exactly
+// once, skipping function-literal bodies (they get their own analysis).
+func WalkShallowStmts(body *ast.BlockStmt, f func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}
+
+// obState is the tracked state of one obligation (keyed by its source
+// call's position).
+type obState struct {
+	call *ast.CallExpr
+	open bool
+	// names holds the canonical paths currently bound to the resource.
+	names map[string]bool
+	// errName/errLive support the `f, err := Get(...); if err != nil`
+	// refinement: while errLive, an assumed-non-nil errName kills the
+	// obligation (the resource is nil on the error path).
+	errName string
+	errLive bool
+}
+
+func (o *obState) clone() *obState {
+	c := *o
+	c.names = make(map[string]bool, len(o.names))
+	for k := range o.names {
+		c.names[k] = true
+	}
+	return &c
+}
+
+type obFact map[token.Pos]*obState
+
+type obLattice struct{}
+
+func (obLattice) Bottom() obFact { return obFact{} }
+
+func (obLattice) Clone(f obFact) obFact {
+	c := make(obFact, len(f))
+	for k, v := range f {
+		c[k] = v.clone()
+	}
+	return c
+}
+
+// Join is the may-leak union: an obligation open on either path is open in
+// the merge; error-liveness survives only if live on both.
+func (obLattice) Join(dst, src obFact) (obFact, bool) {
+	changed := false
+	for k, sv := range src {
+		dv, ok := dst[k]
+		if !ok {
+			dst[k] = sv.clone()
+			changed = true
+			continue
+		}
+		if sv.open && !dv.open {
+			dv.open = true
+			changed = true
+		}
+		for n := range sv.names {
+			if !dv.names[n] {
+				dv.names[n] = true
+				changed = true
+			}
+		}
+		if dv.errLive && !sv.errLive {
+			dv.errLive = false
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+type obEngine struct {
+	spec LeakSpec
+	info *types.Info
+	al   *Aliases
+}
+
+func (e *obEngine) transfer(b *Block, in obFact) obFact {
+	for _, n := range b.Nodes {
+		switch n := n.(type) {
+		case *Assume:
+			e.refine(in, n)
+		case *ast.AssignStmt:
+			e.assign(in, n)
+		case *ast.ExprStmt:
+			e.exprStmt(in, n)
+		case *ast.DeferStmt:
+			e.deferStmt(in, n)
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				e.scanEscape(in, r, true)
+			}
+		case *ast.GoStmt:
+			e.scanEscape(in, n.Call, true)
+		case *ast.SendStmt:
+			e.scanEscape(in, n.Value, true)
+			e.scanEscape(in, n.Chan, false)
+		default:
+			if expr, ok := n.(ast.Expr); ok {
+				// Branch conditions and switch guards: uses, not escapes.
+				e.scanEscape(in, expr, false)
+			} else {
+				e.scanNode(in, n)
+			}
+		}
+	}
+	return in
+}
+
+// assign handles the three roles an assignment can play: opening an
+// obligation, rebinding an alias, or escaping/overwriting a resource.
+func (e *obEngine) assign(f obFact, n *ast.AssignStmt) {
+	handledRhs := make(map[int]bool)
+	created := make(map[*obState]bool)
+	for i, rhs := range n.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		resIdx, errIdx, isSrc := e.spec.Source(call)
+		if !isSrc {
+			// Still scan the call's arguments for escapes below.
+			continue
+		}
+		handledRhs[i] = true
+		// Arguments of the source call itself can escape other resources.
+		for _, a := range call.Args {
+			e.scanEscape(f, a, true)
+		}
+		ob := &obState{call: call, open: true, names: map[string]bool{}}
+		if lhs := tupleLhs(n, i, resIdx); lhs != nil {
+			id, isId := lhs.(*ast.Ident)
+			if !isId || !e.isLocal(id) {
+				// Blank (immediate leak, reported syntactically), or stored
+				// straight into a global/field/index: not ours to track.
+				continue
+			}
+			ob.names[e.al.Canon(id)] = true
+		}
+		if errIdx >= 0 {
+			if lhs := tupleLhs(n, i, errIdx); lhs != nil {
+				if id, isId := lhs.(*ast.Ident); isId && id.Name != "_" {
+					ob.errName = e.al.Canon(id)
+					ob.errLive = true
+				}
+			}
+		}
+		f[call.Lparen] = ob
+		created[ob] = true
+	}
+
+	// A tuple assignment from a non-source call still passes nothing we
+	// track, but its arguments can escape resources.
+	if len(n.Lhs) != len(n.Rhs) && len(n.Rhs) == 1 && !handledRhs[0] {
+		e.scanEscape(f, n.Rhs[0], true)
+	}
+
+	// Alias rebinding: `g := f` extends the name set; `x.field = f` or
+	// `arr[i] = f` escapes; `f = other` unbinds.
+	for i, lhs := range n.Lhs {
+		var rhs ast.Expr
+		if len(n.Lhs) == len(n.Rhs) {
+			rhs = n.Rhs[i]
+			if handledRhs[i] {
+				rhs = nil
+			}
+		} else if len(n.Rhs) == 1 {
+			if handledRhs[0] {
+				rhs = nil
+			} else {
+				rhs = nil // tuple from a non-source call: nothing to bind
+			}
+		}
+
+		lhsId, lhsIsIdent := ast.Unparen(lhs).(*ast.Ident)
+
+		if rhs != nil {
+			rcanon := e.al.Canon(rhs)
+			if ob := holder(f, rcanon); ob != nil && isPathExpr(rhs) {
+				if lhsIsIdent && lhsId.Name != "_" && e.isLocal(lhsId) {
+					ob.names[e.al.Canon(lhsId)] = true
+				} else if lhsIsIdent && lhsId.Name == "_" {
+					// `_ = r`: a deliberate no-op use, not an escape.
+				} else {
+					// Stored into a global or structure: ownership escapes.
+					ob.open = false
+				}
+				continue
+			}
+			e.scanEscape(f, rhs, true)
+		}
+
+		// Overwriting a bound name drops that alias; reassigning a tracked
+		// error kills its refinement power.
+		if lhsIsIdent && lhsId.Name != "_" {
+			c := e.al.Canon(lhsId)
+			for _, ob := range f {
+				if created[ob] {
+					continue // this statement's own binding
+				}
+				if ob.names[c] {
+					delete(ob.names, c)
+				}
+				if ob.errLive && ob.errName == c {
+					ob.errLive = false
+				}
+			}
+		} else if !lhsIsIdent {
+			e.scanEscape(f, lhs, false)
+		}
+	}
+}
+
+func (e *obEngine) exprStmt(f obFact, n *ast.ExprStmt) {
+	call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+	if !ok {
+		e.scanEscape(f, n.X, false)
+		return
+	}
+	if e.release(f, call) {
+		return
+	}
+	if _, _, isSrc := e.spec.Source(call); isSrc {
+		// Discarded resource; reported as an immediate leak syntactically.
+		for _, a := range call.Args {
+			e.scanEscape(f, a, true)
+		}
+		return
+	}
+	e.scanCall(f, call)
+}
+
+func (e *obEngine) deferStmt(f obFact, n *ast.DeferStmt) {
+	// `defer f.Release()` discharges the obligation for every path from
+	// here on — deferred calls run on all exits. A closure body inside the
+	// defer is a capture: scanned as an escape, which is also a discharge.
+	if e.release(f, n.Call) {
+		return
+	}
+	e.scanCall(f, n.Call)
+}
+
+// release closes the obligation whose alias set contains the call's
+// receiver, returning true if the call is a release.
+func (e *obEngine) release(f obFact, call *ast.CallExpr) bool {
+	if !e.spec.IsRelease(call) {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv := e.al.Canon(sel.X)
+	if ob := holder(f, recv); ob != nil {
+		ob.open = false
+		return true
+	}
+	// A release of something we aren't tracking (a parameter, a field):
+	// still a release call, not an escape of its receiver.
+	return true
+}
+
+// scanCall treats a non-release, non-source call: the receiver path is a
+// use; the arguments escape.
+func (e *obEngine) scanCall(f obFact, call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// Method call on the resource (f.Data(), f.MarkDirty()): a use.
+		e.scanEscape(f, sel.X, false)
+	} else {
+		e.scanEscape(f, call.Fun, true)
+	}
+	for _, a := range call.Args {
+		e.scanEscape(f, a, true)
+	}
+}
+
+// scanNode conservatively scans any remaining statement kind.
+func (e *obEngine) scanNode(f obFact, n ast.Node) {
+	WalkShallow(n, func(m ast.Node) bool {
+		if expr, ok := m.(ast.Expr); ok {
+			e.scanEscape(f, expr, false)
+			return false
+		}
+		return true
+	})
+}
+
+// scanEscape walks an expression; any appearance of a tracked resource in
+// an escaping position (call argument, composite literal, return value,
+// address-taken, closure capture) discharges its obligation — ownership is
+// assumed transferred, and the callee/holder is responsible for release.
+// Non-escaping positions (selector base, index base, nil comparison) are
+// uses and keep the obligation open.
+func (e *obEngine) scanEscape(f obFact, expr ast.Expr, escaping bool) {
+	if expr == nil {
+		return
+	}
+	switch expr := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if !escaping {
+			return
+		}
+		if ob := holder(f, e.al.Canon(expr)); ob != nil {
+			ob.open = false
+		}
+	case *ast.SelectorExpr:
+		e.scanEscape(f, expr.X, false)
+	case *ast.IndexExpr:
+		e.scanEscape(f, expr.X, false)
+		e.scanEscape(f, expr.Index, false)
+	case *ast.StarExpr:
+		e.scanEscape(f, expr.X, false)
+	case *ast.UnaryExpr:
+		// &f may stash the resource anywhere.
+		e.scanEscape(f, expr.X, expr.Op == token.AND || escaping)
+	case *ast.BinaryExpr:
+		e.scanEscape(f, expr.X, false)
+		e.scanEscape(f, expr.Y, false)
+	case *ast.CallExpr:
+		if !e.release(f, expr) {
+			if _, _, isSrc := e.spec.Source(expr); !isSrc {
+				e.scanCall(f, expr)
+			}
+		}
+	case *ast.CompositeLit:
+		for _, el := range expr.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				e.scanEscape(f, kv.Value, true)
+			} else {
+				e.scanEscape(f, el, true)
+			}
+		}
+	case *ast.FuncLit:
+		// Captures: any tracked name referenced inside the literal escapes.
+		ast.Inspect(expr.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if ob := holder(f, e.al.Canon(id)); ob != nil {
+					ob.open = false
+				}
+			}
+			return true
+		})
+	case *ast.TypeAssertExpr:
+		e.scanEscape(f, expr.X, escaping)
+	case *ast.SliceExpr:
+		e.scanEscape(f, expr.X, false)
+	case *ast.KeyValueExpr:
+		e.scanEscape(f, expr.Value, escaping)
+	}
+}
+
+// refine applies a branch assumption. Two patterns matter:
+//
+//	f, err := Get(...); if err != nil { return err }   — obligation dead on
+//	the error arm (Get returns a nil resource with a non-nil error);
+//
+//	if f == nil { ... }                                — obligation dead on
+//	the nil arm.
+func (e *obEngine) refine(f obFact, a *Assume) {
+	bin, ok := ast.Unparen(a.Cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return
+	}
+	var other ast.Expr
+	switch {
+	case isNilIdent(bin.Y):
+		other = bin.X
+	case isNilIdent(bin.X):
+		other = bin.Y
+	default:
+		return
+	}
+	canon := e.al.Canon(other)
+	// On this branch, is `other` known non-nil?
+	nonNil := (bin.Op == token.NEQ) != a.Negated
+	for _, ob := range f {
+		if !ob.open {
+			continue
+		}
+		if nonNil && ob.errLive && ob.errName == canon {
+			ob.open = false // error path: no resource was acquired
+		}
+		if !nonNil && ob.names[canon] {
+			ob.open = false // resource known nil here
+		}
+	}
+}
+
+// isLocal reports whether an identifier names a function-local variable
+// (or parameter) — the only things an alias binding may track. Globals and
+// fields outlive the function: storing a resource there is an escape.
+func (e *obEngine) isLocal(id *ast.Ident) bool {
+	obj := e.info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	// Package-level variables live in the package scope, whose parent is
+	// Universe; anything nested deeper is local.
+	if p := v.Parent(); p != nil && p.Parent() == types.Universe {
+		return false
+	}
+	return true
+}
+
+// holder returns the open obligation binding canon, if any.
+func holder(f obFact, canon string) *obState {
+	for _, ob := range f {
+		if ob.open && ob.names[canon] {
+			return ob
+		}
+	}
+	return nil
+}
+
+// tupleLhs returns the LHS expression receiving result #idx of the call at
+// Rhs[i], for both `a, b := f()` (tuple) and `a := f()` (1:1) shapes.
+func tupleLhs(n *ast.AssignStmt, i, idx int) ast.Expr {
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		if idx < len(n.Lhs) {
+			return n.Lhs[idx]
+		}
+		return nil
+	}
+	if len(n.Lhs) == len(n.Rhs) && idx == 0 {
+		return n.Lhs[i]
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isPathExpr reports whether an expression is a pure path (no calls), i.e.
+// assigning it creates an alias rather than transferring a computed value.
+func isPathExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return isPathExpr(e.X)
+	case *ast.IndexExpr:
+		return isPathExpr(e.X)
+	case *ast.StarExpr:
+		return isPathExpr(e.X)
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && isPathExpr(e.X)
+	}
+	return false
+}

@@ -1,0 +1,249 @@
+package dataflow
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// The test discipline: res := acquire() must reach res.close() (mirroring
+// the pin/span shapes without importing the real packages).
+var testSpec = LeakSpec{
+	Source: func(call *ast.CallExpr) (int, int, bool) {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "acquire" {
+				return 0, 1, true
+			}
+			if fun.Name == "acquire1" {
+				return 0, -1, true
+			}
+		}
+		return 0, 0, false
+	},
+	IsRelease: func(call *ast.CallExpr) bool {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == "close"
+	},
+}
+
+const leakPrelude = `package p
+
+type res struct{}
+
+func (r *res) close()      {}
+func (r *res) touch()      {}
+func acquire() (*res, error)  { return nil, nil }
+func acquire1() *res          { return nil }
+func sink(r *res)             {}
+var global *res
+`
+
+func findTestLeaks(t *testing.T, body string) []Leak {
+	t.Helper()
+	fn, info := typecheck(t, leakPrelude+"\nfunc f(cond bool) error {\n"+body+"\n}\n")
+	return FindLeaks(fn.Body, info, testSpec)
+}
+
+func TestLeakBalancedPath(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	r := acquire1()
+	r.touch()
+	r.close()
+	return nil`)
+	if len(leaks) != 0 {
+		t.Fatalf("balanced acquire/close should not leak, got %v", leaks)
+	}
+}
+
+func TestLeakMissingClose(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	r := acquire1()
+	r.touch()
+	return nil`)
+	if len(leaks) != 1 {
+		t.Fatalf("want 1 leak, got %d", len(leaks))
+	}
+}
+
+func TestLeakOneBranchOnly(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	r := acquire1()
+	if cond {
+		r.close()
+		return nil
+	}
+	return nil`)
+	if len(leaks) != 1 {
+		t.Fatalf("leak on the else path should be reported, got %d", len(leaks))
+	}
+}
+
+func TestLeakDeferClears(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	r := acquire1()
+	defer r.close()
+	if cond {
+		return nil
+	}
+	r.touch()
+	return nil`)
+	if len(leaks) != 0 {
+		t.Fatalf("defer close covers all paths, got %v", leaks)
+	}
+}
+
+func TestLeakErrNilIdiom(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	r, err := acquire()
+	if err != nil {
+		return err
+	}
+	r.close()
+	return nil`)
+	if len(leaks) != 0 {
+		t.Fatalf("err != nil early return must not count as a leak, got %v", leaks)
+	}
+}
+
+func TestLeakErrNilIdiomStillCatchesMainPath(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	r, err := acquire()
+	if err != nil {
+		return err
+	}
+	r.touch()
+	return nil`)
+	if len(leaks) != 1 {
+		t.Fatalf("main path without close should leak, got %d", len(leaks))
+	}
+}
+
+func TestLeakAliasClose(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	r := acquire1()
+	s := r
+	s.close()
+	return nil`)
+	if len(leaks) != 0 {
+		t.Fatalf("close through an alias should count, got %v", leaks)
+	}
+}
+
+func TestLeakReturnEscapes(t *testing.T) {
+	fn, info := typecheck(t, leakPrelude+`
+func f(cond bool) (*res, error) {
+	r, err := acquire()
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+`)
+	leaks := FindLeaks(fn.Body, info, testSpec)
+	if len(leaks) != 0 {
+		t.Fatalf("returning the resource transfers ownership, got %v", leaks)
+	}
+}
+
+func TestLeakCallArgEscapes(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	r := acquire1()
+	sink(r)
+	return nil`)
+	if len(leaks) != 0 {
+		t.Fatalf("passing the resource away transfers ownership, got %v", leaks)
+	}
+}
+
+func TestLeakStoreEscapes(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	r := acquire1()
+	global = r
+	return nil`)
+	if len(leaks) != 0 {
+		t.Fatalf("storing the resource transfers ownership, got %v", leaks)
+	}
+}
+
+func TestLeakClosureCaptureEscapes(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	r := acquire1()
+	cleanup := func() { r.close() }
+	defer cleanup()
+	return nil`)
+	if len(leaks) != 0 {
+		t.Fatalf("closure capture transfers ownership, got %v", leaks)
+	}
+}
+
+func TestLeakDiscardedImmediately(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	acquire1()
+	return nil`)
+	if len(leaks) != 1 || !leaks[0].Immediate {
+		t.Fatalf("discarded resource should be an immediate leak, got %v", leaks)
+	}
+}
+
+func TestLeakBlankAssign(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	_ = acquire1()
+	return nil`)
+	if len(leaks) != 1 || !leaks[0].Immediate {
+		t.Fatalf("blank-assigned resource should be an immediate leak, got %v", leaks)
+	}
+}
+
+func TestLeakInLoop(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	for i := 0; i < 3; i++ {
+		r := acquire1()
+		if cond {
+			continue
+		}
+		r.close()
+	}
+	return nil`)
+	if len(leaks) != 1 {
+		t.Fatalf("continue past the close should leak, got %d", len(leaks))
+	}
+}
+
+func TestLeakLoopBalanced(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	for i := 0; i < 3; i++ {
+		r := acquire1()
+		r.touch()
+		r.close()
+	}
+	return nil`)
+	if len(leaks) != 0 {
+		t.Fatalf("balanced loop body should not leak, got %v", leaks)
+	}
+}
+
+func TestLeakPanicPathIgnored(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	r := acquire1()
+	if cond {
+		panic("fatal")
+	}
+	r.close()
+	return nil`)
+	if len(leaks) != 0 {
+		t.Fatalf("panic paths are not leak paths, got %v", leaks)
+	}
+}
+
+func TestLeakNilCheckRefinement(t *testing.T) {
+	leaks := findTestLeaks(t, `
+	r := acquire1()
+	if r == nil {
+		return nil
+	}
+	r.close()
+	return nil`)
+	if len(leaks) != 0 {
+		t.Fatalf("nil-checked resource on the nil arm is no leak, got %v", leaks)
+	}
+}

@@ -9,12 +9,18 @@
 // (and `Inf + -Inf`) and `0 * Inf` — after which every comparison is false
 // and a selection drops tuples with no error anywhere.
 //
-// The check is intra-procedural. A value "may carry Inf" when it is:
+// The check is intra-procedural but flow-sensitive: taint facts propagate
+// over the function's control-flow graph (internal/analysis/dataflow), so
+// loop-carried assignments are seen on the back edge and branch-local
+// assignments join at the merge point. A value "may carry Inf" when it is:
 //   - the result of math.Inf(...);
 //   - read from a field, or returned by a function/method, on the built-in
 //     sentinel-carrier list below (the envelope/support/handicap surfaces);
 //   - read from a local declaration annotated //dualvet:mayinf;
-//   - a local variable assigned from any of the above.
+//   - a local variable — or a *field of* a local struct — assigned from any
+//     of the above, including through composite literals (`a := acc{hi:
+//     e.Hi}`), whole-struct copies (`b := a`), and multi-value assignments
+//     from a marked function (`lo, hi := bounds()`).
 //
 // Flagged, unless a math.IsInf guard on the same operand expression appears
 // earlier in the function:
@@ -36,6 +42,7 @@ import (
 	"go/types"
 	"strings"
 
+	"dualcdb/internal/analysis/dataflow"
 	"dualcdb/internal/analysis/framework"
 )
 
@@ -157,8 +164,42 @@ func collectLocalMarks(pass *framework.Pass) localMarks {
 	return marks
 }
 
+// taintKey is one may-Inf fact: a local object, optionally narrowed to a
+// field path inside it (".hi", ".bounds.lo", ...). path == "" is the whole
+// value.
+type taintKey struct {
+	obj  types.Object
+	path string
+}
+
+type taintSet map[taintKey]bool
+
+type taintLattice struct{}
+
+func (taintLattice) Bottom() taintSet { return taintSet{} }
+
+func (taintLattice) Clone(f taintSet) taintSet {
+	c := make(taintSet, len(f))
+	for k := range f {
+		c[k] = true
+	}
+	return c
+}
+
+func (taintLattice) Join(dst, src taintSet) (taintSet, bool) {
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
 func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, local localMarks) {
-	// Pass 1: earliest math.IsInf guard position per guarded expression.
+	// Earliest math.IsInf guard position per guarded expression, collected
+	// over the whole body (closures included) since the check is positional.
 	guards := make(map[string]token.Pos)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -171,61 +212,286 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, local localMarks) {
 		}
 		return true
 	})
+	eng := &taintEngine{pass: pass, local: local, guards: guards}
+	eng.checkBody(fd.Body, nil)
+}
 
-	guarded := func(e ast.Expr, at token.Pos) bool {
-		p, ok := guards[types.ExprString(e)]
-		return ok && p < at
+type taintEngine struct {
+	pass   *framework.Pass
+	local  localMarks
+	guards map[string]token.Pos
+}
+
+func (eng *taintEngine) guarded(e ast.Expr, at token.Pos) bool {
+	p, ok := eng.guards[types.ExprString(e)]
+	return ok && p < at
+}
+
+// checkBody runs the taint fixpoint over one body's CFG, then replays each
+// live block once to report unguarded arithmetic under the converged facts.
+// Function literals are analyzed recursively, seeded with the taint state
+// at their definition point (captured locals keep their facts).
+func (eng *taintEngine) checkBody(body *ast.BlockStmt, seed taintSet) {
+	cfg := dataflow.New(body)
+	lat := taintLattice{}
+	in := dataflow.Forward[taintSet](cfg, lat, func(b *dataflow.Block, f taintSet) taintSet {
+		if b == cfg.Entry {
+			f, _ = lat.Join(f, seed)
+		}
+		for _, n := range b.Nodes {
+			eng.applyNode(f, n)
+		}
+		return f
+	})
+	for _, b := range cfg.Blocks {
+		if !b.Live {
+			continue
+		}
+		f := lat.Clone(in[b.Index])
+		if b == cfg.Entry {
+			f, _ = lat.Join(f, seed)
+		}
+		for _, n := range b.Nodes {
+			eng.checkNode(f, n)
+			eng.applyNode(f, n)
+			for _, fl := range funcLitsShallow(n) {
+				eng.checkBody(fl.Body, lat.Clone(f))
+			}
+		}
 	}
+}
 
-	// Pass 2: walk in source order, propagating may-Inf through local
-	// assignments and flagging unguarded arithmetic.
-	vars := make(map[types.Object]bool) // locals holding a possibly-Inf value
-	mayInf := func(e ast.Expr) bool { return exprMayInf(pass, e, local, vars) }
-
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
+// checkNode reports the NaN-generating shapes under the current facts.
+func (eng *taintEngine) checkNode(f taintSet, n ast.Node) {
+	pass := eng.pass
+	mayInf := func(e ast.Expr) bool { return exprMayInf(pass, e, eng.local, f) }
+	dataflow.WalkShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
 		case *ast.AssignStmt:
-			switch n.Tok {
-			case token.ASSIGN, token.DEFINE:
-				if len(n.Lhs) == len(n.Rhs) {
-					for i, lhs := range n.Lhs {
-						id, ok := lhs.(*ast.Ident)
-						if !ok {
-							continue
-						}
-						obj := pass.TypesInfo.Defs[id]
-						if obj == nil {
-							obj = pass.TypesInfo.Uses[id]
-						}
-						if obj != nil && mayInf(n.Rhs[i]) {
-							vars[obj] = true
-						}
-					}
-				}
+			switch m.Tok {
 			case token.ADD_ASSIGN, token.SUB_ASSIGN:
-				if mayInf(n.Lhs[0]) && mayInf(n.Rhs[0]) &&
-					!guarded(n.Lhs[0], n.Pos()) && !guarded(n.Rhs[0], n.Pos()) {
-					report(pass, n.TokPos, n.Tok, n.Lhs[0], n.Rhs[0])
+				if mayInf(m.Lhs[0]) && mayInf(m.Rhs[0]) &&
+					!eng.guarded(m.Lhs[0], m.Pos()) && !eng.guarded(m.Rhs[0], m.Pos()) {
+					report(pass, m.TokPos, m.Tok, m.Lhs[0], m.Rhs[0])
 				}
 			case token.MUL_ASSIGN:
-				checkMul(pass, n.TokPos, n.Lhs[0], n.Rhs[0], mayInf, guarded)
+				checkMul(pass, m.TokPos, m.Lhs[0], m.Rhs[0], mayInf, eng.guarded)
 			}
 		case *ast.BinaryExpr:
-			if !isFloatExpr(pass, n.X) && !isFloatExpr(pass, n.Y) {
+			if !isFloatExpr(pass, m.X) && !isFloatExpr(pass, m.Y) {
 				return true
 			}
-			switch n.Op {
+			switch m.Op {
 			case token.ADD, token.SUB:
-				if mayInf(n.X) && mayInf(n.Y) &&
-					!guarded(n.X, n.Pos()) && !guarded(n.Y, n.Pos()) {
-					report(pass, n.OpPos, n.Op, n.X, n.Y)
+				if mayInf(m.X) && mayInf(m.Y) &&
+					!eng.guarded(m.X, m.Pos()) && !eng.guarded(m.Y, m.Pos()) {
+					report(pass, m.OpPos, m.Op, m.X, m.Y)
 				}
 			case token.MUL:
-				checkMul(pass, n.OpPos, n.X, n.Y, mayInf, guarded)
+				checkMul(pass, m.OpPos, m.X, m.Y, mayInf, eng.guarded)
 			}
 		}
 		return true
 	})
+}
+
+// applyNode is the taint transfer function for one node.
+func (eng *taintEngine) applyNode(f taintSet, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		eng.applyAssign(f, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						eng.assignOne(f, name, vs.Values[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func (eng *taintEngine) applyAssign(f taintSet, n *ast.AssignStmt) {
+	switch n.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				eng.assignOne(f, lhs, n.Rhs[i])
+			}
+			return
+		}
+		// Multi-value assignment from a single call: a marked producer
+		// taints every float destination.
+		if len(n.Rhs) == 1 {
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			taints := false
+			if ok {
+				if fn := calleeFunc(eng.pass, call); fn != nil {
+					taints = MayInfFuncs[fn.FullName()] || eng.local[fn]
+				}
+			}
+			for _, lhs := range n.Lhs {
+				obj, path, ok := eng.selPath(lhs)
+				if !ok {
+					continue
+				}
+				if taints && isFloatObj(obj) {
+					f[taintKey{obj, path}] = true
+				} else {
+					eng.kill(f, obj, path)
+				}
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+		// x op= y keeps/acquires taint when either side may carry Inf.
+		if exprMayInf(eng.pass, n.Rhs[0], eng.local, f) {
+			if obj, path, ok := eng.selPath(n.Lhs[0]); ok {
+				f[taintKey{obj, path}] = true
+			}
+		}
+	}
+}
+
+// assignOne transfers taint for one lhs = rhs pair, with strong updates:
+// assigning a provably non-Inf value clears the destination's facts.
+func (eng *taintEngine) assignOne(f taintSet, lhs, rhs ast.Expr) {
+	obj, path, ok := eng.selPath(lhs)
+	if !ok {
+		return
+	}
+
+	// Whole-struct copy: `b := a` carries a's per-field facts over to b.
+	if rhsObj, rhsPath, ok := eng.selPath(rhs); ok && isStructExpr(eng.pass, rhs) {
+		eng.kill(f, obj, path)
+		for k := range f {
+			if k.obj != rhsObj {
+				continue
+			}
+			if rest, match := pathSuffix(k.path, rhsPath); match {
+				f[taintKey{obj, path + rest}] = true
+			}
+		}
+		return
+	}
+
+	// Composite literal: `a := acc{hi: e.Hi}` taints a.hi.
+	if cl, ok := ast.Unparen(rhs).(*ast.CompositeLit); ok {
+		eng.kill(f, obj, path)
+		eng.applyComposite(f, obj, path, cl)
+		return
+	}
+
+	if exprMayInf(eng.pass, rhs, eng.local, f) {
+		f[taintKey{obj, path}] = true
+	} else {
+		eng.kill(f, obj, path)
+	}
+}
+
+// applyComposite taints fields of the destination per the literal's
+// elements, recursing into nested struct literals.
+func (eng *taintEngine) applyComposite(f taintSet, obj types.Object, base string, cl *ast.CompositeLit) {
+	st, ok := structTypeOf(eng.pass, cl)
+	for i, el := range cl.Elts {
+		var fieldName string
+		value := el
+		if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+			if id, isId := kv.Key.(*ast.Ident); isId {
+				fieldName = id.Name
+			}
+			value = kv.Value
+		} else if ok && i < st.NumFields() {
+			fieldName = st.Field(i).Name()
+		}
+		if fieldName == "" {
+			continue
+		}
+		if nested, isCL := ast.Unparen(value).(*ast.CompositeLit); isCL {
+			eng.applyComposite(f, obj, base+"."+fieldName, nested)
+			continue
+		}
+		if exprMayInf(eng.pass, value, eng.local, f) {
+			f[taintKey{obj, base + "." + fieldName}] = true
+		}
+	}
+}
+
+// kill removes the destination's fact and, for a whole-value write, every
+// field fact underneath it.
+func (eng *taintEngine) kill(f taintSet, obj types.Object, path string) {
+	delete(f, taintKey{obj, path})
+	for k := range f {
+		if k.obj == obj && strings.HasPrefix(k.path, path+".") {
+			delete(f, k)
+		}
+	}
+}
+
+// selPath resolves an assignable expression to (root local object, field
+// path): `a` → (a, ""), `a.hi` → (a, ".hi"), `a.b.lo` → (a, ".b.lo").
+// Anything else (index stores, pointers through calls) is not tracked.
+func (eng *taintEngine) selPath(e ast.Expr) (types.Object, string, bool) {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name == "_" {
+		return nil, "", false
+	}
+	return rootSelPath(eng.pass, e)
+}
+
+// pathSuffix reports whether child extends parent ("" matches everything)
+// and returns the remainder: pathSuffix(".b.lo", ".b") = (".lo", true).
+func pathSuffix(child, parent string) (string, bool) {
+	if parent == "" {
+		return child, true
+	}
+	if child == parent {
+		return "", true
+	}
+	if strings.HasPrefix(child, parent+".") {
+		return child[len(parent):], true
+	}
+	return "", false
+}
+
+func isStructExpr(pass *framework.Pass, e ast.Expr) bool {
+	_, ok := structTypeOf(pass, e)
+	return ok
+}
+
+func structTypeOf(pass *framework.Pass, e ast.Expr) (*types.Struct, bool) {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	t := tv.Type
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// funcLitsShallow returns the function literals directly under a node
+// (not nested inside other literals) so each gets exactly one recursive
+// analysis.
+func funcLitsShallow(n ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	if a, ok := n.(*dataflow.Assume); ok {
+		n = a.Cond
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if fl, ok := m.(*ast.FuncLit); ok {
+			out = append(out, fl)
+			return false
+		}
+		return true
+	})
+	return out
 }
 
 func checkMul(pass *framework.Pass, pos token.Pos, x, y ast.Expr,
@@ -247,18 +513,19 @@ func report(pass *framework.Pass, pos token.Pos, op token.Token, x, y ast.Expr) 
 		types.ExprString(x), types.ExprString(y), op, op)
 }
 
-// exprMayInf reports whether e can carry a ±Inf sentinel.
-func exprMayInf(pass *framework.Pass, e ast.Expr, local localMarks, vars map[types.Object]bool) bool {
+// exprMayInf reports whether e can carry a ±Inf sentinel under the current
+// taint facts.
+func exprMayInf(pass *framework.Pass, e ast.Expr, local localMarks, taints taintSet) bool {
 	switch e := ast.Unparen(e).(type) {
 	case *ast.Ident:
 		obj := pass.TypesInfo.Uses[e]
-		return obj != nil && vars[obj]
+		return obj != nil && taints[taintKey{obj, ""}]
 	case *ast.UnaryExpr:
 		if e.Op == token.SUB || e.Op == token.ADD {
-			return exprMayInf(pass, e.X, local, vars)
+			return exprMayInf(pass, e.X, local, taints)
 		}
 	case *ast.IndexExpr:
-		return exprMayInf(pass, e.X, local, vars)
+		return exprMayInf(pass, e.X, local, taints)
 	case *ast.SelectorExpr:
 		obj := pass.TypesInfo.Uses[e.Sel]
 		if obj == nil {
@@ -268,7 +535,16 @@ func exprMayInf(pass *framework.Pass, e ast.Expr, local localMarks, vars map[typ
 			return true
 		}
 		if v, ok := obj.(*types.Var); ok && v.IsField() {
-			return MayInfFields[fieldKey(pass, e, v)]
+			if MayInfFields[fieldKey(pass, e, v)] {
+				return true
+			}
+			// Field-sensitive local fact: a.hi after `a.hi = e.Hi` or
+			// `a := acc{hi: e.Hi}`.
+			if root, path, ok := rootSelPath(pass, e); ok {
+				if taints[taintKey{root, path}] || taints[taintKey{root, ""}] {
+					return true
+				}
+			}
 		}
 	case *ast.CallExpr:
 		if fn := calleeFunc(pass, e); fn != nil {
@@ -276,6 +552,30 @@ func exprMayInf(pass *framework.Pass, e ast.Expr, local localMarks, vars map[typ
 		}
 	}
 	return false
+}
+
+// rootSelPath is selPath without the engine receiver, for use sites.
+func rootSelPath(pass *framework.Pass, e ast.Expr) (types.Object, string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return nil, "", false
+		}
+		return obj, "", true
+	case *ast.SelectorExpr:
+		obj, path, ok := rootSelPath(pass, e.X)
+		if !ok {
+			return nil, "", false
+		}
+		return obj, path + "." + e.Sel.Name, true
+	case *ast.StarExpr:
+		return rootSelPath(pass, e.X)
+	}
+	return nil, "", false
 }
 
 // fieldKey renders a field access as "pkgpath.Type.Field".
@@ -316,6 +616,14 @@ func calleeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
 func isMathCall(pass *framework.Pass, call *ast.CallExpr, name string) bool {
 	fn := calleeFunc(pass, call)
 	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == name
+}
+
+func isFloatObj(obj types.Object) bool {
+	if obj == nil || obj.Type() == nil {
+		return false
+	}
+	b, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
 }
 
 func isFloatExpr(pass *framework.Pass, e ast.Expr) bool {

@@ -1,6 +1,6 @@
 // Package lockorder flags functions that acquire a sync.Mutex/RWMutex held
-// in some value's field and then, while the lock is positionally still held,
-// call an exported method on that same value.
+// in some value's field and then, while the lock may still be held, call an
+// exported method on that same value.
 //
 // Exported methods are a type's public entry points and routinely take the
 // same lock (the sharded buffer pool's shard mutex pattern from PR 1):
@@ -9,11 +9,15 @@
 // convention enforced here is the repository's `fooLocked` idiom — work done
 // under a lock goes through unexported *Locked helpers.
 //
-// The analysis is syntactic within one function: an acquisition
-// `v.mu.Lock()` opens a hazard window on the value expression `v` that a
-// plain (non-deferred) `v.mu.Unlock()` closes; exported method calls `v.M()`
-// inside a window are reported. Escape hatch: //dualvet:allow lockorder on
-// the call line, for exported methods documented as lock-free.
+// The analysis is intra-procedural and alias-aware: lock owners are
+// canonicalized through internal/analysis/dataflow's single-assignment
+// alias map, so `s := p.shards[i]; s.mu.Lock(); ... p.shards[i].Stats()`
+// names one mutex, not two. Held-lock facts flow over the function's CFG as
+// a may-analysis — an acquisition `v.mu.Lock()` opens a hazard window on
+// the canonical value of `v` that a plain (non-deferred) `v.mu.Unlock()`
+// closes on that path; exported method calls `v.M()` inside a window, on
+// any path, are reported. Escape hatch: //dualvet:allow lockorder on the
+// call line, for exported methods documented as lock-free.
 package lockorder
 
 import (
@@ -21,13 +25,14 @@ import (
 	"go/token"
 	"go/types"
 
+	"dualcdb/internal/analysis/dataflow"
 	"dualcdb/internal/analysis/framework"
 )
 
 // Analyzer is the lockorder check.
 var Analyzer = &framework.Analyzer{
 	Name: "lockorder",
-	Doc:  "flag exported method calls on a value whose mutex field the function still holds",
+	Doc:  "flag exported method calls on a value whose mutex field the function may still hold",
 	Run:  run,
 }
 
@@ -38,106 +43,157 @@ func run(pass *framework.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFunc(pass, fd)
+			eng := &lockEngine{pass: pass, al: dataflow.NewAliases(fd.Body, pass.TypesInfo)}
+			eng.checkBody(fd.Body)
 		}
 	}
 	return nil
 }
 
-type lockEvent struct {
-	root     string // rendering of the value whose mutex field is locked
-	pos      token.Pos
-	unlock   bool
-	rlock    bool
-	deferred bool
+// heldSet maps a canonical lock-owner path to the position of the earliest
+// acquisition that may still be open.
+type heldSet map[string]token.Pos
+
+type heldLattice struct{}
+
+func (heldLattice) Bottom() heldSet { return heldSet{} }
+
+func (heldLattice) Clone(f heldSet) heldSet {
+	c := make(heldSet, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
 }
 
-func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
-	var events []lockEvent
-	type methodCall struct {
-		root string
-		name string
-		pos  token.Pos
+// Join is may-held union; the earliest acquisition position wins so the
+// report is deterministic.
+func (heldLattice) Join(dst, src heldSet) (heldSet, bool) {
+	changed := false
+	for k, v := range src {
+		if old, ok := dst[k]; !ok || v < old {
+			dst[k] = v
+			changed = true
+		}
 	}
-	var calls []methodCall
+	return dst, changed
+}
 
-	// Inspect visits a defer's CallExpr both via the DeferStmt and as a child
-	// node; mark it at the DeferStmt and classify at the CallExpr visit only.
-	deferCalls := make(map[*ast.CallExpr]bool)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		var call *ast.CallExpr
-		switch n := n.(type) {
-		case *ast.DeferStmt:
-			deferCalls[n.Call] = true
-			return true
-		case *ast.CallExpr:
-			call = n
-		default:
+type lockEngine struct {
+	pass *framework.Pass
+	al   *dataflow.Aliases
+}
+
+func (eng *lockEngine) checkBody(body *ast.BlockStmt) {
+	cfg := dataflow.New(body)
+	lat := heldLattice{}
+	in := dataflow.Forward[heldSet](cfg, lat, func(b *dataflow.Block, f heldSet) heldSet {
+		for _, n := range b.Nodes {
+			eng.processNode(f, n, false)
+		}
+		return f
+	})
+	for _, b := range cfg.Blocks {
+		if !b.Live {
+			continue
+		}
+		f := lat.Clone(in[b.Index])
+		for _, n := range b.Nodes {
+			eng.processNode(f, n, true)
+			// A closure body runs at some later schedule with its own lock
+			// state; analyze it as its own function.
+			for _, fl := range funcLitsShallow(n) {
+				inner := &lockEngine{pass: eng.pass, al: dataflow.NewAliases(fl.Body, eng.pass.TypesInfo)}
+				inner.checkBody(fl.Body)
+			}
+		}
+	}
+}
+
+// processNode applies (and, in report mode, checks) the lock events and
+// method calls inside one CFG node, in evaluation order.
+func (eng *lockEngine) processNode(f heldSet, n ast.Node, report bool) {
+	deferCall := map[*ast.CallExpr]bool{}
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		// The deferred call itself runs at return — its lock/unlock effect
+		// is outside every window here — but its arguments evaluate now.
+		deferCall[ds.Call] = true
+	}
+	dataflow.WalkShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
 			return true
 		}
-		deferred := deferCalls[call]
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 		if !ok {
 			return true
 		}
-		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		fn, ok := eng.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
 		if !ok {
 			return true
 		}
-		if root, op, ok := mutexOp(pass, sel, fn); ok {
-			events = append(events, lockEvent{
-				root:     root,
-				pos:      call.Pos(),
-				unlock:   op == "Unlock" || op == "RUnlock",
-				rlock:    op == "RLock" || op == "RUnlock",
-				deferred: deferred,
-			})
+		if owner, op, isMutex := mutexOp(fn, sel); isMutex {
+			if deferCall[call] {
+				return true
+			}
+			key := eng.al.Canon(owner)
+			switch op {
+			case "Lock", "RLock":
+				if old, held := f[key]; !held || call.Pos() < old {
+					f[key] = call.Pos()
+				}
+			case "Unlock", "RUnlock":
+				delete(f, key)
+			}
 			return true
 		}
-		if !deferred && ast.IsExported(fn.Name()) && fn.Type().(*types.Signature).Recv() != nil {
-			calls = append(calls, methodCall{root: types.ExprString(sel.X), name: fn.Name(), pos: call.Pos()})
+		if report && !deferCall[call] && ast.IsExported(fn.Name()) &&
+			fn.Type().(*types.Signature).Recv() != nil {
+			if lockPos, held := f[eng.al.Canon(sel.X)]; held {
+				root := types.ExprString(sel.X)
+				eng.pass.Reportf(call.Pos(),
+					"%s.%s() is called while %s's mutex is held (locked at %s); exported methods may re-acquire it — use an unexported *Locked helper or release first",
+					root, fn.Name(), root, eng.pass.Fset.Position(lockPos))
+			}
 		}
 		return true
 	})
-
-	for _, c := range calls {
-		var held *lockEvent
-		for i := range events {
-			e := &events[i]
-			if e.root != c.root || e.pos >= c.pos || e.deferred {
-				continue
-			}
-			if e.unlock {
-				held = nil
-			} else {
-				held = e
-			}
-		}
-		if held != nil {
-			pass.Reportf(c.pos,
-				"%s.%s() is called while %s's mutex is held (locked at %s); exported methods may re-acquire it — use an unexported *Locked helper or release first",
-				c.root, c.name, c.root, pass.Fset.Position(held.pos))
-		}
-	}
 }
 
 // mutexOp recognizes sel as a Lock/RLock/Unlock/RUnlock call on a
 // sync.Mutex or sync.RWMutex reached through a field of some value, and
-// returns the rendering of that value (`sh` for sh.mu.Lock()).
-func mutexOp(pass *framework.Pass, sel *ast.SelectorExpr, fn *types.Func) (root, op string, ok bool) {
+// returns that owning value expression (`sh` for sh.mu.Lock()).
+func mutexOp(fn *types.Func, sel *ast.SelectorExpr) (owner ast.Expr, op string, ok bool) {
 	switch fn.Name() {
 	case "Lock", "Unlock", "RLock", "RUnlock":
 	default:
-		return "", "", false
+		return nil, "", false
 	}
 	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", "", false
+		return nil, "", false
 	}
 	// sel.X is the mutex value; require it to be a field selection so we
 	// can name the owning value.
-	owner, okSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	mutexSel, okSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
 	if !okSel {
-		return "", "", false
+		return nil, "", false
 	}
-	return types.ExprString(owner.X), fn.Name(), true
+	return mutexSel.X, fn.Name(), true
+}
+
+// funcLitsShallow returns the function literals directly under a node (not
+// nested inside other literals).
+func funcLitsShallow(n ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	if a, ok := n.(*dataflow.Assume); ok {
+		n = a.Cond
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if fl, ok := m.(*ast.FuncLit); ok {
+			out = append(out, fl)
+			return false
+		}
+		return true
+	})
+	return out
 }

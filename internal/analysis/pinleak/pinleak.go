@@ -1,0 +1,134 @@
+// Package pinleak flags page-frame pins that can escape release.
+//
+// The buffer pool's contract (internal/pagestore) is strict: every frame
+// handed out pinned — by Get, GetTracked, GetChainTracked or NewPage — must
+// be Released exactly once. A pin that never reaches Release wedges its
+// frame in the pool forever: the clock hand skips pinned frames, so each
+// leak permanently shrinks the effective pool until Get fails with "no
+// evictable frame". Over-release already panics at runtime; under-release
+// is silent, which is what this analyzer exists for.
+//
+// The check runs the obligation engine from internal/analysis/dataflow over
+// each function's CFG: a pin opens an obligation that must be closed on
+// every path reaching a normal return. Closing events are a Release on the
+// frame (through any single-assignment alias), a `defer f.Release()`, or an
+// ownership transfer — returning the frame, passing it to another call,
+// storing it into a structure or global, or capturing it in a closure (the
+// new holder is then responsible; wrap() in btree is the canonical case).
+// The `f, err := pool.Get(id); if err != nil { return err }` idiom is
+// understood: no frame exists on the error arm. Escape hatch:
+// //dualvet:allow pinleak on the acquiring line. _test.go files are exempt
+// (tests leak pins deliberately to probe pool accounting).
+package pinleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dualcdb/internal/analysis/dataflow"
+	"dualcdb/internal/analysis/framework"
+)
+
+// Analyzer is the pinleak check.
+var Analyzer = &framework.Analyzer{
+	Name: "pinleak",
+	Doc:  "flag pagestore frame pins that may not reach Release on every return path",
+	Run:  run,
+}
+
+// PinSources are the Pool methods that return a pinned *Frame. All of them
+// return (*Frame, error).
+var PinSources = map[string]bool{
+	"Get":             true,
+	"GetTracked":      true,
+	"GetChainTracked": true,
+	"NewPage":         true,
+}
+
+// pkgSuffix matches both the real package and the testdata fake, mirroring
+// errsink's resolution strategy.
+const pkgSuffix = "pagestore"
+
+func run(pass *framework.Pass) error {
+	spec := dataflow.LeakSpec{
+		Source: func(call *ast.CallExpr) (int, int, bool) {
+			if methodOn(pass, call, "Pool", PinSources) {
+				return 0, 1, true
+			}
+			return 0, 0, false
+		},
+		IsRelease: func(call *ast.CallExpr) bool {
+			return methodOn(pass, call, "Frame", map[string]bool{"Release": true})
+		},
+	}
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body, spec)
+			for _, fl := range dataflow.FuncLits(fd.Body) {
+				checkBody(pass, fl.Body, spec)
+			}
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *framework.Pass, body *ast.BlockStmt, spec dataflow.LeakSpec) {
+	for _, leak := range dataflow.FindLeaks(body, pass.TypesInfo, spec) {
+		name := calleeName(leak.Acquire)
+		if leak.Immediate {
+			pass.Reportf(leak.Acquire.Pos(),
+				"frame pinned by %s is discarded without Release; the pin wedges the frame in the pool (//dualvet:allow pinleak if intentional)",
+				name)
+		} else {
+			pass.Reportf(leak.Acquire.Pos(),
+				"frame pinned by %s may not reach Release on every return path; use defer f.Release() or release on each branch (//dualvet:allow pinleak if ownership moves elsewhere)",
+				name)
+		}
+	}
+}
+
+// methodOn reports whether call invokes one of names as a method on the
+// named type typeName declared in a package whose import path ends in
+// pkgSuffix (so the testdata fake package matches alongside the real one).
+func methodOn(pass *framework.Pass, call *ast.CallExpr, typeName string, names map[string]bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !names[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Name() != typeName {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
+}
+
+func calleeName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X) + "." + sel.Sel.Name
+	}
+	return types.ExprString(call.Fun)
+}

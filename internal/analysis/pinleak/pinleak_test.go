@@ -1,0 +1,12 @@
+package pinleak_test
+
+import (
+	"testing"
+
+	"dualcdb/internal/analysis/analysistest"
+	"dualcdb/internal/analysis/pinleak"
+)
+
+func TestPinleak(t *testing.T) {
+	analysistest.Run(t, "../testdata", pinleak.Analyzer, "pinleak")
+}

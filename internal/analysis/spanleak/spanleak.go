@@ -1,0 +1,148 @@
+// Package spanleak flags observability spans and batch timers that can
+// escape their End/Done.
+//
+// The obs layer's accounting assumes every begun interval is closed:
+// QueryTrace.Begin returns a SpanTimer that must reach End (the span is
+// appended to the trace only there — a dropped timer silently loses the
+// stage from per-stage attribution and breaks the reconciliation
+// invariants), and Observer.StartBatch returns a BatchTimer whose Done
+// records batch latency. Both are cheap value types, so nothing crashes
+// when one is dropped — the telemetry just quietly lies, which is worse.
+//
+// The check runs the obligation engine from internal/analysis/dataflow
+// over each function's CFG: Begin/StartBatch opens an obligation that must
+// reach End/Done (directly, through a single-assignment alias, or via
+// defer) on every path to a normal return. Returning the timer or passing
+// it onward transfers the obligation to the new holder. Escape hatch:
+// //dualvet:allow spanleak on the beginning line. _test.go files are
+// exempt.
+package spanleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dualcdb/internal/analysis/dataflow"
+	"dualcdb/internal/analysis/framework"
+)
+
+// Analyzer is the spanleak check.
+var Analyzer = &framework.Analyzer{
+	Name: "spanleak",
+	Doc:  "flag obs span/batch timers that may not reach End/Done on every return path",
+	Run:  run,
+}
+
+// Pairs lists the begin → close disciplines, keyed by the begin method:
+// receiver type, method, the resource's close method. The resource result
+// is always index 0 and none of the begins can fail.
+var Pairs = []struct {
+	BeginType string
+	Begin     string
+	CloseType string
+	Close     string
+}{
+	{"QueryTrace", "Begin", "SpanTimer", "End"},
+	{"Observer", "StartBatch", "BatchTimer", "Done"},
+}
+
+// pkgSuffix matches both the real obs package and a testdata fake.
+const pkgSuffix = "obs"
+
+func run(pass *framework.Pass) error {
+	spec := dataflow.LeakSpec{
+		Source: func(call *ast.CallExpr) (int, int, bool) {
+			for _, p := range Pairs {
+				if methodOn(pass, call, p.BeginType, p.Begin) {
+					return 0, -1, true
+				}
+			}
+			return 0, 0, false
+		},
+		IsRelease: func(call *ast.CallExpr) bool {
+			for _, p := range Pairs {
+				if methodOn(pass, call, p.CloseType, p.Close) {
+					return true
+				}
+			}
+			return false
+		},
+	}
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body, spec)
+			for _, fl := range dataflow.FuncLits(fd.Body) {
+				checkBody(pass, fl.Body, spec)
+			}
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *framework.Pass, body *ast.BlockStmt, spec dataflow.LeakSpec) {
+	for _, leak := range dataflow.FindLeaks(body, pass.TypesInfo, spec) {
+		name, closeName := describe(pass, leak.Acquire)
+		if leak.Immediate {
+			pass.Reportf(leak.Acquire.Pos(),
+				"timer started by %s is discarded without %s; the interval is never recorded (//dualvet:allow spanleak if intentional)",
+				name, closeName)
+		} else {
+			pass.Reportf(leak.Acquire.Pos(),
+				"timer started by %s may not reach %s on every return path; close it on each branch or defer it (//dualvet:allow spanleak if ownership moves elsewhere)",
+				name, closeName)
+		}
+	}
+}
+
+func describe(pass *framework.Pass, call *ast.CallExpr) (name, closeName string) {
+	name = types.ExprString(call.Fun)
+	closeName = "its close method"
+	for _, p := range Pairs {
+		if methodOn(pass, call, p.BeginType, p.Begin) {
+			closeName = p.Close
+			break
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		name = types.ExprString(sel.X) + "." + sel.Sel.Name
+	}
+	return name, closeName
+}
+
+// methodOn reports whether call invokes method name on the named type
+// typeName declared in a package whose import path ends in pkgSuffix.
+func methodOn(pass *framework.Pass, call *ast.CallExpr, typeName, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Name() != typeName {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
+}

@@ -1,0 +1,12 @@
+package spanleak_test
+
+import (
+	"testing"
+
+	"dualcdb/internal/analysis/analysistest"
+	"dualcdb/internal/analysis/spanleak"
+)
+
+func TestSpanleak(t *testing.T) {
+	analysistest.Run(t, "../testdata", spanleak.Analyzer, "spanleak")
+}

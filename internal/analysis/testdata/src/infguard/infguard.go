@@ -61,3 +61,73 @@ func annotated(e env) float64 {
 	// The domain guarantees Lo is finite whenever Hi is (see docs).
 	return e.Hi - e.Lo //dualvet:allow infguard
 }
+
+// acc is deliberately unmarked: taint on its fields comes only from
+// flow-sensitive tracking, never from the sentinel-carrier lists.
+type acc struct {
+	lo, hi float64
+	nested env
+}
+
+func structFieldLocal(e env) float64 {
+	var a acc
+	a.hi = e.Hi
+	a.lo = e.Lo
+	return a.hi - a.lo // want `both a.hi and a.lo may be ±Inf`
+}
+
+func structFieldClean(e env) float64 {
+	var a acc
+	a.hi = e.Hi
+	a.hi = 1 // strong update: the reassignment clears the fact
+	a.lo = e.Lo
+	return a.hi - a.lo // finite minus Inf: allowed
+}
+
+func compositeLocal(e env, scale float64) float64 {
+	a := acc{hi: e.Hi}
+	return a.hi * scale // want `a.hi may be ±Inf`
+}
+
+func compositePositional(e env, scale float64) float64 {
+	a := acc{e.Lo, 1, env{}}
+	return a.lo * scale // want `a.lo may be ±Inf`
+}
+
+func structCopy(e env, scale float64) float64 {
+	a := acc{hi: e.Hi}
+	b := a
+	return b.hi * scale // want `b.hi may be ±Inf`
+}
+
+//dualvet:mayinf
+func bounds() (float64, float64) { return math.Inf(-1), math.Inf(1) }
+
+func finiteBounds() (float64, float64) { return 0, 1 }
+
+func multiAssign() float64 {
+	lo, hi := bounds()
+	return hi - lo // want `both hi and lo may be ±Inf`
+}
+
+func multiAssignClean() float64 {
+	lo, hi := finiteBounds()
+	return hi - lo // unmarked producer: allowed
+}
+
+func loopCarried(e env, scale float64, n int) float64 {
+	s := 1.0
+	for i := 0; i < n; i++ {
+		s = s * scale // want `s may be ±Inf`
+		s = e.Hi
+	}
+	return s
+}
+
+func branchJoin(e env, cond bool, scale float64) float64 {
+	s := 1.0
+	if cond {
+		s = e.Hi
+	}
+	return s * scale // want `s may be ±Inf`
+}

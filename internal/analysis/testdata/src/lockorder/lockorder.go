@@ -70,3 +70,65 @@ func (p *pool) annotated() int {
 
 // LockFree is exported and documented not to lock.
 func (p *pool) LockFree() int { return len(p.shards) }
+
+// The ROADMAP aliasing example: the local copy and the original path name
+// the same shard, so the exported call re-acquires a held mutex.
+func (p *pool) aliasedLockThenPath(i int) int {
+	s := p.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return p.shards[i].Stats() // want `p\.shards\[i\]\.Stats\(\) is called while p\.shards\[i\]'s mutex is held`
+}
+
+func (p *pool) pathLockThenAlias(i int) int {
+	p.shards[i].mu.Lock()
+	defer p.shards[i].mu.Unlock()
+	s := p.shards[i]
+	return s.Stats() // want `s\.Stats\(\) is called while s's mutex is held`
+}
+
+func (p *pool) aliasDistinctIndex(i, j int) int {
+	s := p.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return p.shards[j].Stats() // different shard locked: allowed
+}
+
+func (p *pool) aliasReassigned(i, j int) int {
+	s := p.shards[i]
+	s = p.shards[j]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return p.shards[i].Stats() // s no longer certainly names shard i: allowed
+}
+
+// May-held on one branch is enough: the else path reaches the call with
+// the mutex still locked.
+func (s *shard) unlockOneBranchOnly(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+	}
+	return s.Stats() // want `s\.Stats\(\) is called while s's mutex is held`
+}
+
+func (s *shard) unlockBothBranches(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.n++
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	return s.Stats() // released on every path before the call: allowed
+}
+
+func (s *shard) lockInLoopBody(rounds int) int {
+	n := 0
+	for i := 0; i < rounds; i++ {
+		s.mu.Lock()
+		n += s.statsLocked()
+		s.mu.Unlock()
+	}
+	return n + s.Stats() // balanced inside the loop: allowed
+}

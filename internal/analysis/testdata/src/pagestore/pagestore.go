@@ -1,14 +1,25 @@
 // Package pagestore is a golden-test stand-in for dualcdb/internal/pagestore:
-// the errsink analyzer matches target packages by import-path suffix, so
-// this fake exercises the same resolution without importing the real module.
+// the errsink and pinleak analyzers match target packages by import-path
+// suffix, so this fake exercises the same resolution without importing the
+// real module. Method shapes mirror the real pool's pin surface.
 package pagestore
+
+type PageID uint64
+
+type ReadCounter struct{ Logical, Physical uint64 }
 
 type Pool struct{}
 
-func (p *Pool) Flush() error         { return nil }
-func (p *Pool) Get() (*Frame, error) { return &Frame{}, nil }
-func (p *Pool) Release()             {}
+func (p *Pool) Flush() error                                          { return nil }
+func (p *Pool) Get() (*Frame, error)                                  { return &Frame{}, nil }
+func (p *Pool) GetTracked(id PageID, rc *ReadCounter) (*Frame, error) { return &Frame{}, nil }
+func (p *Pool) NewPage() (*Frame, error)                              { return &Frame{}, nil }
+func (p *Pool) Release()                                              {}
 
-type Frame struct{}
+type Frame struct{ data []byte }
+
+func (f *Frame) Data() []byte { return f.data }
+func (f *Frame) MarkDirty()   {}
+func (f *Frame) Release()     {}
 
 func Sync() error { return nil }

@@ -1,0 +1,150 @@
+// Golden cases for the pinleak analyzer.
+package pinleak
+
+import "pagestore"
+
+func use([]byte) {}
+
+func balanced(p *pagestore.Pool, id pagestore.PageID) error {
+	f, err := p.Get()
+	if err != nil {
+		return err
+	}
+	use(f.Data())
+	f.Release()
+	return nil
+}
+
+func deferred(p *pagestore.Pool) error {
+	f, err := p.Get()
+	if err != nil {
+		return err
+	}
+	defer f.Release()
+	use(f.Data())
+	return nil
+}
+
+func leakPlain(p *pagestore.Pool) error {
+	f, err := p.Get() // want `frame pinned by p\.Get may not reach Release on every return path`
+	if err != nil {
+		return err
+	}
+	use(f.Data())
+	return nil
+}
+
+func leakOneBranch(p *pagestore.Pool, cond bool) error {
+	f, err := p.Get() // want `frame pinned by p\.Get may not reach Release on every return path`
+	if err != nil {
+		return err
+	}
+	if cond {
+		f.Release()
+		return nil
+	}
+	use(f.Data())
+	return nil
+}
+
+func leakTracked(p *pagestore.Pool, id pagestore.PageID, rc *pagestore.ReadCounter) error {
+	f, err := p.GetTracked(id, rc) // want `frame pinned by p\.GetTracked may not reach Release`
+	if err != nil {
+		return err
+	}
+	use(f.Data())
+	return nil
+}
+
+func leakNewPage(p *pagestore.Pool) error {
+	f, err := p.NewPage() // want `frame pinned by p\.NewPage may not reach Release`
+	if err != nil {
+		return err
+	}
+	f.MarkDirty()
+	return nil
+}
+
+func discarded(p *pagestore.Pool) {
+	p.Get() // want `frame pinned by p\.Get is discarded without Release`
+}
+
+func blankAssigned(p *pagestore.Pool) {
+	_, _ = p.Get() // want `frame pinned by p\.Get is discarded without Release`
+}
+
+func aliasRelease(p *pagestore.Pool) error {
+	f, err := p.Get()
+	if err != nil {
+		return err
+	}
+	g := f
+	g.Release() // release through the alias: allowed
+	return nil
+}
+
+// pinned transfers ownership to the caller: allowed.
+func pinned(p *pagestore.Pool) (*pagestore.Frame, error) {
+	f, err := p.Get()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func handedOff(p *pagestore.Pool) error {
+	f, err := p.Get()
+	if err != nil {
+		return err
+	}
+	keep(f) // ownership passed to the callee: allowed
+	return nil
+}
+
+func keep(f *pagestore.Frame) {}
+
+func capturedByCleanup(p *pagestore.Pool) error {
+	f, err := p.Get()
+	if err != nil {
+		return err
+	}
+	cleanup := func() { f.Release() }
+	defer cleanup()
+	use(f.Data())
+	return nil
+}
+
+func panicPath(p *pagestore.Pool) error {
+	f, err := p.Get()
+	if err != nil {
+		return err
+	}
+	if len(f.Data()) == 0 {
+		panic("corrupt page") // abnormal exit: not a leak path
+	}
+	f.Release()
+	return nil
+}
+
+func releaseInLoopSkipped(p *pagestore.Pool, n int) error {
+	for i := 0; i < n; i++ {
+		f, err := p.Get() // want `frame pinned by p\.Get may not reach Release`
+		if err != nil {
+			return err
+		}
+		if i%2 == 0 {
+			continue
+		}
+		f.Release()
+	}
+	return nil
+}
+
+func annotated(p *pagestore.Pool) error {
+	f, err := p.Get() //dualvet:allow pinleak — registry owns the pin until shutdown
+	if err != nil {
+		return err
+	}
+	use(f.Data())
+	return nil
+}

@@ -1,0 +1,61 @@
+// Golden cases for the spanleak analyzer.
+package spanleak
+
+import "obs"
+
+func work() {}
+
+func balanced(tr *obs.QueryTrace) {
+	st := tr.Begin("sweep", 0)
+	work()
+	st.End(1, 2)
+}
+
+func leakOneBranch(tr *obs.QueryTrace, cond bool) {
+	st := tr.Begin("sweep", 0) // want `timer started by tr\.Begin may not reach End on every return path`
+	if cond {
+		return
+	}
+	st.End(1, 2)
+}
+
+func discarded(tr *obs.QueryTrace) {
+	tr.Begin("sweep", 0) // want `timer started by tr\.Begin is discarded without End`
+}
+
+func batchBalancedDefer(o *obs.Observer) {
+	bt := o.StartBatch()
+	defer bt.Done()
+	work()
+}
+
+func batchLeak(o *obs.Observer, cond bool) {
+	bt := o.StartBatch() // want `timer started by o\.StartBatch may not reach Done on every return path`
+	if cond {
+		return
+	}
+	bt.Done()
+}
+
+// returned transfers the obligation to the caller: allowed.
+func returned(tr *obs.QueryTrace) obs.SpanTimer {
+	return tr.Begin("route", 0)
+}
+
+// zeroValue is the nil-observer idiom: a zero SpanTimer is no obligation.
+func zeroValue(tr *obs.QueryTrace, enabled bool) obs.SpanTimer {
+	if !enabled {
+		return obs.SpanTimer{}
+	}
+	return tr.Begin("refine", 0)
+}
+
+func aliasEnd(tr *obs.QueryTrace) {
+	st := tr.Begin("dedup", 0)
+	cp := st
+	cp.End(0, 0)
+}
+
+func annotated(tr *obs.QueryTrace) {
+	tr.Begin("sweep", 0) //dualvet:allow spanleak — fire-and-forget probe
+}

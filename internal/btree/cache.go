@@ -1,6 +1,7 @@
 package btree
 
 import (
+	"container/list"
 	"sync"
 	"sync/atomic"
 
@@ -62,20 +63,37 @@ func (d *decodedNode) childIndex(e Entry) int {
 
 const defaultDecodeCacheNodes = 4096
 
+// evictScan bounds how many least-recently-used entries an eviction
+// examines while looking for a victim whose page has also left the
+// buffer pool.
+const evictScan = 8
+
+// cacheEntry is one LRU node: the decoded page plus the id that keys it
+// (needed to delete the map entry when the list node is evicted).
+type cacheEntry struct {
+	id pagestore.PageID
+	d  *decodedNode
+}
+
 // nodeCache caches decoded pages per tree, keyed by PageID and validated
 // against the frame's version stamp (see pagestore.Frame.Version): a
 // cached decode is served only while the pinned frame still reports the
 // version the decode was taken under, so a page mutated through MarkDirty
 // — or freed and reallocated — can never satisfy a lookup with stale
-// contents. Capacity is bounded by FIFO eviction; the hot inner nodes that
-// every descent touches are re-decoded at worst once per round trip
-// through the FIFO, which is already far off the hot path.
+// contents.
+//
+// Capacity is bounded by LRU eviction tied to pool residency: every hit
+// moves the entry to the front, so the inner nodes every descent touches
+// never age out the way they did under the old FIFO ring, and eviction
+// prefers victims whose backing page the buffer pool has itself evicted
+// — those decodes are both the least likely to be reused and certain to
+// be re-validated against a freshly read frame anyway.
 type nodeCache struct {
-	mu   sync.RWMutex
-	m    map[pagestore.PageID]*decodedNode
-	fifo []pagestore.PageID // insertion order; live entries are at [head:]
-	head int
+	mu   sync.Mutex
+	m    map[pagestore.PageID]*list.Element
+	lru  *list.List // of *cacheEntry, most-recently used at front
 	cap  int
+	pool *pagestore.Pool
 
 	hits          atomic.Uint64
 	misses        atomic.Uint64
@@ -83,11 +101,16 @@ type nodeCache struct {
 	evictions     atomic.Uint64
 }
 
-func newNodeCache(capacity int) *nodeCache {
+func newNodeCache(capacity int, pool *pagestore.Pool) *nodeCache {
 	if capacity <= 0 {
 		capacity = defaultDecodeCacheNodes
 	}
-	return &nodeCache{m: make(map[pagestore.PageID]*decodedNode), cap: capacity}
+	return &nodeCache{
+		m:    make(map[pagestore.PageID]*list.Element),
+		lru:  list.New(),
+		cap:  capacity,
+		pool: pool,
+	}
 }
 
 // lookup returns the decoded form of the pinned node n, decoding and
@@ -95,47 +118,71 @@ func newNodeCache(capacity int) *nodeCache {
 func (c *nodeCache) lookup(n node) *decodedNode {
 	v := n.frame.Version()
 	id := n.id()
-	c.mu.RLock()
-	d := c.m[id]
-	c.mu.RUnlock()
-	if d != nil {
-		if d.version == v {
+	c.mu.Lock()
+	if el, ok := c.m[id]; ok {
+		ce := el.Value.(*cacheEntry)
+		if ce.d.version == v {
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
 			c.hits.Add(1)
-			return d
+			return ce.d
 		}
 		c.invalidations.Add(1)
 	} else {
 		c.misses.Add(1)
 	}
-	d = decodeNode(n, v)
+	c.mu.Unlock()
+	// Decode outside the lock: the page bytes are pinned by the caller and
+	// the decode is immutable, so a concurrent lookup of the same id at
+	// worst duplicates the work and the last insert wins.
+	d := decodeNode(n, v)
 	c.mu.Lock()
-	if _, ok := c.m[id]; !ok {
-		// New id: make room first. Ids are appended only when absent from
-		// the map and removed only by this loop, so each id has at most
-		// one live fifo slot.
-		for len(c.m) >= c.cap && c.head < len(c.fifo) {
-			victim := c.fifo[c.head]
-			c.head++
-			if _, live := c.m[victim]; live {
-				delete(c.m, victim)
-				c.evictions.Add(1)
-			}
+	if el, ok := c.m[id]; ok {
+		el.Value.(*cacheEntry).d = d
+		c.lru.MoveToFront(el)
+	} else {
+		for len(c.m) >= c.cap {
+			c.evictLocked()
 		}
-		if c.head > 64 && c.head > len(c.fifo)/2 {
-			c.fifo = append(c.fifo[:0], c.fifo[c.head:]...)
-			c.head = 0
-		}
-		c.fifo = append(c.fifo, id)
+		c.m[id] = c.lru.PushFront(&cacheEntry{id: id, d: d})
 	}
-	c.m[id] = d
 	c.mu.Unlock()
 	return d
 }
 
+// evictLocked drops one entry: it walks up to evictScan entries from the
+// LRU tail and evicts the first whose page is no longer resident in the
+// buffer pool; when every scanned page is still pool-resident (or the
+// scan is exhausted) the true tail goes. Resident takes the page's pool
+// shard lock, so the ordering here is cache mutex → shard mutex; the
+// pool never calls back into the btree layer, so the order cannot invert.
+func (c *nodeCache) evictLocked() {
+	var victim *list.Element
+	if c.pool != nil {
+		el := c.lru.Back()
+		for i := 0; i < evictScan && el != nil; i++ {
+			if !c.pool.Resident(el.Value.(*cacheEntry).id) {
+				victim = el
+				break
+			}
+			el = el.Prev()
+		}
+	}
+	if victim == nil {
+		victim = c.lru.Back()
+	}
+	if victim == nil {
+		return
+	}
+	delete(c.m, victim.Value.(*cacheEntry).id)
+	c.lru.Remove(victim)
+	c.evictions.Add(1)
+}
+
 func (c *nodeCache) stats() DecodeStats {
-	c.mu.RLock()
+	c.mu.Lock()
 	resident := len(c.m)
-	c.mu.RUnlock()
+	c.mu.Unlock()
 	return DecodeStats{
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),

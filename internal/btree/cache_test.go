@@ -220,6 +220,49 @@ func TestDecodeCacheCapacityBound(t *testing.T) {
 	}
 }
 
+// TestDecodeCacheRetainsHotInnerNodes pins the LRU upgrade: under the
+// old FIFO ring, streaming more distinct leaves than the cache holds
+// evicted the root and inner nodes along with the cold leaves, forcing a
+// re-decode of the whole descent path once per round trip. Recency
+// ordering refreshes the inner path on every descent, so the root must
+// survive an arbitrarily long stream of cold leaves.
+func TestDecodeCacheRetainsHotInnerNodes(t *testing.T) {
+	pool := pagestore.NewPool(pagestore.NewMemStore(256), 512)
+	tr, err := New(pool, Config{DecodeCacheNodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]Entry, 2000)
+	for i := range entries {
+		entries[i] = Entry{Key: float64(i), TID: uint32(i + 1)}
+	}
+	if err := tr.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	// Point lookups across the whole key space: every descent touches the
+	// root and then a mostly-cold leaf, churning far more distinct pages
+	// through the 8-slot cache than it can hold.
+	for i := 0; i < 2000; i += 3 {
+		ok, err := tr.Contains(float64(i), uint32(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("loaded entry %d not found", i)
+		}
+	}
+	st := tr.DecodeCacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("stream never evicted, retention is vacuous: %+v", st)
+	}
+	tr.cache.mu.Lock()
+	_, rootCached := tr.cache.m[tr.root]
+	tr.cache.mu.Unlock()
+	if !rootCached {
+		t.Fatalf("root %d evicted despite being touched by every descent: %+v", tr.root, st)
+	}
+}
+
 func TestSweepReadaheadMatchesPlainSweep(t *testing.T) {
 	dir := t.TempDir()
 	build := func(name string, readahead int) (*Tree, *pagestore.Pool) {

@@ -76,7 +76,7 @@ func New(pool *pagestore.Pool, cfg Config) (*Tree, error) {
 	}
 	t := &Tree{pool: pool, cfg: cfg}
 	if !cfg.NoDecodeCache {
-		t.cache = newNodeCache(cfg.DecodeCacheNodes)
+		t.cache = newNodeCache(cfg.DecodeCacheNodes, pool)
 	}
 	ps := pool.PageSize()
 	t.leafCap = (ps - headerSize - 8*len(cfg.HandicapKinds)) / entrySize
@@ -138,7 +138,7 @@ func Restore(pool *pagestore.Pool, cfg Config, m Meta) (*Tree, error) {
 	}
 	t := &Tree{pool: pool, cfg: cfg, root: m.Root, hgt: m.Height, size: m.Size, pages: m.Pages}
 	if !cfg.NoDecodeCache {
-		t.cache = newNodeCache(cfg.DecodeCacheNodes)
+		t.cache = newNodeCache(cfg.DecodeCacheNodes, pool)
 	}
 	ps := pool.PageSize()
 	t.leafCap = (ps - headerSize - 8*len(cfg.HandicapKinds)) / entrySize

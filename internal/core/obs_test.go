@@ -9,9 +9,10 @@ import (
 	"dualcdb/internal/obs"
 )
 
-// obsIndex builds a small T2 index with a fresh observer attached; the
-// slow threshold of 1ns retains every query's trace in the ring.
-func obsIndex(t *testing.T, n int) (*Index, *obs.Observer, []constraint.Query) {
+// obsIndex builds a small index of the given technique with a fresh
+// observer attached; the slow threshold of 1ns retains every query's
+// trace in the ring.
+func obsIndex(t *testing.T, n int, tech Technique) (*Index, *obs.Observer, []constraint.Query) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(91))
 	rel := constraint.NewRelation(2)
@@ -23,7 +24,7 @@ func obsIndex(t *testing.T, n int) (*Index, *obs.Observer, []constraint.Query) {
 	o := obs.New(obs.Options{Name: "test", SlowThreshold: 1, TraceCapacity: 256})
 	ix, err := Build(rel, Options{
 		Slopes:    EquiangularSlopes(3),
-		Technique: T2,
+		Technique: tech,
 		PoolPages: 1 << 14,
 		Observe:   o,
 	})
@@ -40,10 +41,12 @@ func obsIndex(t *testing.T, n int) (*Index, *obs.Observer, []constraint.Query) {
 // TestObservedBatchReconciles is the acceptance check of the observability
 // layer: after an observed QueryBatch, the observer's aggregates must agree
 // exactly with the per-result QueryStats and with the pool's physical-read
-// counter. DisableIntraQuery keeps every query's stages sequential, so even
-// the per-span page attribution must sum to the query's exact PagesRead.
+// counter. DisableIntraQuery keeps every query's stages sequential; the
+// per-span page attribution must sum to the query's exact PagesRead.
+// (TestObservedParallelSweepSpansReconcile covers the intra-query
+// parallel case, which is exact too via per-goroutine sweep counters.)
 func TestObservedBatchReconciles(t *testing.T) {
-	ix, o, queries := obsIndex(t, 800)
+	ix, o, queries := obsIndex(t, 800, T2)
 
 	poolBefore := ix.Pool().Stats().PhysicalReads
 	// Evict so the batch actually faults pages in (the build warmed the
@@ -131,6 +134,83 @@ func TestObservedBatchReconciles(t *testing.T) {
 	}
 }
 
+// TestObservedParallelSweepSpansReconcile pins the per-goroutine sweep
+// counters: with intra-query parallelism ON and the T1 technique running
+// both app-query sweeps concurrently, per-span page attribution must
+// still partition each query's exact PagesRead. Before the sweep
+// goroutines got private ReadCounters the two concurrent spans read the
+// shared counter and double-charged each other's page faults.
+func TestObservedParallelSweepSpansReconcile(t *testing.T) {
+	ix, o, queries := obsIndex(t, 800, T1)
+
+	poolBefore := ix.Pool().Stats().PhysicalReads
+	if err := ix.Pool().EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Intra-query parallelism stays enabled: T1 queries run their two
+	// sweeps on concurrent goroutines.
+	results, err := ix.QueryBatch(queries, BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolDelta := ix.Pool().Stats().PhysicalReads - poolBefore
+
+	var wantPages uint64
+	t1Queries := 0
+	for _, r := range results {
+		wantPages += r.Stats.PagesRead
+		if r.Stats.Path == "t1" {
+			t1Queries++
+		}
+	}
+	if wantPages == 0 {
+		t.Fatal("batch read no pages; reconciliation is vacuous")
+	}
+	if t1Queries == 0 {
+		t.Fatal("no query took the t1 path; parallel sweeps never ran")
+	}
+	if poolDelta != wantPages {
+		t.Errorf("pool physical reads %d != sum of per-query PagesRead %d", poolDelta, wantPages)
+	}
+
+	// Aggregate: stage span pages still partition the exact total.
+	s := o.ObserverSnapshot()
+	var stagePages uint64
+	for _, st := range s.Stages {
+		stagePages += st.Pages
+	}
+	if stagePages != wantPages {
+		t.Errorf("stage span pages %d != sum of per-query PagesRead %d", stagePages, wantPages)
+	}
+
+	// Per-trace: each trace's span pages sum to its query's exact total,
+	// and the t1 traces really did record two sweep spans.
+	traces := o.SlowTraces()
+	if len(traces) != len(queries) {
+		t.Fatalf("ring retained %d traces, want %d", len(traces), len(queries))
+	}
+	twoSweeps := 0
+	for _, tr := range traces {
+		var sum uint64
+		sweeps := 0
+		for _, sp := range tr.Spans {
+			sum += sp.Pages
+			if sp.Stage == obs.StageSweep.String() {
+				sweeps++
+			}
+		}
+		if sum != tr.Pages {
+			t.Errorf("trace %q: span pages %d != trace pages %d", tr.Query, sum, tr.Pages)
+		}
+		if sweeps == 2 {
+			twoSweeps++
+		}
+	}
+	if twoSweeps == 0 {
+		t.Error("no trace recorded two sweep spans; the parallel-sweep attribution path went unexercised")
+	}
+}
+
 // TestObservedCompoundQueries checks that line stabs, vertical selections
 // and generalized query tuples each record exactly one trace (their
 // sub-queries share it) with exact page attribution.
@@ -195,7 +275,7 @@ func TestObservedCompoundQueries(t *testing.T) {
 // with Observe nil allocates exactly as many objects as one on an index
 // that never had an observer, and attaching/detaching restores it.
 func TestNilObserverAddsNoAllocs(t *testing.T) {
-	ix, o, queries := obsIndex(t, 400)
+	ix, o, queries := obsIndex(t, 400, T2)
 	q := queries[0]
 	// Warm everything (pool, decode cache, tuple extensions).
 	if _, err := ix.Query(q); err != nil {

@@ -83,22 +83,34 @@ type execCtx struct {
 // path it costs one nil check and returns the zero timer, whose End is
 // a no-op — no allocation, no atomic traffic.
 func (ec *execCtx) span(stage obs.Stage) obs.SpanTimer {
+	return ec.spanRC(stage, ec.rc)
+}
+
+// spanRC is span against an explicit read counter. T1's parallel sweep
+// goroutines pass private counters so concurrent spans never observe
+// each other's reads; everything else passes ec.rc through span().
+func (ec *execCtx) spanRC(stage obs.Stage, rc *pagestore.ReadCounter) obs.SpanTimer {
 	if ec.tr == nil {
 		return obs.SpanTimer{}
 	}
-	return ec.tr.Begin(stage, ec.rc.Physical.Load())
+	return ec.tr.Begin(stage, rc.Physical.Load())
 }
 
 // endSpan closes sp, attributing the physical reads since span() and
-// the stage's payload size. Span page attribution is exact when stages
-// run sequentially; T1's parallel sweeps overlap on the shared counter,
-// so their per-span pages are approximate (the query total stays
-// exact). QueryBatch's DisableIntraQuery restores exact spans.
+// the stage's payload size. Span page attribution is exact on every
+// path: sequential stages share ec.rc, and T1's parallel sweeps charge
+// their reads to per-goroutine counters (merged into ec.rc afterwards),
+// so the per-stage pages always partition the query's exact total.
 func (ec *execCtx) endSpan(sp obs.SpanTimer, items int) {
+	ec.endSpanRC(sp, ec.rc, items)
+}
+
+// endSpanRC is endSpan against the counter the span was opened on.
+func (ec *execCtx) endSpanRC(sp obs.SpanTimer, rc *pagestore.ReadCounter, items int) {
 	if ec.tr == nil {
 		return
 	}
-	sp.End(ec.rc.Physical.Load(), items)
+	sp.End(rc.Physical.Load(), items)
 }
 
 // getBuf returns a zero-length candidate slice, reusing pooled capacity.
@@ -298,8 +310,9 @@ func PlanT1(q constraint.Query, slopes []float64, pivotX float64) ([2]AppQuery, 
 
 // runT1 executes the two-app-query technique and refines against the
 // original query. The two app-queries sweep independent trees, so with
-// ec.parallelSweeps they run concurrently (each with its own stats,
-// merged below; page reads land on the shared per-query counter).
+// ec.parallelSweeps they run concurrently, each with its own stats and
+// its own ReadCounter (merged into the shared per-query counter after
+// the join) so per-stage page attribution stays exact.
 func (ix *Index) runT1(q constraint.Query, path string, ec *execCtx) (Result, error) {
 	sp := ec.span(obs.StageRoute)
 	plan, err := PlanT1(q, ix.slopes, ix.opt.PivotX)
@@ -314,18 +327,27 @@ func (ix *Index) runT1(q constraint.Query, path string, ec *execCtx) (Result, er
 		err   error
 	}
 	if ec.parallelSweeps {
+		// Each goroutine charges its reads to a private counter so the
+		// two concurrent sweep spans don't see each other's page faults;
+		// the privates merge into the query counter after the join.
+		var srcs [2]pagestore.ReadCounter
 		var wg sync.WaitGroup
 		for s := range plan {
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
-				sw := ec.span(obs.StageSweep)
+				src := &srcs[s]
+				sw := ec.spanRC(obs.StageSweep, src)
 				sweeps[s].cands, sweeps[s].err = ix.collectRestricted(
-					plan[s].SlopeIndex, plan[s].Query, &sweeps[s].st, ec.rc, ec.getBuf())
-				ec.endSpan(sw, len(sweeps[s].cands))
+					plan[s].SlopeIndex, plan[s].Query, &sweeps[s].st, src, ec.getBuf())
+				ec.endSpanRC(sw, src, len(sweeps[s].cands))
 			}(s)
 		}
 		wg.Wait()
+		for s := range srcs {
+			ec.rc.Logical.Add(srcs[s].Logical.Load())
+			ec.rc.Physical.Add(srcs[s].Physical.Load())
+		}
 	} else {
 		for s := range plan {
 			sw := ec.span(obs.StageSweep)

@@ -232,6 +232,24 @@ func (p *Pool) Store() Store { return p.store }
 // PageSize returns the page size in bytes.
 func (p *Pool) PageSize() int { return p.store.PageSize() }
 
+// Resident reports whether id currently holds a frame in the pool,
+// without faulting it in, pinning it or touching the eviction lists. The
+// answer is advisory — a concurrent Get or eviction can change it right
+// after the shard unlocks — which suits its caller, the decoded-node
+// cache's eviction policy: a decode whose backing page has already left
+// the pool is a cheap victim, and a stale answer only costs one
+// re-decode.
+func (p *Pool) Resident(id PageID) bool {
+	if id == InvalidPage {
+		return false
+	}
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	_, ok := sh.frames[id]
+	sh.mu.Unlock()
+	return ok
+}
+
 // Get pins the page with the given id, reading it from the store on a miss.
 func (p *Pool) Get(id PageID) (*Frame, error) { return p.GetTracked(id, nil) }
 
