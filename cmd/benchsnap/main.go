@@ -4,8 +4,17 @@
 //
 // Usage:
 //
-//	benchsnap                # full measurement, writes BENCH_pr5.json
+//	benchsnap                # full measurement, writes BENCH_pr6.json
 //	benchsnap -quick -o out.json
+//	benchsnap -quick -gate   # also fail on regression past the PR-5 floor
+//
+// -gate compares the fresh measurement against the checked-in PR-5
+// baselines (allocations and page reads only — wall-clock is too noisy for
+// CI): warm sweeps must stay allocation-free, cold sweeps must stay
+// strictly below the pre-flat-layout decode cost, and the per-sweep
+// physical read count must not move at all (the paper's I/O model is
+// exact; a layout change has no business touching it). The alloc floors
+// were measured with -quick, so the gate requires -quick.
 package main
 
 import (
@@ -38,9 +47,13 @@ type Row struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr5.json", "output file")
+	out := flag.String("o", "BENCH_pr6.json", "output file")
 	quick := flag.Bool("quick", false, "smaller trees (smoke run)")
+	gate := flag.Bool("gate", false, "fail on regression past the PR-5 baselines (requires -quick)")
 	flag.Parse()
+	if *gate && !*quick {
+		fatal(fmt.Errorf("-gate baselines were measured with -quick; run benchsnap -quick -gate"))
+	}
 
 	n := 50000
 	coreN := 2000
@@ -84,11 +97,14 @@ func main() {
 		}))
 	}
 
-	// Cold file-backed sweeps: the readahead ablation.
+	// Cold file-backed sweeps: the readahead ablation, plus the flat-layout
+	// row that reads every entry and handicap through the view instead of
+	// only counting leaves — the zero-copy per-entry access path.
 	for _, bc := range []struct {
 		name string
 		ra   int
-	}{{"SweepCold", 0}, {"SweepColdReadahead", 8}} {
+		flat bool
+	}{{"SweepCold", 0, false}, {"SweepColdFlat", 0, true}, {"SweepColdReadahead", 8, false}} {
 		store, err := pagestore.OpenFileStore(filepath.Join(tmp, bc.name+".db"), 1024)
 		if err != nil {
 			fatal(err)
@@ -105,7 +121,11 @@ func main() {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				sweep(b, tr, float64(n)*0.9)
+				if bc.flat {
+					sweepFlat(b, tr, float64(n)*0.9)
+				} else {
+					sweep(b, tr, float64(n)*0.9)
+				}
 			}
 			iters += b.N
 		})
@@ -191,10 +211,13 @@ func main() {
 		for i := range queries {
 			queries[i] = randQuery(rng)
 		}
+		// QueryFlat is the warm end-to-end query on the flat layout; its
+		// extra column reports the view-meta cache hit rate, the number the
+		// zero-copy read path lives on when frames stay resident.
 		for _, bc := range []struct {
 			name     string
 			observed bool
-		}{{"QueryBare", false}, {"QueryObserved", true}} {
+		}{{"QueryBare", false}, {"QueryObserved", true}, {"QueryFlat", false}} {
 			opt := core.Options{
 				Slopes:    core.EquiangularSlopes(3),
 				Technique: core.T2,
@@ -213,14 +236,25 @@ func main() {
 					fatal(err)
 				}
 			}
-			add(bc.name, nil, testing.Benchmark(func(b *testing.B) {
+			before := ix.DecodeCacheStats()
+			res := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := ix.Query(queries[i%len(queries)]); err != nil {
 						b.Fatal(err)
 					}
 				}
-			}))
+			})
+			var extra map[string]float64
+			if bc.name == "QueryFlat" {
+				st := ix.DecodeCacheStats()
+				hits := float64(st.Hits - before.Hits)
+				misses := float64(st.Misses - before.Misses)
+				if hits+misses > 0 {
+					extra = map[string]float64{"view_cache_hit_rate": hits / (hits + misses)}
+				}
+			}
+			add(bc.name, extra, res)
 		}
 	}
 
@@ -244,6 +278,67 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rows))
+
+	if *gate {
+		if errs := checkGate(rows); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "benchsnap: gate: %v\n", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("gate: all alloc and page-read floors hold")
+	}
+}
+
+// PR-5 -quick floors (BENCH_pr5.json): the decoded-node read path. The
+// flat layout must beat the cold decode cost strictly and keep warm sweeps
+// allocation-free; physical reads per cold sweep are pinned exactly — the
+// leaf chain is 17 pages under -quick and a layout change must not move
+// paper-exact I/O.
+const (
+	gateSweepColdAllocs   = 51
+	gateSweepColdBytes    = 19584
+	gateWarmNoCacheAllocs = 15
+	gateColdPhysReads     = 17
+)
+
+// checkGate enforces the PR-5 floors on a -quick measurement.
+func checkGate(rows []Row) []error {
+	byName := make(map[string]Row, len(rows))
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	var errs []error
+	need := func(name string) (Row, bool) {
+		r, ok := byName[name]
+		if !ok {
+			errs = append(errs, fmt.Errorf("row %s missing from snapshot", name))
+		}
+		return r, ok
+	}
+	if r, ok := need("SweepWarm"); ok && r.AllocsOp != 0 {
+		errs = append(errs, fmt.Errorf("SweepWarm allocates (%d allocs/op); warm sweeps must be allocation-free", r.AllocsOp))
+	}
+	if r, ok := need("SweepWarmNoCache"); ok && r.AllocsOp >= gateWarmNoCacheAllocs {
+		errs = append(errs, fmt.Errorf("SweepWarmNoCache at %d allocs/op; must stay below the PR-5 decode floor of %d", r.AllocsOp, gateWarmNoCacheAllocs))
+	}
+	for _, name := range []string{"SweepCold", "SweepColdFlat"} {
+		r, ok := need(name)
+		if !ok {
+			continue
+		}
+		if r.AllocsOp >= gateSweepColdAllocs || r.BytesOp >= gateSweepColdBytes {
+			errs = append(errs, fmt.Errorf("%s at %d allocs/op, %d B/op; must stay strictly below the PR-5 SweepCold floor of %d allocs/op, %d B/op",
+				name, r.AllocsOp, r.BytesOp, gateSweepColdAllocs, gateSweepColdBytes))
+		}
+		// Page counts are whole numbers carried in a float column; the gate
+		// is exact by design — any drift at all is a broken I/O contract.
+		if pr := r.Extra["physical_reads_op"]; pr != gateColdPhysReads { //dualvet:allow floatcmp
+			errs = append(errs, fmt.Errorf("%s reads %g pages/op; the -quick leaf chain is exactly %d pages and the layout must not change I/O",
+				name, pr, gateColdPhysReads))
+		}
+	}
+	return errs
 }
 
 // buildTree bulk-loads n sequential entries into a fresh tree.
@@ -269,11 +364,33 @@ func buildTree(pool *pagestore.Pool, n, readahead int, noCache bool) *btree.Tree
 func sweep(b *testing.B, tr *btree.Tree, from float64) {
 	count := 0
 	err := tr.VisitLeavesAsc(from, func(lv btree.LeafView) bool {
-		count += len(lv.Entries)
+		count += lv.Len()
 		return true
 	})
 	if err != nil || count == 0 {
 		b.Fatalf("count=%d err=%v", count, err)
+	}
+}
+
+// sweepFlat reads every key, TID and handicap slot of the tail through the
+// view — the per-entry zero-copy access path, not just the leaf counts.
+func sweepFlat(b *testing.B, tr *btree.Tree, from float64) {
+	var sum float64
+	var tids uint64
+	err := tr.VisitLeavesAsc(from, func(lv btree.LeafView) bool {
+		for i, n := 0, lv.Len(); i < n; i++ {
+			sum += lv.Key(i)
+			tids += uint64(lv.TID(i))
+		}
+		for s, n := 0, lv.NumHandicaps(); s < n; s++ {
+			if !math.IsInf(lv.Handicap(s), 0) {
+				tids++
+			}
+		}
+		return true
+	})
+	if err != nil || tids == 0 {
+		b.Fatalf("sum=%g tids=%d err=%v", sum, tids, err)
 	}
 }
 

@@ -1,0 +1,360 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BorrowSpec describes one borrow discipline: which calls hand out a view
+// over a resource owned by someone else (the lender), and which call shapes
+// end the lender's life. Unlike an obligation (LeakSpec), a borrow carries
+// no duty to act — the rule is temporal: once the lender is released, the
+// borrowed value is dead and any read of it is a bug. The canonical instance
+// is a btree nodeView over a pinned pagestore frame: the view is a slice of
+// the frame's buffer, and after Release the pool may recycle that buffer
+// under another page.
+type BorrowSpec struct {
+	// Borrow classifies a call expression. ok reports whether the call
+	// returns a borrowed view; resIdx is the index of the view among the
+	// call's results; lenders are the expressions whose release ends the
+	// borrow (typically the receiver or an argument, possibly under more
+	// than one path — e.g. a node and its embedded frame).
+	Borrow func(call *ast.CallExpr) (lenders []ast.Expr, resIdx int, ok bool)
+	// IsRelease reports whether a method call of the form recv.M(...)
+	// releases recv. The engine matches the receiver against the borrow's
+	// lender paths; this predicate only inspects the call shape.
+	IsRelease func(call *ast.CallExpr) bool
+}
+
+// A BorrowViolation is a read of a borrowed view at a point where its
+// lender may already have been released.
+type BorrowViolation struct {
+	// Use is the identifier through which the dead view is read.
+	Use *ast.Ident
+	// Borrow is the call that created the view.
+	Borrow *ast.CallExpr
+}
+
+// FindBorrowViolations runs the borrow analysis over one function body and
+// returns its use-after-release reads in source order. The analysis is a
+// forward may-analysis over the CFG: a release on any path into a use kills
+// the view there. Views are values, so passing one to a call or returning
+// it is an ordinary use (callee or caller reads it before the release can
+// happen here) — only reads sequenced after a release are violations.
+// Rebinding a view or lender name drops the stale alias, so loop bodies
+// that re-borrow each iteration stay clean. A `defer lender.Release()` runs
+// after every read in the body and never kills the view.
+func FindBorrowViolations(body *ast.BlockStmt, info *types.Info, spec BorrowSpec) []BorrowViolation {
+	if body == nil {
+		return nil
+	}
+	cfg := New(body)
+	eng := &bwEngine{
+		spec: spec,
+		info: info,
+		al:   NewAliases(body, info),
+	}
+	in := Forward[bwFact](cfg, bwLattice{}, eng.transfer)
+
+	// Replay each block over its converged entry fact with reporting on.
+	var out []BorrowViolation
+	seen := make(map[token.Pos]bool)
+	eng.report = func(id *ast.Ident, st *bwState) {
+		if !seen[id.Pos()] {
+			seen[id.Pos()] = true
+			out = append(out, BorrowViolation{Use: id, Borrow: st.call})
+		}
+	}
+	for _, b := range cfg.Blocks {
+		if b.Live {
+			eng.transfer(b, bwLattice{}.Clone(in[b.Index]))
+		}
+	}
+
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Use.Pos() < out[j-1].Use.Pos(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// bwState is the tracked state of one borrow (keyed by its source call's
+// position).
+type bwState struct {
+	call *ast.CallExpr
+	// viewNames holds the canonical paths currently bound to the view.
+	viewNames map[string]bool
+	// lenderNames holds the canonical paths whose release kills the view.
+	lenderNames map[string]bool
+	// released means the lender may have been released on some path here.
+	released bool
+}
+
+func (s *bwState) clone() *bwState {
+	c := *s
+	c.viewNames = make(map[string]bool, len(s.viewNames))
+	for k := range s.viewNames {
+		c.viewNames[k] = true
+	}
+	c.lenderNames = make(map[string]bool, len(s.lenderNames))
+	for k := range s.lenderNames {
+		c.lenderNames[k] = true
+	}
+	return &c
+}
+
+type bwFact map[token.Pos]*bwState
+
+type bwLattice struct{}
+
+func (bwLattice) Bottom() bwFact { return bwFact{} }
+
+func (bwLattice) Clone(f bwFact) bwFact {
+	c := make(bwFact, len(f))
+	for k, v := range f {
+		c[k] = v.clone()
+	}
+	return c
+}
+
+// Join is the may-released union: a lender released on either path is
+// released in the merge; alias sets union.
+func (bwLattice) Join(dst, src bwFact) (bwFact, bool) {
+	changed := false
+	for k, sv := range src {
+		dv, ok := dst[k]
+		if !ok {
+			dst[k] = sv.clone()
+			changed = true
+			continue
+		}
+		if sv.released && !dv.released {
+			dv.released = true
+			changed = true
+		}
+		for n := range sv.viewNames {
+			if !dv.viewNames[n] {
+				dv.viewNames[n] = true
+				changed = true
+			}
+		}
+		for n := range sv.lenderNames {
+			if !dv.lenderNames[n] {
+				dv.lenderNames[n] = true
+				changed = true
+			}
+		}
+	}
+	return dst, changed
+}
+
+type bwEngine struct {
+	spec BorrowSpec
+	info *types.Info
+	al   *Aliases
+	// report, when non-nil, receives each dead-view read (replay phase).
+	report func(id *ast.Ident, st *bwState)
+}
+
+func (e *bwEngine) transfer(b *Block, in bwFact) bwFact {
+	for _, n := range b.Nodes {
+		switch n := n.(type) {
+		case *Assume:
+			e.scan(in, n.Cond)
+		case *ast.AssignStmt:
+			e.assign(in, n)
+		case *ast.DeferStmt:
+			// A deferred release runs after every read in the body; it
+			// never kills a view mid-function. A deferred non-release call
+			// still evaluates its receiver/arguments now.
+			if !e.spec.IsRelease(n.Call) {
+				for _, a := range n.Call.Args {
+					e.scan(in, a)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				e.scan(in, r)
+			}
+		default:
+			if expr, ok := n.(ast.Expr); ok {
+				e.scan(in, expr)
+			} else {
+				e.scanNode(in, n)
+			}
+		}
+	}
+	return in
+}
+
+// assign handles the three roles an assignment can play for borrows:
+// opening one, rebinding a view alias, or overwriting (and thereby
+// dropping) a view or lender name.
+func (e *bwEngine) assign(f bwFact, n *ast.AssignStmt) {
+	created := make(map[*bwState]bool)
+	handledRhs := make(map[int]bool)
+	for i, rhs := range n.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		lenders, resIdx, isBorrow := e.spec.Borrow(call)
+		if !isBorrow {
+			continue
+		}
+		handledRhs[i] = true
+		// The borrow call's own operands are ordinary reads.
+		if sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); okSel {
+			e.scan(f, sel.X)
+		}
+		for _, a := range call.Args {
+			e.scan(f, a)
+		}
+		st := &bwState{
+			call:        call,
+			viewNames:   map[string]bool{},
+			lenderNames: map[string]bool{},
+		}
+		for _, l := range lenders {
+			st.lenderNames[e.al.Canon(l)] = true
+		}
+		if lhs := tupleLhs(n, i, resIdx); lhs != nil {
+			if id, isId := ast.Unparen(lhs).(*ast.Ident); isId && id.Name != "_" {
+				st.viewNames[e.al.Canon(id)] = true
+			}
+		}
+		f[call.Lparen] = st
+		created[st] = true
+	}
+
+	// A tuple assignment from a non-borrow call: the RHS is one read.
+	if len(n.Lhs) != len(n.Rhs) && len(n.Rhs) == 1 && !handledRhs[0] {
+		e.scan(f, n.Rhs[0])
+	}
+
+	for i, lhs := range n.Lhs {
+		var rhs ast.Expr
+		if len(n.Lhs) == len(n.Rhs) && !handledRhs[i] {
+			rhs = n.Rhs[i]
+		}
+		lhsId, lhsIsIdent := ast.Unparen(lhs).(*ast.Ident)
+
+		if rhs != nil {
+			// `v2 := v` extends the view's alias set. A copy of a dead view
+			// is itself a dead read — reported once at the copy, and the
+			// new name is not tracked further.
+			if isPathExpr(rhs) {
+				rcanon := e.al.Canon(rhs)
+				if st := viewHolder(f, rcanon); st != nil {
+					if st.released {
+						// The copy itself is the dead read; the new name
+						// holds garbage and is not tracked further (the
+						// overwrite below still drops its old bindings).
+						e.reportUse(rhs, st)
+					} else if lhsIsIdent && lhsId.Name != "_" {
+						st.viewNames[e.al.Canon(lhsId)] = true
+						continue // binding, not an overwrite of this name
+					} else {
+						// Blank, or stored into a structure/global: nothing
+						// further to track through this assignment.
+						continue
+					}
+				} else {
+					e.scan(f, rhs)
+				}
+			} else {
+				e.scan(f, rhs)
+			}
+		}
+
+		// Overwriting a bound name drops the stale alias — both for views
+		// (the name now means a different value) and for lenders (their
+		// release can no longer be observed through this name).
+		if lhsIsIdent && lhsId.Name != "_" {
+			c := e.al.Canon(lhsId)
+			for _, st := range f {
+				if created[st] {
+					continue // this statement's own binding
+				}
+				delete(st.viewNames, c)
+				delete(st.lenderNames, c)
+			}
+		} else if !lhsIsIdent {
+			e.scan(f, lhs)
+		}
+	}
+}
+
+// scan walks an expression: release calls flip their lender's borrows to
+// released, and every identifier read of a released view is a violation.
+// Function-literal bodies are skipped (they get their own analysis and run
+// at an unknowable time).
+func (e *bwEngine) scan(f bwFact, x ast.Expr) {
+	if x == nil {
+		return
+	}
+	ast.Inspect(x, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if e.spec.IsRelease(m) {
+				if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
+					recv := e.al.Canon(sel.X)
+					for _, st := range f {
+						if st.lenderNames[recv] {
+							st.released = true
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			e.useIdent(f, m)
+		}
+		return true
+	})
+}
+
+// scanNode conservatively scans any remaining statement kind.
+func (e *bwEngine) scanNode(f bwFact, n ast.Node) {
+	WalkShallow(n, func(m ast.Node) bool {
+		if expr, ok := m.(ast.Expr); ok {
+			e.scan(f, expr)
+			return false
+		}
+		return true
+	})
+}
+
+// useIdent flags a read of a view whose lender may be gone.
+func (e *bwEngine) useIdent(f bwFact, id *ast.Ident) {
+	if id.Name == "_" {
+		return
+	}
+	c := e.al.Canon(id)
+	for _, st := range f {
+		if st.released && st.viewNames[c] {
+			if e.report != nil {
+				e.report(id, st)
+			}
+		}
+	}
+}
+
+func (e *bwEngine) reportUse(x ast.Expr, st *bwState) {
+	if id, ok := ast.Unparen(x).(*ast.Ident); ok && e.report != nil {
+		e.report(id, st)
+	}
+}
+
+// viewHolder returns the borrow binding canon as a view name, if any.
+func viewHolder(f bwFact, canon string) *bwState {
+	for _, st := range f {
+		if st.viewNames[canon] {
+			return st
+		}
+	}
+	return nil
+}

@@ -69,18 +69,20 @@ var MayInfFuncs = map[string]bool{
 	"(dualcdb/internal/rplustree.Rect).Area":     true,
 	"dualcdb/internal/core.supX":                 true,
 	"dualcdb/internal/core.infX":                 true,
+	// Handicap slots store ±Inf identities for empty accumulators; the
+	// flat-layout accessor replaced the LeafView.Handicaps slice field.
+	"(dualcdb/internal/btree.LeafView).Handicap": true,
 }
 
 // MayInfFields lists struct fields that can hold ±Inf, as
 // "pkgpath.Type.Field".
 var MayInfFields = map[string]bool{
-	"dualcdb/internal/geom.Envelope.DomLo":      true,
-	"dualcdb/internal/geom.Envelope.DomHi":      true,
-	"dualcdb/internal/btree.LeafView.Handicaps": true,
-	"dualcdb/internal/rplustree.Rect.MinX":      true,
-	"dualcdb/internal/rplustree.Rect.MinY":      true,
-	"dualcdb/internal/rplustree.Rect.MaxX":      true,
-	"dualcdb/internal/rplustree.Rect.MaxY":      true,
+	"dualcdb/internal/geom.Envelope.DomLo": true,
+	"dualcdb/internal/geom.Envelope.DomHi": true,
+	"dualcdb/internal/rplustree.Rect.MinX": true,
+	"dualcdb/internal/rplustree.Rect.MinY": true,
+	"dualcdb/internal/rplustree.Rect.MaxX": true,
+	"dualcdb/internal/rplustree.Rect.MaxY": true,
 }
 
 // MayInfDirective marks a local declaration (function or struct field) whose

@@ -19,6 +19,19 @@
 // understood: no frame exists on the error arm. Escape hatch:
 // //dualvet:allow pinleak on the acquiring line. _test.go files are exempt
 // (tests leak pins deliberately to probe pool accounting).
+//
+// The flat-layout views add a second, inverted discipline on top of the pin
+// obligations: a btree nodeView/LeafView is a borrow of the pinned frame's
+// bytes, and once the frame is released the pool may recycle that buffer
+// under a different page — reading the view then returns another page's
+// bytes. The borrow engine (dataflow.FindBorrowViolations) tracks each view
+// from its creating call (node.view, Tree.leafView) and flags any read of
+// it sequenced after a release of its lender (node.release, Frame.Release)
+// on some path. Views are values, so passing one to a call or returning it
+// is an ordinary pre-release read; `defer release` never kills a view; and
+// rebinding the view or lender name each loop iteration keeps sweep loops
+// clean. btree.EnableViewGuard is the runtime backstop for the dynamic
+// cases this static check cannot see.
 package pinleak
 
 import (
@@ -46,20 +59,57 @@ var PinSources = map[string]bool{
 	"NewPage":         true,
 }
 
-// pkgSuffix matches both the real package and the testdata fake, mirroring
-// errsink's resolution strategy.
-const pkgSuffix = "pagestore"
+// Package-path suffixes match both the real packages and the testdata
+// fakes, mirroring errsink's resolution strategy.
+const (
+	poolPkg  = "pagestore"
+	btreePkg = "btree"
+)
+
+// ViewSources are the btree methods that return a view borrowing the bytes
+// of a pinned frame. The map value is the index of the lender among the
+// call's operands: -1 for the receiver, n for argument n.
+var ViewSources = map[string]int{
+	"view":     -1, // (node).view(meta) — lender is the receiver node
+	"leafView": 0,  // (*Tree).leafView(leaf) — lender is the leaf argument
+}
 
 func run(pass *framework.Pass) error {
 	spec := dataflow.LeakSpec{
 		Source: func(call *ast.CallExpr) (int, int, bool) {
-			if methodOn(pass, call, "Pool", PinSources) {
+			if methodOn(pass, call, poolPkg, "Pool", PinSources) {
 				return 0, 1, true
 			}
 			return 0, 0, false
 		},
 		IsRelease: func(call *ast.CallExpr) bool {
-			return methodOn(pass, call, "Frame", map[string]bool{"Release": true})
+			return methodOn(pass, call, poolPkg, "Frame", map[string]bool{"Release": true})
+		},
+	}
+	bspec := dataflow.BorrowSpec{
+		Borrow: func(call *ast.CallExpr) ([]ast.Expr, int, bool) {
+			name, ok := viewSource(pass, call)
+			if !ok {
+				return nil, 0, false
+			}
+			var lender ast.Expr
+			if argIdx := ViewSources[name]; argIdx < 0 {
+				sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				lender = sel.X
+			} else if argIdx < len(call.Args) {
+				lender = call.Args[argIdx]
+			}
+			if lender == nil {
+				return nil, 0, false
+			}
+			// The borrow dies with either the node or its embedded frame:
+			// a direct lender.frame.Release() must count as a release too.
+			frame := &ast.SelectorExpr{X: lender, Sel: ast.NewIdent("frame")}
+			return []ast.Expr{lender, frame}, 0, true
+		},
+		IsRelease: func(call *ast.CallExpr) bool {
+			return methodOn(pass, call, btreePkg, "node", map[string]bool{"release": true}) ||
+				methodOn(pass, call, poolPkg, "Frame", map[string]bool{"Release": true})
 		},
 	}
 	for _, f := range pass.Files {
@@ -72,12 +122,39 @@ func run(pass *framework.Pass) error {
 				continue
 			}
 			checkBody(pass, fd.Body, spec)
+			checkBorrows(pass, fd.Body, bspec)
 			for _, fl := range dataflow.FuncLits(fd.Body) {
 				checkBody(pass, fl.Body, spec)
+				checkBorrows(pass, fl.Body, bspec)
 			}
 		}
 	}
 	return nil
+}
+
+// viewSource reports whether call is one of the borrow-creating btree
+// methods, returning its name.
+func viewSource(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	for name := range ViewSources {
+		var typeName string
+		if name == "view" {
+			typeName = "node"
+		} else {
+			typeName = "Tree"
+		}
+		if methodOn(pass, call, btreePkg, typeName, map[string]bool{name: true}) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func checkBorrows(pass *framework.Pass, body *ast.BlockStmt, spec dataflow.BorrowSpec) {
+	for _, v := range dataflow.FindBorrowViolations(body, pass.TypesInfo, spec) {
+		pass.Reportf(v.Use.Pos(),
+			"view %s (borrowed by %s) is read after its frame's release; a view must not outlive the frame's Release (//dualvet:allow pinleak if the page is known re-pinned)",
+			v.Use.Name, calleeName(v.Borrow))
+	}
 }
 
 func checkBody(pass *framework.Pass, body *ast.BlockStmt, spec dataflow.LeakSpec) {
@@ -98,7 +175,7 @@ func checkBody(pass *framework.Pass, body *ast.BlockStmt, spec dataflow.LeakSpec
 // methodOn reports whether call invokes one of names as a method on the
 // named type typeName declared in a package whose import path ends in
 // pkgSuffix (so the testdata fake package matches alongside the real one).
-func methodOn(pass *framework.Pass, call *ast.CallExpr, typeName string, names map[string]bool) bool {
+func methodOn(pass *framework.Pass, call *ast.CallExpr, pkgSuffix, typeName string, names map[string]bool) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return false

@@ -10,3 +10,7 @@ import (
 func TestPinleak(t *testing.T) {
 	analysistest.Run(t, "../testdata", pinleak.Analyzer, "pinleak")
 }
+
+func TestViewBorrows(t *testing.T) {
+	analysistest.Run(t, "../testdata", pinleak.Analyzer, "btree")
+}

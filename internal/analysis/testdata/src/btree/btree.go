@@ -1,0 +1,164 @@
+// Package btree is a golden-test stand-in for dualcdb/internal/btree: the
+// pinleak borrow check matches the view/leafView/release methods by
+// import-path suffix, so this fake mirrors the real package's borrow
+// surface (a node wrapping a pinned frame, views sliced from its bytes)
+// without importing the real module.
+package btree
+
+import "pagestore"
+
+type viewMeta struct {
+	next  uint32
+	count uint16
+}
+
+// node wraps a pinned frame, as in the real package.
+type node struct {
+	frame *pagestore.Frame
+	data  []byte
+}
+
+func (n node) view(m viewMeta) nodeView { return nodeView{data: n.data} }
+func (n node) release()                 { n.frame.Release() }
+func (n node) isLeaf() bool             { return true }
+
+// nodeView borrows the frame's bytes: dead once the frame is released.
+type nodeView struct{ data []byte }
+
+func (v nodeView) key(i int) float64        { return 0 }
+func (v nodeView) child(i int) uint32       { return 0 }
+func (v nodeView) childIndex(k float64) int { return 0 }
+
+// LeafView is the public borrow handed to sweep callbacks.
+type LeafView struct{ v nodeView }
+
+func (lv LeafView) Len() int          { return 0 }
+func (lv LeafView) Key(i int) float64 { return lv.v.key(i) }
+func (lv LeafView) TID(i int) uint32  { return 0 }
+
+type Tree struct{ pool *pagestore.Pool }
+
+func (t *Tree) leafView(leaf node) (LeafView, viewMeta) {
+	// Returning the borrow transfers it to the caller: no release happens
+	// in this body, so this is clean.
+	return LeafView{v: leaf.view(viewMeta{})}, viewMeta{}
+}
+
+func (t *Tree) nextLeaf(id uint32) (node, error) { return node{}, nil }
+
+func sinkEntry(float64) {}
+
+// --- clean shapes -----------------------------------------------------
+
+// releaseAfterVisit is the sweep protocol: every read of the view happens
+// before the frame goes back to the pool.
+func releaseAfterVisit(t *Tree, leaf node, visit func(LeafView) bool) {
+	lv, m := t.leafView(leaf)
+	more := visit(lv)
+	leaf.release()
+	_ = more
+	_ = m
+}
+
+// deferredRelease runs after the return value is computed; the view is
+// readable throughout the body.
+func deferredRelease(t *Tree, leaf node) float64 {
+	lv, _ := t.leafView(leaf)
+	defer leaf.release()
+	return lv.Key(0)
+}
+
+// reBorrowLoop rebinds both the view and the lender each iteration, so the
+// stale pair from the previous round never reaches a read.
+func reBorrowLoop(t *Tree, leaf node) error {
+	for i := 0; i < 3; i++ {
+		lv, m := t.leafView(leaf)
+		sinkEntry(lv.Key(0))
+		leaf.release()
+		var err error
+		if leaf, err = t.nextLeaf(m.next); err != nil {
+			return err
+		}
+	}
+	leaf.release()
+	return nil
+}
+
+// descentView mirrors findLeafTracked: the internal-node view is consumed
+// before the node is released and the loop re-borrows.
+func descentView(t *Tree, n node) uint32 {
+	var child uint32
+	for !n.isLeaf() {
+		v := n.view(viewMeta{})
+		child = v.child(v.childIndex(0))
+		n.release()
+		n, _ = t.nextLeaf(child)
+	}
+	n.release()
+	return child
+}
+
+// handedToCaller transfers the borrow out: the caller owns the release
+// ordering now.
+func handedToCaller(t *Tree, leaf node) LeafView {
+	lv, _ := t.leafView(leaf)
+	return lv
+}
+
+// --- violations -------------------------------------------------------
+
+func useAfterRelease(t *Tree, leaf node) float64 {
+	lv, _ := t.leafView(leaf)
+	leaf.release()
+	return lv.Key(0) // want `view lv \(borrowed by t\.leafView\) is read after its frame's release`
+}
+
+func useAfterReleaseOneBranch(t *Tree, leaf node, cond bool) float64 {
+	lv, _ := t.leafView(leaf)
+	if cond {
+		leaf.release()
+	}
+	return lv.Key(0) // want `view lv \(borrowed by t\.leafView\) is read after its frame's release`
+}
+
+func aliasUseAfterRelease(t *Tree, leaf node) float64 {
+	lv, _ := t.leafView(leaf)
+	lv2 := lv
+	leaf.release()
+	return lv2.Key(0) // want `view lv2 \(borrowed by t\.leafView\) is read after its frame's release`
+}
+
+func copyOfDeadView(t *Tree, leaf node) LeafView {
+	lv, _ := t.leafView(leaf)
+	leaf.release()
+	dead := lv // want `view lv \(borrowed by t\.leafView\) is read after its frame's release`
+	return dead
+}
+
+func nodeViewAfterRelease(n node) uint32 {
+	v := n.view(viewMeta{})
+	n.release()
+	return v.child(0) // want `view v \(borrowed by n\.view\) is read after its frame's release`
+}
+
+func frameReleaseKillsView(n node) uint32 {
+	v := n.view(viewMeta{})
+	n.frame.Release()
+	return v.child(0) // want `view v \(borrowed by n\.view\) is read after its frame's release`
+}
+
+func escapeAfterRelease(t *Tree, leaf node, visit func(LeafView) bool) {
+	lv, _ := t.leafView(leaf)
+	leaf.release()
+	visit(lv) // want `view lv \(borrowed by t\.leafView\) is read after its frame's release`
+}
+
+func staleLoopCarry(t *Tree, leaf node) {
+	var last LeafView
+	for i := 0; i < 3; i++ {
+		lv, _ := t.leafView(leaf)
+		last = lv
+		leaf.release()
+	}
+	sinkEntry(last.Key(0)) // want `view last \(borrowed by t\.leafView\) is read after its frame's release`
+}

@@ -99,7 +99,7 @@ func BenchmarkSweepAscend(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		count := 0
 		err := tr.VisitLeavesAsc(float64(n)*0.9, func(lv LeafView) bool {
-			count += len(lv.Entries)
+			count += lv.Len()
 			return true
 		})
 		if err != nil {
@@ -134,7 +134,7 @@ func benchSweepWarm(b *testing.B, noCache bool) {
 	for i := 0; i < b.N; i++ {
 		count := 0
 		err := tr.VisitLeavesAsc(float64(n)*0.9, func(lv LeafView) bool {
-			count += len(lv.Entries)
+			count += lv.Len()
 			return true
 		})
 		if err != nil || count == 0 {
@@ -179,7 +179,7 @@ func benchSweepCold(b *testing.B, readahead int) {
 		b.StartTimer()
 		count := 0
 		err := tr.VisitLeavesAsc(float64(n)*0.9, func(lv LeafView) bool {
-			count += len(lv.Entries)
+			count += lv.Len()
 			return true
 		})
 		if err != nil || count == 0 {

@@ -8,15 +8,17 @@ import (
 	"dualcdb/internal/pagestore"
 )
 
-// DecodeStats counts decoded-node cache traffic. Resident is a gauge —
-// the number of decoded nodes currently held — while the other fields
-// are monotone counters.
+// DecodeStats counts view-meta cache traffic. Resident is a gauge — the
+// number of parsed headers currently held — while the other fields are
+// monotone counters. The name predates the zero-copy layout: a "decode"
+// is now just a header parse (viewMeta), but the hit/miss semantics the
+// harness and observability layers consume are unchanged.
 type DecodeStats struct {
-	Hits          uint64 // lookups served from a current decode
-	Misses        uint64 // lookups for pages never decoded (or evicted)
-	Invalidations uint64 // lookups that found a stale decode and refreshed it
-	Evictions     uint64 // decodes dropped by the cache's capacity bound
-	Resident      uint64 // decoded nodes currently cached
+	Hits          uint64 // lookups served from a current parse
+	Misses        uint64 // lookups for pages never parsed (or evicted)
+	Invalidations uint64 // lookups that found a stale parse and refreshed it
+	Evictions     uint64 // parses dropped by the cache's capacity bound
+	Resident      uint64 // parsed headers currently cached
 }
 
 // Add accumulates other into s (for summing stats across trees).
@@ -28,39 +30,6 @@ func (s *DecodeStats) Add(o DecodeStats) {
 	s.Resident += o.Resident
 }
 
-// decodedNode is the parsed form of one page: the slices that node.entries
-// and node.handicaps would otherwise re-allocate on every visit, or an
-// internal node's separators and child pointers. It is immutable once
-// published and shared by concurrent sweeps; consumers must not modify it.
-type decodedNode struct {
-	version uint64
-	leaf    bool
-
-	// Leaf form.
-	entries   []Entry
-	handicaps []float64
-	next      pagestore.PageID
-	prev      pagestore.PageID
-
-	// Internal form.
-	seps     []Entry
-	children []pagestore.PageID
-}
-
-// childIndex mirrors node.childIndex over the decoded separators.
-func (d *decodedNode) childIndex(e Entry) int {
-	lo, hi := 0, len(d.seps)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if e.Less(d.seps[mid]) {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	return lo
-}
-
 const defaultDecodeCacheNodes = 4096
 
 // evictScan bounds how many least-recently-used entries an eviction
@@ -68,27 +37,34 @@ const defaultDecodeCacheNodes = 4096
 // buffer pool.
 const evictScan = 8
 
-// cacheEntry is one LRU node: the decoded page plus the id that keys it
+// cacheEntry is one LRU node: the parsed header plus the id that keys it
 // (needed to delete the map entry when the list node is evicted).
 type cacheEntry struct {
 	id pagestore.PageID
-	d  *decodedNode
+	m  viewMeta
 }
 
-// nodeCache caches decoded pages per tree, keyed by PageID and validated
-// against the frame's version stamp (see pagestore.Frame.Version): a
-// cached decode is served only while the pinned frame still reports the
-// version the decode was taken under, so a page mutated through MarkDirty
-// — or freed and reallocated — can never satisfy a lookup with stale
-// contents.
+// viewCache caches parsed page headers per tree, keyed by PageID and
+// validated against the frame's version stamp (see
+// pagestore.Frame.Version): a cached parse is served only while the
+// pinned frame still reports the version it was taken under, so a page
+// mutated through MarkDirty — or freed and reallocated — can never
+// satisfy a lookup with stale offsets.
+//
+// Under the flat layout this cache holds no page content: entries,
+// handicaps and separators are read in place through nodeView, and the
+// cache's job shrinks to skipping the header parse plus recording the
+// chain links a sweep needs after the frame is gone. Each entry is a few
+// dozen bytes with no heap slices, so the cache itself never contributes
+// to sweep allocation.
 //
 // Capacity is bounded by LRU eviction tied to pool residency: every hit
 // moves the entry to the front, so the inner nodes every descent touches
-// never age out the way they did under the old FIFO ring, and eviction
-// prefers victims whose backing page the buffer pool has itself evicted
-// — those decodes are both the least likely to be reused and certain to
-// be re-validated against a freshly read frame anyway.
-type nodeCache struct {
+// never age out, and eviction prefers victims whose backing page the
+// buffer pool has itself evicted — those parses are both the least likely
+// to be reused and certain to be re-validated against a freshly read
+// frame anyway.
+type viewCache struct {
 	mu   sync.Mutex
 	m    map[pagestore.PageID]*list.Element
 	lru  *list.List // of *cacheEntry, most-recently used at front
@@ -101,11 +77,11 @@ type nodeCache struct {
 	evictions     atomic.Uint64
 }
 
-func newNodeCache(capacity int, pool *pagestore.Pool) *nodeCache {
+func newViewCache(capacity int, pool *pagestore.Pool) *viewCache {
 	if capacity <= 0 {
 		capacity = defaultDecodeCacheNodes
 	}
-	return &nodeCache{
+	return &viewCache{
 		m:    make(map[pagestore.PageID]*list.Element),
 		lru:  list.New(),
 		cap:  capacity,
@@ -113,41 +89,37 @@ func newNodeCache(capacity int, pool *pagestore.Pool) *nodeCache {
 	}
 }
 
-// lookup returns the decoded form of the pinned node n, decoding and
-// caching it when absent or stale.
-func (c *nodeCache) lookup(n node) *decodedNode {
+// lookup returns the parsed header of the pinned node n, parsing and
+// caching it when absent or stale. The parse is cheap enough to run under
+// the cache lock.
+func (c *viewCache) lookup(n node) viewMeta {
 	v := n.frame.Version()
 	id := n.id()
 	c.mu.Lock()
 	if el, ok := c.m[id]; ok {
 		ce := el.Value.(*cacheEntry)
-		if ce.d.version == v {
+		if ce.m.version == v {
 			c.lru.MoveToFront(el)
+			m := ce.m
 			c.mu.Unlock()
 			c.hits.Add(1)
-			return ce.d
+			return m
 		}
-		c.invalidations.Add(1)
-	} else {
-		c.misses.Add(1)
-	}
-	c.mu.Unlock()
-	// Decode outside the lock: the page bytes are pinned by the caller and
-	// the decode is immutable, so a concurrent lookup of the same id at
-	// worst duplicates the work and the last insert wins.
-	d := decodeNode(n, v)
-	c.mu.Lock()
-	if el, ok := c.m[id]; ok {
-		el.Value.(*cacheEntry).d = d
+		m := parseMeta(n.data, v)
+		ce.m = m
 		c.lru.MoveToFront(el)
-	} else {
-		for len(c.m) >= c.cap {
-			c.evictLocked()
-		}
-		c.m[id] = c.lru.PushFront(&cacheEntry{id: id, d: d})
+		c.mu.Unlock()
+		c.invalidations.Add(1)
+		return m
 	}
+	m := parseMeta(n.data, v)
+	for len(c.m) >= c.cap {
+		c.evictLocked()
+	}
+	c.m[id] = c.lru.PushFront(&cacheEntry{id: id, m: m})
 	c.mu.Unlock()
-	return d
+	c.misses.Add(1)
+	return m
 }
 
 // evictLocked drops one entry: it walks up to evictScan entries from the
@@ -156,7 +128,7 @@ func (c *nodeCache) lookup(n node) *decodedNode {
 // scan is exhausted) the true tail goes. Resident takes the page's pool
 // shard lock, so the ordering here is cache mutex → shard mutex; the
 // pool never calls back into the btree layer, so the order cannot invert.
-func (c *nodeCache) evictLocked() {
+func (c *viewCache) evictLocked() {
 	var victim *list.Element
 	if c.pool != nil {
 		el := c.lru.Back()
@@ -179,7 +151,7 @@ func (c *nodeCache) evictLocked() {
 	c.evictions.Add(1)
 }
 
-func (c *nodeCache) stats() DecodeStats {
+func (c *viewCache) stats() DecodeStats {
 	c.mu.Lock()
 	resident := len(c.m)
 	c.mu.Unlock()
@@ -190,25 +162,4 @@ func (c *nodeCache) stats() DecodeStats {
 		Evictions:     c.evictions.Load(),
 		Resident:      uint64(resident),
 	}
-}
-
-// decodeNode parses the node's page bytes under the given version stamp.
-func decodeNode(n node, version uint64) *decodedNode {
-	d := &decodedNode{version: version, leaf: n.isLeaf()}
-	if d.leaf {
-		d.entries = n.entries()
-		d.handicaps = n.handicaps()
-		d.next = n.next()
-		d.prev = n.prev()
-		return d
-	}
-	c := n.count()
-	d.seps = make([]Entry, c)
-	d.children = make([]pagestore.PageID, c+1)
-	d.children[0] = n.child(0)
-	for i := 0; i < c; i++ {
-		d.seps[i] = n.sep(i)
-		d.children[i+1] = n.child(i + 1)
-	}
-	return d
 }

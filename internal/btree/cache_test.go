@@ -84,8 +84,8 @@ func TestDirtiedPageStaleDecodeNeverServed(t *testing.T) {
 	}
 	seen := math.Inf(1)
 	err := tr.VisitLeavesAsc(math.Inf(-1), func(lv LeafView) bool {
-		if lv.Handicaps[0] < seen {
-			seen = lv.Handicaps[0]
+		if lv.Handicap(0) < seen {
+			seen = lv.Handicap(0)
 		}
 		return true
 	})
@@ -216,7 +216,7 @@ func TestDecodeCacheCapacityBound(t *testing.T) {
 		t.Fatalf("tiny cache never evicted: %+v", st)
 	}
 	if n := len(tr.cache.m); n > 4 {
-		t.Fatalf("cache holds %d decodes, cap 4", n)
+		t.Fatalf("cache holds %d parses, cap 4", n)
 	}
 }
 
@@ -305,13 +305,13 @@ func TestSweepReadaheadMatchesPlainSweep(t *testing.T) {
 		}
 		collect := func(tr *Tree) (asc, desc []Entry) {
 			if err := tr.VisitLeavesAsc(from, func(lv LeafView) bool {
-				asc = append(asc, lv.Entries...)
+				asc = lv.AppendEntries(asc)
 				return true
 			}); err != nil {
 				t.Fatal(err)
 			}
 			if err := tr.VisitLeavesDesc(from, func(lv LeafView) bool {
-				desc = append(desc, lv.Entries...)
+				desc = lv.AppendEntries(desc)
 				return true
 			}); err != nil {
 				t.Fatal(err)

@@ -8,48 +8,44 @@ import (
 	"dualcdb/internal/pagestore"
 )
 
-// LeafView is the read-only snapshot of one leaf handed to sweep callbacks:
-// its entries in key order and its handicap slot values. The slices may be
-// shared with the tree's decoded-node cache and with concurrent sweeps;
-// callers must not modify them or retain them past the callback.
-type LeafView struct {
-	Page      pagestore.PageID
-	Entries   []Entry
-	Handicaps []float64
-}
-
-// leafState snapshots a pinned leaf for a sweep: its view plus both chain
-// links, through the decoded-node cache when enabled.
-func (t *Tree) leafState(leaf node) (lv LeafView, next, prev pagestore.PageID) {
+// leafView builds the zero-copy view of a pinned leaf for a sweep,
+// routing the header parse through the view cache when enabled. The
+// returned LeafView borrows leaf's frame: the caller must not release the
+// frame until it is done with the view (sweeps call visit first, release
+// after). The meta is returned alongside so the sweep can follow the
+// chain links after the frame is gone — PageIDs are values, not borrows.
+func (t *Tree) leafView(leaf node) (LeafView, viewMeta) {
 	t.leavesVisited.Add(1)
+	var m viewMeta
 	if t.cache != nil {
-		d := t.cache.lookup(leaf)
-		return LeafView{Page: leaf.id(), Entries: d.entries, Handicaps: d.handicaps}, d.next, d.prev
+		m = t.cache.lookup(leaf)
+	} else {
+		m = parseMeta(leaf.data, leaf.frame.Version())
 	}
-	return LeafView{Page: leaf.id(), Entries: leaf.entries(), Handicaps: leaf.handicaps()},
-		leaf.next(), leaf.prev()
+	return LeafView{Page: leaf.id(), v: leaf.view(m)}, m
 }
 
 // chainNextAsc and chainNextDesc extract a leaf's forward link from its
 // raw page image for pool chain readahead; anything that is not a leaf
-// page ends the chain.
+// page of the current layout ends the chain.
 func chainNextAsc(page []byte) pagestore.PageID {
-	if len(page) < headerSize || page[0] != typeLeaf {
+	if len(page) < headerSize || page[offType] != typeLeaf || page[offLayout] != layoutVersion {
 		return pagestore.InvalidPage
 	}
-	return pagestore.PageID(binary.LittleEndian.Uint32(page[4:8]))
+	return pagestore.PageID(binary.LittleEndian.Uint32(page[offNext : offNext+4]))
 }
 
 func chainNextDesc(page []byte) pagestore.PageID {
-	if len(page) < headerSize || page[0] != typeLeaf {
+	if len(page) < headerSize || page[offType] != typeLeaf || page[offLayout] != layoutVersion {
 		return pagestore.InvalidPage
 	}
-	return pagestore.PageID(binary.LittleEndian.Uint32(page[8:12]))
+	return pagestore.PageID(binary.LittleEndian.Uint32(page[offPrev : offPrev+4]))
 }
 
 // nextLeafTracked pins the sweep's next leaf. With Config.Readahead > 1
 // the pool speculatively batch-reads the upcoming sibling run in the sweep
-// direction (dir = +1 ascending, −1 descending).
+// direction (dir = +1 ascending, −1 descending), along chain links it has
+// learned from prior sweeps where known.
 func (t *Tree) nextLeafTracked(id pagestore.PageID, dir int, rc *pagestore.ReadCounter) (node, error) {
 	if t.cfg.Readahead > 1 {
 		next := chainNextAsc
@@ -68,7 +64,8 @@ func (t *Tree) nextLeafTracked(id pagestore.PageID, dir int, rc *pagestore.ReadC
 // VisitLeavesAsc visits leaves in ascending key order starting at the leaf
 // that owns key `from` (with the smallest TID), continuing while visit
 // returns true. This is the paper's upward leaf sweep; each visited leaf
-// costs one page access.
+// costs one page access. The LeafView passed to visit is valid only for
+// the duration of the call — its frame is released when visit returns.
 func (t *Tree) VisitLeavesAsc(from float64, visit func(LeafView) bool) error {
 	return t.VisitLeavesAscTracked(from, nil, visit)
 }
@@ -82,12 +79,16 @@ func (t *Tree) VisitLeavesAscTracked(from float64, rc *pagestore.ReadCounter, vi
 		return err
 	}
 	for {
-		lv, next, _ := t.leafState(leaf)
+		lv, m := t.leafView(leaf)
+		if t.cfg.Readahead > 1 {
+			t.pool.NoteChainLink(leaf.id(), m.next, +1)
+		}
+		more := visit(lv)
 		leaf.release()
-		if !visit(lv) || next == pagestore.InvalidPage {
+		if !more || m.next == pagestore.InvalidPage {
 			return nil
 		}
-		if leaf, err = t.nextLeafTracked(next, +1, rc); err != nil {
+		if leaf, err = t.nextLeafTracked(m.next, +1, rc); err != nil {
 			return err
 		}
 	}
@@ -95,6 +96,7 @@ func (t *Tree) VisitLeavesAscTracked(from float64, rc *pagestore.ReadCounter, vi
 
 // VisitLeavesDesc visits leaves in descending key order starting at the
 // leaf that owns key `from` (with the largest TID) — the downward sweep.
+// The LeafView lifetime rule of VisitLeavesAsc applies.
 func (t *Tree) VisitLeavesDesc(from float64, visit func(LeafView) bool) error {
 	return t.VisitLeavesDescTracked(from, nil, visit)
 }
@@ -107,12 +109,16 @@ func (t *Tree) VisitLeavesDescTracked(from float64, rc *pagestore.ReadCounter, v
 		return err
 	}
 	for {
-		lv, _, prev := t.leafState(leaf)
+		lv, m := t.leafView(leaf)
+		if t.cfg.Readahead > 1 {
+			t.pool.NoteChainLink(leaf.id(), m.prev, -1)
+		}
+		more := visit(lv)
 		leaf.release()
-		if !visit(lv) || prev == pagestore.InvalidPage {
+		if !more || m.prev == pagestore.InvalidPage {
 			return nil
 		}
-		if leaf, err = t.nextLeafTracked(prev, -1, rc); err != nil {
+		if leaf, err = t.nextLeafTracked(m.prev, -1, rc); err != nil {
 			return err
 		}
 	}
@@ -121,32 +127,27 @@ func (t *Tree) VisitLeavesDescTracked(from float64, rc *pagestore.ReadCounter, v
 // AscendRange calls fn for every entry with from ≤ key ≤ to in ascending
 // order; fn returning false stops the scan.
 func (t *Tree) AscendRange(from, to float64, fn func(Entry) bool) error {
-	stop := false
-	err := t.VisitLeavesAsc(from, func(lv LeafView) bool {
-		for _, e := range lv.Entries {
-			if e.Key < from {
+	return t.VisitLeavesAsc(from, func(lv LeafView) bool {
+		for i, n := 0, lv.Len(); i < n; i++ {
+			if lv.Key(i) < from {
 				continue
 			}
-			if e.Key > to {
-				stop = true
+			if lv.Key(i) > to {
 				return false
 			}
-			if !fn(e) {
-				stop = true
+			if !fn(lv.Entry(i)) {
 				return false
 			}
 		}
 		return true
 	})
-	_ = stop
-	return err
 }
 
 // ScanAll returns every entry in key order (tests and rebuilds).
 func (t *Tree) ScanAll() ([]Entry, error) {
 	var out []Entry
 	err := t.VisitLeavesAsc(math.Inf(-1), func(lv LeafView) bool {
-		out = append(out, lv.Entries...)
+		out = lv.AppendEntries(out)
 		return true
 	})
 	return out, err

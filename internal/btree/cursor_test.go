@@ -15,8 +15,8 @@ func TestVisitLeavesAsc(t *testing.T) {
 	// the starting leaf) in order, and never a leaf entirely below 250.
 	var seen []float64
 	err := tr.VisitLeavesAsc(250, func(lv LeafView) bool {
-		for _, e := range lv.Entries {
-			seen = append(seen, e.Key)
+		for i := 0; i < lv.Len(); i++ {
+			seen = append(seen, lv.Key(i))
 		}
 		return true
 	})
@@ -48,8 +48,8 @@ func TestVisitLeavesDesc(t *testing.T) {
 	}
 	var seen []float64
 	err := tr.VisitLeavesDesc(250, func(lv LeafView) bool {
-		for i := len(lv.Entries) - 1; i >= 0; i-- {
-			seen = append(seen, lv.Entries[i].Key)
+		for i := lv.Len() - 1; i >= 0; i-- {
+			seen = append(seen, lv.Key(i))
 		}
 		return true
 	})
@@ -118,8 +118,8 @@ func TestHandicapIdentityAndMerge(t *testing.T) {
 	}
 	// Fresh slots must hold identities.
 	err := tr.VisitLeavesAsc(math.Inf(-1), func(lv LeafView) bool {
-		if !math.IsInf(lv.Handicaps[0], 1) || !math.IsInf(lv.Handicaps[1], -1) {
-			t.Fatalf("handicaps not identity: %v", lv.Handicaps)
+		if !math.IsInf(lv.Handicap(0), 1) || !math.IsInf(lv.Handicap(1), -1) {
+			t.Fatalf("handicaps not identity: (%v, %v)", lv.Handicap(0), lv.Handicap(1))
 		}
 		return true
 	})
@@ -141,14 +141,14 @@ func TestHandicapIdentityAndMerge(t *testing.T) {
 	}
 	found := false
 	_ = tr.VisitLeavesAsc(50, func(lv LeafView) bool {
-		for _, e := range lv.Entries {
-			if e.Key == 50 {
+		for i := 0; i < lv.Len(); i++ {
+			if lv.Key(i) == 50 {
 				found = true
-				if lv.Handicaps[0] != 7.5 {
-					t.Fatalf("min slot = %v, want 7.5", lv.Handicaps[0])
+				if lv.Handicap(0) != 7.5 {
+					t.Fatalf("min slot = %v, want 7.5", lv.Handicap(0))
 				}
-				if lv.Handicaps[1] != 3.0 {
-					t.Fatalf("max slot = %v, want 3.0", lv.Handicaps[1])
+				if lv.Handicap(1) != 3.0 {
+					t.Fatalf("max slot = %v, want 3.0", lv.Handicap(1))
 				}
 			}
 		}
@@ -176,7 +176,7 @@ func TestHandicapSurvivesSplitsConservatively(t *testing.T) {
 	}
 	var got float64 = math.Inf(1)
 	_ = tr.VisitLeavesAsc(25, func(lv LeafView) bool {
-		got = lv.Handicaps[0]
+		got = lv.Handicap(0)
 		return false
 	})
 	if got > 1.25 {
@@ -203,8 +203,8 @@ func TestHandicapMergeOnLeafMerge(t *testing.T) {
 	// The surviving single leaf must hold the conservative min of all
 	// merged handicaps.
 	_ = tr.VisitLeavesAsc(math.Inf(-1), func(lv LeafView) bool {
-		if lv.Handicaps[0] > 2 {
-			t.Fatalf("merged handicap = %v, want ≤ 2", lv.Handicaps[0])
+		if lv.Handicap(0) > 2 {
+			t.Fatalf("merged handicap = %v, want ≤ 2", lv.Handicap(0))
 		}
 		return false
 	})
@@ -221,8 +221,8 @@ func TestResetHandicaps(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = tr.VisitLeavesAsc(math.Inf(-1), func(lv LeafView) bool {
-		if !math.IsInf(lv.Handicaps[0], 1) || !math.IsInf(lv.Handicaps[1], -1) {
-			t.Fatalf("reset failed: %v", lv.Handicaps)
+		if !math.IsInf(lv.Handicap(0), 1) || !math.IsInf(lv.Handicap(1), -1) {
+			t.Fatalf("reset failed: (%v, %v)", lv.Handicap(0), lv.Handicap(1))
 		}
 		return true
 	})
@@ -243,7 +243,7 @@ func TestSweepIOCost(t *testing.T) {
 	leaves := 0
 	_ = tr.VisitLeavesAsc(4000, func(lv LeafView) bool {
 		leaves++
-		return lv.Entries[len(lv.Entries)-1].Key < 4999
+		return lv.Key(lv.Len()-1) < 4999
 	})
 	st := pool.Stats()
 	maxIO := uint64(leaves + tr.Height())

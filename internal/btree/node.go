@@ -6,7 +6,9 @@
 // (Section 4.2).
 //
 // Pages are managed through pagestore.Pool, so every traversal is charged
-// to the shared I/O counters that the experiment harness reports.
+// to the shared I/O counters that the experiment harness reports. Sweeps
+// read pages through nodeView (view.go) — a zero-copy overlay on the
+// pinned frame's bytes — rather than materializing entries into slices.
 package btree
 
 import (
@@ -73,23 +75,45 @@ func (k SlotKind) Combine(a, b float64) float64 {
 	return math.Max(a, b)
 }
 
-// Page layout. Every node starts with a 16-byte header:
+// Page layout (format "DCDB0002"). Every node starts with a 16-byte header
+// whose region offsets make the body self-describing — a reader slices the
+// page in place instead of re-deriving offsets from a slot count:
 //
 //	[0]     node type (1 = leaf, 2 = internal)
-//	[1:3]   count (uint16): entries in a leaf, separators in an internal node
-//	[3]     number of handicap slots (leaves only)
-//	[4:8]   next leaf page id (leaves only)
-//	[8:12]  prev leaf page id (leaves only)
-//	[12:16] reserved
+//	[1]     layout version (currently 1)
+//	[2:4]   count (uint16): entries in a leaf, separators in an internal node
+//	[4:6]   hOff (uint16): offset of the handicap region (leaves) or of the
+//	        leftmost child pointer (internal nodes); today always 16
+//	[6:8]   eOff (uint16): offset of the entry region (leaves: hOff + 8·H,
+//	        so H = (eOff−hOff)/8) or of the separator records (internal: 20)
+//	[8:12]  next leaf page id (leaves only)
+//	[12:16] prev leaf page id (leaves only)
 //
-// Leaf body:     H × 8-byte handicap floats, then count × 12-byte entries.
-// Internal body: child0 (4 bytes), then count × (sepKey 8, sepTID 4, child 4).
+// Leaf body:     handicap region at hOff (H × 8-byte floats), entry region
+//
+//	at eOff (count × 12-byte entries: key 8, tid 4).
+//
+// Internal body: child0 (4 bytes) at hOff, then count × 16-byte separator
+//
+//	records (sepKey 8, sepTID 4, rightChild 4) at eOff.
+//
+// All regions are fixed-width and offset-addressed, so nodeView (view.go)
+// reads any field with one bounds-checked load off the pinned frame.
 const (
-	headerSize   = 16
-	entrySize    = 12
-	intRecSize   = 16
-	typeLeaf     = 1
-	typeInternal = 2
+	headerSize    = 16
+	entrySize     = 12
+	intRecSize    = 16
+	typeLeaf      = 1
+	typeInternal  = 2
+	layoutVersion = 1
+
+	offType   = 0
+	offLayout = 1
+	offCount  = 2
+	offHOff   = 4
+	offEOff   = 6
+	offNext   = 8
+	offPrev   = 12
 )
 
 type node struct {
@@ -100,19 +124,23 @@ type node struct {
 func wrap(f *pagestore.Frame) node { return node{frame: f, data: f.Data()} }
 
 func (n node) id() pagestore.PageID { return n.frame.ID() }
-func (n node) isLeaf() bool         { return n.data[0] == typeLeaf }
-func (n node) count() int           { return int(binary.LittleEndian.Uint16(n.data[1:3])) }
+func (n node) isLeaf() bool         { return n.data[offType] == typeLeaf }
+func (n node) count() int           { return int(binary.LittleEndian.Uint16(n.data[offCount : offCount+2])) }
 func (n node) setCount(c int) {
-	binary.LittleEndian.PutUint16(n.data[1:3], uint16(c))
+	binary.LittleEndian.PutUint16(n.data[offCount:offCount+2], uint16(c))
 	n.frame.MarkDirty()
 }
-func (n node) release() { n.frame.Release() }
+func (n node) hOff() int { return int(binary.LittleEndian.Uint16(n.data[offHOff : offHOff+2])) }
+func (n node) eOff() int { return int(binary.LittleEndian.Uint16(n.data[offEOff : offEOff+2])) }
+func (n node) release()  { n.frame.Release() }
 
 // --- Leaf accessors ---
 
 func (n node) initLeaf(numHandicaps int, kinds []SlotKind) {
-	n.data[0] = typeLeaf
-	n.data[3] = byte(numHandicaps)
+	n.data[offType] = typeLeaf
+	n.data[offLayout] = layoutVersion
+	binary.LittleEndian.PutUint16(n.data[offHOff:offHOff+2], uint16(headerSize))
+	binary.LittleEndian.PutUint16(n.data[offEOff:offEOff+2], uint16(headerSize+8*numHandicaps))
 	n.setCount(0)
 	n.setNext(pagestore.InvalidPage)
 	n.setPrev(pagestore.InvalidPage)
@@ -122,41 +150,34 @@ func (n node) initLeaf(numHandicaps int, kinds []SlotKind) {
 	n.frame.MarkDirty()
 }
 
-func (n node) numHandicaps() int { return int(n.data[3]) }
+func (n node) numHandicaps() int { return (n.eOff() - n.hOff()) / 8 }
 
 func (n node) next() pagestore.PageID {
-	return pagestore.PageID(binary.LittleEndian.Uint32(n.data[4:8]))
+	return pagestore.PageID(binary.LittleEndian.Uint32(n.data[offNext : offNext+4]))
 }
 func (n node) setNext(p pagestore.PageID) {
-	binary.LittleEndian.PutUint32(n.data[4:8], uint32(p))
+	binary.LittleEndian.PutUint32(n.data[offNext:offNext+4], uint32(p))
 	n.frame.MarkDirty()
 }
 func (n node) prev() pagestore.PageID {
-	return pagestore.PageID(binary.LittleEndian.Uint32(n.data[8:12]))
+	return pagestore.PageID(binary.LittleEndian.Uint32(n.data[offPrev : offPrev+4]))
 }
 func (n node) setPrev(p pagestore.PageID) {
-	binary.LittleEndian.PutUint32(n.data[8:12], uint32(p))
+	binary.LittleEndian.PutUint32(n.data[offPrev:offPrev+4], uint32(p))
 	n.frame.MarkDirty()
 }
 
 func (n node) handicap(i int) float64 {
-	off := headerSize + i*8
+	off := n.hOff() + i*8
 	return math.Float64frombits(binary.LittleEndian.Uint64(n.data[off : off+8]))
 }
 func (n node) setHandicap(i int, v float64) {
-	off := headerSize + i*8
+	off := n.hOff() + i*8
 	binary.LittleEndian.PutUint64(n.data[off:off+8], math.Float64bits(v))
 	n.frame.MarkDirty()
 }
-func (n node) handicaps() []float64 {
-	h := make([]float64, n.numHandicaps())
-	for i := range h {
-		h[i] = n.handicap(i)
-	}
-	return h
-}
 
-func (n node) entriesOff() int { return headerSize + n.numHandicaps()*8 }
+func (n node) entriesOff() int { return n.eOff() }
 
 func (n node) entry(i int) Entry {
 	off := n.entriesOff() + i*entrySize
@@ -190,16 +211,6 @@ func (n node) removeEntryAt(i int) {
 	n.setCount(c - 1)
 }
 
-// entries returns a copy of all entries.
-func (n node) entries() []Entry {
-	c := n.count()
-	out := make([]Entry, c)
-	for i := 0; i < c; i++ {
-		out[i] = n.entry(i)
-	}
-	return out
-}
-
 // searchLeaf returns the first position whose entry is ≥ e.
 func (n node) searchLeaf(e Entry) int {
 	lo, hi := 0, n.count()
@@ -217,32 +228,36 @@ func (n node) searchLeaf(e Entry) int {
 // --- Internal-node accessors ---
 
 func (n node) initInternal() {
-	n.data[0] = typeInternal
-	n.data[3] = 0
+	n.data[offType] = typeInternal
+	n.data[offLayout] = layoutVersion
+	binary.LittleEndian.PutUint16(n.data[offHOff:offHOff+2], uint16(headerSize))
+	binary.LittleEndian.PutUint16(n.data[offEOff:offEOff+2], uint16(headerSize+4))
 	n.setCount(0)
 	n.frame.MarkDirty()
 }
 
 func (n node) child(i int) pagestore.PageID {
 	if i == 0 {
-		return pagestore.PageID(binary.LittleEndian.Uint32(n.data[headerSize : headerSize+4]))
+		h := n.hOff()
+		return pagestore.PageID(binary.LittleEndian.Uint32(n.data[h : h+4]))
 	}
-	off := headerSize + 4 + (i-1)*intRecSize + 12
+	off := n.eOff() + (i-1)*intRecSize + 12
 	return pagestore.PageID(binary.LittleEndian.Uint32(n.data[off : off+4]))
 }
 
 func (n node) setChild(i int, p pagestore.PageID) {
 	if i == 0 {
-		binary.LittleEndian.PutUint32(n.data[headerSize:headerSize+4], uint32(p))
+		h := n.hOff()
+		binary.LittleEndian.PutUint32(n.data[h:h+4], uint32(p))
 	} else {
-		off := headerSize + 4 + (i-1)*intRecSize + 12
+		off := n.eOff() + (i-1)*intRecSize + 12
 		binary.LittleEndian.PutUint32(n.data[off:off+4], uint32(p))
 	}
 	n.frame.MarkDirty()
 }
 
 func (n node) sep(i int) Entry {
-	off := headerSize + 4 + i*intRecSize
+	off := n.eOff() + i*intRecSize
 	return Entry{
 		Key: math.Float64frombits(binary.LittleEndian.Uint64(n.data[off : off+8])),
 		TID: binary.LittleEndian.Uint32(n.data[off+8 : off+12]),
@@ -250,7 +265,7 @@ func (n node) sep(i int) Entry {
 }
 
 func (n node) setSep(i int, e Entry) {
-	off := headerSize + 4 + i*intRecSize
+	off := n.eOff() + i*intRecSize
 	binary.LittleEndian.PutUint64(n.data[off:off+8], math.Float64bits(e.Key))
 	binary.LittleEndian.PutUint32(n.data[off+8:off+12], e.TID)
 	n.frame.MarkDirty()
@@ -259,7 +274,7 @@ func (n node) setSep(i int, e Entry) {
 // insertSepAt inserts separator e with right child rc at separator slot i.
 func (n node) insertSepAt(i int, e Entry, rc pagestore.PageID) {
 	c := n.count()
-	base := headerSize + 4
+	base := n.eOff()
 	copy(n.data[base+(i+1)*intRecSize:base+(c+1)*intRecSize], n.data[base+i*intRecSize:base+c*intRecSize])
 	n.setSep(i, e)
 	n.setChild(i+1, rc)
@@ -269,7 +284,7 @@ func (n node) insertSepAt(i int, e Entry, rc pagestore.PageID) {
 // removeSepAt removes separator i together with its right child pointer.
 func (n node) removeSepAt(i int) {
 	c := n.count()
-	base := headerSize + 4
+	base := n.eOff()
 	copy(n.data[base+i*intRecSize:base+(c-1)*intRecSize], n.data[base+(i+1)*intRecSize:base+c*intRecSize])
 	n.setCount(c - 1)
 }

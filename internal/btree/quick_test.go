@@ -95,15 +95,15 @@ func TestQuickSweepOrder(t *testing.T) {
 		}
 		var asc []Entry
 		if err := tr.VisitLeavesAsc(math.Inf(-1), func(lv LeafView) bool {
-			asc = append(asc, lv.Entries...)
+			asc = lv.AppendEntries(asc)
 			return true
 		}); err != nil {
 			return false
 		}
 		var desc []Entry
 		if err := tr.VisitLeavesDesc(math.Inf(1), func(lv LeafView) bool {
-			for i := len(lv.Entries) - 1; i >= 0; i-- {
-				desc = append(desc, lv.Entries[i])
+			for i := lv.Len() - 1; i >= 0; i-- {
+				desc = append(desc, lv.Entry(i))
 			}
 			return true
 		}); err != nil {

@@ -17,11 +17,12 @@ type Config struct {
 	// FillFactor is the target leaf occupancy for bulk loading, in (0, 1];
 	// the default is 0.9.
 	FillFactor float64
-	// NoDecodeCache disables the decoded-node cache, so every visit
-	// re-parses page bytes into fresh slices (the historical behavior;
-	// useful as a benchmark baseline).
+	// NoDecodeCache disables the view-meta cache, so every visit re-parses
+	// the page header (useful as a benchmark baseline; the name predates
+	// the zero-copy layout, under which no visit materializes slices
+	// either way).
 	NoDecodeCache bool
-	// DecodeCacheNodes bounds the number of decoded nodes kept per tree;
+	// DecodeCacheNodes bounds the number of parsed headers kept per tree;
 	// ≤ 0 selects the default 4096.
 	DecodeCacheNodes int
 	// Readahead is the number of sibling leaves fetched per vectored chain
@@ -46,9 +47,9 @@ type Tree struct {
 	// the merge runs, so Delete frees them after the recursion unwinds.
 	pendingFree []pagestore.PageID
 
-	// cache holds decoded pages, validated against frame version stamps;
-	// nil when Config.NoDecodeCache is set.
-	cache *nodeCache
+	// cache holds parsed page headers (view metadata), validated against
+	// frame version stamps; nil when Config.NoDecodeCache is set.
+	cache *viewCache
 
 	// Traversal counters (atomics: sweeps run concurrently). descents
 	// counts root-to-leaf searches, leavesVisited the leaves snapshotted
@@ -76,7 +77,7 @@ func New(pool *pagestore.Pool, cfg Config) (*Tree, error) {
 	}
 	t := &Tree{pool: pool, cfg: cfg}
 	if !cfg.NoDecodeCache {
-		t.cache = newNodeCache(cfg.DecodeCacheNodes, pool)
+		t.cache = newViewCache(cfg.DecodeCacheNodes, pool)
 	}
 	ps := pool.PageSize()
 	t.leafCap = (ps - headerSize - 8*len(cfg.HandicapKinds)) / entrySize
@@ -138,7 +139,7 @@ func Restore(pool *pagestore.Pool, cfg Config, m Meta) (*Tree, error) {
 	}
 	t := &Tree{pool: pool, cfg: cfg, root: m.Root, hgt: m.Height, size: m.Size, pages: m.Pages}
 	if !cfg.NoDecodeCache {
-		t.cache = newNodeCache(cfg.DecodeCacheNodes, pool)
+		t.cache = newViewCache(cfg.DecodeCacheNodes, pool)
 	}
 	ps := pool.PageSize()
 	t.leafCap = (ps - headerSize - 8*len(cfg.HandicapKinds)) / entrySize
@@ -211,8 +212,9 @@ func (t *Tree) findLeaf(e Entry) (node, error) {
 }
 
 // findLeafTracked is findLeaf with the descent's page reads charged to rc.
-// Internal nodes are routed through the decoded-node cache when enabled,
-// so repeated descents stop re-parsing separator bytes.
+// Internal nodes are routed through the view cache when enabled, so
+// repeated descents skip the header parse; the separator search itself
+// always reads the pinned page bytes in place.
 func (t *Tree) findLeafTracked(e Entry, rc *pagestore.ReadCounter) (node, error) {
 	t.descents.Add(1)
 	n, err := t.getTracked(t.root, rc)
@@ -222,8 +224,8 @@ func (t *Tree) findLeafTracked(e Entry, rc *pagestore.ReadCounter) (node, error)
 	for !n.isLeaf() {
 		var child pagestore.PageID
 		if t.cache != nil {
-			d := t.cache.lookup(n)
-			child = d.children[d.childIndex(e)]
+			v := n.view(t.cache.lookup(n))
+			child = v.child(v.childIndex(e))
 		} else {
 			child = n.child(n.childIndex(e))
 		}
@@ -235,8 +237,8 @@ func (t *Tree) findLeafTracked(e Entry, rc *pagestore.ReadCounter) (node, error)
 	return n, nil
 }
 
-// DecodeCacheStats returns the decoded-node cache counters (zero when the
-// cache is disabled).
+// DecodeCacheStats returns the view-meta cache counters (zero when the
+// cache is disabled). The name predates the zero-copy layout.
 func (t *Tree) DecodeCacheStats() DecodeStats {
 	if t.cache == nil {
 		return DecodeStats{}

@@ -1,0 +1,218 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"dualcdb/internal/pagestore"
+)
+
+// viewMeta is the parsed header of one page: everything a zero-copy reader
+// needs that is not a per-record field. It is a small value type — caching
+// it (see viewCache) costs no heap slices, unlike the old decodedNode.
+type viewMeta struct {
+	version    uint64
+	next, prev pagestore.PageID
+	count      uint16
+	hOff, eOff uint16
+	leaf       bool
+}
+
+// parseMeta reads a page header under the given frame version stamp.
+func parseMeta(data []byte, version uint64) viewMeta {
+	return viewMeta{
+		version: version,
+		next:    pagestore.PageID(binary.LittleEndian.Uint32(data[offNext : offNext+4])),
+		prev:    pagestore.PageID(binary.LittleEndian.Uint32(data[offPrev : offPrev+4])),
+		count:   binary.LittleEndian.Uint16(data[offCount : offCount+2]),
+		hOff:    binary.LittleEndian.Uint16(data[offHOff : offHOff+2]),
+		eOff:    binary.LittleEndian.Uint16(data[offEOff : offEOff+2]),
+		leaf:    data[offType] == typeLeaf,
+	}
+}
+
+// nodeView is a zero-copy reader over a pinned page: the parsed header
+// plus the frame's byte slice, addressed in place through the header's
+// region offsets. Constructing one allocates nothing; every accessor
+// compiles to a bounds-checked load off the page buffer.
+//
+// A view BORROWS the frame it was built from. It is valid only while that
+// pin is held: Release hands the frame back to the pool, which recycles
+// the buffer for other pages, so a view used after its frame's Release
+// reads another page's bytes. The dualvet pinleak analyzer machine-checks
+// this lifecycle (a view must not be used after, or escape past, its
+// frame's release); EnableViewGuard adds a runtime check for tests.
+type nodeView struct {
+	frame *pagestore.Frame
+	data  []byte
+	page  pagestore.PageID
+	meta  viewMeta
+}
+
+// view overlays a parsed header onto the pinned node n. All view
+// construction funnels through here (and through Tree.leafView), which is
+// what lets the borrow analyzer tie each view to the frame it borrows.
+func (n node) view(m viewMeta) nodeView {
+	return nodeView{frame: n.frame, data: n.data, page: n.frame.ID(), meta: m}
+}
+
+// viewGuard enables the runtime borrow check on every LeafView accessor.
+// Off by default: the guard costs one atomic load per accessor, and the
+// static analyzer is the primary enforcement.
+var viewGuard atomic.Bool
+
+// EnableViewGuard switches the runtime view-borrow guard on or off
+// (process-wide). With the guard on, reading a LeafView after its backing
+// frame was released — or after the frame was recycled for another page —
+// panics instead of silently returning another page's bytes. Tests use
+// this to pin down the failure mode the static checker prevents.
+func EnableViewGuard(on bool) { viewGuard.Store(on) }
+
+// check panics when the view's borrow has ended: the frame is gone,
+// unpinned, recycled for a different page, or mutated past the version
+// the view was parsed under.
+func (v nodeView) check() {
+	if v.frame == nil || !v.frame.Pinned() || v.frame.ID() != v.page || v.frame.Version() != v.meta.version {
+		panic(fmt.Sprintf("btree: view of page %d used after its frame was released", v.page))
+	}
+}
+
+func (v nodeView) len() int { return int(v.meta.count) }
+
+func (v nodeView) key(i int) float64 {
+	off := int(v.meta.eOff) + i*entrySize
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.data[off : off+8]))
+}
+
+func (v nodeView) tid(i int) uint32 {
+	off := int(v.meta.eOff) + i*entrySize
+	return binary.LittleEndian.Uint32(v.data[off+8 : off+12])
+}
+
+func (v nodeView) entry(i int) Entry {
+	off := int(v.meta.eOff) + i*entrySize
+	return Entry{
+		Key: math.Float64frombits(binary.LittleEndian.Uint64(v.data[off : off+8])),
+		TID: binary.LittleEndian.Uint32(v.data[off+8 : off+12]),
+	}
+}
+
+func (v nodeView) numHandicaps() int { return int(v.meta.eOff-v.meta.hOff) / 8 }
+
+func (v nodeView) handicap(i int) float64 {
+	off := int(v.meta.hOff) + i*8
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.data[off : off+8]))
+}
+
+func (v nodeView) child(i int) pagestore.PageID {
+	if i == 0 {
+		h := int(v.meta.hOff)
+		return pagestore.PageID(binary.LittleEndian.Uint32(v.data[h : h+4]))
+	}
+	off := int(v.meta.eOff) + (i-1)*intRecSize + 12
+	return pagestore.PageID(binary.LittleEndian.Uint32(v.data[off : off+4]))
+}
+
+func (v nodeView) sep(i int) Entry {
+	off := int(v.meta.eOff) + i*intRecSize
+	return Entry{
+		Key: math.Float64frombits(binary.LittleEndian.Uint64(v.data[off : off+8])),
+		TID: binary.LittleEndian.Uint32(v.data[off+8 : off+12]),
+	}
+}
+
+// childIndex mirrors node.childIndex through the view.
+func (v nodeView) childIndex(e Entry) int {
+	lo, hi := 0, v.len()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.Less(v.sep(mid)) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// LeafView is the zero-copy window onto one leaf handed to sweep
+// callbacks: accessors read the pinned page bytes in place, so a sweep
+// that touches every key allocates nothing. The view borrows the leaf's
+// frame and is valid only for the duration of the callback — the sweep
+// releases the frame when the callback returns, after which the buffer
+// may be recycled for a different page. Callers must not retain a
+// LeafView (or anything derived from its bytes without copying) past the
+// callback; AppendEntries is the sanctioned way to copy entries out.
+type LeafView struct {
+	Page pagestore.PageID
+	v    nodeView
+}
+
+// Len returns the number of entries in the leaf.
+func (lv LeafView) Len() int {
+	if viewGuard.Load() {
+		lv.v.check()
+	}
+	return lv.v.len()
+}
+
+// Entry returns entry i in composite key order.
+func (lv LeafView) Entry(i int) Entry {
+	if viewGuard.Load() {
+		lv.v.check()
+	}
+	return lv.v.entry(i)
+}
+
+// Key returns entry i's key without decoding its tuple id.
+func (lv LeafView) Key(i int) float64 {
+	if viewGuard.Load() {
+		lv.v.check()
+	}
+	return lv.v.key(i)
+}
+
+// TID returns entry i's tuple id without decoding its key.
+func (lv LeafView) TID(i int) uint32 {
+	if viewGuard.Load() {
+		lv.v.check()
+	}
+	return lv.v.tid(i)
+}
+
+// NumHandicaps returns the number of handicap slots stored on the leaf.
+func (lv LeafView) NumHandicaps() int {
+	if viewGuard.Load() {
+		lv.v.check()
+	}
+	return lv.v.numHandicaps()
+}
+
+// Handicap returns the value of handicap slot `slot`.
+func (lv LeafView) Handicap(slot int) float64 {
+	if viewGuard.Load() {
+		lv.v.check()
+	}
+	return lv.v.handicap(slot)
+}
+
+// AppendEntries appends the leaf's entries to dst and returns it — the
+// copy-out primitive for callers that need the entries to outlive the
+// sweep callback.
+func (lv LeafView) AppendEntries(dst []Entry) []Entry {
+	if viewGuard.Load() {
+		lv.v.check()
+	}
+	n := lv.v.len()
+	if cap(dst)-len(dst) < n {
+		grown := make([]Entry, len(dst), len(dst)+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, lv.v.entry(i))
+	}
+	return dst
+}

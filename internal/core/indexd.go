@@ -552,9 +552,9 @@ func (ix *IndexD) runRestrictedD(i int, q constraint.Query, ec *execCtx) (Result
 	if q.SweepsUp() {
 		err = tr.VisitLeavesAscTracked(b, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
-			for _, e := range lv.Entries {
-				if e.Key >= b-geom.Eps {
-					cands = append(cands, e.TID)
+			for i, n := 0, lv.Len(); i < n; i++ {
+				if lv.Key(i) >= b-geom.Eps {
+					cands = append(cands, lv.TID(i))
 				}
 			}
 			return true
@@ -562,9 +562,9 @@ func (ix *IndexD) runRestrictedD(i int, q constraint.Query, ec *execCtx) (Result
 	} else {
 		err = tr.VisitLeavesDescTracked(b, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
-			for _, e := range lv.Entries {
-				if e.Key <= b+geom.Eps {
-					cands = append(cands, e.TID)
+			for i, n := 0, lv.Len(); i < n; i++ {
+				if lv.Key(i) <= b+geom.Eps {
+					cands = append(cands, lv.TID(i))
 				}
 			}
 			return true
@@ -588,12 +588,12 @@ func (ix *IndexD) runT2D(i int, q constraint.Query, ec *execCtx) (Result, error)
 		sw := ec.span(obs.StageSweep)
 		err := tr.VisitLeavesAscTracked(b, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
-			if h := lv.Handicaps[slotDLow]; h < low {
+			if h := lv.Handicap(slotDLow); h < low {
 				low = h
 			}
-			for _, e := range lv.Entries {
-				if e.Key >= b {
-					cands = append(cands, e.TID)
+			for i, n := 0, lv.Len(); i < n; i++ {
+				if lv.Key(i) >= b {
+					cands = append(cands, lv.TID(i))
 				}
 			}
 			return true
@@ -608,15 +608,15 @@ func (ix *IndexD) runT2D(i int, q constraint.Query, ec *execCtx) (Result, error)
 			err = tr.VisitLeavesDescTracked(b, ec.rc, func(lv btree.LeafView) bool {
 				st.LeavesSwept++
 				done := false
-				for _, e := range lv.Entries {
-					if e.Key >= b {
+				for i, n := 0, lv.Len(); i < n; i++ {
+					if lv.Key(i) >= b {
 						continue
 					}
-					if e.Key < low {
+					if lv.Key(i) < low {
 						done = true
 						continue
 					}
-					cands = append(cands, e.TID)
+					cands = append(cands, lv.TID(i))
 				}
 				return !done
 			})
@@ -630,12 +630,12 @@ func (ix *IndexD) runT2D(i int, q constraint.Query, ec *execCtx) (Result, error)
 		sw := ec.span(obs.StageSweep)
 		err := tr.VisitLeavesDescTracked(b, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
-			if h := lv.Handicaps[slotDHigh]; h > high {
+			if h := lv.Handicap(slotDHigh); h > high {
 				high = h
 			}
-			for _, e := range lv.Entries {
-				if e.Key <= b {
-					cands = append(cands, e.TID)
+			for i, n := 0, lv.Len(); i < n; i++ {
+				if lv.Key(i) <= b {
+					cands = append(cands, lv.TID(i))
 				}
 			}
 			return true
@@ -650,15 +650,15 @@ func (ix *IndexD) runT2D(i int, q constraint.Query, ec *execCtx) (Result, error)
 			err = tr.VisitLeavesAscTracked(b, ec.rc, func(lv btree.LeafView) bool {
 				st.LeavesSwept++
 				done := false
-				for _, e := range lv.Entries {
-					if e.Key <= b {
+				for i, n := 0, lv.Len(); i < n; i++ {
+					if lv.Key(i) <= b {
 						continue
 					}
-					if e.Key > high {
+					if lv.Key(i) > high {
 						done = true
 						continue
 					}
-					cands = append(cands, e.TID)
+					cands = append(cands, lv.TID(i))
 				}
 				return !done
 			})

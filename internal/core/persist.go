@@ -24,7 +24,9 @@ import (
 // reattaches the trees.
 
 const (
-	catalogMagic   = "DCDB0001"
+	// DCDB0002: flat node layout with self-describing header offsets
+	// (btree/node.go); DCDB0001 pages are not readable.
+	catalogMagic   = "DCDB0002"
 	catalogPage    = pagestore.PageID(1)
 	maxPersistK    = 23 // catalog page capacity bound at 1 KiB pages (incl. vertical pair)
 	chainHeaderLen = 4  // next-page pointer

@@ -228,9 +228,9 @@ func (ix *Index) collectRestricted(i int, q constraint.Query, st *QueryStats, rc
 	if q.SweepsUp() {
 		err = tr.VisitLeavesAscTracked(b-geom.Eps, rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
-			for _, e := range lv.Entries {
-				if e.Key >= b-geom.Eps {
-					cands = append(cands, e.TID)
+			for i, n := 0, lv.Len(); i < n; i++ {
+				if lv.Key(i) >= b-geom.Eps {
+					cands = append(cands, lv.TID(i))
 				}
 			}
 			return true
@@ -238,9 +238,9 @@ func (ix *Index) collectRestricted(i int, q constraint.Query, st *QueryStats, rc
 	} else {
 		err = tr.VisitLeavesDescTracked(b+geom.Eps, rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
-			for _, e := range lv.Entries {
-				if e.Key <= b+geom.Eps {
-					cands = append(cands, e.TID)
+			for i, n := 0, lv.Len(); i < n; i++ {
+				if lv.Key(i) <= b+geom.Eps {
+					cands = append(cands, lv.TID(i))
 				}
 			}
 			return true
@@ -416,12 +416,12 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 		sw := ec.span(obs.StageSweep)
 		err := tr.VisitLeavesAscTracked(b-geom.Eps, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
-			if h := lv.Handicaps[slot]; h < low {
+			if h := lv.Handicap(slot); h < low {
 				low = h
 			}
-			for _, e := range lv.Entries {
-				if e.Key >= b-geom.Eps {
-					cands = append(cands, e.TID)
+			for i, n := 0, lv.Len(); i < n; i++ {
+				if lv.Key(i) >= b-geom.Eps {
+					cands = append(cands, lv.TID(i))
 				}
 			}
 			return true
@@ -439,15 +439,15 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 			err = tr.VisitLeavesDescTracked(b, ec.rc, func(lv btree.LeafView) bool {
 				st.LeavesSwept++
 				done := false
-				for _, e := range lv.Entries {
-					if e.Key >= b-geom.Eps {
+				for i, n := 0, lv.Len(); i < n; i++ {
+					if lv.Key(i) >= b-geom.Eps {
 						continue
 					}
-					if e.Key < low-geom.Eps {
+					if lv.Key(i) < low-geom.Eps {
 						done = true
 						continue
 					}
-					cands = append(cands, e.TID)
+					cands = append(cands, lv.TID(i))
 				}
 				return !done
 			})
@@ -465,12 +465,12 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 		sw := ec.span(obs.StageSweep)
 		err := tr.VisitLeavesDescTracked(b+geom.Eps, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
-			if h := lv.Handicaps[slot]; h > high {
+			if h := lv.Handicap(slot); h > high {
 				high = h
 			}
-			for _, e := range lv.Entries {
-				if e.Key <= b+geom.Eps {
-					cands = append(cands, e.TID)
+			for i, n := 0, lv.Len(); i < n; i++ {
+				if lv.Key(i) <= b+geom.Eps {
+					cands = append(cands, lv.TID(i))
 				}
 			}
 			return true
@@ -485,15 +485,15 @@ func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 			err = tr.VisitLeavesAscTracked(b, ec.rc, func(lv btree.LeafView) bool {
 				st.LeavesSwept++
 				done := false
-				for _, e := range lv.Entries {
-					if e.Key <= b+geom.Eps {
+				for i, n := 0, lv.Len(); i < n; i++ {
+					if lv.Key(i) <= b+geom.Eps {
 						continue
 					}
-					if e.Key > high+geom.Eps {
+					if lv.Key(i) > high+geom.Eps {
 						done = true
 						continue
 					}
-					cands = append(cands, e.TID)
+					cands = append(cands, lv.TID(i))
 				}
 				return !done
 			})

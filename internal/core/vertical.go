@@ -120,9 +120,9 @@ func (ix *Index) queryVertical(kind constraint.QueryKind, op geom.Op, c float64,
 	if op == geom.GE {
 		err = tr.VisitLeavesAscTracked(c-geom.Eps, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
-			for _, e := range lv.Entries {
-				if e.Key >= c-geom.Eps {
-					cands = append(cands, e.TID)
+			for i, n := 0, lv.Len(); i < n; i++ {
+				if lv.Key(i) >= c-geom.Eps {
+					cands = append(cands, lv.TID(i))
 				}
 			}
 			return true
@@ -130,9 +130,9 @@ func (ix *Index) queryVertical(kind constraint.QueryKind, op geom.Op, c float64,
 	} else {
 		err = tr.VisitLeavesDescTracked(c+geom.Eps, ec.rc, func(lv btree.LeafView) bool {
 			st.LeavesSwept++
-			for _, e := range lv.Entries {
-				if e.Key <= c+geom.Eps {
-					cands = append(cands, e.TID)
+			for i, n := 0, lv.Len(); i < n; i++ {
+				if lv.Key(i) <= c+geom.Eps {
+					cands = append(cands, lv.TID(i))
 				}
 			}
 			return true

@@ -1,7 +1,6 @@
 package pagestore
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"runtime"
@@ -54,13 +53,34 @@ type ReadCounter struct {
 //
 // Eviction is a midpoint-insertion LRU (young/old sublists per shard): a
 // page enters the young region on first use and is tenured into the old
-// region only on a second pin, so a single long leaf sweep cannot evict
-// the hot inner nodes that every query re-touches. PoolOptions.PlainLRU
-// restores the historical single-list order for comparison.
+// region only on a later pin spaced at least tenureAge distinct-page
+// accesses after its first one, so neither a single long leaf sweep nor a
+// tight re-pin loop can evict the hot inner nodes that every query
+// re-touches. PoolOptions.PlainLRU restores the historical single-list
+// order for comparison.
+//
+// Evicted frames (struct and page buffer alike) are recycled through a
+// per-shard freelist, so a steady-state miss/evict cycle — the cold-sweep
+// read path — allocates nothing. Recycling is what makes the view borrow
+// discipline strict: a []byte view over a frame's buffer observes the
+// *next* occupant's bytes once the frame is released and reused, which is
+// why views must never outlive their frame's Release (machine-checked by
+// the dualvet pinleak analyzer, and at runtime by the btree view guard).
 type Pool struct {
 	store  Store
 	shards []*poolShard
 	shift  uint // 32 - log2(len(shards)); hash>>shift indexes the shard
+
+	// Leaf-chain link hints learned from swept pages, keyed by direction.
+	// GetChainTracked batches along these exact links when known and only
+	// falls back to contiguity speculation past the last learned link, so
+	// readahead keeps paying after split churn scatters a chain across
+	// non-adjacent ids. Advisory only: a stale hint costs one wasted
+	// speculative read, never a wrong admission (admission still requires
+	// chain confirmation from the demanded page's own links).
+	hintMu    sync.Mutex
+	hintsAsc  map[PageID]PageID
+	hintsDesc map[PageID]PageID
 
 	logicalReads     atomic.Uint64
 	physicalReads    atomic.Uint64
@@ -73,22 +93,41 @@ type Pool struct {
 	oldEvictions     atomic.Uint64
 }
 
+// maxChainHints bounds the per-direction hint maps; when full, the map is
+// reset rather than grown (hints are advisory and re-learned in one sweep).
+const maxChainHints = 1 << 15
+
 // poolShard is one independently locked slice of the pool. Its eviction
-// state is two LRU lists of resident PageIDs: young holds pages seen once,
-// old holds pages pinned at least twice ("tenured"). Every frame keeps its
-// list element for its whole residency — pinning leaves it in place and
-// releasing moves it to the front, so the steady-state pin/release cycle
-// allocates nothing. Victims come from the first unpinned frame off the
-// young tail, then the old tail; the old region is capped at oldCap
-// frames, beyond which its tail is demoted back to young. oldCap == 0
-// selects the plain single-list LRU (everything stays young, no tenuring).
+// state is two intrusive LRU lists of resident frames: young holds pages
+// seen once, old holds pages tenured by an age-spaced repeat pin. A frame
+// stays in place while pinned and moves to the front of its list on
+// release, so the steady-state pin/release cycle allocates nothing.
+// Victims come from the first unpinned frame off the young tail, then the
+// old tail; the old region is capped at oldCap frames, beyond which its
+// tail is demoted back to young. oldCap == 0 selects the plain single-list
+// LRU (everything stays young, no tenuring).
 type poolShard struct {
-	mu       sync.Mutex
-	capacity int
-	oldCap   int
-	frames   map[PageID]*Frame
-	young    *list.List // of PageID, most-recently released at front
-	old      *list.List // of PageID, most-recently released at front
+	mu        sync.Mutex
+	capacity  int
+	oldCap    int
+	tenureAge uint64
+	frames    map[PageID]*Frame
+	young     frameList // most-recently released at front
+	old       frameList
+
+	// tick is the shard's access clock: it advances on each pin or fetch of
+	// a page different from the immediately preceding one, so a tight
+	// re-pin loop on one page cannot age that page. Tenure requires the
+	// re-pin to arrive at least tenureAge ticks after the frame's first
+	// access (InnoDB-style), which keeps both scans and busy loops out of
+	// the old region.
+	tick       uint64
+	lastPinned PageID
+
+	// free recycles evicted frames (chained through lruNext) together with
+	// their page buffers; bounded by capacity.
+	free  *Frame
+	freeN int
 
 	// versions seeds Frame.version across evictions: dropLocked saves the
 	// frame's stamp here and the next fetch of the same id resumes from it,
@@ -104,16 +143,22 @@ const (
 )
 
 // Frame is a pinned page in the buffer pool. Callers must Release it when
-// done and MarkDirty after mutating Data.
+// done and MarkDirty after mutating Data. After Release the frame — and
+// its Data buffer — may be recycled for a different page at any time, so
+// no slice of Data may be retained past the Release.
 type Frame struct {
 	shard *poolShard
 	id    PageID
 	data  []byte
-	pins  int // guarded by shard.mu
 
-	elem     *list.Element // position in the shard's young/old list; guarded by shard.mu
-	region   uint8         // guarded by shard.mu
-	prefetch bool          // guarded by shard.mu; admitted by readahead, not yet demanded
+	// pins is written only under shard.mu but read lock-free by Pinned,
+	// the runtime anchor of the view borrow guard.
+	pins atomic.Int32
+
+	lruPrev, lruNext *Frame // intrusive young/old list links; guarded by shard.mu
+	region           uint8  // guarded by shard.mu
+	prefetch         bool   // guarded by shard.mu; admitted by readahead, not yet demanded
+	firstTick        uint64 // shard tick at first access; guarded by shard.mu
 
 	// dirty and version are atomics because MarkDirty is called while
 	// pinned without the shard lock, potentially concurrently with another
@@ -122,9 +167,59 @@ type Frame struct {
 	version atomic.Uint64
 }
 
+// frameList is an intrusive doubly linked list of frames: front is the
+// most-recently released end, back the eviction end. Intrusive links keep
+// the pin/release/evict cycle free of container allocations.
+type frameList struct {
+	head, tail *Frame
+	n          int
+}
+
+func (l *frameList) pushFront(f *Frame) {
+	f.lruPrev = nil
+	f.lruNext = l.head
+	if l.head != nil {
+		l.head.lruPrev = f
+	} else {
+		l.tail = f
+	}
+	l.head = f
+	l.n++
+}
+
+func (l *frameList) remove(f *Frame) {
+	if f.lruPrev != nil {
+		f.lruPrev.lruNext = f.lruNext
+	} else {
+		l.head = f.lruNext
+	}
+	if f.lruNext != nil {
+		f.lruNext.lruPrev = f.lruPrev
+	} else {
+		l.tail = f.lruPrev
+	}
+	f.lruPrev, f.lruNext = nil, nil
+	l.n--
+}
+
+func (l *frameList) moveToFront(f *Frame) {
+	if l.head == f {
+		return
+	}
+	l.remove(f)
+	l.pushFront(f)
+}
+
+func (l *frameList) back() *Frame { return l.tail }
+func (l *frameList) len() int     { return l.n }
+
 // ErrPoolFull is returned when every frame of the page's shard is pinned
 // and a new page is requested.
 var ErrPoolFull = errors.New("pagestore: all buffer frames pinned")
+
+// defaultTenureAge is the distinct-page access spacing a repeat pin needs
+// before it tenures a young frame into the old region.
+const defaultTenureAge = 8
 
 // PoolOptions configures a buffer pool beyond the store and capacity.
 type PoolOptions struct {
@@ -140,6 +235,12 @@ type PoolOptions struct {
 	// OldFraction is the fraction of each shard's capacity reserved for
 	// the old (tenured) region, in (0,1); 0 selects the default 5/8.
 	OldFraction float64
+	// TenureAge is the minimum number of distinct-page accesses (per
+	// shard) between a frame's first access and the repeat pin that
+	// tenures it into the old region. 0 selects the default (8); a
+	// negative value tenures on any repeat pin (the historical behavior,
+	// vulnerable to tight re-pin loops).
+	TenureAge int
 }
 
 // NewPool creates a single-shard buffer pool with the given frame capacity
@@ -183,15 +284,26 @@ func NewPoolWithOptions(store Store, opt PoolOptions) *Pool {
 	if opt.PlainLRU {
 		oldCap = 0
 	}
-	p := &Pool{store: store, shards: make([]*poolShard, n), shift: 32 - log2(n)}
+	age := uint64(defaultTenureAge)
+	if opt.TenureAge > 0 {
+		age = uint64(opt.TenureAge)
+	} else if opt.TenureAge < 0 {
+		age = 0
+	}
+	p := &Pool{
+		store:     store,
+		shards:    make([]*poolShard, n),
+		shift:     32 - log2(n),
+		hintsAsc:  make(map[PageID]PageID),
+		hintsDesc: make(map[PageID]PageID),
+	}
 	for i := range p.shards {
 		p.shards[i] = &poolShard{
-			capacity: per,
-			oldCap:   oldCap,
-			frames:   make(map[PageID]*Frame),
-			young:    list.New(),
-			old:      list.New(),
-			versions: make(map[PageID]uint64),
+			capacity:  per,
+			oldCap:    oldCap,
+			tenureAge: age,
+			frames:    make(map[PageID]*Frame),
+			versions:  make(map[PageID]uint64),
 		}
 	}
 	return p
@@ -235,10 +347,10 @@ func (p *Pool) PageSize() int { return p.store.PageSize() }
 // Resident reports whether id currently holds a frame in the pool,
 // without faulting it in, pinning it or touching the eviction lists. The
 // answer is advisory — a concurrent Get or eviction can change it right
-// after the shard unlocks — which suits its caller, the decoded-node
-// cache's eviction policy: a decode whose backing page has already left
-// the pool is a cheap victim, and a stale answer only costs one
-// re-decode.
+// after the shard unlocks — which suits its caller, the btree view-meta
+// cache's eviction policy: a cached parse whose backing page has already
+// left the pool is a cheap victim, and a stale answer only costs one
+// re-parse.
 func (p *Pool) Resident(id PageID) bool {
 	if id == InvalidPage {
 		return false
@@ -281,16 +393,16 @@ func (p *Pool) getPinned(id PageID, rc *ReadCounter) (*Frame, error) {
 	if err := sh.ensureRoomLocked(p); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, p.store.PageSize())
-	if err := p.store.ReadPage(id, buf); err != nil {
+	f := sh.takeFrameLocked(p.store.PageSize())
+	if err := p.store.ReadPage(id, f.data); err != nil {
+		sh.recycleLocked(f)
 		return nil, err
 	}
 	p.physicalReads.Add(1)
 	if rc != nil {
 		rc.Physical.Add(1)
 	}
-	f := sh.newFrameLocked(id, buf, 1)
-	sh.frames[id] = f
+	sh.installLocked(f, id, 1)
 	return f, nil
 }
 
@@ -299,15 +411,87 @@ func (p *Pool) getPinned(id PageID, rc *ReadCounter) (*Frame, error) {
 // node or the chain ends there. It must not retain or mutate the page.
 type ChainNextFunc func(page []byte) PageID
 
+// NoteChainLink records that page id's successor in sweep direction dir
+// (+1 ascending, −1 descending) is next — a sibling link observed in an
+// already-decoded chain page. GetChainTracked batches future reads along
+// these learned links instead of guessing contiguity, so readahead keeps
+// batching after splits scatter a chain. Stale links are harmless: a
+// mis-batched page fails chain confirmation and is simply not admitted.
+func (p *Pool) NoteChainLink(id, next PageID, dir int) {
+	if id == InvalidPage || next == InvalidPage || id == next || dir == 0 {
+		return
+	}
+	hints := p.hintsAsc
+	if dir < 0 {
+		hints = p.hintsDesc
+	}
+	p.hintMu.Lock()
+	if len(hints) >= maxChainHints {
+		if _, ok := hints[id]; !ok {
+			clear(hints)
+		}
+	}
+	hints[id] = next
+	p.hintMu.Unlock()
+}
+
+// chainIDs assembles the speculative batch for a chain read starting at
+// id: first along learned links, then contiguously past the last known
+// one. The result has no duplicates and always starts with id.
+func (p *Pool) chainIDs(id PageID, lookahead, dir int) []PageID {
+	ids := make([]PageID, 1, lookahead)
+	ids[0] = id
+	contains := func(q PageID) bool {
+		for _, x := range ids {
+			if x == q {
+				return true
+			}
+		}
+		return false
+	}
+	hints := p.hintsAsc
+	if dir < 0 {
+		hints = p.hintsDesc
+	}
+	p.hintMu.Lock()
+	cur := id
+	for len(ids) < lookahead {
+		h, ok := hints[cur]
+		if !ok || contains(h) {
+			break
+		}
+		ids = append(ids, h)
+		cur = h
+	}
+	p.hintMu.Unlock()
+	for len(ids) < lookahead {
+		q := ids[len(ids)-1]
+		if dir > 0 {
+			q++
+		} else {
+			if q <= 1 {
+				break
+			}
+			q--
+		}
+		if contains(q) {
+			break
+		}
+		ids = append(ids, q)
+	}
+	return ids
+}
+
 // GetChainTracked is GetTracked for sweeps along a linked page chain: on a
-// miss it speculatively reads up to lookahead pages at consecutive ids in
-// the sweep direction (dir = +1 ascending, −1 descending) with one
-// vectored store read, then admits only the pages the chain itself
-// confirms — it walks next() through the fetched images starting from the
-// demanded page, and a true chain node's link always points at the next
-// true chain node, so an unrelated page that merely sits at a neighbouring
-// id is discarded unread. Bulk-loaded leaf chains sit on consecutive ids,
-// so the speculation almost always pays off there.
+// miss it speculatively reads up to lookahead pages — along previously
+// learned chain links where known (see NoteChainLink), contiguously in the
+// sweep direction past them — with one vectored store read, then admits
+// only the pages the chain itself confirms: it walks next() through the
+// fetched images starting from the demanded page, and a true chain node's
+// link always points at the next true chain node, so an unrelated page
+// that merely sits at a guessed id is discarded unread. Confirmed links
+// are fed back into the hint maps, so the first sweep over a churned chain
+// teaches the batches for every later sweep in either direction.
 //
 // Every admitted page is counted as a PhysicalRead (charged to rc), which
 // keeps per-query I/O totals for a full sweep identical to the
@@ -335,22 +519,9 @@ func (p *Pool) GetChainTracked(id PageID, lookahead, dir int, next ChainNextFunc
 	}
 	sh.mu.Unlock()
 
-	// Speculative batch read of the contiguous id run, without holding any
-	// shard lock across the I/O.
-	ids := make([]PageID, 1, lookahead)
-	ids[0] = id
-	for len(ids) < lookahead {
-		q := ids[len(ids)-1]
-		if dir > 0 {
-			q++
-		} else {
-			if q <= 1 {
-				break
-			}
-			q--
-		}
-		ids = append(ids, q)
-	}
+	// Speculative batch read, without holding any shard lock across the
+	// I/O.
+	ids := p.chainIDs(id, lookahead, dir)
 	ps := p.store.PageSize()
 	raw := make([]byte, len(ids)*ps)
 	bufs := make([][]byte, len(ids))
@@ -370,19 +541,32 @@ func (p *Pool) GetChainTracked(id PageID, lookahead, dir int, next ChainNextFunc
 	// Walk the chain inside the fetched prefix. sel collects confirmed
 	// batch positions in chain order, always starting with the demanded
 	// page at position 0. The walk must strictly advance through the batch
-	// (d > k), which also rules out link cycles.
+	// (pos > k), which also rules out link cycles.
+	pos := func(nid PageID, after int) int {
+		for j := after + 1; j < n; j++ {
+			if ids[j] == nid {
+				return j
+			}
+		}
+		return -1
+	}
 	sel := make([]int, 1, n)
 	for k := 0; ; {
 		nid := next(bufs[k])
 		if nid == InvalidPage {
 			break
 		}
-		d := int((int64(nid) - int64(id)) * int64(dir))
-		if d <= k || d >= n {
+		d := pos(nid, k)
+		if d < 0 {
 			break
 		}
 		k = d
 		sel = append(sel, k)
+	}
+	// Teach the hint maps every confirmed link, including the one past the
+	// batch's end.
+	for _, j := range sel {
+		p.NoteChainLink(ids[j], next(bufs[j]), dir)
 	}
 
 	var out *Frame
@@ -412,9 +596,10 @@ func (p *Pool) GetChainTracked(id PageID, lookahead, dir int, next ChainNextFunc
 		if j == 0 {
 			pins = 1
 		}
-		f := shj.newFrameLocked(pid, bufs[j], pins)
+		f := shj.takeFrameLocked(ps)
+		copy(f.data, bufs[j])
+		shj.installLocked(f, pid, pins)
 		f.prefetch = j != 0
-		shj.frames[pid] = f
 		shj.mu.Unlock()
 		p.physicalReads.Add(1)
 		if rc != nil {
@@ -433,14 +618,62 @@ func (p *Pool) GetChainTracked(id PageID, lookahead, dir int, next ChainNextFunc
 	return out, nil
 }
 
-// newFrameLocked creates a frame for id, resuming its version stamp from
-// the shard's persisted map and placing it at the front of the young
-// list, where it stays for its whole residency. Callers hold sh.mu.
-func (sh *poolShard) newFrameLocked(id PageID, data []byte, pins int) *Frame {
-	f := &Frame{shard: sh, id: id, data: data, pins: pins, region: regionYoung}
-	f.elem = sh.young.PushFront(id)
+// takeFrameLocked pops a recycled frame off the shard's freelist — buffer
+// and all — or allocates a fresh one. Callers hold sh.mu.
+func (sh *poolShard) takeFrameLocked(pageSize int) *Frame {
+	if f := sh.free; f != nil {
+		sh.free = f.lruNext
+		sh.freeN--
+		f.lruNext = nil
+		return f
+	}
+	return &Frame{shard: sh, data: make([]byte, pageSize)}
+}
+
+// recycleLocked pushes a frame (not in any list or map) onto the freelist,
+// clearing its identity so nothing can mistake it for a live page. The
+// freelist is bounded by the shard capacity; overflow is left to the GC.
+func (sh *poolShard) recycleLocked(f *Frame) {
+	if sh.freeN >= sh.capacity {
+		return
+	}
+	f.id = 0
+	f.pins.Store(0)
+	f.region = regionYoung
+	f.prefetch = false
+	f.firstTick = 0
+	f.dirty.Store(false)
+	f.version.Store(0)
+	f.lruPrev = nil
+	f.lruNext = sh.free
+	sh.free = f
+	sh.freeN++
+}
+
+// installLocked registers a frame (fresh or recycled, its data already
+// holding the page image) for id: version resumes from the shard's
+// persisted map, the frame enters the front of the young list, and the
+// shard's access clock advances. Callers hold sh.mu.
+func (sh *poolShard) installLocked(f *Frame, id PageID, pins int) {
+	sh.touchLocked(id)
+	f.id = id
+	f.pins.Store(int32(pins))
+	f.region = regionYoung
+	f.prefetch = false
+	f.firstTick = sh.tick
+	f.dirty.Store(false)
 	f.version.Store(sh.versions[id])
-	return f
+	sh.young.pushFront(f)
+	sh.frames[id] = f
+}
+
+// touchLocked advances the shard's access clock for an access to id; a
+// repeat access to the immediately preceding page does not count.
+func (sh *poolShard) touchLocked(id PageID) {
+	if id != sh.lastPinned {
+		sh.tick++
+		sh.lastPinned = id
+	}
 }
 
 // NewPage allocates a fresh zeroed page and returns it pinned and dirty.
@@ -458,14 +691,15 @@ func (p *Pool) NewPage() (*Frame, error) {
 		return nil, err
 	}
 	p.allocs.Add(1)
-	f := sh.newFrameLocked(id, make([]byte, p.store.PageSize()), 1)
+	f := sh.takeFrameLocked(p.store.PageSize())
+	clear(f.data)
+	sh.installLocked(f, id, 1)
 	// A reused page id starts a new life: advance past any version a stale
 	// decode of the previous occupant could be keyed under.
 	v := sh.versions[id] + 1
 	sh.versions[id] = v
 	f.version.Store(v)
 	f.dirty.Store(true)
-	sh.frames[id] = f
 	return f, nil
 }
 
@@ -475,11 +709,11 @@ func (p *Pool) FreePage(id PageID) error {
 	sh := p.shardOf(id)
 	sh.mu.Lock()
 	if f, ok := sh.frames[id]; ok {
-		if f.pins > 0 {
+		if f.pins.Load() > 0 {
 			sh.mu.Unlock()
 			return fmt.Errorf("pagestore: freeing pinned page %d", id)
 		}
-		sh.dropLocked(id)
+		sh.dropLocked(f)
 	}
 	// Invalidate any decoded copy keyed under the page's last version.
 	sh.versions[id]++
@@ -488,35 +722,38 @@ func (p *Pool) FreePage(id PageID) error {
 	return p.store.Free(id)
 }
 
-// pinLocked pins an in-shard frame. The frame keeps its list element; a
-// repeat pin tenures it into the old region — except the first demand pin
-// of a readahead page, which is the read the prefetch anticipated, not
-// evidence of reuse.
+// pinLocked pins an in-shard frame. The frame keeps its list position; a
+// repeat pin tenures it into the old region only when spaced at least
+// tenureAge distinct-page accesses after the frame's first one — except
+// the first demand pin of a readahead page, which is the read the
+// prefetch anticipated, not evidence of reuse.
 func (sh *poolShard) pinLocked(f *Frame) {
-	f.pins++
+	sh.touchLocked(f.id)
+	f.pins.Add(1)
 	if f.prefetch {
 		f.prefetch = false
-	} else if f.region == regionYoung && sh.oldCap > 0 {
+		f.firstTick = sh.tick
+	} else if f.region == regionYoung && sh.oldCap > 0 && sh.tick-f.firstTick >= sh.tenureAge {
 		f.region = regionOld
-		sh.young.Remove(f.elem)
-		f.elem = sh.old.PushFront(f.id)
+		sh.young.remove(f)
+		sh.old.pushFront(f)
 		sh.rebalanceLocked()
 	}
 }
 
 // listFor returns the eviction list the frame belongs to when unpinned.
-func (sh *poolShard) listFor(f *Frame) *list.List {
+func (sh *poolShard) listFor(f *Frame) *frameList {
 	if f.region == regionOld {
-		return sh.old
+		return &sh.old
 	}
-	return sh.young
+	return &sh.young
 }
 
 // victimLocked returns the least-recently released unpinned frame of a
 // list, or nil if every frame in it is pinned.
-func (sh *poolShard) victimLocked(l *list.List) *Frame {
-	for el := l.Back(); el != nil; el = el.Prev() {
-		if f := sh.frames[el.Value.(PageID)]; f.pins == 0 {
+func (sh *poolShard) victimLocked(l *frameList) *Frame {
+	for f := l.back(); f != nil; f = f.lruPrev {
+		if f.pins.Load() == 0 {
 			return f
 		}
 	}
@@ -530,24 +767,23 @@ func (sh *poolShard) ensureRoomLocked(p *Pool) error {
 	if len(sh.frames) < sh.capacity {
 		return nil
 	}
-	f := sh.victimLocked(sh.young)
+	f := sh.victimLocked(&sh.young)
 	fromOld := false
 	if f == nil {
-		f = sh.victimLocked(sh.old)
+		f = sh.victimLocked(&sh.old)
 		fromOld = true
 	}
 	if f == nil {
 		return ErrPoolFull
 	}
-	id := f.id
 	if f.dirty.Load() {
-		if err := p.store.WritePage(id, f.data); err != nil {
+		if err := p.store.WritePage(f.id, f.data); err != nil {
 			return err
 		}
 		p.writes.Add(1)
 		f.dirty.Store(false)
 	}
-	sh.dropLocked(id)
+	sh.dropLocked(f)
 	if fromOld {
 		p.oldEvictions.Add(1)
 	} else {
@@ -556,29 +792,25 @@ func (sh *poolShard) ensureRoomLocked(p *Pool) error {
 	return nil
 }
 
-func (sh *poolShard) dropLocked(id PageID) {
-	f, ok := sh.frames[id]
-	if !ok {
-		return
-	}
-	sh.listFor(f).Remove(f.elem)
-	f.elem = nil
-	// Persist the version stamp so a later re-read of this id resumes
-	// where the frame left off instead of restarting at zero.
-	sh.versions[id] = f.version.Load()
-	delete(sh.frames, id)
+// dropLocked removes a resident frame from its list and the frame table,
+// persists its version stamp so a later re-read of the id resumes where
+// the frame left off, and recycles the frame through the freelist.
+func (sh *poolShard) dropLocked(f *Frame) {
+	sh.listFor(f).remove(f)
+	sh.versions[f.id] = f.version.Load()
+	delete(sh.frames, f.id)
+	sh.recycleLocked(f)
 }
 
 // rebalanceLocked demotes the old region's tail back into the young
 // region while the old region exceeds its cap, keeping a bounded share of
 // the shard for tenured pages.
 func (sh *poolShard) rebalanceLocked() {
-	for sh.oldCap > 0 && sh.old.Len() > sh.oldCap {
-		el := sh.old.Back()
-		f := sh.frames[el.Value.(PageID)]
-		sh.old.Remove(el)
+	for sh.oldCap > 0 && sh.old.len() > sh.oldCap {
+		f := sh.old.back()
+		sh.old.remove(f)
 		f.region = regionYoung
-		f.elem = sh.young.PushFront(f.id)
+		sh.young.pushFront(f)
 	}
 }
 
@@ -603,11 +835,13 @@ func (p *Pool) Flush() error {
 
 // EvictAll flushes and drops every unpinned frame — a "cold cache" reset so
 // the next query's PhysicalReads counts each touched page exactly once.
+// Dropped frames land on the shard freelists, so the refill after an
+// EvictAll reuses their buffers instead of allocating.
 func (p *Pool) EvictAll() error {
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		for id, f := range sh.frames {
-			if f.pins > 0 {
+			if f.pins.Load() > 0 {
 				continue
 			}
 			if f.dirty.Load() {
@@ -618,7 +852,7 @@ func (p *Pool) EvictAll() error {
 				p.writes.Add(1)
 				f.dirty.Store(false)
 			}
-			sh.dropLocked(id)
+			sh.dropLocked(f)
 		}
 		sh.mu.Unlock()
 	}
@@ -663,10 +897,10 @@ func (p *Pool) Residency() Residency {
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		r.Frames += len(sh.frames)
-		r.Young += sh.young.Len()
-		r.Old += sh.old.Len()
+		r.Young += sh.young.len()
+		r.Old += sh.old.len()
 		for _, f := range sh.frames {
-			if f.pins > 0 {
+			if f.pins.Load() > 0 {
 				r.Pinned++
 			}
 		}
@@ -693,7 +927,15 @@ func (p *Pool) ResetStats() {
 func (f *Frame) ID() PageID { return f.id }
 
 // Data returns the page bytes; mutate only while pinned and call MarkDirty.
+// No slice of the returned buffer may outlive the frame's Release: the
+// buffer is recycled for other pages once the frame is evicted.
 func (f *Frame) Data() []byte { return f.data }
+
+// Pinned reports whether the frame currently holds at least one pin. It
+// reads the pin count without the shard lock, so the answer is advisory
+// under concurrency — exactly what the btree view guard needs: a view
+// whose frame reports Pinned()==false has certainly outlived its borrow.
+func (f *Frame) Pinned() bool { return f.pins.Load() > 0 }
 
 // MarkDirty records that the page bytes changed and advances the page's
 // version stamp, invalidating any decoded copy keyed under the old stamp.
@@ -709,16 +951,16 @@ func (f *Frame) MarkDirty() {
 // pinned frame still reports the version it was decoded under.
 func (f *Frame) Version() uint64 { return f.version.Load() }
 
-// Release unpins the frame. Unpinned frames become eviction candidates.
+// Release unpins the frame. Unpinned frames become eviction candidates,
+// and any view over the frame's bytes dies with the pin.
 func (f *Frame) Release() {
 	sh := f.shard
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if f.pins == 0 {
+	if f.pins.Load() == 0 {
 		panic(fmt.Sprintf("pagestore: over-release of page %d", f.id))
 	}
-	f.pins--
-	if f.pins == 0 {
-		sh.listFor(f).MoveToFront(f.elem)
+	if f.pins.Add(-1) == 0 {
+		sh.listFor(f).moveToFront(f)
 	}
 }

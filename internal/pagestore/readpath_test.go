@@ -196,16 +196,31 @@ func TestFreedPageIDGetsNewVersionOnReuse(t *testing.T) {
 	}
 }
 
-// pinTwice tenures a page into the old region: first pin on fetch, second
-// pin after a release.
-func pinTwice(t *testing.T, pool *Pool, id PageID) {
+// pinOnce fetches and releases a page.
+func pinOnce(t *testing.T, pool *Pool, id PageID) {
 	t.Helper()
-	for i := 0; i < 2; i++ {
-		f, err := pool.Get(id)
-		if err != nil {
-			t.Fatal(err)
-		}
-		f.Release()
+	f, err := pool.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+}
+
+// tenureAll ages the hot pages into the old region under the tenure
+// window: first access, then enough distinct filler accesses to satisfy
+// the age spacing, then the tenuring re-pin. The fillers must fit in the
+// pool alongside the hot pages and must not be re-pinned afterwards, or
+// they would tenure too.
+func tenureAll(t *testing.T, pool *Pool, hot, filler []PageID) {
+	t.Helper()
+	for _, id := range hot {
+		pinOnce(t, pool, id)
+	}
+	for _, id := range filler {
+		pinOnce(t, pool, id)
+	}
+	for _, id := range hot {
+		pinOnce(t, pool, id)
 	}
 }
 
@@ -219,15 +234,17 @@ func TestMidpointLRUScanResistance(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Tenure a few "inner node" pages by touching them twice.
+	// Tenure a few "inner node" pages: an aged re-pin moves them into the
+	// old region. Fillers 4..11 provide the distinct-page spacing the
+	// tenure window requires and are not touched again (a later re-pin
+	// would tenure them as well).
 	hot := []PageID{1, 2, 3}
-	for _, id := range hot {
-		pinTwice(t, pool, id)
-	}
+	filler := []PageID{4, 5, 6, 7, 8, 9, 10, 11}
+	tenureAll(t, pool, hot, filler)
 	pool.ResetStats()
 
 	// One long scan over everything else, touching each page once.
-	for id := PageID(4); id <= total; id++ {
+	for id := PageID(12); id <= total; id++ {
 		f, err := pool.Get(id)
 		if err != nil {
 			t.Fatal(err)
@@ -263,10 +280,8 @@ func TestPlainLRUScanEvictsHotPages(t *testing.T) {
 		}
 	}
 	hot := []PageID{1, 2, 3}
-	for _, id := range hot {
-		pinTwice(t, pool, id)
-	}
-	for id := PageID(4); id <= total; id++ {
+	tenureAll(t, pool, hot, []PageID{4, 5, 6, 7, 8, 9, 10, 11})
+	for id := PageID(12); id <= total; id++ {
 		f, err := pool.Get(id)
 		if err != nil {
 			t.Fatal(err)
@@ -301,12 +316,17 @@ func TestOldRegionCapDemotesToYoung(t *testing.T) {
 	}
 	// Tenure more pages than the old region can hold; rebalancing must
 	// demote the overflow instead of letting old grow to the whole shard.
-	for id := PageID(1); id <= 20; id++ {
-		pinTwice(t, pool, id)
+	// Two interleaved passes over 12 resident pages give every re-pin an
+	// age of ~12 distinct accesses, past the tenure window, without
+	// evicting anything (12 < capacity).
+	for pass := 0; pass < 2; pass++ {
+		for id := PageID(1); id <= 12; id++ {
+			pinOnce(t, pool, id)
+		}
 	}
 	sh := pool.shards[0]
 	sh.mu.Lock()
-	oldLen, youngLen, oldCap := sh.old.Len(), sh.young.Len(), sh.oldCap
+	oldLen, youngLen, oldCap := sh.old.len(), sh.young.len(), sh.oldCap
 	sh.mu.Unlock()
 	if oldLen > oldCap {
 		t.Fatalf("old region %d exceeds its cap %d", oldLen, oldCap)
@@ -502,5 +522,111 @@ func TestGetChainTrackedConcurrentSweeps(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestTenureWindowResistsTightRePinLoops pins the tenure-age fix: a page
+// re-pinned in a tight loop never accumulates distinct-page accesses, so
+// it must stay in the young region however often it is touched. A
+// negative TenureAge restores the historical tenure-on-any-re-pin
+// behavior for comparison.
+func TestTenureWindowResistsTightRePinLoops(t *testing.T) {
+	store := NewMemStore(64)
+	for i := 0; i < 8; i++ {
+		if _, err := store.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool := NewPoolWithOptions(store, PoolOptions{Capacity: 16, Shards: 1})
+	for i := 0; i < 100; i++ {
+		pinOnce(t, pool, 1)
+	}
+	sh := pool.shards[0]
+	sh.mu.Lock()
+	oldLen := sh.old.len()
+	sh.mu.Unlock()
+	if oldLen != 0 {
+		t.Fatalf("tight re-pin loop tenured %d pages; the age window should keep them young", oldLen)
+	}
+
+	legacy := NewPoolWithOptions(store, PoolOptions{Capacity: 16, Shards: 1, TenureAge: -1})
+	pinOnce(t, legacy, 1)
+	pinOnce(t, legacy, 1)
+	sh = legacy.shards[0]
+	sh.mu.Lock()
+	oldLen = sh.old.len()
+	sh.mu.Unlock()
+	if oldLen != 1 {
+		t.Fatalf("TenureAge<0 should tenure on any re-pin; old region holds %d", oldLen)
+	}
+}
+
+// TestChainHintsDriveReadaheadAfterScatter exercises hint-driven chain
+// readahead on a chain whose on-disk page order is scrambled, the state a
+// split-churned leaf level ends up in: contiguity speculation confirms
+// nothing, but the first sweep teaches the pool the real links, so the
+// second sweep batches along them — with per-sweep physical reads still
+// exactly one per chain page.
+func TestChainHintsDriveReadaheadAfterScatter(t *testing.T) {
+	store := NewMemStore(64)
+	pool := NewPoolWithOptions(store, PoolOptions{Capacity: 64, Shards: 1})
+	const n = 12
+	ids := make([]PageID, n)
+	for i := range ids {
+		id, err := store.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// Chain order visits the allocated ids far from sequentially.
+	order := []int{0, 7, 2, 9, 4, 11, 6, 1, 8, 3, 10, 5}
+	chain := make([]PageID, n)
+	for pos, idx := range order {
+		chain[pos] = ids[idx]
+	}
+	for pos, id := range chain {
+		buf := make([]byte, store.PageSize())
+		buf[0] = 1
+		var next, prev PageID
+		if pos+1 < n {
+			next = chain[pos+1]
+		}
+		if pos > 0 {
+			prev = chain[pos-1]
+		}
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(next))
+		binary.LittleEndian.PutUint32(buf[8:12], uint32(prev))
+		fillPattern(buf[16:], id)
+		if err := store.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sweep := func() Stats {
+		if err := pool.EvictAll(); err != nil {
+			t.Fatal(err)
+		}
+		pool.ResetStats()
+		for _, id := range chain {
+			f, err := pool.GetChainTracked(id, 4, +1, chainNext, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.ID() != id {
+				t.Fatalf("got page %d, want %d", f.ID(), id)
+			}
+			f.Release()
+		}
+		return pool.Stats()
+	}
+	first := sweep()
+	second := sweep()
+	if first.PhysicalReads != n || second.PhysicalReads != n {
+		t.Fatalf("physical reads per sweep = %d/%d, want %d each (paper-exact I/O)",
+			first.PhysicalReads, second.PhysicalReads, n)
+	}
+	if second.ReadaheadPages <= first.ReadaheadPages {
+		t.Fatalf("learned links did not improve batching: readahead pages %d -> %d",
+			first.ReadaheadPages, second.ReadaheadPages)
 	}
 }
