@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchsnap                # full measurement, writes BENCH_pr6.json
+//	benchsnap                # full measurement, writes BENCH_pr7.json
 //	benchsnap -quick -o out.json
 //	benchsnap -quick -gate   # also fail on regression past the PR-5 floor
 //
@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -47,7 +48,7 @@ type Row struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr6.json", "output file")
+	out := flag.String("o", "BENCH_pr7.json", "output file")
 	quick := flag.Bool("quick", false, "smaller trees (smoke run)")
 	gate := flag.Bool("gate", false, "fail on regression past the PR-5 baselines (requires -quick)")
 	flag.Parse()
@@ -258,16 +259,36 @@ func main() {
 		}
 	}
 
-	// Dualvet unit-cache ablation: the tool is invoked directly on one
-	// hand-written compilation unit — a cold run (parse, type-check, all
+	// Dualvet unit-cache ablations: the tool is invoked directly on
+	// hand-written compilation units — a cold run (parse, type-check, all
 	// analyzers) against a warm replay of the same fingerprint from
 	// DUALVET_CACHE. These rows are wall-clock process timings, not
-	// allocation profiles.
-	if cold, warm, err := dualvetTimings(tmp); err != nil {
+	// allocation profiles. The Summary unit is call-chain heavy (helper
+	// chains, mutual recursion, tuple pass-through) so the interprocedural
+	// summary fixpoint dominates; the invalidation row sweeps a scratch
+	// copy of the whole repository, edits one internal/btree file and
+	// re-sweeps, measuring how far a single-package change invalidates the
+	// vetx cache.
+	if tool, err := buildDualvet(tmp); err != nil {
 		fmt.Fprintf(os.Stderr, "benchsnap: skipping dualvet rows: %v\n", err)
 	} else {
-		add("DualvetColdUnit", nil, testing.BenchmarkResult{N: 1, T: cold})
-		add("DualvetWarmUnit", nil, testing.BenchmarkResult{N: 1, T: warm})
+		if cold, warm, err := unitTimings(tool, tmp, "benchunit", branchyUnitSrc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: skipping dualvet unit rows: %v\n", err)
+		} else {
+			add("DualvetColdUnit", nil, testing.BenchmarkResult{N: 1, T: cold})
+			add("DualvetWarmUnit", nil, testing.BenchmarkResult{N: 1, T: warm})
+		}
+		if cold, warm, err := unitTimings(tool, tmp, "summaryunit", summaryUnitSrc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: skipping dualvet summary rows: %v\n", err)
+		} else {
+			add("DualvetSummaryCold", nil, testing.BenchmarkResult{N: 1, T: cold})
+			add("DualvetSummaryWarm", nil, testing.BenchmarkResult{N: 1, T: warm})
+		}
+		if d, extra, err := dualvetInvalidation(tool, tmp); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: skipping dualvet invalidation row: %v\n", err)
+		} else {
+			add("DualvetCrossPkgInvalidate", extra, testing.BenchmarkResult{N: 1, T: d})
+		}
 	}
 
 	data, err := json.MarshalIndent(rows, "", "  ")
@@ -426,29 +447,88 @@ func randQuery(rng *rand.Rand) constraint.Query {
 	return constraint.Query2(kind, math.Tan(ang), rng.Float64()*160-80, op)
 }
 
-// dualvetTimings builds the dualvet tool, lays out a scratch compilation
-// unit and times a cold unit analysis against a warm cache replay. The
-// tool is driven through its go-vet unit protocol directly — a
-// hand-written .cfg file, exactly what the go command would pass — so
-// the measurement isolates the driver (parse, type-check, CFG/dataflow
-// analysis vs fingerprint match + diagnostic replay) from the go
-// command's own compile pipeline, which dwarfs it.
-func dualvetTimings(tmp string) (cold, warm time.Duration, err error) {
+// buildDualvet compiles the vet tool into tmp once for all dualvet rows.
+func buildDualvet(tmp string) (string, error) {
 	tool := filepath.Join(tmp, "dualvet")
 	if out, err := exec.Command("go", "build", "-o", tool, "dualcdb/cmd/dualvet").CombinedOutput(); err != nil {
-		return 0, 0, fmt.Errorf("building dualvet: %v\n%s", err, out)
+		return "", fmt.Errorf("building dualvet: %v\n%s", err, out)
 	}
+	return tool, nil
+}
 
-	// An import-free unit (so the driver needs no export data) with
-	// enough branchy control flow, float arithmetic, defers and closures
-	// that every analyzer does real CFG/dataflow work per function.
-	mod := filepath.Join(tmp, "dualvet-unit")
+// unitTimings lays out a scratch compilation unit and times a cold unit
+// analysis against a warm cache replay. The tool is driven through its
+// go-vet unit protocol directly — a hand-written .cfg file, exactly what
+// the go command would pass — so the measurement isolates the driver
+// (parse, type-check, CFG/dataflow analysis vs fingerprint match +
+// diagnostic replay) from the go command's own compile pipeline, which
+// dwarfs it.
+func unitTimings(tool, tmp, name string, srcFor func(i int) string) (cold, warm time.Duration, err error) {
+	mod := filepath.Join(tmp, name+"-unit")
 	if err := os.MkdirAll(mod, 0o777); err != nil {
 		return 0, 0, err
 	}
 	var goFiles []string
 	for i := 0; i < 128; i++ {
-		src := fmt.Sprintf(`package benchunit
+		file := filepath.Join(mod, fmt.Sprintf("f%03d.go", i))
+		if err := os.WriteFile(file, []byte(srcFor(i)), 0o666); err != nil {
+			return 0, 0, err
+		}
+		goFiles = append(goFiles, file)
+	}
+	cfg := map[string]any{
+		"ID":         name,
+		"Compiler":   "gc",
+		"Dir":        mod,
+		"ImportPath": name,
+		"GoVersion":  "go1.22",
+		"GoFiles":    goFiles,
+		"VetxOutput": filepath.Join(tmp, name+".vetx"),
+	}
+	cfgData, err := json.Marshal(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	cfgFile := filepath.Join(tmp, name+".cfg")
+	if err := os.WriteFile(cfgFile, cfgData, 0o666); err != nil {
+		return 0, 0, err
+	}
+
+	cache := filepath.Join(tmp, name+"-cache")
+	runUnit := func() (time.Duration, error) {
+		cmd := exec.Command(tool, cfgFile)
+		cmd.Env = append(os.Environ(), "DUALVET_CACHE="+cache)
+		start := time.Now()
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return 0, fmt.Errorf("dualvet unit run: %v\n%s", err, out)
+		}
+		return time.Since(start), nil
+	}
+
+	if cold, err = runUnit(); err != nil {
+		return 0, 0, err
+	}
+	// Same fingerprint, populated cache: replays. Best of three, since
+	// process startup noise dominates runs this short.
+	warm = time.Duration(math.MaxInt64)
+	for i := 0; i < 3; i++ {
+		d, err := runUnit()
+		if err != nil {
+			return 0, 0, err
+		}
+		if d < warm {
+			warm = d
+		}
+	}
+	return cold, warm, nil
+}
+
+// branchyUnitSrc is an import-free unit (so the driver needs no export
+// data) with enough branchy control flow, float arithmetic, defers and
+// closures that every analyzer does real CFG/dataflow work per function.
+func branchyUnitSrc(i int) string {
+	return fmt.Sprintf(`package benchunit
 
 type ring%[1]d struct {
 	buf  []float64
@@ -498,58 +578,145 @@ func fold%[1]d(n int, f func(int) float64) float64 {
 	return acc
 }
 `, i)
-		name := filepath.Join(mod, fmt.Sprintf("f%03d.go", i))
-		if err := os.WriteFile(name, []byte(src), 0o666); err != nil {
-			return 0, 0, err
-		}
-		goFiles = append(goFiles, name)
+}
+
+// summaryUnitSrc is a call-chain-heavy unit: three-deep helper chains,
+// an even/odd mutually recursive SCC, and tuple pass-through returns, so
+// the interprocedural summary fixpoint (call graph, per-parameter taint
+// flows, SCC iteration) is the dominant analysis cost.
+func summaryUnitSrc(i int) string {
+	return fmt.Sprintf(`package summaryunit
+
+func leaf%[1]d(x float64) float64 {
+	if x < 0 {
+		return -x
 	}
-	cfg := map[string]any{
-		"ID":         "benchunit",
-		"Compiler":   "gc",
-		"Dir":        mod,
-		"ImportPath": "benchunit",
-		"GoVersion":  "go1.22",
-		"GoFiles":    goFiles,
-		"VetxOutput": filepath.Join(tmp, "benchunit.vetx"),
+	return x
+}
+
+func mid%[1]d(x float64) float64  { return leaf%[1]d(x) + 1 }
+func high%[1]d(x float64) float64 { return mid%[1]d(x) * 0.5 }
+
+func even%[1]d(n int, x float64) float64 {
+	if n == 0 {
+		return high%[1]d(x)
 	}
-	cfgData, err := json.Marshal(cfg)
+	return odd%[1]d(n-1, x)
+}
+
+func odd%[1]d(n int, x float64) float64 {
+	if n == 0 {
+		return x
+	}
+	return even%[1]d(n-1, -x)
+}
+
+func pair%[1]d(x float64) (float64, float64) { return high%[1]d(x), x }
+
+func spread%[1]d(x float64) (float64, float64) { return pair%[1]d(high%[1]d(x)) }
+`, i)
+}
+
+// dualvetInvalidation copies the repository into a scratch dir, sweeps it
+// cold through `go vet -vettool`, appends a comment to one internal/btree
+// file and sweeps again against the same DUALVET_CACHE. The second run's
+// wall-clock and cold/warm unit split measure how far a single-package
+// edit invalidates the vetx cache: btree and its dependents go cold,
+// everything else must replay.
+func dualvetInvalidation(tool, tmp string) (time.Duration, map[string]float64, error) {
+	gomod, err := exec.Command("go", "env", "GOMOD").Output()
 	if err != nil {
-		return 0, 0, err
+		return 0, nil, err
 	}
-	cfgFile := filepath.Join(tmp, "benchunit.cfg")
-	if err := os.WriteFile(cfgFile, cfgData, 0o666); err != nil {
-		return 0, 0, err
+	root := filepath.Dir(strings.TrimSpace(string(gomod)))
+	if root == "." || root == string(filepath.Separator) {
+		return 0, nil, fmt.Errorf("not inside the dualcdb module")
+	}
+	dst := filepath.Join(tmp, "repo")
+	if err := copyTree(root, dst); err != nil {
+		return 0, nil, err
 	}
 
-	cache := filepath.Join(tmp, "dualvet-cache")
-	runUnit := func() (time.Duration, error) {
-		cmd := exec.Command(tool, cfgFile)
-		cmd.Env = append(os.Environ(), "DUALVET_CACHE="+cache)
+	cache := filepath.Join(tmp, "inv-cache")
+	sweepRepo := func(trace string) (time.Duration, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+		cmd.Dir = dst
+		cmd.Env = append(os.Environ(), "DUALVET_CACHE="+cache, "DUALVET_TRACE="+trace)
 		start := time.Now()
-		out, err := cmd.CombinedOutput()
-		if err != nil {
-			return 0, fmt.Errorf("dualvet unit run: %v\n%s", err, out)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return 0, fmt.Errorf("go vet in scratch copy: %v\n%s", err, out)
 		}
 		return time.Since(start), nil
 	}
+	if _, err := sweepRepo(filepath.Join(tmp, "inv-trace-cold")); err != nil {
+		return 0, nil, err
+	}
 
-	if cold, err = runUnit(); err != nil {
-		return 0, 0, err
+	// A comment-only edit still moves the file hash: btree's unit
+	// fingerprint changes, and with it every unit importing btree.
+	touched := filepath.Join(dst, "internal", "btree", "tree.go")
+	fh, err := os.OpenFile(touched, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		return 0, nil, err
 	}
-	// Same fingerprint, populated cache: replays. Best of three, since
-	// process startup noise dominates runs this short.
-	warm = time.Duration(math.MaxInt64)
-	for i := 0; i < 3; i++ {
-		d, err := runUnit()
+	if _, err := fh.WriteString("\n// benchsnap: invalidation probe\n"); err != nil {
+		fh.Close()
+		return 0, nil, err
+	}
+	if err := fh.Close(); err != nil {
+		return 0, nil, err
+	}
+
+	trace := filepath.Join(tmp, "inv-trace-mixed")
+	d, err := sweepRepo(trace)
+	if err != nil {
+		return 0, nil, err
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		return 0, nil, err
+	}
+	var coldN, warmN float64
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.HasPrefix(line, "cold "):
+			coldN++
+		case strings.HasPrefix(line, "warm "):
+			warmN++
+		}
+	}
+	if coldN == 0 || warmN == 0 {
+		return 0, nil, fmt.Errorf("invalidation sweep saw %g cold / %g warm units; expected a mixed replay", coldN, warmN)
+	}
+	return d, map[string]float64{"cold_units": coldN, "warm_units": warmN}, nil
+}
+
+// copyTree copies a source tree into dst, skipping .git (the scratch copy
+// only needs what go vet reads).
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
-			return 0, 0, err
+			return err
 		}
-		if d < warm {
-			warm = d
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
 		}
-	}
-	return cold, warm, nil
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o777)
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o666)
+	})
 }
 
 func fatal(err error) {

@@ -68,7 +68,10 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgpath string) {
 	if lp.err != nil {
 		t.Fatalf("loading %s: %v", pkgpath, lp.err)
 	}
-	diags, err := framework.RunPackage(fset, lp.files, lp.pkg, lp.info, []*framework.Analyzer{a})
+	// No imported summaries: golden packages exercise the interprocedural
+	// analyzers through same-package helpers (cross-package delivery is the
+	// unit driver's vetx path, covered by its own tests).
+	diags, _, err := framework.RunPackage(fset, lp.files, lp.pkg, lp.info, []*framework.Analyzer{a}, nil)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
 	}

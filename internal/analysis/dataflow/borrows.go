@@ -25,6 +25,18 @@ type BorrowSpec struct {
 	// releases recv. The engine matches the receiver against the borrow's
 	// lender paths; this predicate only inspects the call shape.
 	IsRelease func(call *ast.CallExpr) bool
+	// IsLender reports whether a type can lend views in this discipline.
+	// Only needed for summary computation; nil disables it.
+	IsLender func(t types.Type) bool
+	// ExpandLender returns additional release paths reached through a
+	// lender expression (e.g. a btree node's embedded frame: releasing
+	// n.frame kills views of n). Optional.
+	ExpandLender func(l ast.Expr) []ast.Expr
+	// Summaries resolves a callee to its borrow summary: which results are
+	// views borrowed from which parameters, and which lender parameters the
+	// callee may release. Nil, or a false return, means the callee is
+	// treated as opaque — no borrow created, no lender released.
+	Summaries func(fn *types.Func) (BorrowSummary, bool)
 }
 
 // A BorrowViolation is a read of a borrowed view at a point where its
@@ -156,6 +168,73 @@ type bwEngine struct {
 	al   *Aliases
 	// report, when non-nil, receives each dead-view read (replay phase).
 	report func(id *ast.Ident, st *bwState)
+	// onReturn, when non-nil, observes each return statement with the fact
+	// in force there (summary computation reads provenance off it).
+	onReturn func(f bwFact, n *ast.ReturnStmt)
+}
+
+// borrowOf extends the spec's Borrow classification with summarized
+// borrows: a known callee one of whose results is a view over an argument.
+func (e *bwEngine) borrowOf(call *ast.CallExpr) (lenders []ast.Expr, resIdx int, ok bool) {
+	if l, r, isB := e.spec.Borrow(call); isB {
+		return l, r, true
+	}
+	if e.spec.Summaries == nil {
+		return nil, 0, false
+	}
+	fn := Callee(e.info, call)
+	if fn == nil {
+		return nil, 0, false
+	}
+	sum, haveSum := e.spec.Summaries(fn)
+	if !haveSum {
+		return nil, 0, false
+	}
+	args, aligned := FlatArgs(e.info, call, fn)
+	if !aligned {
+		return nil, 0, false
+	}
+	for r, ps := range sum.Results {
+		for _, pi := range ps {
+			if pi >= 0 && pi < len(args) {
+				lenders = append(lenders, args[pi])
+			}
+		}
+		if len(lenders) > 0 {
+			return lenders, r, true
+		}
+	}
+	return nil, 0, false
+}
+
+// applyCallSummary marks borrows whose lender a known callee may release.
+func (e *bwEngine) applyCallSummary(f bwFact, call *ast.CallExpr) {
+	if e.spec.Summaries == nil {
+		return
+	}
+	fn := Callee(e.info, call)
+	if fn == nil {
+		return
+	}
+	sum, haveSum := e.spec.Summaries(fn)
+	if !haveSum {
+		return
+	}
+	args, aligned := FlatArgs(e.info, call, fn)
+	if !aligned {
+		return
+	}
+	for i, a := range args {
+		if !sum.releases(flatIndex(fn, i)) {
+			continue
+		}
+		c := e.al.Canon(a)
+		for _, st := range f {
+			if st.lenderNames[c] {
+				st.released = true
+			}
+		}
+	}
 }
 
 func (e *bwEngine) transfer(b *Block, in bwFact) bwFact {
@@ -175,6 +254,9 @@ func (e *bwEngine) transfer(b *Block, in bwFact) bwFact {
 				}
 			}
 		case *ast.ReturnStmt:
+			if e.onReturn != nil {
+				e.onReturn(in, n)
+			}
 			for _, r := range n.Results {
 				e.scan(in, r)
 			}
@@ -200,7 +282,7 @@ func (e *bwEngine) assign(f bwFact, n *ast.AssignStmt) {
 		if !ok {
 			continue
 		}
-		lenders, resIdx, isBorrow := e.spec.Borrow(call)
+		lenders, resIdx, isBorrow := e.borrowOf(call)
 		if !isBorrow {
 			continue
 		}
@@ -219,6 +301,11 @@ func (e *bwEngine) assign(f bwFact, n *ast.AssignStmt) {
 		}
 		for _, l := range lenders {
 			st.lenderNames[e.al.Canon(l)] = true
+			if e.spec.ExpandLender != nil {
+				for _, x := range e.spec.ExpandLender(l) {
+					st.lenderNames[e.al.Canon(x)] = true
+				}
+			}
 		}
 		if lhs := tupleLhs(n, i, resIdx); lhs != nil {
 			if id, isId := ast.Unparen(lhs).(*ast.Ident); isId && id.Name != "_" {
@@ -309,6 +396,8 @@ func (e *bwEngine) scan(f bwFact, x ast.Expr) {
 						}
 					}
 				}
+			} else {
+				e.applyCallSummary(f, m)
 			}
 		case *ast.Ident:
 			e.useIdent(f, m)

@@ -1,0 +1,170 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// ComputeBorrowSummaries computes one borrow summary per declared function
+// of a package unit, bottom-up over the call graph. Two facts are derived:
+// which lender-typed parameters a function may release (phase 1, reusing the
+// obligation engine with a lender-as-resource spec so release effects
+// propagate transitively), and which results are views borrowed from which
+// parameters (phase 2, an SCC fixpoint over the borrow engine so
+// `return helper(n)` provenance chains resolve). imported supplies
+// cross-package summaries keyed by types.Func.FullName.
+func ComputeBorrowSummaries(cg *CallGraph, info *types.Info, spec BorrowSpec, imported map[string]BorrowSummary) (map[*types.Func]BorrowSummary, SummaryStats) {
+	// Phase 1: lender release effects.
+	derivedImported := make(map[string]ObSummary, len(imported))
+	for name, s := range imported {
+		derivedImported[name] = ObSummary{Params: s.Params, Result: -1, Err: -1}
+	}
+	derived := LeakSpec{
+		Source:     func(*ast.CallExpr) (int, int, bool) { return 0, 0, false },
+		IsRelease:  spec.IsRelease,
+		IsResource: spec.IsLender,
+	}
+	obs, stats := ComputeObSummaries(cg, info, derived, derivedImported)
+
+	sums := make(map[*types.Func]BorrowSummary, len(cg.Order))
+	for _, fn := range cg.Order {
+		if os, ok := obs[fn]; ok {
+			sums[fn] = BorrowSummary{Params: os.Params}
+		} else {
+			sums[fn] = BorrowSummary{}
+		}
+	}
+
+	// Phase 2: result provenance, optimistically empty, grown to fixpoint
+	// per SCC (provenance sets only grow as callee summaries grow).
+	spec.Summaries = func(fn *types.Func) (BorrowSummary, bool) {
+		if s, ok := sums[fn]; ok {
+			return s, true
+		}
+		s, ok := imported[fn.FullName()]
+		return s, ok
+	}
+	for _, comp := range cg.SCCs {
+		recursive := len(comp) > 1 || selfCalls(cg, comp[0])
+		bound := sccIterBound(len(comp))
+		iters, bailed := 0, false
+		for {
+			iters++
+			changed := false
+			for _, fn := range comp {
+				results := summarizeBorrowResults(cg.Funcs[fn], info, spec)
+				ns := BorrowSummary{Params: sums[fn].Params, Results: results}
+				if !ns.sameShape(sums[fn]) {
+					changed = true
+				}
+				sums[fn] = ns
+			}
+			if !changed || !recursive {
+				break
+			}
+			if iters >= bound {
+				bailed = true
+				for _, fn := range comp {
+					sums[fn] = BorrowSummary{Params: sums[fn].Params}
+				}
+				break
+			}
+		}
+		stats.observe(iters, bailed)
+	}
+	return sums, stats
+}
+
+// summarizeBorrowResults runs the borrow engine over one function and reads
+// result→parameter provenance off its return statements: a returned view
+// whose lender set names a parameter borrows from that parameter.
+func summarizeBorrowResults(fi *FuncInfo, info *types.Info, spec BorrowSpec) [][]int {
+	params := flatParams(fi.Fn)
+	if len(params) == 0 {
+		return nil
+	}
+	paramIdx := make(map[string]int, len(params))
+	for i, p := range params {
+		if spec.IsLender != nil && spec.IsLender(p.Type()) && p.Name() != "" && p.Name() != "_" {
+			paramIdx[objKey(p)] = i
+		}
+	}
+	if len(paramIdx) == 0 {
+		return nil
+	}
+
+	sig := fi.Fn.Type().(*types.Signature)
+	nres := sig.Results().Len()
+	if nres == 0 {
+		return nil
+	}
+	acc := make([]map[int]bool, nres)
+	record := func(res int, param int) {
+		if res < 0 || res >= nres {
+			return
+		}
+		if acc[res] == nil {
+			acc[res] = make(map[int]bool)
+		}
+		acc[res][param] = true
+	}
+
+	body := fi.Decl.Body
+	cfg := New(body)
+	eng := &bwEngine{spec: spec, info: info, al: NewAliases(body, info)}
+	eng.onReturn = func(f bwFact, n *ast.ReturnStmt) {
+		for i, r := range n.Results {
+			ru := ast.Unparen(r)
+			if call, isCall := ru.(*ast.CallExpr); isCall {
+				// `return t.leafView(leaf)`: pass-through provenance — the
+				// callee's lenders that are (or alias) parameters flow out.
+				lenders, resIdx, isB := eng.borrowOf(call)
+				if !isB {
+					continue
+				}
+				out := i
+				if len(n.Results) == 1 {
+					out = resIdx
+				}
+				for _, l := range lenders {
+					if pi, okP := paramIdx[eng.al.Canon(l)]; okP {
+						record(out, pi)
+					}
+				}
+				continue
+			}
+			if !isPathExpr(ru) {
+				continue
+			}
+			st := viewHolder(f, eng.al.Canon(ru))
+			if st == nil {
+				continue
+			}
+			for ln := range st.lenderNames {
+				if pi, okP := paramIdx[ln]; okP {
+					record(i, pi)
+				}
+			}
+		}
+	}
+	in := Forward[bwFact](cfg, bwLattice{}, eng.transfer)
+	_ = in
+
+	var out [][]int
+	for res, set := range acc {
+		if len(set) == 0 {
+			continue
+		}
+		if out == nil {
+			out = make([][]int, nres)
+		}
+		ps := make([]int, 0, len(set))
+		for p := range set {
+			ps = append(ps, p)
+		}
+		sort.Ints(ps)
+		out[res] = ps
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncInfo is one node of the per-unit call graph: a declared function or
+// method and the package-local functions it calls. Calls through function
+// values, interfaces, or into other packages do not appear as edges — those
+// callees are resolved (if at all) through imported summaries, or fall back
+// to the conservative top summary.
+type FuncInfo struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	// Callees lists the package-local declared functions referenced by call
+	// expressions anywhere under the body (closures included — a call made
+	// from a nested literal still couples the two functions' summaries),
+	// deduplicated, in source order.
+	Callees []*types.Func
+}
+
+// A CallGraph holds every declared function of one package unit with its
+// local call edges and the bottom-up SCC order summary computation follows.
+type CallGraph struct {
+	Funcs map[*types.Func]*FuncInfo
+	// Order lists the functions in declaration order (file order, then
+	// position) — the deterministic base ordering everything else derives
+	// from.
+	Order []*types.Func
+	// SCCs partitions Order into strongly connected components in reverse
+	// topological order: every callee of a component is either inside it or
+	// in an earlier component, so processing SCCs front to back sees callee
+	// summaries before caller summaries except for recursion, which the
+	// per-SCC fixpoint handles.
+	SCCs [][]*types.Func
+}
+
+// BuildCallGraph collects the FuncDecls of a package unit and resolves their
+// syntactic call edges through the type info.
+func BuildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	cg := &CallGraph{Funcs: make(map[*types.Func]*FuncInfo)}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			cg.Funcs[fn] = &FuncInfo{Fn: fn, Decl: fd}
+			cg.Order = append(cg.Order, fn)
+		}
+	}
+	for _, fn := range cg.Order {
+		fi := cg.Funcs[fn]
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := Callee(info, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, local := cg.Funcs[callee]; local {
+				seen[callee] = true
+				fi.Callees = append(fi.Callees, callee)
+			}
+			return true
+		})
+	}
+	cg.SCCs = cg.sccs()
+	return cg
+}
+
+// Callee resolves a call expression to the named function or method it
+// invokes, or nil for calls through function values, conversions, and
+// builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// sccs runs Tarjan's algorithm (iterative, so deep call chains cannot blow
+// the stack) over the local edges. Tarjan emits components in reverse
+// topological order — exactly the bottom-up order summaries need.
+func (cg *CallGraph) sccs() [][]*types.Func {
+	index := make(map[*types.Func]int, len(cg.Order))
+	low := make(map[*types.Func]int, len(cg.Order))
+	onStack := make(map[*types.Func]bool, len(cg.Order))
+	var stack []*types.Func
+	var out [][]*types.Func
+	next := 0
+
+	type frame struct {
+		fn *types.Func
+		ci int // next callee edge to visit
+	}
+	for _, root := range cg.Order {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{fn: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			callees := cg.Funcs[fr.fn].Callees
+			if fr.ci < len(callees) {
+				c := callees[fr.ci]
+				fr.ci++
+				if _, seen := index[c]; !seen {
+					index[c], low[c] = next, next
+					next++
+					stack = append(stack, c)
+					onStack[c] = true
+					work = append(work, frame{fn: c})
+				} else if onStack[c] && index[c] < low[fr.fn] {
+					low[fr.fn] = index[c]
+				}
+				continue
+			}
+			// All edges visited: pop, propagate lowlink, maybe emit an SCC.
+			fn := fr.fn
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				if parent := work[len(work)-1].fn; low[fn] < low[parent] {
+					low[parent] = low[fn]
+				}
+			}
+			if low[fn] == index[fn] {
+				var comp []*types.Func
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp = append(comp, top)
+					if top == fn {
+						break
+					}
+				}
+				out = append(out, comp)
+			}
+		}
+	}
+	return out
+}

@@ -2,13 +2,17 @@ package dataflow
 
 import (
 	"go/ast"
+	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestCFGCorpusNoPanic builds a CFG for every function and function
@@ -159,3 +163,310 @@ func repoRoot() (string, error) {
 		dir = parent
 	}
 }
+
+// TestSummaryCorpusConverges typechecks every repository package and runs
+// the obligation and borrow summary computations over its call graph with
+// generic type-name-based specs. Every SCC must converge inside its
+// iteration budget (a bail here means a monotonicity bug in a transfer
+// function, not a corpus problem), and the summarization itself must stay
+// inside the per-unit wall-time budget the unit driver depends on.
+func TestSummaryCorpusConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole repository against stdlib source")
+	}
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := newCorpusLoader(root)
+	paths, err := ld.repoPackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("suspiciously few packages: %v", paths)
+	}
+
+	spec := corpusLeakSpec(ld.info)
+	bspec := corpusBorrowSpec(ld.info)
+
+	var funcs, sccs, maxIters, maxComp int
+	var sumTime time.Duration
+	for _, path := range paths {
+		lp, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("typechecking %s: %v", path, err)
+		}
+		start := time.Now()
+		cg := BuildCallGraph(lp.files, ld.info)
+		for _, comp := range cg.SCCs {
+			if len(comp) > maxComp {
+				maxComp = len(comp)
+			}
+		}
+		_, ostats := ComputeObSummaries(cg, ld.info, spec, nil)
+		_, bstats := ComputeBorrowSummaries(cg, ld.info, bspec, nil)
+		sumTime += time.Since(start)
+		for _, st := range []SummaryStats{ostats, bstats} {
+			if st.Bailed != 0 {
+				t.Errorf("%s: %d SCCs bailed to top — non-monotone transfer function", path, st.Bailed)
+			}
+			if st.MaxIters > maxIters {
+				maxIters = st.MaxIters
+			}
+			sccs += st.SCCs
+		}
+		funcs += ostats.Functions
+	}
+	if funcs < 400 {
+		t.Fatalf("summary corpus suspiciously small: %d functions (did the loader lose packages?)", funcs)
+	}
+	if bound := sccIterBound(maxComp); maxIters > bound {
+		t.Fatalf("fixpoint took %d sweeps, bound for the largest SCC (%d funcs) is %d", maxIters, maxComp, bound)
+	}
+	// Per-unit budget: the unit driver adds summary computation to every
+	// go vet invocation, so the whole-repo cost must stay far below the
+	// CI analysis budget. Typechecking time is excluded — the driver gets
+	// type info for free from go vet.
+	if sumTime > 5*time.Second {
+		t.Fatalf("summary computation over the repo took %v, budget 5s", sumTime)
+	}
+	t.Logf("summary corpus: %d packages, %d functions, %d SCCs (largest %d), max %d sweeps, %v total",
+		len(paths), funcs, sccs, maxComp, maxIters, sumTime)
+}
+
+// corpusLeakSpec is a repo-generic obligation discipline: any call whose
+// results include one of the repository's resource types opens an
+// obligation, and any Release/End/Done method on such a type closes it.
+func corpusLeakSpec(info *types.Info) LeakSpec {
+	isRes := func(t types.Type) bool {
+		return corpusNamed(t, "Frame", "SpanTimer", "BatchTimer")
+	}
+	return LeakSpec{
+		IsResource: isRes,
+		Source: func(call *ast.CallExpr) (int, int, bool) {
+			tv, ok := info.Types[call]
+			if !ok || tv.Type == nil {
+				return 0, 0, false
+			}
+			var elems []types.Type
+			if tup, isTup := tv.Type.(*types.Tuple); isTup {
+				for i := 0; i < tup.Len(); i++ {
+					elems = append(elems, tup.At(i).Type())
+				}
+			} else {
+				elems = []types.Type{tv.Type}
+			}
+			res, errIdx := -1, -1
+			for i, e := range elems {
+				if res < 0 && isRes(e) {
+					res = i
+				}
+				if errIdx < 0 && types.Identical(e, types.Universe.Lookup("error").Type()) {
+					errIdx = i
+				}
+			}
+			if res < 0 {
+				return 0, 0, false
+			}
+			return res, errIdx, true
+		},
+		IsRelease: func(call *ast.CallExpr) bool {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return false
+			}
+			switch fn.Name() {
+			case "Release", "End", "Done":
+			default:
+				return false
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			return ok && sig.Recv() != nil && isRes(sig.Recv().Type())
+		},
+	}
+}
+
+// corpusBorrowSpec mirrors pinleak's view discipline by type and method
+// name alone.
+func corpusBorrowSpec(info *types.Info) BorrowSpec {
+	isLender := func(t types.Type) bool { return corpusNamed(t, "node", "Frame") }
+	return BorrowSpec{
+		IsLender: isLender,
+		Borrow: func(call *ast.CallExpr) ([]ast.Expr, int, bool) {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return nil, 0, false
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return nil, 0, false
+			}
+			switch fn.Name() {
+			case "view":
+				return []ast.Expr{sel.X}, 0, true
+			case "leafView":
+				if len(call.Args) > 0 {
+					return []ast.Expr{call.Args[0]}, 0, true
+				}
+			}
+			return nil, 0, false
+		},
+		IsRelease: func(call *ast.CallExpr) bool {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return false
+			}
+			switch fn.Name() {
+			case "release", "Release":
+			default:
+				return false
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			return ok && sig.Recv() != nil && isLender(sig.Recv().Type())
+		},
+	}
+}
+
+func corpusNamed(t types.Type, names ...string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for _, n := range names {
+		if named.Obj().Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// corpusLoader typechecks repository packages by import path, resolving
+// dualcdb/... against the working tree and everything else against stdlib
+// source. One shared types.Info collects every package's facts so the
+// summary computations can run against it uniformly.
+type corpusLoader struct {
+	root   string
+	fset   *token.FileSet
+	info   *types.Info
+	std    types.Importer
+	loaded map[string]*corpusPkg
+}
+
+type corpusPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	err   error
+}
+
+func newCorpusLoader(root string) *corpusLoader {
+	fset := token.NewFileSet()
+	return &corpusLoader{
+		root: root,
+		fset: fset,
+		info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+		std:    importer.ForCompiler(fset, "source", nil),
+		loaded: map[string]*corpusPkg{},
+	}
+}
+
+// repoPackages lists the module's package import paths in walk order,
+// skipping testdata (fake import paths) and non-Go directories.
+func (ld *corpusLoader) repoPackages() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(ld.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch name := d.Name(); {
+			case strings.HasPrefix(name, ".") && path != ld.root,
+				name == "testdata", name == "related":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(ld.root, dir)
+		if err != nil {
+			return err
+		}
+		ip := "dualcdb"
+		if rel != "." {
+			ip = "dualcdb/" + filepath.ToSlash(rel)
+		}
+		for _, seen := range out {
+			if seen == ip {
+				return nil
+			}
+		}
+		out = append(out, ip)
+		return nil
+	})
+	return out, err
+}
+
+func (ld *corpusLoader) load(path string) (*corpusPkg, error) {
+	if lp, ok := ld.loaded[path]; ok {
+		return lp, lp.err
+	}
+	lp := &corpusPkg{}
+	ld.loaded[path] = lp
+	dir := ld.root
+	if path != "dualcdb" {
+		dir = filepath.Join(ld.root, filepath.FromSlash(strings.TrimPrefix(path, "dualcdb/")))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		lp.err = err
+		return lp, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			lp.err = err
+			return lp, err
+		}
+		lp.files = append(lp.files, f)
+	}
+	imp := corpusImporterFunc(func(ip string) (*types.Package, error) {
+		if ip == "dualcdb" || strings.HasPrefix(ip, "dualcdb/") {
+			sub, err := ld.load(ip)
+			return sub.pkg, err
+		}
+		return ld.std.Import(ip)
+	})
+	tc := &types.Config{Importer: imp}
+	lp.pkg, lp.err = tc.Check(path, ld.fset, lp.files, ld.info)
+	return lp, lp.err
+}
+
+type corpusImporterFunc func(path string) (*types.Package, error)
+
+func (f corpusImporterFunc) Import(path string) (*types.Package, error) { return f(path) }

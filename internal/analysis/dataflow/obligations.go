@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // LeakSpec describes one acquire/release discipline: which calls open an
@@ -22,6 +23,15 @@ type LeakSpec struct {
 	// against the obligation's aliases; this predicate only inspects the
 	// call shape.
 	IsRelease func(call *ast.CallExpr) bool
+	// IsResource reports whether a type carries this discipline's
+	// obligation. Only needed for summary computation (parameter
+	// obligations are seeded from it); nil disables parameter summaries.
+	IsResource func(t types.Type) bool
+	// Summaries resolves a callee to its obligation summary (local
+	// computation first, then imported banks). Nil, or a false return,
+	// means the callee is unknown and gets TopEffect: arguments escape,
+	// exactly as the intra-procedural engine assumed for every call.
+	Summaries func(fn *types.Func) (ObSummary, bool)
 }
 
 // A Leak is an obligation that fails to reach a release on some path to a
@@ -32,6 +42,13 @@ type Leak struct {
 	// Immediate marks a resource discarded at the call site itself
 	// (expression statement or assignment to blank).
 	Immediate bool
+	// Chain names the helper call path that held the obligation without
+	// releasing it on every path ("keep" → "stash"); empty when the leak
+	// is local to the analyzed function.
+	Chain []string
+	// Conditional marks an obligation that was discharged on some path but
+	// not all — e.g. a helper that releases only on its error arm.
+	Conditional bool
 }
 
 // FindLeaks runs the obligation analysis over one function body and
@@ -44,29 +61,34 @@ func FindLeaks(body *ast.BlockStmt, info *types.Info, spec LeakSpec) []Leak {
 	}
 	cfg := New(body)
 	eng := &obEngine{
-		spec: spec,
-		info: info,
-		al:   NewAliases(body, info),
+		spec:       spec,
+		info:       info,
+		al:         NewAliases(body, info),
+		entryIndex: -1,
+		retRes:     -1,
+		retErr:     -1,
 	}
+	eng.collectLateDefers(body)
 	in := Forward[obFact](cfg, obLattice{}, eng.transfer)
 
 	var leaks []Leak
 	seen := make(map[token.Pos]bool)
-	add := func(call *ast.CallExpr, immediate bool) {
+	add := func(call *ast.CallExpr, immediate bool, chain []string, conditional bool) {
 		if !seen[call.Lparen] {
 			seen[call.Lparen] = true
-			leaks = append(leaks, Leak{Acquire: call, Immediate: immediate})
+			leaks = append(leaks, Leak{Acquire: call, Immediate: immediate, Chain: chain, Conditional: conditional})
 		}
 	}
 
 	// Immediate leaks are syntactic: a source call whose resource result is
-	// discarded on the spot.
+	// discarded on the spot. Summarized sources (helpers returning a fresh
+	// obligation) count the same as spec sources.
 	WalkShallowStmts(body, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.ExprStmt:
 			if call, ok := n.X.(*ast.CallExpr); ok {
-				if _, _, isSrc := spec.Source(call); isSrc {
-					add(call, true)
+				if _, _, isSrc := eng.sourceOf(call); isSrc {
+					add(call, true, nil, false)
 				}
 			}
 		case *ast.AssignStmt:
@@ -75,13 +97,13 @@ func FindLeaks(body *ast.BlockStmt, info *types.Info, spec LeakSpec) []Leak {
 				if !ok {
 					continue
 				}
-				resIdx, _, isSrc := spec.Source(call)
+				resIdx, _, isSrc := eng.sourceOf(call)
 				if !isSrc {
 					continue
 				}
 				if lhs := tupleLhs(n, i, resIdx); lhs != nil {
 					if id, isId := lhs.(*ast.Ident); isId && id.Name == "_" {
-						add(call, true)
+						add(call, true, nil, false)
 					}
 				}
 			}
@@ -91,8 +113,8 @@ func FindLeaks(body *ast.BlockStmt, info *types.Info, spec LeakSpec) []Leak {
 	// Path leaks: any obligation still open in the fact flowing into the
 	// virtual Exit block escaped release on at least one returning path.
 	for _, ob := range in[cfg.Exit.Index] {
-		if ob.open {
-			add(ob.call, false)
+		if ob.open && ob.call != nil && !eng.lateDeferred(ob) {
+			add(ob.call, false, ob.chain, ob.effect&(EffRelease|EffEscape) != 0)
 		}
 	}
 
@@ -120,9 +142,9 @@ func WalkShallowStmts(body *ast.BlockStmt, f func(ast.Node)) {
 }
 
 // obState is the tracked state of one obligation (keyed by its source
-// call's position).
+// call's position, or the parameter's position in summary mode).
 type obState struct {
-	call *ast.CallExpr
+	call *ast.CallExpr // nil for parameter pseudo-obligations
 	open bool
 	// names holds the canonical paths currently bound to the resource.
 	names map[string]bool
@@ -131,6 +153,16 @@ type obState struct {
 	// obligation (the resource is nil on the error path).
 	errName string
 	errLive bool
+	// param is the flattened parameter index this pseudo-obligation
+	// summarizes, or -1 for a real (source-call) obligation.
+	param int
+	// effect accumulates the discharge kinds observed on some path
+	// (EffRelease, EffEscape); combined with open-at-exit it yields the
+	// parameter's summary effect.
+	effect ParamEffect
+	// chain names the helper call path responsible for a kept/conditional
+	// effect, for diagnostics only.
+	chain []string
 }
 
 func (o *obState) clone() *obState {
@@ -171,6 +203,14 @@ func (obLattice) Join(dst, src obFact) (obFact, bool) {
 			dv.open = true
 			changed = true
 		}
+		if sv.effect&^dv.effect != 0 {
+			dv.effect |= sv.effect
+			changed = true
+		}
+		if len(dv.chain) == 0 && len(sv.chain) > 0 {
+			dv.chain = sv.chain
+			changed = true
+		}
 		for n := range sv.names {
 			if !dv.names[n] {
 				dv.names[n] = true
@@ -189,9 +229,81 @@ type obEngine struct {
 	spec LeakSpec
 	info *types.Info
 	al   *Aliases
+	// Summary-computation mode (ComputeObSummaries): resource-typed
+	// parameters to seed as pseudo-obligations at the entry block, and the
+	// result obligation detected at return statements. entryIndex is -1 in
+	// plain checking mode.
+	seeds      []paramSeed
+	entryIndex int
+	retRes     int
+	retErr     int
+	// lateDefers records deferred closures that release a captured name:
+	// `defer func() { f.Release() }()` reads f at return time, so it also
+	// discharges obligations bound to f that are created *after* the defer
+	// statement (loop re-acquire through the same variable). The direct
+	// form `defer f.Release()` binds its receiver at defer time and is
+	// handled flow-sensitively by deferStmt instead.
+	lateDefers []lateDefer
+}
+
+type lateDefer struct {
+	pos  token.Pos
+	name string
+}
+
+// collectLateDefers scans the body once for release calls inside deferred
+// closures and records their receiver names with the defer's position.
+func (e *obEngine) collectLateDefers(body *ast.BlockStmt) {
+	WalkShallowStmts(body, func(n ast.Node) {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return
+		}
+		lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !e.spec.IsRelease(call) {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if c := e.al.Canon(sel.X); c != "" {
+					e.lateDefers = append(e.lateDefers, lateDefer{pos: d.Pos(), name: c})
+				}
+			}
+			return true
+		})
+	})
+}
+
+// lateDeferred reports whether an exit-open obligation is discharged by a
+// deferred closure: created after the defer and bound to the released name.
+func (e *obEngine) lateDeferred(ob *obState) bool {
+	for _, d := range e.lateDefers {
+		if ob.call != nil && ob.call.Lparen > d.pos && ob.names[d.name] {
+			return true
+		}
+	}
+	return false
+}
+
+type paramSeed struct {
+	idx int
+	v   *types.Var
 }
 
 func (e *obEngine) transfer(b *Block, in obFact) obFact {
+	if b.Index == e.entryIndex {
+		for _, p := range e.seeds {
+			in[p.v.Pos()] = &obState{
+				open:  true,
+				names: map[string]bool{objKey(p.v): true},
+				param: p.idx,
+			}
+		}
+	}
 	for _, n := range b.Nodes {
 		switch n := n.(type) {
 		case *Assume:
@@ -203,6 +315,9 @@ func (e *obEngine) transfer(b *Block, in obFact) obFact {
 		case *ast.DeferStmt:
 			e.deferStmt(in, n)
 		case *ast.ReturnStmt:
+			if e.entryIndex >= 0 {
+				e.noteReturn(in, n)
+			}
 			for _, r := range n.Results {
 				e.scanEscape(in, r, true)
 			}
@@ -233,17 +348,20 @@ func (e *obEngine) assign(f obFact, n *ast.AssignStmt) {
 		if !ok {
 			continue
 		}
-		resIdx, errIdx, isSrc := e.spec.Source(call)
+		resIdx, errIdx, isSrc := e.sourceOf(call)
 		if !isSrc {
 			// Still scan the call's arguments for escapes below.
 			continue
 		}
 		handledRhs[i] = true
-		// Arguments of the source call itself can escape other resources.
-		for _, a := range call.Args {
-			e.scanEscape(f, a, true)
+		// Arguments of the source call itself can escape (or, with a
+		// summary, conditionally keep) other resources.
+		if !e.callArgsSummary(f, call) {
+			for _, a := range call.Args {
+				e.scanEscape(f, a, true)
+			}
 		}
-		ob := &obState{call: call, open: true, names: map[string]bool{}}
+		ob := &obState{call: call, open: true, names: map[string]bool{}, param: -1}
 		if lhs := tupleLhs(n, i, resIdx); lhs != nil {
 			id, isId := lhs.(*ast.Ident)
 			if !isId || !e.isLocal(id) {
@@ -292,14 +410,17 @@ func (e *obEngine) assign(f obFact, n *ast.AssignStmt) {
 
 		if rhs != nil {
 			rcanon := e.al.Canon(rhs)
-			if ob := holder(f, rcanon); ob != nil && isPathExpr(rhs) {
-				if lhsIsIdent && lhsId.Name != "_" && e.isLocal(lhsId) {
-					ob.names[e.al.Canon(lhsId)] = true
-				} else if lhsIsIdent && lhsId.Name == "_" {
-					// `_ = r`: a deliberate no-op use, not an escape.
-				} else {
-					// Stored into a global or structure: ownership escapes.
-					ob.open = false
+			if obs := holders(f, rcanon); len(obs) > 0 && isPathExpr(rhs) {
+				for _, ob := range obs {
+					if lhsIsIdent && lhsId.Name != "_" && e.isLocal(lhsId) {
+						ob.names[e.al.Canon(lhsId)] = true
+					} else if lhsIsIdent && lhsId.Name == "_" {
+						// `_ = r`: a deliberate no-op use, not an escape.
+					} else {
+						// Stored into a global or structure: ownership escapes.
+						ob.open = false
+						ob.effect |= EffEscape
+					}
 				}
 				continue
 			}
@@ -336,10 +457,12 @@ func (e *obEngine) exprStmt(f obFact, n *ast.ExprStmt) {
 	if e.release(f, call) {
 		return
 	}
-	if _, _, isSrc := e.spec.Source(call); isSrc {
+	if _, _, isSrc := e.sourceOf(call); isSrc {
 		// Discarded resource; reported as an immediate leak syntactically.
-		for _, a := range call.Args {
-			e.scanEscape(f, a, true)
+		if !e.callArgsSummary(f, call) {
+			for _, a := range call.Args {
+				e.scanEscape(f, a, true)
+			}
 		}
 		return
 	}
@@ -367,18 +490,38 @@ func (e *obEngine) release(f obFact, call *ast.CallExpr) bool {
 		return false
 	}
 	recv := e.al.Canon(sel.X)
-	if ob := holder(f, recv); ob != nil {
+	for _, ob := range holders(f, recv) {
 		ob.open = false
-		return true
+		ob.effect |= EffRelease
 	}
 	// A release of something we aren't tracking (a parameter, a field):
 	// still a release call, not an escape of its receiver.
 	return true
 }
 
-// scanCall treats a non-release, non-source call: the receiver path is a
-// use; the arguments escape.
+// sourceOf extends the spec's Source classification with summarized
+// sources: a known callee whose summary carries a fresh result obligation.
+func (e *obEngine) sourceOf(call *ast.CallExpr) (resIdx, errIdx int, ok bool) {
+	if r, er, isSrc := e.spec.Source(call); isSrc {
+		return r, er, true
+	}
+	if e.spec.Summaries != nil {
+		if fn := Callee(e.info, call); fn != nil {
+			if s, have := e.spec.Summaries(fn); have && s.Result >= 0 {
+				return s.Result, s.Err, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// scanCall treats a non-release, non-source call: with a callee summary,
+// each argument gets the callee's per-parameter effect; otherwise the
+// receiver path is a use and the arguments escape (TopEffect).
 func (e *obEngine) scanCall(f obFact, call *ast.CallExpr) {
+	if e.callArgsSummary(f, call) {
+		return
+	}
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 		// Method call on the resource (f.Data(), f.MarkDirty()): a use.
 		e.scanEscape(f, sel.X, false)
@@ -387,6 +530,114 @@ func (e *obEngine) scanCall(f obFact, call *ast.CallExpr) {
 	}
 	for _, a := range call.Args {
 		e.scanEscape(f, a, true)
+	}
+}
+
+// callArgsSummary applies a known callee's per-parameter effects to the
+// call's (receiver-flattened) arguments. It returns false when no summary
+// is available or the call shape cannot be aligned, in which case the
+// caller falls back to the conservative escape treatment.
+func (e *obEngine) callArgsSummary(f obFact, call *ast.CallExpr) bool {
+	if e.spec.Summaries == nil {
+		return false
+	}
+	fn := Callee(e.info, call)
+	if fn == nil {
+		return false
+	}
+	sum, ok := e.spec.Summaries(fn)
+	if !ok {
+		return false
+	}
+	args, ok := FlatArgs(e.info, call, fn)
+	if !ok {
+		return false
+	}
+	for i, a := range args {
+		idx := flatIndex(fn, i)
+		au := ast.Unparen(a)
+		if isPathExpr(au) {
+			if obs := holders(f, e.al.Canon(au)); len(obs) > 0 {
+				for _, ob := range obs {
+					e.applyEffect(ob, sum.effectFor(idx), fn, sum.chainFor(idx))
+				}
+				continue
+			}
+			// An untracked path argument: a plain use.
+			e.scanEscape(f, a, false)
+			continue
+		}
+		// Composite/derived arguments can bury a resource; keep the
+		// conservative escape for those.
+		e.scanEscape(f, a, true)
+	}
+	return true
+}
+
+// applyEffect applies a callee's parameter effect to a tracked obligation
+// at a call site.
+func (e *obEngine) applyEffect(ob *obState, eff ParamEffect, callee *types.Func, calleeChain []string) {
+	ob.effect |= eff &^ EffKeep
+	if eff.Discharges() {
+		ob.open = false
+		return
+	}
+	// The callee may leave the obligation with the caller: it stays open,
+	// and the helper chain is recorded for the diagnostic.
+	if len(ob.chain) == 0 {
+		chain := append([]string{callee.Name()}, calleeChain...)
+		if len(chain) > chainCap {
+			chain = chain[:chainCap]
+		}
+		ob.chain = chain
+	}
+}
+
+// noteReturn records, in summary mode, a result position that hands a
+// fresh obligation to the caller: either a tracked open obligation's
+// resource returned by name, or a source call returned directly.
+func (e *obEngine) noteReturn(f obFact, n *ast.ReturnStmt) {
+	if e.retRes >= 0 {
+		return // first detection wins (deterministic: fixed walk order)
+	}
+	for i, r := range n.Results {
+		ru := ast.Unparen(r)
+		if call, isCall := ru.(*ast.CallExpr); isCall {
+			res, errI, isSrc := e.sourceOf(call)
+			if !isSrc {
+				continue
+			}
+			if len(n.Results) == 1 {
+				// `return src(...)`: the callee's results pass through
+				// unchanged, indices and all.
+				e.retRes, e.retErr = res, errI
+			} else {
+				e.retRes, e.retErr = i, -1
+			}
+			return
+		}
+		if !isPathExpr(ru) {
+			continue
+		}
+		var ob *obState
+		for _, cand := range holders(f, e.al.Canon(ru)) {
+			if cand.param < 0 && cand.call != nil {
+				ob = cand // earliest source position wins: deterministic
+				break
+			}
+		}
+		if ob == nil {
+			continue
+		}
+		e.retRes, e.retErr = i, -1
+		if ob.errName != "" {
+			for j, rr := range n.Results {
+				if j != i && isPathExpr(ast.Unparen(rr)) && e.al.Canon(rr) == ob.errName {
+					e.retErr = j
+				}
+			}
+		}
+		return
 	}
 }
 
@@ -416,8 +667,9 @@ func (e *obEngine) scanEscape(f obFact, expr ast.Expr, escaping bool) {
 		if !escaping {
 			return
 		}
-		if ob := holder(f, e.al.Canon(expr)); ob != nil {
+		for _, ob := range holders(f, e.al.Canon(expr)) {
 			ob.open = false
+			ob.effect |= EffEscape
 		}
 	case *ast.SelectorExpr:
 		e.scanEscape(f, expr.X, false)
@@ -434,7 +686,7 @@ func (e *obEngine) scanEscape(f obFact, expr ast.Expr, escaping bool) {
 		e.scanEscape(f, expr.Y, false)
 	case *ast.CallExpr:
 		if !e.release(f, expr) {
-			if _, _, isSrc := e.spec.Source(expr); !isSrc {
+			if _, _, isSrc := e.sourceOf(expr); !isSrc {
 				e.scanCall(f, expr)
 			}
 		}
@@ -450,8 +702,9 @@ func (e *obEngine) scanEscape(f obFact, expr ast.Expr, escaping bool) {
 		// Captures: any tracked name referenced inside the literal escapes.
 		ast.Inspect(expr.Body, func(m ast.Node) bool {
 			if id, ok := m.(*ast.Ident); ok {
-				if ob := holder(f, e.al.Canon(id)); ob != nil {
+				for _, ob := range holders(f, e.al.Canon(id)) {
 					ob.open = false
+					ob.effect |= EffEscape
 				}
 			}
 			return true
@@ -519,14 +772,27 @@ func (e *obEngine) isLocal(id *ast.Ident) bool {
 	return true
 }
 
-// holder returns the open obligation binding canon, if any.
-func holder(f obFact, canon string) *obState {
-	for _, ob := range f {
+// holders returns every open obligation binding canon, ordered by source
+// position. After a join, one name can bind several obligations — a loop
+// that releases and re-acquires through the same variable merges the
+// entry-path obligation with the back-edge one — and any operation through
+// that name (release, escape, callee effect) holds on each path for
+// whichever obligation the name bound there, so it must be applied to all
+// of them. Applying to just one (in map order) is both wrong on the other
+// path and non-deterministic.
+func holders(f obFact, canon string) []*obState {
+	var keys []token.Pos
+	for k, ob := range f {
 		if ob.open && ob.names[canon] {
-			return ob
+			keys = append(keys, k)
 		}
 	}
-	return nil
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]*obState, len(keys))
+	for i, k := range keys {
+		out[i] = f[k]
+	}
+	return out
 }
 
 // tupleLhs returns the LHS expression receiving result #idx of the call at

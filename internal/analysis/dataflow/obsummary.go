@@ -1,0 +1,125 @@
+package dataflow
+
+import (
+	"go/types"
+)
+
+// ComputeObSummaries computes one obligation summary per declared function
+// of a package unit, bottom-up over the call graph's SCCs. Within an SCC the
+// members start from the optimistic bottom ("discharges everything, no
+// source") and iterate to a fixpoint — effect bits only ever turn on, so the
+// sweep converges; an SCC that exceeds its iteration budget falls back to the
+// top summary (members deleted from the map, so callers see TopEffect).
+// imported supplies cross-package callee summaries keyed by
+// types.Func.FullName; spec.Summaries is ignored and replaced by the
+// local-then-imported lookup.
+func ComputeObSummaries(cg *CallGraph, info *types.Info, spec LeakSpec, imported map[string]ObSummary) (map[*types.Func]ObSummary, SummaryStats) {
+	sums := make(map[*types.Func]ObSummary, len(cg.Order))
+	stats := SummaryStats{Functions: len(cg.Order)}
+	spec.Summaries = func(fn *types.Func) (ObSummary, bool) {
+		if s, ok := sums[fn]; ok {
+			return s, true
+		}
+		s, ok := imported[fn.FullName()]
+		return s, ok
+	}
+	for _, comp := range cg.SCCs {
+		recursive := len(comp) > 1 || selfCalls(cg, comp[0])
+		for _, fn := range comp {
+			sums[fn] = ObSummary{Params: make([]ParamEffect, len(flatParams(fn))), Result: -1, Err: -1}
+		}
+		bound := sccIterBound(len(comp))
+		iters, bailed := 0, false
+		for {
+			iters++
+			changed := false
+			for _, fn := range comp {
+				ns := summarizeOb(cg.Funcs[fn], info, spec)
+				if !ns.sameShape(sums[fn]) {
+					changed = true
+				}
+				sums[fn] = ns
+			}
+			if !changed || !recursive {
+				break
+			}
+			if iters >= bound {
+				// Non-convergence would mean a monotonicity bug; degrade to
+				// the sound top summary rather than loop.
+				bailed = true
+				for _, fn := range comp {
+					delete(sums, fn)
+				}
+				break
+			}
+		}
+		stats.observe(iters, bailed)
+	}
+	return sums, stats
+}
+
+// summarizeOb runs the obligation engine over one function with its
+// resource-typed parameters seeded as pseudo-obligations, and reads the
+// summary off the exit fact and the return statements.
+func summarizeOb(fi *FuncInfo, info *types.Info, spec LeakSpec) ObSummary {
+	params := flatParams(fi.Fn)
+	sum := ObSummary{Result: -1, Err: -1}
+	if len(params) > 0 {
+		sum.Params = make([]ParamEffect, len(params))
+	}
+	var seeds []paramSeed
+	for i, p := range params {
+		if spec.IsResource == nil || !spec.IsResource(p.Type()) {
+			continue
+		}
+		if p.Name() == "" || p.Name() == "_" {
+			// An ignored resource parameter stays with the caller.
+			sum.Params[i] = EffKeep
+			continue
+		}
+		seeds = append(seeds, paramSeed{idx: i, v: p})
+	}
+
+	body := fi.Decl.Body
+	cfg := New(body)
+	eng := &obEngine{
+		spec:       spec,
+		info:       info,
+		al:         NewAliases(body, info),
+		seeds:      seeds,
+		entryIndex: cfg.Entry.Index,
+		retRes:     -1,
+		retErr:     -1,
+	}
+	in := Forward[obFact](cfg, obLattice{}, eng.transfer)
+
+	for _, ob := range in[cfg.Exit.Index] {
+		if ob.param < 0 {
+			continue
+		}
+		eff := ob.effect
+		if ob.open {
+			eff |= EffKeep
+		}
+		sum.Params[ob.param] = eff
+		if eff&EffKeep != 0 && len(ob.chain) > 0 {
+			if sum.Chains == nil {
+				sum.Chains = make([][]string, len(params))
+			}
+			sum.Chains[ob.param] = ob.chain
+		}
+	}
+	// Seeded parameters absent from the exit fact had no normally-returning
+	// path (every exit panics): effect 0 — code after such a call is dead.
+	sum.Result, sum.Err = eng.retRes, eng.retErr
+	return sum
+}
+
+func selfCalls(cg *CallGraph, fn *types.Func) bool {
+	for _, c := range cg.Funcs[fn].Callees {
+		if c == fn {
+			return true
+		}
+	}
+	return false
+}

@@ -1,10 +1,16 @@
 package errsink_test
 
 import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
 	"testing"
 
 	"dualcdb/internal/analysis/analysistest"
 	"dualcdb/internal/analysis/errsink"
+	"dualcdb/internal/analysis/framework"
 )
 
 func TestErrsink(t *testing.T) {
@@ -14,3 +20,63 @@ func TestErrsink(t *testing.T) {
 		})
 	}
 }
+
+// TestAllowIsLoadBearing checks the call-site suppression end to end: the
+// same dropped-error statement must be flagged without the directive and
+// silent with it, so a regression in either the detection or the allow
+// plumbing fails loudly.
+func TestAllowIsLoadBearing(t *testing.T) {
+	const psSrc = `package pagestore
+
+func Sync() error { return nil }
+`
+	const useTmpl = `package p
+
+import "fake/pagestore"
+
+func drop() {
+	pagestore.Sync()%s
+}
+`
+	for _, tc := range []struct {
+		name, directive string
+		want            int
+	}{
+		{"bare", "", 1},
+		{"allowed", " //dualvet:allow errsink — best-effort", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fset := token.NewFileSet()
+			ps, err := parser.ParseFile(fset, "pagestore/ps.go", psSrc, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			psInfo := framework.NewInfo()
+			psPkg, err := (&types.Config{}).Check("fake/pagestore", fset, []*ast.File{ps}, psInfo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			use, err := parser.ParseFile(fset, "p/use.go", fmt.Sprintf(useTmpl, tc.directive), parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			imp := importerFunc(func(string) (*types.Package, error) { return psPkg, nil })
+			info := framework.NewInfo()
+			pkg, err := (&types.Config{Importer: imp}).Check("p", fset, []*ast.File{use}, info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, _, err := framework.RunPackage(fset, []*ast.File{use}, pkg, info, []*framework.Analyzer{errsink.Analyzer}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diags) != tc.want {
+				t.Fatalf("want %d diagnostics, got %d: %v", tc.want, len(diags), diags)
+			}
+		})
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

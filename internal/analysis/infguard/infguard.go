@@ -9,14 +9,21 @@
 // (and `Inf + -Inf`) and `0 * Inf` — after which every comparison is false
 // and a selection drops tuples with no error anywhere.
 //
-// The check is intra-procedural but flow-sensitive: taint facts propagate
+// The check is flow-sensitive and interprocedural: taint facts propagate
 // over the function's control-flow graph (internal/analysis/dataflow), so
 // loop-carried assignments are seen on the back edge and branch-local
-// assignments join at the merge point. A value "may carry Inf" when it is:
+// assignments join at the merge point, and every declared function gets an
+// Inf-taint summary computed bottom-up over the package call graph (with
+// summaries imported from dependency vetx records underneath) describing
+// how its results acquire taint — intrinsically, or from which parameters.
+// A value "may carry Inf" when it is:
 //   - the result of math.Inf(...);
 //   - read from a field, or returned by a function/method, on the built-in
 //     sentinel-carrier list below (the envelope/support/handicap surfaces);
 //   - read from a local declaration annotated //dualvet:mayinf;
+//   - returned by a callee whose summary propagates taint from an argument
+//     that itself may carry Inf here (`v := clamp(top)` taints v when top
+//     is tainted and clamp's result derives from its parameter);
 //   - a local variable — or a *field of* a local struct — assigned from any
 //     of the above, including through composite literals (`a := acc{hi:
 //     e.Hi}`), whole-struct copies (`b := a`), and multi-value assignments
@@ -91,6 +98,25 @@ const MayInfDirective = "//dualvet:mayinf"
 
 func run(pass *framework.Pass) error {
 	local := collectLocalMarks(pass)
+
+	// Interprocedural step: compute one taint summary per function,
+	// bottom-up over the package call graph, with imported dependency banks
+	// underneath; the per-function check then consults summaries at call
+	// sites, so Inf laundered through a helper is still caught.
+	cg := dataflow.BuildCallGraph(pass.Files, pass.TypesInfo)
+	imported := pass.Summaries.TaintBank()
+	sums := computeTaintSummaries(pass, cg, local, imported)
+	lookup := func(fn *types.Func) (dataflow.TaintSummary, bool) {
+		if s, ok := sums[fn]; ok {
+			return s, true
+		}
+		s, ok := imported[fn.FullName()]
+		return s, ok
+	}
+	exp := &dataflow.PackageSummaries{}
+	exp.AddTaint(sums)
+	pass.Export(exp)
+
 	for _, f := range pass.Files {
 		// Tests compare computed against expected values where, when both
 		// sides carry the same infinity, a NaN difference fails no assertion
@@ -103,7 +129,7 @@ func run(pass *framework.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFunc(pass, fd, local)
+			checkFunc(pass, fd, local, lookup)
 		}
 	}
 	return nil
@@ -174,7 +200,16 @@ type taintKey struct {
 	path string
 }
 
-type taintSet map[taintKey]bool
+// origins is the taint mask of one value: which flattened parameters (bits
+// 0..62, set only in summary mode where parameters are seeded with their
+// own bit) and/or an intrinsic producer (bit 63) its possible ±Inf derives
+// from. In checking mode parameters are never seeded, so any nonzero mask
+// means "may carry Inf".
+type origins uint64
+
+const intrinsicOrigin origins = 1 << 63
+
+type taintSet map[taintKey]origins
 
 type taintLattice struct{}
 
@@ -182,24 +217,24 @@ func (taintLattice) Bottom() taintSet { return taintSet{} }
 
 func (taintLattice) Clone(f taintSet) taintSet {
 	c := make(taintSet, len(f))
-	for k := range f {
-		c[k] = true
+	for k, o := range f {
+		c[k] = o
 	}
 	return c
 }
 
 func (taintLattice) Join(dst, src taintSet) (taintSet, bool) {
 	changed := false
-	for k := range src {
-		if !dst[k] {
-			dst[k] = true
+	for k, o := range src {
+		if o&^dst[k] != 0 {
+			dst[k] |= o
 			changed = true
 		}
 	}
 	return dst, changed
 }
 
-func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, local localMarks) {
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, local localMarks, sums func(*types.Func) (dataflow.TaintSummary, bool)) {
 	// Earliest math.IsInf guard position per guarded expression, collected
 	// over the whole body (closures included) since the check is positional.
 	guards := make(map[string]token.Pos)
@@ -214,7 +249,7 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, local localMarks) {
 		}
 		return true
 	})
-	eng := &taintEngine{pass: pass, local: local, guards: guards}
+	eng := &taintEngine{pass: pass, local: local, guards: guards, sums: sums}
 	eng.checkBody(fd.Body, nil)
 }
 
@@ -222,6 +257,10 @@ type taintEngine struct {
 	pass   *framework.Pass
 	local  localMarks
 	guards map[string]token.Pos
+	// sums resolves a callee to its taint summary (local fixpoint results
+	// first, then the imported bank). Nil or a false return means the callee
+	// is opaque: no taint unless it is on the MayInfFuncs/mark lists.
+	sums func(*types.Func) (dataflow.TaintSummary, bool)
 }
 
 func (eng *taintEngine) guarded(e ast.Expr, at token.Pos) bool {
@@ -266,7 +305,7 @@ func (eng *taintEngine) checkBody(body *ast.BlockStmt, seed taintSet) {
 // checkNode reports the NaN-generating shapes under the current facts.
 func (eng *taintEngine) checkNode(f taintSet, n ast.Node) {
 	pass := eng.pass
-	mayInf := func(e ast.Expr) bool { return exprMayInf(pass, e, eng.local, f) }
+	mayInf := func(e ast.Expr) bool { return eng.exprOrigins(f, e) != 0 }
 	dataflow.WalkShallow(n, func(m ast.Node) bool {
 		switch m := m.(type) {
 		case *ast.AssignStmt:
@@ -328,23 +367,22 @@ func (eng *taintEngine) applyAssign(f taintSet, n *ast.AssignStmt) {
 			}
 			return
 		}
-		// Multi-value assignment from a single call: a marked producer
-		// taints every float destination.
+		// Multi-value assignment from a single call: each destination gets
+		// the matching result's origins (intrinsic for marked producers,
+		// per-result flows for summarized callees).
 		if len(n.Rhs) == 1 {
-			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
-			taints := false
-			if ok {
-				if fn := calleeFunc(eng.pass, call); fn != nil {
-					taints = MayInfFuncs[fn.FullName()] || eng.local[fn]
-				}
-			}
-			for _, lhs := range n.Lhs {
+			call, isCall := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			for i, lhs := range n.Lhs {
 				obj, path, ok := eng.selPath(lhs)
 				if !ok {
 					continue
 				}
-				if taints && isFloatObj(obj) {
-					f[taintKey{obj, path}] = true
+				var mask origins
+				if isCall {
+					mask = eng.callResultOrigins(f, call, i)
+				}
+				if mask != 0 && isFloatObj(obj) {
+					f[taintKey{obj, path}] = mask
 				} else {
 					eng.kill(f, obj, path)
 				}
@@ -352,9 +390,9 @@ func (eng *taintEngine) applyAssign(f taintSet, n *ast.AssignStmt) {
 		}
 	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
 		// x op= y keeps/acquires taint when either side may carry Inf.
-		if exprMayInf(eng.pass, n.Rhs[0], eng.local, f) {
+		if mask := eng.exprOrigins(f, n.Rhs[0]); mask != 0 {
 			if obj, path, ok := eng.selPath(n.Lhs[0]); ok {
-				f[taintKey{obj, path}] = true
+				f[taintKey{obj, path}] |= mask
 			}
 		}
 	}
@@ -371,13 +409,21 @@ func (eng *taintEngine) assignOne(f taintSet, lhs, rhs ast.Expr) {
 	// Whole-struct copy: `b := a` carries a's per-field facts over to b.
 	if rhsObj, rhsPath, ok := eng.selPath(rhs); ok && isStructExpr(eng.pass, rhs) {
 		eng.kill(f, obj, path)
-		for k := range f {
+		type carried struct {
+			k taintKey
+			o origins
+		}
+		var adds []carried
+		for k, o := range f {
 			if k.obj != rhsObj {
 				continue
 			}
 			if rest, match := pathSuffix(k.path, rhsPath); match {
-				f[taintKey{obj, path + rest}] = true
+				adds = append(adds, carried{taintKey{obj, path + rest}, o})
 			}
+		}
+		for _, a := range adds {
+			f[a.k] |= a.o
 		}
 		return
 	}
@@ -389,8 +435,8 @@ func (eng *taintEngine) assignOne(f taintSet, lhs, rhs ast.Expr) {
 		return
 	}
 
-	if exprMayInf(eng.pass, rhs, eng.local, f) {
-		f[taintKey{obj, path}] = true
+	if mask := eng.exprOrigins(f, rhs); mask != 0 {
+		f[taintKey{obj, path}] = mask
 	} else {
 		eng.kill(f, obj, path)
 	}
@@ -418,8 +464,8 @@ func (eng *taintEngine) applyComposite(f taintSet, obj types.Object, base string
 			eng.applyComposite(f, obj, base+"."+fieldName, nested)
 			continue
 		}
-		if exprMayInf(eng.pass, value, eng.local, f) {
-			f[taintKey{obj, base + "." + fieldName}] = true
+		if mask := eng.exprOrigins(f, value); mask != 0 {
+			f[taintKey{obj, base + "." + fieldName}] = mask
 		}
 	}
 }
@@ -515,45 +561,84 @@ func report(pass *framework.Pass, pos token.Pos, op token.Token, x, y ast.Expr) 
 		types.ExprString(x), types.ExprString(y), op, op)
 }
 
-// exprMayInf reports whether e can carry a ±Inf sentinel under the current
-// taint facts.
-func exprMayInf(pass *framework.Pass, e ast.Expr, local localMarks, taints taintSet) bool {
+// exprOrigins returns the taint mask of e under the current facts: which
+// parameter bits (summary mode) and/or the intrinsic bit its possible ±Inf
+// derives from. Zero means Inf-free as far as the analysis can see.
+func (eng *taintEngine) exprOrigins(f taintSet, e ast.Expr) origins {
+	pass := eng.pass
 	switch e := ast.Unparen(e).(type) {
 	case *ast.Ident:
 		obj := pass.TypesInfo.Uses[e]
-		return obj != nil && taints[taintKey{obj, ""}]
+		if obj == nil {
+			return 0
+		}
+		return f[taintKey{obj, ""}]
 	case *ast.UnaryExpr:
 		if e.Op == token.SUB || e.Op == token.ADD {
-			return exprMayInf(pass, e.X, local, taints)
+			return eng.exprOrigins(f, e.X)
 		}
 	case *ast.IndexExpr:
-		return exprMayInf(pass, e.X, local, taints)
+		return eng.exprOrigins(f, e.X)
 	case *ast.SelectorExpr:
 		obj := pass.TypesInfo.Uses[e.Sel]
 		if obj == nil {
-			return false
+			return 0
 		}
-		if local[obj] {
-			return true
+		if eng.local[obj] {
+			return intrinsicOrigin
 		}
 		if v, ok := obj.(*types.Var); ok && v.IsField() {
 			if MayInfFields[fieldKey(pass, e, v)] {
-				return true
+				return intrinsicOrigin
 			}
 			// Field-sensitive local fact: a.hi after `a.hi = e.Hi` or
 			// `a := acc{hi: e.Hi}`.
 			if root, path, ok := rootSelPath(pass, e); ok {
-				if taints[taintKey{root, path}] || taints[taintKey{root, ""}] {
-					return true
-				}
+				return f[taintKey{root, path}] | f[taintKey{root, ""}]
 			}
 		}
 	case *ast.CallExpr:
-		if fn := calleeFunc(pass, e); fn != nil {
-			return MayInfFuncs[fn.FullName()] || local[fn]
+		return eng.callResultOrigins(f, e, 0)
+	}
+	return 0
+}
+
+// callResultOrigins returns the taint mask of result res of call: intrinsic
+// for the marked producers, otherwise the callee summary's per-result flow
+// with parameter bits resolved through the argument expressions.
+func (eng *taintEngine) callResultOrigins(f taintSet, call *ast.CallExpr, res int) origins {
+	fn := calleeFunc(eng.pass, call)
+	if fn == nil {
+		return 0
+	}
+	if MayInfFuncs[fn.FullName()] || eng.local[fn] {
+		return intrinsicOrigin
+	}
+	if eng.sums == nil {
+		return 0
+	}
+	s, ok := eng.sums(fn)
+	if !ok || res < 0 || res >= len(s.Results) {
+		return 0
+	}
+	flow := s.Results[res]
+	var mask origins
+	if flow.Intrinsic {
+		mask = intrinsicOrigin
+	}
+	if len(flow.Params) == 0 {
+		return mask
+	}
+	args, aligned := dataflow.FlatArgs(eng.pass.TypesInfo, call, fn)
+	if !aligned {
+		return mask
+	}
+	for _, pi := range flow.Params {
+		if pi >= 0 && pi < len(args) {
+			mask |= eng.exprOrigins(f, args[pi])
 		}
 	}
-	return false
+	return mask
 }
 
 // rootSelPath is selPath without the engine receiver, for use sites.
@@ -645,4 +730,154 @@ func nonZeroConst(pass *framework.Pass, e ast.Expr) bool {
 		return false
 	}
 	return !constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}
+
+// computeTaintSummaries computes one Inf-taint summary per declared function,
+// bottom-up over the call graph's SCCs. Within an SCC the members start from
+// the optimistic bottom (no flows) and iterate: result masks only ever grow
+// (callee flows only grow, and each re-summarization recomputes from larger
+// inputs), so the sweep converges; an SCC that exceeds its iteration budget
+// degrades to "no known flows" — the same reading an unknown callee gets.
+func computeTaintSummaries(pass *framework.Pass, cg *dataflow.CallGraph, local localMarks, imported map[string]dataflow.TaintSummary) map[*types.Func]dataflow.TaintSummary {
+	sums := make(map[*types.Func]dataflow.TaintSummary, len(cg.Order))
+	lookup := func(fn *types.Func) (dataflow.TaintSummary, bool) {
+		if s, ok := sums[fn]; ok {
+			return s, true
+		}
+		s, ok := imported[fn.FullName()]
+		return s, ok
+	}
+	for _, comp := range cg.SCCs {
+		recursive := len(comp) > 1 || selfRecursive(cg, comp[0])
+		for _, fn := range comp {
+			sums[fn] = dataflow.TaintSummary{}
+		}
+		bound := dataflow.SCCIterBound(len(comp))
+		iters := 0
+		for {
+			iters++
+			changed := false
+			for _, fn := range comp {
+				ns := summarizeTaint(pass, cg.Funcs[fn], local, lookup)
+				if !ns.SameShape(sums[fn]) {
+					changed = true
+				}
+				sums[fn] = ns
+			}
+			if !changed || !recursive {
+				break
+			}
+			if iters >= bound {
+				// Non-convergence would mean a monotonicity bug; degrade to
+				// "no known flows" rather than loop.
+				for _, fn := range comp {
+					delete(sums, fn)
+				}
+				break
+			}
+		}
+	}
+	return sums
+}
+
+func selfRecursive(cg *dataflow.CallGraph, fn *types.Func) bool {
+	for _, c := range cg.Funcs[fn].Callees {
+		if c == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// summarizeTaint runs the taint engine over one function with each named
+// flattened parameter seeded with its own origin bit, and reads per-result
+// flows off the converged facts at the return statements. Guards are ignored
+// here: a math.IsInf check inside a helper does not scrub the value for its
+// caller's arithmetic (the helper may still return the Inf it detected).
+func summarizeTaint(pass *framework.Pass, fi *dataflow.FuncInfo, local localMarks, lookup func(*types.Func) (dataflow.TaintSummary, bool)) dataflow.TaintSummary {
+	sig, ok := fi.Fn.Type().(*types.Signature)
+	if !ok {
+		return dataflow.TaintSummary{}
+	}
+	nres := sig.Results().Len()
+	if nres == 0 {
+		return dataflow.TaintSummary{}
+	}
+	seed := make(taintSet)
+	for i, p := range dataflow.FlatParams(fi.Fn) {
+		if i >= 63 {
+			break // bits 0..62 only; a 64-parameter function loses precision, not soundness
+		}
+		if p.Name() == "" || p.Name() == "_" {
+			continue
+		}
+		seed[taintKey{p, ""}] = 1 << i
+	}
+	eng := &taintEngine{pass: pass, local: local, sums: lookup}
+	masks := make([]origins, nres)
+	eng.collectReturns(fi.Decl.Body, seed, masks)
+
+	var out dataflow.TaintSummary
+	for res, m := range masks {
+		if m == 0 {
+			continue
+		}
+		if out.Results == nil {
+			out.Results = make([]dataflow.TaintFlow, nres)
+		}
+		flow := dataflow.TaintFlow{Intrinsic: m&intrinsicOrigin != 0}
+		for bit := 0; bit < 63; bit++ {
+			if m&(1<<bit) != 0 {
+				flow.Params = append(flow.Params, bit)
+			}
+		}
+		out.Results[res] = flow
+	}
+	return out
+}
+
+// collectReturns runs the taint fixpoint over the body and ORs each return
+// statement's per-result origins into masks. Closure bodies are not entered —
+// their returns are not this function's returns — and bare returns (named
+// results) contribute nothing, which only under-taints.
+func (eng *taintEngine) collectReturns(body *ast.BlockStmt, seed taintSet, masks []origins) {
+	cfg := dataflow.New(body)
+	lat := taintLattice{}
+	in := dataflow.Forward[taintSet](cfg, lat, func(b *dataflow.Block, f taintSet) taintSet {
+		if b == cfg.Entry {
+			f, _ = lat.Join(f, seed)
+		}
+		for _, n := range b.Nodes {
+			eng.applyNode(f, n)
+		}
+		return f
+	})
+	for _, b := range cfg.Blocks {
+		if !b.Live {
+			continue
+		}
+		f := lat.Clone(in[b.Index])
+		if b == cfg.Entry {
+			f, _ = lat.Join(f, seed)
+		}
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				switch {
+				case len(ret.Results) == len(masks):
+					for i, r := range ret.Results {
+						masks[i] |= eng.exprOrigins(f, r)
+					}
+				case len(ret.Results) == 1:
+					// Tuple pass-through: `return helper(...)` spreads the
+					// callee's per-result flows across our results.
+					if call, isCall := ast.Unparen(ret.Results[0]).(*ast.CallExpr); isCall {
+						for i := range masks {
+							masks[i] |= eng.callResultOrigins(f, call, i)
+						}
+					}
+				}
+			}
+			eng.applyNode(f, n)
+		}
+	}
 }

@@ -12,11 +12,19 @@
 // each function's CFG: a pin opens an obligation that must be closed on
 // every path reaching a normal return. Closing events are a Release on the
 // frame (through any single-assignment alias), a `defer f.Release()`, or an
-// ownership transfer — returning the frame, passing it to another call,
-// storing it into a structure or global, or capturing it in a closure (the
-// new holder is then responsible; wrap() in btree is the canonical case).
-// The `f, err := pool.Get(id); if err != nil { return err }` idiom is
-// understood: no frame exists on the error arm. Escape hatch:
+// ownership transfer — returning the frame, storing it into a structure or
+// global, or capturing it in a closure (the new holder is then responsible;
+// wrap() in btree is the canonical case). Calls are resolved through
+// function summaries computed bottom-up over the package call graph (and
+// imported from dependency vetx records): passing a frame to a callee whose
+// summary says it releases or takes ownership discharges the obligation,
+// while a callee that merely reads the frame — or releases it on only some
+// paths — leaves the duty with the caller, and the diagnostic names the
+// helper chain. A helper whose summary returns a fresh pin (its result
+// passes a Get through) is itself a source at its call sites. Unknown or
+// external callees keep the old conservative reading: ownership presumed
+// transferred. The `f, err := pool.Get(id); if err != nil { return err }`
+// idiom is understood: no frame exists on the error arm. Escape hatch:
 // //dualvet:allow pinleak on the acquiring line. _test.go files are exempt
 // (tests leak pins deliberately to probe pool accounting).
 //
@@ -85,6 +93,9 @@ func run(pass *framework.Pass) error {
 		IsRelease: func(call *ast.CallExpr) bool {
 			return methodOn(pass, call, poolPkg, "Frame", map[string]bool{"Release": true})
 		},
+		IsResource: func(t types.Type) bool {
+			return namedIn(t, poolPkg, "Frame")
+		},
 	}
 	bspec := dataflow.BorrowSpec{
 		Borrow: func(call *ast.CallExpr) ([]ast.Expr, int, bool) {
@@ -102,16 +113,50 @@ func run(pass *framework.Pass) error {
 			if lender == nil {
 				return nil, 0, false
 			}
-			// The borrow dies with either the node or its embedded frame:
-			// a direct lender.frame.Release() must count as a release too.
-			frame := &ast.SelectorExpr{X: lender, Sel: ast.NewIdent("frame")}
-			return []ast.Expr{lender, frame}, 0, true
+			return []ast.Expr{lender}, 0, true
 		},
 		IsRelease: func(call *ast.CallExpr) bool {
 			return methodOn(pass, call, btreePkg, "node", map[string]bool{"release": true}) ||
 				methodOn(pass, call, poolPkg, "Frame", map[string]bool{"Release": true})
 		},
+		IsLender: func(t types.Type) bool {
+			return namedIn(t, btreePkg, "node") || namedIn(t, poolPkg, "Frame")
+		},
+		// The borrow dies with either the node or its embedded frame: a
+		// direct lender.frame.Release() must count as a release too.
+		ExpandLender: func(l ast.Expr) []ast.Expr {
+			return []ast.Expr{&ast.SelectorExpr{X: l, Sel: ast.NewIdent("frame")}}
+		},
 	}
+
+	// Interprocedural step: summarize every function of this package
+	// bottom-up over the call graph, with the banks imported from dependency
+	// vetx records underneath, then let the per-function checks consult the
+	// summaries at call sites instead of assuming every call takes ownership.
+	cg := dataflow.BuildCallGraph(pass.Files, pass.TypesInfo)
+	importedOb := pass.Summaries.ObligationsFor(pass.Analyzer.Name)
+	obs, _ := dataflow.ComputeObSummaries(cg, pass.TypesInfo, spec, importedOb)
+	spec.Summaries = func(fn *types.Func) (dataflow.ObSummary, bool) {
+		if s, ok := obs[fn]; ok {
+			return s, true
+		}
+		s, ok := importedOb[fn.FullName()]
+		return s, ok
+	}
+	importedBw := pass.Summaries.BorrowBank()
+	bsums, _ := dataflow.ComputeBorrowSummaries(cg, pass.TypesInfo, bspec, importedBw)
+	bspec.Summaries = func(fn *types.Func) (dataflow.BorrowSummary, bool) {
+		if s, ok := bsums[fn]; ok {
+			return s, true
+		}
+		s, ok := importedBw[fn.FullName()]
+		return s, ok
+	}
+	exp := &dataflow.PackageSummaries{}
+	exp.AddObligations(pass.Analyzer.Name, obs)
+	exp.AddBorrows(bsums)
+	pass.Export(exp)
+
 	for _, f := range pass.Files {
 		if framework.IsTestFile(pass.Fset, f) {
 			continue
@@ -160,11 +205,20 @@ func checkBorrows(pass *framework.Pass, body *ast.BlockStmt, spec dataflow.Borro
 func checkBody(pass *framework.Pass, body *ast.BlockStmt, spec dataflow.LeakSpec) {
 	for _, leak := range dataflow.FindLeaks(body, pass.TypesInfo, spec) {
 		name := calleeName(leak.Acquire)
-		if leak.Immediate {
+		switch {
+		case leak.Immediate:
 			pass.Reportf(leak.Acquire.Pos(),
 				"frame pinned by %s is discarded without Release; the pin wedges the frame in the pool (//dualvet:allow pinleak if intentional)",
 				name)
-		} else {
+		case len(leak.Chain) > 0:
+			verb := "does not release it"
+			if leak.Conditional {
+				verb = "releases it on only some paths"
+			}
+			pass.Reportf(leak.Acquire.Pos(),
+				"frame pinned by %s is passed to %s, which %s; the pin may never reach Release (//dualvet:allow pinleak if ownership rests with the callee)",
+				name, strings.Join(leak.Chain, " → "), verb)
+		default:
 			pass.Reportf(leak.Acquire.Pos(),
 				"frame pinned by %s may not reach Release on every return path; use defer f.Release() or release on each branch (//dualvet:allow pinleak if ownership moves elsewhere)",
 				name)
@@ -197,6 +251,20 @@ func methodOn(pass *framework.Pass, call *ast.CallExpr, pkgSuffix, typeName stri
 		return false
 	}
 	if named.Obj().Name() != typeName {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
+}
+
+// namedIn reports whether t is (a pointer to) the named type typeName
+// declared in a package whose import path ends in pkgSuffix.
+func namedIn(t types.Type, pkgSuffix, typeName string) bool {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Name() != typeName {
 		return false
 	}
 	path := named.Obj().Pkg().Path()

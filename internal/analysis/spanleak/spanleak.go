@@ -12,10 +12,15 @@
 // The check runs the obligation engine from internal/analysis/dataflow
 // over each function's CFG: Begin/StartBatch opens an obligation that must
 // reach End/Done (directly, through a single-assignment alias, or via
-// defer) on every path to a normal return. Returning the timer or passing
-// it onward transfers the obligation to the new holder. Escape hatch:
-// //dualvet:allow spanleak on the beginning line. _test.go files are
-// exempt.
+// defer) on every path to a normal return. Returning the timer transfers
+// the obligation to the caller; passing it to a callee is resolved through
+// function summaries computed over the package call graph (and imported
+// from dependency vetx records) — a helper that closes the timer on every
+// path discharges the obligation, one that merely reads it (or closes it
+// only conditionally) leaves the duty with the caller and the diagnostic
+// names the helper chain. Unknown callees are presumed to take ownership,
+// as before. Escape hatch: //dualvet:allow spanleak on the beginning line.
+// _test.go files are exempt.
 package spanleak
 
 import (
@@ -68,7 +73,36 @@ func run(pass *framework.Pass) error {
 			}
 			return false
 		},
+		IsResource: func(t types.Type) bool {
+			for _, p := range Pairs {
+				if namedIn(t, p.CloseType) {
+					return true
+				}
+			}
+			return false
+		},
 	}
+
+	// Interprocedural step: summarize every function bottom-up over the
+	// package call graph (imported dependency banks underneath), so a timer
+	// handed to a helper is charged by what the helper actually does with it
+	// — End on every path discharges, a read-only or conditional helper
+	// leaves the duty here — and a helper returning a fresh timer is a
+	// source at its call sites.
+	cg := dataflow.BuildCallGraph(pass.Files, pass.TypesInfo)
+	imported := pass.Summaries.ObligationsFor(pass.Analyzer.Name)
+	sums, _ := dataflow.ComputeObSummaries(cg, pass.TypesInfo, spec, imported)
+	spec.Summaries = func(fn *types.Func) (dataflow.ObSummary, bool) {
+		if s, ok := sums[fn]; ok {
+			return s, true
+		}
+		s, ok := imported[fn.FullName()]
+		return s, ok
+	}
+	exp := &dataflow.PackageSummaries{}
+	exp.AddObligations(pass.Analyzer.Name, sums)
+	pass.Export(exp)
+
 	for _, f := range pass.Files {
 		if framework.IsTestFile(pass.Fset, f) {
 			continue
@@ -90,11 +124,20 @@ func run(pass *framework.Pass) error {
 func checkBody(pass *framework.Pass, body *ast.BlockStmt, spec dataflow.LeakSpec) {
 	for _, leak := range dataflow.FindLeaks(body, pass.TypesInfo, spec) {
 		name, closeName := describe(pass, leak.Acquire)
-		if leak.Immediate {
+		switch {
+		case leak.Immediate:
 			pass.Reportf(leak.Acquire.Pos(),
 				"timer started by %s is discarded without %s; the interval is never recorded (//dualvet:allow spanleak if intentional)",
 				name, closeName)
-		} else {
+		case len(leak.Chain) > 0:
+			verb := "does not close it"
+			if leak.Conditional {
+				verb = "closes it on only some paths"
+			}
+			pass.Reportf(leak.Acquire.Pos(),
+				"timer started by %s is passed to %s, which %s; the interval may never be recorded (//dualvet:allow spanleak if the callee is meant to keep it)",
+				name, strings.Join(leak.Chain, " → "), verb)
+		default:
 			pass.Reportf(leak.Acquire.Pos(),
 				"timer started by %s may not reach %s on every return path; close it on each branch or defer it (//dualvet:allow spanleak if ownership moves elsewhere)",
 				name, closeName)
@@ -111,10 +154,44 @@ func describe(pass *framework.Pass, call *ast.CallExpr) (name, closeName string)
 			break
 		}
 	}
+	if closeName == "its close method" {
+		// A summarized source (helper returning a fresh timer): recover the
+		// close method from the call's result types.
+		if tv, ok := pass.TypesInfo.Types[call]; ok {
+			elems := []types.Type{tv.Type}
+			if tup, isTup := tv.Type.(*types.Tuple); isTup {
+				elems = elems[:0]
+				for i := 0; i < tup.Len(); i++ {
+					elems = append(elems, tup.At(i).Type())
+				}
+			}
+			for _, p := range Pairs {
+				for _, t := range elems {
+					if namedIn(t, p.CloseType) {
+						closeName = p.Close
+					}
+				}
+			}
+		}
+	}
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 		name = types.ExprString(sel.X) + "." + sel.Sel.Name
 	}
 	return name, closeName
+}
+
+// namedIn reports whether t is (a pointer to) the named type typeName
+// declared in a package whose import path ends in pkgSuffix.
+func namedIn(t types.Type, typeName string) bool {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Name() != typeName {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
 }
 
 // methodOn reports whether call invokes method name on the named type

@@ -162,3 +162,48 @@ func staleLoopCarry(t *Tree, leaf node) {
 	}
 	sinkEntry(last.Key(0)) // want `view last \(borrowed by t\.leafView\) is read after its frame's release`
 }
+
+// --- cross-function (summary-driven) shapes ---------------------------
+
+// viewOf returns a borrow of its leaf parameter: the computed summary
+// records the result→parameter provenance, so callers track views created
+// through this helper exactly like direct leafView calls.
+func viewOf(t *Tree, leaf node) (LeafView, viewMeta) {
+	return t.leafView(leaf)
+}
+
+// finish releases its lender parameter; the summary carries the release
+// effect to call sites.
+func finish(leaf node) { leaf.release() }
+
+// helperBorrowClean reads the summarized borrow before the release.
+func helperBorrowClean(t *Tree, leaf node) float64 {
+	lv, _ := viewOf(t, leaf)
+	k := lv.Key(0)
+	leaf.release()
+	return k
+}
+
+// helperBorrowDead reads the summarized borrow after its lender's release:
+// the view outlived the lender even though no leafView call is in sight.
+func helperBorrowDead(t *Tree, leaf node) float64 {
+	lv, _ := viewOf(t, leaf)
+	leaf.release()
+	return lv.Key(0) // want `view lv \(borrowed by viewOf\) is read after its frame's release`
+}
+
+// helperReleaseKills: a helper whose summary releases the lender kills the
+// view just like a direct release would.
+func helperReleaseKills(t *Tree, leaf node) float64 {
+	lv, _ := t.leafView(leaf)
+	finish(leaf)
+	return lv.Key(0) // want `view lv \(borrowed by t\.leafView\) is read after its frame's release`
+}
+
+// helperReleaseOrdered: every read precedes the releasing helper. Clean.
+func helperReleaseOrdered(t *Tree, leaf node) float64 {
+	lv, _ := t.leafView(leaf)
+	k := lv.Key(0)
+	finish(leaf)
+	return k
+}

@@ -1,0 +1,29 @@
+// Call-site shapes: suppression and callee resolution at the statement
+// level. The //dualvet:allow escape hatch must work on plain, defer and go
+// statements alike, and calls whose callee cannot be resolved to a declared
+// function (method values, immediately-invoked literals) are out of scope.
+package errsink
+
+import "pagestore"
+
+func deferAllowed(p *pagestore.Pool) {
+	defer p.Flush() //dualvet:allow errsink — shutdown path, error is advisory
+}
+
+func goAllowed() {
+	go pagestore.Sync() //dualvet:allow errsink — fire-and-forget warmup
+}
+
+func deferDropped(p *pagestore.Pool) {
+	defer p.Flush() // want `error that is dropped here`
+	_ = p
+}
+
+func methodValue(p *pagestore.Pool) {
+	flush := p.Flush
+	flush() // callee unresolvable through the method value: not flagged
+}
+
+func immediateLit(p *pagestore.Pool) {
+	func() error { return p.Flush() }() // literal callee has no package home: not flagged
+}

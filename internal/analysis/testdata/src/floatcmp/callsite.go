@@ -1,0 +1,32 @@
+// Call-result comparisons: both operands are call expressions, so the
+// diagnostic and its //dualvet:allow suppression anchor on the call site.
+package floatcmp
+
+import "math"
+
+func clampf(x float64) float64 { return x }
+
+func callResults(a, b float64) bool {
+	if clampf(a) == clampf(b) { // want `exact floating-point == comparison`
+		return true
+	}
+	if math.Abs(a) == math.Abs(b) { // want `exact floating-point == comparison`
+		return true
+	}
+	if clampf(a) == math.Inf(1) { // Inf sentinel on one side: allowed
+		return true
+	}
+	return clampf(a) == 0 // exact-zero sentinel: allowed
+}
+
+func callAllowed(a, b float64) bool {
+	if clampf(a) == clampf(b) { //dualvet:allow floatcmp — quantized grid values compare exactly
+		return true
+	}
+	switch clampf(a) { // want `switch on a floating-point value`
+	case 1.0:
+		return true
+	}
+	//dualvet:allow floatcmp — tie-break needs the exact order
+	return math.Abs(a) != math.Abs(b)
+}

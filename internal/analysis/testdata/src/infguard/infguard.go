@@ -131,3 +131,89 @@ func branchJoin(e env, cond bool, scale float64) float64 {
 	}
 	return s * scale // want `s may be ±Inf`
 }
+
+// ---- cross-function cases: taint flows through helper summaries ----
+
+// clamp passes its parameter straight through: its summary records
+// result 0 ← param 0, so taint at a call site flows into the result.
+func clamp(x float64) float64 {
+	if x > 1e300 {
+		return x
+	}
+	return x
+}
+
+func launderedThroughHelper(e env) float64 {
+	h := clamp(e.Hi)
+	l := clamp(e.Lo)
+	return h - l // want `both h and l may be ±Inf`
+}
+
+func helperCleanInput(scale float64) float64 {
+	a := clamp(scale)
+	b := clamp(2)
+	return a - b // clean arguments in, clean results out: allowed
+}
+
+// floor rebuilds its result from a constant: no flow from its parameter.
+func floor(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+
+func helperScrubs(e env) float64 {
+	a := floor(e.Hi)
+	b := floor(e.Lo)
+	return a - b // non-propagating helper: allowed
+}
+
+// spread taints its result intrinsically (math.Inf inside), even with clean
+// arguments.
+func spread(w float64) float64 {
+	if w < 0 {
+		return math.Inf(1)
+	}
+	return w
+}
+
+func intrinsicViaHelper(scale float64) float64 {
+	a := spread(scale)
+	b := spread(1)
+	return a - b // want `both a and b may be ±Inf`
+}
+
+// widen launders through two levels: widen → clamp → param.
+func widen(x float64) float64 { return clamp(x) }
+
+func launderedTwoHops(e env, scale float64) float64 {
+	return widen(e.Hi) * scale // want `widen\(e.Hi\) may be ±Inf`
+}
+
+// pair spreads a tainted tuple through `return helper(...)` pass-through.
+func pair(x float64) (float64, float64) { return bounds() }
+
+func tuplePassThrough() float64 {
+	lo, hi := pair(0)
+	return hi - lo // want `both hi and lo may be ±Inf`
+}
+
+// selfRef is self-recursive; the SCC fixpoint still converges to
+// result ← param.
+func selfRef(x float64, n int) float64 {
+	if n == 0 {
+		return x
+	}
+	return selfRef(x, n-1)
+}
+
+func recursivePropagation(e env, scale float64) float64 {
+	return selfRef(e.Hi, 3) * scale // want `selfRef\(e.Hi, 3\) may be ±Inf`
+}
+
+func allowedHelperFlow(e env) float64 {
+	h := clamp(e.Hi)
+	// Domain note: Hi is finite whenever this path is reachable.
+	return h - e.Lo //dualvet:allow infguard
+}

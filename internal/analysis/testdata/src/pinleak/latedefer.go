@@ -1,0 +1,41 @@
+// Deferred closures read their captured variables at return time: a loop
+// that releases the old frame and re-binds the same variable stays covered
+// by `defer func() { f.Release() }()`. A closure over a different variable
+// covers nothing new.
+package pinleak
+
+import "pagestore"
+
+func reacquireLoopCovered(p *pagestore.Pool, n int) error {
+	f, err := p.Get()
+	if err != nil {
+		return err
+	}
+	defer func() { f.Release() }()
+	for i := 0; i < n; i++ {
+		use(f.Data())
+		nf, err := p.Get()
+		if err != nil {
+			return err
+		}
+		f.Release()
+		f = nf
+	}
+	return nil
+}
+
+func reacquireLoopUncovered(p *pagestore.Pool, n int) error {
+	g, err := p.Get()
+	if err != nil {
+		return err
+	}
+	defer func() { g.Release() }()
+	for i := 0; i < n; i++ {
+		nf, err := p.Get() // want `frame pinned by p\.Get may not reach Release`
+		if err != nil {
+			return err
+		}
+		use(nf.Data())
+	}
+	return nil
+}

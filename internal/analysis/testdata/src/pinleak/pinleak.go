@@ -92,16 +92,114 @@ func pinned(p *pagestore.Pool) (*pagestore.Frame, error) {
 	return f, nil
 }
 
+// handedOff passes the frame to a helper whose summary shows it neither
+// releases nor takes ownership: the pin obligation stays with the caller.
+// (Before interprocedural summaries, any call was presumed to take
+// ownership and this case was silently allowed.)
 func handedOff(p *pagestore.Pool) error {
-	f, err := p.Get()
+	f, err := p.Get() // want `frame pinned by p\.Get is passed to keep, which does not release it`
 	if err != nil {
 		return err
 	}
-	keep(f) // ownership passed to the callee: allowed
+	keep(f)
 	return nil
 }
 
 func keep(f *pagestore.Frame) {}
+
+// releasedByHelper hands the frame to a helper that releases it on every
+// path: the summary discharges the obligation. Allowed.
+func releasedByHelper(p *pagestore.Pool) error {
+	f, err := p.Get()
+	if err != nil {
+		return err
+	}
+	closeFrame(f)
+	return nil
+}
+
+func closeFrame(f *pagestore.Frame) { f.Release() }
+
+// condReleased hands the frame to a helper that releases it on only one
+// arm: a conditional leak, named as such.
+func condReleased(p *pagestore.Pool, ok bool) error {
+	f, err := p.Get() // want `frame pinned by p\.Get is passed to maybeClose, which releases it on only some paths`
+	if err != nil {
+		return err
+	}
+	maybeClose(f, ok)
+	return nil
+}
+
+func maybeClose(f *pagestore.Frame, ok bool) {
+	if ok {
+		f.Release()
+	}
+}
+
+// heldThroughChain leaks through two levels of helpers; the diagnostic
+// names the chain.
+func heldThroughChain(p *pagestore.Pool) error {
+	f, err := p.Get() // want `frame pinned by p\.Get is passed to keepOuter → keep`
+	if err != nil {
+		return err
+	}
+	keepOuter(f)
+	return nil
+}
+
+func keepOuter(f *pagestore.Frame) { keep(f) }
+
+// stashed hands the frame to a helper that stores it into a global: the
+// summary records an ownership escape, so the caller is off the hook.
+var stashSlot *pagestore.Frame
+
+func stashed(p *pagestore.Pool) error {
+	f, err := p.Get()
+	if err != nil {
+		return err
+	}
+	stash(f)
+	return nil
+}
+
+func stash(f *pagestore.Frame) { stashSlot = f }
+
+// pinViaHelper acquires through a helper whose summary returns a fresh
+// pin: the helper's call sites carry the obligation.
+func pinViaHelper(p *pagestore.Pool) error {
+	f, err := acquire(p) // want `frame pinned by acquire may not reach Release`
+	if err != nil {
+		return err
+	}
+	use(f.Data())
+	return nil
+}
+
+func acquire(p *pagestore.Pool) (*pagestore.Frame, error) {
+	return p.Get()
+}
+
+// pinViaHelperBalanced releases the helper-acquired frame: allowed.
+func pinViaHelperBalanced(p *pagestore.Pool) error {
+	f, err := acquire(p)
+	if err != nil {
+		return err
+	}
+	defer f.Release()
+	use(f.Data())
+	return nil
+}
+
+// allowedHandoff suppresses the cross-function finding at the call site.
+func allowedHandoff(p *pagestore.Pool) error {
+	f, err := p.Get() //dualvet:allow pinleak — keeper registry releases at shutdown
+	if err != nil {
+		return err
+	}
+	keep(f)
+	return nil
+}
 
 func capturedByCleanup(p *pagestore.Pool) error {
 	f, err := p.Get()

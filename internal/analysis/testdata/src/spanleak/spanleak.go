@@ -59,3 +59,73 @@ func aliasEnd(tr *obs.QueryTrace) {
 func annotated(tr *obs.QueryTrace) {
 	tr.Begin("sweep", 0) //dualvet:allow spanleak — fire-and-forget probe
 }
+
+// --- cross-function (summary-driven) shapes ---------------------------
+
+// closeSpan ends its timer on every path; its summary discharges the
+// obligation at call sites.
+func closeSpan(st obs.SpanTimer, pages uint64, items int) {
+	st.End(pages, items)
+}
+
+// readSpan merely inspects the timer: the obligation stays with the caller.
+func readSpan(st obs.SpanTimer) {
+	_ = st
+}
+
+// maybeClose ends the timer on one arm only.
+func maybeClose(st obs.SpanTimer, ok bool) {
+	if ok {
+		st.End(0, 0)
+	}
+}
+
+// closedByHelper hands the span to a closing helper. Allowed.
+func closedByHelper(tr *obs.QueryTrace) {
+	st := tr.Begin("sweep", 0)
+	work()
+	closeSpan(st, 1, 2)
+}
+
+// droppedByHelper hands the span to a helper that never closes it: the
+// stage silently vanishes from the trace.
+func droppedByHelper(tr *obs.QueryTrace) {
+	st := tr.Begin("sweep", 0) // want `timer started by tr\.Begin is passed to readSpan, which does not close it`
+	work()
+	readSpan(st)
+}
+
+// conditionallyClosed: the helper closes only on its success arm.
+func conditionallyClosed(tr *obs.QueryTrace, ok bool) {
+	st := tr.Begin("sweep", 0) // want `timer started by tr\.Begin is passed to maybeClose, which closes it on only some paths`
+	work()
+	maybeClose(st, ok)
+}
+
+// beginVia returns a fresh timer; its summary makes it a source.
+func beginVia(tr *obs.QueryTrace, stage obs.Stage) obs.SpanTimer {
+	return tr.Begin(stage, 0)
+}
+
+// helperSourceLeaked: a timer acquired through a helper still carries the
+// obligation.
+func helperSourceLeaked(tr *obs.QueryTrace, cond bool) {
+	st := beginVia(tr, "route") // want `timer started by beginVia may not reach End on every return path`
+	if cond {
+		return
+	}
+	st.End(0, 0)
+}
+
+// helperSourceBalanced closes the helper-acquired timer. Allowed.
+func helperSourceBalanced(tr *obs.QueryTrace) {
+	st := beginVia(tr, "route")
+	defer st.End(0, 0)
+	work()
+}
+
+// allowedHandoff suppresses the cross-function finding at the call site.
+func allowedHandoff(tr *obs.QueryTrace) {
+	st := tr.Begin("probe", 0) //dualvet:allow spanleak — probe helper records elsewhere
+	readSpan(st)
+}

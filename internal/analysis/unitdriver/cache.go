@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"dualcdb/internal/analysis/dataflow"
 )
 
 // The vetx file this driver writes is no longer empty: it records the
@@ -31,7 +33,14 @@ import (
 // "cold", "warm" or "vetxonly" plus the import path — so tests (and
 // curious humans) can observe the cache behaviour.
 
-const vetxVersion = 1
+// Version 2 added the function-summary bank: the interprocedural analyzers
+// export per-function obligation/borrow/taint summaries, which ride in the
+// vetx record so dependent units can consume them. Because the fingerprint
+// hashes dependency vetx files byte-for-byte, a changed callee summary
+// changes the dependent's fingerprint — cross-package invalidation is sound
+// without a separate summary-hash scheme. Old version-1 cache entries
+// simply miss and re-analyze once.
+const vetxVersion = 2
 
 // diagRecord is one recorded diagnostic, position pre-formatted.
 type diagRecord struct {
@@ -41,12 +50,47 @@ type diagRecord struct {
 }
 
 // vetxRecord is the JSON body of a vetx file and of a cache entry.
+// Summaries holds only "interesting" entries (anything a caller could not
+// assume from the unknown-callee top summary); Go's JSON encoder sorts map
+// keys, so the record stays byte-deterministic for the warm-replay gate.
 type vetxRecord struct {
-	Version     int          `json:"version"`
-	Fingerprint string       `json:"fingerprint"`
-	ImportPath  string       `json:"import_path"`
-	Analyzers   []string     `json:"analyzers,omitempty"`
-	Diagnostics []diagRecord `json:"diagnostics,omitempty"`
+	Version     int                        `json:"version"`
+	Fingerprint string                     `json:"fingerprint"`
+	ImportPath  string                     `json:"import_path"`
+	Analyzers   []string                   `json:"analyzers,omitempty"`
+	Diagnostics []diagRecord               `json:"diagnostics,omitempty"`
+	Summaries   *dataflow.PackageSummaries `json:"summaries,omitempty"`
+}
+
+// depSummaries decodes and merges the summary banks of every dependency
+// vetx record the go command handed us. Unreadable or version-skewed
+// records contribute nothing — their functions degrade to unknown callees,
+// which is sound (TopEffect).
+func depSummaries(cfg *Config) *dataflow.PackageSummaries {
+	if len(cfg.PackageVetx) == 0 {
+		return nil
+	}
+	deps := make([]string, 0, len(cfg.PackageVetx))
+	for dep := range cfg.PackageVetx {
+		deps = append(deps, dep)
+	}
+	sort.Strings(deps)
+	merged := &dataflow.PackageSummaries{}
+	for _, dep := range deps {
+		data, err := os.ReadFile(cfg.PackageVetx[dep])
+		if err != nil {
+			continue
+		}
+		var rec vetxRecord
+		if json.Unmarshal(data, &rec) != nil || rec.Version != vetxVersion {
+			continue
+		}
+		merged.Merge(rec.Summaries)
+	}
+	if merged.Empty() {
+		return nil
+	}
+	return merged
 }
 
 // fingerprint hashes everything that can change this unit's diagnostics:

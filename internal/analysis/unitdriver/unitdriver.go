@@ -12,13 +12,16 @@
 // through go/importer with a lookup into those files, runs the analyzers and
 // prints diagnostics to stderr (exit status 1 when there are any).
 //
-// Cross-package facts are not implemented — dualvet's analyzers are
-// package-local — but the fact file (.vetx) this driver writes is not
-// empty: it records a fingerprint of the unit's inputs plus the
-// diagnostics the analyzers produced (see cache.go). The same record is
-// mirrored in an external cache ($DUALVET_CACHE) so a repeat run over an
-// unchanged package replays the recorded diagnostics instead of
-// re-type-checking and re-analyzing, even when GOCACHE was discarded.
+// The fact file (.vetx) this driver writes records a fingerprint of the
+// unit's inputs, the diagnostics the analyzers produced, and the unit's
+// function-summary bank (obligation/borrow/taint transfer per function —
+// see cache.go). Dependency vetx files arrive back through
+// Config.PackageVetx: their summaries feed the interprocedural analyzers,
+// and their byte hashes feed the fingerprint, so a changed callee summary
+// re-analyzes exactly the dependent units. The same record is mirrored in
+// an external cache ($DUALVET_CACHE) so a repeat run over an unchanged
+// package replays the recorded diagnostics instead of re-type-checking and
+// re-analyzing, even when GOCACHE was discarded.
 //
 // Invoked with package patterns instead of a .cfg file, the driver re-executes
 // itself through `go vet -vettool=<self>`, which provides the standalone
@@ -228,11 +231,12 @@ func runUnit(cfgFile string, analyzers []*framework.Analyzer) int {
 		log.Fatal(err)
 	}
 
-	diags, err := framework.RunPackage(fset, files, pkg, info, analyzers)
+	diags, exported, err := framework.RunPackage(fset, files, pkg, info, analyzers, depSummaries(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
 	rec.Analyzers = names
+	rec.Summaries = exported
 	for _, d := range diags {
 		rec.Diagnostics = append(rec.Diagnostics, diagRecord{
 			Position: fset.Position(d.Pos).String(),

@@ -271,6 +271,93 @@ func TestObservedCompoundQueries(t *testing.T) {
 	}
 }
 
+// TestFailedQueryClosesRefineSpan pins the error-path span discipline the
+// interprocedural spanleak sweep enforces: a refinement that aborts on a
+// tuple-fetch error must still End its span, so the failed query's trace
+// records the refine stage instead of dropping it. The dangling id comes
+// from deleting a tuple after the build — the index still sweeps it up as
+// a candidate, and refinement's Relation.Get fails.
+func TestFailedQueryClosesRefineSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	rel := constraint.NewRelation(2)
+	var last constraint.TupleID
+	for i := 0; i < 200; i++ {
+		id, err := rel.Insert(randTuple(rng, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = id
+	}
+	o := obs.New(obs.Options{SlowThreshold: 1, TraceCapacity: 16})
+	ix, err := Build(rel, Options{
+		Slopes:        EquiangularSlopes(3),
+		Technique:     T2,
+		IndexVertical: true,
+		PoolPages:     1 << 14,
+		Observe:       o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without a vertical index the window's x-constraints are left to the
+	// tuple refinement itself, exercising queryTuple's own error return
+	// (on ix, the failure fires inside the vertical sub-selection instead).
+	o2 := obs.New(obs.Options{SlowThreshold: 1, TraceCapacity: 16})
+	ix2, err := Build(rel, Options{
+		Slopes:    EquiangularSlopes(3),
+		Technique: T2,
+		PoolPages: 1 << 14,
+		Observe:   o2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Delete(last); err != nil {
+		t.Fatal(err)
+	}
+
+	window, err := constraint.ParseTuple(
+		"x >= -1000000 && x <= 1000000 && y >= -1000000 && y <= 1000000", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.QueryTuple(constraint.EXIST, window); err == nil {
+		t.Fatal("tuple query over a dangling id succeeded; refine error path unexercised")
+	}
+	if _, err := ix.QueryVertical(constraint.EXIST, geom.GE, -1e6); err == nil {
+		t.Fatal("vertical query over a dangling id succeeded; refine error path unexercised")
+	}
+
+	if _, err := ix2.QueryTuple(constraint.EXIST, window); err == nil {
+		t.Fatal("tuple query over a dangling id succeeded; tuple refine error path unexercised")
+	}
+
+	for name, c := range map[string]struct {
+		o    *obs.Observer
+		want int
+	}{"vertical-indexed": {o, 2}, "tuple-refine": {o2, 1}} {
+		failed := 0
+		for _, tr := range c.o.SlowTraces() {
+			if tr.Err == "" {
+				continue
+			}
+			failed++
+			refines := 0
+			for _, sp := range tr.Spans {
+				if sp.Stage == obs.StageRefine.String() {
+					refines++
+				}
+			}
+			if refines == 0 {
+				t.Errorf("%s: failed trace %q has no refine span; the error return dropped it", name, tr.Query)
+			}
+		}
+		if failed != c.want {
+			t.Fatalf("%s: retained %d failed traces, want %d", name, failed, c.want)
+		}
+	}
+}
+
 // TestNilObserverAddsNoAllocs pins the zero-overhead invariant: a query
 // with Observe nil allocates exactly as many objects as one on an index
 // that never had an observer, and attaching/detaching restores it.

@@ -105,9 +105,13 @@ func (ec *execCtx) endSpan(sp obs.SpanTimer, items int) {
 	ec.endSpanRC(sp, ec.rc, items)
 }
 
-// endSpanRC is endSpan against the counter the span was opened on.
+// endSpanRC is endSpan against the counter the span was opened on. The
+// close is unconditional — a zero timer's End is a no-op, so every span
+// handed in reaches End on every path; the bare (untraced) path only
+// skips the counter read, keeping it free of atomic traffic.
 func (ec *execCtx) endSpanRC(sp obs.SpanTimer, rc *pagestore.ReadCounter, items int) {
 	if ec.tr == nil {
+		sp.End(0, items)
 		return
 	}
 	sp.End(rc.Physical.Load(), items)

@@ -162,6 +162,7 @@ func (ix *Index) queryTuple(kind constraint.QueryKind, qt *constraint.Tuple, ec 
 		if needRefine {
 			t, err := ix.rel.Get(id)
 			if err != nil {
+				ec.endSpan(rf, 0)
 				return TupleResult{}, err
 			}
 			var ok bool
@@ -171,6 +172,7 @@ func (ix *Index) queryTuple(kind constraint.QueryKind, qt *constraint.Tuple, ec 
 				ok, err = constraint.TupleEXIST(qt, t)
 			}
 			if err != nil {
+				ec.endSpan(rf, 0)
 				return TupleResult{}, err
 			}
 			if !ok {

@@ -148,10 +148,12 @@ func (ix *Index) queryVertical(kind constraint.QueryKind, op geom.Op, c float64,
 	for _, tid := range cands {
 		t, err := ix.rel.Get(constraint.TupleID(tid))
 		if err != nil {
+			ec.endSpan(rf, 0)
 			return Result{}, err
 		}
 		ok, err := matchesVertical(kind, op, c, t)
 		if err != nil {
+			ec.endSpan(rf, 0)
 			return Result{}, err
 		}
 		if ok {
