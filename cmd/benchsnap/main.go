@@ -4,17 +4,19 @@
 //
 // Usage:
 //
-//	benchsnap                # full measurement, writes BENCH_pr7.json
+//	benchsnap                # full measurement, writes BENCH_pr8.json
 //	benchsnap -quick -o out.json
-//	benchsnap -quick -gate   # also fail on regression past the PR-5 floor
+//	benchsnap -quick -gate   # also fail on regression past the PR-5/PR-6 floors
 //
-// -gate compares the fresh measurement against the checked-in PR-5
-// baselines (allocations and page reads only — wall-clock is too noisy for
-// CI): warm sweeps must stay allocation-free, cold sweeps must stay
-// strictly below the pre-flat-layout decode cost, and the per-sweep
+// -gate compares the fresh measurement against the checked-in PR-5 and
+// PR-6 baselines (allocations and page reads only — wall-clock is too
+// noisy for CI): warm sweeps must stay allocation-free, cold sweeps must
+// stay strictly below the pre-flat-layout decode cost, the per-sweep
 // physical read count must not move at all (the paper's I/O model is
-// exact; a layout change has no business touching it). The alloc floors
-// were measured with -quick, so the gate requires -quick.
+// exact; a layout change has no business touching it), and the warm
+// QueryFlat end-to-end path must hold the PR-6 allocation count — MVCC
+// snapshots must cost readers nothing when no writer is active. The alloc
+// floors were measured with -quick, so the gate requires -quick.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -48,7 +51,7 @@ type Row struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr7.json", "output file")
+	out := flag.String("o", "BENCH_pr8.json", "output file")
 	quick := flag.Bool("quick", false, "smaller trees (smoke run)")
 	gate := flag.Bool("gate", false, "fail on regression past the PR-5 baselines (requires -quick)")
 	flag.Parse()
@@ -259,6 +262,113 @@ func main() {
 		}
 	}
 
+	// MVCC rows. QueryWhileWrite is the headline read-while-write
+	// benchmark: one QueryBatch over 64 selections, first on a quiesced
+	// index, then with a writer goroutine committing an insert/delete
+	// pair every 2ms (~1000 commits/s, a heavy write rate for an index
+	// this size — a busy-loop writer would measure raw CPU timesharing on
+	// small CI machines, not snapshot interference); the extra column
+	// carries the read-only ns/op and the with-writer / read-only ratio
+	// (wall-clock, so recorded rather than gated — the acceptance target
+	// is 1.15×). CommitLatency times
+	// the single-op commit path (copy-on-write shadowing, root-set
+	// publication, watermark reclamation) as one insert commit plus one
+	// delete commit per iteration, holding the index size fixed.
+	{
+		rng := rand.New(rand.NewSource(83))
+		rel := constraint.NewRelation(2)
+		for i := 0; i < coreN; i++ {
+			if _, err := rel.Insert(randTuple(rng)); err != nil {
+				fatal(err)
+			}
+		}
+		ix, err := core.Build(rel, core.Options{
+			Slopes:    core.EquiangularSlopes(3),
+			Technique: core.T2,
+			Store:     pagestore.NewMemStore(1024),
+			PoolPages: 1 << 14,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		queries := make([]constraint.Query, 64)
+		for i := range queries {
+			queries[i] = randQuery(rng)
+		}
+		batch := func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.QueryBatch(queries, core.BatchOptions{Workers: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if _, err := ix.QueryBatch(queries, core.BatchOptions{Workers: 4}); err != nil {
+			fatal(err) // prime pool + caches
+		}
+		readOnly := testing.Benchmark(batch)
+
+		ids := rel.IDs()
+		stop := make(chan struct{})
+		writerDone := make(chan error, 1)
+		var commitPairs atomic.Int64
+		start := time.Now()
+		go func() {
+			wrng := rand.New(rand.NewSource(89))
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					writerDone <- nil
+					return
+				case <-tick.C:
+				}
+				id, err := ix.Insert(randTuple(wrng))
+				if err != nil {
+					writerDone <- err
+					return
+				}
+				ids = append(ids, id)
+				j := wrng.Intn(len(ids))
+				if err := ix.Delete(ids[j]); err != nil {
+					writerDone <- err
+					return
+				}
+				ids[j] = ids[len(ids)-1]
+				ids = ids[:len(ids)-1]
+				commitPairs.Add(1)
+			}
+		}()
+		withWriter := testing.Benchmark(batch)
+		elapsed := time.Since(start)
+		close(stop)
+		if err := <-writerDone; err != nil {
+			fatal(err)
+		}
+		roNs := float64(readOnly.T.Nanoseconds()) / float64(readOnly.N)
+		wwNs := float64(withWriter.T.Nanoseconds()) / float64(withWriter.N)
+		add("QueryWhileWrite", map[string]float64{
+			"readonly_ns_op":    roNs,
+			"ratio_vs_readonly": wwNs / roNs,
+			"commits_per_sec":   2 * float64(commitPairs.Load()) / elapsed.Seconds(),
+		}, withWriter)
+
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				id, err := ix.Insert(randTuple(rng))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ix.Delete(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add("CommitLatency", map[string]float64{"commits_per_op": 2}, res)
+	}
+
 	// Dualvet unit-cache ablations: the tool is invoked directly on
 	// hand-written compilation units — a cold run (parse, type-check, all
 	// analyzers) against a warm replay of the same fingerprint from
@@ -323,6 +433,13 @@ const (
 	gateColdPhysReads     = 17
 )
 
+// PR-6 -quick floor (BENCH_pr6.json): the warm end-to-end query on the
+// flat layout. MVCC pins a version per query with one atomic load and a
+// census tick — no Snapshot object, no extra allocation — so the count
+// must not move at all: a regression here means snapshots started costing
+// idle readers something.
+const gateQueryFlatAllocs = 368
+
 // checkGate enforces the PR-5 floors on a -quick measurement.
 func checkGate(rows []Row) []error {
 	byName := make(map[string]Row, len(rows))
@@ -339,6 +456,9 @@ func checkGate(rows []Row) []error {
 	}
 	if r, ok := need("SweepWarm"); ok && r.AllocsOp != 0 {
 		errs = append(errs, fmt.Errorf("SweepWarm allocates (%d allocs/op); warm sweeps must be allocation-free", r.AllocsOp))
+	}
+	if r, ok := need("QueryFlat"); ok && r.AllocsOp > gateQueryFlatAllocs {
+		errs = append(errs, fmt.Errorf("QueryFlat at %d allocs/op; must not exceed the PR-6 floor of %d — read-only queries may not pay for MVCC", r.AllocsOp, gateQueryFlatAllocs))
 	}
 	if r, ok := need("SweepWarmNoCache"); ok && r.AllocsOp >= gateWarmNoCacheAllocs {
 		errs = append(errs, fmt.Errorf("SweepWarmNoCache at %d allocs/op; must stay below the PR-5 decode floor of %d", r.AllocsOp, gateWarmNoCacheAllocs))

@@ -1,8 +1,8 @@
 // Command dualvet is the multichecker for the repository's machine-checked
 // invariants (DESIGN.md §7, §10): float comparison discipline, ±Inf
 // sentinel arithmetic, atomic/plain field mixing, shard-lock re-entrancy,
-// dropped I/O errors, leaked page-frame pins and leaked observability
-// spans.
+// dropped I/O errors, leaked page-frame pins, leaked observability
+// spans and leaked MVCC snapshots.
 //
 // Run it through the go command, which supplies type information for every
 // compilation unit:
@@ -22,6 +22,7 @@ import (
 	"dualcdb/internal/analysis/infguard"
 	"dualcdb/internal/analysis/lockorder"
 	"dualcdb/internal/analysis/pinleak"
+	"dualcdb/internal/analysis/snapleak"
 	"dualcdb/internal/analysis/spanleak"
 	"dualcdb/internal/analysis/unitdriver"
 )
@@ -34,6 +35,7 @@ func main() {
 		lockorder.Analyzer,
 		errsink.Analyzer,
 		pinleak.Analyzer,
+		snapleak.Analyzer,
 		spanleak.Analyzer,
 	)
 }

@@ -118,6 +118,15 @@ type (
 	// BatchOptions tunes Index.QueryBatch's worker pool and intra-query
 	// parallelism; the zero value selects sensible defaults.
 	BatchOptions = core.BatchOptions
+	// Snapshot is a pinned, immutable read view of one committed index
+	// version: queries on it are repeatable and unaffected by concurrent
+	// commits. Obtain with Index.Snapshot, release promptly (DESIGN.md
+	// §13).
+	Snapshot = core.Snapshot
+	// Commit is a writer batch: stage Insert/Delete against Index.Begin's
+	// batch, then Commit publishes all of it as one new version (or Abort
+	// discards it invisibly).
+	Commit = core.Commit
 )
 
 // Technique constants.

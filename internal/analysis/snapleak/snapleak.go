@@ -1,0 +1,197 @@
+// Package snapleak flags MVCC snapshots that can escape their Release.
+//
+// Index.Snapshot pins a version in the pool's census: superseded pages
+// whose death version is visible to any pinned snapshot are never
+// reclaimed (DESIGN.md §13). A dropped *Snapshot therefore does not
+// crash anything — the watermark just stops advancing and every page any
+// later commit supersedes accumulates forever, an unbounded space leak
+// that only shows up under sustained write load. The pairing discipline
+// is strict: every Snapshot() must reach Release() on every path to a
+// normal return (Release is idempotent, so double-release is harmless
+// and `defer s.Release()` is always safe).
+//
+// The check runs the obligation engine from internal/analysis/dataflow
+// over each function's CFG: Snapshot opens an obligation that must reach
+// Release (directly, through a single-assignment alias, or via defer) on
+// every path to a normal return. Returning the snapshot transfers the
+// obligation to the caller; passing it to a callee is resolved through
+// function summaries computed over the package call graph (and imported
+// from dependency vetx records) — a helper that releases on every path
+// discharges the obligation, one that merely reads it leaves the duty
+// with the caller and the diagnostic names the helper chain. Unknown
+// callees are presumed to take ownership. Escape hatch: //dualvet:allow
+// snapleak on the pinning line. _test.go files are exempt.
+package snapleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dualcdb/internal/analysis/dataflow"
+	"dualcdb/internal/analysis/framework"
+)
+
+// Analyzer is the snapleak check.
+var Analyzer = &framework.Analyzer{
+	Name: "snapleak",
+	Doc:  "flag MVCC snapshots that may not reach Release on every return path",
+	Run:  run,
+}
+
+// Pairs lists the pin → release disciplines, keyed by the pinning method:
+// receiver type, method, the resource type and its release method. The
+// snapshot result is always index 0 and pinning cannot fail.
+var Pairs = []struct {
+	BeginType string
+	Begin     string
+	CloseType string
+	Close     string
+}{
+	{"Index", "Snapshot", "Snapshot", "Release"},
+}
+
+// pkgSuffix matches both the real core package and a testdata fake.
+const pkgSuffix = "core"
+
+func run(pass *framework.Pass) error {
+	spec := dataflow.LeakSpec{
+		Source: func(call *ast.CallExpr) (int, int, bool) {
+			for _, p := range Pairs {
+				if methodOn(pass, call, p.BeginType, p.Begin) {
+					return 0, -1, true
+				}
+			}
+			return 0, 0, false
+		},
+		IsRelease: func(call *ast.CallExpr) bool {
+			for _, p := range Pairs {
+				if methodOn(pass, call, p.CloseType, p.Close) {
+					return true
+				}
+			}
+			return false
+		},
+		IsResource: func(t types.Type) bool {
+			for _, p := range Pairs {
+				if namedIn(t, p.CloseType) {
+					return true
+				}
+			}
+			return false
+		},
+	}
+
+	// Interprocedural step: summarize every function bottom-up over the
+	// package call graph (imported dependency banks underneath), so a
+	// snapshot handed to a helper is charged by what the helper actually
+	// does with it — Release on every path discharges, a read-only or
+	// conditional helper leaves the duty here — and a helper returning a
+	// fresh snapshot is a source at its call sites.
+	cg := dataflow.BuildCallGraph(pass.Files, pass.TypesInfo)
+	imported := pass.Summaries.ObligationsFor(pass.Analyzer.Name)
+	sums, _ := dataflow.ComputeObSummaries(cg, pass.TypesInfo, spec, imported)
+	spec.Summaries = func(fn *types.Func) (dataflow.ObSummary, bool) {
+		if s, ok := sums[fn]; ok {
+			return s, true
+		}
+		s, ok := imported[fn.FullName()]
+		return s, ok
+	}
+	exp := &dataflow.PackageSummaries{}
+	exp.AddObligations(pass.Analyzer.Name, sums)
+	pass.Export(exp)
+
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body, spec)
+			for _, fl := range dataflow.FuncLits(fd.Body) {
+				checkBody(pass, fl.Body, spec)
+			}
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *framework.Pass, body *ast.BlockStmt, spec dataflow.LeakSpec) {
+	for _, leak := range dataflow.FindLeaks(body, pass.TypesInfo, spec) {
+		name := describe(pass, leak.Acquire)
+		switch {
+		case leak.Immediate:
+			pass.Reportf(leak.Acquire.Pos(),
+				"snapshot pinned by %s is discarded without Release; the version is never unpinned and superseded pages leak (//dualvet:allow snapleak if intentional)",
+				name)
+		case len(leak.Chain) > 0:
+			verb := "does not release it"
+			if leak.Conditional {
+				verb = "releases it on only some paths"
+			}
+			pass.Reportf(leak.Acquire.Pos(),
+				"snapshot pinned by %s is passed to %s, which %s; the pin may hold the reclamation watermark forever (//dualvet:allow snapleak if the callee is meant to keep it)",
+				name, strings.Join(leak.Chain, " → "), verb)
+		default:
+			pass.Reportf(leak.Acquire.Pos(),
+				"snapshot pinned by %s may not reach Release on every return path; release it on each branch or defer it (//dualvet:allow snapleak if ownership moves elsewhere)",
+				name)
+		}
+	}
+}
+
+func describe(pass *framework.Pass, call *ast.CallExpr) string {
+	name := types.ExprString(call.Fun)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		name = types.ExprString(sel.X) + "." + sel.Sel.Name
+	}
+	return name
+}
+
+// namedIn reports whether t is (a pointer to) the named type typeName
+// declared in a package whose import path ends in pkgSuffix.
+func namedIn(t types.Type, typeName string) bool {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Name() != typeName {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
+}
+
+// methodOn reports whether call invokes method name on the named type
+// typeName declared in a package whose import path ends in pkgSuffix.
+func methodOn(pass *framework.Pass, call *ast.CallExpr, typeName, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Name() != typeName {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
+}

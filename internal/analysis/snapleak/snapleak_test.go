@@ -1,0 +1,12 @@
+package snapleak_test
+
+import (
+	"testing"
+
+	"dualcdb/internal/analysis/analysistest"
+	"dualcdb/internal/analysis/snapleak"
+)
+
+func TestSnapleak(t *testing.T) {
+	analysistest.Run(t, "../testdata", snapleak.Analyzer, "snapleak")
+}

@@ -1,0 +1,28 @@
+// Package core is a golden-test stand-in for dualcdb/internal/core: the
+// snapleak analyzer matches target packages by import-path suffix, so this
+// fake exercises the same resolution without importing the real module.
+package core
+
+type TupleID uint32
+
+type Query struct{ Slope float64 }
+
+type Result struct{ IDs []TupleID }
+
+type Index struct{ version uint64 }
+
+// Snapshot pins the current version; the caller must Release it.
+func (ix *Index) Snapshot() *Snapshot { return &Snapshot{ix: ix} }
+
+type Snapshot struct {
+	ix       *Index
+	released bool
+}
+
+func (s *Snapshot) Release() { s.released = true }
+
+func (s *Snapshot) Query(q Query) (Result, error) { return Result{}, nil }
+
+func (s *Snapshot) Version() uint64 { return 0 }
+
+func (s *Snapshot) Len() int { return 0 }

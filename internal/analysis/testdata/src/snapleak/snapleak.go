@@ -1,0 +1,126 @@
+// Golden cases for the snapleak analyzer.
+package snapleak
+
+import "core"
+
+func work() {}
+
+// balancedDefer is the canonical read path: pin, defer the unpin.
+func balancedDefer(ix *core.Index) (core.Result, error) {
+	s := ix.Snapshot()
+	defer s.Release()
+	return s.Query(core.Query{})
+}
+
+func balancedExplicit(ix *core.Index) {
+	s := ix.Snapshot()
+	work()
+	s.Release()
+}
+
+// leaked is the deliberate leak: the pin escapes the function on the
+// error return, holding the reclamation watermark forever.
+func leaked(ix *core.Index, q core.Query) ([]core.TupleID, error) {
+	s := ix.Snapshot() // want `snapshot pinned by ix\.Snapshot may not reach Release on every return path`
+	res, err := s.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	s.Release()
+	return res.IDs, nil
+}
+
+func discarded(ix *core.Index) {
+	ix.Snapshot() // want `snapshot pinned by ix\.Snapshot is discarded without Release`
+}
+
+// returned transfers the obligation to the caller: allowed.
+func returned(ix *core.Index) *core.Snapshot {
+	return ix.Snapshot()
+}
+
+// aliasRelease: releasing through a single-assignment alias counts.
+func aliasRelease(ix *core.Index) {
+	s := ix.Snapshot()
+	t := s
+	work()
+	t.Release()
+}
+
+// doubleRelease is fine — Release is idempotent — and so is releasing on
+// each branch explicitly.
+func branchRelease(ix *core.Index, cond bool) {
+	s := ix.Snapshot()
+	if cond {
+		s.Release()
+		return
+	}
+	s.Release()
+}
+
+func annotated(ix *core.Index) {
+	ix.Snapshot() //dualvet:allow snapleak — census probe, released by the gauge sweep
+}
+
+// --- cross-function (summary-driven) shapes ---------------------------
+
+// unpin releases its snapshot on every path; its summary discharges the
+// obligation at call sites.
+func unpin(s *core.Snapshot) {
+	s.Release()
+}
+
+// inspect merely reads the snapshot: the obligation stays with the caller.
+func inspect(s *core.Snapshot) int {
+	return s.Len()
+}
+
+// maybeUnpin releases on one arm only.
+func maybeUnpin(s *core.Snapshot, ok bool) {
+	if ok {
+		s.Release()
+	}
+}
+
+// releasedByHelper hands the pin to a releasing helper. Allowed.
+func releasedByHelper(ix *core.Index) {
+	s := ix.Snapshot()
+	work()
+	unpin(s)
+}
+
+// droppedByHelper hands the pin to a helper that never releases it.
+func droppedByHelper(ix *core.Index) {
+	s := ix.Snapshot() // want `snapshot pinned by ix\.Snapshot is passed to inspect, which does not release it`
+	work()
+	_ = inspect(s)
+}
+
+// conditionallyReleased: the helper releases only on its success arm.
+func conditionallyReleased(ix *core.Index, ok bool) {
+	s := ix.Snapshot() // want `snapshot pinned by ix\.Snapshot is passed to maybeUnpin, which releases it on only some paths`
+	work()
+	maybeUnpin(s, ok)
+}
+
+// pinVia returns a fresh snapshot; its summary makes it a source.
+func pinVia(ix *core.Index) *core.Snapshot {
+	return ix.Snapshot()
+}
+
+// helperSourceLeaked: a snapshot acquired through a helper still carries
+// the obligation.
+func helperSourceLeaked(ix *core.Index, cond bool) {
+	s := pinVia(ix) // want `snapshot pinned by pinVia may not reach Release on every return path`
+	if cond {
+		return
+	}
+	s.Release()
+}
+
+// helperSourceBalanced releases the helper-acquired snapshot. Allowed.
+func helperSourceBalanced(ix *core.Index) {
+	s := pinVia(ix)
+	defer s.Release()
+	work()
+}

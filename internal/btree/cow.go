@@ -1,0 +1,379 @@
+package btree
+
+import (
+	"fmt"
+
+	"dualcdb/internal/pagestore"
+)
+
+// Copy-on-write batches and snapshot read handles.
+//
+// A batch (BeginCOW … CommitCOW/AbortCOW) shadows every mutated path from
+// leaf to root into fresh pages: a page reachable from a published root is
+// never rewritten in place, so a reader holding that root sweeps a frozen
+// tree without locks, and the view cache's (PageID, frame-version) keys
+// stay valid for free. Pages the batch allocates ("owned") are invisible
+// to all published versions and are mutated in place for the rest of the
+// batch; the originals they replace are "superseded" and handed to the
+// pool's deferred free list at commit, tagged with the new version.
+//
+// The one structure COW cannot shadow cheaply is the doubly linked leaf
+// chain: cloning leaf P changes the page its neighbors should link to,
+// but the neighbors may themselves be shared with published versions —
+// cloning them would cascade across the whole chain (and their parents).
+// Instead each version carries a pair of chain-override maps ovNext and
+// ovPrev: an entry (P → Q) means "P's effective next (prev) leaf is Q,
+// whatever P's bytes say". Entries exist only for un-owned pages whose
+// effective neighbor changed this version, so the maps are empty on a
+// freshly built tree and stay tiny under steady writes; sweeps consult
+// them through effNext/effPrev at a nil-map lookup's cost. Owned pages
+// never need entries — their bytes are private and kept current. The maps
+// are immutable once published (BeginCOW copies before mutating), so read
+// handles share them without synchronization.
+
+// cowState is an open copy-on-write batch.
+type cowState struct {
+	// owned marks pages allocated by this batch: no published version can
+	// reach them, so the batch mutates them in place.
+	owned map[pagestore.PageID]bool
+	// superseded collects original pages replaced by clones or structurally
+	// removed while still reachable from a published root; the commit hands
+	// them to the pool's deferred free list.
+	superseded []pagestore.PageID
+	// Rollback state for AbortCOW.
+	savedMeta   Meta
+	savedOvNext map[pagestore.PageID]pagestore.PageID
+	savedOvPrev map[pagestore.PageID]pagestore.PageID
+}
+
+// BeginCOW opens a copy-on-write batch: until CommitCOW or AbortCOW, every
+// mutation shadows shared pages into batch-owned clones instead of
+// dirtying them. At most one batch may be open per tree; the caller
+// serializes writers.
+func (t *Tree) BeginCOW() {
+	if t.cow != nil {
+		panic("btree: BeginCOW with a batch already open")
+	}
+	t.cow = &cowState{
+		owned:       make(map[pagestore.PageID]bool),
+		savedMeta:   t.Meta(),
+		savedOvNext: t.ovNext,
+		savedOvPrev: t.ovPrev,
+	}
+	t.ovNext = copyOverrides(t.ovNext)
+	t.ovPrev = copyOverrides(t.ovPrev)
+}
+
+// CommitCOW closes the batch keeping its mutations and returns the
+// superseded pages. The caller must publish the new root set before
+// handing them to Pool.DeferFrees, so no late snapshot can pin the old
+// version after its pages are queued behind it.
+func (t *Tree) CommitCOW() []pagestore.PageID {
+	if t.cow == nil {
+		panic("btree: CommitCOW without an open batch")
+	}
+	s := t.cow.superseded
+	t.cow = nil
+	return s
+}
+
+// AbortCOW discards the batch: every batch-owned page is freed and the
+// root metadata and chain overrides revert to their BeginCOW values. The
+// published tree was never touched, so aborting is invisible to readers.
+func (t *Tree) AbortCOW() error {
+	if t.cow == nil {
+		panic("btree: AbortCOW without an open batch")
+	}
+	var err error
+	for id := range t.cow.owned {
+		if ferr := t.pool.FreePage(id); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	m := t.cow.savedMeta
+	t.root, t.hgt, t.size, t.pages = m.Root, m.Height, m.Size, m.Pages
+	t.ovNext, t.ovPrev = t.cow.savedOvNext, t.cow.savedOvPrev
+	t.pendingFree = t.pendingFree[:0]
+	t.cow = nil
+	return err
+}
+
+// InCOW reports whether a copy-on-write batch is open.
+func (t *Tree) InCOW() bool { return t.cow != nil }
+
+// ChainOverrides returns the tree's current chain-override maps. They are
+// immutable once captured by a published root set: the next BeginCOW
+// copies before mutating.
+func (t *Tree) ChainOverrides() (ovNext, ovPrev map[pagestore.PageID]pagestore.PageID) {
+	return t.ovNext, t.ovPrev
+}
+
+// Handle returns a read-only view of the tree frozen at root metadata m
+// with the given chain-override maps — the per-version tree a snapshot
+// sweeps. It shares the pool, config, view cache and traversal counters
+// with t; it must not be mutated.
+func (t *Tree) Handle(m Meta, ovNext, ovPrev map[pagestore.PageID]pagestore.PageID) *Tree {
+	return &Tree{
+		pool:    t.pool,
+		cfg:     t.cfg,
+		root:    m.Root,
+		hgt:     m.Height,
+		size:    m.Size,
+		pages:   m.Pages,
+		cache:   t.cache,
+		stats:   t.stats,
+		ovNext:  ovNext,
+		ovPrev:  ovPrev,
+		leafCap: t.leafCap,
+		intCap:  t.intCap,
+	}
+}
+
+func copyOverrides(m map[pagestore.PageID]pagestore.PageID) map[pagestore.PageID]pagestore.PageID {
+	if len(m) == 0 {
+		return nil
+	}
+	c := make(map[pagestore.PageID]pagestore.PageID, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// effNext resolves a leaf's effective forward chain link: the override for
+// id when this version carries one, the raw bytes link otherwise. Owned
+// and freshly written pages never have override entries, so their bytes
+// are authoritative.
+func (t *Tree) effNext(id, raw pagestore.PageID) pagestore.PageID {
+	if v, ok := t.ovNext[id]; ok {
+		return v
+	}
+	return raw
+}
+
+// effPrev is effNext for the backward link.
+func (t *Tree) effPrev(id, raw pagestore.PageID) pagestore.PageID {
+	if v, ok := t.ovPrev[id]; ok {
+		return v
+	}
+	return raw
+}
+
+// writable returns a node of the open batch that is safe to mutate in
+// place: n itself when no batch is open (legacy in-place mode) or when the
+// batch already owns it, and otherwise a fresh clone with n's effective
+// chain links resolved into its bytes and both chain neighbors repointed
+// at it. On success the returned node replaces n (whose frame is released
+// if a clone was made); on error n is released.
+func (t *Tree) writable(n node) (node, error) {
+	if t.cow == nil || t.cow.owned[n.id()] {
+		return n, nil
+	}
+	old := n.id()
+	f, err := t.pool.ClonePage(old)
+	if err != nil {
+		n.release()
+		return node{}, err
+	}
+	c := wrap(f)
+	t.cow.owned[c.id()] = true
+	t.cow.superseded = append(t.cow.superseded, old)
+	if n.isLeaf() {
+		prv := t.effPrev(old, n.prev())
+		nxt := t.effNext(old, n.next())
+		c.setPrev(prv)
+		c.setNext(nxt)
+		if prv != pagestore.InvalidPage {
+			if err := t.setChainNext(prv, c.id()); err != nil {
+				n.release()
+				c.release()
+				return node{}, err
+			}
+		}
+		if nxt != pagestore.InvalidPage {
+			if err := t.setChainPrev(nxt, c.id()); err != nil {
+				n.release()
+				c.release()
+				return node{}, err
+			}
+		}
+		delete(t.ovNext, old)
+		delete(t.ovPrev, old)
+	}
+	n.release()
+	return c, nil
+}
+
+// setChainNext points the forward chain link of leaf id at `to`. Outside a
+// batch, and for batch-owned pages, the edit lands in the page bytes; for
+// pages a published version may still reach it lands in the override map,
+// leaving the shared bytes untouched.
+func (t *Tree) setChainNext(id, to pagestore.PageID) error {
+	if t.cow != nil && !t.cow.owned[id] {
+		if t.ovNext == nil {
+			t.ovNext = make(map[pagestore.PageID]pagestore.PageID)
+		}
+		t.ovNext[id] = to
+		return nil
+	}
+	n, err := t.get(id)
+	if err != nil {
+		return err
+	}
+	n.setNext(to)
+	n.release()
+	return nil
+}
+
+// setChainPrev is setChainNext for the backward link.
+func (t *Tree) setChainPrev(id, to pagestore.PageID) error {
+	if t.cow != nil && !t.cow.owned[id] {
+		if t.ovPrev == nil {
+			t.ovPrev = make(map[pagestore.PageID]pagestore.PageID)
+		}
+		t.ovPrev[id] = to
+		return nil
+	}
+	n, err := t.get(id)
+	if err != nil {
+		return err
+	}
+	n.setPrev(to)
+	n.release()
+	return nil
+}
+
+// freeOrSupersede disposes of a page the tree no longer references:
+// batch-owned pages (and every page outside a batch) free immediately,
+// pages a published version may still reach are retired with the commit.
+func (t *Tree) freeOrSupersede(id pagestore.PageID) error {
+	if t.cow != nil {
+		if !t.cow.owned[id] {
+			t.cow.superseded = append(t.cow.superseded, id)
+			return nil
+		}
+		delete(t.cow.owned, id)
+	}
+	return t.pool.FreePage(id)
+}
+
+// findLeafWritable descends to the leaf owning e with every node on the
+// path made writable, patching each parent's child link as the descent
+// goes (the parent is already owned by the time its child is cloned).
+func (t *Tree) findLeafWritable(e Entry) (node, error) {
+	t.stats.descents.Add(1)
+	n, err := t.get(t.root)
+	if err != nil {
+		return node{}, err
+	}
+	if n, err = t.writable(n); err != nil {
+		return node{}, err
+	}
+	if n.id() != t.root {
+		t.root = n.id()
+	}
+	for !n.isLeaf() {
+		ci := n.childIndex(e)
+		child, err := t.get(n.child(ci))
+		if err != nil {
+			n.release()
+			return node{}, err
+		}
+		if child, err = t.writable(child); err != nil {
+			n.release()
+			return node{}, err
+		}
+		if n.child(ci) != child.id() {
+			n.setChild(ci, child.id())
+		}
+		n.release()
+		n = child
+	}
+	return n, nil
+}
+
+// resetHandicapsCOW restores identity handicaps under an open batch. The
+// in-place chain walk of ResetHandicaps would both dirty shared leaves and
+// orphan parent→child links when a mid-chain leaf is cloned, so under COW
+// the reset walks the tree top-down, cloning every node and repointing the
+// child links as it unwinds.
+func (t *Tree) resetHandicapsCOW() error {
+	var walk func(id pagestore.PageID, height int) (pagestore.PageID, error)
+	walk = func(id pagestore.PageID, height int) (pagestore.PageID, error) {
+		n, err := t.get(id)
+		if err != nil {
+			return id, err
+		}
+		if n, err = t.writable(n); err != nil {
+			return id, err
+		}
+		self := n.id()
+		defer n.release()
+		if height == 1 {
+			for s, k := range t.cfg.HandicapKinds {
+				n.setHandicap(s, k.Identity())
+			}
+			return self, nil
+		}
+		for i := 0; i <= n.count(); i++ {
+			nc, err := walk(n.child(i), height-1)
+			if err != nil {
+				return self, err
+			}
+			if nc != n.child(i) {
+				n.setChild(i, nc)
+			}
+		}
+		return self, nil
+	}
+	nr, err := walk(t.root, t.hgt)
+	if nr != t.root && nr != pagestore.InvalidPage {
+		t.root = nr
+	}
+	return err
+}
+
+// FlattenChainOverrides writes every chain-override entry into its page's
+// bytes and clears the maps, so the raw leaf chain becomes authoritative
+// again — the precondition for persisting the tree (Meta carries no
+// override state). Writing those bytes would corrupt older versions that
+// still mask them, so the caller must guarantee no snapshot is active;
+// the current version is unaffected (the overrides it still carries then
+// agree with the bytes). Must not be called inside a batch.
+func (t *Tree) FlattenChainOverrides() error {
+	if t.cow != nil {
+		return fmt.Errorf("btree: FlattenChainOverrides inside a copy-on-write batch")
+	}
+	for id, to := range t.ovNext {
+		n, err := t.get(id)
+		if err != nil {
+			return err
+		}
+		n.setNext(to)
+		n.release()
+	}
+	for id, to := range t.ovPrev {
+		n, err := t.get(id)
+		if err != nil {
+			return err
+		}
+		n.setPrev(to)
+		n.release()
+	}
+	t.ovNext, t.ovPrev = nil, nil
+	return nil
+}
+
+// cowSanity is a debug helper for tests: it verifies that no batch-owned
+// page appears in the superseded list.
+func (t *Tree) cowSanity() error {
+	if t.cow == nil {
+		return nil
+	}
+	for _, id := range t.cow.superseded {
+		if t.cow.owned[id] {
+			return fmt.Errorf("btree: page %d both owned and superseded", id)
+		}
+	}
+	return nil
+}

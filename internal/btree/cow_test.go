@@ -1,0 +1,321 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"dualcdb/internal/pagestore"
+)
+
+// handleOf freezes the tree's current version as a read handle, the way a
+// published root set does.
+func handleOf(tr *Tree) *Tree {
+	ovn, ovp := tr.ChainOverrides()
+	return tr.Handle(tr.Meta(), ovn, ovp)
+}
+
+func entriesOf(t *testing.T, tr *Tree) []Entry {
+	t.Helper()
+	es, err := tr.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return es
+}
+
+func sameEntries(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCOWInsertPreservesPublishedHandle checks the heart of MVCC: a handle
+// frozen before a batch sweeps exactly the old entries while the live tree
+// takes inserts that split leaves and grow the root.
+func TestCOWInsertPreservesPublishedHandle(t *testing.T) {
+	tr, pool := newTestTree(t, 256, nil)
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(float64(i*2), uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := entriesOf(t, tr)
+	h := handleOf(tr)
+
+	tr.BeginCOW()
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(float64(i*2+1), uint32(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.cowSanity(); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-batch: the handle still sees exactly the old entries.
+	if got := entriesOf(t, h); !sameEntries(got, before) {
+		t.Fatalf("handle drifted mid-batch: %d entries, want %d", len(got), len(before))
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("handle invariants mid-batch: %v", err)
+	}
+	superseded := tr.CommitCOW()
+	if len(superseded) == 0 {
+		t.Fatal("no pages superseded by 200 COW inserts")
+	}
+
+	// Post-commit, pre-reclaim: handle still intact.
+	if got := entriesOf(t, h); !sameEntries(got, before) {
+		t.Fatal("handle drifted after commit")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("live tree invariants: %v", err)
+	}
+	if got := entriesOf(t, tr); len(got) != 400 {
+		t.Fatalf("live tree has %d entries, want 400", len(got))
+	}
+
+	// With no snapshot pinned the superseded pages free immediately.
+	pool.DeferFrees(2, superseded)
+	if c := pool.SnapshotCensus(); c.DeferredPages != 0 {
+		t.Fatalf("deferred pages after watermark free: %d", c.DeferredPages)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("live tree invariants after reclaim: %v", err)
+	}
+}
+
+// TestCOWDeletePreservesPublishedHandle drives merges and the chain
+// overrides they create, then checks both versions.
+func TestCOWDeletePreservesPublishedHandle(t *testing.T) {
+	tr, pool := newTestTree(t, 256, nil)
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(float64(i), uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := entriesOf(t, tr)
+	h := handleOf(tr)
+
+	tr.BeginCOW()
+	rng := rand.New(rand.NewSource(7))
+	deleted := map[int]bool{}
+	for len(deleted) < n*3/4 {
+		i := rng.Intn(n)
+		if deleted[i] {
+			continue
+		}
+		found, err := tr.Delete(float64(i), uint32(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("entry %d not found", i)
+		}
+		deleted[i] = true
+	}
+	if err := tr.cowSanity(); err != nil {
+		t.Fatal(err)
+	}
+	if got := entriesOf(t, h); !sameEntries(got, before) {
+		t.Fatalf("handle drifted mid-batch: %d entries, want %d", len(got), len(before))
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("handle invariants mid-batch: %v", err)
+	}
+	superseded := tr.CommitCOW()
+
+	if got := entriesOf(t, h); !sameEntries(got, before) {
+		t.Fatal("handle drifted after commit")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("live tree invariants: %v", err)
+	}
+	if got := entriesOf(t, tr); len(got) != n-len(deleted) {
+		t.Fatalf("live tree has %d entries, want %d", len(got), n-len(deleted))
+	}
+
+	pool.DeferFrees(2, superseded)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("live tree invariants after reclaim: %v", err)
+	}
+	if got := entriesOf(t, tr); len(got) != n-len(deleted) {
+		t.Fatalf("post-reclaim live tree has %d entries", len(got))
+	}
+}
+
+// TestAbortCOWRestores aborts a mixed batch and checks the tree reverts
+// byte-for-byte in content and that the batch's pages are given back.
+func TestAbortCOWRestores(t *testing.T) {
+	store := pagestore.NewMemStore(256)
+	pool := pagestore.NewPool(store, 256)
+	tr, err := New(pool, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		if err := tr.Insert(float64(i), uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := entriesOf(t, tr)
+	meta := tr.Meta()
+	allocated := store.NumAllocated()
+
+	tr.BeginCOW()
+	for i := 0; i < 60; i++ {
+		if err := tr.Insert(float64(i)+0.5, uint32(2000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		if _, err := tr.Delete(float64(i), uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.AbortCOW(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta() != meta {
+		t.Fatalf("meta not restored: %+v vs %+v", tr.Meta(), meta)
+	}
+	if got := entriesOf(t, tr); !sameEntries(got, before) {
+		t.Fatal("entries not restored after abort")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.NumAllocated(); got != allocated {
+		t.Fatalf("abort leaked pages: %d allocated, want %d", got, allocated)
+	}
+}
+
+// TestCOWHandicapsShadow checks MergeHandicap and ResetHandicaps shadow
+// their paths: the frozen handle keeps the old slot values.
+func TestCOWHandicapsShadow(t *testing.T) {
+	tr, _ := newTestTree(t, 256, []SlotKind{MinSlot, MaxSlot})
+	for i := 0; i < 120; i++ {
+		if err := tr.Insert(float64(i), uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.MergeHandicap(10, 0, -5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MergeHandicap(10, 1, 99); err != nil {
+		t.Fatal(err)
+	}
+	readSlot := func(tree *Tree, key float64, slot int) float64 {
+		leaf, err := tree.findLeaf(Entry{Key: key, TID: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer leaf.release()
+		return leaf.handicap(slot)
+	}
+	h := handleOf(tr)
+
+	tr.BeginCOW()
+	if err := tr.ResetHandicaps(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MergeHandicap(10, 0, -7); err != nil {
+		t.Fatal(err)
+	}
+	tr.CommitCOW()
+
+	if got := readSlot(h, 10, 0); got != -5 {
+		t.Fatalf("handle slot 0 = %g, want -5", got)
+	}
+	if got := readSlot(h, 10, 1); got != 99 {
+		t.Fatalf("handle slot 1 = %g, want 99", got)
+	}
+	if got := readSlot(tr, 10, 0); got != -7 {
+		t.Fatalf("live slot 0 = %g, want -7", got)
+	}
+	if got := readSlot(tr, 10, 1); got != MaxSlot.Identity() {
+		t.Fatalf("live slot 1 = %g, want identity", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCOWBatchesCompose runs several sequential batches with interleaved
+// handles, checking every historical version stays sweepable until its
+// pages are reclaimed.
+func TestCOWBatchesCompose(t *testing.T) {
+	tr, pool := newTestTree(t, 256, nil)
+	rng := rand.New(rand.NewSource(42))
+	present := map[uint32]float64{}
+	var next uint32 = 1
+	for i := 0; i < 100; i++ {
+		k := rng.Float64() * 1000
+		if err := tr.Insert(k, next); err != nil {
+			t.Fatal(err)
+		}
+		present[next] = k
+		next++
+	}
+
+	type version struct {
+		h       *Tree
+		entries []Entry
+	}
+	var versions []version
+	ver := uint64(1)
+	for round := 0; round < 8; round++ {
+		versions = append(versions, version{h: handleOf(tr), entries: entriesOf(t, tr)})
+		tr.BeginCOW()
+		for i := 0; i < 30; i++ {
+			k := rng.Float64() * 1000
+			if err := tr.Insert(k, next); err != nil {
+				t.Fatal(err)
+			}
+			present[next] = k
+			next++
+		}
+		for id, k := range present {
+			if rng.Float64() < 0.25 {
+				if _, err := tr.Delete(k, id); err != nil {
+					t.Fatal(err)
+				}
+				delete(present, id)
+			}
+		}
+		superseded := tr.CommitCOW()
+		ver++
+		// Keep every version alive: pin version 1 for the whole test.
+		if round == 0 {
+			pool.PinVersion(1)
+		}
+		pool.DeferFrees(ver, superseded)
+	}
+	for i, v := range versions {
+		if got := entriesOf(t, v.h); !sameEntries(got, v.entries) {
+			t.Fatalf("version %d drifted: %d entries, want %d", i, len(got), len(v.entries))
+		}
+		if err := v.h.CheckInvariants(); err != nil {
+			t.Fatalf("version %d invariants: %v", i, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.Len(), len(present); got != want {
+		t.Fatalf("live Len = %d, want %d", got, want)
+	}
+	pool.UnpinVersion(1)
+	if c := pool.SnapshotCensus(); c.Active != 0 || c.DeferredPages != 0 {
+		t.Fatalf("census after release: %+v", c)
+	}
+}

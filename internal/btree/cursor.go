@@ -15,7 +15,7 @@ import (
 // after). The meta is returned alongside so the sweep can follow the
 // chain links after the frame is gone — PageIDs are values, not borrows.
 func (t *Tree) leafView(leaf node) (LeafView, viewMeta) {
-	t.leavesVisited.Add(1)
+	t.stats.leavesVisited.Add(1)
 	var m viewMeta
 	if t.cache != nil {
 		m = t.cache.lookup(leaf)
@@ -80,15 +80,18 @@ func (t *Tree) VisitLeavesAscTracked(from float64, rc *pagestore.ReadCounter, vi
 	}
 	for {
 		lv, m := t.leafView(leaf)
+		// Resolve the forward link through this version's chain overrides:
+		// a shared leaf's bytes may predate a neighbor's clone.
+		next := t.effNext(leaf.id(), m.next)
 		if t.cfg.Readahead > 1 {
-			t.pool.NoteChainLink(leaf.id(), m.next, +1)
+			t.pool.NoteChainLink(leaf.id(), next, +1)
 		}
 		more := visit(lv)
 		leaf.release()
-		if !more || m.next == pagestore.InvalidPage {
+		if !more || next == pagestore.InvalidPage {
 			return nil
 		}
-		if leaf, err = t.nextLeafTracked(m.next, +1, rc); err != nil {
+		if leaf, err = t.nextLeafTracked(next, +1, rc); err != nil {
 			return err
 		}
 	}
@@ -110,15 +113,16 @@ func (t *Tree) VisitLeavesDescTracked(from float64, rc *pagestore.ReadCounter, v
 	}
 	for {
 		lv, m := t.leafView(leaf)
+		prev := t.effPrev(leaf.id(), m.prev)
 		if t.cfg.Readahead > 1 {
-			t.pool.NoteChainLink(leaf.id(), m.prev, -1)
+			t.pool.NoteChainLink(leaf.id(), prev, -1)
 		}
 		more := visit(lv)
 		leaf.release()
-		if !more || m.prev == pagestore.InvalidPage {
+		if !more || prev == pagestore.InvalidPage {
 			return nil
 		}
-		if leaf, err = t.nextLeafTracked(m.prev, -1, rc); err != nil {
+		if leaf, err = t.nextLeafTracked(prev, -1, rc); err != nil {
 			return err
 		}
 	}
@@ -157,7 +161,15 @@ func (t *Tree) ScanAll() ([]Entry, error) {
 // routeKey — the leaf whose key interval the paper associates the value
 // with. The slot's kind decides the merge (min for low_j, max for high_j).
 func (t *Tree) MergeHandicap(routeKey float64, slot int, value float64) error {
-	leaf, err := t.findLeaf(Entry{Key: routeKey, TID: 0})
+	var leaf node
+	var err error
+	if t.cow != nil {
+		// Shadow the descent path so the handicap write lands on a
+		// batch-owned copy of the leaf.
+		leaf, err = t.findLeafWritable(Entry{Key: routeKey, TID: 0})
+	} else {
+		leaf, err = t.findLeaf(Entry{Key: routeKey, TID: 0})
+	}
 	if err != nil {
 		return err
 	}
@@ -168,8 +180,13 @@ func (t *Tree) MergeHandicap(routeKey float64, slot int, value float64) error {
 }
 
 // ResetHandicaps restores every leaf's handicap slots to their identity
-// values, ahead of an exact rebuild.
+// values, ahead of an exact rebuild. Under an open copy-on-write batch the
+// whole tree is shadowed (resetHandicapsCOW): a chain walk cannot clone
+// leaves without orphaning their parents' child links.
 func (t *Tree) ResetHandicaps() error {
+	if t.cow != nil {
+		return t.resetHandicapsCOW()
+	}
 	leaf, err := t.findLeaf(Entry{Key: math.Inf(-1), TID: 0})
 	if err != nil {
 		return err
@@ -178,7 +195,7 @@ func (t *Tree) ResetHandicaps() error {
 		for s, k := range t.cfg.HandicapKinds {
 			leaf.setHandicap(s, k.Identity())
 		}
-		next := leaf.next()
+		next := t.effNext(leaf.id(), leaf.next())
 		leaf.release()
 		if next == pagestore.InvalidPage {
 			return nil
@@ -195,6 +212,9 @@ func (t *Tree) ResetHandicaps() error {
 func (t *Tree) BulkLoad(entries []Entry) error {
 	if t.size != 0 {
 		return ErrNotEmpty
+	}
+	if t.cow != nil {
+		return fmt.Errorf("btree: BulkLoad inside a copy-on-write batch")
 	}
 	if len(entries) == 0 {
 		return nil
@@ -301,8 +321,8 @@ func (t *Tree) CheckInvariants() error {
 			if id != t.root && n.count() < t.minLeaf() {
 				return errf("leaf %d underfull: %d < %d", id, n.count(), t.minLeaf())
 			}
-			if n.prev() != prevLeaf {
-				return errf("leaf %d: prev = %d, want %d", id, n.prev(), prevLeaf)
+			if got := t.effPrev(id, n.prev()); got != prevLeaf {
+				return errf("leaf %d: prev = %d, want %d", id, got, prevLeaf)
 			}
 			for i := 0; i < n.count(); i++ {
 				e := n.entry(i)

@@ -51,14 +51,30 @@ type Tree struct {
 	// frame version stamps; nil when Config.NoDecodeCache is set.
 	cache *viewCache
 
-	// Traversal counters (atomics: sweeps run concurrently). descents
-	// counts root-to-leaf searches, leavesVisited the leaves snapshotted
-	// by chain sweeps.
-	descents      atomic.Uint64
-	leavesVisited atomic.Uint64
+	// stats is shared between a tree and every read handle derived from it
+	// (the atomics make treeStats non-copyable, so it lives behind one
+	// pointer).
+	stats *treeStats
+
+	// ovNext/ovPrev are this version's leaf-chain overrides (see cow.go):
+	// effective next/prev links for un-owned pages whose neighbor was
+	// cloned. Nil or empty on a tree that has never been shadowed.
+	ovNext, ovPrev map[pagestore.PageID]pagestore.PageID
+
+	// cow, when non-nil, is the open copy-on-write batch; nil selects the
+	// legacy in-place mutation mode.
+	cow *cowState
 
 	leafCap int
 	intCap  int
+}
+
+// treeStats holds the traversal counters (atomics: sweeps run
+// concurrently). descents counts root-to-leaf searches, leavesVisited the
+// leaves snapshotted by chain sweeps.
+type treeStats struct {
+	descents      atomic.Uint64
+	leavesVisited atomic.Uint64
 }
 
 // ErrDuplicate is returned when inserting an entry that already exists.
@@ -75,7 +91,7 @@ func New(pool *pagestore.Pool, cfg Config) (*Tree, error) {
 	if cfg.FillFactor <= 0 || cfg.FillFactor > 1 {
 		cfg.FillFactor = 0.9
 	}
-	t := &Tree{pool: pool, cfg: cfg}
+	t := &Tree{pool: pool, cfg: cfg, stats: &treeStats{}}
 	if !cfg.NoDecodeCache {
 		t.cache = newViewCache(cfg.DecodeCacheNodes, pool)
 	}
@@ -137,7 +153,7 @@ func Restore(pool *pagestore.Pool, cfg Config, m Meta) (*Tree, error) {
 	if m.Root == pagestore.InvalidPage || m.Height < 1 {
 		return nil, fmt.Errorf("btree: invalid metadata %+v", m)
 	}
-	t := &Tree{pool: pool, cfg: cfg, root: m.Root, hgt: m.Height, size: m.Size, pages: m.Pages}
+	t := &Tree{pool: pool, cfg: cfg, root: m.Root, hgt: m.Height, size: m.Size, pages: m.Pages, stats: &treeStats{}}
 	if !cfg.NoDecodeCache {
 		t.cache = newViewCache(cfg.DecodeCacheNodes, pool)
 	}
@@ -191,6 +207,9 @@ func (t *Tree) newLeaf() (node, error) {
 	}
 	n := wrap(f)
 	n.initLeaf(len(t.cfg.HandicapKinds), t.cfg.HandicapKinds)
+	if t.cow != nil {
+		t.cow.owned[n.id()] = true
+	}
 	t.pages++
 	return n, nil
 }
@@ -202,6 +221,9 @@ func (t *Tree) newInternal() (node, error) {
 	}
 	n := wrap(f)
 	n.initInternal()
+	if t.cow != nil {
+		t.cow.owned[n.id()] = true
+	}
 	t.pages++
 	return n, nil
 }
@@ -216,7 +238,7 @@ func (t *Tree) findLeaf(e Entry) (node, error) {
 // repeated descents skip the header parse; the separator search itself
 // always reads the pinned page bytes in place.
 func (t *Tree) findLeafTracked(e Entry, rc *pagestore.ReadCounter) (node, error) {
-	t.descents.Add(1)
+	t.stats.descents.Add(1)
 	n, err := t.getTracked(t.root, rc)
 	if err != nil {
 		return node{}, err
@@ -263,8 +285,8 @@ func (s *SweepStats) Add(o SweepStats) {
 // SweepStats returns the tree's traversal counters.
 func (t *Tree) SweepStats() SweepStats {
 	return SweepStats{
-		Descents:      t.descents.Load(),
-		LeavesVisited: t.leavesVisited.Load(),
+		Descents:      t.stats.descents.Load(),
+		LeavesVisited: t.stats.leavesVisited.Load(),
 	}
 }
 
@@ -281,9 +303,17 @@ func (t *Tree) Contains(key float64, tid uint32) (bool, error) {
 }
 
 // Insert adds (key, tid). ErrDuplicate if the exact pair is present.
+// Under an open copy-on-write batch the mutated path is shadowed into
+// batch-owned pages and the tree's root moves to the shadow copy; the
+// previously published root is untouched.
 func (t *Tree) Insert(key float64, tid uint32) error {
 	e := Entry{Key: key, TID: tid}
-	sep, right, err := t.insertInto(t.root, t.hgt, e)
+	self, sep, right, err := t.insertInto(t.root, t.hgt, e)
+	if self != pagestore.InvalidPage && self != t.root {
+		// Adopt the shadowed root even on error, so a partially cloned
+		// path stays linked until the batch commits or aborts.
+		t.root = self
+	}
 	if err != nil {
 		return err
 	}
@@ -303,101 +333,120 @@ func (t *Tree) Insert(key float64, tid uint32) error {
 	return nil
 }
 
-// insertInto inserts e under the subtree rooted at id (at the given height)
+// insertInto inserts e under the subtree rooted at id (at the given
+// height). It returns the subtree's possibly changed root page — under a
+// copy-on-write batch the whole descent path is shadowed, so ids move —
 // and reports a split as (separator, newRightPage).
-func (t *Tree) insertInto(id pagestore.PageID, height int, e Entry) (Entry, pagestore.PageID, error) {
+func (t *Tree) insertInto(id pagestore.PageID, height int, e Entry) (self pagestore.PageID, sep Entry, right pagestore.PageID, err error) {
 	n, err := t.get(id)
 	if err != nil {
-		return Entry{}, pagestore.InvalidPage, err
+		return id, Entry{}, pagestore.InvalidPage, err
 	}
+	if n, err = t.writable(n); err != nil {
+		return id, Entry{}, pagestore.InvalidPage, err
+	}
+	self = n.id()
 	defer n.release()
 
 	if height == 1 {
 		i := n.searchLeaf(e)
 		if i < n.count() && n.entry(i) == e {
-			return Entry{}, pagestore.InvalidPage, fmt.Errorf("%w: (%g, %d)", ErrDuplicate, e.Key, e.TID)
+			return self, Entry{}, pagestore.InvalidPage, fmt.Errorf("%w: (%g, %d)", ErrDuplicate, e.Key, e.TID)
 		}
 		if n.count() < t.leafCap {
 			n.insertEntryAt(i, e)
-			return Entry{}, pagestore.InvalidPage, nil
+			return self, Entry{}, pagestore.InvalidPage, nil
 		}
 		// Split the leaf: right half moves to a new page. Handicap slots
 		// are copied to both halves — conservative and always sound
 		// (see DESIGN.md §4.4 "Handicap maintenance").
-		right, err := t.newLeaf()
+		r, err := t.newLeaf()
 		if err != nil {
-			return Entry{}, pagestore.InvalidPage, err
+			return self, Entry{}, pagestore.InvalidPage, err
 		}
-		defer right.release()
+		defer r.release()
 		mid := n.count() / 2
 		for j := mid; j < n.count(); j++ {
-			right.setEntry(j-mid, n.entry(j))
+			r.setEntry(j-mid, n.entry(j))
 		}
-		right.setCount(n.count() - mid)
+		r.setCount(n.count() - mid)
 		n.setCount(mid)
 		for s := 0; s < n.numHandicaps(); s++ {
-			right.setHandicap(s, n.handicap(s))
+			r.setHandicap(s, n.handicap(s))
 		}
-		// Chain: n <-> right <-> oldNext.
+		// Chain: n <-> r <-> oldNext. n is writable, so its bytes carry
+		// the batch's effective links already; oldNext may be shared with
+		// a published version, so its back link goes through the
+		// override-aware setter.
 		oldNext := n.next()
-		right.setNext(oldNext)
-		right.setPrev(n.id())
-		n.setNext(right.id())
+		r.setNext(oldNext)
+		r.setPrev(n.id())
+		n.setNext(r.id())
 		if oldNext != pagestore.InvalidPage {
-			nn, err := t.get(oldNext)
-			if err != nil {
-				return Entry{}, pagestore.InvalidPage, err
+			if err := t.setChainPrev(oldNext, r.id()); err != nil {
+				return self, Entry{}, pagestore.InvalidPage, err
 			}
-			nn.setPrev(right.id())
-			nn.release()
 		}
-		sep := right.entry(0)
-		if e.Less(sep) {
+		sp := r.entry(0)
+		if e.Less(sp) {
 			n.insertEntryAt(n.searchLeaf(e), e)
 		} else {
-			right.insertEntryAt(right.searchLeaf(e), e)
+			r.insertEntryAt(r.searchLeaf(e), e)
 		}
-		return sep, right.id(), nil
+		return self, sp, r.id(), nil
 	}
 
 	ci := n.childIndex(e)
-	sep, newChild, err := t.insertInto(n.child(ci), height-1, e)
-	if err != nil || newChild == pagestore.InvalidPage {
-		return Entry{}, pagestore.InvalidPage, err
+	oldChild := n.child(ci)
+	newChild, sp, grand, err := t.insertInto(oldChild, height-1, e)
+	if newChild != pagestore.InvalidPage && newChild != oldChild {
+		n.setChild(ci, newChild)
+	}
+	if err != nil || grand == pagestore.InvalidPage {
+		return self, Entry{}, pagestore.InvalidPage, err
 	}
 	if n.count() < t.intCap {
-		n.insertSepAt(ci, sep, newChild)
-		return Entry{}, pagestore.InvalidPage, nil
+		n.insertSepAt(ci, sp, grand)
+		return self, Entry{}, pagestore.InvalidPage, nil
 	}
 	// Split the internal node around its median separator.
-	right, err := t.newInternal()
+	r, err := t.newInternal()
 	if err != nil {
-		return Entry{}, pagestore.InvalidPage, err
+		return self, Entry{}, pagestore.InvalidPage, err
 	}
-	defer right.release()
+	defer r.release()
 	c := n.count()
 	mid := c / 2
 	up := n.sep(mid)
-	right.setChild(0, n.child(mid+1))
+	r.setChild(0, n.child(mid+1))
 	for j := mid + 1; j < c; j++ {
-		right.insertSepAt(j-mid-1, n.sep(j), n.child(j+1))
+		r.insertSepAt(j-mid-1, n.sep(j), n.child(j+1))
 	}
 	n.setCount(mid)
 	// Route the pending separator into the correct half.
-	if sep.Less(up) {
-		n.insertSepAt(n.childIndex(sep), sep, newChild)
+	if sp.Less(up) {
+		n.insertSepAt(n.childIndex(sp), sp, grand)
 	} else {
-		right.insertSepAt(right.childIndex(sep), sep, newChild)
+		r.insertSepAt(r.childIndex(sp), sp, grand)
 	}
-	return up, right.id(), nil
+	return self, up, r.id(), nil
 }
 
-// Delete removes (key, tid), reporting whether it was present.
+// Delete removes (key, tid), reporting whether it was present. Under an
+// open copy-on-write batch the mutated path is shadowed (see Insert).
 func (t *Tree) Delete(key float64, tid uint32) (bool, error) {
 	e := Entry{Key: key, TID: tid}
-	found, _, err := t.deleteFrom(t.root, t.hgt, e)
-	// Free pages emptied by merges now that every frame is released.
+	self, found, _, err := t.deleteFrom(t.root, t.hgt, e)
+	if self != pagestore.InvalidPage && self != t.root {
+		t.root = self
+	}
+	// Free pages emptied by merges now that every frame is released. Under
+	// a batch only batch-owned pages land here (shared ones are superseded
+	// and retired with the commit instead).
 	for _, id := range t.pendingFree {
+		if t.cow != nil {
+			delete(t.cow.owned, id)
+		}
 		if ferr := t.pool.FreePage(id); ferr != nil && err == nil {
 			err = ferr
 		}
@@ -424,7 +473,7 @@ func (t *Tree) Delete(key float64, tid uint32) (bool, error) {
 		child := r.child(0)
 		old := r.id()
 		r.release()
-		if err := t.pool.FreePage(old); err != nil {
+		if err := t.freeOrSupersede(old); err != nil {
 			return true, err
 		}
 		t.pages--
@@ -441,37 +490,61 @@ func (t *Tree) Delete(key float64, tid uint32) (bool, error) {
 func (t *Tree) minLeaf() int { return t.leafCap / 2 }
 func (t *Tree) minInt() int  { return (t.intCap - 1) / 2 }
 
-// deleteFrom removes e under the subtree at id; underflow tells the parent
-// the node fell below minimum occupancy.
-func (t *Tree) deleteFrom(id pagestore.PageID, height int, e Entry) (found, underflow bool, err error) {
+// deleteFrom removes e under the subtree at id, returning the subtree's
+// possibly changed root page (ids move when a batch shadows the path);
+// underflow tells the parent the node fell below minimum occupancy. When
+// the entry is absent nothing is cloned.
+func (t *Tree) deleteFrom(id pagestore.PageID, height int, e Entry) (self pagestore.PageID, found, underflow bool, err error) {
 	n, err := t.get(id)
 	if err != nil {
-		return false, false, err
+		return id, false, false, err
 	}
-	defer n.release()
 
 	if height == 1 {
 		i := n.searchLeaf(e)
 		if i >= n.count() || n.entry(i) != e {
-			return false, false, nil
+			n.release()
+			return id, false, false, nil
 		}
+		if n, err = t.writable(n); err != nil {
+			return id, false, false, err
+		}
+		defer n.release()
 		n.removeEntryAt(i)
-		return true, n.count() < t.minLeaf(), nil
+		return n.id(), true, n.count() < t.minLeaf(), nil
 	}
 
 	ci := n.childIndex(e)
-	found, under, err := t.deleteFrom(n.child(ci), height-1, e)
+	oldChild := n.child(ci)
+	newChild, found, under, err := t.deleteFrom(oldChild, height-1, e)
+	if newChild == oldChild && (err != nil || !found) {
+		// Nothing changed below: leave this node untouched too.
+		n.release()
+		return id, found, false, err
+	}
+	var werr error
+	if n, werr = t.writable(n); werr != nil {
+		return id, found, false, werr
+	}
+	self = n.id()
+	defer n.release()
+	if newChild != oldChild {
+		n.setChild(ci, newChild)
+	}
 	if err != nil || !found || !under {
-		return found, false, err
+		return self, found, false, err
 	}
 	if err := t.rebalanceChild(n, ci, height-1); err != nil {
-		return true, false, err
+		return self, true, false, err
 	}
-	return true, n.count() < t.minInt(), nil
+	return self, true, n.count() < t.minInt(), nil
 }
 
 // rebalanceChild restores minimum occupancy of n's ci-th child by borrowing
-// from a sibling or merging with one.
+// from a sibling or merging with one. n is writable; the underflowing child
+// is too (deleteFrom shadowed it when it removed the entry). Siblings are
+// made writable before they are mutated, with n's child link patched to
+// any clone.
 func (t *Tree) rebalanceChild(n node, ci, childHeight int) error {
 	child, err := t.get(n.child(ci))
 	if err != nil {
@@ -488,6 +561,12 @@ func (t *Tree) rebalanceChild(n node, ci, childHeight int) error {
 		canBorrow := (childHeight == 1 && left.count() > t.minLeaf()) ||
 			(childHeight > 1 && left.count() > t.minInt())
 		if canBorrow {
+			if left, err = t.writable(left); err != nil {
+				return err
+			}
+			if n.child(ci-1) != left.id() {
+				n.setChild(ci-1, left.id())
+			}
 			if childHeight == 1 {
 				e := left.entry(left.count() - 1)
 				left.setCount(left.count() - 1)
@@ -516,6 +595,12 @@ func (t *Tree) rebalanceChild(n node, ci, childHeight int) error {
 		canBorrow := (childHeight == 1 && right.count() > t.minLeaf()) ||
 			(childHeight > 1 && right.count() > t.minInt())
 		if canBorrow {
+			if right, err = t.writable(right); err != nil {
+				return err
+			}
+			if n.child(ci+1) != right.id() {
+				n.setChild(ci+1, right.id())
+			}
 			if childHeight == 1 {
 				e := right.entry(0)
 				right.removeEntryAt(0)
@@ -537,10 +622,18 @@ func (t *Tree) rebalanceChild(n node, ci, childHeight int) error {
 	}
 
 	// Merge with a sibling. Prefer merging child into its left sibling.
+	// The surviving (left) node is mutated and must be writable; the dying
+	// (right) node is only read, then superseded or freed by mergeNodes.
 	if ci > 0 {
 		left, err := t.get(n.child(ci - 1))
 		if err != nil {
 			return err
+		}
+		if left, err = t.writable(left); err != nil {
+			return err
+		}
+		if n.child(ci-1) != left.id() {
+			n.setChild(ci-1, left.id())
 		}
 		err = t.mergeNodes(n, ci-1, left, child, childHeight)
 		left.release()
@@ -588,16 +681,15 @@ func (t *Tree) mergeNodes(n node, sepIdx int, left, right node, childHeight int)
 		for s := 0; s < left.numHandicaps(); s++ {
 			left.setHandicap(s, t.cfg.HandicapKinds[s].Combine(left.handicap(s), right.handicap(s)))
 		}
-		// Unlink right from the leaf chain.
-		rn := right.next()
+		// Unlink right from the leaf chain, resolving its forward link
+		// through the overrides (an un-owned right's bytes may predate
+		// this batch's moves).
+		rn := t.effNext(right.id(), right.next())
 		left.setNext(rn)
 		if rn != pagestore.InvalidPage {
-			nn, err := t.get(rn)
-			if err != nil {
+			if err := t.setChainPrev(rn, left.id()); err != nil {
 				return err
 			}
-			nn.setPrev(left.id())
-			nn.release()
 		}
 	} else {
 		down := n.sep(sepIdx)
@@ -609,6 +701,17 @@ func (t *Tree) mergeNodes(n node, sepIdx int, left, right node, childHeight int)
 	}
 	rid := right.id()
 	n.removeSepAt(sepIdx)
+	if t.cow != nil {
+		delete(t.ovNext, rid)
+		delete(t.ovPrev, rid)
+		if !t.cow.owned[rid] {
+			// A published version may still sweep onto right: retire it
+			// with the commit instead of freeing it now.
+			t.cow.superseded = append(t.cow.superseded, rid)
+			t.pages--
+			return nil
+		}
+	}
 	// right is released by the caller; freeing a pinned page is an error,
 	// so defer the free until after release by remembering it.
 	t.pendingFree = append(t.pendingFree, rid)

@@ -214,6 +214,27 @@ func (r *Relation) InsertWithID(t *Tuple, id TupleID) error {
 	return nil
 }
 
+// Reattach re-inserts a tuple that already carries an id, undoing an
+// earlier Delete — the rollback path of an aborted index commit. The id
+// must not be in use.
+func (r *Relation) Reattach(t *Tuple) error {
+	if t.dim != r.dim {
+		return fmt.Errorf("constraint: tuple dimension %d != relation dimension %d", t.dim, r.dim)
+	}
+	if t.id == 0 {
+		return fmt.Errorf("constraint: Reattach of a tuple that never had an id")
+	}
+	if _, ok := r.tuples[t.id]; ok {
+		return fmt.Errorf("constraint: id %d already in use", t.id)
+	}
+	r.tuples[t.id] = t
+	r.order = append(r.order, t.id)
+	if t.id >= r.nextID {
+		r.nextID = t.id + 1
+	}
+	return nil
+}
+
 // Delete removes the tuple with the given id.
 func (r *Relation) Delete(id TupleID) error {
 	if _, ok := r.tuples[id]; !ok {

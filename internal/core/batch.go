@@ -43,11 +43,13 @@ func (o *BatchOptions) defaults() {
 }
 
 // QueryBatch executes a batch of 2-D selections across a bounded worker
-// pool and returns one Result per query, positionally. The index must not
-// be mutated while the batch runs (see the concurrency model in
-// DESIGN.md): queries only pin pages in the sharded buffer pool, read the
-// immutable tree pages and evaluate cached tuple extensions, so readers
-// never block each other except on buffer-pool shard misses.
+// pool and returns one Result per query, positionally. The whole batch
+// runs against one pinned snapshot, so it is safe — and consistent — to
+// mutate the index concurrently: every query sees the version current
+// when the batch started (see the MVCC model in DESIGN.md §13). Queries
+// only pin pages in the sharded buffer pool, read the frozen tree pages
+// and evaluate cached tuple extensions, so readers never block each
+// other except on buffer-pool shard misses.
 //
 // Each query carries its own exact I/O counter, so every Result's
 // QueryStats.PagesRead is the number of page misses that query itself
@@ -57,6 +59,21 @@ func (o *BatchOptions) defaults() {
 // The first error aborts the batch (workers drain without starting new
 // queries) and is returned with a nil slice.
 func (ix *Index) QueryBatch(qs []constraint.Query, opts BatchOptions) ([]Result, error) {
+	rs := ix.pinRoots()
+	defer ix.unpinRoots(rs)
+	return ix.queryBatch(rs, qs, opts)
+}
+
+// QueryBatch runs the batch against this snapshot's version.
+func (s *Snapshot) QueryBatch(qs []constraint.Query, opts BatchOptions) ([]Result, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
+	return s.ix.queryBatch(s.rs, qs, opts)
+}
+
+// queryBatch runs the batch against one pinned version.
+func (ix *Index) queryBatch(rs *rootSet, qs []constraint.Query, opts BatchOptions) ([]Result, error) {
 	opts.defaults()
 	if len(qs) == 0 {
 		return []Result{}, nil
@@ -85,6 +102,7 @@ func (ix *Index) QueryBatch(qs []constraint.Query, opts BatchOptions) ([]Result,
 					return
 				}
 				ec := &execCtx{
+					rs:              rs,
 					rc:              &pagestore.ReadCounter{},
 					parallelSweeps:  !opts.DisableIntraQuery,
 					refineThreshold: opts.RefineThreshold,

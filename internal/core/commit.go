@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+
+	"dualcdb/internal/btree"
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/pagestore"
+)
+
+// Commit batches index mutations into one atomic version step. Between
+// Begin and Commit every tree mutation is shadowed copy-on-write (pages a
+// published version can reach are cloned, never dirtied), so concurrent
+// snapshot readers are oblivious to the batch. Commit publishes the new
+// root set with a single atomic pointer swap and hands the superseded
+// pages to the pool's deferred free list; Abort frees the shadow pages
+// and rolls the relation back, leaving no trace.
+//
+// A batch is single-writer by construction: Begin holds the index write
+// lock until Commit or Abort. Mutating methods return errors without
+// cleaning up — after any error the caller must Abort the batch (the
+// one-op wrappers Index.Insert/Delete/RebuildHandicaps do exactly that).
+type Commit struct {
+	ix   *Index
+	base *rootSet
+	// indexed and deletes are this batch's working copies of the base
+	// version's bookkeeping; they fold into the next rootSet at Commit.
+	indexed map[constraint.TupleID]bool
+	deletes int
+	// Relation rollback staging: ids inserted (and their tuples, for the
+	// next version's frozen view) and tuples removed by this batch.
+	inserted       []constraint.TupleID
+	insertedTuples []*constraint.Tuple
+	removed        []*constraint.Tuple
+	done           bool
+}
+
+var errCommitDone = errors.New("core: use of a finished commit batch")
+
+// Begin opens a write batch. It blocks until any other writer finishes;
+// the caller must end the batch with Commit or Abort.
+func (ix *Index) Begin() *Commit {
+	ix.writeMu.Lock()
+	base := ix.roots.Load()
+	for _, t := range ix.allTrees() {
+		t.BeginCOW()
+	}
+	indexed := make(map[constraint.TupleID]bool, len(base.indexed)+1)
+	for id := range base.indexed {
+		indexed[id] = true
+	}
+	return &Commit{ix: ix, base: base, indexed: indexed, deletes: base.deletesSinceRebuild}
+}
+
+// allTrees lists every live tree of the index (the writer's set; handles
+// in published root sets are separate views over the same pages).
+func (ix *Index) allTrees() []*btree.Tree {
+	ts := make([]*btree.Tree, 0, 2*len(ix.up)+2)
+	ts = append(ts, ix.up...)
+	ts = append(ts, ix.down...)
+	if ix.vup != nil {
+		ts = append(ts, ix.vup, ix.vdown)
+	}
+	return ts
+}
+
+// Insert stages one tuple insertion: the relation takes the tuple
+// immediately (rolled back on Abort) and the trees take it under the
+// batch's copy-on-write shadow. On error the caller must Abort; the
+// tuple is then removed again, but — as with a plain Relation.Insert
+// failure — it keeps its assigned id and cannot be re-inserted.
+func (c *Commit) Insert(t *constraint.Tuple) (constraint.TupleID, error) {
+	if c.done {
+		return 0, errCommitDone
+	}
+	ix := c.ix
+	id, err := ix.rel.Insert(t)
+	if err != nil {
+		return 0, err
+	}
+	c.inserted = append(c.inserted, id)
+	c.insertedTuples = append(c.insertedTuples, t)
+	if !t.IsSatisfiable() {
+		return id, nil // empty extensions match nothing and are not indexed
+	}
+	top, bot := t.TopEnv(), t.BotEnv()
+	for i, a := range ix.slopes {
+		if err := ix.up[i].Insert(top.Eval(a), uint32(id)); err != nil {
+			return id, err
+		}
+		if err := ix.down[i].Insert(bot.Eval(a), uint32(id)); err != nil {
+			return id, err
+		}
+	}
+	if ix.vup != nil {
+		ext, err := t.Extension()
+		if err != nil {
+			return id, err
+		}
+		if err := ix.insertVertical(ext, id); err != nil {
+			return id, err
+		}
+	}
+	if err := ix.mergeHandicaps(top, bot); err != nil {
+		return id, err
+	}
+	c.indexed[id] = true
+	return id, nil
+}
+
+// Delete stages one tuple removal. Handicap slots are left conservatively
+// stale (sound; costs only I/O); once the batch's deletion counter
+// reaches Options.RebuildHandicapsEvery, Commit recomputes them exactly
+// before publishing. On error the caller must Abort.
+func (c *Commit) Delete(id constraint.TupleID) error {
+	if c.done {
+		return errCommitDone
+	}
+	ix := c.ix
+	t, err := ix.rel.Get(id)
+	if err != nil {
+		return err
+	}
+	if c.indexed[id] {
+		top, bot := t.TopEnv(), t.BotEnv()
+		for i, a := range ix.slopes {
+			if _, err := ix.up[i].Delete(top.Eval(a), uint32(id)); err != nil {
+				return err
+			}
+			if _, err := ix.down[i].Delete(bot.Eval(a), uint32(id)); err != nil {
+				return err
+			}
+		}
+		if ix.vup != nil {
+			ext, err := t.Extension()
+			if err != nil {
+				return err
+			}
+			if err := ix.deleteVertical(ext, id); err != nil {
+				return err
+			}
+		}
+		delete(c.indexed, id)
+		c.deletes++
+	}
+	if err := ix.rel.Delete(id); err != nil {
+		return err
+	}
+	c.removed = append(c.removed, t)
+	return nil
+}
+
+// RebuildHandicaps recomputes every handicap slot exactly from the
+// batch's current contents and resets the staleness counter. On error
+// the caller must Abort.
+func (c *Commit) RebuildHandicaps() error {
+	if c.done {
+		return errCommitDone
+	}
+	if err := c.rebuildHandicaps(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// rebuildHandicaps is the shared rebuild body (also run by Commit when
+// the staleness counter trips the threshold).
+func (c *Commit) rebuildHandicaps() error {
+	ix := c.ix
+	for i := range ix.slopes {
+		if err := ix.up[i].ResetHandicaps(); err != nil {
+			return err
+		}
+		if err := ix.down[i].ResetHandicaps(); err != nil {
+			return err
+		}
+	}
+	var err error
+	ix.rel.Scan(func(t *constraint.Tuple) bool {
+		if !c.indexed[t.ID()] {
+			return true
+		}
+		if e := ix.mergeHandicaps(t.TopEnv(), t.BotEnv()); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	c.deletes = 0
+	return nil
+}
+
+// Commit publishes the batch as the next version: trees close their
+// copy-on-write batches, the new root set is swapped in atomically, and
+// only then are the superseded pages queued behind the snapshot
+// watermark — a reader that pinned the old version keeps every page it
+// can reach until it releases. On error the batch is aborted.
+func (c *Commit) Commit() error {
+	if c.done {
+		return errCommitDone
+	}
+	ix := c.ix
+	if n := ix.opt.RebuildHandicapsEvery; n > 0 && c.deletes >= n {
+		if err := c.rebuildHandicaps(); err != nil {
+			c.Abort()
+			return err
+		}
+	}
+	var superseded []pagestore.PageID
+	for _, t := range ix.allTrees() {
+		superseded = append(superseded, t.CommitCOW()...)
+	}
+
+	// Derive the next frozen relation from the base version: one slice
+	// copy plus the batch's deltas (ids are never reused, so an id
+	// inserted then deleted in the same batch nets out by apply order).
+	maxID := constraint.TupleID(len(c.base.tuples))
+	for _, t := range c.insertedTuples {
+		if t.ID() > maxID {
+			maxID = t.ID()
+		}
+	}
+	tuples := make([]*constraint.Tuple, maxID)
+	copy(tuples, c.base.tuples)
+	for _, t := range c.insertedTuples {
+		tuples[t.ID()-1] = t
+	}
+	for _, t := range c.removed {
+		tuples[t.ID()-1] = nil
+	}
+	live := c.base.live + len(c.inserted) - len(c.removed)
+
+	rs := ix.publishLocked(c.base.version+1, c.indexed, c.deletes, tuples, live)
+	ix.pool.DeferFrees(rs.version, superseded)
+	c.done = true
+	ix.writeMu.Unlock()
+	return nil
+}
+
+// Abort discards the batch: shadow pages are freed, the relation rolls
+// back to its pre-batch contents, and the published root set — which the
+// batch never touched — stays current. Tuples staged by Insert keep
+// their consumed ids.
+func (c *Commit) Abort() error {
+	if c.done {
+		return nil
+	}
+	c.done = true
+	ix := c.ix
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, t := range ix.allTrees() {
+		keep(t.AbortCOW())
+	}
+	// Restore staged deletes first, then undo staged inserts: a tuple
+	// inserted and deleted in the same batch reattaches and is removed
+	// again, netting to absent.
+	for _, t := range c.removed {
+		keep(ix.rel.Reattach(t))
+	}
+	for _, id := range c.inserted {
+		keep(ix.rel.Delete(id))
+	}
+	ix.writeMu.Unlock()
+	return firstErr
+}

@@ -34,8 +34,14 @@ type Index struct {
 	// and infX values for x θ c selections.
 	vup, vdown *btree.Tree
 
-	deletesSinceRebuild int
-	indexed             map[constraint.TupleID]bool
+	// roots is the current published rootSet (mvcc.go): readers load it
+	// with one atomic pointer read and never lock. writeMu serializes
+	// writers; the live trees above are the writer's working set and are
+	// only mutated under it (copy-on-write, so published versions are
+	// never dirtied). The indexed-tuple set and the handicap-staleness
+	// counter live inside the rootSet, versioned with the trees.
+	roots   atomic.Pointer[rootSet]
+	writeMu sync.Mutex
 
 	// Persistence bookkeeping (see persist.go). catalog is the catalog
 	// page (InvalidPage when the index shares a pool and cannot persist);
@@ -68,11 +74,10 @@ func New(rel *constraint.Relation, opt Options) (*Index, error) {
 		})
 	}
 	ix := &Index{
-		rel:     rel,
-		opt:     opt,
-		slopes:  slopes,
-		pool:    pool,
-		indexed: make(map[constraint.TupleID]bool),
+		rel:    rel,
+		opt:    opt,
+		slopes: slopes,
+		pool:   pool,
 	}
 	if owned {
 		// Reserve the catalog page (page 1 of the dedicated store) so the
@@ -103,6 +108,7 @@ func New(rel *constraint.Relation, opt Options) (*Index, error) {
 			return nil, err
 		}
 	}
+	ix.republishLocked(1, make(map[constraint.TupleID]bool), 0)
 	ix.registerGauges()
 	return ix, nil
 }
@@ -158,9 +164,14 @@ func Build(rel *constraint.Relation, opt Options) (*Index, error) {
 	if err := runTasks(tasks, opt.BuildWorkers); err != nil {
 		return nil, err
 	}
+	// Re-publish version 1 over the bulk-loaded trees. The index has not
+	// escaped to any reader yet, so mutating the trees in place between
+	// New's publish and this one is unobservable.
+	indexed := make(map[constraint.TupleID]bool, len(ts))
 	for _, t := range ts {
-		ix.indexed[t.id] = true
+		indexed[t.id] = true
 	}
+	ix.republishLocked(1, indexed, 0)
 	return ix, nil
 }
 
@@ -319,121 +330,77 @@ func (ix *Index) mergeHandicapsAt(i int, top, bot geom.Envelope) error {
 	return d.MergeHandicap(bot.MinOn(a, rightHi), slotHighNext, botV)
 }
 
-// Insert adds a tuple to the relation and the index. Unsatisfiable tuples
-// are stored in the relation but not indexed (they match no query).
+// Insert adds a tuple to the relation and the index as one atomic commit:
+// concurrent readers see either the full pre-insert or the full
+// post-insert version, never a partially indexed tuple. Unsatisfiable
+// tuples are stored in the relation but not indexed (they match no
+// query). On error nothing is published and the relation rolls back,
+// though the failed tuple keeps its consumed id.
 func (ix *Index) Insert(t *constraint.Tuple) (constraint.TupleID, error) {
-	id, err := ix.rel.Insert(t)
+	c := ix.Begin()
+	id, err := c.Insert(t)
 	if err != nil {
+		c.Abort()
 		return 0, err
 	}
-	if !t.IsSatisfiable() {
-		return id, nil
+	if err := c.Commit(); err != nil {
+		return 0, err
 	}
-	top, bot := t.TopEnv(), t.BotEnv()
-	for i, a := range ix.slopes {
-		if err := ix.up[i].Insert(top.Eval(a), uint32(id)); err != nil {
-			return id, err
-		}
-		if err := ix.down[i].Insert(bot.Eval(a), uint32(id)); err != nil {
-			return id, err
-		}
-	}
-	if ix.vup != nil {
-		ext, err := t.Extension()
-		if err != nil {
-			return id, err
-		}
-		if err := ix.insertVertical(ext, id); err != nil {
-			return id, err
-		}
-	}
-	if err := ix.mergeHandicaps(top, bot); err != nil {
-		return id, err
-	}
-	ix.indexed[id] = true
 	return id, nil
 }
 
-// Delete removes a tuple from the index and the relation. Handicap slots
-// are left conservatively stale (sound; costs only I/O) and recomputed
-// exactly every RebuildHandicapsEvery deletions.
+// Delete removes a tuple from the index and the relation as one atomic
+// commit. Handicap slots are left conservatively stale (sound; costs
+// only I/O) and recomputed exactly every RebuildHandicapsEvery deletions.
 func (ix *Index) Delete(id constraint.TupleID) error {
-	t, err := ix.rel.Get(id)
-	if err != nil {
+	c := ix.Begin()
+	if err := c.Delete(id); err != nil {
+		c.Abort()
 		return err
 	}
-	if ix.indexed[id] {
-		top, bot := t.TopEnv(), t.BotEnv()
-		for i, a := range ix.slopes {
-			if _, err := ix.up[i].Delete(top.Eval(a), uint32(id)); err != nil {
-				return err
-			}
-			if _, err := ix.down[i].Delete(bot.Eval(a), uint32(id)); err != nil {
-				return err
-			}
-		}
-		if ix.vup != nil {
-			ext, err := t.Extension()
-			if err != nil {
-				return err
-			}
-			if err := ix.deleteVertical(ext, id); err != nil {
-				return err
-			}
-		}
-		delete(ix.indexed, id)
-		ix.deletesSinceRebuild++
-	}
-	if err := ix.rel.Delete(id); err != nil {
-		return err
-	}
-	if n := ix.opt.RebuildHandicapsEvery; n > 0 && ix.deletesSinceRebuild >= n {
-		return ix.RebuildHandicaps()
-	}
-	return nil
+	return c.Commit()
 }
 
 // RebuildHandicaps recomputes every handicap slot exactly from the current
-// relation contents.
+// relation contents, published as one commit.
 func (ix *Index) RebuildHandicaps() error {
-	for i := range ix.slopes {
-		if err := ix.up[i].ResetHandicaps(); err != nil {
-			return err
-		}
-		if err := ix.down[i].ResetHandicaps(); err != nil {
-			return err
-		}
+	c := ix.Begin()
+	if err := c.RebuildHandicaps(); err != nil {
+		c.Abort()
+		return err
 	}
-	var err error
-	ix.rel.Scan(func(t *constraint.Tuple) bool {
-		if !ix.indexed[t.ID()] {
-			return true
-		}
-		if e := ix.mergeHandicaps(t.TopEnv(), t.BotEnv()); e != nil {
-			err = e
-			return false
-		}
-		return true
-	})
-	ix.deletesSinceRebuild = 0
-	return err
+	return c.Commit()
 }
 
-// Pages returns the total number of pages occupied by all 2·k trees — the
-// space metric of Figure 10.
+// Pages returns the total number of pages occupied by all 2·k trees at
+// the current version — the space metric of Figure 10.
 func (ix *Index) Pages() int {
+	rs := ix.roots.Load()
 	n := 0
-	for i := range ix.slopes {
-		n += ix.up[i].Pages() + ix.down[i].Pages()
+	for i := range rs.up {
+		n += rs.up[i].Pages() + rs.down[i].Pages()
 	}
-	if ix.vup != nil {
-		n += ix.vup.Pages() + ix.vdown.Pages()
+	if rs.vup != nil {
+		n += rs.vup.Pages() + rs.vdown.Pages()
 	}
 	return n
 }
 
 // Pool exposes the buffer pool (for I/O accounting in experiments).
 func (ix *Index) Pool() *pagestore.Pool { return ix.pool }
+
+// CheckInvariants validates the structural invariants of every live tree
+// (a test and debugging aid). It excludes writers for the duration.
+func (ix *Index) CheckInvariants() error {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	for _, t := range ix.allTrees() {
+		if err := t.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // DecodeCacheStats sums the decoded-node cache counters over every tree of
 // the index (the vertical pair included) — the observability hook for the
@@ -456,8 +423,9 @@ func (ix *Index) DecodeCacheStats() btree.DecodeStats {
 // Slopes returns the sorted slope set S.
 func (ix *Index) Slopes() []float64 { return append([]float64(nil), ix.slopes...) }
 
-// Len returns the number of indexed (satisfiable) tuples.
-func (ix *Index) Len() int { return len(ix.indexed) }
+// Len returns the number of indexed (satisfiable) tuples at the current
+// version.
+func (ix *Index) Len() int { return len(ix.roots.Load().indexed) }
 
 // nearestSlope returns the index of the S-member closest to a (ties break
 // toward the lower slope) and whether a coincides with it within Eps.

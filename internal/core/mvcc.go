@@ -1,0 +1,238 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"dualcdb/internal/btree"
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/pagestore"
+)
+
+// MVCC root sets and reader snapshots.
+//
+// Every query runs against a rootSet: one immutable, version-stamped view
+// of the whole index — frozen read handles for all 2k trees (plus the
+// vertical pair), the indexed-tuple set, and the relation contents. The
+// current rootSet is published through ix.roots with a single atomic
+// pointer swap, so readers acquire a consistent view with one load and no
+// lock; writers batch their mutations into a Commit (commit.go) that
+// shadows shared pages copy-on-write and publishes the next version.
+//
+// A Snapshot pins a rootSet's version in the buffer pool's snapshot
+// census, which holds back reclamation of any page a commit supersedes
+// at a later version — the min-referenced-version watermark in
+// pagestore/snapshot.go. Acquire uses pin-then-validate: pin the loaded
+// version, then re-load; if the pointer moved, a commit may already have
+// queued that version's superseded pages before the pin landed, so drop
+// the pin and retry. When the second load still returns the same rootSet,
+// the next commit's DeferFrees necessarily observes the pin (both run
+// under the pool's snapshot mutex, and the commit publishes before it
+// defers), so every page this snapshot can reach stays allocated until
+// Release.
+
+// rootSet is one published version of the index. All fields are immutable
+// after publication; writers build the next rootSet rather than touching
+// a published one.
+type rootSet struct {
+	version uint64
+
+	up, down   []*btree.Tree // frozen read handles, one pair per slope
+	vup, vdown *btree.Tree   // optional vertical pair (nil when off)
+
+	// indexed is the satisfiable-tuple set of this version;
+	// deletesSinceRebuild is the handicap-staleness counter carried from
+	// commit to commit. Folding both into the rootSet is what makes them
+	// readable without a lock: a reader sees the pair that matches the
+	// trees it sweeps, never a torn intermediate.
+	indexed             map[constraint.TupleID]bool
+	deletesSinceRebuild int
+
+	// tuples freezes the relation: slot id−1 holds the tuple with that id
+	// (nil = deleted or never assigned); live counts the non-nil slots.
+	// Tuples are immutable once inserted, so versions share the pointers.
+	tuples []*constraint.Tuple
+	live   int
+}
+
+// tree returns the B⁺-tree serving queries of q's shape at slope index i:
+// B^up for EXIST(≥)/ALL(≤), B^down for ALL(≥)/EXIST(≤) (Section 3).
+func (rs *rootSet) tree(i int, q constraint.Query) *btree.Tree {
+	if q.UsesTop() {
+		return rs.up[i]
+	}
+	return rs.down[i]
+}
+
+// relGet resolves a tuple id against this version of the relation.
+func (rs *rootSet) relGet(id constraint.TupleID) (*constraint.Tuple, error) {
+	i := int(id) - 1
+	if i < 0 || i >= len(rs.tuples) || rs.tuples[i] == nil {
+		return nil, constraint.ErrNotFound
+	}
+	return rs.tuples[i], nil
+}
+
+// relScan calls fn for every tuple of this version in id order; a false
+// return stops the scan early.
+func (rs *rootSet) relScan(fn func(*constraint.Tuple) bool) {
+	for _, t := range rs.tuples {
+		if t != nil && !fn(t) {
+			return
+		}
+	}
+}
+
+// relLen returns the relation size at this version.
+func (rs *rootSet) relLen() int { return rs.live }
+
+// handleOf freezes a live tree's current state as an immutable read
+// handle for the rootSet being published.
+func handleOf(t *btree.Tree) *btree.Tree {
+	ovn, ovp := t.ChainOverrides()
+	return t.Handle(t.Meta(), ovn, ovp)
+}
+
+// relSnapshot freezes the relation into the dense-by-id slice a rootSet
+// carries. Used for the initial publish (New/Build/Open); commits derive
+// the next slice incrementally from the base version instead.
+func relSnapshot(rel *constraint.Relation) ([]*constraint.Tuple, int) {
+	maxID := constraint.TupleID(0)
+	rel.Scan(func(t *constraint.Tuple) bool {
+		if t.ID() > maxID {
+			maxID = t.ID()
+		}
+		return true
+	})
+	ts := make([]*constraint.Tuple, maxID)
+	live := 0
+	rel.Scan(func(t *constraint.Tuple) bool {
+		ts[t.ID()-1] = t
+		live++
+		return true
+	})
+	return ts, live
+}
+
+// publishLocked freezes the live trees and the given relation view into a
+// new rootSet and publishes it. Requires writeMu (or a not-yet-shared
+// index during construction).
+func (ix *Index) publishLocked(version uint64, indexed map[constraint.TupleID]bool,
+	deletes int, tuples []*constraint.Tuple, live int) *rootSet {
+	rs := &rootSet{
+		version:             version,
+		up:                  make([]*btree.Tree, len(ix.up)),
+		down:                make([]*btree.Tree, len(ix.down)),
+		indexed:             indexed,
+		deletesSinceRebuild: deletes,
+		tuples:              tuples,
+		live:                live,
+	}
+	for i, t := range ix.up {
+		rs.up[i] = handleOf(t)
+	}
+	for i, t := range ix.down {
+		rs.down[i] = handleOf(t)
+	}
+	if ix.vup != nil {
+		rs.vup = handleOf(ix.vup)
+		rs.vdown = handleOf(ix.vdown)
+	}
+	ix.roots.Store(rs)
+	return rs
+}
+
+// republishLocked re-freezes the live trees and relation under the
+// current version's bookkeeping — the initial publish and the publish
+// after bulk operations that mutate trees in place (Build, Open).
+func (ix *Index) republishLocked(version uint64, indexed map[constraint.TupleID]bool, deletes int) *rootSet {
+	tuples, live := relSnapshot(ix.rel)
+	return ix.publishLocked(version, indexed, deletes, tuples, live)
+}
+
+// errSnapshotReleased is returned by every query method of a Snapshot
+// after Release.
+var errSnapshotReleased = errors.New("core: use of released snapshot")
+
+// Snapshot is a pinned, immutable view of the index: every query it runs
+// sees exactly the tuples and tree contents of one committed version,
+// regardless of concurrent commits. A Snapshot holds superseded pages of
+// later commits in memory until Release — release it promptly (the
+// dualvet snapleak analyzer flags paths that don't).
+type Snapshot struct {
+	ix       *Index
+	rs       *rootSet
+	released atomic.Bool
+}
+
+// Snapshot pins the current version for reading. The caller must Release
+// it; queries on the index's own methods (Query, QueryBatch, …) manage a
+// per-call pin internally.
+func (ix *Index) Snapshot() *Snapshot {
+	return &Snapshot{ix: ix, rs: ix.pinRoots()}
+}
+
+// pinRoots pins the current version and returns its rootSet. The per-call
+// read path (Index.Query and friends) uses it directly so a query costs no
+// allocation beyond its execCtx — keeping the read-only QueryFlat floor of
+// the pre-MVCC layout. Callers must pair it with unpinRoots.
+func (ix *Index) pinRoots() *rootSet {
+	for {
+		rs := ix.roots.Load()
+		ix.pool.PinVersion(rs.version)
+		if ix.roots.Load() == rs {
+			return rs
+		}
+		// A commit published between the load and the pin: its superseded
+		// pages may have been queued (and even freed) before our pin
+		// landed, so this pin protects nothing — retry on the new root.
+		ix.pool.UnpinVersion(rs.version)
+	}
+}
+
+func (ix *Index) unpinRoots(rs *rootSet) { ix.pool.UnpinVersion(rs.version) }
+
+// Release unpins the snapshot, allowing pages superseded after its
+// version to be reclaimed. Idempotent.
+func (s *Snapshot) Release() {
+	if s.released.Swap(true) {
+		return
+	}
+	s.ix.pool.UnpinVersion(s.rs.version)
+}
+
+// Version returns the commit version this snapshot pins (1 is the
+// freshly created index).
+func (s *Snapshot) Version() uint64 { return s.rs.version }
+
+// Len returns the number of indexed (satisfiable) tuples at this version.
+func (s *Snapshot) Len() int { return len(s.rs.indexed) }
+
+// Tuples returns the relation size at this version.
+func (s *Snapshot) Tuples() int { return s.rs.relLen() }
+
+// guard rejects use after Release.
+func (s *Snapshot) guard() error {
+	if s.released.Load() {
+		return errSnapshotReleased
+	}
+	return nil
+}
+
+// execCtxFor builds the per-query execution state bound to one pinned
+// version.
+func (ix *Index) execCtxFor(rs *rootSet) *execCtx {
+	return &execCtx{rs: rs, rc: &pagestore.ReadCounter{}, obs: ix.opt.Observe}
+}
+
+// execCtx builds the per-query execution state bound to this snapshot.
+func (s *Snapshot) execCtx() *execCtx { return s.ix.execCtxFor(s.rs) }
+
+// Query executes an ALL or EXIST half-plane selection against this
+// snapshot's version.
+func (s *Snapshot) Query(q constraint.Query) (Result, error) {
+	if err := s.guard(); err != nil {
+		return Result{}, err
+	}
+	return s.ix.query(q, s.execCtx())
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dualcdb/internal/constraint"
+	"dualcdb/internal/pagestore"
+)
+
+// probeAnswers runs a fixed set of queries through a snapshot and returns
+// the answers positionally.
+func probeAnswers(t *testing.T, s *Snapshot, qs []constraint.Query) [][]constraint.TupleID {
+	t.Helper()
+	out := make([][]constraint.TupleID, len(qs))
+	for i, q := range qs {
+		res, err := s.Query(q)
+		if err != nil {
+			t.Fatalf("probe %v: %v", q, err)
+		}
+		out[i] = res.IDs
+	}
+	return out
+}
+
+// TestInsertFaultLeavesSnapshotIntact is the regression test for the old
+// partial-update window: an Insert that fails after some trees took the
+// new entry must leave queries on the pre-insert state, not half of one.
+// Under copy-on-write the failed batch only ever touched shadow pages, so
+// aborting is invisible: the published version still answers every query
+// exactly as before the attempt.
+func TestInsertFaultLeavesSnapshotIntact(t *testing.T) {
+	store := pagestore.NewFaultStore(pagestore.NewMemStore(1024))
+	rng := rand.New(rand.NewSource(17))
+	rel := constraint.NewRelation(2)
+	for i := 0; i < 120; i++ {
+		if _, err := rel.Insert(randTuple(rng, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := Build(rel, Options{
+		Slopes:    EquiangularSlopes(3),
+		Technique: T2,
+		Store:     store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qs := make([]constraint.Query, 24)
+	for i := range qs {
+		qs[i] = randQuery(rng)
+	}
+	before := ix.Snapshot()
+	defer before.Release()
+	want := probeAnswers(t, before, qs)
+	tuplesBefore := rel.Len()
+	lenBefore := ix.Len()
+	verBefore := before.Version()
+
+	// Every copy-on-write page shadow allocates through the store, so
+	// failing the n-th allocation kills the insert midway: some trees
+	// already took the entry on their shadow pages, others never saw it.
+	for _, allocs := range []int{1, 2, 5, 9} {
+		store.FailAllocAfter(allocs)
+		_, err := ix.Insert(randTuple(rng, false))
+		store.Disarm()
+		if !errors.Is(err, pagestore.ErrInjected) {
+			t.Fatalf("FailAllocAfter(%d): Insert error = %v, want injected fault", allocs, err)
+		}
+	}
+
+	if got := rel.Len(); got != tuplesBefore {
+		t.Fatalf("relation leaked aborted inserts: %d tuples, want %d", rel.Len(), tuplesBefore)
+	}
+	if got := ix.Len(); got != lenBefore {
+		t.Fatalf("index Len after aborts: %d, want %d", got, lenBefore)
+	}
+	after := ix.Snapshot()
+	defer after.Release()
+	if after.Version() != verBefore {
+		t.Fatalf("aborted inserts published a version: %d, want %d", after.Version(), verBefore)
+	}
+	got := probeAnswers(t, after, qs)
+	for i := range qs {
+		if !sameIDs(got[i], want[i]) {
+			t.Fatalf("query %v drifted after aborted inserts: got %v, want %v", qs[i], got[i], want[i])
+		}
+	}
+
+	// The index stays fully usable: a disarmed insert commits and is seen
+	// by new snapshots.
+	id, err := ix.Insert(randTuple(rng, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotStableAcrossCommits quick-checks the reader guarantee over
+// random tuple batches: a pinned snapshot answers every probe query
+// identically before, between and after concurrent commits, while fresh
+// snapshots track the live relation exactly.
+func TestSnapshotStableAcrossCommits(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	rel, ix := buildRandomIndex(t, rng, 200, Options{
+		Slopes:    EquiangularSlopes(3),
+		Technique: T2,
+	}, false)
+
+	qs := make([]constraint.Query, 30)
+	for i := range qs {
+		qs[i] = randQuery(rng)
+	}
+	pinned := ix.Snapshot()
+	defer pinned.Release()
+	want := probeAnswers(t, pinned, qs)
+
+	ids := rel.IDs()
+	for round := 0; round < 6; round++ {
+		// One commit batch per round: a few inserts and deletes.
+		c := ix.Begin()
+		for i := 0; i < 10; i++ {
+			id, err := c.Insert(randTuple(rng, false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		for i := 0; i < 8 && len(ids) > 0; i++ {
+			j := rng.Intn(len(ids))
+			if err := c.Delete(ids[j]); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids[:j], ids[j+1:]...)
+		}
+		if err := c.Commit(); err != nil {
+			t.Fatal(err)
+		}
+
+		// The pinned snapshot is frozen mid-churn...
+		got := probeAnswers(t, pinned, qs)
+		for i := range qs {
+			if !sameIDs(got[i], want[i]) {
+				t.Fatalf("round %d: pinned snapshot drifted on %v: got %v, want %v",
+					round, qs[i], got[i], want[i])
+			}
+		}
+		// ...while a fresh snapshot matches the exhaustive ground truth of
+		// the live relation.
+		fresh := ix.Snapshot()
+		for i := 0; i < 5; i++ {
+			q := randQuery(rng)
+			wantLive, err := q.Eval(rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := fresh.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(res.IDs, wantLive) {
+				t.Fatalf("round %d: live query %v: got %v, want %v", round, q, res.IDs, wantLive)
+			}
+		}
+		fresh.Release()
+	}
+
+	// Release triggers reclamation of everything the pin held back.
+	pinned.Release()
+	if c := ix.Pool().SnapshotCensus(); c.Active != 0 || c.DeferredPages != 0 {
+		t.Fatalf("census after release: %+v", c)
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A released snapshot refuses queries instead of touching pages that
+	// may be reclaimed.
+	if _, err := pinned.Query(qs[0]); !errors.Is(err, errSnapshotReleased) {
+		t.Fatalf("query on released snapshot: %v, want errSnapshotReleased", err)
+	}
+}
+
+// TestSupersededPagesReclaimed checks the watermark accounting end to
+// end: pages superseded while a snapshot is pinned stay allocated, and
+// releasing the last snapshot returns the store to its exact baseline —
+// no page leaks across insert/delete churn.
+func TestSupersededPagesReclaimed(t *testing.T) {
+	store := pagestore.NewMemStore(1024)
+	rng := rand.New(rand.NewSource(41))
+	rel := constraint.NewRelation(2)
+	ix, err := New(rel, Options{
+		Slopes:    EquiangularSlopes(3),
+		Technique: T2,
+		Store:     store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := store.NumAllocated()
+
+	var ids []constraint.TupleID
+	for i := 0; i < 150; i++ {
+		id, err := ix.Insert(randTuple(rng, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	s := ix.Snapshot()
+	if got := ix.StatsSnapshot().Snapshots.Active; got != 1 {
+		t.Fatalf("census gauge: Active = %d, want 1", got)
+	}
+	for _, id := range ids {
+		if err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	censusPinned := ix.Pool().SnapshotCensus()
+	if censusPinned.DeferredPages == 0 {
+		t.Fatal("no deferred pages while a snapshot pins the pre-delete version")
+	}
+	allocPinned := store.NumAllocated()
+
+	// The pinned version still sweeps the full pre-delete contents.
+	if got := s.Len(); got != 150 {
+		t.Fatalf("pinned snapshot Len = %d, want 150", got)
+	}
+	res, err := s.Query(randQuery(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+
+	s.Release()
+	c := ix.Pool().SnapshotCensus()
+	if c.Active != 0 || c.DeferredPages != 0 || c.ReclaimFailures != 0 {
+		t.Fatalf("census after release: %+v", c)
+	}
+	if got := store.NumAllocated(); got != allocPinned-censusPinned.DeferredPages {
+		t.Fatalf("release freed %d pages, want %d", allocPinned-got, censusPinned.DeferredPages)
+	}
+	// Inserting then deleting every tuple must return the store to its
+	// post-create footprint: the trees collapse back to empty roots and
+	// every superseded page is reclaimed.
+	if got := store.NumAllocated(); got != baseline {
+		t.Fatalf("page leak: %d pages allocated, baseline %d", got, baseline)
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

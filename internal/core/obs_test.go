@@ -315,6 +315,13 @@ func TestFailedQueryClosesRefineSpan(t *testing.T) {
 	if err := rel.Delete(last); err != nil {
 		t.Fatal(err)
 	}
+	// The MVCC query path reads the relation view frozen in the published
+	// root set, so an out-of-band relation mutation is invisible until the
+	// next publish. Re-publish both indexes to make the id dangle.
+	for _, x := range []*Index{ix, ix2} {
+		rs := x.roots.Load()
+		x.republishLocked(rs.version+1, rs.indexed, rs.deletesSinceRebuild)
+	}
 
 	window, err := constraint.ParseTuple(
 		"x >= -1000000 && x <= 1000000 && y >= -1000000 && y <= 1000000", 2)

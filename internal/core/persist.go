@@ -35,12 +35,28 @@ const (
 // Save writes the catalog and the relation into the index's store. The
 // index must own its store (created via New/Build without a shared Pool),
 // so that the catalog sits at page 1.
+//
+// Save requires a quiescent index: it excludes writers for its duration
+// and refuses to run while any snapshot is active, because it flattens
+// the MVCC chain-override maps into the page bytes (the persisted format
+// has no override sidecar) — an edit an older pinned version could
+// otherwise observe.
 func (ix *Index) Save() error {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
 	if ix.catalog == pagestore.InvalidPage {
 		return fmt.Errorf("core: index has no catalog page (built on a shared pool?)")
 	}
 	if len(ix.slopes) > maxPersistK {
 		return fmt.Errorf("core: cannot persist k=%d > %d slope sets", len(ix.slopes), maxPersistK)
+	}
+	if c := ix.pool.SnapshotCensus(); c.Active > 0 {
+		return fmt.Errorf("core: Save with %d active snapshots", c.Active)
+	}
+	for _, t := range ix.allTrees() {
+		if err := t.FlattenChainOverrides(); err != nil {
+			return err
+		}
 	}
 	// Serialize the relation.
 	data, count, err := encodeRelation(ix.rel)
@@ -176,7 +192,6 @@ func Open(pool *pagestore.Pool) (*constraint.Relation, *Index, error) {
 		opt:        opt,
 		slopes:     slopes,
 		pool:       pool,
-		indexed:    make(map[constraint.TupleID]bool),
 		catalog:    catalogPage,
 		tupleChain: head,
 	}
@@ -205,12 +220,15 @@ func Open(pool *pagestore.Pool) (*constraint.Relation, *Index, error) {
 		}
 	}
 	// Indexed set: exactly the satisfiable tuples (Insert's invariant).
+	indexed := make(map[constraint.TupleID]bool)
 	rel.Scan(func(t *constraint.Tuple) bool {
 		if t.IsSatisfiable() {
-			ix.indexed[t.ID()] = true
+			indexed[t.ID()] = true
 		}
 		return true
 	})
+	ix.republishLocked(1, indexed, 0)
+	ix.registerGauges()
 	return rel, ix, nil
 }
 

@@ -58,9 +58,14 @@ type AppQuery struct {
 	SlopeIndex int
 }
 
-// execCtx carries one query's execution state: its exact I/O counter and
-// the intra-query parallelism knobs QueryBatch enables.
+// execCtx carries one query's execution state: the pinned root set it
+// reads, its exact I/O counter and the intra-query parallelism knobs
+// QueryBatch enables.
 type execCtx struct {
+	// rs is the version this query executes against — every tree sweep
+	// and every relation lookup resolves through it, so a query is
+	// consistent even while commits land concurrently.
+	rs *rootSet
 	rc *pagestore.ReadCounter
 	// parallelSweeps runs T1's two app-query sweeps concurrently (they
 	// visit independent trees).
@@ -135,9 +140,13 @@ func (ec *execCtx) putBuf(s []uint32) {
 	}
 }
 
-// Query executes an ALL or EXIST half-plane selection.
+// Query executes an ALL or EXIST half-plane selection against the
+// current version (a per-call snapshot is pinned and released
+// internally; use Snapshot to run several queries on one version).
 func (ix *Index) Query(q constraint.Query) (Result, error) {
-	return ix.query(q, &execCtx{rc: &pagestore.ReadCounter{}, obs: ix.opt.Observe})
+	rs := ix.pinRoots()
+	defer ix.unpinRoots(rs)
+	return ix.query(q, ix.execCtxFor(rs))
 }
 
 // queryInfo maps a finished query's stats onto the observer's report.
@@ -206,15 +215,6 @@ func (ix *Index) queryExec(q constraint.Query, ec *execCtx) (Result, error) {
 	return res, nil
 }
 
-// tree returns the B⁺-tree serving queries of q's shape at slope index i:
-// B^up for EXIST(≥)/ALL(≤), B^down for ALL(≥)/EXIST(≤) (Section 3).
-func (ix *Index) tree(i int, q constraint.Query) *btree.Tree {
-	if q.UsesTop() {
-		return ix.up[i]
-	}
-	return ix.down[i]
-}
-
 // collectRestricted gathers the candidate tuple ids for a query whose
 // slope is exactly S[i]: one search plus a one-directional leaf sweep.
 // Candidates are appended to cands (which may carry pooled capacity); page
@@ -225,8 +225,8 @@ func (ix *Index) tree(i int, q constraint.Query) *btree.Tree {
 // sweep therefore also *starts* one tolerance before b — a key within Eps
 // of b can be stored in the leaf preceding the one that owns b, and a
 // sweep starting at b would never visit it.
-func (ix *Index) collectRestricted(i int, q constraint.Query, st *QueryStats, rc *pagestore.ReadCounter, cands []uint32) ([]uint32, error) {
-	tr := ix.tree(i, q)
+func (rs *rootSet) collectRestricted(i int, q constraint.Query, st *QueryStats, rc *pagestore.ReadCounter, cands []uint32) ([]uint32, error) {
+	tr := rs.tree(i, q)
 	b := q.Intercept
 	var err error
 	if q.SweepsUp() {
@@ -257,7 +257,7 @@ func (ix *Index) collectRestricted(i int, q constraint.Query, st *QueryStats, rc
 func (ix *Index) runRestricted(i int, q constraint.Query, ec *execCtx) (Result, error) {
 	st := QueryStats{Path: "restricted"}
 	sp := ec.span(obs.StageSweep)
-	cands, err := ix.collectRestricted(i, q, &st, ec.rc, ec.getBuf())
+	cands, err := ec.rs.collectRestricted(i, q, &st, ec.rc, ec.getBuf())
 	ec.endSpan(sp, len(cands))
 	if err != nil {
 		return Result{}, err
@@ -342,7 +342,7 @@ func (ix *Index) runT1(q constraint.Query, path string, ec *execCtx) (Result, er
 				defer wg.Done()
 				src := &srcs[s]
 				sw := ec.spanRC(obs.StageSweep, src)
-				sweeps[s].cands, sweeps[s].err = ix.collectRestricted(
+				sweeps[s].cands, sweeps[s].err = ec.rs.collectRestricted(
 					plan[s].SlopeIndex, plan[s].Query, &sweeps[s].st, src, ec.getBuf())
 				ec.endSpanRC(sw, src, len(sweeps[s].cands))
 			}(s)
@@ -355,7 +355,7 @@ func (ix *Index) runT1(q constraint.Query, path string, ec *execCtx) (Result, er
 	} else {
 		for s := range plan {
 			sw := ec.span(obs.StageSweep)
-			sweeps[s].cands, sweeps[s].err = ix.collectRestricted(
+			sweeps[s].cands, sweeps[s].err = ec.rs.collectRestricted(
 				plan[s].SlopeIndex, plan[s].Query, &sweeps[s].st, ec.rc, ec.getBuf())
 			ec.endSpan(sw, len(sweeps[s].cands))
 		}
@@ -402,7 +402,7 @@ func (ix *Index) runT1(q constraint.Query, path string, ec *execCtx) (Result, er
 // runT2 executes the single-tree handicap technique of Section 4.2/4.3.
 func (ix *Index) runT2(i int, q constraint.Query, ec *execCtx) (Result, error) {
 	st := QueryStats{Path: "t2"}
-	tr := ix.tree(i, q)
+	tr := ec.rs.tree(i, q)
 	a, b := q.Slope[0], q.Intercept
 	right := a >= ix.slopes[i]
 
@@ -535,11 +535,11 @@ func (ix *Index) refineKeepCandidates(q constraint.Query, cands []uint32, st Que
 func (ix *Index) refineExec(q constraint.Query, cands []uint32, st QueryStats, ec *execCtx) (Result, error) {
 	workers := ec.refineWorkers
 	if workers > 1 && len(cands) >= ec.refineThreshold && ec.refineThreshold > 0 {
-		return ix.refineParallel(q, cands, st, workers)
+		return refineParallel(ec.rs, q, cands, st, workers)
 	}
 	ids := make([]constraint.TupleID, 0, len(cands))
 	for _, tid := range cands {
-		t, err := ix.rel.Get(constraint.TupleID(tid))
+		t, err := ec.rs.relGet(constraint.TupleID(tid))
 		if err != nil {
 			return Result{}, fmt.Errorf("core: candidate %d not in relation: %w", tid, err)
 		}
@@ -561,7 +561,7 @@ func (ix *Index) refineExec(q constraint.Query, cands []uint32, st QueryStats, e
 // refineParallel splits the candidate set into contiguous chunks, refines
 // each on its own goroutine and merges the per-chunk answers. The final
 // sort makes the result identical to sequential refinement.
-func (ix *Index) refineParallel(q constraint.Query, cands []uint32, st QueryStats, workers int) (Result, error) {
+func refineParallel(rs *rootSet, q constraint.Query, cands []uint32, st QueryStats, workers int) (Result, error) {
 	if workers > len(cands) {
 		workers = len(cands)
 	}
@@ -588,7 +588,7 @@ func (ix *Index) refineParallel(q constraint.Query, cands []uint32, st QueryStat
 			out := &outs[w]
 			out.ids = make([]constraint.TupleID, 0, hi-lo)
 			for _, tid := range cands[lo:hi] {
-				t, err := ix.rel.Get(constraint.TupleID(tid))
+				t, err := rs.relGet(constraint.TupleID(tid))
 				if err != nil {
 					out.err = fmt.Errorf("core: candidate %d not in relation: %w", tid, err)
 					return

@@ -7,7 +7,6 @@ import (
 	"dualcdb/internal/constraint"
 	"dualcdb/internal/geom"
 	"dualcdb/internal/obs"
-	"dualcdb/internal/pagestore"
 )
 
 // QueryLine retrieves the tuples whose extension intersects the *line*
@@ -18,7 +17,22 @@ import (
 // index (sharing its technique and statistics) and the refined
 // intersection is exact.
 func (ix *Index) QueryLine(a, b float64) (Result, error) {
-	ec := &execCtx{rc: &pagestore.ReadCounter{}, obs: ix.opt.Observe}
+	rs := ix.pinRoots()
+	defer ix.unpinRoots(rs)
+	return ix.queryLineTraced(a, b, ix.execCtxFor(rs))
+}
+
+// QueryLine retrieves the tuples whose extension intersects the line
+// y = a·x + b, against this snapshot's version.
+func (s *Snapshot) QueryLine(a, b float64) (Result, error) {
+	if err := s.guard(); err != nil {
+		return Result{}, err
+	}
+	return s.ix.queryLineTraced(a, b, s.execCtx())
+}
+
+// queryLineTraced wraps queryLine in its own query trace.
+func (ix *Index) queryLineTraced(a, b float64, ec *execCtx) (Result, error) {
 	if ec.obs != nil {
 		// The line stab owns one trace; both EXIST sub-queries share the
 		// execCtx and record their stage spans into it.

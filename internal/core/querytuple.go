@@ -6,7 +6,6 @@ import (
 
 	"dualcdb/internal/constraint"
 	"dualcdb/internal/obs"
-	"dualcdb/internal/pagestore"
 )
 
 // This file extends the index beyond single half-plane selections to
@@ -44,9 +43,24 @@ type TupleResult struct {
 }
 
 // QueryTuple executes ALL(qt, r) or EXIST(qt, r) for a generalized query
-// tuple over the 2-D index.
+// tuple over the 2-D index, against the current version.
 func (ix *Index) QueryTuple(kind constraint.QueryKind, qt *constraint.Tuple) (TupleResult, error) {
-	ec := &execCtx{rc: &pagestore.ReadCounter{}, obs: ix.opt.Observe}
+	rs := ix.pinRoots()
+	defer ix.unpinRoots(rs)
+	return ix.queryTupleTraced(kind, qt, ix.execCtxFor(rs))
+}
+
+// QueryTuple executes ALL(qt, r) or EXIST(qt, r) against this snapshot's
+// version.
+func (s *Snapshot) QueryTuple(kind constraint.QueryKind, qt *constraint.Tuple) (TupleResult, error) {
+	if err := s.guard(); err != nil {
+		return TupleResult{}, err
+	}
+	return s.ix.queryTupleTraced(kind, qt, s.execCtx())
+}
+
+// queryTupleTraced wraps queryTuple in its own query trace.
+func (ix *Index) queryTupleTraced(kind constraint.QueryKind, qt *constraint.Tuple, ec *execCtx) (TupleResult, error) {
 	if ec.obs != nil {
 		// The tuple selection owns one trace; every per-constraint
 		// sub-query shares the execCtx and records into it.
@@ -91,7 +105,7 @@ func (ix *Index) queryTuple(kind constraint.QueryKind, qt *constraint.Tuple, ec 
 		}
 		slope, icpt, op, err := h.SlopeForm()
 		if err != nil {
-			if ix.vup != nil {
+			if ec.rs.vup != nil {
 				// Vertical constraint a·x + c θ 0 with a ≠ 0: normalize to
 				// x θ' −c/a.
 				a, c := h.A[0], h.C
@@ -118,7 +132,7 @@ func (ix *Index) queryTuple(kind constraint.QueryKind, qt *constraint.Tuple, ec 
 		// Nothing usable on the index: scan.
 		st.Path = "tuple-scan"
 		candidate = make(map[constraint.TupleID]bool)
-		ix.rel.Scan(func(t *constraint.Tuple) bool {
+		ec.rs.relScan(func(t *constraint.Tuple) bool {
 			candidate[t.ID()] = true
 			return true
 		})
@@ -160,7 +174,7 @@ func (ix *Index) queryTuple(kind constraint.QueryKind, qt *constraint.Tuple, ec 
 	ids := make([]constraint.TupleID, 0, len(candidate))
 	for id := range candidate {
 		if needRefine {
-			t, err := ix.rel.Get(id)
+			t, err := ec.rs.relGet(id)
 			if err != nil {
 				ec.endSpan(rf, 0)
 				return TupleResult{}, err

@@ -18,10 +18,11 @@ type StatsSnapshot struct {
 	Slopes    int    `json:"slopes"`    // |S|
 	Technique string `json:"technique"` // approximation technique
 
-	Pool        pagestore.Stats     `json:"pool"`
-	Residency   pagestore.Residency `json:"residency"`
-	DecodeCache btree.DecodeStats   `json:"decode_cache"`
-	Sweeps      btree.SweepStats    `json:"sweeps"`
+	Pool        pagestore.Stats          `json:"pool"`
+	Residency   pagestore.Residency      `json:"residency"`
+	Snapshots   pagestore.SnapshotCensus `json:"snapshots"`
+	DecodeCache btree.DecodeStats        `json:"decode_cache"`
+	Sweeps      btree.SweepStats         `json:"sweeps"`
 
 	Observer *obs.Snapshot `json:"observer,omitempty"`
 }
@@ -43,18 +44,22 @@ func (ix *Index) SweepStats() btree.SweepStats {
 	return s
 }
 
-// StatsSnapshot assembles the unified view. Safe to call concurrently with
-// queries: every source is an atomic counter, a per-shard census, or the
-// observer's own lock-protected state.
+// StatsSnapshot assembles the unified view. Safe to call concurrently
+// with queries and commits: the index shape is read from the published
+// root set (one atomic load), and every other source is an atomic
+// counter, a per-shard census, or the observer's own lock-protected
+// state.
 func (ix *Index) StatsSnapshot() StatsSnapshot {
+	rs := ix.roots.Load()
 	return StatsSnapshot{
-		Tuples:      ix.rel.Len(),
-		Indexed:     len(ix.indexed),
+		Tuples:      rs.relLen(),
+		Indexed:     len(rs.indexed),
 		Pages:       ix.Pages(),
 		Slopes:      len(ix.slopes),
 		Technique:   ix.opt.Technique.String(),
 		Pool:        ix.pool.Stats(),
 		Residency:   ix.pool.Residency(),
+		Snapshots:   ix.pool.SnapshotCensus(),
 		DecodeCache: ix.DecodeCacheStats(),
 		Sweeps:      ix.SweepStats(),
 		Observer:    ix.opt.Observe.ObserverSnapshot(),
@@ -86,6 +91,7 @@ func (ix *Index) registerGauges() {
 	r.Func("pool.readahead.batches", func() any { return ix.pool.Stats().ReadaheadBatches })
 	r.Func("pool.readahead.pages", func() any { return ix.pool.Stats().ReadaheadPages })
 	r.Func("pool.residency", func() any { return ix.pool.Residency() })
+	r.Func("pool.snapshots", func() any { return ix.pool.SnapshotCensus() })
 	r.Func("decode_cache", func() any { return ix.DecodeCacheStats() })
 	r.Func("sweeps", func() any { return ix.SweepStats() })
 }

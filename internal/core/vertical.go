@@ -9,7 +9,6 @@ import (
 	"dualcdb/internal/constraint"
 	"dualcdb/internal/geom"
 	"dualcdb/internal/obs"
-	"dualcdb/internal/pagestore"
 )
 
 // Vertical half-planes x θ c fall outside the dual transform (footnote 4:
@@ -73,10 +72,26 @@ func (ix *Index) deleteVertical(ext geom.Polyhedron, id constraint.TupleID) erro
 	return err
 }
 
-// QueryVertical executes the selection Kind(x op c). With IndexVertical it
-// runs one exact tree sweep; otherwise it scans.
+// QueryVertical executes the selection Kind(x op c) against the current
+// version. With IndexVertical it runs one exact tree sweep; otherwise it
+// scans.
 func (ix *Index) QueryVertical(kind constraint.QueryKind, op geom.Op, c float64) (Result, error) {
-	ec := &execCtx{rc: &pagestore.ReadCounter{}, obs: ix.opt.Observe}
+	rs := ix.pinRoots()
+	defer ix.unpinRoots(rs)
+	return ix.queryVerticalTraced(kind, op, c, ix.execCtxFor(rs))
+}
+
+// QueryVertical executes the selection Kind(x op c) against this
+// snapshot's version.
+func (s *Snapshot) QueryVertical(kind constraint.QueryKind, op geom.Op, c float64) (Result, error) {
+	if err := s.guard(); err != nil {
+		return Result{}, err
+	}
+	return s.ix.queryVerticalTraced(kind, op, c, s.execCtx())
+}
+
+// queryVerticalTraced wraps queryVertical in its own query trace.
+func (ix *Index) queryVerticalTraced(kind constraint.QueryKind, op geom.Op, c float64, ec *execCtx) (Result, error) {
 	if ec.obs != nil {
 		ec.tr = ec.obs.StartQuery(fmt.Sprintf("%s(x %s %g)", kind, op, c))
 		res, err := ix.queryVertical(kind, op, c, ec)
@@ -94,21 +109,22 @@ func (ix *Index) queryVertical(kind constraint.QueryKind, op geom.Op, c float64,
 	if math.IsNaN(c) || math.IsInf(c, 0) {
 		return Result{}, fmt.Errorf("core: invalid vertical intercept %v", c)
 	}
-	if ix.vup == nil {
-		ids, err := EvalVertical(kind, op, c, ix.rel)
+	rs := ec.rs
+	if rs.vup == nil {
+		ids, err := evalVerticalScan(kind, op, c, rs)
 		if err != nil {
 			return Result{}, err
 		}
-		st := QueryStats{Path: "scan", Candidates: ix.rel.Len(), Results: len(ids)}
+		st := QueryStats{Path: "scan", Candidates: rs.relLen(), Results: len(ids)}
 		st.FalseHits = st.Candidates - st.Results
 		return Result{IDs: ids, Stats: st}, nil
 	}
 	st := QueryStats{Path: "restricted-vertical"}
 	// Route: EXIST(≥)/ALL(≤) read V^up; ALL(≥)/EXIST(≤) read V^down.
 	useUp := (kind == constraint.EXIST) == (op == geom.GE)
-	tr := ix.vdown
+	tr := rs.vdown
 	if useUp {
-		tr = ix.vup
+		tr = rs.vup
 	}
 	// ec.rc gives this query exact PagesRead attribution under concurrency;
 	// the sweeps start one tolerance below/above c so that boundary keys
@@ -146,7 +162,7 @@ func (ix *Index) queryVertical(kind constraint.QueryKind, op geom.Op, c float64,
 	rf := ec.span(obs.StageRefine)
 	ids := make([]constraint.TupleID, 0, len(cands))
 	for _, tid := range cands {
-		t, err := ix.rel.Get(constraint.TupleID(tid))
+		t, err := rs.relGet(constraint.TupleID(tid))
 		if err != nil {
 			ec.endSpan(rf, 0)
 			return Result{}, err
@@ -188,6 +204,30 @@ func matchesVertical(kind constraint.QueryKind, op geom.Op, c float64, t *constr
 	default: // ALL, LE
 		return supX(ext) <= c+geom.Eps, nil
 	}
+}
+
+// evalVerticalScan is the scan fallback over one frozen version — the
+// same predicate as EvalVertical, run against the snapshot's relation
+// view so a concurrent commit cannot tear the scan.
+func evalVerticalScan(kind constraint.QueryKind, op geom.Op, c float64, rs *rootSet) ([]constraint.TupleID, error) {
+	var out []constraint.TupleID
+	var scanErr error
+	rs.relScan(func(t *constraint.Tuple) bool {
+		ok, err := matchesVertical(kind, op, c, t)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			out = append(out, t.ID())
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	slices.Sort(out)
+	return out, nil
 }
 
 // EvalVertical is the exhaustive ground truth for vertical selections.

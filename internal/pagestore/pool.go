@@ -82,6 +82,15 @@ type Pool struct {
 	hintsAsc  map[PageID]PageID
 	hintsDesc map[PageID]PageID
 
+	// MVCC snapshot bookkeeping (snapshot.go): reference counts per pinned
+	// commit version and pages superseded by copy-on-write commits, held
+	// back until the min-referenced-version watermark passes their death
+	// version. Guarded by snapMu; snapMu never nests inside a shard lock.
+	snapMu       sync.Mutex
+	snapRefs     map[uint64]int
+	deferred     []deferredFrees
+	reclaimFails atomic.Uint64
+
 	logicalReads     atomic.Uint64
 	physicalReads    atomic.Uint64
 	writes           atomic.Uint64
@@ -296,6 +305,7 @@ func NewPoolWithOptions(store Store, opt PoolOptions) *Pool {
 		shift:     32 - log2(n),
 		hintsAsc:  make(map[PageID]PageID),
 		hintsDesc: make(map[PageID]PageID),
+		snapRefs:  make(map[uint64]int),
 	}
 	for i := range p.shards {
 		p.shards[i] = &poolShard{
