@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchsnap                # full measurement, writes BENCH_pr8.json
+//	benchsnap                # full measurement, writes BENCH_pr9.json
 //	benchsnap -quick -o out.json
 //	benchsnap -quick -gate   # also fail on regression past the PR-5/PR-6 floors
 //
@@ -15,8 +15,10 @@
 // physical read count must not move at all (the paper's I/O model is
 // exact; a layout change has no business touching it), and the warm
 // QueryFlat end-to-end path must hold the PR-6 allocation count — MVCC
-// snapshots must cost readers nothing when no writer is active. The alloc
-// floors were measured with -quick, so the gate requires -quick.
+// snapshots must cost readers nothing when no writer is active — and the
+// observed commit path may add only a bounded handful of allocations over
+// the bare one (the commit trace and its ring slot). The alloc floors
+// were measured with -quick, so the gate requires -quick.
 package main
 
 import (
@@ -51,7 +53,7 @@ type Row struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr8.json", "output file")
+	out := flag.String("o", "BENCH_pr9.json", "output file")
 	quick := flag.Bool("quick", false, "smaller trees (smoke run)")
 	gate := flag.Bool("gate", false, "fail on regression past the PR-5 baselines (requires -quick)")
 	flag.Parse()
@@ -354,19 +356,59 @@ func main() {
 			"commits_per_sec":   2 * float64(commitPairs.Load()) / elapsed.Seconds(),
 		}, withWriter)
 
-		res := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				id, err := ix.Insert(randTuple(rng))
-				if err != nil {
-					b.Fatal(err)
-				}
-				if err := ix.Delete(id); err != nil {
-					b.Fatal(err)
+		// Bare vs observed runs each get a fresh, identically seeded index:
+		// commits grow the frozen relation slice with the max tuple id, so
+		// measuring the observed pair on an index the bare pair already
+		// churned would charge the observer for id-space growth.
+		measureCommit := func(observed bool) testing.BenchmarkResult {
+			crng := rand.New(rand.NewSource(83))
+			crel := constraint.NewRelation(2)
+			for i := 0; i < coreN; i++ {
+				if _, err := crel.Insert(randTuple(crng)); err != nil {
+					fatal(err)
 				}
 			}
-		})
+			cix, err := core.Build(crel, core.Options{
+				Slopes:    core.EquiangularSlopes(3),
+				Technique: core.T2,
+				Store:     pagestore.NewMemStore(1024),
+				PoolPages: 1 << 14,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			if observed {
+				cix.SetObserver(obs.New(obs.Options{Name: "benchsnap"}))
+			}
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					id, err := cix.Insert(randTuple(crng))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := cix.Delete(id); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		res := measureCommit(false)
 		add("CommitLatency", map[string]float64{"commits_per_op": 2}, res)
+
+		// The same insert+delete pair with an observer attached: commit
+		// tracing, per-stage clone/free attribution, flight-recorder
+		// retention. ratio_vs_bare is the issue's 5% acceptance bar —
+		// wall-clock, so recorded rather than gated; the gate bounds the
+		// allocation delta instead.
+		obsRes := measureCommit(true)
+		bareNs := float64(res.T.Nanoseconds()) / float64(res.N)
+		obsNs := float64(obsRes.T.Nanoseconds()) / float64(obsRes.N)
+		add("CommitObserved", map[string]float64{
+			"commits_per_op": 2,
+			"bare_ns_op":     bareNs,
+			"ratio_vs_bare":  obsNs / bareNs,
+		}, obsRes)
 	}
 
 	// Dualvet unit-cache ablations: the tool is invoked directly on
@@ -440,6 +482,12 @@ const (
 // idle readers something.
 const gateQueryFlatAllocs = 368
 
+// PR-9 budget: the observed commit pair may allocate at most this many
+// objects over the bare pair — two commit traces, their span slices and
+// ring bookkeeping. Additive rather than a ratio so the bound stays
+// meaningful if the bare count moves.
+const gateCommitObservedExtraAllocs = 64
+
 // checkGate enforces the PR-5 floors on a -quick measurement.
 func checkGate(rows []Row) []error {
 	byName := make(map[string]Row, len(rows))
@@ -459,6 +507,12 @@ func checkGate(rows []Row) []error {
 	}
 	if r, ok := need("QueryFlat"); ok && r.AllocsOp > gateQueryFlatAllocs {
 		errs = append(errs, fmt.Errorf("QueryFlat at %d allocs/op; must not exceed the PR-6 floor of %d — read-only queries may not pay for MVCC", r.AllocsOp, gateQueryFlatAllocs))
+	}
+	if bare, ok := need("CommitLatency"); ok {
+		if r, ok := need("CommitObserved"); ok && r.AllocsOp > bare.AllocsOp+gateCommitObservedExtraAllocs {
+			errs = append(errs, fmt.Errorf("CommitObserved at %d allocs/op vs bare %d; observed commits may add at most %d allocations",
+				r.AllocsOp, bare.AllocsOp, gateCommitObservedExtraAllocs))
+		}
 	}
 	if r, ok := need("SweepWarmNoCache"); ok && r.AllocsOp >= gateWarmNoCacheAllocs {
 		errs = append(errs, fmt.Errorf("SweepWarmNoCache at %d allocs/op; must stay below the PR-5 decode floor of %d", r.AllocsOp, gateWarmNoCacheAllocs))

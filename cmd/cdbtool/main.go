@@ -170,6 +170,8 @@ func (s *session) execLocked(line string) error {
 		return s.serve(rest)
 	case "traces":
 		return s.traces()
+	case "flight":
+		return s.flight()
 	case "stats":
 		s.stats()
 	default:
@@ -200,9 +202,12 @@ func (s *session) help() {
                            logged to stderr and retained for 'traces'
   serve [addr]             start the HTTP debug server (default
                            127.0.0.1:6060): /debug/stats, /debug/metrics,
-                           /debug/traces, /debug/pprof
+                           /debug/traces, /debug/prom, /debug/flight,
+                           /debug/pprof
   traces                   dump the retained slow-query traces
-  stats                    structure + query statistics
+  flight                   dump the commit flight recorder (recent commits
+                           with stage timings and page clone/free counts)
+  stats                    structure + query and commit statistics
   quit                     leave
 `)
 }

@@ -110,6 +110,35 @@ func (s *session) traces() error {
 	return nil
 }
 
+// flight dumps the commit flight recorder, newest first: every recent
+// commit with its stage breakdown and exact page-clone/free attribution.
+func (s *session) flight() error {
+	if s.obs == nil {
+		return fmt.Errorf("no observer attached ('observe' first)")
+	}
+	recs := s.obs.FlightRecords()
+	if len(recs) == 0 {
+		fmt.Fprintln(s.out, "no commits recorded")
+		return nil
+	}
+	for _, tr := range recs {
+		status := fmt.Sprintf("v%d", tr.Version)
+		if tr.Aborted {
+			status = "aborted(" + tr.Cause + ")"
+		}
+		fmt.Fprintf(s.out, "%-7s %-16s total=%dus inserts=%d deletes=%d superseded=%d cloned=%d freed=%d\n",
+			tr.Op, status, tr.TotalUs, tr.Inserts, tr.Deletes, tr.Superseded, tr.Cloned, tr.Freed)
+		for _, sp := range tr.Spans {
+			fmt.Fprintf(s.out, "  %-7s +%6dus %6dus  cloned=%d freed=%d items=%d\n",
+				sp.Stage, sp.StartUs, sp.DurUs, sp.Cloned, sp.Freed, sp.Items)
+		}
+		if tr.Err != "" {
+			fmt.Fprintf(s.out, "  err: %s\n", tr.Err)
+		}
+	}
+	return nil
+}
+
 // stats prints the unified snapshot in the shell's line format.
 func (s *session) stats() {
 	fmt.Fprintf(s.out, "relation: %d tuples, dim %d\n", s.rel.Len(), s.rel.Dim())
@@ -126,6 +155,20 @@ func (s *session) stats() {
 		fmt.Fprintf(s.out, "readahead: %d batches, %d pages; sweeps: %d descents, %d leaves visited\n",
 			snap.Pool.ReadaheadBatches, snap.Pool.ReadaheadPages,
 			snap.Sweeps.Descents, snap.Sweeps.LeavesVisited)
+		m := snap.MVCC
+		fmt.Fprintf(s.out, "mvcc: version %d, watermark %d (lag %d), %d pinned snapshots, %d backlog pages, %d cloned, %d reclaimed, %d chain overrides\n",
+			m.Version, m.Watermark, m.VersionLag, m.PinnedSnapshots,
+			m.ReclaimBacklogPages, m.PagesCloned, m.PagesReclaimed, m.ChainOverrides)
+		if o := snap.Observer; o != nil {
+			rate := 0.0
+			if o.UptimeSec > 0 {
+				rate = float64(o.Commits) / o.UptimeSec
+			}
+			fmt.Fprintf(s.out, "commits: %d total (%.2f/s), %d aborted (%d fault, %d explicit), %d slow, %d in flight; p50=%s p99=%s\n",
+				o.Commits, rate, o.CommitAborts, o.AbortsFault, o.AbortsExplicit,
+				o.CommitsSlow, o.CommitInflight,
+				time.Duration(o.CommitLatency.P50), time.Duration(o.CommitLatency.P99))
+		}
 		if o := snap.Observer; o != nil {
 			fmt.Fprintf(s.out, "queries: %d total, %d slow, %d errors\n", o.Queries, o.Slow, o.Errors)
 			for _, name := range o.PathNames {

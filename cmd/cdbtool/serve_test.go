@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -22,6 +23,9 @@ func TestServeSmoke(t *testing.T) {
 		"index 3 t2",
 		"exist y >= 0.4x + 1",
 		"all y <= 2",
+		"insert x >= 0 && y >= 0 && x + y <= 4",
+		"insert y >= 8",
+		"delete 301",
 		"serve 127.0.0.1:0",
 	} {
 		if err := s.exec(line); err != nil {
@@ -70,7 +74,7 @@ func TestServeSmoke(t *testing.T) {
 	if err := json.Unmarshal(get("/debug/stats"), &stats); err != nil {
 		t.Fatalf("/debug/stats is not valid JSON: %v", err)
 	}
-	if stats.Tuples != 300 || stats.Pages == 0 || stats.Technique != "T2" {
+	if stats.Tuples != 301 || stats.Pages == 0 || stats.Technique != "T2" {
 		t.Errorf("unexpected snapshot shape: %+v", stats)
 	}
 	if stats.Pool.LogicalReads == 0 {
@@ -101,16 +105,138 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("expected 2 retained traces, got %d", len(traces))
 	}
 
-	// The shell's stats command must surface the same layer.
+	// /debug/prom: Prometheus text exposition with the right content
+	// type, TYPE declarations, and well-formed cumulative histograms.
+	resp, err := http.Get(base + "/debug/prom")
+	if err != nil {
+		t.Fatalf("GET /debug/prom: %v", err)
+	}
+	promBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET /debug/prom: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/debug/prom content type = %q", ct)
+	}
+	prom := string(promBody)
+	for _, want := range []string{
+		"# TYPE dualcdb_cdbtool_queries_total counter",
+		"# TYPE dualcdb_cdbtool_commits_total counter",
+		"# TYPE dualcdb_cdbtool_commits_latency_ns histogram",
+		"dualcdb_cdbtool_mvcc_version",
+		"go_goroutines",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/debug/prom missing %q", want)
+		}
+	}
+	checkPromHistogram(t, prom, "dualcdb_cdbtool_commits_latency_ns")
+
+	// /debug/flight: the three commits above, newest first, each with the
+	// full stage breakdown.
+	var flight struct {
+		Commits []struct {
+			Op      string `json:"op"`
+			Version uint64 `json:"version"`
+			Spans   []struct {
+				Stage string `json:"stage"`
+			} `json:"spans"`
+		} `json:"commits"`
+		SlowCommits []json.RawMessage `json:"slow_commits"`
+	}
+	if err := json.Unmarshal(get("/debug/flight"), &flight); err != nil {
+		t.Fatalf("/debug/flight is not valid JSON: %v", err)
+	}
+	if len(flight.Commits) != 3 {
+		t.Fatalf("flight recorder has %d commits, want 3", len(flight.Commits))
+	}
+	if flight.Commits[0].Op != "delete" || flight.Commits[2].Op != "insert" {
+		t.Errorf("flight recorder order/ops wrong: %+v", flight.Commits)
+	}
+	if len(flight.Commits[0].Spans) != 4 {
+		t.Errorf("commit trace has %d spans, want 4", len(flight.Commits[0].Spans))
+	}
+
+	// The shell's stats command must surface the same layers.
 	sb.Reset()
 	if err := s.exec("stats"); err != nil {
 		t.Fatal(err)
 	}
 	s.out.Flush()
 	out := sb.String()
-	for _, want := range []string{"pool:", "decode cache:", "queries: 2 total"} {
+	for _, want := range []string{"pool:", "decode cache:", "queries: 2 total", "mvcc: version 4", "commits: 3 total"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("stats output missing %q:\n%s", want, out)
 		}
 	}
+
+	// And the flight command renders the same traces as text.
+	sb.Reset()
+	if err := s.exec("flight"); err != nil {
+		t.Fatal(err)
+	}
+	s.out.Flush()
+	out = sb.String()
+	for _, want := range []string{"delete", "publish", "reclaim", "cloned="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flight output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// checkPromHistogram asserts one exposition histogram is well-formed in
+// document order: le labels ascending, cumulative counts nondecreasing,
+// and the terminal +Inf bucket equal to _count.
+func checkPromHistogram(t *testing.T, doc, name string) {
+	t.Helper()
+	var (
+		lastLe    float64
+		lastCount float64
+		infCount  = -1.0
+		buckets   int
+	)
+	bucketRe := regexp.MustCompile(`^` + name + `_bucket\{le="([^"]+)"\} (\d+)$`)
+	countRe := regexp.MustCompile(`^` + name + `_count (\d+)$`)
+	count := -1.0
+	for _, line := range strings.Split(doc, "\n") {
+		if m := countRe.FindStringSubmatch(line); m != nil {
+			count = mustFloat(t, m[1])
+			continue
+		}
+		m := bucketRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		c := mustFloat(t, m[2])
+		if c < lastCount {
+			t.Errorf("%s: cumulative count decreases at le=%q (%g -> %g)", name, m[1], lastCount, c)
+		}
+		lastCount = c
+		if m[1] == "+Inf" {
+			infCount = c
+			continue
+		}
+		le := mustFloat(t, m[1])
+		if buckets > 0 && le <= lastLe {
+			t.Errorf("%s: le not ascending (%g after %g)", name, le, lastLe)
+		}
+		lastLe = le
+		buckets++
+	}
+	if buckets == 0 {
+		t.Fatalf("%s: no buckets in exposition", name)
+	}
+	if infCount < 0 || count < 0 || infCount != count {
+		t.Errorf("%s: +Inf bucket %g != _count %g", name, infCount, count)
+	}
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad number %q: %v", s, err)
+	}
+	return v
 }

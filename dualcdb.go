@@ -269,33 +269,50 @@ func RunQueryFigure(id, title string, cfg FigureConfig) (Figure, error) {
 // RunSpaceFigure regenerates Figure 10.
 func RunSpaceFigure(cfg FigureConfig) (Figure, error) { return harness.RunSpaceFigure(cfg) }
 
-// Observability layer (metrics registry, per-query tracing, slow-query
-// log, debug server).
+// Observability layer (metrics registry, per-query and per-commit
+// tracing, slow-query and slow-commit logs, commit flight recorder,
+// Prometheus exposition, debug server).
 type (
 	// Observer aggregates per-query metrics, stage-span latencies and
-	// slow-query traces for one index; attach it with
-	// IndexOptions.Observe or Index.SetObserver. A nil *Observer is
-	// valid everywhere and costs nothing on the query path.
+	// slow-query traces — and on the write path, per-commit stage
+	// traces with exact page clone/free attribution, MVCC health
+	// histograms and the commit flight recorder — for one index; attach
+	// it with IndexOptions.Observe or Index.SetObserver. A nil
+	// *Observer is valid everywhere and costs nothing on the query or
+	// commit path.
 	Observer = obs.Observer
 	// ObserverOptions configures an Observer (slow threshold, logger,
-	// trace-ring capacity).
+	// trace-ring and flight-recorder capacities).
 	ObserverOptions = obs.Options
 	// ObserverSnapshot is a point-in-time read of an Observer.
 	ObserverSnapshot = obs.Snapshot
 	// TraceSnapshot is one retained per-query trace with its stage
 	// spans.
 	TraceSnapshot = obs.TraceSnapshot
+	// CommitTraceSnapshot is one retained per-commit trace: the
+	// stage/shadow/publish/reclaim spans with per-stage page
+	// clone/free attribution, plus the batch outcome (published
+	// version, or abort with its cause).
+	CommitTraceSnapshot = obs.CommitTraceSnapshot
+	// FlightDump is the /debug/flight document: recent commit traces
+	// plus the slow-or-aborted subset.
+	FlightDump = obs.FlightDump
 	// StatsSnapshot is the unified observability view of one Index
-	// (shape, pool, caches, sweeps, observer aggregates).
+	// (shape, pool, caches, sweeps, MVCC health, observer aggregates).
 	StatsSnapshot = core.StatsSnapshot
+	// MVCCStats is the version/watermark health view of the MVCC layer
+	// (published vs pinned version lag, reclaim backlog, COW totals).
+	MVCCStats = core.MVCCStats
 )
 
 // NewObserver creates a metrics-and-tracing observer.
 func NewObserver(opt ObserverOptions) *Observer { return obs.New(opt) }
 
 // DebugMux builds the live debug server's handler: /debug/stats (the
-// stats callback's JSON), /debug/metrics, /debug/traces and
-// /debug/pprof. Either argument may be nil.
+// stats callback's JSON), /debug/metrics, /debug/traces, /debug/prom
+// (Prometheus text exposition of the registry plus a runtime/metrics
+// bridge), /debug/flight (the commit flight recorder) and /debug/pprof.
+// Either argument may be nil.
 func DebugMux(stats func() any, o *Observer) *http.ServeMux { return obs.DebugMux(stats, o) }
 
 // DefaultPageSize is the paper's 1024-byte page size.

@@ -50,6 +50,7 @@ var Pairs = []struct {
 }{
 	{"QueryTrace", "Begin", "SpanTimer", "End"},
 	{"Observer", "StartBatch", "BatchTimer", "Done"},
+	{"CommitTrace", "Begin", "CommitSpanTimer", "End"},
 }
 
 // pkgSuffix matches both the real obs package and a testdata fake.

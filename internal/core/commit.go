@@ -5,6 +5,7 @@ import (
 
 	"dualcdb/internal/btree"
 	"dualcdb/internal/constraint"
+	"dualcdb/internal/obs"
 	"dualcdb/internal/pagestore"
 )
 
@@ -33,6 +34,16 @@ type Commit struct {
 	insertedTuples []*constraint.Tuple
 	removed        []*constraint.Tuple
 	done           bool
+
+	// Observability (all zero when Options.Observe is nil, and the bare
+	// write path stays allocation-free): the commit trace, the open
+	// mutation-staging span, the op label the one-op wrappers stamp for
+	// the flight recorder, and the first mutation fault — what lets
+	// Abort report its cause (fault vs explicit).
+	tr      *obs.CommitTrace
+	span    obs.CommitSpanTimer
+	op      string
+	failErr error
 }
 
 var errCommitDone = errors.New("core: use of a finished commit batch")
@@ -49,7 +60,46 @@ func (ix *Index) Begin() *Commit {
 	for id := range base.indexed {
 		indexed[id] = true
 	}
-	return &Commit{ix: ix, base: base, indexed: indexed, deletes: base.deletesSinceRebuild}
+	c := &Commit{ix: ix, base: base, indexed: indexed, deletes: base.deletesSinceRebuild}
+	if o := ix.opt.Observe; o != nil {
+		c.tr = o.StartCommit()
+		c.span = c.beginSpan(obs.CommitStageStage)
+	}
+	return c
+}
+
+// beginSpan opens one commit-stage span seeded with the pool's current
+// clone and reclamation counts. Clones happen only under writeMu —
+// which this batch holds — so the counter deltas endSpan records are
+// exact per-stage attribution. Free on the bare path: with no trace the
+// zero timer comes back and the pool counters are never read.
+func (c *Commit) beginSpan(stage obs.CommitStage) obs.CommitSpanTimer {
+	if c.tr == nil {
+		return obs.CommitSpanTimer{}
+	}
+	pool := c.ix.pool
+	return c.tr.Begin(stage, pool.CloneCount(), pool.ReclaimedCount())
+}
+
+// endSpan closes a commit-stage span with the pool counters now. On the
+// bare path the span is the zero timer and End returns immediately, so
+// the pool counters are never read and no stage is recorded.
+func (c *Commit) endSpan(sp obs.CommitSpanTimer, items int) {
+	if c.tr == nil {
+		sp.End(0, 0, 0)
+		return
+	}
+	pool := c.ix.pool
+	sp.End(pool.CloneCount(), pool.ReclaimedCount(), items)
+}
+
+// fail records err as the batch's first mutation fault so Abort can
+// report the abort cause to the observer, and returns it unchanged.
+func (c *Commit) fail(err error) error {
+	if err != nil && c.failErr == nil {
+		c.failErr = err
+	}
+	return err
 }
 
 // allTrees lists every live tree of the index (the writer's set; handles
@@ -76,7 +126,7 @@ func (c *Commit) Insert(t *constraint.Tuple) (constraint.TupleID, error) {
 	ix := c.ix
 	id, err := ix.rel.Insert(t)
 	if err != nil {
-		return 0, err
+		return 0, c.fail(err)
 	}
 	c.inserted = append(c.inserted, id)
 	c.insertedTuples = append(c.insertedTuples, t)
@@ -86,23 +136,23 @@ func (c *Commit) Insert(t *constraint.Tuple) (constraint.TupleID, error) {
 	top, bot := t.TopEnv(), t.BotEnv()
 	for i, a := range ix.slopes {
 		if err := ix.up[i].Insert(top.Eval(a), uint32(id)); err != nil {
-			return id, err
+			return id, c.fail(err)
 		}
 		if err := ix.down[i].Insert(bot.Eval(a), uint32(id)); err != nil {
-			return id, err
+			return id, c.fail(err)
 		}
 	}
 	if ix.vup != nil {
 		ext, err := t.Extension()
 		if err != nil {
-			return id, err
+			return id, c.fail(err)
 		}
 		if err := ix.insertVertical(ext, id); err != nil {
-			return id, err
+			return id, c.fail(err)
 		}
 	}
 	if err := ix.mergeHandicaps(top, bot); err != nil {
-		return id, err
+		return id, c.fail(err)
 	}
 	c.indexed[id] = true
 	return id, nil
@@ -119,32 +169,32 @@ func (c *Commit) Delete(id constraint.TupleID) error {
 	ix := c.ix
 	t, err := ix.rel.Get(id)
 	if err != nil {
-		return err
+		return c.fail(err)
 	}
 	if c.indexed[id] {
 		top, bot := t.TopEnv(), t.BotEnv()
 		for i, a := range ix.slopes {
 			if _, err := ix.up[i].Delete(top.Eval(a), uint32(id)); err != nil {
-				return err
+				return c.fail(err)
 			}
 			if _, err := ix.down[i].Delete(bot.Eval(a), uint32(id)); err != nil {
-				return err
+				return c.fail(err)
 			}
 		}
 		if ix.vup != nil {
 			ext, err := t.Extension()
 			if err != nil {
-				return err
+				return c.fail(err)
 			}
 			if err := ix.deleteVertical(ext, id); err != nil {
-				return err
+				return c.fail(err)
 			}
 		}
 		delete(c.indexed, id)
 		c.deletes++
 	}
 	if err := ix.rel.Delete(id); err != nil {
-		return err
+		return c.fail(err)
 	}
 	c.removed = append(c.removed, t)
 	return nil
@@ -158,7 +208,7 @@ func (c *Commit) RebuildHandicaps() error {
 		return errCommitDone
 	}
 	if err := c.rebuildHandicaps(); err != nil {
-		return err
+		return c.fail(err)
 	}
 	return nil
 }
@@ -205,14 +255,25 @@ func (c *Commit) Commit() error {
 	ix := c.ix
 	if n := ix.opt.RebuildHandicapsEvery; n > 0 && c.deletes >= n {
 		if err := c.rebuildHandicaps(); err != nil {
+			c.fail(err)
 			c.Abort()
 			return err
 		}
 	}
+	// The mutation-staging span ends here: every COW clone the batch
+	// will make has been made. Zero it so a hypothetical later Abort
+	// cannot double-close it.
+	c.endSpan(c.span, len(c.inserted)+len(c.removed))
+	c.span = obs.CommitSpanTimer{}
+
+	shadowSpan := c.beginSpan(obs.CommitStageShadow)
 	var superseded []pagestore.PageID
 	for _, t := range ix.allTrees() {
 		superseded = append(superseded, t.CommitCOW()...)
 	}
+	c.endSpan(shadowSpan, len(superseded))
+
+	publishSpan := c.beginSpan(obs.CommitStagePublish)
 
 	// Derive the next frozen relation from the base version: one slice
 	// copy plus the batch's deltas (ids are never reused, so an id
@@ -234,10 +295,32 @@ func (c *Commit) Commit() error {
 	live := c.base.live + len(c.inserted) - len(c.removed)
 
 	rs := ix.publishLocked(c.base.version+1, c.indexed, c.deletes, tuples, live)
-	ix.pool.DeferFrees(rs.version, superseded)
+	c.endSpan(publishSpan, live)
+
+	reclaimSpan := c.beginSpan(obs.CommitStageReclaim)
+	freed := ix.pool.DeferFrees(rs.version, superseded)
+	c.endSpan(reclaimSpan, freed)
 	c.done = true
 	ix.writeMu.Unlock()
+	if o := ix.opt.Observe; o != nil {
+		o.FinishCommit(c.tr, obs.CommitInfo{
+			Op:         c.opLabel(),
+			Version:    rs.version,
+			Inserts:    len(c.inserted),
+			Deletes:    len(c.removed),
+			Superseded: len(superseded),
+		})
+	}
 	return nil
+}
+
+// opLabel names the batch for the flight recorder: the one-op wrappers
+// stamp insert/delete/rebuild, everything else is a batch.
+func (c *Commit) opLabel() string {
+	if c.op == "" {
+		return "batch"
+	}
+	return c.op
 }
 
 // Abort discards the batch: shadow pages are freed, the relation rolls
@@ -250,6 +333,8 @@ func (c *Commit) Abort() error {
 	}
 	c.done = true
 	ix := c.ix
+	c.endSpan(c.span, len(c.inserted)+len(c.removed))
+	c.span = obs.CommitSpanTimer{}
 	var firstErr error
 	keep := func(err error) {
 		if err != nil && firstErr == nil {
@@ -269,5 +354,21 @@ func (c *Commit) Abort() error {
 		keep(ix.rel.Delete(id))
 	}
 	ix.writeMu.Unlock()
+	if o := ix.opt.Observe; o != nil {
+		cause, err := obs.AbortExplicit, c.failErr
+		if c.failErr != nil {
+			cause = obs.AbortFault
+		} else if firstErr != nil {
+			err = firstErr
+		}
+		o.FinishCommit(c.tr, obs.CommitInfo{
+			Op:      c.opLabel(),
+			Inserts: len(c.inserted),
+			Deletes: len(c.removed),
+			Aborted: true,
+			Cause:   cause,
+			Err:     err,
+		})
+	}
 	return firstErr
 }

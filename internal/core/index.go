@@ -338,6 +338,7 @@ func (ix *Index) mergeHandicapsAt(i int, top, bot geom.Envelope) error {
 // though the failed tuple keeps its consumed id.
 func (ix *Index) Insert(t *constraint.Tuple) (constraint.TupleID, error) {
 	c := ix.Begin()
+	c.op = "insert"
 	id, err := c.Insert(t)
 	if err != nil {
 		c.Abort()
@@ -354,6 +355,7 @@ func (ix *Index) Insert(t *constraint.Tuple) (constraint.TupleID, error) {
 // only I/O) and recomputed exactly every RebuildHandicapsEvery deletions.
 func (ix *Index) Delete(id constraint.TupleID) error {
 	c := ix.Begin()
+	c.op = "delete"
 	if err := c.Delete(id); err != nil {
 		c.Abort()
 		return err
@@ -365,6 +367,7 @@ func (ix *Index) Delete(id constraint.TupleID) error {
 // relation contents, published as one commit.
 func (ix *Index) RebuildHandicaps() error {
 	c := ix.Begin()
+	c.op = "rebuild"
 	if err := c.RebuildHandicaps(); err != nil {
 		c.Abort()
 		return err

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"dualcdb/internal/btree"
 	"dualcdb/internal/constraint"
@@ -163,13 +164,21 @@ type Snapshot struct {
 	ix       *Index
 	rs       *rootSet
 	released atomic.Bool
+	// begun feeds the observer's snapshot-age histogram at Release; set
+	// only when an observer is attached (the per-call pinRoots path in
+	// Query and friends never pays for it).
+	begun time.Time
 }
 
 // Snapshot pins the current version for reading. The caller must Release
 // it; queries on the index's own methods (Query, QueryBatch, …) manage a
 // per-call pin internally.
 func (ix *Index) Snapshot() *Snapshot {
-	return &Snapshot{ix: ix, rs: ix.pinRoots()}
+	s := &Snapshot{ix: ix, rs: ix.pinRoots()}
+	if ix.opt.Observe != nil {
+		s.begun = time.Now()
+	}
+	return s
 }
 
 // pinRoots pins the current version and returns its rootSet. The per-call
@@ -199,6 +208,9 @@ func (s *Snapshot) Release() {
 		return
 	}
 	s.ix.pool.UnpinVersion(s.rs.version)
+	if o := s.ix.opt.Observe; o != nil && !s.begun.IsZero() {
+		o.RecordSnapshotAge(time.Since(s.begun))
+	}
 }
 
 // Version returns the commit version this snapshot pins (1 is the

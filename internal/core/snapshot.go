@@ -21,10 +21,81 @@ type StatsSnapshot struct {
 	Pool        pagestore.Stats          `json:"pool"`
 	Residency   pagestore.Residency      `json:"residency"`
 	Snapshots   pagestore.SnapshotCensus `json:"snapshots"`
+	MVCC        MVCCStats                `json:"mvcc"`
 	DecodeCache btree.DecodeStats        `json:"decode_cache"`
 	Sweeps      btree.SweepStats         `json:"sweeps"`
 
 	Observer *obs.Snapshot `json:"observer,omitempty"`
+}
+
+// MVCCStats is the version/watermark health view of the MVCC layer: how
+// far published state has run ahead of the oldest pinned snapshot, how
+// many superseded pages the watermark is holding in memory, and how much
+// copy-on-write and reclamation work commits have done in total.
+type MVCCStats struct {
+	// Version is the currently published commit version; Watermark is
+	// the oldest version any active snapshot still pins (0 when none);
+	// VersionLag is their difference while a snapshot is pinned — a
+	// growing lag means a long-held snapshot is blocking reclamation.
+	Version    uint64 `json:"version"`
+	Watermark  uint64 `json:"watermark"`
+	VersionLag uint64 `json:"version_lag"`
+	// PinnedSnapshots counts live PinVersion references;
+	// ReclaimBacklogPages counts superseded pages awaiting reclamation.
+	PinnedSnapshots     int `json:"pinned_snapshots"`
+	ReclaimBacklogPages int `json:"reclaim_backlog_pages"`
+	// PagesCloned and PagesReclaimed are cumulative copy-on-write
+	// clones and watermark-freed pages.
+	PagesCloned    uint64 `json:"pages_cloned"`
+	PagesReclaimed uint64 `json:"pages_reclaimed"`
+	// ChainOverrides counts sibling-link override entries across the
+	// published version's tree handles; it grows with COW churn since
+	// the last Save flattened the chains.
+	ChainOverrides int `json:"chain_overrides"`
+}
+
+// MVCCStats assembles the MVCC health view from the published root set
+// and the pool's snapshot census. Safe concurrently with readers and
+// writers — the root set is one atomic load and the census takes only
+// the pool's snapshot mutex.
+func (ix *Index) MVCCStats() MVCCStats {
+	rs := ix.roots.Load()
+	c := ix.pool.SnapshotCensus()
+	m := MVCCStats{
+		Version:             rs.version,
+		Watermark:           c.Oldest,
+		PinnedSnapshots:     c.Active,
+		ReclaimBacklogPages: c.DeferredPages,
+		PagesCloned:         ix.pool.CloneCount(),
+		PagesReclaimed:      c.Reclaimed,
+		ChainOverrides:      chainOverrideLen(rs),
+	}
+	if c.Active > 0 && rs.version > c.Oldest {
+		m.VersionLag = rs.version - c.Oldest
+	}
+	return m
+}
+
+// chainOverrideLen sums the sibling-link override map sizes over the
+// published root set's tree handles. Handles freeze their override maps
+// at publication, so reading them is race-free against the writer.
+func chainOverrideLen(rs *rootSet) int {
+	n := 0
+	count := func(t *btree.Tree) {
+		ovn, ovp := t.ChainOverrides()
+		n += len(ovn) + len(ovp)
+	}
+	for _, t := range rs.up {
+		count(t)
+	}
+	for _, t := range rs.down {
+		count(t)
+	}
+	if rs.vup != nil {
+		count(rs.vup)
+		count(rs.vdown)
+	}
+	return n
 }
 
 // SweepStats sums the descent and leaf-visit counters over every tree of
@@ -60,6 +131,7 @@ func (ix *Index) StatsSnapshot() StatsSnapshot {
 		Pool:        ix.pool.Stats(),
 		Residency:   ix.pool.Residency(),
 		Snapshots:   ix.pool.SnapshotCensus(),
+		MVCC:        ix.MVCCStats(),
 		DecodeCache: ix.DecodeCacheStats(),
 		Sweeps:      ix.SweepStats(),
 		Observer:    ix.opt.Observe.ObserverSnapshot(),
@@ -92,6 +164,7 @@ func (ix *Index) registerGauges() {
 	r.Func("pool.readahead.pages", func() any { return ix.pool.Stats().ReadaheadPages })
 	r.Func("pool.residency", func() any { return ix.pool.Residency() })
 	r.Func("pool.snapshots", func() any { return ix.pool.SnapshotCensus() })
+	r.Func("mvcc", func() any { return ix.MVCCStats() })
 	r.Func("decode_cache", func() any { return ix.DecodeCacheStats() })
 	r.Func("sweeps", func() any { return ix.SweepStats() })
 }

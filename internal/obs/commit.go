@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// commitStageMetrics aggregates one commit stage across all observed
+// commits.
+type commitStageMetrics struct {
+	ns     *Histogram
+	cloned *Counter
+	freed  *Counter
+	items  *Counter
+}
+
+// commitRing is a fixed ring of finished commit traces: the flight
+// recorder keeps every recent commit, the slow ring keeps only
+// threshold-slow or aborted ones. Same overwrite-oldest semantics as
+// the slow-query ring.
+type commitRing struct {
+	mu   sync.Mutex
+	buf  []*CommitTrace
+	next int
+	seen int
+}
+
+func (r *commitRing) add(tr *CommitTrace) {
+	r.mu.Lock()
+	r.buf[r.next] = tr
+	r.next = (r.next + 1) % len(r.buf)
+	r.seen++
+	r.mu.Unlock()
+}
+
+// snapshots returns the retained traces rendered newest first.
+func (r *commitRing) snapshots() []CommitTraceSnapshot {
+	r.mu.Lock()
+	n := len(r.buf)
+	trs := make([]*CommitTrace, 0, n)
+	for i := 1; i <= n; i++ {
+		if tr := r.buf[(r.next-i+n)%n]; tr != nil {
+			trs = append(trs, tr)
+		}
+	}
+	r.mu.Unlock()
+	out := make([]CommitTraceSnapshot, 0, len(trs))
+	for _, tr := range trs {
+		out = append(out, tr.Snapshot())
+	}
+	return out
+}
+
+// StartCommit opens a trace for one commit batch. Pair with
+// FinishCommit (the write path calls it from both Commit and Abort).
+func (o *Observer) StartCommit() *CommitTrace {
+	if o == nil {
+		return nil
+	}
+	o.commitInflight.Add(1)
+	return newCommitTrace()
+}
+
+// FinishCommit closes a trace opened by StartCommit, folding the
+// commit-level counts and every recorded stage span into the metric
+// registry, retaining the trace in the flight ring, and routing slow or
+// aborted commits to the slow-commit ring and log.
+func (o *Observer) FinishCommit(tr *CommitTrace, info CommitInfo) {
+	if o == nil || tr == nil {
+		return
+	}
+	o.commitInflight.Add(-1)
+	total := time.Since(tr.begun)
+	tr.finish(total, info)
+
+	var cloned, freed uint64
+	for _, sp := range tr.spansCopy() {
+		m := &o.cstages[sp.Stage]
+		m.ns.RecordDuration(sp.Dur)
+		m.cloned.Add(sp.Cloned)
+		m.freed.Add(sp.Freed)
+		if sp.Items > 0 {
+			m.items.Add(uint64(sp.Items))
+		}
+		cloned += sp.Cloned
+		freed += sp.Freed
+	}
+
+	// commits.total and the latency/fan-out histograms cover published
+	// commits only; aborted batches count under commits.aborted and its
+	// per-cause split (their staged clone work still lands in the stage
+	// aggregates above, since those pages really were cloned and freed).
+	if info.Aborted {
+		o.commitAborts.Inc()
+		if info.Cause == AbortFault {
+			o.abortFault.Inc()
+		} else {
+			o.abortExplicit.Inc()
+		}
+	} else {
+		o.commits.Inc()
+		o.commitNs.RecordDuration(total)
+		o.cloneFanout.Record(cloned)
+		o.supersededPg.Record(uint64(info.Superseded))
+	}
+
+	o.flight.add(tr)
+	slow := o.slowThreshold > 0 && total >= o.slowThreshold
+	if slow || info.Aborted {
+		if slow {
+			o.slowCommits.Inc()
+		}
+		o.slowCommitRing.add(tr)
+		if o.logger != nil {
+			o.logSlowCommit(tr, total, info, cloned, freed)
+		}
+	}
+}
+
+// RecordSnapshotAge records how long a reader held a pinned snapshot
+// before releasing it — the MVCC health signal behind the version-lag
+// and reclaim-backlog gauges. Nil-safe.
+func (o *Observer) RecordSnapshotAge(age time.Duration) {
+	if o == nil {
+		return
+	}
+	o.snapAgeNs.RecordDuration(age)
+}
+
+// FlightRecords returns the flight recorder's retained commit traces,
+// newest first — every recent commit, slow or not.
+func (o *Observer) FlightRecords() []CommitTraceSnapshot {
+	if o == nil {
+		return nil
+	}
+	return o.flight.snapshots()
+}
+
+// SlowCommits returns the retained slow or aborted commit traces,
+// newest first.
+func (o *Observer) SlowCommits() []CommitTraceSnapshot {
+	if o == nil {
+		return nil
+	}
+	return o.slowCommitRing.snapshots()
+}
+
+// logSlowCommit emits one structured record per slow or aborted commit,
+// with the stage breakdown as a nested group. Aborted commits always
+// name their cause — fault (mid-batch mutation error) or explicit
+// (caller Abort) — so aborts are never invisible in the log.
+func (o *Observer) logSlowCommit(tr *CommitTrace, total time.Duration, info CommitInfo, cloned, freed uint64) {
+	msg := "slow commit"
+	if info.Aborted {
+		msg = "aborted commit"
+	}
+	attrs := []slog.Attr{
+		slog.String("index", o.name),
+		slog.String("op", info.Op),
+		slog.Uint64("version", info.Version),
+		slog.Duration("total", total),
+		slog.Int("inserts", info.Inserts),
+		slog.Int("deletes", info.Deletes),
+		slog.Int("superseded", info.Superseded),
+		slog.Uint64("cloned", cloned),
+		slog.Uint64("freed", freed),
+	}
+	if info.Aborted {
+		attrs = append(attrs, slog.Bool("aborted", true), slog.String("cause", string(info.Cause)))
+	}
+	var stageAttrs []any
+	for _, sp := range tr.spansCopy() {
+		stageAttrs = append(stageAttrs, slog.Group(sp.Stage.String(),
+			slog.Duration("dur", sp.Dur),
+			slog.Uint64("cloned", sp.Cloned),
+			slog.Uint64("freed", sp.Freed),
+			slog.Int("items", sp.Items),
+		))
+	}
+	if len(stageAttrs) > 0 {
+		attrs = append(attrs, slog.Group("stages", stageAttrs...))
+	}
+	if info.Err != nil {
+		attrs = append(attrs, slog.String("err", info.Err.Error()))
+	}
+	o.logger.LogAttrs(context.Background(), slog.LevelWarn, msg, attrs...)
+}
+
+// CommitStageSnapshot aggregates one commit stage across all observed
+// commits.
+type CommitStageSnapshot struct {
+	Count   uint64            `json:"count"`
+	Cloned  uint64            `json:"cloned"`
+	Freed   uint64            `json:"freed"`
+	Items   uint64            `json:"items"`
+	Latency HistogramSnapshot `json:"latency"`
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// CommitStage labels one phase of a commit batch, mirroring the write
+// path's structure: stage is the mutation window from Index.Begin to the
+// Commit call, where every copy-on-write page clone happens; shadow
+// closes the trees' COW batches and collects the superseded originals;
+// publish derives the frozen relation view and swaps the new root set
+// in; reclaim hands the superseded pages to the pool's deferred-free
+// queue and frees whatever the snapshot watermark already allows.
+type CommitStage uint8
+
+// The commit-stage taxonomy. NumCommitStages bounds per-stage metric
+// arrays.
+const (
+	CommitStageStage CommitStage = iota
+	CommitStageShadow
+	CommitStagePublish
+	CommitStageReclaim
+	NumCommitStages
+)
+
+var commitStageNames = [NumCommitStages]string{"stage", "shadow", "publish", "reclaim"}
+
+// String returns the short stage name used in metrics and trace dumps.
+func (s CommitStage) String() string {
+	if s < NumCommitStages {
+		return commitStageNames[s]
+	}
+	return "unknown"
+}
+
+// AbortCause distinguishes why a commit batch was abandoned: a mutation
+// fault mid-batch (the engine aborted to keep the published version
+// intact) versus the caller explicitly calling Abort.
+type AbortCause string
+
+// The abort causes recorded on aborted commit traces.
+const (
+	AbortFault    AbortCause = "fault"
+	AbortExplicit AbortCause = "explicit"
+)
+
+// CommitSpan is one recorded stage interval within a commit trace.
+// Start is the offset from the trace's begin time; Cloned and Freed are
+// the pool's ClonePage and watermark-reclamation counter deltas across
+// the span — exact attribution, because clones only happen under the
+// index's single-writer lock; Items is the stage payload (mutations
+// staged, superseded pages collected, tuples published, pages freed
+// now).
+type CommitSpan struct {
+	Stage  CommitStage
+	Start  time.Duration
+	Dur    time.Duration
+	Cloned uint64
+	Freed  uint64
+	Items  int
+}
+
+// CommitInfo is what the write path reports when a commit batch
+// finishes (published or aborted). The counts mirror the commit's exact
+// bookkeeping so the write-side reconciliation test can compare
+// observer totals against the pool's counters.
+type CommitInfo struct {
+	Op         string // "insert", "delete", "rebuild", or "batch"
+	Version    uint64 // published version (0 when aborted)
+	Inserts    int
+	Deletes    int
+	Superseded int // pages handed to DeferFrees
+	Aborted    bool
+	Cause      AbortCause // set when Aborted
+	Err        error      // the mutation fault, when Cause is AbortFault
+}
+
+// CommitTrace accumulates the stage spans of one commit batch. Spans
+// are appended by the single writer holding the commit lock, but the
+// flight recorder snapshots retained traces concurrently, hence the
+// mutex. A nil *CommitTrace is valid everywhere and records nothing,
+// which is how the zero-overhead bare write path works.
+type CommitTrace struct {
+	begun time.Time
+
+	mu    sync.Mutex
+	spans []CommitSpan
+
+	// Filled by Observer.FinishCommit.
+	done       bool
+	op         string
+	total      time.Duration
+	version    uint64
+	inserts    int
+	deletes    int
+	superseded int
+	aborted    bool
+	cause      AbortCause
+	err        string
+}
+
+func newCommitTrace() *CommitTrace {
+	return &CommitTrace{begun: time.Now(), spans: make([]CommitSpan, 0, int(NumCommitStages))}
+}
+
+// Begin opens a commit-stage span; clones0/freed0 are the pool's current
+// clone and reclamation counts (the span records the deltas at End).
+// Safe on a nil trace: the returned zero timer's End is a no-op.
+func (t *CommitTrace) Begin(stage CommitStage, clones0, freed0 uint64) CommitSpanTimer {
+	if t == nil {
+		return CommitSpanTimer{}
+	}
+	return CommitSpanTimer{tr: t, stage: stage, start: time.Now(), clones0: clones0, freed0: freed0}
+}
+
+// CommitSpanTimer measures one commit-stage span. It is a plain value —
+// obtaining one allocates nothing — and the zero value's End is a
+// no-op, so call sites need no nil checks beyond the one in
+// CommitTrace.Begin.
+type CommitSpanTimer struct {
+	tr      *CommitTrace
+	stage   CommitStage
+	start   time.Time
+	clones0 uint64
+	freed0  uint64
+}
+
+// End closes the span: clones1/freed1 are the pool's counts now
+// (Cloned = clones1 - clones0, Freed = freed1 - freed0), items the
+// stage payload size.
+func (s CommitSpanTimer) End(clones1, freed1 uint64, items int) {
+	if s.tr == nil {
+		return
+	}
+	sp := CommitSpan{
+		Stage:  s.stage,
+		Start:  s.start.Sub(s.tr.begun),
+		Dur:    time.Since(s.start),
+		Cloned: clones1 - s.clones0,
+		Freed:  freed1 - s.freed0,
+		Items:  items,
+	}
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, sp)
+	s.tr.mu.Unlock()
+}
+
+// finish stamps the commit-level outcome onto the trace.
+func (t *CommitTrace) finish(total time.Duration, info CommitInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done = true
+	t.op = info.Op
+	t.total = total
+	t.version = info.Version
+	t.inserts = info.Inserts
+	t.deletes = info.Deletes
+	t.superseded = info.Superseded
+	t.aborted = info.Aborted
+	t.cause = info.Cause
+	if info.Err != nil {
+		t.err = info.Err.Error()
+	}
+}
+
+// CommitSpanSnapshot is the JSON form of one commit-stage span.
+type CommitSpanSnapshot struct {
+	Stage   string `json:"stage"`
+	StartUs int64  `json:"start_us"`
+	DurUs   int64  `json:"dur_us"`
+	Cloned  uint64 `json:"cloned"`
+	Freed   uint64 `json:"freed"`
+	Items   int    `json:"items"`
+}
+
+// CommitTraceSnapshot is the JSON form of a finished commit trace,
+// served at /debug/flight and attached to slow-commit log records.
+type CommitTraceSnapshot struct {
+	Op         string               `json:"op"`
+	Version    uint64               `json:"version,omitempty"`
+	Start      time.Time            `json:"start"`
+	TotalUs    int64                `json:"total_us"`
+	Inserts    int                  `json:"inserts"`
+	Deletes    int                  `json:"deletes"`
+	Superseded int                  `json:"superseded"`
+	Cloned     uint64               `json:"cloned"`
+	Freed      uint64               `json:"freed"`
+	Aborted    bool                 `json:"aborted,omitempty"`
+	Cause      string               `json:"cause,omitempty"`
+	Err        string               `json:"err,omitempty"`
+	Spans      []CommitSpanSnapshot `json:"spans"`
+}
+
+// Snapshot renders the trace for serialization. Cloned and Freed are
+// the span sums — the commit's whole-batch attribution.
+func (t *CommitTrace) Snapshot() CommitTraceSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := CommitTraceSnapshot{
+		Op:         t.op,
+		Version:    t.version,
+		Start:      t.begun,
+		TotalUs:    t.total.Microseconds(),
+		Inserts:    t.inserts,
+		Deletes:    t.deletes,
+		Superseded: t.superseded,
+		Aborted:    t.aborted,
+		Cause:      string(t.cause),
+		Err:        t.err,
+		Spans:      make([]CommitSpanSnapshot, 0, len(t.spans)),
+	}
+	for _, sp := range t.spans {
+		ts.Cloned += sp.Cloned
+		ts.Freed += sp.Freed
+		ts.Spans = append(ts.Spans, CommitSpanSnapshot{
+			Stage:   sp.Stage.String(),
+			StartUs: sp.Start.Microseconds(),
+			DurUs:   sp.Dur.Microseconds(),
+			Cloned:  sp.Cloned,
+			Freed:   sp.Freed,
+			Items:   sp.Items,
+		})
+	}
+	return ts
+}
+
+// spansCopy returns the recorded spans; used by FinishCommit to fold
+// them into per-stage metrics.
+func (t *CommitTrace) spansCopy() []CommitSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]CommitSpan, len(t.spans))
+	copy(out, t.spans)
+	return out
+}

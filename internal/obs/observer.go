@@ -27,14 +27,20 @@ type QueryInfo struct {
 type Options struct {
 	// Name labels the registry (default "index").
 	Name string
-	// SlowThreshold routes queries at or above this latency to the
-	// slow-query log and trace ring. Zero disables both.
+	// SlowThreshold routes queries and commits at or above this latency
+	// to the slow logs and slow-trace rings. Zero disables both (aborted
+	// commits are still retained and logged regardless).
 	SlowThreshold time.Duration
-	// Logger receives structured slow-query records (nil: traces are
-	// still retained in the ring but nothing is logged).
+	// Logger receives structured slow-query and slow-commit records
+	// (nil: traces are still retained in the rings but nothing is
+	// logged).
 	Logger *slog.Logger
-	// TraceCapacity bounds the slow-trace ring (default 32).
+	// TraceCapacity bounds the slow-query and slow-commit rings
+	// (default 32).
 	TraceCapacity int
+	// FlightCapacity bounds the commit flight recorder — the ring that
+	// keeps every recent commit trace, slow or not (default 64).
+	FlightCapacity int
 }
 
 // Observer aggregates query-level observations for one index: global
@@ -47,6 +53,7 @@ type Observer struct {
 	reg           *Registry
 	slowThreshold time.Duration
 	logger        *slog.Logger
+	created       time.Time
 
 	queries  *Counter
 	slow     *Counter
@@ -56,6 +63,23 @@ type Observer struct {
 	batchNs  *Histogram
 
 	stages [NumStages]stageMetrics
+
+	// Write-path aggregates (commit.go): commit counters, per-stage
+	// commit metrics, the COW clone fan-out and snapshot-age
+	// histograms, the flight recorder and the slow-commit ring.
+	commits        *Counter
+	commitAborts   *Counter
+	abortFault     *Counter
+	abortExplicit  *Counter
+	slowCommits    *Counter
+	commitInflight *Gauge
+	commitNs       *Histogram
+	cloneFanout    *Histogram
+	supersededPg   *Histogram
+	snapAgeNs      *Histogram
+	cstages        [NumCommitStages]commitStageMetrics
+	flight         commitRing
+	slowCommitRing commitRing
 
 	mu    sync.RWMutex
 	paths map[string]*pathMetrics
@@ -94,11 +118,15 @@ func New(opt Options) *Observer {
 	if opt.TraceCapacity <= 0 {
 		opt.TraceCapacity = 32
 	}
+	if opt.FlightCapacity <= 0 {
+		opt.FlightCapacity = 64
+	}
 	o := &Observer{
 		name:          opt.Name,
 		reg:           NewRegistry(opt.Name),
 		slowThreshold: opt.SlowThreshold,
 		logger:        opt.Logger,
+		created:       time.Now(),
 		paths:         make(map[string]*pathMetrics),
 	}
 	o.queries = o.reg.Counter("queries.total")
@@ -114,6 +142,26 @@ func New(opt Options) *Observer {
 			items: o.reg.Counter("stage." + s.String() + ".items"),
 		}
 	}
+	o.commits = o.reg.Counter("commits.total")
+	o.commitAborts = o.reg.Counter("commits.aborted")
+	o.abortFault = o.reg.Counter("commits.aborted.fault")
+	o.abortExplicit = o.reg.Counter("commits.aborted.explicit")
+	o.slowCommits = o.reg.Counter("commits.slow")
+	o.commitInflight = o.reg.Gauge("commits.inflight")
+	o.commitNs = o.reg.Histogram("commits.latency_ns")
+	o.cloneFanout = o.reg.Histogram("commits.clone_fanout")
+	o.supersededPg = o.reg.Histogram("commits.superseded_pages")
+	o.snapAgeNs = o.reg.Histogram("mvcc.snapshot_age_ns")
+	for s := CommitStage(0); s < NumCommitStages; s++ {
+		o.cstages[s] = commitStageMetrics{
+			ns:     o.reg.Histogram("cstage." + s.String() + ".ns"),
+			cloned: o.reg.Counter("cstage." + s.String() + ".cloned"),
+			freed:  o.reg.Counter("cstage." + s.String() + ".freed"),
+			items:  o.reg.Counter("cstage." + s.String() + ".items"),
+		}
+	}
+	o.flight.buf = make([]*CommitTrace, opt.FlightCapacity)
+	o.slowCommitRing.buf = make([]*CommitTrace, opt.TraceCapacity)
 	o.ring.buf = make([]*QueryTrace, opt.TraceCapacity)
 	return o
 }
@@ -323,6 +371,7 @@ type PathSnapshot struct {
 // accumulated.
 type Snapshot struct {
 	Name         string                   `json:"name"`
+	UptimeSec    float64                  `json:"uptime_sec"`
 	Queries      uint64                   `json:"queries"`
 	Slow         uint64                   `json:"slow"`
 	Errors       uint64                   `json:"errors"`
@@ -333,6 +382,20 @@ type Snapshot struct {
 	Paths        map[string]PathSnapshot  `json:"paths"`
 	Stages       map[string]StageSnapshot `json:"stages"`
 	PathNames    []string                 `json:"-"`
+
+	// Write-path aggregates. AbortsFault/AbortsExplicit split
+	// CommitAborts by cause; CommitStages is keyed by stage name
+	// (stage/shadow/publish/reclaim).
+	Commits        uint64                         `json:"commits"`
+	CommitAborts   uint64                         `json:"commit_aborts"`
+	AbortsFault    uint64                         `json:"aborts_fault"`
+	AbortsExplicit uint64                         `json:"aborts_explicit"`
+	CommitsSlow    uint64                         `json:"commits_slow"`
+	CommitInflight int64                          `json:"commits_inflight"`
+	CommitLatency  HistogramSnapshot              `json:"commit_latency"`
+	CloneFanout    HistogramSnapshot              `json:"clone_fanout"`
+	SnapshotAge    HistogramSnapshot              `json:"snapshot_age"`
+	CommitStages   map[string]CommitStageSnapshot `json:"commit_stages"`
 }
 
 // ObserverSnapshot reads the observer. Nil-safe: returns nil.
@@ -341,15 +404,26 @@ func (o *Observer) ObserverSnapshot() *Snapshot {
 		return nil
 	}
 	s := &Snapshot{
-		Name:         o.name,
-		Queries:      o.queries.Load(),
-		Slow:         o.slow.Load(),
-		Errors:       o.errors.Load(),
-		Inflight:     o.inflight.Load(),
-		Batches:      o.batches.Load(),
-		BatchLatency: o.batchNs.Snapshot(),
-		Paths:        make(map[string]PathSnapshot),
-		Stages:       make(map[string]StageSnapshot),
+		Name:           o.name,
+		UptimeSec:      time.Since(o.created).Seconds(),
+		Queries:        o.queries.Load(),
+		Slow:           o.slow.Load(),
+		Errors:         o.errors.Load(),
+		Inflight:       o.inflight.Load(),
+		Batches:        o.batches.Load(),
+		BatchLatency:   o.batchNs.Snapshot(),
+		Paths:          make(map[string]PathSnapshot),
+		Stages:         make(map[string]StageSnapshot),
+		Commits:        o.commits.Load(),
+		CommitAborts:   o.commitAborts.Load(),
+		AbortsFault:    o.abortFault.Load(),
+		AbortsExplicit: o.abortExplicit.Load(),
+		CommitsSlow:    o.slowCommits.Load(),
+		CommitInflight: o.commitInflight.Load(),
+		CommitLatency:  o.commitNs.Snapshot(),
+		CloneFanout:    o.cloneFanout.Snapshot(),
+		SnapshotAge:    o.snapAgeNs.Snapshot(),
+		CommitStages:   make(map[string]CommitStageSnapshot),
 	}
 	o.mu.RLock()
 	paths := make(map[string]*pathMetrics, len(o.paths))
@@ -388,6 +462,20 @@ func (o *Observer) ObserverSnapshot() *Snapshot {
 		s.Stages[st.String()] = StageSnapshot{
 			Count:   lat.Count,
 			Pages:   m.pages.Load(),
+			Items:   m.items.Load(),
+			Latency: lat,
+		}
+	}
+	for st := CommitStage(0); st < NumCommitStages; st++ {
+		m := &o.cstages[st]
+		lat := m.ns.Snapshot()
+		if lat.Count == 0 {
+			continue
+		}
+		s.CommitStages[st.String()] = CommitStageSnapshot{
+			Count:   lat.Count,
+			Cloned:  m.cloned.Load(),
+			Freed:   m.freed.Load(),
 			Items:   m.items.Load(),
 			Latency: lat,
 		}

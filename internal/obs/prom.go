@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"runtime/metrics"
+	"sort"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4), hand-written over
+// the Registry snapshot — no client library. The mapping:
+//
+//   - Counter           -> counter
+//   - Gauge             -> gauge
+//   - Histogram         -> histogram: the log2 buckets become cumulative
+//     `le` series (each bucket's exclusive upper bound is its `le`,
+//     terminated by `+Inf`), plus `_sum` and `_count`
+//   - Func              -> gauges; struct results are flattened one
+//     numeric field at a time with snake_case suffixes
+//
+// Metric names are prefixed `dualcdb_<registry>_` and sanitized to the
+// Prometheus charset ([a-zA-Z0-9_:], '.' and friends become '_'), so
+// "queries.total" in registry "index" exports as
+// dualcdb_index_queries_total.
+
+// PromContentType is the content type a /debug/prom handler must send.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every metric in the registry in Prometheus
+// text exposition format. Nil-safe: a nil registry writes nothing.
+func WritePrometheus(w io.Writer, r *Registry) {
+	if r == nil {
+		return
+	}
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	prefix := "dualcdb_" + promName(r.Name()) + "_"
+	for _, name := range names {
+		pn := prefix + promName(name)
+		switch v := snap[name].(type) {
+		case uint64:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, v)
+		case int64:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, v)
+		case HistogramSnapshot:
+			writePromHistogram(w, pn, v)
+		default:
+			// Func gauge: flatten whatever it returned into numeric
+			// leaves; non-numeric results are silently skipped.
+			flattenNumeric(pn, reflect.ValueOf(snap[name]), func(leaf string, val float64) {
+				fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", leaf, leaf, promFloat(val))
+			})
+		}
+	}
+}
+
+// writePromHistogram converts a log2 HistogramSnapshot into the
+// cumulative le-bucket series Prometheus expects. Buckets arrive in
+// ascending value order, so the emitted le bounds are monotone; the
+// terminal +Inf bucket always carries the total count.
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Hi, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
+// flattenNumeric walks v and emits every numeric leaf: scalars emit
+// under name itself, struct fields under name_snake_case (recursively).
+func flattenNumeric(name string, v reflect.Value, emit func(string, float64)) {
+	for v.Kind() == reflect.Pointer || v.Kind() == reflect.Interface {
+		if v.IsNil() {
+			return
+		}
+		v = v.Elem()
+	}
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		emit(name, float64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		emit(name, float64(v.Uint()))
+	case reflect.Float32, reflect.Float64:
+		emit(name, v.Float())
+	case reflect.Bool:
+		b := 0.0
+		if v.Bool() {
+			b = 1
+		}
+		emit(name, b)
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			flattenNumeric(name+"_"+snakeCase(f.Name), v.Field(i), emit)
+		}
+	}
+}
+
+// snakeCase converts an exported Go field name to prometheus_style:
+// DeferredPages -> deferred_pages, ReclaimFailures -> reclaim_failures.
+// Runs of capitals stay together (IDs -> ids).
+func snakeCase(s string) string {
+	out := make([]byte, 0, len(s)+4)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			if i > 0 && !(s[i-1] >= 'A' && s[i-1] <= 'Z') {
+				out = append(out, '_')
+			}
+			c += 'a' - 'A'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// promName maps an internal metric name onto the Prometheus charset:
+// every byte outside [a-zA-Z0-9_:] becomes '_'.
+func promName(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			out[i] = c
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// promFloat renders a float sample value ("+Inf"/"-Inf"/"NaN" per the
+// exposition format).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// runtimeSamples is the fixed runtime/metrics bridge: enough to spot a
+// heap blowup, GC pressure, or a goroutine leak next to the engine's
+// own gauges, without exporting the runtime's full catalog.
+var runtimeSamples = []struct {
+	src  string // runtime/metrics name
+	name string // exported name
+	typ  string // counter | gauge | histogram
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", "gauge"},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "gauge"},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", "gauge"},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "counter"},
+	{"/gc/pauses:seconds", "go_gc_pauses_seconds", "histogram"},
+}
+
+// WriteRuntimeMetrics appends the Go runtime bridge (heap and total
+// memory, goroutine count, GC cycles and pause distribution) in
+// exposition format. Metrics the running toolchain does not export are
+// skipped.
+func WriteRuntimeMetrics(w io.Writer) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i := range runtimeSamples {
+		samples[i].Name = runtimeSamples[i].src
+	}
+	metrics.Read(samples)
+	for i, d := range runtimeSamples {
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", d.name, d.typ, d.name, samples[i].Value.Uint64())
+		case metrics.KindFloat64:
+			fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", d.name, d.typ, d.name, promFloat(samples[i].Value.Float64()))
+		case metrics.KindFloat64Histogram:
+			writePromFloat64Histogram(w, d.name, samples[i].Value.Float64Histogram())
+		}
+	}
+}
+
+// writePromFloat64Histogram converts a runtime/metrics histogram
+// (bucket i counts observations in (Buckets[i], Buckets[i+1]]) into
+// cumulative le series. The runtime does not track an exact sum, so
+// _sum approximates each bucket by its finite boundary.
+func writePromFloat64Histogram(w io.Writer, name string, h *metrics.Float64Histogram) {
+	if h == nil || len(h.Buckets) != len(h.Counts)+1 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	var sum float64
+	for i, c := range h.Counts {
+		cum += c
+		upper := h.Buckets[i+1]
+		approx := upper
+		if math.IsInf(approx, 1) {
+			approx = h.Buckets[i]
+		}
+		sum += float64(c) * approx
+		if c == 0 && i != len(h.Counts)-1 {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, promFloat(upper), cum)
+	}
+	if len(h.Counts) == 0 || !math.IsInf(h.Buckets[len(h.Buckets)-1], 1) {
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	}
+	fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(sum), name, cum)
+}

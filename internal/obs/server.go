@@ -12,11 +12,13 @@ import (
 //	/debug/stats    expvar-style JSON of the unified stats snapshot
 //	/debug/metrics  flat name->value dump of the observer's registry
 //	/debug/traces   the last N slow-query traces, newest first
+//	/debug/prom     Prometheus text exposition (registry + runtime bridge)
+//	/debug/flight   the commit flight recorder + slow-commit ring
 //	/debug/pprof/*  the standard runtime profiles
 //
 // stats is evaluated per request (typically Index.StatsSnapshot); o
-// may be nil, in which case /debug/metrics and /debug/traces serve
-// empty documents. The mux is safe to serve while queries run.
+// may be nil, in which case the observer-backed endpoints serve empty
+// documents. The mux is safe to serve while queries and commits run.
 func DebugMux(stats func() any, o *Observer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -41,6 +43,17 @@ func DebugMux(stats func() any, o *Observer) *http.ServeMux {
 		}
 		writeJSON(w, trs)
 	})
+	mux.HandleFunc("/debug/prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		WritePrometheus(w, o.Registry())
+		WriteRuntimeMetrics(w)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, FlightDump{
+			Commits:     nonNilCommits(o.FlightRecords()),
+			SlowCommits: nonNilCommits(o.SlowCommits()),
+		})
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -53,11 +66,26 @@ func DebugMux(stats func() any, o *Observer) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "dualcdb debug server")
-		for _, p := range []string{"/debug/stats", "/debug/metrics", "/debug/traces", "/debug/pprof/"} {
+		for _, p := range []string{"/debug/stats", "/debug/metrics", "/debug/traces", "/debug/prom", "/debug/flight", "/debug/pprof/"} {
 			fmt.Fprintln(w, " ", p)
 		}
 	})
 	return mux
+}
+
+// FlightDump is the /debug/flight document: every recent commit trace
+// (newest first) plus the slow-or-aborted subset the slow-commit ring
+// retains.
+type FlightDump struct {
+	Commits     []CommitTraceSnapshot `json:"commits"`
+	SlowCommits []CommitTraceSnapshot `json:"slow_commits"`
+}
+
+func nonNilCommits(trs []CommitTraceSnapshot) []CommitTraceSnapshot {
+	if trs == nil {
+		return []CommitTraceSnapshot{}
+	}
+	return trs
 }
 
 // writeJSON serializes v with stable key order (maps are sorted by

@@ -18,6 +18,7 @@ type Stats struct {
 	Writes        uint64 // pages written back to the store
 	Allocs        uint64 // pages allocated
 	Frees         uint64 // pages freed
+	Clones        uint64 // copy-on-write page clones (ClonePage calls)
 
 	// ReadaheadBatches counts chain-readahead reads that admitted at least
 	// one extra page beyond the demanded one; ReadaheadPages counts those
@@ -90,6 +91,15 @@ type Pool struct {
 	snapRefs     map[uint64]int
 	deferred     []deferredFrees
 	reclaimFails atomic.Uint64
+	// clones/deferredTotal/reclaimed are the write-path attribution
+	// counters: pages cloned by ClonePage, pages ever handed to
+	// DeferFrees, and deferred pages actually freed by watermark
+	// reclamation. Clones happen only under the index's single-writer
+	// commit lock, so a delta of CloneCount across a commit stage is
+	// exact per-stage attribution.
+	clones        atomic.Uint64
+	deferredTotal atomic.Uint64
+	reclaimed     atomic.Uint64
 
 	logicalReads     atomic.Uint64
 	physicalReads    atomic.Uint64
@@ -880,6 +890,7 @@ func (p *Pool) Stats() Stats {
 		Writes:           p.writes.Load(),
 		Allocs:           p.allocs.Load(),
 		Frees:            p.frees.Load(),
+		Clones:           p.clones.Load(),
 		ReadaheadBatches: p.readaheadBatches.Load(),
 		ReadaheadPages:   p.readaheadPages.Load(),
 		YoungEvictions:   p.youngEvictions.Load(),
@@ -927,6 +938,7 @@ func (p *Pool) ResetStats() {
 	p.writes.Store(0)
 	p.allocs.Store(0)
 	p.frees.Store(0)
+	p.clones.Store(0)
 	p.readaheadBatches.Store(0)
 	p.readaheadPages.Store(0)
 	p.youngEvictions.Store(0)

@@ -30,8 +30,18 @@ func (p *Pool) ClonePage(src PageID) (*Frame, error) {
 	}
 	copy(nf.Data(), sf.Data())
 	sf.Release()
+	p.clones.Add(1)
 	return nf, nil
 }
+
+// CloneCount returns the cumulative number of ClonePage calls. Clones are
+// made only while the index's writer lock is held, so commit tracing can
+// attribute the delta across a stage to that stage exactly.
+func (p *Pool) CloneCount() uint64 { return p.clones.Load() }
+
+// ReclaimedCount returns the cumulative number of deferred pages freed by
+// watermark reclamation (DeferFrees and UnpinVersion alike).
+func (p *Pool) ReclaimedCount() uint64 { return p.reclaimed.Load() }
 
 // deferredFrees is one commit's batch of superseded pages: ids becomes
 // freeable when the snapshot watermark reaches deadAt.
@@ -65,30 +75,36 @@ func (p *Pool) UnpinVersion(v uint64) {
 // DeferFrees schedules pages superseded by the commit that produced
 // version deadAt: they are freed once no snapshot of an earlier version
 // remains. Call after the new root set is published, so a concurrent
-// Snapshot can no longer pin a version < deadAt.
-func (p *Pool) DeferFrees(deadAt uint64, ids []PageID) {
+// Snapshot can no longer pin a version < deadAt. The return value is the
+// number of deferred pages freed during this call (from this batch or
+// older ones the advanced watermark released) — the commit trace's exact
+// reclaim-stage attribution.
+func (p *Pool) DeferFrees(deadAt uint64, ids []PageID) int {
 	if len(ids) == 0 {
-		return
+		return 0
 	}
+	p.deferredTotal.Add(uint64(len(ids)))
 	p.snapMu.Lock()
 	defer p.snapMu.Unlock()
 	p.deferred = append(p.deferred, deferredFrees{deadAt: deadAt, ids: ids})
-	p.reclaimLocked()
+	return p.reclaimLocked()
 }
 
-// reclaimLocked frees every deferred batch the watermark has passed.
-// Requires snapMu; takes shard locks via FreePage (snapMu is always outer,
-// never acquired with a shard lock held). A FreePage failure keeps the
-// remaining ids queued for the next reclamation attempt and is counted in
-// SnapshotCensus.ReclaimFailures rather than surfaced: reclamation runs on
-// reader-release paths that have no error channel of their own.
-func (p *Pool) reclaimLocked() {
+// reclaimLocked frees every deferred batch the watermark has passed and
+// returns the number of pages freed. Requires snapMu; takes shard locks
+// via FreePage (snapMu is always outer, never acquired with a shard lock
+// held). A FreePage failure keeps the remaining ids queued for the next
+// reclamation attempt and is counted in SnapshotCensus.ReclaimFailures
+// rather than surfaced: reclamation runs on reader-release paths that
+// have no error channel of their own.
+func (p *Pool) reclaimLocked() int {
 	watermark := ^uint64(0)
 	for v := range p.snapRefs {
 		if v < watermark {
 			watermark = v
 		}
 	}
+	freed := 0
 	kept := p.deferred[:0]
 	for _, d := range p.deferred {
 		if d.deadAt > watermark {
@@ -100,6 +116,8 @@ func (p *Pool) reclaimLocked() {
 			if err := p.FreePage(id); err != nil {
 				p.reclaimFails.Add(1)
 				failed = append(failed, id)
+			} else {
+				freed++
 			}
 		}
 		if len(failed) > 0 {
@@ -107,6 +125,10 @@ func (p *Pool) reclaimLocked() {
 		}
 	}
 	p.deferred = kept
+	if freed > 0 {
+		p.reclaimed.Add(uint64(freed))
+	}
+	return freed
 }
 
 // SnapshotCensus reports the pool's MVCC state, for the obs gauges and the
@@ -118,11 +140,17 @@ type SnapshotCensus struct {
 	Active   int
 	Versions int
 	Oldest   uint64
-	// DeferredPages counts superseded pages awaiting reclamation;
-	// ReclaimFailures counts FreePage errors during reclamation (the pages
-	// remain queued and are retried).
+	// DeferredPages counts superseded pages awaiting reclamation (the
+	// reclaim backlog); ReclaimFailures counts FreePage errors during
+	// reclamation (the pages remain queued and are retried).
 	DeferredPages   int
 	ReclaimFailures uint64
+	// DeferredTotal and Reclaimed are cumulative: pages ever queued by
+	// DeferFrees and deferred pages actually freed by watermark
+	// reclamation. With no pins active the two track each other and
+	// DeferredPages is their difference plus failed-retry leftovers.
+	DeferredTotal uint64
+	Reclaimed     uint64
 }
 
 // SnapshotCensus returns a point-in-time census of active snapshot pins
@@ -130,7 +158,11 @@ type SnapshotCensus struct {
 func (p *Pool) SnapshotCensus() SnapshotCensus {
 	p.snapMu.Lock()
 	defer p.snapMu.Unlock()
-	c := SnapshotCensus{ReclaimFailures: p.reclaimFails.Load()}
+	c := SnapshotCensus{
+		ReclaimFailures: p.reclaimFails.Load(),
+		DeferredTotal:   p.deferredTotal.Load(),
+		Reclaimed:       p.reclaimed.Load(),
+	}
 	for v, n := range p.snapRefs {
 		c.Active += n
 		c.Versions++
