@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchsnap                # full measurement, writes BENCH_pr9.json
+//	benchsnap                # full measurement, writes BENCH_pr10.json
 //	benchsnap -quick -o out.json
 //	benchsnap -quick -gate   # also fail on regression past the PR-5/PR-6 floors
 //
@@ -53,7 +53,7 @@ type Row struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr9.json", "output file")
+	out := flag.String("o", "BENCH_pr10.json", "output file")
 	quick := flag.Bool("quick", false, "smaller trees (smoke run)")
 	gate := flag.Bool("gate", false, "fail on regression past the PR-5 baselines (requires -quick)")
 	flag.Parse()
@@ -436,6 +436,12 @@ func main() {
 			add("DualvetSummaryCold", nil, testing.BenchmarkResult{N: 1, T: cold})
 			add("DualvetSummaryWarm", nil, testing.BenchmarkResult{N: 1, T: warm})
 		}
+		if cold, warm, err := lockUnitTimings(tool, tmp); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: skipping dualvet lockset rows: %v\n", err)
+		} else {
+			add("DualvetLocksetCold", nil, testing.BenchmarkResult{N: 1, T: cold})
+			add("DualvetLocksetWarm", nil, testing.BenchmarkResult{N: 1, T: warm})
+		}
 		if d, extra, err := dualvetInvalidation(tool, tmp); err != nil {
 			fmt.Fprintf(os.Stderr, "benchsnap: skipping dualvet invalidation row: %v\n", err)
 		} else {
@@ -788,6 +794,122 @@ func odd%[1]d(n int, x float64) float64 {
 func pair%[1]d(x float64) (float64, float64) { return high%[1]d(x), x }
 
 func spread%[1]d(x float64) (float64, float64) { return pair%[1]d(high%[1]d(x)) }
+`, i)
+}
+
+// lockUnitTimings lays out a scratch module of lock-heavy code — guarded
+// fields, Begin/End summary pairs, RWMutex read paths, TryLock refinement,
+// deferred unlocks — and times a cold sweep of the concurrency analyzers
+// (lockset, atomicpub, frozen) against a warm vetx replay. Unlike
+// unitTimings this goes through `go vet -vettool` (the unit imports sync,
+// so the driver needs the go command's export-data plumbing); each run
+// gets a fresh GOCACHE so the go command re-invokes the tool, while the
+// persistent DUALVET_CACHE is what turns the later runs warm.
+func lockUnitTimings(tool, tmp string) (cold, warm time.Duration, err error) {
+	mod := filepath.Join(tmp, "lockunit")
+	if err := os.MkdirAll(mod, 0o777); err != nil {
+		return 0, 0, err
+	}
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte("module lockunit\n\ngo 1.22\n"), 0o666); err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < 64; i++ {
+		file := filepath.Join(mod, fmt.Sprintf("f%03d.go", i))
+		if err := os.WriteFile(file, []byte(lockUnitSrc(i)), 0o666); err != nil {
+			return 0, 0, err
+		}
+	}
+	cache := filepath.Join(tmp, "lockunit-cache")
+	runSweep := func(i int) (time.Duration, error) {
+		gocache := filepath.Join(tmp, fmt.Sprintf("lockunit-gocache-%d", i))
+		cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+		cmd.Dir = mod
+		cmd.Env = append(os.Environ(),
+			"DUALVET_CACHE="+cache, "GOCACHE="+gocache, "GOFLAGS=-mod=mod")
+		start := time.Now()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return 0, fmt.Errorf("go vet lock unit: %v\n%s", err, out)
+		}
+		return time.Since(start), nil
+	}
+	if cold, err = runSweep(0); err != nil {
+		return 0, 0, err
+	}
+	// Same fingerprint, populated vetx cache: replays. Best of three.
+	warm = time.Duration(math.MaxInt64)
+	for i := 1; i <= 3; i++ {
+		d, err := runSweep(i)
+		if err != nil {
+			return 0, 0, err
+		}
+		if d < warm {
+			warm = d
+		}
+	}
+	return cold, warm, nil
+}
+
+// lockUnitSrc is a sync-heavy source file: every function shape the
+// lock-set engine models (defer-balanced holds, summary-applied
+// Begin/End, RWMutex read sections, TryLock refinement, guarded-field
+// writes) with no violations, so the sweep measures analysis cost, not
+// diagnostic rendering.
+func lockUnitSrc(i int) string {
+	return fmt.Sprintf(`package lockunit
+
+import "sync"
+
+type store%[1]d struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int         //dualvet:guarded=mu
+	m  map[int]int //dualvet:guarded=rw
+}
+
+func (s *store%[1]d) begin() { s.mu.Lock() }
+func (s *store%[1]d) end()   { s.mu.Unlock() }
+
+func (s *store%[1]d) bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func (s *store%[1]d) read(k int) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.m[k]
+}
+
+func (s *store%[1]d) write(k, v int) {
+	s.rw.Lock()
+	if s.m == nil {
+		s.m = make(map[int]int)
+	}
+	s.m[k] = v
+	s.rw.Unlock()
+}
+
+func (s *store%[1]d) roundTrip(cond bool) {
+	s.begin()
+	if cond {
+		s.n++
+	}
+	s.end()
+}
+
+func (s *store%[1]d) tryBump() {
+	if s.mu.TryLock() {
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+func newStore%[1]d() *store%[1]d {
+	s := &store%[1]d{}
+	s.n = %[1]d
+	return s
+}
 `, i)
 }
 

@@ -1,0 +1,12 @@
+package atomicpub_test
+
+import (
+	"testing"
+
+	"dualcdb/internal/analysis/analysistest"
+	"dualcdb/internal/analysis/atomicpub"
+)
+
+func TestAtomicpub(t *testing.T) {
+	analysistest.Run(t, "../testdata", atomicpub.Analyzer, "atomicpub")
+}

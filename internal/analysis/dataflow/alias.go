@@ -155,6 +155,24 @@ func (a *Aliases) canonIdent(id *ast.Ident) string {
 	return a.canonCache[obj]
 }
 
+// DisplayPath strips the position qualifiers objKey adds to canonical
+// paths, for use in diagnostics: "s·123.mu" renders as "s.mu".
+func DisplayPath(canon string) string {
+	var b []byte
+	for i := 0; i < len(canon); {
+		if canon[i] == 0xC2 && i+1 < len(canon) && canon[i+1] == 0xB7 { // '·'
+			i += 2
+			for i < len(canon) && canon[i] >= '0' && canon[i] <= '9' {
+				i++
+			}
+			continue
+		}
+		b = append(b, canon[i])
+		i++
+	}
+	return string(b)
+}
+
 // objKey renders a variable uniquely: name alone would conflate shadowed
 // locals, so the declaration position disambiguates.
 func objKey(obj types.Object) string {

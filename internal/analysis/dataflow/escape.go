@@ -1,0 +1,149 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goroutine-escape analysis: a flow-insensitive scan marking local values
+// that become visible to other goroutines — captured by a `go` closure,
+// sent on a channel, or published through an atomic store. Once a value
+// escapes, "I constructed it so I own it" reasoning stops being valid: the
+// lock-set engine withdraws its fresh-allocation exemption from the escape
+// point onward, and the frozen engine treats atomic publication as the
+// freeze event itself.
+
+// EscapeKind classifies how a value becomes visible to other goroutines.
+type EscapeKind uint8
+
+const (
+	// EscGo: referenced inside a closure (or argument list) launched by a
+	// go statement.
+	EscGo EscapeKind = iota
+	// EscChan: sent on a channel.
+	EscChan
+	// EscPublish: stored through sync/atomic (Pointer.Store/Swap/
+	// CompareAndSwap, Value.Store, ...).
+	EscPublish
+)
+
+func (k EscapeKind) String() string {
+	switch k {
+	case EscGo:
+		return "go"
+	case EscChan:
+		return "chan"
+	default:
+		return "publish"
+	}
+}
+
+// Escape records one escape event.
+type Escape struct {
+	// Canon is the escaping value's canonical path in the body's alias map.
+	Canon string
+	Kind  EscapeKind
+	Pos   token.Pos
+}
+
+// FindEscapes scans body (including nested function literals) for escape
+// events. al should be the body's alias map so canonical paths line up
+// with other analyses over the same body.
+func FindEscapes(body *ast.BlockStmt, info *types.Info, al *Aliases) []Escape {
+	var out []Escape
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Everything referenced under the go statement that was declared
+			// before it is shared with the new goroutine: closure captures,
+			// argument values, and the callee itself.
+			ast.Inspect(n, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := info.Uses[id].(*types.Var)
+				if !ok || v.Pos() >= n.Pos() {
+					return true
+				}
+				out = append(out, Escape{Canon: al.Canon(id), Kind: EscGo, Pos: n.Pos()})
+				return true
+			})
+		case *ast.SendStmt:
+			out = append(out, Escape{Canon: al.Canon(n.Value), Kind: EscChan, Pos: n.Arrow})
+		case *ast.CallExpr:
+			if v, pos, ok := atomicPublishArg(info, n); ok {
+				out = append(out, Escape{Canon: al.Canon(v), Kind: EscPublish, Pos: pos})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// EarliestEscapes folds an escape list into the earliest escape position
+// per canonical root (the leading path segment), the granularity at which
+// ownership reasoning is withdrawn.
+func EarliestEscapes(escs []Escape) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(escs))
+	for _, e := range escs {
+		root := rootOf(e.Canon)
+		if old, ok := out[root]; !ok || e.Pos < old {
+			out[root] = e.Pos
+		}
+	}
+	return out
+}
+
+// atomicPublishArg returns the value expression published by call when it
+// is an atomic.Pointer/Value Store, Swap, or CompareAndSwap.
+func atomicPublishArg(info *types.Info, call *ast.CallExpr) (ast.Expr, token.Pos, bool) {
+	name, ok := atomicCellOp(info, call)
+	if !ok {
+		return nil, token.NoPos, false
+	}
+	switch name {
+	case "Store", "Swap":
+		if len(call.Args) == 1 {
+			return call.Args[0], call.Pos(), true
+		}
+	case "CompareAndSwap":
+		if len(call.Args) == 2 {
+			return call.Args[1], call.Pos(), true
+		}
+	}
+	return nil, token.NoPos, false
+}
+
+// atomicCellOp reports whether call invokes a method of sync/atomic's
+// reference-carrying cells (Pointer[T] or Value) and returns the method
+// name. Scalar cells (Bool, Int64, ...) are excluded: their stored values
+// carry no mutable state to freeze or escape.
+func atomicCellOp(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	switch named.Obj().Name() {
+	case "Pointer", "Value":
+		return fn.Name(), true
+	}
+	return "", false
+}

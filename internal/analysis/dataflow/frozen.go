@@ -1,0 +1,588 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The frozen engine statically pins the MVCC handoff rule: a value is
+// mutable from its construction site up to the moment it is published
+// through an atomic cell (`roots.Store(rs)`), and immutable ever after —
+// on the publishing goroutine too, because readers may already hold it.
+// The analysis tracks, per CFG point, the set of canonical roots known to
+// be published ("frozen"), together with where and how they were
+// published. Any store through a frozen root — or through a
+// single-assignment alias the alias map resolves back under it — is a
+// violation. Values obtained *from* an atomic cell (Load, Swap's previous
+// value) are frozen at birth: whoever published them may still read them
+// concurrently.
+//
+// Interprocedurally a PubSummary records which flattened parameters a
+// function publishes and which results it returns already-published, so
+// `publishLocked(rs)` freezes the caller's rs and `pinRoots()`' result
+// arrives frozen without the caller seeing an atomic operation.
+
+// PubSummary is one function's publication behaviour.
+type PubSummary struct {
+	// Params lists flattened parameter indices the function may publish
+	// (store into an atomic cell, directly or via a callee).
+	Params []int `json:"params,omitempty"`
+	// Results lists result indices that carry already-published values on
+	// some path (atomic Load/Swap results, republished parameters, or a
+	// value the function itself constructed and published before return).
+	Results []int `json:"results,omitempty"`
+}
+
+func (s PubSummary) interesting() bool {
+	return len(s.Params) > 0 || len(s.Results) > 0
+}
+
+func (s PubSummary) sameShape(o PubSummary) bool {
+	if len(s.Params) != len(o.Params) || len(s.Results) != len(o.Results) {
+		return false
+	}
+	for i := range s.Params {
+		if s.Params[i] != o.Params[i] {
+			return false
+		}
+	}
+	for i := range s.Results {
+		if s.Results[i] != o.Results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FreezeSpec configures the frozen engine.
+type FreezeSpec struct {
+	// Summaries resolves a callee's publication summary (local bank first,
+	// then imported vetx banks). A miss means the callee neither publishes
+	// nor returns published values.
+	Summaries func(fn *types.Func) (PubSummary, bool)
+}
+
+// FrozenViolation is one store through a published value.
+type FrozenViolation struct {
+	// Write is the offending statement (assignment or ++/--).
+	Write ast.Node
+	// Canon is the canonical path being written through; Root is the frozen
+	// root it resolves under.
+	Canon string
+	Root  string
+	// Pub is the publication position and Via its printable source
+	// ("ix.roots.Store", "publishLocked", "atomic load").
+	Pub token.Pos
+	Via string
+	// InGo marks a write inside a `go` closure launched after publication.
+	InGo bool
+}
+
+// frozenState describes one published root.
+type frozenState struct {
+	pub token.Pos
+	via string
+}
+
+// frozenFact maps canonical roots to their publication. May-analysis:
+// frozen on some path means writes are unsafe.
+type frozenFact map[string]frozenState
+
+type frozenLattice struct{}
+
+func (frozenLattice) Bottom() frozenFact { return nil }
+
+func (frozenLattice) Clone(f frozenFact) frozenFact {
+	if f == nil {
+		return nil
+	}
+	c := make(frozenFact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+func (frozenLattice) Join(dst, src frozenFact) (frozenFact, bool) {
+	changed := false
+	for k, v := range src {
+		old, ok := dst[k]
+		if !ok || v.pub < old.pub {
+			if dst == nil {
+				dst = make(frozenFact, len(src))
+			}
+			dst[k] = v
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+type freezeEngine struct {
+	info *types.Info
+	al   *Aliases
+	spec FreezeSpec
+	cfg  *CFG
+
+	paramKeys []string
+	// pubParams/retPub accumulate summary facts; both only grow as the
+	// may-facts grow, so collecting across fixpoint sweeps is stable.
+	pubParams map[int]bool
+	retPub    map[int]bool
+
+	violations map[token.Pos]FrozenViolation
+}
+
+// FindFrozenViolations runs the frozen-after-publish analysis over one
+// function body and returns its violations in source order. al must be the
+// body's alias map.
+func FindFrozenViolations(body *ast.BlockStmt, info *types.Info, al *Aliases, spec FreezeSpec) []FrozenViolation {
+	eng := newFreezeEngine(body, info, al, spec, nil)
+	eng.run()
+	eng.replay()
+	return eng.sortedViolations()
+}
+
+func newFreezeEngine(body *ast.BlockStmt, info *types.Info, al *Aliases, spec FreezeSpec, params []*types.Var) *freezeEngine {
+	e := &freezeEngine{
+		info:       info,
+		al:         al,
+		spec:       spec,
+		cfg:        New(body),
+		pubParams:  make(map[int]bool),
+		retPub:     make(map[int]bool),
+		violations: make(map[token.Pos]FrozenViolation),
+	}
+	for _, p := range params {
+		e.paramKeys = append(e.paramKeys, objKey(p))
+	}
+	return e
+}
+
+func (e *freezeEngine) run() []frozenFact {
+	return Forward[frozenFact](e.cfg, frozenLattice{}, func(b *Block, f frozenFact) frozenFact {
+		return e.transfer(b, f, false)
+	})
+}
+
+func (e *freezeEngine) replay() {
+	in := e.run()
+	lat := frozenLattice{}
+	for _, b := range e.cfg.Blocks {
+		if !b.Live {
+			continue
+		}
+		e.transfer(b, lat.Clone(in[b.Index]), true)
+	}
+}
+
+func (e *freezeEngine) sortedViolations() []FrozenViolation {
+	out := make([]FrozenViolation, 0, len(e.violations))
+	for _, v := range e.violations {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Write.Pos() < out[j].Write.Pos() })
+	return out
+}
+
+func (e *freezeEngine) transfer(b *Block, f frozenFact, report bool) frozenFact {
+	for _, n := range b.Nodes {
+		f = e.node(f, n, report)
+	}
+	return f
+}
+
+func (e *freezeEngine) node(f frozenFact, n ast.Node, report bool) frozenFact {
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		if report {
+			// The goroutine body runs after launch; any write it makes
+			// through a value frozen at the launch point is a violation.
+			e.scanGoBody(f, n)
+		}
+		f = e.applyCalls(f, n.Call, report)
+		return f
+	case *ast.AssignStmt:
+		if report {
+			e.checkWrite(f, n, n.Lhs)
+		}
+		f = e.applyCalls(f, n, report)
+		// Publication-bearing right-hand sides freeze their targets.
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Rhs {
+				f = e.assignOne(f, n.Lhs[i], n.Rhs[i])
+			}
+		} else if len(n.Rhs) == 1 {
+			f = e.assignMulti(f, n.Lhs, n.Rhs[0])
+		}
+		// A plain-identifier rebind repoints the local: the frozen object is
+		// untouched and the name no longer refers to it.
+		for i, lhs := range n.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if len(n.Lhs) == len(n.Rhs) && e.publishes(n.Rhs[i]) {
+				continue
+			}
+			if f != nil {
+				c := e.al.Canon(id)
+				if _, frozen := f[c]; frozen && !e.frozenRhs(f, n, i) {
+					delete(f, c)
+				}
+			}
+		}
+		return f
+	case *ast.IncDecStmt:
+		if report {
+			e.checkWrite(f, n, []ast.Expr{n.X})
+		}
+		return f
+	}
+	f = e.applyCalls(f, n, report)
+	if report {
+		// Non-go function literals execute later under unknown conditions;
+		// writes through values already frozen here stay violations.
+		for _, fl := range funcLitsUnder(n) {
+			e.scanLitBody(f, fl.Body, false)
+		}
+	}
+	return f
+}
+
+// frozenRhs reports whether the i-th assignment keeps the name frozen: the
+// right-hand side itself resolves under a frozen root (re-aliasing one
+// published value to another name).
+func (e *freezeEngine) frozenRhs(f frozenFact, n *ast.AssignStmt, i int) bool {
+	if len(n.Lhs) != len(n.Rhs) {
+		return false
+	}
+	_, _, frozen := frozenUnder(f, e.al.Canon(n.Rhs[i]))
+	return frozen
+}
+
+// assignOne applies the freeze effect of a single assignment pair.
+func (e *freezeEngine) assignOne(f frozenFact, lhs, rhs ast.Expr) frozenFact {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return f
+	}
+	if name, isCell := atomicCellOp(e.info, call); isCell && (name == "Load" || name == "Swap" || name == "CompareAndSwap") {
+		if name == "CompareAndSwap" {
+			return f // result is a bool
+		}
+		// The loaded (or swapped-out) value is published property.
+		return e.freezeLhs(f, lhs, call.Pos(), "atomic "+strings.ToLower(name))
+	}
+	if fn := Callee(e.info, call); fn != nil && e.spec.Summaries != nil {
+		if sum, ok := e.spec.Summaries(fn); ok && len(sum.Results) > 0 {
+			// Single-assignment form: only a single-result callee aligns here.
+			for _, ri := range sum.Results {
+				if ri == 0 {
+					f = e.freezeLhs(f, lhs, call.Pos(), fn.Name())
+				}
+			}
+		}
+	}
+	return f
+}
+
+// assignMulti applies freeze effects of `a, b := call()`.
+func (e *freezeEngine) assignMulti(f frozenFact, lhs []ast.Expr, rhs ast.Expr) frozenFact {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return f
+	}
+	fn := Callee(e.info, call)
+	if fn == nil || e.spec.Summaries == nil {
+		return f
+	}
+	sum, ok := e.spec.Summaries(fn)
+	if !ok {
+		return f
+	}
+	for _, ri := range sum.Results {
+		if ri >= 0 && ri < len(lhs) {
+			f = e.freezeLhs(f, lhs[ri], call.Pos(), fn.Name())
+		}
+	}
+	return f
+}
+
+func (e *freezeEngine) freezeLhs(f frozenFact, lhs ast.Expr, pub token.Pos, via string) frozenFact {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return f
+	}
+	return e.freeze(f, e.al.Canon(id), pub, via)
+}
+
+func (e *freezeEngine) freeze(f frozenFact, canon string, pub token.Pos, via string) frozenFact {
+	if strings.Contains(canon, "‹") {
+		return f
+	}
+	if f == nil {
+		f = make(frozenFact)
+	}
+	if old, ok := f[canon]; !ok || pub < old.pub {
+		f[canon] = frozenState{pub: pub, via: via}
+	}
+	return f
+}
+
+// publishes reports whether rhs is an atomic read (used to keep rebinds
+// like `rs = ix.roots.Load()` frozen rather than strongly updated).
+func (e *freezeEngine) publishes(rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name, isCell := atomicCellOp(e.info, call)
+	if isCell && (name == "Load" || name == "Swap") {
+		return true
+	}
+	if fn := Callee(e.info, call); fn != nil && e.spec.Summaries != nil {
+		if sum, ok := e.spec.Summaries(fn); ok {
+			for _, ri := range sum.Results {
+				if ri == 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// applyCalls walks the calls under n in evaluation order, applying direct
+// atomic publications and callee publication summaries.
+func (e *freezeEngine) applyCalls(f frozenFact, n ast.Node, report bool) frozenFact {
+	WalkShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if v, pos, isPub := atomicPublishArg(e.info, call); isPub {
+			via := "atomic store"
+			if sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); okSel {
+				via = types.ExprString(sel.X) + "." + sel.Sel.Name
+			}
+			canon := e.al.Canon(v)
+			f = e.freeze(f, canon, pos, via)
+			e.noteParamPub(canon)
+			return true
+		}
+		fn := Callee(e.info, call)
+		if fn == nil || e.spec.Summaries == nil {
+			return true
+		}
+		sum, ok := e.spec.Summaries(fn)
+		if !ok {
+			return true
+		}
+		if args, aligned := FlatArgs(e.info, call, fn); aligned {
+			for _, pi := range sum.Params {
+				if pi >= 0 && pi < len(args) {
+					canon := e.al.Canon(args[pi])
+					f = e.freeze(f, canon, call.Pos(), fn.Name())
+					e.noteParamPub(canon)
+				}
+			}
+		}
+		return true
+	})
+	// Return statements feed the Results side of the summary: a returned
+	// expression that is frozen here leaves the function already published.
+	if ret, ok := n.(*ast.ReturnStmt); ok {
+		for i, res := range ret.Results {
+			if _, _, frozen := frozenUnder(f, e.al.Canon(res)); frozen {
+				e.retPub[i] = true
+			}
+		}
+	}
+	return f
+}
+
+// noteParamPub records a parameter publication for the summary.
+func (e *freezeEngine) noteParamPub(canon string) {
+	for i, key := range e.paramKeys {
+		if canon == key {
+			e.pubParams[i] = true
+		}
+	}
+}
+
+// checkWrite reports stores through frozen roots.
+func (e *freezeEngine) checkWrite(f frozenFact, n ast.Node, targets []ast.Expr) {
+	if len(f) == 0 {
+		return
+	}
+	for _, t := range targets {
+		if _, isIdent := ast.Unparen(t).(*ast.Ident); isIdent {
+			continue // rebind, handled as a strong update
+		}
+		c := e.writeCanon(t)
+		root, st, frozen := frozenUnder(f, c)
+		if !frozen {
+			continue
+		}
+		if _, dup := e.violations[n.Pos()]; !dup {
+			e.violations[n.Pos()] = FrozenViolation{
+				Write: n, Canon: c, Root: root, Pub: st.pub, Via: st.via,
+			}
+		}
+	}
+}
+
+// scanGoBody reports writes inside a launched goroutine through values
+// frozen at the launch point.
+func (e *freezeEngine) scanGoBody(f frozenFact, g *ast.GoStmt) {
+	for _, fl := range funcLitsUnder(g) {
+		e.scanLitBody(f, fl.Body, true)
+	}
+}
+
+func (e *freezeEngine) scanLitBody(f frozenFact, body *ast.BlockStmt, inGo bool) {
+	if len(f) == 0 {
+		return
+	}
+	ast.Inspect(body, func(m ast.Node) bool {
+		var targets []ast.Expr
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			targets = m.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{m.X}
+		default:
+			return true
+		}
+		for _, t := range targets {
+			if _, isIdent := ast.Unparen(t).(*ast.Ident); isIdent {
+				continue
+			}
+			c := e.writeCanon(t)
+			root, st, frozen := frozenUnder(f, c)
+			if !frozen {
+				continue
+			}
+			if _, dup := e.violations[m.Pos()]; !dup {
+				e.violations[m.Pos()] = FrozenViolation{
+					Write: m.(ast.Node), Canon: c, Root: root, Pub: st.pub, Via: st.via, InGo: inGo,
+				}
+			}
+		}
+		return true
+	})
+}
+
+// writeCanon resolves a write target to its most specific resolvable
+// canonical path, peeling wrappers until the alias map can name it.
+func (e *freezeEngine) writeCanon(t ast.Expr) string {
+	for {
+		c := e.al.Canon(t)
+		if !strings.Contains(c, "‹") {
+			return c
+		}
+		switch x := t.(type) {
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.SelectorExpr:
+			t = x.X
+		default:
+			return c
+		}
+	}
+}
+
+// frozenUnder resolves a canonical path against the frozen roots: the path
+// itself, or any dotted/indexed extension of a frozen root, is frozen.
+func frozenUnder(f frozenFact, canon string) (string, frozenState, bool) {
+	if strings.Contains(canon, "‹") {
+		return "", frozenState{}, false
+	}
+	if st, ok := f[canon]; ok {
+		return canon, st, true
+	}
+	for root, st := range f {
+		if strings.HasPrefix(canon, root+".") || strings.HasPrefix(canon, root+"[") {
+			return root, st, true
+		}
+	}
+	return "", frozenState{}, false
+}
+
+// summary reads the function's publication summary off the collected
+// parameter and return facts.
+func (e *freezeEngine) summary() PubSummary {
+	var s PubSummary
+	for i := range e.pubParams {
+		s.Params = append(s.Params, i)
+	}
+	for i := range e.retPub {
+		s.Results = append(s.Results, i)
+	}
+	sort.Ints(s.Params)
+	sort.Ints(s.Results)
+	return s
+}
+
+// ComputeFreezeSummaries computes one publication summary per declared
+// function, bottom-up over the call graph's SCCs. Publication facts only
+// grow, so the sweep converges; an SCC exceeding its budget falls back to
+// "publishes nothing" (sound for reports — callers simply lose the
+// interprocedural freeze).
+func ComputeFreezeSummaries(cg *CallGraph, info *types.Info, spec FreezeSpec, imported map[string]PubSummary) (map[*types.Func]PubSummary, SummaryStats) {
+	sums := make(map[*types.Func]PubSummary, len(cg.Order))
+	stats := SummaryStats{Functions: len(cg.Order)}
+	spec.Summaries = func(fn *types.Func) (PubSummary, bool) {
+		if s, ok := sums[fn]; ok {
+			return s, true
+		}
+		s, ok := imported[fn.FullName()]
+		return s, ok
+	}
+	for _, comp := range cg.SCCs {
+		recursive := len(comp) > 1 || selfCalls(cg, comp[0])
+		for _, fn := range comp {
+			sums[fn] = PubSummary{}
+		}
+		bound := sccIterBound(len(comp))
+		iters, bailed := 0, false
+		for {
+			iters++
+			changed := false
+			for _, fn := range comp {
+				ns := summarizeFreeze(cg.Funcs[fn], info, spec)
+				if !ns.sameShape(sums[fn]) {
+					changed = true
+				}
+				sums[fn] = ns
+			}
+			if !changed || !recursive {
+				break
+			}
+			if iters >= bound {
+				bailed = true
+				for _, fn := range comp {
+					delete(sums, fn)
+				}
+				break
+			}
+		}
+		stats.observe(iters, bailed)
+	}
+	return sums, stats
+}
+
+func summarizeFreeze(fi *FuncInfo, info *types.Info, spec FreezeSpec) PubSummary {
+	body := fi.Decl.Body
+	eng := newFreezeEngine(body, info, NewAliases(body, info), spec, flatParams(fi.Fn))
+	eng.run()
+	return eng.summary()
+}

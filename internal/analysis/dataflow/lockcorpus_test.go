@@ -1,0 +1,83 @@
+package dataflow
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConcurrencyCorpusConverges runs the lock-set and publication summary
+// computations over every repository package, then drives the full
+// lock-set engine (fixpoint, hook replay, summary read-off) and the escape
+// scan over every declared function. Any panic, SCC bail or blown time
+// budget here is an engine bug: the corpus includes the repository's real
+// concurrency shapes (MVCC commit path, pagestore shards, obs rings),
+// which is exactly the code the analyzers must converge on.
+func TestConcurrencyCorpusConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole repository against stdlib source")
+	}
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := newCorpusLoader(root)
+	paths, err := ld.repoPackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("suspiciously few packages: %v", paths)
+	}
+
+	var funcs, escapes, maxIters, maxComp int
+	var sumTime time.Duration
+	for _, path := range paths {
+		lp, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("typechecking %s: %v", path, err)
+		}
+		start := time.Now()
+		cg := BuildCallGraph(lp.files, ld.info)
+		for _, comp := range cg.SCCs {
+			if len(comp) > maxComp {
+				maxComp = len(comp)
+			}
+		}
+		_, lstats := ComputeLockSummaries(cg, ld.info, LockSpec{}, nil)
+		_, fstats := ComputeFreezeSummaries(cg, ld.info, FreezeSpec{}, nil)
+		for _, st := range []SummaryStats{lstats, fstats} {
+			if st.Bailed != 0 {
+				t.Errorf("%s: %d SCCs bailed to bottom — non-monotone lock/freeze transfer", path, st.Bailed)
+			}
+			if st.MaxIters > maxIters {
+				maxIters = st.MaxIters
+			}
+		}
+		// Per-function: the full engine must survive (and converge on) every
+		// body, replay with empty hooks, and read a summary off the exit fact.
+		for _, fi := range cg.Funcs {
+			body := fi.Decl.Body
+			al := NewAliases(body, ld.info)
+			escapes += len(FindEscapes(body, ld.info, al))
+			eng := NewLockEngine(body, ld.info, al, LockSpec{}, flatParams(fi.Fn))
+			eng.Run()
+			eng.Replay(&LockHooks{})
+			_ = eng.Summary()
+			funcs++
+		}
+		sumTime += time.Since(start)
+	}
+	if funcs < 400 {
+		t.Fatalf("concurrency corpus suspiciously small: %d functions (did the loader lose packages?)", funcs)
+	}
+	if bound := sccIterBound(maxComp); maxIters > bound {
+		t.Fatalf("fixpoint took %d sweeps, bound for the largest SCC (%d funcs) is %d", maxIters, maxComp, bound)
+	}
+	// The unit driver adds these computations to every go vet invocation;
+	// the whole-repo cost must stay well inside the CI analysis budget.
+	if sumTime > 10*time.Second {
+		t.Fatalf("concurrency analysis over the repo took %v, budget 10s", sumTime)
+	}
+	t.Logf("concurrency corpus: %d packages, %d functions, %d escapes, max %d sweeps, %v total",
+		len(paths), funcs, escapes, maxIters, sumTime)
+}

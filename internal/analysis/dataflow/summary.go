@@ -225,10 +225,16 @@ type PackageSummaries struct {
 	Obligations map[string]map[string]ObSummary `json:"obligations,omitempty"`
 	Borrows     map[string]BorrowSummary        `json:"borrows,omitempty"`
 	Taint       map[string]TaintSummary         `json:"taint,omitempty"`
+	// Locks holds lock summaries keyed by discipline (lockset and atomicpub
+	// compute under different guard specs, so their banks stay apart).
+	Locks map[string]map[string]LockSummary `json:"locks,omitempty"`
+	// Publish holds publication (frozen-after-publish) summaries.
+	Publish map[string]PubSummary `json:"publish,omitempty"`
 }
 
 func (p *PackageSummaries) Empty() bool {
-	return p == nil || (len(p.Obligations) == 0 && len(p.Borrows) == 0 && len(p.Taint) == 0)
+	return p == nil || (len(p.Obligations) == 0 && len(p.Borrows) == 0 && len(p.Taint) == 0 &&
+		len(p.Locks) == 0 && len(p.Publish) == 0)
 }
 
 // Merge folds q into p (p's entries win on collision, which cannot happen for
@@ -266,6 +272,29 @@ func (p *PackageSummaries) Merge(q *PackageSummaries) {
 		}
 		if _, dup := p.Taint[name]; !dup {
 			p.Taint[name] = s
+		}
+	}
+	for disc, funcs := range q.Locks {
+		if p.Locks == nil {
+			p.Locks = make(map[string]map[string]LockSummary)
+		}
+		dst := p.Locks[disc]
+		if dst == nil {
+			dst = make(map[string]LockSummary)
+			p.Locks[disc] = dst
+		}
+		for name, s := range funcs {
+			if _, dup := dst[name]; !dup {
+				dst[name] = s
+			}
+		}
+	}
+	for name, s := range q.Publish {
+		if p.Publish == nil {
+			p.Publish = make(map[string]PubSummary)
+		}
+		if _, dup := p.Publish[name]; !dup {
+			p.Publish[name] = s
 		}
 	}
 }
@@ -311,6 +340,54 @@ func (p *PackageSummaries) AddTaint(sums map[*types.Func]TaintSummary) {
 		}
 		p.Taint[fn.FullName()] = s
 	}
+}
+
+// AddLocks records the interesting entries of a computed lock summary map
+// under one discipline.
+func (p *PackageSummaries) AddLocks(discipline string, sums map[*types.Func]LockSummary) {
+	for fn, s := range sums {
+		if !s.interesting() {
+			continue
+		}
+		if p.Locks == nil {
+			p.Locks = make(map[string]map[string]LockSummary)
+		}
+		if p.Locks[discipline] == nil {
+			p.Locks[discipline] = make(map[string]LockSummary)
+		}
+		p.Locks[discipline][fn.FullName()] = s
+	}
+}
+
+// AddPublish records the interesting entries of a computed publication
+// summary map.
+func (p *PackageSummaries) AddPublish(sums map[*types.Func]PubSummary) {
+	for fn, s := range sums {
+		if !s.interesting() {
+			continue
+		}
+		if p.Publish == nil {
+			p.Publish = make(map[string]PubSummary)
+		}
+		p.Publish[fn.FullName()] = s
+	}
+}
+
+// LocksFor returns the imported lock summaries for one discipline
+// (nil-safe).
+func (p *PackageSummaries) LocksFor(discipline string) map[string]LockSummary {
+	if p == nil {
+		return nil
+	}
+	return p.Locks[discipline]
+}
+
+// PublishBank returns the imported publication summaries (nil-safe).
+func (p *PackageSummaries) PublishBank() map[string]PubSummary {
+	if p == nil {
+		return nil
+	}
+	return p.Publish
 }
 
 // ObligationsFor returns the imported obligation summaries for one discipline

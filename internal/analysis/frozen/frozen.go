@@ -1,0 +1,94 @@
+// Package frozen statically pins the MVCC handoff rule: a value published
+// through an atomic cell (`ix.roots.Store(rs)`) is immutable from the
+// store onward — for the publishing goroutine too, because lock-free
+// readers may already hold it. Writes are free between construction and
+// publication (that is how publishLocked builds the next rootSet); any
+// store after the publication point through the published value, an
+// alias of it, or anything reachable from it by field or element path, is
+// reported.
+//
+// The check runs the frozen engine from internal/analysis/dataflow: a
+// forward may-analysis over the CFG whose facts are the published roots,
+// with the body's alias map folding single-assignment names back to their
+// sources. Values read *out* of an atomic cell (Load, Swap's previous
+// value) are frozen at birth. Publication summaries travel through vetx:
+// a helper that stores its parameter into an atomic cell freezes the
+// caller's argument, and one returning a published value (pinRoots) hands
+// its callers a frozen result.
+//
+// Escape hatch: //dualvet:allow frozen on the flagged line (e.g. a
+// single-writer construction protocol the analysis cannot see). _test.go
+// files are exempt.
+package frozen
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dualcdb/internal/analysis/dataflow"
+	"dualcdb/internal/analysis/framework"
+)
+
+// Analyzer is the frozen check.
+var Analyzer = &framework.Analyzer{
+	Name: "frozen",
+	Doc:  "flag stores through values already published via atomic.Pointer/Value",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	cg := dataflow.BuildCallGraph(pass.Files, pass.TypesInfo)
+	imported := pass.Summaries.PublishBank()
+	sums, _ := dataflow.ComputeFreezeSummaries(cg, pass.TypesInfo, dataflow.FreezeSpec{}, imported)
+	spec := dataflow.FreezeSpec{
+		Summaries: func(fn *types.Func) (dataflow.PubSummary, bool) {
+			if s, ok := sums[fn]; ok {
+				return s, true
+			}
+			s, ok := imported[fn.FullName()]
+			return s, ok
+		},
+	}
+	exp := &dataflow.PackageSummaries{}
+	exp.AddPublish(sums)
+	pass.Export(exp)
+
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		// A write can surface twice: from the enclosing function's analysis
+		// (the closure scan at its occurrence point) and from the closure's
+		// own analysis. Report each position once.
+		seen := make(map[token.Pos]bool)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body, spec, seen)
+			for _, fl := range dataflow.FuncLits(fd.Body) {
+				checkBody(pass, fl.Body, spec, seen)
+			}
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *framework.Pass, body *ast.BlockStmt, spec dataflow.FreezeSpec, seen map[token.Pos]bool) {
+	al := dataflow.NewAliases(body, pass.TypesInfo)
+	for _, v := range dataflow.FindFrozenViolations(body, pass.TypesInfo, al, spec) {
+		if seen[v.Write.Pos()] {
+			continue
+		}
+		seen[v.Write.Pos()] = true
+		where := ""
+		if v.InGo {
+			where = " from a goroutine launched after publication"
+		}
+		pass.Reportf(v.Write.Pos(),
+			"write to %s mutates a value published at line %d (via %s)%s; published values are immutable — clone before publishing or //dualvet:allow frozen with a reason",
+			dataflow.DisplayPath(v.Canon), pass.Fset.Position(v.Pub).Line, v.Via, where)
+	}
+}

@@ -1,0 +1,12 @@
+package frozen_test
+
+import (
+	"testing"
+
+	"dualcdb/internal/analysis/analysistest"
+	"dualcdb/internal/analysis/frozen"
+)
+
+func TestFrozen(t *testing.T) {
+	analysistest.Run(t, "../testdata", frozen.Analyzer, "frozen")
+}

@@ -1,0 +1,12 @@
+package lockset_test
+
+import (
+	"testing"
+
+	"dualcdb/internal/analysis/analysistest"
+	"dualcdb/internal/analysis/lockset"
+)
+
+func TestLockset(t *testing.T) {
+	analysistest.Run(t, "../testdata", lockset.Analyzer, "lockset")
+}

@@ -48,6 +48,7 @@ import (
 	"strings"
 
 	"dualcdb/internal/analysis/dataflow"
+	"dualcdb/internal/analysis/disciplines"
 	"dualcdb/internal/analysis/framework"
 )
 
@@ -58,17 +59,13 @@ var Analyzer = &framework.Analyzer{
 	Run:  run,
 }
 
-// PinSources are the Pool methods that return a pinned *Frame. All of them
-// return (*Frame, error).
-var PinSources = map[string]bool{
-	"Get":             true,
-	"GetTracked":      true,
-	"GetChainTracked": true,
-	"NewPage":         true,
-}
+// Pairs is the registry of pin → release disciplines this analyzer
+// enforces, shared through the disciplines package.
+var Pairs = disciplines.Pins
 
 // Package-path suffixes match both the real packages and the testdata
-// fakes, mirroring errsink's resolution strategy.
+// fakes, mirroring errsink's resolution strategy. The pin disciplines
+// carry their own suffix in the registry; these serve the borrow spec.
 const (
 	poolPkg  = "pagestore"
 	btreePkg = "btree"
@@ -83,20 +80,7 @@ var ViewSources = map[string]int{
 }
 
 func run(pass *framework.Pass) error {
-	spec := dataflow.LeakSpec{
-		Source: func(call *ast.CallExpr) (int, int, bool) {
-			if methodOn(pass, call, poolPkg, "Pool", PinSources) {
-				return 0, 1, true
-			}
-			return 0, 0, false
-		},
-		IsRelease: func(call *ast.CallExpr) bool {
-			return methodOn(pass, call, poolPkg, "Frame", map[string]bool{"Release": true})
-		},
-		IsResource: func(t types.Type) bool {
-			return namedIn(t, poolPkg, "Frame")
-		},
-	}
+	spec := Pairs.LeakSpec(pass.TypesInfo)
 	bspec := dataflow.BorrowSpec{
 		Borrow: func(call *ast.CallExpr) ([]ast.Expr, int, bool) {
 			name, ok := viewSource(pass, call)
@@ -116,11 +100,11 @@ func run(pass *framework.Pass) error {
 			return []ast.Expr{lender}, 0, true
 		},
 		IsRelease: func(call *ast.CallExpr) bool {
-			return methodOn(pass, call, btreePkg, "node", map[string]bool{"release": true}) ||
-				methodOn(pass, call, poolPkg, "Frame", map[string]bool{"Release": true})
+			return disciplines.MethodOn(pass.TypesInfo, call, btreePkg, "node", "release") ||
+				disciplines.MethodOn(pass.TypesInfo, call, poolPkg, "Frame", "Release")
 		},
 		IsLender: func(t types.Type) bool {
-			return namedIn(t, btreePkg, "node") || namedIn(t, poolPkg, "Frame")
+			return disciplines.NamedIn(t, btreePkg, "node") || disciplines.NamedIn(t, poolPkg, "Frame")
 		},
 		// The borrow dies with either the node or its embedded frame: a
 		// direct lender.frame.Release() must count as a release too.
@@ -187,7 +171,7 @@ func viewSource(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
 		} else {
 			typeName = "Tree"
 		}
-		if methodOn(pass, call, btreePkg, typeName, map[string]bool{name: true}) {
+		if disciplines.MethodOn(pass.TypesInfo, call, btreePkg, typeName, name) {
 			return name, true
 		}
 	}
@@ -224,51 +208,6 @@ func checkBody(pass *framework.Pass, body *ast.BlockStmt, spec dataflow.LeakSpec
 				name)
 		}
 	}
-}
-
-// methodOn reports whether call invokes one of names as a method on the
-// named type typeName declared in a package whose import path ends in
-// pkgSuffix (so the testdata fake package matches alongside the real one).
-func methodOn(pass *framework.Pass, call *ast.CallExpr, pkgSuffix, typeName string, names map[string]bool) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || !names[fn.Name()] {
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return false
-	}
-	t := sig.Recv().Type()
-	if p, isPtr := t.(*types.Pointer); isPtr {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil {
-		return false
-	}
-	if named.Obj().Name() != typeName {
-		return false
-	}
-	path := named.Obj().Pkg().Path()
-	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
-}
-
-// namedIn reports whether t is (a pointer to) the named type typeName
-// declared in a package whose import path ends in pkgSuffix.
-func namedIn(t types.Type, pkgSuffix, typeName string) bool {
-	if p, isPtr := t.(*types.Pointer); isPtr {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil || named.Obj().Name() != typeName {
-		return false
-	}
-	path := named.Obj().Pkg().Path()
-	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
 }
 
 func calleeName(call *ast.CallExpr) string {

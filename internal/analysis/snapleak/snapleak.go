@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"dualcdb/internal/analysis/dataflow"
+	"dualcdb/internal/analysis/disciplines"
 	"dualcdb/internal/analysis/framework"
 )
 
@@ -39,48 +40,12 @@ var Analyzer = &framework.Analyzer{
 	Run:  run,
 }
 
-// Pairs lists the pin → release disciplines, keyed by the pinning method:
-// receiver type, method, the resource type and its release method. The
-// snapshot result is always index 0 and pinning cannot fail.
-var Pairs = []struct {
-	BeginType string
-	Begin     string
-	CloseType string
-	Close     string
-}{
-	{"Index", "Snapshot", "Snapshot", "Release"},
-}
-
-// pkgSuffix matches both the real core package and a testdata fake.
-const pkgSuffix = "core"
+// Pairs is the registry of pin → release disciplines this analyzer
+// enforces, shared through the disciplines package.
+var Pairs = disciplines.Snapshots
 
 func run(pass *framework.Pass) error {
-	spec := dataflow.LeakSpec{
-		Source: func(call *ast.CallExpr) (int, int, bool) {
-			for _, p := range Pairs {
-				if methodOn(pass, call, p.BeginType, p.Begin) {
-					return 0, -1, true
-				}
-			}
-			return 0, 0, false
-		},
-		IsRelease: func(call *ast.CallExpr) bool {
-			for _, p := range Pairs {
-				if methodOn(pass, call, p.CloseType, p.Close) {
-					return true
-				}
-			}
-			return false
-		},
-		IsResource: func(t types.Type) bool {
-			for _, p := range Pairs {
-				if namedIn(t, p.CloseType) {
-					return true
-				}
-			}
-			return false
-		},
-	}
+	spec := Pairs.LeakSpec(pass.TypesInfo)
 
 	// Interprocedural step: summarize every function bottom-up over the
 	// package call graph (imported dependency banks underneath), so a
@@ -150,48 +115,4 @@ func describe(pass *framework.Pass, call *ast.CallExpr) string {
 		name = types.ExprString(sel.X) + "." + sel.Sel.Name
 	}
 	return name
-}
-
-// namedIn reports whether t is (a pointer to) the named type typeName
-// declared in a package whose import path ends in pkgSuffix.
-func namedIn(t types.Type, typeName string) bool {
-	if p, isPtr := t.(*types.Pointer); isPtr {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil || named.Obj().Name() != typeName {
-		return false
-	}
-	path := named.Obj().Pkg().Path()
-	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
-}
-
-// methodOn reports whether call invokes method name on the named type
-// typeName declared in a package whose import path ends in pkgSuffix.
-func methodOn(pass *framework.Pass, call *ast.CallExpr, typeName, name string) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Name() != name {
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return false
-	}
-	t := sig.Recv().Type()
-	if p, isPtr := t.(*types.Pointer); isPtr {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil {
-		return false
-	}
-	if named.Obj().Name() != typeName {
-		return false
-	}
-	path := named.Obj().Pkg().Path()
-	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
 }

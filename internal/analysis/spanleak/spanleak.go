@@ -9,6 +9,8 @@
 // records batch latency. Both are cheap value types, so nothing crashes
 // when one is dropped — the telemetry just quietly lies, which is worse.
 //
+// The begin→close pairings live in the shared disciplines registry
+// (disciplines.Spans); adding a trace type means adding one Pair there.
 // The check runs the obligation engine from internal/analysis/dataflow
 // over each function's CFG: Begin/StartBatch opens an obligation that must
 // reach End/Done (directly, through a single-assignment alias, or via
@@ -29,6 +31,7 @@ import (
 	"strings"
 
 	"dualcdb/internal/analysis/dataflow"
+	"dualcdb/internal/analysis/disciplines"
 	"dualcdb/internal/analysis/framework"
 )
 
@@ -39,50 +42,12 @@ var Analyzer = &framework.Analyzer{
 	Run:  run,
 }
 
-// Pairs lists the begin → close disciplines, keyed by the begin method:
-// receiver type, method, the resource's close method. The resource result
-// is always index 0 and none of the begins can fail.
-var Pairs = []struct {
-	BeginType string
-	Begin     string
-	CloseType string
-	Close     string
-}{
-	{"QueryTrace", "Begin", "SpanTimer", "End"},
-	{"Observer", "StartBatch", "BatchTimer", "Done"},
-	{"CommitTrace", "Begin", "CommitSpanTimer", "End"},
-}
-
-// pkgSuffix matches both the real obs package and a testdata fake.
-const pkgSuffix = "obs"
+// Pairs is the registry of begin → close disciplines this analyzer
+// enforces, shared through the disciplines package.
+var Pairs = disciplines.Spans
 
 func run(pass *framework.Pass) error {
-	spec := dataflow.LeakSpec{
-		Source: func(call *ast.CallExpr) (int, int, bool) {
-			for _, p := range Pairs {
-				if methodOn(pass, call, p.BeginType, p.Begin) {
-					return 0, -1, true
-				}
-			}
-			return 0, 0, false
-		},
-		IsRelease: func(call *ast.CallExpr) bool {
-			for _, p := range Pairs {
-				if methodOn(pass, call, p.CloseType, p.Close) {
-					return true
-				}
-			}
-			return false
-		},
-		IsResource: func(t types.Type) bool {
-			for _, p := range Pairs {
-				if namedIn(t, p.CloseType) {
-					return true
-				}
-			}
-			return false
-		},
-	}
+	spec := Pairs.LeakSpec(pass.TypesInfo)
 
 	// Interprocedural step: summarize every function bottom-up over the
 	// package call graph (imported dependency banks underneath), so a timer
@@ -148,14 +113,8 @@ func checkBody(pass *framework.Pass, body *ast.BlockStmt, spec dataflow.LeakSpec
 
 func describe(pass *framework.Pass, call *ast.CallExpr) (name, closeName string) {
 	name = types.ExprString(call.Fun)
-	closeName = "its close method"
-	for _, p := range Pairs {
-		if methodOn(pass, call, p.BeginType, p.Begin) {
-			closeName = p.Close
-			break
-		}
-	}
-	if closeName == "its close method" {
+	closeName = Pairs.CloseFor(pass.TypesInfo, call)
+	if closeName == "" {
 		// A summarized source (helper returning a fresh timer): recover the
 		// close method from the call's result types.
 		if tv, ok := pass.TypesInfo.Types[call]; ok {
@@ -166,61 +125,18 @@ func describe(pass *framework.Pass, call *ast.CallExpr) (name, closeName string)
 					elems = append(elems, tup.At(i).Type())
 				}
 			}
-			for _, p := range Pairs {
-				for _, t := range elems {
-					if namedIn(t, p.CloseType) {
-						closeName = p.Close
-					}
+			for _, t := range elems {
+				if c := Pairs.CloseForType(t); c != "" {
+					closeName = c
 				}
 			}
 		}
+	}
+	if closeName == "" {
+		closeName = "its close method"
 	}
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 		name = types.ExprString(sel.X) + "." + sel.Sel.Name
 	}
 	return name, closeName
-}
-
-// namedIn reports whether t is (a pointer to) the named type typeName
-// declared in a package whose import path ends in pkgSuffix.
-func namedIn(t types.Type, typeName string) bool {
-	if p, isPtr := t.(*types.Pointer); isPtr {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil || named.Obj().Name() != typeName {
-		return false
-	}
-	path := named.Obj().Pkg().Path()
-	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
-}
-
-// methodOn reports whether call invokes method name on the named type
-// typeName declared in a package whose import path ends in pkgSuffix.
-func methodOn(pass *framework.Pass, call *ast.CallExpr, typeName, name string) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Name() != name {
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return false
-	}
-	t := sig.Recv().Type()
-	if p, isPtr := t.(*types.Pointer); isPtr {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil {
-		return false
-	}
-	if named.Obj().Name() != typeName {
-		return false
-	}
-	path := named.Obj().Pkg().Path()
-	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
 }

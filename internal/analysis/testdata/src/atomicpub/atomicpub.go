@@ -1,0 +1,172 @@
+// Golden cases for the atomicpub analyzer.
+package atomicpub
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int //dualvet:guarded=mu
+}
+
+var global counter
+
+func unguardedWrite() {
+	global.n = 1 // want `write to global\.n without holding its guard global\.mu`
+}
+
+func incUnguarded() {
+	global.n++ // want `write to global\.n without holding its guard global\.mu`
+}
+
+// Clean: the guard is held across the write.
+func guardedWrite() {
+	global.mu.Lock()
+	global.n = 2
+	global.mu.Unlock()
+}
+
+// Clean: a deferred unlock keeps the guard held through the body.
+func deferGuarded() {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	global.n++
+}
+
+// --- read-mode holds ---
+
+type gauge struct {
+	mu sync.RWMutex
+	v  int //dualvet:guarded=mu
+}
+
+var g gauge
+
+func readHeldWrite() {
+	g.mu.RLock()
+	g.v = 3 // want `write to g\.v while its guard g\.mu is held only for reading \(RLock at line \d+\)`
+	g.mu.RUnlock()
+}
+
+// --- the *Locked helper contract ---
+
+// bumpLocked writes a guarded field of its receiver without taking the
+// guard: the obligation becomes a "requires" summary checked at call sites.
+func (c *counter) bumpLocked() { c.n++ }
+
+func callerMissingHold() {
+	global.bumpLocked() // want `call to bumpLocked requires global\.mu held \(it writes fields guarded by it\)`
+}
+
+// Clean: the caller holds the guard around the helper.
+func callerHolding() {
+	global.mu.Lock()
+	global.bumpLocked()
+	global.mu.Unlock()
+}
+
+// --- constructor freshness ---
+
+// Clean: the value is this function's own fresh allocation; initialization
+// needs no lock until the value escapes.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 7
+	return c
+}
+
+func freshThenEscape(ch chan *counter) {
+	c := &counter{}
+	c.n = 1 // clean: before the value escapes
+	ch <- c
+	c.n = 2 // want `write to c\.n without holding its guard c\.mu`
+}
+
+// Clean: a *Locked helper invoked on a fresh, not-yet-escaped allocation —
+// the requires-contract is vacuous until another goroutine can see c.
+func newBumped() *counter {
+	c := &counter{}
+	c.bumpLocked()
+	return c
+}
+
+func freshHelperThenEscape(ch chan *counter) {
+	c := &counter{}
+	c.bumpLocked() // clean: before the value escapes
+	ch <- c
+	c.bumpLocked() // want `call to bumpLocked requires c\.mu held \(it writes fields guarded by it\)`
+}
+
+// --- goroutines ---
+
+// The goroutine runs after launch under its own (empty) lock set; holding
+// the guard at the go statement protects nothing.
+func goWriteUnderLock() {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	go func() {
+		global.n = 5 // want `write to global\.n without holding its guard global\.mu`
+	}()
+}
+
+// Clean: a non-go literal invoked in place inherits the held set.
+func closureInherits() {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	f := func() { global.n = 6 }
+	f()
+}
+
+// --- typed atomic cells ---
+
+type flags struct {
+	ready atomic.Bool
+}
+
+func plainAtomicAccess(f *flags) {
+	f.ready = atomic.Bool{} // want `atomic field f\.ready overwritten as a plain value; use its Store method`
+	r := f.ready            // want `atomic field f\.ready copied as a plain value; use its Load method`
+	_ = r
+	f.ready.Store(true) // clean: method access
+}
+
+// --- annotation validation ---
+
+type badAnnotations struct {
+	sync.Mutex //dualvet:guarded=m // want `//dualvet:guarded on an embedded field has no effect`
+	m          sync.Mutex
+	x          int //dualvet:guarded=missing // want `guard "missing" does not resolve to a sync\.Mutex or sync\.RWMutex field`
+	y          int //dualvet:guarded=m
+}
+
+// --- embedded mutexes and nested guard paths ---
+
+type ring struct {
+	sync.Mutex
+	buf []int //dualvet:guarded=Mutex
+}
+
+type owner struct {
+	ring ring
+}
+
+// addLocked requires o.ring.Mutex; the promoted write is charged to callers.
+func (o *owner) addLocked(v int) {
+	o.ring.buf = append(o.ring.buf, v)
+}
+
+var ow owner
+
+func embeddedCallerBad() {
+	ow.addLocked(1) // want `call to addLocked requires ow\.ring\.Mutex held`
+}
+
+// Clean: the promoted Lock call names the same embedded mutex the
+// annotation resolves to.
+func embeddedCallerGood() {
+	ow.ring.Lock()
+	ow.addLocked(2)
+	ow.ring.Unlock()
+}

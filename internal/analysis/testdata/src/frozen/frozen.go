@@ -1,0 +1,125 @@
+// Golden cases for the frozen analyzer.
+package frozen
+
+import "sync/atomic"
+
+type rootSet struct {
+	ids []int
+	gen int
+}
+
+type index struct {
+	roots atomic.Pointer[rootSet]
+}
+
+// Clean: every write precedes the publication.
+func buildOK(ix *index) {
+	rs := &rootSet{}
+	rs.ids = append(rs.ids, 1)
+	rs.gen = 1
+	ix.roots.Store(rs)
+}
+
+func writeAfterStore(ix *index) {
+	rs := &rootSet{}
+	ix.roots.Store(rs)
+	rs.gen = 2 // want `write to rs\.gen mutates a value published at line \d+ \(via ix\.roots\.Store\)`
+}
+
+func elemAfterStore(ix *index) {
+	rs := &rootSet{ids: make([]int, 4)}
+	ix.roots.Store(rs)
+	rs.ids[0] = 9 // want `write to rs\.ids.* mutates a value published at line \d+`
+}
+
+func aliasWrite(ix *index) {
+	rs := &rootSet{}
+	alias := rs
+	ix.roots.Store(rs)
+	alias.gen = 3 // want `write to rs\.gen mutates a value published at line \d+`
+}
+
+// --- values read out of the cell are frozen at birth ---
+
+func loadWrite(ix *index) {
+	rs := ix.roots.Load()
+	rs.gen = 4 // want `write to rs\.gen mutates a value published at line \d+ \(via atomic load\)`
+}
+
+// Clean: reading a published value is always fine.
+func loadRead(ix *index) int {
+	rs := ix.roots.Load()
+	if rs == nil {
+		return 0
+	}
+	return rs.gen
+}
+
+// --- interprocedural publication summaries ---
+
+// publish stores its parameter: callers' arguments freeze at the call.
+func publish(ix *index, rs *rootSet) {
+	ix.roots.Store(rs)
+}
+
+func helperPublish(ix *index) {
+	rs := &rootSet{}
+	publish(ix, rs)
+	rs.gen = 5 // want `write to rs\.gen mutates a value published at line \d+ \(via publish\)`
+}
+
+// pinRoots returns an already-published value: callers receive it frozen.
+func pinRoots(ix *index) *rootSet {
+	rs := ix.roots.Load()
+	return rs
+}
+
+func helperReturn(ix *index) {
+	rs := pinRoots(ix)
+	rs.gen = 6 // want `write to rs\.gen mutates a value published at line \d+ \(via pinRoots\)`
+}
+
+// --- rebinding is a strong update ---
+
+// Clean: the name is repointed at a fresh value; the frozen object is
+// untouched and the new one is not yet published.
+func rebind(ix *index) {
+	rs := &rootSet{}
+	ix.roots.Store(rs)
+	rs = &rootSet{}
+	rs.gen = 7
+	ix.roots.Store(rs)
+}
+
+// Clean: writes to a never-published value are free.
+func neverPublished() {
+	rs := &rootSet{}
+	rs.gen = 1
+	rs.ids = append(rs.ids, 2)
+}
+
+// --- goroutines launched after publication ---
+
+func goAfterPublish(ix *index) {
+	rs := &rootSet{}
+	ix.roots.Store(rs)
+	go func() {
+		rs.gen = 8 // want `write to rs\.gen mutates a value published at line \d+ .* from a goroutine launched after publication`
+	}()
+}
+
+// --- Swap publishes the new value and returns a published old one ---
+
+func swapOld(ix *index) {
+	rs := &rootSet{}
+	old := ix.roots.Swap(rs)
+	old.gen = 9 // want `write to old\.gen mutates a value published at line \d+ \(via atomic swap\)`
+	rs.gen = 10 // want `write to rs\.gen mutates a value published at line \d+ \(via ix\.roots\.Swap\)`
+}
+
+func casPublish(ix *index, prev *rootSet) {
+	rs := &rootSet{}
+	if ix.roots.CompareAndSwap(prev, rs) {
+		rs.gen = 11 // want `write to rs\.gen mutates a value published at line \d+ \(via ix\.roots\.CompareAndSwap\)`
+	}
+}

@@ -1,0 +1,165 @@
+// Golden cases for the lockset analyzer.
+package lockset
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+type R struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// --- re-entrant acquisition ---
+
+func (s *S) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu is acquired again while already locked \(since line \d+\); sync mutexes are not reentrant`
+	s.mu.Unlock()
+}
+
+func (r *R) upgrade() {
+	r.mu.RLock()
+	r.mu.Lock() // want `r\.mu write-lock upgrade while read-locked \(RLock at line \d+\) deadlocks`
+	r.mu.Unlock()
+}
+
+func (r *R) recursiveRead() {
+	r.mu.RLock()
+	r.mu.RLock() // want `recursive read lock of r\.mu \(RLock at line \d+\)`
+	r.mu.RUnlock()
+}
+
+// --- unlock discipline ---
+
+func (s *S) doubleUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Unlock() // want `s\.mu is unlocked twice \(previous unlock at line \d+\)`
+}
+
+func unlockUnheld() {
+	var mu sync.Mutex
+	mu.Unlock() // want `unlock of mu which is not held on any path here`
+}
+
+func (r *R) wrongUnlockMode() {
+	r.mu.RLock()
+	r.mu.Unlock() // want `Unlock of r\.mu which is held in read mode \(RLock at line \d+\); use RUnlock`
+}
+
+func (r *R) wrongRUnlockMode() {
+	r.mu.Lock()
+	r.mu.RUnlock() // want `RUnlock of r\.mu which is held in write mode \(Lock at line \d+\); use Unlock`
+}
+
+// --- divergent exits ---
+
+func (s *S) divergent(cond bool) {
+	s.mu.Lock() // want `s\.mu acquired here is released on some return paths but still held on others`
+	if cond {
+		return
+	}
+	s.mu.Unlock()
+}
+
+// Clean: both paths release before returning.
+func (s *S) balancedBranches(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+// Clean: the deferred unlock balances every path.
+func (s *S) deferBalanced() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// Clean: unlock inside a deferred closure is still a deferred unlock.
+func (s *S) deferClosure() {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	s.n++
+}
+
+// --- TryLock refinement ---
+
+// Clean: the lock is held only on the refined success branch and released
+// there; the failure branch holds nothing.
+func (s *S) tryLock() {
+	if s.mu.TryLock() {
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// --- aliasing ---
+
+type P struct {
+	shards []*S
+}
+
+func (p *P) aliasReacquire(i int) {
+	s := p.shards[i]
+	s.mu.Lock()
+	p.shards[i].mu.Lock() // want `p\.shards\[i\]\.mu is acquired again while already locked \(since line \d+\)`
+	s.mu.Unlock()
+}
+
+// --- interprocedural summaries: the Begin/Commit contract ---
+
+// begin returns holding the lock; the imbalance is its summary, not a bug.
+func (s *S) begin() { s.mu.Lock() }
+
+// end releases the caller's hold (the Commit contract).
+func (s *S) end() { s.mu.Unlock() }
+
+// Clean: summary-applied acquire balanced by the deferred summary release.
+func (s *S) beginEnd() {
+	s.begin()
+	defer s.end()
+	s.n++
+}
+
+func (s *S) beginReacquire() {
+	s.begin()
+	s.mu.Lock() // want `s\.mu is acquired again while already locked \(since line \d+\)`
+	s.mu.Unlock()
+}
+
+// --- opaque lock handles: Begin returns a token, Commit releases through it ---
+
+type txn struct{ st *S }
+
+// open returns holding s.mu; the handle is how the caller gives it back.
+func (s *S) open() *txn {
+	s.mu.Lock()
+	return &txn{st: s}
+}
+
+func (t *txn) commit() { t.st.mu.Unlock() }
+
+// Clean: commit's release is rooted at the local handle t, which never
+// aliases s in the fact domain — the engine must still discharge s.mu by
+// the mutex-field contract instead of reporting an unheld unlock (and a
+// divergent exit for the lock it thinks was never dropped).
+func (s *S) handleRoundTrip() {
+	t := s.open()
+	s.n++
+	t.commit()
+}
+
+// Clean: same contract through a deferred release.
+func (s *S) handleDefer() {
+	t := s.open()
+	defer t.commit()
+	s.n++
+}

@@ -40,7 +40,12 @@ import (
 // changes the dependent's fingerprint — cross-package invalidation is sound
 // without a separate summary-hash scheme. Old version-1 cache entries
 // simply miss and re-analyze once.
-const vetxVersion = 2
+//
+// Version 3 added the concurrency banks (lock and publication summaries)
+// and versioned analyzer identities in the fingerprint: each analyzer
+// contributes "name@vN", so bumping an analyzer's Version invalidates warm
+// records that replayed its old semantics.
+const vetxVersion = 3
 
 // diagRecord is one recorded diagnostic, position pre-formatted.
 type diagRecord struct {
@@ -94,11 +99,13 @@ func depSummaries(cfg *Config) *dataflow.PackageSummaries {
 }
 
 // fingerprint hashes everything that can change this unit's diagnostics:
-// the driver binary, the analyzer selection, the unit identity, every
-// source file's contents, and every dependency's vetx record (itself a
-// fingerprint over that dependency's sources, transitively). Returns ""
-// when any input cannot be read — the caller then skips caching.
-func fingerprint(cfg *Config, analyzerNames []string) string {
+// the driver binary, the analyzer selection (as versioned "name@vN"
+// identities, so a semantics bump invalidates warm records), the unit
+// identity, every source file's contents, and every dependency's vetx
+// record (itself a fingerprint over that dependency's sources,
+// transitively). Returns "" when any input cannot be read — the caller
+// then skips caching.
+func fingerprint(cfg *Config, analyzerIDs []string) string {
 	h := sha256.New()
 	self, err := selfHash()
 	if err != nil {
@@ -106,8 +113,8 @@ func fingerprint(cfg *Config, analyzerNames []string) string {
 	}
 	fmt.Fprintf(h, "driver %s\n", self)
 	fmt.Fprintf(h, "unit %s %s %s\n", cfg.ImportPath, cfg.GoVersion, cfg.Compiler)
-	for _, name := range analyzerNames {
-		fmt.Fprintf(h, "analyzer %s\n", name)
+	for _, id := range analyzerIDs {
+		fmt.Fprintf(h, "analyzer %s\n", id)
 	}
 	for _, file := range cfg.GoFiles {
 		sum, err := fileHash(file)

@@ -1,0 +1,138 @@
+package unitdriver
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Machine-readable diagnostics. Unit processes run under go vet in
+// parallel and print to stderr interleaved with go vet's own package
+// headers, so structured output cannot be scraped from there. Instead the
+// standalone driver sets $DUALVET_JSON to a shared spool file before
+// re-executing go vet; every unit appends its diagnostics as NDJSON (one
+// O_APPEND write per unit, so concurrent units never tear), and the parent
+// renders the spool after go vet exits — as a JSON array (-json) or as
+// GitHub Actions workflow commands (-annotations) that surface inline on
+// pull requests.
+
+// jsonEnv names the diagnostic spool file handed to unit processes.
+const jsonEnv = "DUALVET_JSON"
+
+// emitJSONDiags appends this unit's diagnostics to the spool, one JSON
+// object per line. A single write keeps concurrent units atomic (POSIX
+// O_APPEND); failures are silent — the stderr channel already carried the
+// diagnostics.
+func emitJSONDiags(diags []diagRecord) {
+	path := os.Getenv(jsonEnv)
+	if path == "" || len(diags) == 0 {
+		return
+	}
+	var buf strings.Builder
+	for _, d := range diags {
+		line, err := json.Marshal(d)
+		if err != nil {
+			return
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o666)
+	if err != nil {
+		return
+	}
+	_, _ = f.WriteString(buf.String())
+	f.Close()
+}
+
+// reexecGoVetMachine runs the standalone go vet re-exec with a diagnostic
+// spool attached, then renders the collected diagnostics.
+func reexecGoVetMachine(args []string, jsonOut, annotations bool) int {
+	tmp, err := os.CreateTemp("", "dualvet-diags-*.ndjson")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spool := tmp.Name()
+	tmp.Close()
+	defer os.Remove(spool)
+	os.Setenv(jsonEnv, spool)
+
+	code := reexecGoVet(args)
+
+	diags, err := readSpool(spool)
+	if err != nil {
+		log.Print(err)
+		return code
+	}
+	if jsonOut {
+		data, err := json.MarshalIndent(diags, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	}
+	if annotations {
+		for _, d := range diags {
+			file, line, col := splitPosition(d.Position)
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=dualvet %s::%s\n",
+				file, line, col, d.Analyzer, d.Message)
+		}
+	}
+	return code
+}
+
+// readSpool parses the NDJSON spool into position-sorted diagnostics.
+// Returns an empty (non-nil) slice when the spool is empty so -json prints
+// [] rather than null.
+func readSpool(path string) ([]diagRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cannot read diagnostic spool: %v", err)
+	}
+	diags := []diagRecord{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var d diagRecord
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			return nil, fmt.Errorf("malformed diagnostic spool line: %v", err)
+		}
+		diags = append(diags, d)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Position != diags[j].Position {
+			return diags[i].Position < diags[j].Position
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// splitPosition decomposes a "file:line:col" (or "file:line") position
+// string; line/col default to 1 when absent or unparsable.
+func splitPosition(pos string) (file string, line, col int) {
+	file, line, col = pos, 1, 1
+	if i := strings.LastIndexByte(file, ':'); i >= 0 {
+		if n, err := strconv.Atoi(file[i+1:]); err == nil {
+			col = n
+			file = file[:i]
+		}
+	}
+	if i := strings.LastIndexByte(file, ':'); i >= 0 {
+		if n, err := strconv.Atoi(file[i+1:]); err == nil {
+			line = n
+			file = file[:i]
+		}
+	}
+	if line == 1 && col > 1 {
+		// "file:line" form: the single number was the line.
+		line, col = col, 1
+	}
+	return file, line, col
+}

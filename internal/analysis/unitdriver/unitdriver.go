@@ -76,8 +76,26 @@ func Main(analyzers ...*framework.Analyzer) {
 	log.SetFlags(0)
 	log.SetPrefix(progname + ": ")
 
-	if standalone(os.Args[1:]) {
-		os.Exit(reexecGoVet(os.Args[1:]))
+	// Standalone output-mode flags are peeled before the go vet protocol
+	// check: they only make sense on the human-facing invocation and must
+	// not reach go vet as package patterns.
+	jsonOut, annotations := false, false
+	rest := make([]string, 0, len(os.Args)-1)
+	for _, a := range os.Args[1:] {
+		switch a {
+		case "-json", "--json":
+			jsonOut = true
+		case "-annotations", "--annotations":
+			annotations = true
+		default:
+			rest = append(rest, a)
+		}
+	}
+	if standalone(rest) && len(rest) > 0 {
+		if jsonOut || annotations {
+			os.Exit(reexecGoVetMachine(rest, jsonOut, annotations))
+		}
+		os.Exit(reexecGoVet(rest))
 	}
 
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
@@ -87,7 +105,7 @@ func Main(analyzers ...*framework.Analyzer) {
 	for _, a := range analyzers {
 		enabled[a.Name] = fs.Bool(a.Name, false, a.Doc)
 	}
-	if err := fs.Parse(os.Args[1:]); err != nil {
+	if err := fs.Parse(rest); err != nil {
 		log.Fatal(err)
 	}
 	if *printflags {
@@ -99,8 +117,10 @@ func Main(analyzers ...*framework.Analyzer) {
 		fmt.Fprintf(os.Stderr, `%[1]s enforces the dualcdb float/Inf/concurrency invariants.
 
 Usage:
-	%[1]s [packages]     # runs go vet -vettool=%[1]s [packages]
-	%[1]s unit.cfg       # invoked by go vet on one compilation unit
+	%[1]s [packages]               # runs go vet -vettool=%[1]s [packages]
+	%[1]s -json [packages]         # same, plus a JSON diagnostic array on stdout
+	%[1]s -annotations [packages]  # same, plus GitHub Actions ::error lines
+	%[1]s unit.cfg                 # invoked by go vet on one compilation unit
 `, progname)
 		os.Exit(2)
 	}
@@ -165,10 +185,12 @@ func runUnit(cfgFile string, analyzers []*framework.Analyzer) int {
 		log.Fatal(err)
 	}
 	names := make([]string, len(analyzers))
+	ids := make([]string, len(analyzers))
 	for i, a := range analyzers {
 		names[i] = a.Name
+		ids[i] = fmt.Sprintf("%s@v%d", a.Name, a.CacheVersion())
 	}
-	fp := fingerprint(cfg, names)
+	fp := fingerprint(cfg, ids)
 	rec := vetxRecord{Version: vetxVersion, Fingerprint: fp, ImportPath: cfg.ImportPath}
 
 	if cfg.VetxOnly {
@@ -192,6 +214,7 @@ func runUnit(cfgFile string, analyzers []*framework.Analyzer) int {
 		for _, d := range cached.Diagnostics {
 			fmt.Fprintf(os.Stderr, "%s: %s [dualvet:%s]\n", d.Position, d.Message, d.Analyzer)
 		}
+		emitJSONDiags(cached.Diagnostics)
 		if len(cached.Diagnostics) > 0 {
 			return 1
 		}
@@ -251,6 +274,7 @@ func runUnit(cfgFile string, analyzers []*framework.Analyzer) int {
 	for _, d := range rec.Diagnostics {
 		fmt.Fprintf(os.Stderr, "%s: %s [dualvet:%s]\n", d.Position, d.Message, d.Analyzer)
 	}
+	emitJSONDiags(rec.Diagnostics)
 	if len(rec.Diagnostics) > 0 {
 		return 1
 	}

@@ -1,0 +1,51 @@
+package unitdriver
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dualcdb/internal/analysis/framework"
+)
+
+// TestAnalyzerVersionBumpForcesColdRun pins the cache-invalidation contract
+// for analyzer semantics changes: the unit fingerprint hashes versioned
+// analyzer identities ("name@vN"), so bumping an Analyzer.Version changes
+// the fingerprint and a warm record replayed under the old semantics can
+// no longer be found — the unit re-analyzes cold.
+func TestAnalyzerVersionBumpForcesColdRun(t *testing.T) {
+	tmp := t.TempDir()
+	src := filepath.Join(tmp, "a.go")
+	writeFile(t, src, "package a\n")
+	cfg := &Config{ImportPath: "tmp/a", GoVersion: "go1.22", Compiler: "gc", GoFiles: []string{src}}
+
+	fpV1 := fingerprint(cfg, []string{"lockset@v1"})
+	fpV2 := fingerprint(cfg, []string{"lockset@v2"})
+	if fpV1 == "" || fpV2 == "" {
+		t.Fatal("fingerprint inputs unreadable")
+	}
+	if fpV1 == fpV2 {
+		t.Fatal("bumping the analyzer version did not change the unit fingerprint")
+	}
+
+	t.Setenv("DUALVET_CACHE", filepath.Join(tmp, "cache"))
+	cacheStore(vetxRecord{Version: vetxVersion, Fingerprint: fpV1, ImportPath: cfg.ImportPath})
+	if _, ok := cacheLookup(fpV1); !ok {
+		t.Fatal("the v1 record should replay warm under the v1 fingerprint")
+	}
+	if _, ok := cacheLookup(fpV2); ok {
+		t.Fatal("the v2 fingerprint must miss the v1 record: a version bump has to force a cold run")
+	}
+}
+
+// TestCacheVersionDefaults: analyzers without an explicit Version are v1,
+// so pre-existing fingerprints stay stable.
+func TestCacheVersionDefaults(t *testing.T) {
+	a := &framework.Analyzer{Name: "x"}
+	if got := a.CacheVersion(); got != 1 {
+		t.Fatalf("zero Version should read as cache version 1, got %d", got)
+	}
+	a.Version = 3
+	if got := a.CacheVersion(); got != 3 {
+		t.Fatalf("CacheVersion = %d, want 3", got)
+	}
+}

@@ -28,11 +28,13 @@ type Index struct {
 	opt    Options
 	slopes []float64
 	pool   *pagestore.Pool
-	up     []*btree.Tree // per slope: TOP^P(a_i) values
-	down   []*btree.Tree // per slope: BOT^P(a_i) values
+	// up/down hold per slope the TOP^P(a_i) / BOT^P(a_i) trees.
+	up   []*btree.Tree //dualvet:guarded=writeMu
+	down []*btree.Tree //dualvet:guarded=writeMu
 	// Optional vertical pair (footnote 4 / Options.IndexVertical): supX
 	// and infX values for x θ c selections.
-	vup, vdown *btree.Tree
+	vup   *btree.Tree //dualvet:guarded=writeMu
+	vdown *btree.Tree //dualvet:guarded=writeMu
 
 	// roots is the current published rootSet (mvcc.go): readers load it
 	// with one atomic pointer read and never lock. writeMu serializes

@@ -22,9 +22,9 @@ type commitStageMetrics struct {
 // the slow-query ring.
 type commitRing struct {
 	mu   sync.Mutex
-	buf  []*CommitTrace
-	next int
-	seen int
+	buf  []*CommitTrace //dualvet:guarded=mu
+	next int            //dualvet:guarded=mu
+	seen int            //dualvet:guarded=mu
 }
 
 func (r *commitRing) add(tr *CommitTrace) {

@@ -82,13 +82,13 @@ type Observer struct {
 	slowCommitRing commitRing
 
 	mu    sync.RWMutex
-	paths map[string]*pathMetrics
+	paths map[string]*pathMetrics //dualvet:guarded=mu
 
 	ring struct {
 		sync.Mutex
-		buf  []*QueryTrace
-		next int
-		seen int
+		buf  []*QueryTrace //dualvet:guarded=Mutex
+		next int           //dualvet:guarded=Mutex
+		seen int           //dualvet:guarded=Mutex
 	}
 }
 

@@ -55,7 +55,7 @@ type QueryTrace struct {
 	begun time.Time
 
 	mu    sync.Mutex
-	spans []Span
+	spans []Span //dualvet:guarded=mu
 
 	// Filled by Observer.FinishQuery.
 	done        bool

@@ -80,16 +80,16 @@ type Pool struct {
 	// speculative read, never a wrong admission (admission still requires
 	// chain confirmation from the demanded page's own links).
 	hintMu    sync.Mutex
-	hintsAsc  map[PageID]PageID
-	hintsDesc map[PageID]PageID
+	hintsAsc  map[PageID]PageID //dualvet:guarded=hintMu
+	hintsDesc map[PageID]PageID //dualvet:guarded=hintMu
 
 	// MVCC snapshot bookkeeping (snapshot.go): reference counts per pinned
 	// commit version and pages superseded by copy-on-write commits, held
 	// back until the min-referenced-version watermark passes their death
 	// version. Guarded by snapMu; snapMu never nests inside a shard lock.
 	snapMu       sync.Mutex
-	snapRefs     map[uint64]int
-	deferred     []deferredFrees
+	snapRefs     map[uint64]int  //dualvet:guarded=snapMu
+	deferred     []deferredFrees //dualvet:guarded=snapMu
 	reclaimFails atomic.Uint64
 	// clones/deferredTotal/reclaimed are the write-path attribution
 	// counters: pages cloned by ClonePage, pages ever handed to
@@ -130,9 +130,10 @@ type poolShard struct {
 	capacity  int
 	oldCap    int
 	tenureAge uint64
-	frames    map[PageID]*Frame
-	young     frameList // most-recently released at front
-	old       frameList
+	frames    map[PageID]*Frame //dualvet:guarded=mu
+	// young/old order most-recently released frames first.
+	young frameList //dualvet:guarded=mu
+	old   frameList //dualvet:guarded=mu
 
 	// tick is the shard's access clock: it advances on each pin or fetch of
 	// a page different from the immediately preceding one, so a tight
@@ -140,19 +141,19 @@ type poolShard struct {
 	// re-pin to arrive at least tenureAge ticks after the frame's first
 	// access (InnoDB-style), which keeps both scans and busy loops out of
 	// the old region.
-	tick       uint64
-	lastPinned PageID
+	tick       uint64 //dualvet:guarded=mu
+	lastPinned PageID //dualvet:guarded=mu
 
 	// free recycles evicted frames (chained through lruNext) together with
 	// their page buffers; bounded by capacity.
-	free  *Frame
-	freeN int
+	free  *Frame //dualvet:guarded=mu
+	freeN int    //dualvet:guarded=mu
 
 	// versions seeds Frame.version across evictions: dropLocked saves the
 	// frame's stamp here and the next fetch of the same id resumes from it,
 	// so a page that is modified, evicted, and re-read never repeats a
 	// version a stale decoded copy could still be keyed under (no ABA).
-	versions map[PageID]uint64
+	versions map[PageID]uint64 //dualvet:guarded=mu
 }
 
 // Frame region tags for the midpoint LRU.
